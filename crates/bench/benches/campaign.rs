@@ -1,0 +1,54 @@
+//! `table3_campaign`: end-to-end throughput of the statistical campaign
+//! machinery (sample → decode → inject → classify → revert), which is the
+//! unit of cost in every Table III row.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sfi_bench::{resnet20_setup, Scale};
+use sfi_core::execute::execute_plan;
+use sfi_core::plan::plan_layer_wise;
+use sfi_faultsim::campaign::{run_campaign, CampaignConfig};
+use sfi_faultsim::golden::GoldenReference;
+use sfi_faultsim::population::FaultSpace;
+use sfi_stats::sample_size::SampleSpec;
+use sfi_stats::sampling::sample_without_replacement;
+
+fn bench_campaign(c: &mut Criterion) {
+    let setup = resnet20_setup(Scale::Smoke);
+    let (model, data) = (&setup.model, &setup.data);
+    let golden = GoldenReference::build(model, data).unwrap();
+    let space = FaultSpace::stuck_at(model);
+
+    // Raw campaign throughput: 128 stuck-at faults sampled from layer 7.
+    let sub = space.layer_subpopulation(7).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let indices = sample_without_replacement(sub.size(), 128, &mut rng).unwrap();
+    let faults = sub.faults_at(&indices).unwrap();
+    let cfg = CampaignConfig::default();
+
+    let mut g = c.benchmark_group("table3_campaign");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    g.bench_function("128_faults_layer7", |b| {
+        b.iter(|| run_campaign(model, data, &golden, &faults, &cfg).unwrap())
+    });
+
+    // Full plan execution: layer-wise at a loose margin.
+    let spec = SampleSpec { error_margin: 0.2, ..SampleSpec::paper_default() };
+    let plan = plan_layer_wise(&space, &spec);
+    g.bench_function("layer_wise_plan_e20pct", |b| {
+        b.iter(|| execute_plan(model, data, &golden, &plan, 5, &cfg).unwrap())
+    });
+
+    // The golden-reference build (per-image caches) amortised per campaign.
+    g.bench_function("golden_reference_build", |b| {
+        b.iter(|| GoldenReference::build(model, data).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

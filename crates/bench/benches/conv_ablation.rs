@@ -1,0 +1,54 @@
+//! `ablation_conv`: direct (six-loop) convolution vs the `im2col` + GEMM
+//! path, on layer shapes taken from the case-study networks. The im2col
+//! path is what makes million-fault campaigns viable; this bench quantifies
+//! the design choice called out in DESIGN.md §5.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sfi_tensor::ops::{conv2d, conv2d_direct, conv2d_im2col, Conv2dCfg};
+use sfi_tensor::Tensor;
+
+fn bench_conv_paths(c: &mut Criterion) {
+    // (name, input shape, weight shape, cfg) — real shapes from ResNet-20
+    // (stage 2) and MobileNetV2 (depthwise).
+    let cases = vec![
+        (
+            "resnet_stage2_3x3",
+            Tensor::from_fn([1, 32, 16, 16], |i| ((i % 97) as f32) * 0.01),
+            Tensor::from_fn([32, 32, 3, 3], |i| ((i % 89) as f32 - 44.0) * 0.001),
+            Conv2dCfg::same(1),
+        ),
+        (
+            "mobilenet_pointwise_1x1",
+            Tensor::from_fn([1, 96, 16, 16], |i| ((i % 97) as f32) * 0.01),
+            Tensor::from_fn([24, 96, 1, 1], |i| ((i % 89) as f32 - 44.0) * 0.001),
+            Conv2dCfg::valid(1),
+        ),
+    ];
+    let mut g = c.benchmark_group("ablation_conv");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+    for (name, input, weight, cfg) in &cases {
+        g.bench_with_input(BenchmarkId::new("direct", name), &(), |b, ()| {
+            b.iter(|| conv2d_direct(input, weight, None, *cfg).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("im2col", name), &(), |b, ()| {
+            b.iter(|| conv2d_im2col(input, weight, None, *cfg).unwrap())
+        });
+    }
+    // Depthwise: the specialised kernel vs grouped im2col.
+    let dw_input = Tensor::from_fn([1, 96, 16, 16], |i| ((i % 97) as f32) * 0.01);
+    let dw_weight = Tensor::from_fn([96, 1, 3, 3], |i| ((i % 89) as f32 - 44.0) * 0.001);
+    let dw_cfg = Conv2dCfg::same(1).with_groups(96);
+    g.bench_function("depthwise_specialised", |b| {
+        b.iter(|| conv2d(&dw_input, &dw_weight, None, dw_cfg).unwrap())
+    });
+    g.bench_function("depthwise_im2col", |b| {
+        b.iter(|| conv2d_im2col(&dw_input, &dw_weight, None, dw_cfg).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_conv_paths);
+criterion_main!(benches);

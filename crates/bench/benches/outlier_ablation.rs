@@ -1,0 +1,54 @@
+//! `ablation_outliers`: how the Eq. 5 outlier policy changes the data-aware
+//! plan. Besides timing, the bench prints the planned fault totals per
+//! policy — the quantity DESIGN.md §5 calls out (pinning extra bits at
+//! p = 0.5 multiplies the campaign cost).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sfi_core::plan::plan_data_aware;
+use sfi_faultsim::population::FaultSpace;
+use sfi_nn::resnet::ResNetConfig;
+use sfi_stats::bit_analysis::{DataAwareConfig, OutlierPolicy, WeightBitAnalysis};
+use sfi_stats::sample_size::SampleSpec;
+
+fn policies() -> Vec<(&'static str, DataAwareConfig)> {
+    let base = DataAwareConfig::paper_default();
+    vec![
+        ("none", DataAwareConfig { outlier: OutlierPolicy::None, ..base }),
+        ("top1", DataAwareConfig { outlier: OutlierPolicy::TopK(1), ..base }),
+        ("top3", DataAwareConfig { outlier: OutlierPolicy::TopK(3), ..base }),
+        ("tukey15", DataAwareConfig { outlier: OutlierPolicy::Tukey { k: 1.5 }, ..base }),
+    ]
+}
+
+fn bench_outlier_policies(c: &mut Criterion) {
+    let model = ResNetConfig::resnet20().build_seeded(1).unwrap();
+    let space = FaultSpace::stuck_at(&model);
+    let spec = SampleSpec::paper_default();
+    let analysis = WeightBitAnalysis::from_weights(model.store().all_weights()).unwrap();
+
+    // Report the campaign-cost consequence of each policy once.
+    println!("\nablation_outliers: planned data-aware faults per policy (ResNet-20)");
+    for (name, cfg) in policies() {
+        let plan = plan_data_aware(&space, &analysis, &spec, &cfg).unwrap();
+        println!(
+            "  {name:8} -> {:>9} faults ({:.2}% of population)",
+            plan.total_sample(),
+            plan.injected_percent()
+        );
+    }
+
+    let mut g = c.benchmark_group("ablation_outliers");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    for (name, cfg) in policies() {
+        g.bench_with_input(BenchmarkId::new("plan", name), &cfg, |b, cfg| {
+            b.iter(|| plan_data_aware(&space, &analysis, &spec, cfg).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_outlier_policies);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Benchmarks of the sample-size planning pipeline (paper Tables I/II):
+//! `table1_sample_plan` covers ResNet-20, `table2_sample_plan` MobileNetV2.
+//! Planning is pure arithmetic plus (for data-aware) a single pass over all
+//! weights, so even the 2.2M-weight MobileNetV2 plans in milliseconds —
+//! the point being that *deciding* what to inject is free compared with
+//! injecting.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sfi_core::plan::{plan_data_aware, plan_data_unaware, plan_layer_wise, plan_network_wise};
+use sfi_faultsim::population::FaultSpace;
+use sfi_nn::mobilenet::MobileNetV2Config;
+use sfi_nn::resnet::ResNetConfig;
+use sfi_stats::bit_analysis::{DataAwareConfig, WeightBitAnalysis};
+use sfi_stats::sample_size::{sample_size, SampleSpec};
+
+fn bench_table1(c: &mut Criterion) {
+    let model = ResNetConfig::resnet20().build_seeded(1).unwrap();
+    let space = FaultSpace::stuck_at(&model);
+    let spec = SampleSpec::paper_default();
+    let analysis = WeightBitAnalysis::from_weights(model.store().all_weights()).unwrap();
+
+    let mut g = c.benchmark_group("table1_sample_plan");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+    g.bench_function("network_wise", |b| {
+        b.iter(|| plan_network_wise(std::hint::black_box(&space), &spec))
+    });
+    g.bench_function("layer_wise", |b| {
+        b.iter(|| plan_layer_wise(std::hint::black_box(&space), &spec))
+    });
+    g.bench_function("data_unaware", |b| {
+        b.iter(|| plan_data_unaware(std::hint::black_box(&space), &spec))
+    });
+    g.bench_function("data_aware_plan_only", |b| {
+        b.iter(|| {
+            plan_data_aware(
+                std::hint::black_box(&space),
+                &analysis,
+                &spec,
+                &DataAwareConfig::paper_default(),
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("weight_bit_analysis_268k", |b| {
+        b.iter(|| WeightBitAnalysis::from_weights(model.store().all_weights()).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let model = MobileNetV2Config::cifar().build_seeded(1).unwrap();
+    let space = FaultSpace::stuck_at(&model);
+    let spec = SampleSpec::paper_default();
+
+    let mut g = c.benchmark_group("table2_sample_plan");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    g.bench_function("data_unaware_54_layers", |b| {
+        b.iter(|| plan_data_unaware(std::hint::black_box(&space), &spec))
+    });
+    g.bench_function("weight_bit_analysis_2m2", |b| {
+        b.iter(|| WeightBitAnalysis::from_weights(model.store().all_weights()).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_sample_size_formula(c: &mut Criterion) {
+    let spec = SampleSpec::paper_default();
+    c.bench_function("eq1_sample_size", |b| {
+        b.iter(|| sample_size(std::hint::black_box(141_029_376), &spec))
+    });
+}
+
+criterion_group!(benches, bench_table1, bench_table2, bench_sample_size_formula);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Regenerates **paper Fig. 4**: the data-aware success probability `p(i)`
+//! per bit position (Eq. 4–5), for both full-size case-study networks.
+//!
+//! Run with: `cargo run --release -p sfi-bench --bin fig4`
+
+use sfi_core::report::ascii_bar;
+use sfi_nn::mobilenet::MobileNetV2Config;
+use sfi_nn::resnet::ResNetConfig;
+use sfi_nn::Model;
+use sfi_stats::bit_analysis::{data_aware_p, DataAwareConfig, WeightBitAnalysis};
+
+fn show(name: &str, model: &Model) {
+    let analysis = WeightBitAnalysis::from_weights(model.store().all_weights())
+        .expect("model has weights");
+    let p = data_aware_p(&analysis, &DataAwareConfig::paper_default())
+        .expect("valid data-aware config");
+    println!("p(i) for {name}:");
+    println!();
+    println!("bit  p(i)");
+    for bit in (0..32).rev() {
+        println!("{bit:3}  {:8.5}  {}", p[bit], ascii_bar(p[bit], 0.5, 40));
+    }
+    println!();
+}
+
+fn main() {
+    println!("Fig. 4 — data-aware SFI: p per bit position (Eq. 5)");
+    println!();
+    let resnet = ResNetConfig::resnet20().build_seeded(1).expect("resnet-20 builds");
+    show("ResNet-20", &resnet);
+    let mobilenet = MobileNetV2Config::cifar().build_seeded(1).expect("mobilenetv2 builds");
+    show("MobileNetV2", &mobilenet);
+    println!("expected shape (matches the paper): the exponent MSB carries maximal");
+    println!("criticality p = 0.5; every other bit collapses towards the floor, so");
+    println!("the per-bit samples of Eq. 3 shrink by orders of magnitude.");
+}

@@ -1,0 +1,75 @@
+//! Regenerates **paper Fig. 6**: the layer-0 deep dive — ten independent
+//! random samples (S0–S9) per SFI scheme, each with its critical-%% estimate
+//! and error margin, against the layer's exhaustive rate.
+//!
+//! Run with: `cargo run --release -p sfi-bench --bin fig6 [-- --scale smoke|full]`
+
+use sfi_bench::{resnet20_setup, Scale};
+use sfi_core::execute::execute_plan;
+use sfi_core::exhaustive::exhaustive_layer;
+use sfi_core::plan::{
+    plan_data_aware, plan_data_unaware, plan_layer_wise, plan_network_wise, SfiPlan,
+};
+use sfi_core::report::group_digits;
+use sfi_faultsim::campaign::CampaignConfig;
+use sfi_faultsim::golden::GoldenReference;
+use sfi_faultsim::population::FaultSpace;
+use sfi_stats::bit_analysis::{DataAwareConfig, WeightBitAnalysis};
+use sfi_stats::confidence::Confidence;
+
+const SAMPLES: u64 = 10;
+
+fn main() {
+    let setup = resnet20_setup(Scale::from_args());
+    let (model, data, spec) = (&setup.model, &setup.data, &setup.spec);
+    let golden = GoldenReference::build(model, data).expect("golden reference builds");
+    let space = FaultSpace::stuck_at(model);
+    let cfg = CampaignConfig::default();
+
+    let (truth, _) = exhaustive_layer(model, data, &golden, &space, 0, &cfg)
+        .expect("layer-0 exhaustive runs");
+    println!(
+        "Fig. 6 — layer 0 deep dive (N = {}, exhaustive critical rate = {:.3}%)",
+        group_digits(truth.population),
+        truth.proportion() * 100.0
+    );
+
+    let analysis = WeightBitAnalysis::from_weights(model.store().all_weights())
+        .expect("model has weights");
+    let plans: Vec<SfiPlan> = vec![
+        plan_network_wise(&space, spec).restricted_to_layer(0, &space),
+        plan_layer_wise(&space, spec).restricted_to_layer(0, &space),
+        plan_data_unaware(&space, spec).restricted_to_layer(0, &space),
+        plan_data_aware(&space, &analysis, spec, &DataAwareConfig::paper_default())
+            .expect("valid data-aware config")
+            .restricted_to_layer(0, &space),
+    ];
+
+    for plan in plans {
+        println!(
+            "\n{} SFI (n = {} per sample):",
+            plan.scheme(),
+            group_digits(plan.total_sample())
+        );
+        println!("sample  critical %  margin %  truth inside?");
+        let mut hits = 0;
+        for s in 0..SAMPLES {
+            let outcome = execute_plan(model, data, &golden, &plan, 1000 + s, &cfg)
+                .expect("campaign executes");
+            let est = outcome.layer_estimate(0, Confidence::C99).expect("layer sampled");
+            let inside =
+                (est.proportion - truth.proportion()).abs() <= est.error_margin + 1e-12;
+            hits += u32::from(inside);
+            println!(
+                "  S{s}     {:9.3}  {:8.3}  {}",
+                est.proportion * 100.0,
+                est.error_margin * 100.0,
+                if inside { "yes" } else { "NO" }
+            );
+        }
+        println!("truth inside the margin for {hits}/{SAMPLES} samples");
+    }
+    println!("\nexpected shape (matches the paper): the network-wise share is far too");
+    println!("small for a reliable per-layer estimate; layer-wise, data-unaware and");
+    println!("data-aware samples bracket the exhaustive rate with shrinking margins.");
+}

@@ -1,0 +1,159 @@
+//! Shared helpers for the table/figure regeneration binaries and the
+//! Criterion benches.
+//!
+//! Every binary accepts `--scale smoke|default|full` (default: `default`):
+//!
+//! - `smoke` — seconds; used by CI-style sanity runs;
+//! - `default` — a couple of minutes on a laptop core; regenerates every
+//!   table/figure at reduced network width and evaluation-set size
+//!   (see DESIGN.md §2 for why the statistical claims are scale-free);
+//! - `full` — the full-size topologies wherever computationally sane
+//!   (planning/analysis stays full-size everywhere; simulation-backed
+//!   experiments grow their width, image count, and sample budget).
+
+#![forbid(unsafe_code)]
+
+use sfi_dataset::{Dataset, SynthCifarConfig};
+use sfi_nn::resnet::ResNetConfig;
+use sfi_nn::Model;
+use sfi_stats::sample_size::SampleSpec;
+
+/// Experiment scale preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-scale sanity run.
+    Smoke,
+    /// Laptop-scale default.
+    Default,
+    /// Everything the machine can bear.
+    Full,
+}
+
+impl Scale {
+    /// Parses `--scale <value>` from the process arguments.
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        for pair in args.windows(2) {
+            if pair[0] == "--scale" {
+                return match pair[1].as_str() {
+                    "smoke" => Scale::Smoke,
+                    "full" => Scale::Full,
+                    _ => Scale::Default,
+                };
+            }
+        }
+        Scale::Default
+    }
+}
+
+/// A simulation-backed experiment setup: model, evaluation data, spec.
+pub struct Setup {
+    /// The network under test.
+    pub model: Model,
+    /// The evaluation image set.
+    pub data: Dataset,
+    /// The sampling specification.
+    pub spec: SampleSpec,
+}
+
+/// The reduced-scale ResNet used by simulation-backed experiments
+/// (exhaustive ground truth must stay enumerable).
+pub fn resnet_setup(scale: Scale) -> Setup {
+    match scale {
+        Scale::Smoke => Setup {
+            model: ResNetConfig { base_width: 2, blocks_per_stage: 1, classes: 10, input_size: 8 }
+                .build_seeded(42)
+                .expect("valid config"),
+            data: SynthCifarConfig::new().with_size(8).with_samples(2).generate(),
+            spec: SampleSpec { error_margin: 0.05, ..SampleSpec::paper_default() },
+        },
+        Scale::Default => Setup {
+            model: ResNetConfig { base_width: 2, blocks_per_stage: 1, classes: 10, input_size: 16 }
+                .build_seeded(42)
+                .expect("valid config"),
+            data: SynthCifarConfig::new().with_size(16).with_samples(4).generate(),
+            spec: SampleSpec { error_margin: 0.025, ..SampleSpec::paper_default() },
+        },
+        Scale::Full => Setup {
+            model: ResNetConfig::resnet20_micro().build_seeded(42).expect("valid config"),
+            data: SynthCifarConfig::new().with_size(16).with_samples(8).generate(),
+            spec: SampleSpec { error_margin: 0.02, ..SampleSpec::paper_default() },
+        },
+    }
+}
+
+/// The reduced-scale 20-layer ResNet-20 used by the per-layer figures
+/// (Figs. 5 and 6 need the full 20-layer structure).
+pub fn resnet20_setup(scale: Scale) -> Setup {
+    match scale {
+        Scale::Smoke => Setup {
+            model: ResNetConfig::resnet20_micro()
+                .with_input_size(8)
+                .build_seeded(42)
+                .expect("valid config"),
+            data: SynthCifarConfig::new().with_size(8).with_samples(2).generate(),
+            spec: SampleSpec { error_margin: 0.05, ..SampleSpec::paper_default() },
+        },
+        Scale::Default => Setup {
+            model: ResNetConfig::resnet20_micro().build_seeded(42).expect("valid config"),
+            data: SynthCifarConfig::new().with_size(16).with_samples(4).generate(),
+            spec: SampleSpec { error_margin: 0.025, ..SampleSpec::paper_default() },
+        },
+        Scale::Full => Setup {
+            model: ResNetConfig::resnet20()
+                .with_width(4)
+                .build_seeded(42)
+                .expect("valid config"),
+            data: SynthCifarConfig::new().with_samples(8).generate(),
+            spec: SampleSpec { error_margin: 0.02, ..SampleSpec::paper_default() },
+        },
+    }
+}
+
+/// The reduced-scale MobileNetV2 for Fig. 7 / Table III's second half.
+pub fn mobilenet_setup(scale: Scale) -> Setup {
+    use sfi_nn::mobilenet::MobileNetV2Config;
+    match scale {
+        Scale::Smoke => Setup {
+            model: MobileNetV2Config::cifar_micro()
+                .with_width(0.05)
+                .with_input_size(8)
+                .build_seeded(42)
+                .expect("valid config"),
+            data: SynthCifarConfig::new().with_size(8).with_samples(2).generate(),
+            spec: SampleSpec { error_margin: 0.05, ..SampleSpec::paper_default() },
+        },
+        Scale::Default => Setup {
+            model: MobileNetV2Config::cifar_micro()
+                .with_width(0.05)
+                .with_input_size(16)
+                .build_seeded(42)
+                .expect("valid config"),
+            data: SynthCifarConfig::new().with_size(16).with_samples(2).generate(),
+            spec: SampleSpec { error_margin: 0.025, ..SampleSpec::paper_default() },
+        },
+        Scale::Full => Setup {
+            model: MobileNetV2Config::cifar_micro().build_seeded(42).expect("valid config"),
+            data: SynthCifarConfig::new().with_size(16).with_samples(4).generate(),
+            spec: SampleSpec { error_margin: 0.02, ..SampleSpec::paper_default() },
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setups_build() {
+        for scale in [Scale::Smoke, Scale::Default] {
+            let s = resnet_setup(scale);
+            assert!(!s.data.is_empty());
+            assert!(s.model.store().total_weights() > 0);
+            let s = resnet20_setup(scale);
+            assert_eq!(s.model.weight_layers().len(), 20);
+            let s = mobilenet_setup(scale);
+            assert_eq!(s.model.weight_layers().len(), 54);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+use std::fmt;
+
+use sfi_faultsim::FaultSimError;
+use sfi_stats::StatsError;
+
+/// Error type for SFI planning, execution, and validation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SfiError {
+    /// A statistical computation failed (invalid spec, oversample, …).
+    Stats(StatsError),
+    /// Fault enumeration, injection, or inference failed.
+    FaultSim(FaultSimError),
+    /// A plan referenced a model it does not fit (layer counts differ).
+    PlanMismatch {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// An experiment configuration was internally inconsistent.
+    InvalidExperiment {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SfiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SfiError::Stats(e) => write!(f, "statistics error: {e}"),
+            SfiError::FaultSim(e) => write!(f, "fault simulation error: {e}"),
+            SfiError::PlanMismatch { reason } => write!(f, "plan mismatch: {reason}"),
+            SfiError::InvalidExperiment { reason } => write!(f, "invalid experiment: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SfiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SfiError::Stats(e) => Some(e),
+            SfiError::FaultSim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for SfiError {
+    fn from(e: StatsError) -> Self {
+        SfiError::Stats(e)
+    }
+}
+
+impl From<FaultSimError> for SfiError {
+    fn from(e: FaultSimError) -> Self {
+        SfiError::FaultSim(e)
+    }
+}
+
+impl From<sfi_nn::NnError> for SfiError {
+    fn from(e: sfi_nn::NnError) -> Self {
+        SfiError::FaultSim(FaultSimError::Nn(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SfiError>();
+    }
+
+    #[test]
+    fn conversions_preserve_sources() {
+        use std::error::Error;
+        let e: SfiError = StatsError::EmptyInput { op: "x" }.into();
+        assert!(e.source().is_some());
+        let e: SfiError = FaultSimError::EmptyEvalSet.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,391 @@
+//! Executing an [`SfiPlan`]: sampling, injecting, classifying, estimating.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use sfi_dataset::Dataset;
+use sfi_faultsim::campaign::{
+    run_campaign_with, CampaignConfig, Corruption, FaultClass, Ieee754Corruption,
+};
+use sfi_faultsim::golden::GoldenReference;
+use sfi_faultsim::population::{FaultSpace, Subpopulation};
+use sfi_nn::Model;
+use sfi_stats::confidence::Confidence;
+use sfi_stats::estimate::{stratified_estimate, StratifiedEstimate, StratumResult};
+use sfi_stats::sampling::sample_without_replacement;
+
+use crate::plan::{SchemeKind, SfiPlan, Stratum};
+use crate::SfiError;
+
+/// Per-stratum outcome: the plan entry plus the observed tallies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StratumOutcome {
+    /// The planned stratum.
+    pub stratum: Stratum,
+    /// Observed sample / success counts (population repeated for estimator
+    /// convenience).
+    pub result: StratumResult,
+}
+
+/// Tally of one layer's share of a campaign (used for per-layer estimates
+/// of schemes that do not stratify by layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LayerTally {
+    /// Weight layer index.
+    pub layer: usize,
+    /// Faults of this layer that were injected.
+    pub sample: u64,
+    /// Of those, how many were critical.
+    pub successes: u64,
+}
+
+/// Complete outcome of executing an SFI plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SfiOutcome {
+    scheme: SchemeKind,
+    strata: Vec<StratumOutcome>,
+    layer_tallies: Vec<LayerTally>,
+    layer_populations: Vec<u64>,
+    injections: u64,
+    inferences: u64,
+    elapsed: Duration,
+}
+
+impl SfiOutcome {
+    /// The scheme that was executed.
+    pub fn scheme(&self) -> SchemeKind {
+        self.scheme
+    }
+
+    /// Per-stratum outcomes, in plan order.
+    pub fn strata(&self) -> &[StratumOutcome] {
+        &self.strata
+    }
+
+    /// Total faults injected.
+    pub fn injections(&self) -> u64 {
+        self.injections
+    }
+
+    /// Total single-image inferences executed.
+    pub fn inferences(&self) -> u64 {
+        self.inferences
+    }
+
+    /// Wall-clock duration of the execution.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// Whole-network critical-rate estimate.
+    ///
+    /// For stratified schemes this is the weighted stratified estimator;
+    /// for the network-wise scheme it is the plain proportion estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the outcome holds no strata.
+    pub fn network_estimate(&self, confidence: Confidence) -> Result<StratifiedEstimate, SfiError> {
+        let results: Vec<StratumResult> = self.strata.iter().map(|s| s.result).collect();
+        Ok(stratified_estimate(&results, confidence)?)
+    }
+
+    /// Critical-rate estimate for one weight layer.
+    ///
+    /// - Layer-stratified schemes (layer-wise, data-unaware, data-aware)
+    ///   combine the layer's strata with the stratified estimator.
+    /// - The network-wise scheme falls back to treating the faults that
+    ///   happened to land in the layer as a simple random sample of it —
+    ///   statistically shaky by design; the paper's Fig. 7 uses exactly
+    ///   this construction to show how wide the resulting margins are.
+    ///
+    /// Returns `None` when the layer received no strata and no faults.
+    pub fn layer_estimate(
+        &self,
+        layer: usize,
+        confidence: Confidence,
+    ) -> Option<StratifiedEstimate> {
+        let results: Vec<StratumResult> = self
+            .strata
+            .iter()
+            .filter(|s| s.stratum.layer == Some(layer))
+            .map(|s| s.result)
+            .collect();
+        if !results.is_empty() {
+            return stratified_estimate(&results, confidence).ok();
+        }
+        // Network-wise fallback: per-layer tally with the layer population.
+        let tally = self.layer_tallies.iter().find(|t| t.layer == layer)?;
+        let population = *self.layer_populations.get(layer)?;
+        let result = StratumResult {
+            population,
+            sample: tally.sample,
+            successes: tally.successes,
+        };
+        stratified_estimate(&[result], confidence).ok()
+    }
+
+    /// Per-layer raw tallies (every scheme records them).
+    pub fn layer_tallies(&self) -> &[LayerTally] {
+        &self.layer_tallies
+    }
+}
+
+/// Executes `plan` against `model` on `data`.
+///
+/// Sampling is deterministic in `seed` (each stratum derives an independent
+/// sub-seed), so outcomes are reproducible and different samples `S0..S9`
+/// (paper Fig. 6) are obtained by varying `seed`.
+///
+/// # Errors
+///
+/// Returns an error when the plan does not fit the model's fault space,
+/// sampling fails, or the underlying campaign fails.
+///
+/// # Example
+///
+/// ```
+/// use sfi_core::execute::execute_plan;
+/// use sfi_core::plan::plan_layer_wise;
+/// use sfi_dataset::SynthCifarConfig;
+/// use sfi_faultsim::campaign::CampaignConfig;
+/// use sfi_faultsim::golden::GoldenReference;
+/// use sfi_faultsim::population::FaultSpace;
+/// use sfi_nn::resnet::ResNetConfig;
+/// use sfi_stats::confidence::Confidence;
+/// use sfi_stats::sample_size::SampleSpec;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let model = ResNetConfig::resnet20_micro().build_seeded(1)?;
+/// let data = SynthCifarConfig::new().with_size(16).with_samples(2).generate();
+/// let golden = GoldenReference::build(&model, &data)?;
+/// let space = FaultSpace::stuck_at(&model);
+/// // A deliberately loose spec to keep the doctest fast.
+/// let spec = SampleSpec { error_margin: 0.2, ..SampleSpec::paper_default() };
+/// let plan = plan_layer_wise(&space, &spec);
+/// let outcome = execute_plan(&model, &data, &golden, &plan, 7, &CampaignConfig::default())?;
+/// let est = outcome.network_estimate(Confidence::C99)?;
+/// assert!((0.0..=1.0).contains(&est.proportion));
+/// # Ok(())
+/// # }
+/// ```
+pub fn execute_plan(
+    model: &Model,
+    data: &Dataset,
+    golden: &GoldenReference,
+    plan: &SfiPlan,
+    seed: u64,
+    campaign_cfg: &CampaignConfig,
+) -> Result<SfiOutcome, SfiError> {
+    let space = FaultSpace::stuck_at(model);
+    execute_plan_in_space(model, data, golden, plan, &space, seed, campaign_cfg, &Ieee754Corruption)
+}
+
+/// Executes `plan` against an explicit fault space with a custom
+/// [`Corruption`] model.
+///
+/// This is the entry point for reduced-precision representations: the space
+/// carries the format's bit width (`FaultSpace::with_bits`) and the
+/// corruption strikes the encoded weight (see the `sfi-repr` crate).
+///
+/// # Errors
+///
+/// Same conditions as [`execute_plan`].
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan_in_space<C: Corruption>(
+    model: &Model,
+    data: &Dataset,
+    golden: &GoldenReference,
+    plan: &SfiPlan,
+    space: &FaultSpace,
+    seed: u64,
+    campaign_cfg: &CampaignConfig,
+    corruption: &C,
+) -> Result<SfiOutcome, SfiError> {
+    let start = Instant::now();
+    let mut strata = Vec::with_capacity(plan.strata().len());
+    let mut layer_counts: Vec<(u64, u64)> = vec![(0, 0); space.layers()];
+    let mut injections = 0u64;
+    let mut inferences = 0u64;
+    for (idx, stratum) in plan.strata().iter().enumerate() {
+        let subpop = resolve(space, stratum)?;
+        if subpop.size() != stratum.population {
+            return Err(SfiError::PlanMismatch {
+                reason: format!(
+                    "stratum {idx} plans population {} but the model provides {}",
+                    stratum.population,
+                    subpop.size()
+                ),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let indices = sample_without_replacement(subpop.size(), stratum.sample, &mut rng)?;
+        let faults = subpop.faults_at(&indices)?;
+        let result = run_campaign_with(model, data, golden, &faults, campaign_cfg, corruption)?;
+        injections += result.injections;
+        inferences += result.inferences;
+        for (fault, class) in faults.iter().zip(&result.classes) {
+            let entry = &mut layer_counts[fault.site.layer];
+            entry.0 += 1;
+            if class.is_critical() {
+                entry.1 += 1;
+            }
+        }
+        strata.push(StratumOutcome {
+            stratum: *stratum,
+            result: StratumResult {
+                population: stratum.population,
+                sample: result.injections,
+                successes: result.critical(),
+            },
+        });
+    }
+    let layer_tallies = layer_counts
+        .iter()
+        .enumerate()
+        .filter(|(_, (n, _))| *n > 0)
+        .map(|(layer, &(sample, successes))| LayerTally { layer, sample, successes })
+        .collect();
+    let layer_populations = (0..space.layers())
+        .map(|l| space.layer_subpopulation(l).expect("index in range").size())
+        .collect();
+    Ok(SfiOutcome {
+        scheme: plan.scheme(),
+        strata,
+        layer_tallies,
+        layer_populations,
+        injections,
+        inferences,
+        elapsed: start.elapsed(),
+    })
+}
+
+fn resolve(space: &FaultSpace, stratum: &Stratum) -> Result<Subpopulation, SfiError> {
+    Ok(match (stratum.layer, stratum.bit) {
+        (None, _) => space.network_subpopulation(),
+        (Some(l), None) => space.layer_subpopulation(l)?,
+        (Some(l), Some(b)) => space.bit_subpopulation(l, b)?,
+    })
+}
+
+/// Convenience: how a [`FaultClass`] maps to the paper's success notion.
+pub fn is_success(class: FaultClass) -> bool {
+    class.is_critical()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{plan_data_unaware, plan_layer_wise, plan_network_wise};
+    use sfi_dataset::SynthCifarConfig;
+    use sfi_nn::resnet::ResNetConfig;
+    use sfi_stats::sample_size::SampleSpec;
+
+    fn setup() -> (Model, Dataset, GoldenReference, FaultSpace) {
+        let model = ResNetConfig::resnet20_micro().build_seeded(10).unwrap();
+        let data = SynthCifarConfig::new().with_size(16).with_samples(3).generate();
+        let golden = GoldenReference::build(&model, &data).unwrap();
+        let space = FaultSpace::stuck_at(&model);
+        (model, data, golden, space)
+    }
+
+    fn loose_spec() -> SampleSpec {
+        SampleSpec { error_margin: 0.15, ..SampleSpec::paper_default() }
+    }
+
+    #[test]
+    fn layer_wise_outcome_has_per_layer_estimates() {
+        let (model, data, golden, space) = setup();
+        let plan = plan_layer_wise(&space, &loose_spec());
+        let outcome =
+            execute_plan(&model, &data, &golden, &plan, 1, &CampaignConfig::default()).unwrap();
+        assert_eq!(outcome.scheme(), SchemeKind::LayerWise);
+        assert_eq!(outcome.injections(), plan.total_sample());
+        for l in 0..20 {
+            let est = outcome.layer_estimate(l, Confidence::C99).unwrap();
+            assert!((0.0..=1.0).contains(&est.proportion), "layer {l}");
+            assert!(est.error_margin >= 0.0);
+        }
+        let net = outcome.network_estimate(Confidence::C99).unwrap();
+        assert!((0.0..=1.0).contains(&net.proportion));
+    }
+
+    #[test]
+    fn network_wise_outcome_supports_shaky_per_layer_estimates() {
+        let (model, data, golden, space) = setup();
+        let plan = plan_network_wise(&space, &loose_spec());
+        let outcome =
+            execute_plan(&model, &data, &golden, &plan, 2, &CampaignConfig::default()).unwrap();
+        // Big layers certainly received some faults.
+        let est = outcome.layer_estimate(14, Confidence::C99).expect("layer 14 sampled");
+        // The per-layer sample is only the layer's proportional share of
+        // the tiny global sample — far fewer faults than a layer-wise
+        // campaign gives the same layer, which is why the paper calls
+        // per-layer readings of a network-wise SFI statistically invalid.
+        let lw_plan = plan_layer_wise(&space, &loose_spec());
+        let lw = execute_plan(&model, &data, &golden, &lw_plan, 2, &CampaignConfig::default())
+            .unwrap();
+        let lw_est = lw.layer_estimate(14, Confidence::C99).unwrap();
+        assert!(
+            est.sample * 4 < lw_est.sample,
+            "network-wise layer sample {} should be far below layer-wise {}",
+            est.sample,
+            lw_est.sample
+        );
+        // When the tiny sample observes any criticality at all, its margin
+        // is wider than the layer-wise one.
+        if est.successes > 0 && est.successes < est.sample {
+            assert!(est.error_margin > lw_est.error_margin);
+        }
+    }
+
+    #[test]
+    fn execution_is_deterministic_in_seed() {
+        let (model, data, golden, space) = setup();
+        let plan = plan_layer_wise(&space, &loose_spec());
+        let a = execute_plan(&model, &data, &golden, &plan, 5, &CampaignConfig::default()).unwrap();
+        let b = execute_plan(&model, &data, &golden, &plan, 5, &CampaignConfig::default()).unwrap();
+        assert_eq!(a.strata(), b.strata());
+        let c = execute_plan(&model, &data, &golden, &plan, 6, &CampaignConfig::default()).unwrap();
+        // Different seed virtually always gives different tallies somewhere.
+        assert!(a.strata() != c.strata() || a.layer_tallies() != c.layer_tallies());
+    }
+
+    #[test]
+    fn plan_for_wrong_model_is_rejected() {
+        let (model, data, golden, _) = setup();
+        let other = ResNetConfig::resnet20().build().unwrap();
+        let plan = plan_layer_wise(&FaultSpace::stuck_at(&other), &loose_spec());
+        assert!(matches!(
+            execute_plan(&model, &data, &golden, &plan, 0, &CampaignConfig::default()),
+            Err(SfiError::PlanMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn data_unaware_on_one_layer_subset() {
+        // Execute only the bit strata of layer 0 by constructing a pruned
+        // plan — keeps the test fast while exercising bit subpopulations.
+        let (model, data, golden, space) = setup();
+        let full = plan_data_unaware(&space, &loose_spec());
+        let pruned = full.restricted_to_layer(0, &space);
+        let outcome =
+            execute_plan(&model, &data, &golden, &pruned, 3, &CampaignConfig::default()).unwrap();
+        assert_eq!(outcome.strata().len(), 32);
+        let est = outcome.layer_estimate(0, Confidence::C99).unwrap();
+        assert!(est.sample > 0);
+    }
+
+    #[test]
+    fn tallies_sum_to_injections() {
+        let (model, data, golden, space) = setup();
+        let plan = plan_layer_wise(&space, &loose_spec());
+        let outcome =
+            execute_plan(&model, &data, &golden, &plan, 9, &CampaignConfig::default()).unwrap();
+        let tallied: u64 = outcome.layer_tallies().iter().map(|t| t.sample).sum();
+        assert_eq!(tallied, outcome.injections());
+    }
+}

@@ -1,0 +1,57 @@
+//! Statistical fault-injection planning, execution, and validation — the
+//! primary contribution of the DATE 2023 paper, as a library.
+//!
+//! The workflow mirrors the paper's §III–§V:
+//!
+//! 1. **Plan** ([`plan`]): pick one of the four SFI schemes and compute how
+//!    many faults to inject into which subpopulation:
+//!    - *network-wise* (the \[Leveugle 2009\] baseline): one sample over the
+//!      whole fault space — statistically valid only for whole-network
+//!      questions;
+//!    - *layer-wise*: one sample per weight layer;
+//!    - *data-unaware* (paper §III-A): one sample per `(bit, layer)`
+//!      subpopulation at the worst-case `p = 0.5`;
+//!    - *data-aware* (paper §III-B): per-bit `p(i)` derived from the golden
+//!      weight distribution (Eq. 4–5) shrinks the per-subpopulation
+//!      samples.
+//! 2. **Execute** ([`execute`]): draw the planned samples without
+//!    replacement, inject every fault, classify it against the golden
+//!    predictions, and aggregate per-stratum tallies.
+//! 3. **Estimate** ([`execute::SfiOutcome`]): per-layer and whole-network
+//!    critical-fault rates with finite-population-corrected error margins
+//!    (the black bars of paper Figs. 5–7).
+//! 4. **Validate** ([`validation`]): compare against exhaustive campaigns
+//!    ([`exhaustive`]) — does the truth fall inside every margin, and what
+//!    did the campaign cost? This regenerates paper Table III.
+//!
+//! # Example: planning the paper's Table I columns
+//!
+//! ```
+//! use sfi_core::plan::{plan_layer_wise, plan_network_wise};
+//! use sfi_faultsim::population::FaultSpace;
+//! use sfi_nn::resnet::ResNetConfig;
+//! use sfi_stats::sample_size::SampleSpec;
+//!
+//! let model = ResNetConfig::resnet20().build().unwrap();
+//! let space = FaultSpace::stuck_at(&model);
+//! let spec = SampleSpec::paper_default();
+//! // Layer-wise SFI on layer 0: paper Table I says 10,389 faults.
+//! let plan = plan_layer_wise(&space, &spec);
+//! assert_eq!(plan.strata()[0].sample, 10_389);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod adaptive;
+pub mod bits;
+pub mod execute;
+pub mod exhaustive;
+pub mod hardening;
+pub mod plan;
+pub mod report;
+pub mod validation;
+
+pub use error::SfiError;

@@ -1,0 +1,554 @@
+//! The four SFI planning schemes: how many faults to inject, where.
+
+use serde::{Deserialize, Serialize};
+
+use sfi_faultsim::population::FaultSpace;
+use sfi_stats::bit_analysis::{data_aware_p, DataAwareConfig, WeightBitAnalysis};
+use sfi_stats::sample_size::{sample_size, SampleSpec};
+
+use crate::SfiError;
+
+/// Which of the paper's four SFI schemes produced a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemeKind {
+    /// One sample over the whole fault space (\[Leveugle 2009\]).
+    NetworkWise,
+    /// One sample per weight layer.
+    LayerWise,
+    /// One sample per `(bit, layer)` subpopulation at `p = 0.5`.
+    DataUnaware,
+    /// One sample per `(bit, layer)` subpopulation at the data-derived
+    /// `p(i)` of paper Eq. 5.
+    DataAware,
+    /// A single total budget Neyman-allocated across the `(bit, layer)`
+    /// subpopulations — optimal for the *combined* estimate (extension
+    /// beyond the paper; see `sfi_stats::allocation`).
+    Neyman,
+}
+
+impl std::fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemeKind::NetworkWise => write!(f, "network-wise"),
+            SchemeKind::LayerWise => write!(f, "layer-wise"),
+            SchemeKind::DataUnaware => write!(f, "data-unaware"),
+            SchemeKind::DataAware => write!(f, "data-aware"),
+            SchemeKind::Neyman => write!(f, "neyman"),
+        }
+    }
+}
+
+/// One planned sampling unit: a subpopulation, its assumed success
+/// probability, and the Eq. 1/3 sample size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stratum {
+    /// Weight layer, or `None` for the whole network.
+    pub layer: Option<usize>,
+    /// Bit position within the layer, or `None` for all bits.
+    pub bit: Option<u8>,
+    /// Subpopulation size `N`.
+    pub population: u64,
+    /// Planned success probability `p` (0.5 unless data-aware).
+    pub p: f64,
+    /// Planned sample size `n`.
+    pub sample: u64,
+}
+
+/// A complete SFI plan: the scheme, the base specification, and every
+/// stratum with its sample size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SfiPlan {
+    scheme: SchemeKind,
+    spec: SampleSpec,
+    strata: Vec<Stratum>,
+}
+
+impl SfiPlan {
+    /// The scheme that produced this plan.
+    pub fn scheme(&self) -> SchemeKind {
+        self.scheme
+    }
+
+    /// The base sampling specification (error margin, confidence).
+    pub fn spec(&self) -> &SampleSpec {
+        &self.spec
+    }
+
+    /// The planned strata.
+    pub fn strata(&self) -> &[Stratum] {
+        &self.strata
+    }
+
+    /// Total planned injections `n_TOT` (paper Eq. 3).
+    pub fn total_sample(&self) -> u64 {
+        self.strata.iter().map(|s| s.sample).sum()
+    }
+
+    /// Total population covered by the plan.
+    pub fn total_population(&self) -> u64 {
+        self.strata.iter().map(|s| s.population).sum()
+    }
+
+    /// Planned injections for one layer (`None` strata excluded).
+    pub fn layer_sample(&self, layer: usize) -> u64 {
+        self.strata
+            .iter()
+            .filter(|s| s.layer == Some(layer))
+            .map(|s| s.sample)
+            .sum()
+    }
+
+    /// Fraction of the population the plan injects, in percent.
+    pub fn injected_percent(&self) -> f64 {
+        if self.total_population() == 0 {
+            0.0
+        } else {
+            self.total_sample() as f64 / self.total_population() as f64 * 100.0
+        }
+    }
+
+    /// Restricts the plan to a single weight layer — the construction
+    /// behind the paper's Fig. 6 (layer-0 deep dive) and the per-layer
+    /// columns of Table I.
+    ///
+    /// Layer-stratified schemes keep only the strata of `layer`. The
+    /// network-wise scheme has no layer strata, so its single global
+    /// stratum is replaced by the layer's *proportional share* of the
+    /// global sample (`n · N_l / N`, rounded) — exactly how Table I's
+    /// network-wise column attributes 27 of its 16,625 faults to layer 0.
+    pub fn restricted_to_layer(&self, layer: usize, space: &FaultSpace) -> SfiPlan {
+        match self.scheme {
+            SchemeKind::NetworkWise => {
+                let global = &self.strata[0];
+                let layer_pop = space
+                    .layer_subpopulation(layer)
+                    .map(|s| s.size())
+                    .unwrap_or(0);
+                let share = if global.population == 0 {
+                    0
+                } else {
+                    ((global.sample as f64) * layer_pop as f64 / global.population as f64)
+                        .round() as u64
+                };
+                SfiPlan {
+                    scheme: self.scheme,
+                    spec: self.spec,
+                    strata: vec![Stratum {
+                        layer: Some(layer),
+                        bit: None,
+                        population: layer_pop,
+                        p: global.p,
+                        sample: share.min(layer_pop),
+                    }],
+                }
+            }
+            _ => SfiPlan {
+                scheme: self.scheme,
+                spec: self.spec,
+                strata: self
+                    .strata
+                    .iter()
+                    .copied()
+                    .filter(|s| s.layer == Some(layer))
+                    .collect(),
+            },
+        }
+    }
+}
+
+/// Plans a network-wise SFI: one stratum covering the whole fault space.
+///
+/// This is the scheme of \[Leveugle et al., DATE 2009\]; the paper
+/// demonstrates it is *invalid* for per-layer or per-bit questions (§II-A).
+///
+/// # Example
+///
+/// ```
+/// use sfi_core::plan::plan_network_wise;
+/// use sfi_faultsim::population::FaultSpace;
+/// use sfi_stats::sample_size::SampleSpec;
+///
+/// // Paper Table II: MobileNetV2's 141M-fault space needs 16,639 faults.
+/// let space = FaultSpace::from_layer_weights(vec![2_203_584]);
+/// let plan = plan_network_wise(&space, &SampleSpec::paper_default());
+/// assert_eq!(plan.total_sample(), 16_639);
+/// ```
+pub fn plan_network_wise(space: &FaultSpace, spec: &SampleSpec) -> SfiPlan {
+    let population = space.total();
+    let stratum = Stratum {
+        layer: None,
+        bit: None,
+        population,
+        p: spec.p,
+        sample: sample_size(population, spec),
+    };
+    SfiPlan { scheme: SchemeKind::NetworkWise, spec: *spec, strata: vec![stratum] }
+}
+
+/// Plans a layer-wise SFI: one stratum per weight layer.
+pub fn plan_layer_wise(space: &FaultSpace, spec: &SampleSpec) -> SfiPlan {
+    let strata = (0..space.layers())
+        .map(|l| {
+            let population = space
+                .layer_subpopulation(l)
+                .expect("layer index comes from the space itself")
+                .size();
+            Stratum {
+                layer: Some(l),
+                bit: None,
+                population,
+                p: spec.p,
+                sample: sample_size(population, spec),
+            }
+        })
+        .collect();
+    SfiPlan { scheme: SchemeKind::LayerWise, spec: *spec, strata }
+}
+
+/// Plans a data-unaware SFI (paper §III-A): one stratum per `(layer, bit)`
+/// subpopulation, all at the worst-case `p` of `spec` (0.5 by default).
+///
+/// The bit strata follow the fault space's bit width, so reduced-precision
+/// spaces (`FaultSpace::with_bits`) plan fewer subpopulations per layer.
+pub fn plan_data_unaware(space: &FaultSpace, spec: &SampleSpec) -> SfiPlan {
+    let strata = bit_strata(space, |_| spec.p, spec);
+    SfiPlan { scheme: SchemeKind::DataUnaware, spec: *spec, strata }
+}
+
+/// Plans a data-aware SFI (paper §III-B): per-bit `p(i)` is derived from
+/// the golden weight distribution via Eq. 4–5 and shrinks the samples of
+/// low-criticality bits.
+///
+/// `analysis` must cover the same weights the fault space enumerates
+/// (typically [`WeightBitAnalysis::from_weights`] over
+/// `model.store().all_weights()`).
+///
+/// # Errors
+///
+/// Returns an error when `cfg` fails validation.
+pub fn plan_data_aware(
+    space: &FaultSpace,
+    analysis: &WeightBitAnalysis,
+    spec: &SampleSpec,
+    cfg: &DataAwareConfig,
+) -> Result<SfiPlan, SfiError> {
+    let p = data_aware_p(analysis, cfg)?;
+    plan_data_aware_with_p(space, &p, spec)
+}
+
+/// Plans a data-aware SFI from an explicit per-bit probability vector.
+///
+/// This is the entry point for non-IEEE-754 data representations (the
+/// `sfi-repr` crate computes `p` for FP16 / bfloat16 / fixed-point weight
+/// encodings and plans over a `FaultSpace::with_bits` space).
+///
+/// # Errors
+///
+/// Returns [`SfiError::PlanMismatch`] when `p` is shorter than the space's
+/// bit width or contains values outside `[0, 1]`.
+pub fn plan_data_aware_with_p(
+    space: &FaultSpace,
+    p: &[f64],
+    spec: &SampleSpec,
+) -> Result<SfiPlan, SfiError> {
+    let bits = space.bits() as usize;
+    if p.len() < bits {
+        return Err(SfiError::PlanMismatch {
+            reason: format!("p vector has {} entries, space needs {bits}", p.len()),
+        });
+    }
+    if p[..bits].iter().any(|v| !v.is_finite() || !(0.0..=1.0).contains(v)) {
+        return Err(SfiError::PlanMismatch {
+            reason: "p entries must lie in [0, 1]".into(),
+        });
+    }
+    let strata = bit_strata(space, |bit| p[bit as usize], spec);
+    Ok(SfiPlan { scheme: SchemeKind::DataAware, spec: *spec, strata })
+}
+
+/// Plans a Neyman-allocated SFI: the smallest single budget whose optimal
+/// allocation bounds the *whole-network* stratified margin by
+/// `spec.error_margin`, split across the `(layer, bit)` subpopulations by
+/// `n_h ∝ N_h·√(p_h(1−p_h))` with the data-aware priors `p`.
+///
+/// Compared with [`plan_data_aware`] (which bounds every *per-stratum*
+/// margin), this scheme answers only the network-level question — with far
+/// fewer injections. It is the survey-statistics completion of the paper's
+/// machinery; see `sfi_stats::allocation`.
+///
+/// # Errors
+///
+/// Returns [`SfiError::PlanMismatch`] for a short or out-of-range `p`
+/// vector, or a stats error from the allocation itself.
+pub fn plan_neyman(
+    space: &FaultSpace,
+    p: &[f64],
+    spec: &SampleSpec,
+) -> Result<SfiPlan, SfiError> {
+    use sfi_stats::allocation::{neyman_allocation, required_total_neyman, StratumSpec};
+    let bits = space.bits() as usize;
+    if p.len() < bits {
+        return Err(SfiError::PlanMismatch {
+            reason: format!("p vector has {} entries, space needs {bits}", p.len()),
+        });
+    }
+    if p[..bits].iter().any(|v| !v.is_finite() || !(0.0..=1.0).contains(v)) {
+        return Err(SfiError::PlanMismatch { reason: "p entries must lie in [0, 1]".into() });
+    }
+    let mut specs = Vec::with_capacity(space.layers() * bits);
+    let mut coords = Vec::with_capacity(space.layers() * bits);
+    for l in 0..space.layers() {
+        for bit in 0..bits as u8 {
+            let population = space
+                .bit_subpopulation(l, bit)
+                .expect("indices come from the space itself")
+                .size();
+            specs.push(StratumSpec { population, p: p[bit as usize] });
+            coords.push((l, bit));
+        }
+    }
+    let total = required_total_neyman(&specs, spec.error_margin, spec.confidence)?;
+    let alloc = neyman_allocation(&specs, total)?;
+    let strata = coords
+        .into_iter()
+        .zip(&specs)
+        .zip(alloc)
+        .map(|(((layer, bit), s), sample)| Stratum {
+            layer: Some(layer),
+            bit: Some(bit),
+            population: s.population,
+            p: s.p,
+            sample,
+        })
+        .collect();
+    Ok(SfiPlan { scheme: SchemeKind::Neyman, spec: *spec, strata })
+}
+
+fn bit_strata(space: &FaultSpace, p_of_bit: impl Fn(u8) -> f64, spec: &SampleSpec) -> Vec<Stratum> {
+    let bits = space.bits() as usize;
+    let mut strata = Vec::with_capacity(space.layers() * bits);
+    for l in 0..space.layers() {
+        for bit in 0..bits as u8 {
+            let population = space
+                .bit_subpopulation(l, bit)
+                .expect("indices come from the space itself")
+                .size();
+            let p = p_of_bit(bit);
+            let stratum_spec = spec.with_p(p);
+            strata.push(Stratum {
+                layer: Some(l),
+                bit: Some(bit),
+                population,
+                p,
+                sample: sample_size(population, &stratum_spec),
+            });
+        }
+    }
+    strata
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfi_nn::mobilenet::MobileNetV2Config;
+    use sfi_nn::resnet::ResNetConfig;
+
+    fn resnet_space() -> FaultSpace {
+        let model = ResNetConfig::resnet20().build().unwrap();
+        FaultSpace::stuck_at(&model)
+    }
+
+    /// Paper Table I layer counts, with the paper's layer-11 bias quirk
+    /// normalised away (our layer 11 holds 9,216 weights).
+    const LAYER_WISE_N: [u64; 20] = [
+        10_389, 14_954, 14_954, 14_954, 14_954, 14_954, 14_954, 15_752, 16_184, 16_184, 16_184,
+        16_184, 16_184, 16_410, 16_524, 16_524, 16_524, 16_524, 16_524, 11_834,
+    ];
+
+    #[test]
+    fn layer_wise_reproduces_table1() {
+        let plan = plan_layer_wise(&resnet_space(), &SampleSpec::paper_default());
+        assert_eq!(plan.strata().len(), 20);
+        for (s, &expected) in plan.strata().iter().zip(&LAYER_WISE_N) {
+            assert_eq!(s.sample, expected, "layer {:?}", s.layer);
+        }
+    }
+
+    #[test]
+    fn network_wise_reproduces_table1_totals() {
+        // With the paper's 268,346-weight count (their layer 11 includes
+        // the 10 classifier biases) the sample is exactly 16,625.
+        let space = FaultSpace::from_layer_weights(vec![268_346]);
+        let plan = plan_network_wise(&space, &SampleSpec::paper_default());
+        assert_eq!(plan.total_population(), 17_174_144);
+        assert_eq!(plan.total_sample(), 16_625);
+    }
+
+    #[test]
+    fn data_unaware_reproduces_table1() {
+        let plan = plan_data_unaware(&resnet_space(), &SampleSpec::paper_default());
+        assert_eq!(plan.strata().len(), 20 * 32);
+        // Layer 0: 26,272 faults across its 32 bit positions.
+        assert_eq!(plan.layer_sample(0), 26_272);
+        assert_eq!(plan.layer_sample(1), 115_488);
+        assert_eq!(plan.layer_sample(7), 189_792);
+        assert_eq!(plan.layer_sample(13), 366_912);
+        assert_eq!(plan.layer_sample(14), 434_464);
+        assert_eq!(plan.layer_sample(19), 38_048);
+    }
+
+    #[test]
+    fn data_unaware_total_close_to_paper() {
+        // Paper: 4,885,760 (with its 268,346-weight count). Ours differs
+        // only through layer 11's 10 missing biases.
+        let plan = plan_data_unaware(&resnet_space(), &SampleSpec::paper_default());
+        let total = plan.total_sample();
+        assert!(
+            (4_880_000..=4_890_000).contains(&total),
+            "total {total} out of expected band"
+        );
+    }
+
+    #[test]
+    fn mobilenet_network_wise_matches_table2() {
+        let model = MobileNetV2Config::cifar().build().unwrap();
+        let space = FaultSpace::stuck_at(&model);
+        let plan = plan_network_wise(&space, &SampleSpec::paper_default());
+        assert_eq!(plan.total_population(), 141_029_376);
+        assert_eq!(plan.total_sample(), 16_639);
+    }
+
+    #[test]
+    fn data_aware_shrinks_the_data_unaware_plan() {
+        let model = ResNetConfig::resnet20().build_seeded(1).unwrap();
+        let space = FaultSpace::stuck_at(&model);
+        let analysis =
+            WeightBitAnalysis::from_weights(model.store().all_weights()).unwrap();
+        let spec = SampleSpec::paper_default();
+        let unaware = plan_data_unaware(&space, &spec);
+        let aware =
+            plan_data_aware(&space, &analysis, &spec, &DataAwareConfig::paper_default()).unwrap();
+        assert!(aware.total_sample() < unaware.total_sample() / 10);
+        // The paper lands at 207,837 (1.21% of the population) for its
+        // trained weights; He-initialised weights land in the same band.
+        let pct = aware.injected_percent();
+        assert!((0.5..3.0).contains(&pct), "injected {pct}%");
+    }
+
+    #[test]
+    fn data_aware_keeps_outlier_bit_at_worst_case() {
+        let model = ResNetConfig::resnet20_micro().build_seeded(5).unwrap();
+        let space = FaultSpace::stuck_at(&model);
+        let analysis =
+            WeightBitAnalysis::from_weights(model.store().all_weights()).unwrap();
+        let spec = SampleSpec::paper_default();
+        let aware =
+            plan_data_aware(&space, &analysis, &spec, &DataAwareConfig::paper_default()).unwrap();
+        let unaware = plan_data_unaware(&space, &spec);
+        // Bit 30 strata must match the worst-case plan exactly.
+        for (a, u) in aware.strata().iter().zip(unaware.strata()) {
+            if a.bit == Some(30) {
+                assert_eq!(a.sample, u.sample, "layer {:?}", a.layer);
+                assert_eq!(a.p, 0.5);
+            } else {
+                assert!(a.sample <= u.sample);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_accessors_are_consistent() {
+        let plan = plan_layer_wise(&resnet_space(), &SampleSpec::paper_default());
+        assert_eq!(plan.scheme(), SchemeKind::LayerWise);
+        let sum: u64 = (0..20).map(|l| plan.layer_sample(l)).sum();
+        assert_eq!(sum, plan.total_sample());
+        assert_eq!(plan.total_population(), 268_336 * 64);
+        assert!(plan.injected_percent() > 0.0);
+    }
+
+    #[test]
+    fn network_wise_layer_share_reproduces_table1_column() {
+        // Table I network-wise column: layer 0 gets 27 of the 16,625
+        // faults, layer 14 gets 2,284, layer 19 gets 40.
+        let space = FaultSpace::from_layer_weights(vec![
+            432, 2_304, 2_304, 2_304, 2_304, 2_304, 2_304, 4_608, 9_216, 9_216, 9_216, 9_226,
+            9_216, 18_432, 36_864, 36_864, 36_864, 36_864, 36_864, 640,
+        ]);
+        let plan = plan_network_wise(&space, &SampleSpec::paper_default());
+        assert_eq!(plan.total_sample(), 16_625);
+        let expected: [(usize, u64); 6] =
+            [(0, 27), (1, 143), (7, 285), (13, 1_142), (14, 2_284), (19, 40)];
+        for (layer, n) in expected {
+            let restricted = plan.restricted_to_layer(layer, &space);
+            assert_eq!(restricted.total_sample(), n, "layer {layer}");
+        }
+    }
+
+    #[test]
+    fn restricted_plan_keeps_only_requested_layer() {
+        let space = resnet_space();
+        let plan = plan_data_unaware(&space, &SampleSpec::paper_default());
+        let layer5 = plan.restricted_to_layer(5, &space);
+        assert_eq!(layer5.strata().len(), 32);
+        assert!(layer5.strata().iter().all(|s| s.layer == Some(5)));
+        assert_eq!(layer5.total_sample(), plan.layer_sample(5));
+    }
+
+    #[test]
+    fn scheme_kind_display() {
+        assert_eq!(SchemeKind::DataAware.to_string(), "data-aware");
+        assert_eq!(SchemeKind::NetworkWise.to_string(), "network-wise");
+        assert_eq!(SchemeKind::Neyman.to_string(), "neyman");
+    }
+
+    #[test]
+    fn neyman_plan_is_far_cheaper_than_data_aware() {
+        let model = ResNetConfig::resnet20().build_seeded(1).unwrap();
+        let space = FaultSpace::stuck_at(&model);
+        let analysis =
+            WeightBitAnalysis::from_weights(model.store().all_weights()).unwrap();
+        let p = sfi_stats::bit_analysis::data_aware_p(
+            &analysis,
+            &sfi_stats::bit_analysis::DataAwareConfig::paper_default(),
+        )
+        .unwrap();
+        let spec = SampleSpec::paper_default();
+        let aware =
+            plan_data_aware(&space, &analysis, &spec, &Default::default()).unwrap();
+        let neyman = plan_neyman(&space, &p, &spec).unwrap();
+        assert_eq!(neyman.scheme(), SchemeKind::Neyman);
+        assert_eq!(neyman.total_population(), aware.total_population());
+        // Bounding only the combined margin needs an order of magnitude
+        // fewer faults than bounding every subpopulation.
+        assert!(
+            neyman.total_sample() * 5 < aware.total_sample(),
+            "neyman {} vs data-aware {}",
+            neyman.total_sample(),
+            aware.total_sample()
+        );
+        // Allocation concentrates on the worst-case bit 30 strata.
+        let bit30: u64 = neyman
+            .strata()
+            .iter()
+            .filter(|s| s.bit == Some(30))
+            .map(|s| s.sample)
+            .sum();
+        // Bit 30 holds 1/32 of the population but √(pq) weighting hands it
+        // roughly a third of the budget — an order of magnitude more than
+        // its population share.
+        assert!(
+            bit30 * 5 > neyman.total_sample(),
+            "bit 30 should receive a far-above-proportional share: {} of {}",
+            bit30,
+            neyman.total_sample()
+        );
+    }
+
+    #[test]
+    fn neyman_rejects_bad_p() {
+        let space = resnet_space();
+        let spec = SampleSpec::paper_default();
+        assert!(plan_neyman(&space, &[0.5; 8], &spec).is_err());
+        assert!(plan_neyman(&space, &[7.0; 32], &spec).is_err());
+    }
+}

@@ -1,0 +1,282 @@
+//! Plain-text rendering of tables and figure series, used by the
+//! regeneration binaries in `sfi-bench` and by EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+
+/// A simple left/right-aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use sfi_core::report::TextTable;
+///
+/// let mut t = TextTable::new(vec!["Layer".into(), "n".into()]);
+/// t.add_row(vec!["0".into(), "10389".into()]);
+/// let rendered = t.render();
+/// assert!(rendered.contains("Layer"));
+/// assert!(rendered.contains("10389"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        Self { header, rows: Vec::new() }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row length differs from the header length.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table: header, separator, rows — first column
+    /// left-aligned, the rest right-aligned.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |cells: &[String], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if i == 0 {
+                    let _ = write!(out, "{cell:<w$}");
+                } else {
+                    let _ = write!(out, "{cell:>w$}");
+                }
+            }
+            out.push('\n');
+        };
+        emit(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a count with thousands separators (`17174144` → `17,174,144`),
+/// matching the paper's table style.
+pub fn group_digits(value: u64) -> String {
+    let digits = value.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Formats a proportion as a percentage with `decimals` digits.
+pub fn percent(value: f64, decimals: usize) -> String {
+    format!("{:.decimals$}%", value * 100.0)
+}
+
+/// Escapes one CSV field per RFC 4180: fields containing commas, quotes,
+/// or newlines are quoted, embedded quotes doubled.
+pub fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Serialises rows (the first being the header) as an RFC 4180 CSV string —
+/// the export format of campaign outcomes for spreadsheet/pandas analysis.
+///
+/// # Example
+///
+/// ```
+/// use sfi_core::report::to_csv;
+///
+/// let csv = to_csv(&[
+///     vec!["layer".into(), "critical %".into()],
+///     vec!["L0".into(), "4.2".into()],
+/// ]);
+/// assert_eq!(csv, "layer,critical %\nL0,4.2\n");
+/// ```
+pub fn to_csv(rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|f| csv_escape(f)).collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialises an executed outcome's per-layer estimates as CSV
+/// (`layer,population,sample,successes,critical,margin`).
+pub fn outcome_to_csv(
+    outcome: &crate::execute::SfiOutcome,
+    layers: usize,
+    confidence: sfi_stats::confidence::Confidence,
+) -> String {
+    let mut rows = vec![vec![
+        "layer".to_string(),
+        "population".to_string(),
+        "sample".to_string(),
+        "successes".to_string(),
+        "critical_rate".to_string(),
+        "error_margin".to_string(),
+    ]];
+    for layer in 0..layers {
+        if let Some(est) = outcome.layer_estimate(layer, confidence) {
+            rows.push(vec![
+                layer.to_string(),
+                est.population.to_string(),
+                est.sample.to_string(),
+                est.successes.to_string(),
+                format!("{:.6}", est.proportion),
+                format!("{:.6}", est.error_margin),
+            ]);
+        }
+    }
+    to_csv(&rows)
+}
+
+/// Renders an ASCII bar of `width` cells for `value` in `[0, max]` —
+/// used by the figure-regeneration binaries to sketch the paper's charts in
+/// a terminal.
+pub fn ascii_bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || !max.is_finite() || !value.is_finite() || value <= 0.0 {
+        return String::new();
+    }
+    let filled = ((value / max) * width as f64).round() as usize;
+    "#".repeat(filled.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(vec!["name".into(), "value".into()]);
+        t.add_row(vec!["a".into(), "1".into()]);
+        t.add_row(vec!["long-name".into(), "123456".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines have equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[3].starts_with("long-name"));
+        assert!(lines[3].ends_with("123456"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = TextTable::new(vec!["a".into(), "b".into()]);
+        t.add_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn group_digits_inserts_commas() {
+        assert_eq!(group_digits(0), "0");
+        assert_eq!(group_digits(999), "999");
+        assert_eq!(group_digits(1_000), "1,000");
+        assert_eq!(group_digits(17_174_144), "17,174,144");
+        assert_eq!(group_digits(141_029_376), "141,029,376");
+    }
+
+    #[test]
+    fn percent_formats() {
+        assert_eq!(percent(0.0156, 2), "1.56%");
+        assert_eq!(percent(1.0, 0), "100%");
+    }
+
+    #[test]
+    fn ascii_bar_scales() {
+        assert_eq!(ascii_bar(1.0, 1.0, 10).len(), 10);
+        assert_eq!(ascii_bar(0.5, 1.0, 10).len(), 5);
+        assert_eq!(ascii_bar(0.0, 1.0, 10), "");
+        assert_eq!(ascii_bar(2.0, 1.0, 10).len(), 10); // clamped
+        assert_eq!(ascii_bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn csv_escaping_rules() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_escape("line\nbreak"), "\"line\nbreak\"");
+    }
+
+    #[test]
+    fn to_csv_round_trips_simple_rows() {
+        let rows = vec![
+            vec!["a".to_string(), "b".to_string()],
+            vec!["1,5".to_string(), "2".to_string()],
+        ];
+        assert_eq!(to_csv(&rows), "a,b\n\"1,5\",2\n");
+    }
+
+    #[test]
+    fn outcome_csv_has_header_and_rows() {
+        use crate::execute::execute_plan;
+        use crate::plan::plan_layer_wise;
+        use sfi_dataset::SynthCifarConfig;
+        use sfi_faultsim::campaign::CampaignConfig;
+        use sfi_faultsim::golden::GoldenReference;
+        use sfi_faultsim::population::FaultSpace;
+        use sfi_nn::resnet::ResNetConfig;
+        use sfi_stats::confidence::Confidence;
+        use sfi_stats::sample_size::SampleSpec;
+
+        let model =
+            ResNetConfig { base_width: 2, blocks_per_stage: 1, classes: 10, input_size: 8 }
+                .build_seeded(2)
+                .unwrap();
+        let data = SynthCifarConfig::new().with_size(8).with_samples(2).generate();
+        let golden = GoldenReference::build(&model, &data).unwrap();
+        let space = FaultSpace::stuck_at(&model);
+        let spec = SampleSpec { error_margin: 0.25, ..SampleSpec::paper_default() };
+        let plan = plan_layer_wise(&space, &spec);
+        let outcome =
+            execute_plan(&model, &data, &golden, &plan, 1, &CampaignConfig::default()).unwrap();
+        let csv = outcome_to_csv(&outcome, space.layers(), Confidence::C99);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "layer,population,sample,successes,critical_rate,error_margin");
+        assert_eq!(lines.len(), 1 + space.layers());
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let t = TextTable::new(vec!["x".into()]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

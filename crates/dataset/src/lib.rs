@@ -1,0 +1,444 @@
+//! Seeded synthetic CIFAR-10-like dataset ("SynthCifar") and evaluation
+//! helpers.
+//!
+//! The paper evaluates on CIFAR-10, which is not redistributable inside this
+//! repository and — more importantly — is only consumed through one
+//! interface: *images go in, top-1 predictions come out, and a fault is
+//! Critical when the faulty top-1 differs from the golden one*. Any
+//! deterministic image source exercises that interface identically.
+//! SynthCifar generates class-conditional images (a fixed random prototype
+//! per class plus per-sample Gaussian noise), so inputs have CIFAR-like
+//! shape, scale, and per-class structure while being fully reproducible from
+//! a seed. See DESIGN.md §2 for the substitution argument.
+//!
+//! # Example
+//!
+//! ```
+//! use sfi_dataset::{Dataset, SynthCifarConfig};
+//!
+//! let data = SynthCifarConfig::new().with_samples(16).with_seed(7).generate();
+//! assert_eq!(data.len(), 16);
+//! assert_eq!(data.image(0).shape().dims(), &[1, 3, 32, 32]);
+//! assert!(data.label(0) < 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use sfi_nn::Model;
+use sfi_tensor::Tensor;
+
+/// Configuration of the synthetic class-conditional image generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SynthCifarConfig {
+    /// Number of classes (CIFAR-10: 10).
+    pub classes: usize,
+    /// Channels of each image (CIFAR: 3).
+    pub channels: usize,
+    /// Spatial size of each (square) image (CIFAR: 32).
+    pub size: usize,
+    /// Number of images to generate.
+    pub samples: usize,
+    /// Master seed; every image is reproducible from `(seed, index)`.
+    pub seed: u64,
+    /// Standard deviation of the per-sample noise around the class
+    /// prototype. Smaller values make classes easier to separate.
+    pub noise: f32,
+}
+
+impl SynthCifarConfig {
+    /// CIFAR-10-shaped defaults: 10 classes, 3×32×32, 64 samples, seed 0,
+    /// noise 0.25.
+    pub fn new() -> Self {
+        Self { classes: 10, channels: 3, size: 32, samples: 64, seed: 0, noise: 0.25 }
+    }
+
+    /// Returns a copy with a different sample count.
+    pub fn with_samples(mut self, samples: usize) -> Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Returns a copy with a different master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different spatial size.
+    pub fn with_size(mut self, size: usize) -> Self {
+        self.size = size;
+        self
+    }
+
+    /// Returns a copy with a different noise level.
+    pub fn with_noise(mut self, noise: f32) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Generates the dataset.
+    ///
+    /// Labels cycle deterministically through the classes
+    /// (`index % classes`), so every class is represented evenly even in
+    /// small evaluation sets.
+    pub fn generate(&self) -> Dataset {
+        // Class prototypes: smooth per-class random fields in [-1, 1].
+        let proto_len = self.channels * self.size * self.size;
+        let mut proto_rng = StdRng::seed_from_u64(self.seed ^ 0x70726f746f);
+        let prototypes: Vec<Vec<f32>> = (0..self.classes)
+            .map(|_| (0..proto_len).map(|_| proto_rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let mut images = Vec::with_capacity(self.samples);
+        let mut labels = Vec::with_capacity(self.samples);
+        for idx in 0..self.samples {
+            let label = idx % self.classes;
+            let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x9e3779b9) ^ idx as u64);
+            let data: Vec<f32> = prototypes[label]
+                .iter()
+                .map(|&p| p + rng.gen_range(-self.noise..self.noise))
+                .collect();
+            let image = Tensor::from_vec([1, self.channels, self.size, self.size], data)
+                .expect("generated buffer matches its shape");
+            images.push(image);
+            labels.push(label);
+        }
+        Dataset { images, labels, classes: self.classes }
+    }
+}
+
+impl Default for SynthCifarConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An in-memory labelled image set.
+///
+/// Images are stored as single-image batches (`[1, C, H, W]`), the layout
+/// fault campaigns evaluate with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    images: Vec<Tensor>,
+    labels: Vec<usize>,
+    classes: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset from preexisting images and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `images` and `labels` differ in length.
+    pub fn from_parts(images: Vec<Tensor>, labels: Vec<usize>, classes: usize) -> Self {
+        assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+        Self { images, labels, classes }
+    }
+
+    /// Number of images.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Image `idx` as a `[1, C, H, W]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of range.
+    pub fn image(&self, idx: usize) -> &Tensor {
+        &self.images[idx]
+    }
+
+    /// Label of image `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of range.
+    pub fn label(&self, idx: usize) -> usize {
+        self.labels[idx]
+    }
+
+    /// Iterates over `(image, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tensor, usize)> {
+        self.images.iter().zip(self.labels.iter().copied())
+    }
+
+    /// A dataset containing only the first `n` images.
+    pub fn truncated(&self, n: usize) -> Dataset {
+        let n = n.min(self.len());
+        Dataset {
+            images: self.images[..n].to_vec(),
+            labels: self.labels[..n].to_vec(),
+            classes: self.classes,
+        }
+    }
+
+    /// Splits into `(train, test)` by a seeded shuffle; `train_fraction`
+    /// of the images (rounded down, at least one when possible) go to the
+    /// training set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_fraction` is outside `[0, 1]`.
+    pub fn split(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!(
+            (0.0..=1.0).contains(&train_fraction),
+            "train_fraction {train_fraction} outside [0, 1]"
+        );
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x73706c6974);
+        use rand::seq::SliceRandom;
+        order.shuffle(&mut rng);
+        let cut = ((self.len() as f64) * train_fraction) as usize;
+        let pick = |indices: &[usize]| Dataset {
+            images: indices.iter().map(|&i| self.images[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            classes: self.classes,
+        };
+        (pick(&order[..cut]), pick(&order[cut..]))
+    }
+
+    /// Returns the dataset extended with horizontally flipped copies of
+    /// every image — the classic cheap augmentation, deterministic and
+    /// label-preserving.
+    pub fn with_horizontal_flips(&self) -> Dataset {
+        let mut images = self.images.clone();
+        let mut labels = self.labels.clone();
+        for (img, &label) in self.images.iter().zip(&self.labels) {
+            images.push(flip_horizontal(img));
+            labels.push(label);
+        }
+        Dataset { images, labels, classes: self.classes }
+    }
+}
+
+/// Mirrors a `[1, C, H, W]` image along the width axis.
+fn flip_horizontal(image: &Tensor) -> Tensor {
+    let (_c, h, w) = (image.shape().c(), image.shape().h(), image.shape().w());
+    let src = image.as_slice();
+    Tensor::from_fn(image.shape(), |flat| {
+        let ci = flat / (h * w);
+        let rest = flat % (h * w);
+        let hi = rest / w;
+        let wi = rest % w;
+        src[(ci * h + hi) * w + (w - 1 - wi)]
+    })
+}
+
+/// Top-1 accuracy of `model` on `data`, measured against the dataset labels.
+///
+/// # Errors
+///
+/// Propagates the first inference failure.
+///
+/// # Example
+///
+/// ```
+/// use sfi_dataset::{evaluate, SynthCifarConfig};
+/// use sfi_nn::resnet::ResNetConfig;
+///
+/// # fn main() -> Result<(), sfi_nn::NnError> {
+/// let model = ResNetConfig::resnet20_micro().build_seeded(1)?;
+/// let data = SynthCifarConfig::new().with_size(16).with_samples(10).generate();
+/// let acc = evaluate(&model, &data)?;
+/// assert!((0.0..=1.0).contains(&acc.top1()));
+/// # Ok(())
+/// # }
+/// ```
+pub fn evaluate(model: &Model, data: &Dataset) -> Result<Accuracy, sfi_nn::NnError> {
+    let mut correct = 0usize;
+    for (image, label) in data.iter() {
+        let preds = model.predict(image)?;
+        if preds[0] == label {
+            correct += 1;
+        }
+    }
+    Ok(Accuracy { correct, total: data.len() })
+}
+
+/// Golden (fault-free) top-1 predictions of `model` on `data`.
+///
+/// These are the reference outcomes that fault classification compares
+/// against: a fault is *Critical* when it changes the top-1 prediction of
+/// any evaluated image relative to this golden vector.
+///
+/// # Errors
+///
+/// Propagates the first inference failure.
+pub fn golden_predictions(model: &Model, data: &Dataset) -> Result<Vec<usize>, sfi_nn::NnError> {
+    let mut preds = Vec::with_capacity(data.len());
+    for (image, _) in data.iter() {
+        preds.push(model.predict(image)?[0]);
+    }
+    Ok(preds)
+}
+
+/// A top-1 accuracy measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Accuracy {
+    /// Correctly classified images.
+    pub correct: usize,
+    /// Total images evaluated.
+    pub total: usize,
+}
+
+impl Accuracy {
+    /// The accuracy as a fraction in `[0, 1]` (0 for an empty evaluation).
+    pub fn top1(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for Accuracy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{} ({:.2}%)", self.correct, self.total, self.top1() * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfi_nn::resnet::ResNetConfig;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SynthCifarConfig::new().with_samples(8).with_seed(5);
+        assert_eq!(cfg.generate(), cfg.generate());
+        let other = cfg.with_seed(6).generate();
+        assert_ne!(cfg.generate(), other);
+    }
+
+    #[test]
+    fn labels_cycle_through_classes() {
+        let data = SynthCifarConfig::new().with_samples(25).generate();
+        for i in 0..25 {
+            assert_eq!(data.label(i), i % 10);
+        }
+    }
+
+    #[test]
+    fn images_have_requested_shape() {
+        let data = SynthCifarConfig::new().with_size(16).with_samples(3).generate();
+        assert_eq!(data.image(2).shape().dims(), &[1, 3, 16, 16]);
+    }
+
+    #[test]
+    fn same_class_images_are_correlated() {
+        // Two images of class 0 must be closer to each other than to a
+        // class-1 image (prototype structure dominates the noise).
+        let data = SynthCifarConfig::new().with_samples(30).with_noise(0.1).generate();
+        let d_same = data.image(0).max_abs_diff(data.image(10)).unwrap();
+        let d_diff = data.image(0).max_abs_diff(data.image(1)).unwrap();
+        assert!(d_same < d_diff, "same {d_same} vs diff {d_diff}");
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let data = SynthCifarConfig::new().with_samples(12).generate();
+        let t = data.truncated(5);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.image(4), data.image(4));
+        assert_eq!(data.truncated(100).len(), 12);
+    }
+
+    #[test]
+    fn from_parts_validates_lengths() {
+        let imgs = vec![Tensor::zeros([1, 1, 2, 2])];
+        let d = Dataset::from_parts(imgs, vec![0], 2);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_parts_rejects_mismatch() {
+        Dataset::from_parts(vec![Tensor::zeros([1, 1, 2, 2])], vec![0, 1], 2);
+    }
+
+    #[test]
+    fn split_partitions_without_loss() {
+        let data = SynthCifarConfig::new().with_samples(20).generate();
+        let (train, test) = data.split(0.75, 3);
+        assert_eq!(train.len(), 15);
+        assert_eq!(test.len(), 5);
+        assert_eq!(train.classes(), 10);
+        // Determinism.
+        let (train2, _) = data.split(0.75, 3);
+        assert_eq!(train, train2);
+        let (train3, _) = data.split(0.75, 4);
+        assert_ne!(train, train3, "different seeds shuffle differently");
+        // Edge fractions.
+        let (all, none) = data.split(1.0, 0);
+        assert_eq!(all.len(), 20);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn split_rejects_bad_fraction() {
+        SynthCifarConfig::new().with_samples(4).generate().split(1.5, 0);
+    }
+
+    #[test]
+    fn horizontal_flips_double_the_set_and_mirror_pixels() {
+        let data = SynthCifarConfig::new().with_samples(3).with_size(8).generate();
+        let aug = data.with_horizontal_flips();
+        assert_eq!(aug.len(), 6);
+        assert_eq!(aug.label(3), data.label(0));
+        // Pixel (h, w) of the flipped copy equals pixel (h, W-1-w).
+        let original = data.image(0);
+        let flipped = aug.image(3);
+        for h in 0..8 {
+            for w in 0..8 {
+                assert_eq!(
+                    flipped.get([0, 1, h, w]),
+                    original.get([0, 1, h, 7 - w]),
+                    "({h},{w})"
+                );
+            }
+        }
+        // Double flip is the identity.
+        let back = aug.with_horizontal_flips();
+        assert_eq!(back.image(9), data.image(0));
+    }
+
+    #[test]
+    fn evaluate_and_golden_predictions_agree() {
+        let model = ResNetConfig::resnet20_micro().build_seeded(2).unwrap();
+        let data = SynthCifarConfig::new().with_size(16).with_samples(6).generate();
+        let acc = evaluate(&model, &data).unwrap();
+        assert_eq!(acc.total, 6);
+        let golden = golden_predictions(&model, &data).unwrap();
+        assert_eq!(golden.len(), 6);
+        // Golden predictions are self-consistent with evaluate's counting.
+        let correct =
+            golden.iter().enumerate().filter(|&(i, &p)| p == data.label(i)).count();
+        assert_eq!(correct, acc.correct);
+    }
+
+    #[test]
+    fn accuracy_display_and_edge_cases() {
+        let acc = Accuracy { correct: 3, total: 4 };
+        assert_eq!(acc.top1(), 0.75);
+        assert_eq!(acc.to_string(), "3/4 (75.00%)");
+        assert_eq!(Accuracy { correct: 0, total: 0 }.top1(), 0.0);
+    }
+}

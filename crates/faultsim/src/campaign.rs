@@ -1,0 +1,478 @@
+//! The campaign runner: inject → re-infer → classify → revert, over a list
+//! of faults, optionally across worker threads.
+
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use sfi_dataset::Dataset;
+use sfi_nn::Model;
+
+use crate::fault::Fault;
+use crate::golden::GoldenReference;
+use crate::injector::{inject_with, revert};
+use crate::FaultSimError;
+
+/// How a fault corrupts a stored weight.
+///
+/// The default, [`Ieee754Corruption`], applies the fault model directly to
+/// the weight's IEEE-754 bits — the paper's setting. Reduced-precision
+/// representations implement this trait to strike the encoded weight
+/// instead (see the `sfi-repr` crate).
+pub trait Corruption: Sync {
+    /// The faulty value the golden `original` reads as under `fault`.
+    fn corrupt(&self, fault: &Fault, original: f32) -> f32;
+}
+
+/// Direct IEEE-754 single-precision corruption (the paper's fault model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ieee754Corruption;
+
+impl Corruption for Ieee754Corruption {
+    fn corrupt(&self, fault: &Fault, original: f32) -> f32 {
+        fault.apply_to(original)
+    }
+}
+
+/// How a fault's effect on the evaluation set maps to a classification.
+///
+/// The paper classifies faults as Critical or Non-critical "depending on
+/// whether the top-1 prediction is correct"; with the golden predictions as
+/// reference, the natural criterion is whether *any* evaluated image changes
+/// its top-1 class ([`Criterion::AnyMismatch`]). The rate-based variant
+/// generalises this to a tolerance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Criterion {
+    /// Critical iff at least one image's top-1 prediction changes.
+    #[default]
+    AnyMismatch,
+    /// Critical iff the fraction of changed predictions exceeds `threshold`.
+    MismatchRate {
+        /// Fraction of the evaluation set that must change, in `[0, 1]`.
+        threshold: f64,
+    },
+}
+
+
+/// Classification outcome of a single injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultClass {
+    /// The fault changed at least the criterion's share of predictions.
+    Critical,
+    /// The stored bits changed but no (or too few) predictions did.
+    NonCritical,
+    /// The stuck-at value equalled the stored bit: the fault cannot have
+    /// any effect and no inference was run.
+    Masked,
+}
+
+impl FaultClass {
+    /// Whether this class counts as a *success* in the paper's statistics
+    /// (a fault that became a critical failure).
+    pub fn is_critical(&self) -> bool {
+        matches!(self, FaultClass::Critical)
+    }
+}
+
+/// Campaign execution options.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Fault classification criterion.
+    pub criterion: Criterion,
+    /// Reuse golden activation caches and re-run inference only from the
+    /// faulted layer onwards. Disable to measure the ablation baseline.
+    pub incremental: bool,
+    /// Worker threads. `1` runs inline; larger values shard the fault list
+    /// across `crossbeam` scoped threads, each with its own model clone.
+    pub workers: usize,
+    /// Stop evaluating a fault's remaining images as soon as its
+    /// classification is decided (always sound for
+    /// [`Criterion::AnyMismatch`]).
+    pub early_exit: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self { criterion: Criterion::AnyMismatch, incremental: true, workers: 1, early_exit: true }
+    }
+}
+
+/// Aggregate outcome of a campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Per-fault classification, aligned with the input fault order.
+    pub classes: Vec<FaultClass>,
+    /// Number of faults injected (== input length).
+    pub injections: u64,
+    /// Number of single-image inferences executed.
+    pub inferences: u64,
+    /// Wall-clock duration of the campaign.
+    pub elapsed: Duration,
+}
+
+impl CampaignResult {
+    /// Number of critical faults.
+    pub fn critical(&self) -> u64 {
+        self.classes.iter().filter(|c| c.is_critical()).count() as u64
+    }
+
+    /// Number of masked faults (stuck-at equal to the stored bit).
+    pub fn masked(&self) -> u64 {
+        self.classes.iter().filter(|c| matches!(c, FaultClass::Masked)).count() as u64
+    }
+
+    /// Fraction of critical faults among all injected faults.
+    pub fn critical_rate(&self) -> f64 {
+        if self.classes.is_empty() {
+            0.0
+        } else {
+            self.critical() as f64 / self.classes.len() as f64
+        }
+    }
+}
+
+/// Runs a fault-injection campaign.
+///
+/// For every fault: inject into a worker-local clone of `model`, evaluate
+/// the dataset (incrementally from the faulted layer when
+/// `cfg.incremental`), classify against `golden`, revert. Results are
+/// returned in input order regardless of worker count, and the entire run
+/// is deterministic.
+///
+/// # Errors
+///
+/// Returns [`FaultSimError::EmptyEvalSet`] for an empty dataset, an
+/// injection error for a fault that does not fit the model, or the first
+/// inference failure.
+///
+/// # Example
+///
+/// ```
+/// use sfi_dataset::SynthCifarConfig;
+/// use sfi_faultsim::campaign::{run_campaign, CampaignConfig};
+/// use sfi_faultsim::fault::{Fault, FaultModel, FaultSite};
+/// use sfi_faultsim::golden::GoldenReference;
+/// use sfi_nn::resnet::ResNetConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let model = ResNetConfig::resnet20_micro().build_seeded(1)?;
+/// let data = SynthCifarConfig::new().with_size(16).with_samples(3).generate();
+/// let golden = GoldenReference::build(&model, &data)?;
+/// let fault = Fault {
+///     site: FaultSite { layer: 0, weight: 0, bit: 30 },
+///     model: FaultModel::StuckAt1,
+/// };
+/// let result = run_campaign(&model, &data, &golden, &[fault], &CampaignConfig::default())?;
+/// assert_eq!(result.injections, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_campaign(
+    model: &Model,
+    data: &Dataset,
+    golden: &GoldenReference,
+    faults: &[Fault],
+    cfg: &CampaignConfig,
+) -> Result<CampaignResult, FaultSimError> {
+    run_campaign_with(model, data, golden, faults, cfg, &Ieee754Corruption)
+}
+
+/// Runs a fault-injection campaign with a custom [`Corruption`] model.
+///
+/// Identical to [`run_campaign`] except that each fault's faulty value is
+/// produced by `corruption` instead of direct IEEE-754 bit manipulation.
+///
+/// # Errors
+///
+/// Same conditions as [`run_campaign`].
+pub fn run_campaign_with<C: Corruption>(
+    model: &Model,
+    data: &Dataset,
+    golden: &GoldenReference,
+    faults: &[Fault],
+    cfg: &CampaignConfig,
+    corruption: &C,
+) -> Result<CampaignResult, FaultSimError> {
+    if data.is_empty() || golden.len() == 0 {
+        return Err(FaultSimError::EmptyEvalSet);
+    }
+    let start = Instant::now();
+    let workers = cfg.workers.max(1).min(faults.len().max(1));
+    let (classes, inferences) = if workers <= 1 {
+        let mut worker_model = model.clone();
+        run_shard(&mut worker_model, data, golden, faults, cfg, corruption)?
+    } else {
+        let chunk = faults.len().div_ceil(workers);
+        let shards: Vec<&[Fault]> = faults.chunks(chunk).collect();
+        let results = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|shard| {
+                    scope.spawn(move |_| {
+                        let mut worker_model = model.clone();
+                        run_shard(&mut worker_model, data, golden, shard, cfg, corruption)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("campaign worker must not panic"))
+                .collect::<Vec<_>>()
+        })
+        .expect("campaign scope must not panic");
+        let mut classes = Vec::with_capacity(faults.len());
+        let mut inferences = 0u64;
+        for r in results {
+            let (c, i) = r?;
+            classes.extend(c);
+            inferences += i;
+        }
+        (classes, inferences)
+    };
+    Ok(CampaignResult {
+        injections: classes.len() as u64,
+        classes,
+        inferences,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Processes a contiguous shard of faults on one worker-local model.
+fn run_shard<C: Corruption>(
+    model: &mut Model,
+    data: &Dataset,
+    golden: &GoldenReference,
+    faults: &[Fault],
+    cfg: &CampaignConfig,
+    corruption: &C,
+) -> Result<(Vec<FaultClass>, u64), FaultSimError> {
+    let total_images = data.len();
+    let needed_for_critical = match cfg.criterion {
+        Criterion::AnyMismatch => 1usize,
+        Criterion::MismatchRate { threshold } => {
+            ((threshold * total_images as f64).floor() as usize + 1).min(total_images)
+        }
+    };
+    let mut classes = Vec::with_capacity(faults.len());
+    let mut inferences = 0u64;
+    for fault in faults {
+        let injection = inject_with(model, fault, |f, original| corruption.corrupt(f, original))?;
+        if !injection.is_effective() {
+            classes.push(FaultClass::Masked);
+            // Nothing changed; no need to revert bits that are identical,
+            // but revert anyway to keep the invariant simple.
+            revert(model, &injection);
+            continue;
+        }
+        let mut mismatches = 0usize;
+        for idx in 0..total_images {
+            let logits = if cfg.incremental {
+                model.forward_from(injection.dirty_node, golden.cache(idx))?
+            } else {
+                model.forward(data.image(idx))?
+            };
+            inferences += 1;
+            let pred = logits.argmax().expect("logits are nonempty");
+            if pred != golden.prediction(idx) {
+                mismatches += 1;
+                if cfg.early_exit && mismatches >= needed_for_critical {
+                    break;
+                }
+            }
+        }
+        let class = if mismatches >= needed_for_critical {
+            FaultClass::Critical
+        } else {
+            FaultClass::NonCritical
+        };
+        classes.push(class);
+        revert(model, &injection);
+    }
+    Ok((classes, inferences))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultModel, FaultSite};
+    use crate::population::FaultSpace;
+    use sfi_dataset::SynthCifarConfig;
+    use sfi_nn::resnet::ResNetConfig;
+
+    fn setup() -> (Model, Dataset, GoldenReference) {
+        let model = ResNetConfig::resnet20_micro().build_seeded(4).unwrap();
+        let data = SynthCifarConfig::new().with_size(16).with_samples(4).generate();
+        let golden = GoldenReference::build(&model, &data).unwrap();
+        (model, data, golden)
+    }
+
+    fn sa1(layer: usize, weight: usize, bit: u8) -> Fault {
+        Fault { site: FaultSite { layer, weight, bit }, model: FaultModel::StuckAt1 }
+    }
+
+    #[test]
+    fn exponent_msb_faults_are_mostly_critical() {
+        let (model, data, golden) = setup();
+        let faults: Vec<Fault> = (0..20).map(|w| sa1(0, w, 30)).collect();
+        let res =
+            run_campaign(&model, &data, &golden, &faults, &CampaignConfig::default()).unwrap();
+        assert_eq!(res.injections, 20);
+        assert!(
+            res.critical() > 10,
+            "exponent-MSB stuck-at-1 should overwhelmingly be critical, got {}",
+            res.critical()
+        );
+    }
+
+    #[test]
+    fn mantissa_lsb_faults_are_harmless() {
+        let (model, data, golden) = setup();
+        let faults: Vec<Fault> = (0..20).map(|w| sa1(0, w, 0)).collect();
+        let res =
+            run_campaign(&model, &data, &golden, &faults, &CampaignConfig::default()).unwrap();
+        assert_eq!(res.critical(), 0, "mantissa LSB flips cannot move the top-1");
+    }
+
+    #[test]
+    fn incremental_and_full_reexecution_agree() {
+        let (model, data, golden) = setup();
+        let space = FaultSpace::stuck_at(&model);
+        let sub = space.bit_subpopulation(3, 29).unwrap();
+        let faults: Vec<Fault> = sub.iter().take(40).collect();
+        let inc = run_campaign(
+            &model,
+            &data,
+            &golden,
+            &faults,
+            &CampaignConfig { incremental: true, early_exit: false, ..Default::default() },
+        )
+        .unwrap();
+        let full = run_campaign(
+            &model,
+            &data,
+            &golden,
+            &faults,
+            &CampaignConfig { incremental: false, early_exit: false, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(inc.classes, full.classes);
+    }
+
+    #[test]
+    fn multi_worker_matches_single_worker() {
+        let (model, data, golden) = setup();
+        let faults: Vec<Fault> = (0..30).map(|w| sa1(1, w % 36, (w % 31) as u8)).collect();
+        let single = run_campaign(
+            &model,
+            &data,
+            &golden,
+            &faults,
+            &CampaignConfig { workers: 1, ..Default::default() },
+        )
+        .unwrap();
+        let multi = run_campaign(
+            &model,
+            &data,
+            &golden,
+            &faults,
+            &CampaignConfig { workers: 4, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(single.classes, multi.classes);
+    }
+
+    #[test]
+    fn masked_faults_skip_inference() {
+        let (model, data, golden) = setup();
+        // He-init weights have |w| < 2, so bit 30 is 0: stuck-at-0 masked.
+        let faults: Vec<Fault> = (0..10)
+            .map(|w| Fault {
+                site: FaultSite { layer: 0, weight: w, bit: 30 },
+                model: FaultModel::StuckAt0,
+            })
+            .collect();
+        let res =
+            run_campaign(&model, &data, &golden, &faults, &CampaignConfig::default()).unwrap();
+        assert_eq!(res.masked(), 10);
+        assert_eq!(res.inferences, 0);
+        assert_eq!(res.critical(), 0);
+    }
+
+    #[test]
+    fn early_exit_reduces_inferences_without_changing_classes() {
+        let (model, data, golden) = setup();
+        let faults: Vec<Fault> = (0..10).map(|w| sa1(0, w, 30)).collect();
+        let eager = run_campaign(
+            &model,
+            &data,
+            &golden,
+            &faults,
+            &CampaignConfig { early_exit: true, ..Default::default() },
+        )
+        .unwrap();
+        let lazy = run_campaign(
+            &model,
+            &data,
+            &golden,
+            &faults,
+            &CampaignConfig { early_exit: false, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(eager.classes, lazy.classes);
+        assert!(eager.inferences <= lazy.inferences);
+    }
+
+    #[test]
+    fn mismatch_rate_criterion_is_stricter() {
+        let (model, data, golden) = setup();
+        let faults: Vec<Fault> = (0..16).map(|w| sa1(0, w, 29)).collect();
+        let any = run_campaign(
+            &model,
+            &data,
+            &golden,
+            &faults,
+            &CampaignConfig { criterion: Criterion::AnyMismatch, ..Default::default() },
+        )
+        .unwrap();
+        let strict = run_campaign(
+            &model,
+            &data,
+            &golden,
+            &faults,
+            &CampaignConfig {
+                criterion: Criterion::MismatchRate { threshold: 0.99 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(strict.critical() <= any.critical());
+    }
+
+    #[test]
+    fn model_is_clean_after_campaign() {
+        let (model, data, golden) = setup();
+        let before = model.store().clone();
+        let faults: Vec<Fault> = (0..8).map(|w| sa1(2, w, 28)).collect();
+        let _ = run_campaign(&model, &data, &golden, &faults, &CampaignConfig::default()).unwrap();
+        assert_eq!(*model.store(), before, "campaign must not mutate the input model");
+    }
+
+    #[test]
+    fn empty_faults_yield_empty_result() {
+        let (model, data, golden) = setup();
+        let res = run_campaign(&model, &data, &golden, &[], &CampaignConfig::default()).unwrap();
+        assert_eq!(res.injections, 0);
+        assert_eq!(res.critical_rate(), 0.0);
+    }
+
+    #[test]
+    fn rejects_empty_dataset() {
+        let (model, data, golden) = setup();
+        let empty = data.truncated(0);
+        assert!(matches!(
+            run_campaign(&model, &empty, &golden, &[], &CampaignConfig::default()),
+            Err(FaultSimError::EmptyEvalSet)
+        ));
+    }
+}

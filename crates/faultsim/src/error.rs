@@ -1,0 +1,73 @@
+use std::fmt;
+
+use sfi_nn::NnError;
+
+/// Error type for fault-injection operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FaultSimError {
+    /// An inference failure during a campaign.
+    Nn(NnError),
+    /// A fault referenced a layer, weight, or bit that does not exist in
+    /// the target model.
+    InvalidFault {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// A subpopulation index was out of range.
+    IndexOutOfRange {
+        /// The offending index.
+        index: u64,
+        /// The subpopulation size.
+        size: u64,
+    },
+    /// The campaign was given no evaluation images.
+    EmptyEvalSet,
+}
+
+impl fmt::Display for FaultSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSimError::Nn(e) => write!(f, "inference failed: {e}"),
+            FaultSimError::InvalidFault { reason } => write!(f, "invalid fault: {reason}"),
+            FaultSimError::IndexOutOfRange { index, size } => {
+                write!(f, "fault index {index} out of range for subpopulation of size {size}")
+            }
+            FaultSimError::EmptyEvalSet => write!(f, "evaluation set must not be empty"),
+        }
+    }
+}
+
+impl std::error::Error for FaultSimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FaultSimError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for FaultSimError {
+    fn from(e: NnError) -> Self {
+        FaultSimError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FaultSimError>();
+    }
+
+    #[test]
+    fn from_nn_error_preserves_source() {
+        use std::error::Error;
+        let e: FaultSimError =
+            NnError::InvalidGraph { reason: "x".into() }.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,193 @@
+//! Fault models and fault-site addressing.
+
+use serde::{Deserialize, Serialize};
+
+/// The hardware fault model applied to one bit of one weight.
+///
+/// The paper's campaigns use the two *permanent* stuck-at models (its fault
+/// population is `weights × 32 bits × 2 polarities`); the transient
+/// [`FaultModel::BitFlip`] is provided for soft-error studies on the same
+/// infrastructure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultModel {
+    /// The bit reads as 0 regardless of the stored value.
+    StuckAt0,
+    /// The bit reads as 1 regardless of the stored value.
+    StuckAt1,
+    /// The stored bit is inverted.
+    BitFlip,
+    /// A double-bit upset: the bit *and its upper neighbour* are inverted
+    /// (adjacent cells in the physical memory array). At the MSB (bit 31)
+    /// only the single bit flips, so the model stays total.
+    AdjacentFlip,
+}
+
+impl FaultModel {
+    /// Applies the model to `value` at bit `bit` (0 = mantissa LSB,
+    /// 31 = sign).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 32`.
+    pub fn apply(&self, value: f32, bit: u8) -> f32 {
+        assert!(bit < 32, "bit index {bit} out of range");
+        let bits = value.to_bits();
+        let mask = 1u32 << bit;
+        let new = match self {
+            FaultModel::StuckAt0 => bits & !mask,
+            FaultModel::StuckAt1 => bits | mask,
+            FaultModel::BitFlip => bits ^ mask,
+            FaultModel::AdjacentFlip => {
+                let pair = if bit < 31 { mask | (mask << 1) } else { mask };
+                bits ^ pair
+            }
+        };
+        f32::from_bits(new)
+    }
+
+    /// Whether applying this model to `value` at `bit` changes the stored
+    /// representation (stuck-ats are *masked* when the bit already holds
+    /// the stuck value).
+    pub fn is_effective(&self, value: f32, bit: u8) -> bool {
+        self.apply(value, bit).to_bits() != value.to_bits()
+    }
+}
+
+impl std::fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultModel::StuckAt0 => write!(f, "sa0"),
+            FaultModel::StuckAt1 => write!(f, "sa1"),
+            FaultModel::BitFlip => write!(f, "flip"),
+            FaultModel::AdjacentFlip => write!(f, "mbu2"),
+        }
+    }
+}
+
+/// Location of a fault: a bit of a weight of a weight layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FaultSite {
+    /// The paper's 0-based weight-layer index.
+    pub layer: usize,
+    /// Flat index of the weight within the layer.
+    pub weight: usize,
+    /// Bit position, 0 (mantissa LSB) ..= 31 (sign).
+    pub bit: u8,
+}
+
+/// A concrete fault: a site plus the model applied there.
+///
+/// # Example
+///
+/// ```
+/// use sfi_faultsim::fault::{Fault, FaultModel, FaultSite};
+///
+/// let f = Fault {
+///     site: FaultSite { layer: 0, weight: 7, bit: 31 },
+///     model: FaultModel::StuckAt1,
+/// };
+/// // Stuck-at-1 on the sign bit forces the weight negative.
+/// assert_eq!(f.apply_to(2.0), -2.0);
+/// assert_eq!(f.apply_to(-2.0), -2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fault {
+    /// Where the fault strikes.
+    pub site: FaultSite,
+    /// How the bit misbehaves.
+    pub model: FaultModel,
+}
+
+impl Fault {
+    /// The faulty value that `value` reads as under this fault.
+    pub fn apply_to(&self, value: f32) -> f32 {
+        self.model.apply(value, self.site.bit)
+    }
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}@L{}.w{}.b{}",
+            self.model, self.site.layer, self.site.weight, self.site.bit
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stuck_at_zero_clears_bit() {
+        // -1.0 has the sign bit set.
+        assert_eq!(FaultModel::StuckAt0.apply(-1.0, 31), 1.0);
+        assert_eq!(FaultModel::StuckAt0.apply(1.0, 31), 1.0);
+    }
+
+    #[test]
+    fn stuck_at_one_sets_bit() {
+        assert_eq!(FaultModel::StuckAt1.apply(1.0, 31), -1.0);
+        assert_eq!(FaultModel::StuckAt1.apply(-1.0, 31), -1.0);
+    }
+
+    #[test]
+    fn bit_flip_toggles() {
+        let v = 0.75f32;
+        let flipped = FaultModel::BitFlip.apply(v, 22);
+        assert_ne!(flipped, v);
+        assert_eq!(FaultModel::BitFlip.apply(flipped, 22), v);
+    }
+
+    #[test]
+    fn adjacent_flip_toggles_two_bits() {
+        let v = 0.75f32;
+        let faulty = FaultModel::AdjacentFlip.apply(v, 10);
+        assert_eq!((faulty.to_bits() ^ v.to_bits()).count_ones(), 2);
+        // Involution.
+        assert_eq!(FaultModel::AdjacentFlip.apply(faulty, 10).to_bits(), v.to_bits());
+        // At the MSB it degenerates to a single flip.
+        let top = FaultModel::AdjacentFlip.apply(v, 31);
+        assert_eq!((top.to_bits() ^ v.to_bits()).count_ones(), 1);
+        assert_eq!(top, -v);
+    }
+
+    #[test]
+    fn effectiveness_detects_masked_stuck_ats() {
+        assert!(!FaultModel::StuckAt0.is_effective(1.0, 31)); // already 0
+        assert!(FaultModel::StuckAt0.is_effective(-1.0, 31));
+        assert!(FaultModel::BitFlip.is_effective(1.0, 0)); // flips always act
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn apply_rejects_bit_32() {
+        FaultModel::StuckAt0.apply(1.0, 32);
+    }
+
+    #[test]
+    fn exponent_stuck_at_one_explodes_magnitude() {
+        // Setting the exponent MSB of a small weight multiplies it by
+        // 2^128-ish — the canonical "critical" fault.
+        let w = 0.01f32;
+        let faulty = FaultModel::StuckAt1.apply(w, 30);
+        assert!(faulty.abs() > 1e30);
+    }
+
+    #[test]
+    fn display_round_trip_info() {
+        let f = Fault {
+            site: FaultSite { layer: 3, weight: 42, bit: 30 },
+            model: FaultModel::StuckAt1,
+        };
+        assert_eq!(f.to_string(), "sa1@L3.w42.b30");
+    }
+
+    #[test]
+    fn site_ordering_is_layer_major() {
+        let a = FaultSite { layer: 0, weight: 100, bit: 31 };
+        let b = FaultSite { layer: 1, weight: 0, bit: 0 };
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,127 @@
+//! The fault-free reference a campaign classifies against.
+
+use sfi_dataset::Dataset;
+use sfi_nn::{ActivationCache, Model};
+
+use crate::FaultSimError;
+
+/// Golden top-1 predictions plus per-image activation caches.
+///
+/// Built once per `(model, evaluation set)` pair; campaign workers share it
+/// read-only. The caches enable incremental re-execution: a fault in weight
+/// layer `l` re-runs inference from `l`'s node, reusing the cached prefix.
+///
+/// # Example
+///
+/// ```
+/// use sfi_dataset::SynthCifarConfig;
+/// use sfi_faultsim::golden::GoldenReference;
+/// use sfi_nn::resnet::ResNetConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let model = ResNetConfig::resnet20_micro().build_seeded(1)?;
+/// let data = SynthCifarConfig::new().with_size(16).with_samples(4).generate();
+/// let golden = GoldenReference::build(&model, &data)?;
+/// assert_eq!(golden.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GoldenReference {
+    predictions: Vec<usize>,
+    caches: Vec<ActivationCache>,
+}
+
+impl GoldenReference {
+    /// Runs the fault-free model on every image of `data`, recording top-1
+    /// predictions and full activation caches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultSimError::EmptyEvalSet`] for an empty dataset, or the
+    /// first inference failure.
+    pub fn build(model: &Model, data: &Dataset) -> Result<Self, FaultSimError> {
+        if data.is_empty() {
+            return Err(FaultSimError::EmptyEvalSet);
+        }
+        let mut predictions = Vec::with_capacity(data.len());
+        let mut caches = Vec::with_capacity(data.len());
+        for (image, _) in data.iter() {
+            let cache = model.forward_cached(image)?;
+            let logits = cache.get(cache.len() - 1).expect("cache covers all nodes");
+            predictions.push(logits.argmax().expect("logits are nonempty"));
+            caches.push(cache);
+        }
+        Ok(Self { predictions, caches })
+    }
+
+    /// Number of reference images.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.predictions.len()
+    }
+
+    /// Golden top-1 prediction of image `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of range.
+    pub fn prediction(&self, idx: usize) -> usize {
+        self.predictions[idx]
+    }
+
+    /// All golden predictions.
+    pub fn predictions(&self) -> &[usize] {
+        &self.predictions
+    }
+
+    /// Activation cache of image `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of range.
+    pub fn cache(&self, idx: usize) -> &ActivationCache {
+        &self.caches[idx]
+    }
+
+    /// Total heap footprint of the caches, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.caches.iter().map(ActivationCache::memory_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfi_dataset::SynthCifarConfig;
+    use sfi_nn::resnet::ResNetConfig;
+
+    #[test]
+    fn build_matches_plain_prediction() {
+        let model = ResNetConfig::resnet20_micro().build_seeded(8).unwrap();
+        let data = SynthCifarConfig::new().with_size(16).with_samples(5).generate();
+        let golden = GoldenReference::build(&model, &data).unwrap();
+        for (i, (image, _)) in data.iter().enumerate() {
+            assert_eq!(golden.prediction(i), model.predict(image).unwrap()[0]);
+        }
+    }
+
+    #[test]
+    fn rejects_empty_dataset() {
+        let model = ResNetConfig::resnet20_micro().build_seeded(8).unwrap();
+        let data = SynthCifarConfig::new().with_size(16).with_samples(0).generate();
+        assert!(matches!(
+            GoldenReference::build(&model, &data),
+            Err(FaultSimError::EmptyEvalSet)
+        ));
+    }
+
+    #[test]
+    fn caches_cover_every_node() {
+        let model = ResNetConfig::resnet20_micro().build_seeded(8).unwrap();
+        let data = SynthCifarConfig::new().with_size(16).with_samples(2).generate();
+        let golden = GoldenReference::build(&model, &data).unwrap();
+        assert_eq!(golden.cache(0).len(), model.nodes().len());
+        assert!(golden.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Applying and reverting faults on a model's parameter store.
+
+use sfi_nn::{Model, NodeId, ParamId};
+
+use crate::fault::Fault;
+use crate::FaultSimError;
+
+/// Record of an applied fault, sufficient to undo it.
+///
+/// Obtained from [`inject`]; pass it to [`revert`] to restore the golden
+/// weight. Dropping an `Injection` without reverting leaves the fault in
+/// place — campaign runners own that lifecycle explicitly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Injection {
+    /// Parameter that was modified.
+    pub param: ParamId,
+    /// Flat index of the modified weight within the parameter.
+    pub index: usize,
+    /// The golden value before injection.
+    pub original: f32,
+    /// The faulty value now stored.
+    pub faulty: f32,
+    /// First graph node whose output the fault can change.
+    pub dirty_node: NodeId,
+}
+
+impl Injection {
+    /// Whether the fault actually changed the stored representation
+    /// (stuck-ats are masked when the bit already held the stuck value).
+    pub fn is_effective(&self) -> bool {
+        self.original.to_bits() != self.faulty.to_bits()
+    }
+}
+
+/// Applies `fault` to `model`'s parameter store.
+///
+/// # Errors
+///
+/// Returns [`FaultSimError::InvalidFault`] when the fault's layer or weight
+/// index does not exist in the model.
+///
+/// # Example
+///
+/// ```
+/// use sfi_faultsim::fault::{Fault, FaultModel, FaultSite};
+/// use sfi_faultsim::injector::{inject, revert};
+/// use sfi_nn::resnet::ResNetConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut model = ResNetConfig::resnet20_micro().build_seeded(1)?;
+/// let fault = Fault {
+///     site: FaultSite { layer: 0, weight: 5, bit: 30 },
+///     model: FaultModel::StuckAt1,
+/// };
+/// let golden = model.store().layer_weights(0)?[5];
+/// let injection = inject(&mut model, &fault)?;
+/// assert_ne!(model.store().layer_weights(0)?[5], golden);
+/// revert(&mut model, &injection);
+/// assert_eq!(model.store().layer_weights(0)?[5], golden);
+/// # Ok(())
+/// # }
+/// ```
+pub fn inject(model: &mut Model, fault: &Fault) -> Result<Injection, FaultSimError> {
+    inject_with(model, fault, |f, original| f.apply_to(original))
+}
+
+/// Applies `fault` using a custom corruption function mapping the golden
+/// stored value to its faulty reading.
+///
+/// This is the hook reduced-precision representations use: the fault strikes
+/// the *encoded* weight, so the faulty `f32` is
+/// `decode(apply_bits(encode(w)))` rather than a direct IEEE-754 bit
+/// operation (see the `sfi-repr` crate).
+///
+/// # Errors
+///
+/// Same conditions as [`inject`].
+pub fn inject_with(
+    model: &mut Model,
+    fault: &Fault,
+    corrupt: impl FnOnce(&Fault, f32) -> f32,
+) -> Result<Injection, FaultSimError> {
+    let layers = model.weight_layers();
+    let layer = layers.iter().find(|l| l.layer == fault.site.layer).ok_or_else(|| {
+        FaultSimError::InvalidFault { reason: format!("layer {} not in model", fault.site.layer) }
+    })?;
+    if fault.site.weight >= layer.len {
+        return Err(FaultSimError::InvalidFault {
+            reason: format!(
+                "weight {} out of range for layer {} ({} weights)",
+                fault.site.weight, fault.site.layer, layer.len
+            ),
+        });
+    }
+    let param = layer.param;
+    let dirty_node = model.node_of_param(param).ok_or_else(|| FaultSimError::InvalidFault {
+        reason: format!("parameter {param} is not consumed by any node"),
+    })?;
+    let tensor = &mut model
+        .store_mut()
+        .get_mut(param)
+        .expect("weight layer param exists")
+        .tensor;
+    let slot = &mut tensor.as_mut_slice()[fault.site.weight];
+    let original = *slot;
+    let faulty = corrupt(fault, original);
+    *slot = faulty;
+    Ok(Injection { param, index: fault.site.weight, original, faulty, dirty_node })
+}
+
+/// Restores the golden value recorded in `injection`.
+pub fn revert(model: &mut Model, injection: &Injection) {
+    let tensor = &mut model
+        .store_mut()
+        .get_mut(injection.param)
+        .expect("injection refers to an existing parameter")
+        .tensor;
+    tensor.as_mut_slice()[injection.index] = injection.original;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultModel, FaultSite};
+    use sfi_nn::resnet::ResNetConfig;
+
+    fn model() -> Model {
+        ResNetConfig::resnet20_micro().build_seeded(3).unwrap()
+    }
+
+    fn fault(layer: usize, weight: usize, bit: u8) -> Fault {
+        Fault { site: FaultSite { layer, weight, bit }, model: FaultModel::BitFlip }
+    }
+
+    #[test]
+    fn inject_and_revert_round_trip() {
+        let mut m = model();
+        let golden = m.store().clone();
+        let inj = inject(&mut m, &fault(5, 10, 22)).unwrap();
+        assert!(inj.is_effective());
+        assert_ne!(*m.store(), golden);
+        revert(&mut m, &inj);
+        assert_eq!(*m.store(), golden);
+    }
+
+    #[test]
+    fn injection_reports_dirty_node() {
+        let mut m = model();
+        let inj = inject(&mut m, &fault(0, 0, 0)).unwrap();
+        // Layer 0's conv is node 1 (node 0 is the input placeholder).
+        assert_eq!(inj.dirty_node, 1);
+        revert(&mut m, &inj);
+        let inj_fc = inject(&mut m, &fault(19, 0, 0)).unwrap();
+        assert!(inj_fc.dirty_node > inj.dirty_node);
+    }
+
+    #[test]
+    fn masked_stuck_at_detected() {
+        let mut m = model();
+        // Find a weight with |w| < 2 so bit 30 is 0; stuck-at-0 is masked.
+        let f = Fault {
+            site: FaultSite { layer: 0, weight: 0, bit: 30 },
+            model: FaultModel::StuckAt0,
+        };
+        let w = m.store().layer_weights(0).unwrap()[0];
+        assert!(w.abs() < 2.0, "He-init weights are small");
+        let inj = inject(&mut m, &f).unwrap();
+        assert!(!inj.is_effective());
+        assert_eq!(inj.original, inj.faulty);
+    }
+
+    #[test]
+    fn rejects_unknown_layer_and_weight() {
+        let mut m = model();
+        assert!(inject(&mut m, &fault(99, 0, 0)).is_err());
+        assert!(inject(&mut m, &fault(0, 999_999, 0)).is_err());
+    }
+
+    #[test]
+    fn faulty_value_matches_fault_model() {
+        let mut m = model();
+        let f = Fault {
+            site: FaultSite { layer: 2, weight: 7, bit: 31 },
+            model: FaultModel::StuckAt1,
+        };
+        let before = m.store().layer_weights(2).unwrap()[7];
+        let inj = inject(&mut m, &f).unwrap();
+        assert_eq!(inj.faulty, f.apply_to(before));
+        assert!(inj.faulty <= 0.0 || inj.faulty.is_nan());
+        revert(&mut m, &inj);
+    }
+}

@@ -1,0 +1,364 @@
+//! Enumeration of fault populations and the paper's subpopulations.
+//!
+//! The statistical machinery of `sfi-stats` reasons about populations as
+//! index ranges `0..N`; this module gives those indices meaning by decoding
+//! them into concrete [`Fault`]s. Three granularities mirror the paper's
+//! four SFI schemes:
+//!
+//! - [`FaultSpace::network_subpopulation`] — the whole fault space as one
+//!   population (network-wise SFI),
+//! - [`FaultSpace::layer_subpopulation`] — all faults of one weight layer
+//!   (layer-wise SFI),
+//! - [`FaultSpace::bit_subpopulation`] — the faults of one bit position
+//!   within one layer, the `N(i,l)` of paper Eq. 3 (data-unaware and
+//!   data-aware SFI).
+
+use serde::{Deserialize, Serialize};
+
+use sfi_nn::Model;
+
+use crate::fault::{Fault, FaultModel, FaultSite};
+use crate::FaultSimError;
+
+/// Number of analysed bits per weight in the paper's setting (IEEE-754
+/// single precision). Fault spaces over other data representations use
+/// [`FaultSpace::with_bits`].
+pub const BITS: u64 = 32;
+
+/// Stuck-at polarities per bit.
+pub const POLARITIES: u64 = 2;
+
+/// The complete permanent-fault space of a model: per-layer weight counts
+/// and the per-weight bit width.
+///
+/// Only convolution / linear weights participate (paper §I: faults are
+/// injected into the static parameters stored in memory).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultSpace {
+    layer_weights: Vec<u64>,
+    bits: u64,
+}
+
+impl FaultSpace {
+    /// Builds the 32-bit stuck-at fault space of `model`.
+    ///
+    /// The population size is `weights × 32 bits × 2 polarities`, e.g.
+    /// 17,174,144 for full-width ResNet-20 counted the paper's way.
+    pub fn stuck_at(model: &Model) -> Self {
+        let layer_weights = model.weight_layers().iter().map(|l| l.len as u64).collect();
+        Self { layer_weights, bits: BITS }
+    }
+
+    /// Builds a fault space directly from per-layer weight counts.
+    ///
+    /// Useful for sample-size planning of networks that are not
+    /// instantiated (e.g. regenerating paper Table II without allocating
+    /// MobileNetV2's weights).
+    pub fn from_layer_weights(layer_weights: Vec<u64>) -> Self {
+        Self { layer_weights, bits: BITS }
+    }
+
+    /// Returns a copy with a different per-weight bit width — the fault
+    /// space of a reduced-precision data representation (paper §VI's
+    /// future-work direction, implemented by the `sfi-repr` crate).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bits` is 0 or exceeds 32.
+    pub fn with_bits(mut self, bits: u64) -> Self {
+        assert!((1..=32).contains(&bits), "bit width {bits} outside 1..=32");
+        self.bits = bits;
+        self
+    }
+
+    /// The per-weight bit width of this fault space.
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Number of weight layers.
+    pub fn layers(&self) -> usize {
+        self.layer_weights.len()
+    }
+
+    /// Weight count of layer `layer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultSimError::InvalidFault`] for an unknown layer.
+    pub fn layer_weight_count(&self, layer: usize) -> Result<u64, FaultSimError> {
+        self.layer_weights.get(layer).copied().ok_or_else(|| FaultSimError::InvalidFault {
+            reason: format!("layer {layer} does not exist ({} layers)", self.layers()),
+        })
+    }
+
+    /// Total number of faults in the space.
+    pub fn total(&self) -> u64 {
+        self.layer_weights.iter().sum::<u64>() * self.bits * POLARITIES
+    }
+
+    /// The whole fault space as a single subpopulation (network-wise SFI).
+    pub fn network_subpopulation(&self) -> Subpopulation {
+        Subpopulation {
+            scope: Scope::Network { layer_weights: self.layer_weights.clone() },
+            bits: self.bits,
+        }
+    }
+
+    /// All faults of one layer (layer-wise SFI).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultSimError::InvalidFault`] for an unknown layer.
+    pub fn layer_subpopulation(&self, layer: usize) -> Result<Subpopulation, FaultSimError> {
+        let weights = self.layer_weight_count(layer)?;
+        Ok(Subpopulation { scope: Scope::Layer { layer, weights }, bits: self.bits })
+    }
+
+    /// The faults of bit position `bit` within `layer` — the paper's
+    /// `N(i,l)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultSimError::InvalidFault`] for an unknown layer or a bit
+    /// outside `0..32`.
+    pub fn bit_subpopulation(&self, layer: usize, bit: u8) -> Result<Subpopulation, FaultSimError> {
+        if u64::from(bit) >= self.bits {
+            return Err(FaultSimError::InvalidFault {
+                reason: format!("bit {bit} outside 0..{}", self.bits),
+            });
+        }
+        let weights = self.layer_weight_count(layer)?;
+        Ok(Subpopulation { scope: Scope::Bit { layer, bit, weights }, bits: self.bits })
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+enum Scope {
+    Network { layer_weights: Vec<u64> },
+    Layer { layer: usize, weights: u64 },
+    Bit { layer: usize, bit: u8, weights: u64 },
+}
+
+/// An indexable set of faults: one of the paper's sampling granularities.
+///
+/// Indices `0..size()` enumerate the subpopulation's faults; decoding is
+/// deterministic, so a sample of indices drawn by `sfi_stats::sampling`
+/// maps to a reproducible set of injections.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Subpopulation {
+    scope: Scope,
+    bits: u64,
+}
+
+impl Subpopulation {
+    /// Number of faults in this subpopulation (`N` of Eq. 1).
+    pub fn size(&self) -> u64 {
+        match &self.scope {
+            Scope::Network { layer_weights } => {
+                layer_weights.iter().sum::<u64>() * self.bits * POLARITIES
+            }
+            Scope::Layer { weights, .. } => weights * self.bits * POLARITIES,
+            Scope::Bit { weights, .. } => weights * POLARITIES,
+        }
+    }
+
+    /// Decodes index `index` into its fault.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultSimError::IndexOutOfRange`] when `index >= size()`.
+    pub fn fault_at(&self, index: u64) -> Result<Fault, FaultSimError> {
+        if index >= self.size() {
+            return Err(FaultSimError::IndexOutOfRange { index, size: self.size() });
+        }
+        Ok(match &self.scope {
+            Scope::Network { layer_weights } => {
+                let mut rest = index;
+                let mut layer = 0usize;
+                for (l, &w) in layer_weights.iter().enumerate() {
+                    let layer_size = w * self.bits * POLARITIES;
+                    if rest < layer_size {
+                        layer = l;
+                        break;
+                    }
+                    rest -= layer_size;
+                }
+                decode_layer_local(layer, rest, self.bits)
+            }
+            Scope::Layer { layer, .. } => decode_layer_local(*layer, index, self.bits),
+            Scope::Bit { layer, bit, .. } => {
+                let weight = (index / POLARITIES) as usize;
+                let model = polarity(index % POLARITIES);
+                Fault { site: FaultSite { layer: *layer, weight, bit: *bit }, model }
+            }
+        })
+    }
+
+    /// Iterates over every fault in the subpopulation (exhaustive FI).
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { subpop: self, next: 0 }
+    }
+
+    /// Decodes a batch of sampled indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first out-of-range index error.
+    pub fn faults_at(&self, indices: &[u64]) -> Result<Vec<Fault>, FaultSimError> {
+        indices.iter().map(|&i| self.fault_at(i)).collect()
+    }
+}
+
+/// Iterator over all faults of a [`Subpopulation`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    subpop: &'a Subpopulation,
+    next: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = Fault;
+
+    fn next(&mut self) -> Option<Fault> {
+        if self.next >= self.subpop.size() {
+            return None;
+        }
+        let f = self.subpop.fault_at(self.next).expect("index in range");
+        self.next += 1;
+        Some(f)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.subpop.size() - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+/// Decodes a layer-local index `(weight, bit, polarity)`.
+fn decode_layer_local(layer: usize, index: u64, bits: u64) -> Fault {
+    let weight = (index / (bits * POLARITIES)) as usize;
+    let rest = index % (bits * POLARITIES);
+    let bit = (rest / POLARITIES) as u8;
+    let model = polarity(rest % POLARITIES);
+    Fault { site: FaultSite { layer, weight, bit }, model }
+}
+
+fn polarity(p: u64) -> FaultModel {
+    if p == 0 {
+        FaultModel::StuckAt0
+    } else {
+        FaultModel::StuckAt1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfi_nn::resnet::ResNetConfig;
+    use std::collections::HashSet;
+
+    fn space() -> FaultSpace {
+        FaultSpace::from_layer_weights(vec![4, 10, 3])
+    }
+
+    #[test]
+    fn totals_count_bits_and_polarities() {
+        let s = space();
+        assert_eq!(s.total(), 17 * 64);
+        assert_eq!(s.network_subpopulation().size(), 17 * 64);
+        assert_eq!(s.layer_subpopulation(1).unwrap().size(), 640);
+        assert_eq!(s.bit_subpopulation(1, 5).unwrap().size(), 20);
+    }
+
+    #[test]
+    fn resnet20_stuck_at_population_matches_paper() {
+        let model = ResNetConfig::resnet20().build().unwrap();
+        let s = FaultSpace::stuck_at(&model);
+        // 268,336 weights × 64 (the paper reports 17,174,144 for 268,346
+        // weights, which includes the 10 classifier biases).
+        assert_eq!(s.total(), 268_336 * 64);
+        assert_eq!(s.layers(), 20);
+    }
+
+    #[test]
+    fn bit_subpopulation_enumerates_both_polarities() {
+        let s = space();
+        let sub = s.bit_subpopulation(0, 30).unwrap();
+        let faults: Vec<_> = sub.iter().collect();
+        assert_eq!(faults.len(), 8);
+        assert!(faults.iter().all(|f| f.site.bit == 30 && f.site.layer == 0));
+        let sa0 = faults.iter().filter(|f| f.model == FaultModel::StuckAt0).count();
+        assert_eq!(sa0, 4);
+        let weights: HashSet<_> = faults.iter().map(|f| f.site.weight).collect();
+        assert_eq!(weights.len(), 4);
+    }
+
+    #[test]
+    fn layer_enumeration_is_a_bijection() {
+        let s = space();
+        let sub = s.layer_subpopulation(2).unwrap();
+        let faults: HashSet<_> = sub.iter().collect();
+        assert_eq!(faults.len() as u64, sub.size());
+        for f in &faults {
+            assert_eq!(f.site.layer, 2);
+            assert!(f.site.weight < 3);
+            assert!(f.site.bit < 32);
+        }
+    }
+
+    #[test]
+    fn network_enumeration_spans_all_layers() {
+        let s = space();
+        let sub = s.network_subpopulation();
+        let faults: Vec<_> = sub.iter().collect();
+        assert_eq!(faults.len() as u64, s.total());
+        let per_layer = |l: usize| faults.iter().filter(|f| f.site.layer == l).count() as u64;
+        assert_eq!(per_layer(0), 4 * 64);
+        assert_eq!(per_layer(1), 10 * 64);
+        assert_eq!(per_layer(2), 3 * 64);
+        // Distinct faults only.
+        let set: HashSet<_> = faults.iter().collect();
+        assert_eq!(set.len(), faults.len());
+    }
+
+    #[test]
+    fn fault_at_rejects_out_of_range() {
+        let s = space();
+        let sub = s.bit_subpopulation(0, 0).unwrap();
+        assert!(matches!(
+            sub.fault_at(sub.size()),
+            Err(FaultSimError::IndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_layer_and_bit_rejected() {
+        let s = space();
+        assert!(s.layer_subpopulation(3).is_err());
+        assert!(s.bit_subpopulation(0, 32).is_err());
+    }
+
+    #[test]
+    fn faults_at_decodes_batches() {
+        let s = space();
+        let sub = s.layer_subpopulation(0).unwrap();
+        let faults = sub.faults_at(&[0, 1, 63, 64]).unwrap();
+        assert_eq!(faults[0].site.weight, 0);
+        assert_eq!(faults[0].site.bit, 0);
+        assert_eq!(faults[0].model, FaultModel::StuckAt0);
+        assert_eq!(faults[1].model, FaultModel::StuckAt1);
+        assert_eq!(faults[2].site.bit, 31);
+        assert_eq!(faults[3].site.weight, 1);
+        assert!(sub.faults_at(&[0, 9999]).is_err());
+    }
+
+    #[test]
+    fn iterator_len_matches_size() {
+        let s = space();
+        let sub = s.bit_subpopulation(2, 7).unwrap();
+        assert_eq!(sub.iter().len() as u64, sub.size());
+    }
+}

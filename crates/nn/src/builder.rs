@@ -1,0 +1,158 @@
+//! Internal graph-assembly helper shared by the topology builders.
+
+use sfi_tensor::ops::Conv2dCfg;
+use sfi_tensor::Tensor;
+
+use crate::{Model, NnError, Node, NodeId, NodeOp, ParamKind, ParameterStore};
+
+/// Incrementally assembles a [`Model`]: allocates parameters (zero-filled,
+/// to be initialised by [`crate::init::initialize_seeded`]) and appends
+/// nodes in topological order. Convolution and linear weights receive
+/// consecutive *weight layer* indices in creation order, which is exactly
+/// the paper's layer numbering.
+pub(crate) struct GraphBuilder {
+    nodes: Vec<Node>,
+    store: ParameterStore,
+    next_layer: usize,
+}
+
+impl GraphBuilder {
+    pub(crate) fn new() -> Self {
+        Self {
+            nodes: vec![Node { op: NodeOp::Input, inputs: Vec::new() }],
+            store: ParameterStore::new(),
+            next_layer: 0,
+        }
+    }
+
+    fn push_node(&mut self, node: Node) -> NodeId {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Square convolution without bias (the paper's networks use BN).
+    pub(crate) fn conv(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        c_in: usize,
+        c_out: usize,
+        kernel: usize,
+        cfg: Conv2dCfg,
+    ) -> NodeId {
+        let layer = self.next_layer;
+        self.next_layer += 1;
+        let weight = self.store.push(
+            format!("{name}.weight"),
+            ParamKind::Weight { layer },
+            Tensor::zeros([c_out, c_in / cfg.groups, kernel, kernel]),
+        );
+        self.push_node(Node::unary(NodeOp::Conv { weight, bias: None, cfg }, input))
+    }
+
+    pub(crate) fn batch_norm(&mut self, name: &str, input: NodeId, channels: usize) -> NodeId {
+        let gamma =
+            self.store.push(format!("{name}.gamma"), ParamKind::BnGamma, Tensor::zeros([channels]));
+        let beta =
+            self.store.push(format!("{name}.beta"), ParamKind::BnBeta, Tensor::zeros([channels]));
+        let mean =
+            self.store.push(format!("{name}.mean"), ParamKind::BnMean, Tensor::zeros([channels]));
+        let var =
+            self.store.push(format!("{name}.var"), ParamKind::BnVar, Tensor::zeros([channels]));
+        self.push_node(Node::unary(NodeOp::BatchNorm { gamma, beta, mean, var, eps: 1e-5 }, input))
+    }
+
+    pub(crate) fn relu(&mut self, input: NodeId) -> NodeId {
+        self.push_node(Node::unary(NodeOp::Relu, input))
+    }
+
+    pub(crate) fn relu6(&mut self, input: NodeId) -> NodeId {
+        self.push_node(Node::unary(NodeOp::Relu6, input))
+    }
+
+    pub(crate) fn add(&mut self, lhs: NodeId, rhs: NodeId) -> NodeId {
+        self.push_node(Node::binary(NodeOp::Add, lhs, rhs))
+    }
+
+    pub(crate) fn downsample_pad(
+        &mut self,
+        input: NodeId,
+        out_channels: usize,
+        stride: usize,
+    ) -> NodeId {
+        self.push_node(Node::unary(NodeOp::DownsamplePad { out_channels, stride }, input))
+    }
+
+    pub(crate) fn max_pool(&mut self, input: NodeId, kernel: usize) -> NodeId {
+        self.push_node(Node::unary(NodeOp::MaxPool { kernel }, input))
+    }
+
+    pub(crate) fn global_avg_pool(&mut self, input: NodeId) -> NodeId {
+        self.push_node(Node::unary(NodeOp::GlobalAvgPool, input))
+    }
+
+    /// Fully-connected classifier head with bias.
+    pub(crate) fn linear(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        in_features: usize,
+        out_features: usize,
+    ) -> NodeId {
+        let layer = self.next_layer;
+        self.next_layer += 1;
+        let weight = self.store.push(
+            format!("{name}.weight"),
+            ParamKind::Weight { layer },
+            Tensor::zeros([out_features, in_features]),
+        );
+        let bias = self.store.push(
+            format!("{name}.bias"),
+            ParamKind::Bias,
+            Tensor::zeros([out_features]),
+        );
+        self.push_node(Node::unary(NodeOp::Linear { weight, bias: Some(bias) }, input))
+    }
+
+    pub(crate) fn finish(
+        self,
+        name: impl Into<String>,
+        input_dims: Vec<usize>,
+    ) -> Result<Model, NnError> {
+        Model::new(name, self.nodes, self.store, input_dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_consecutive_weight_layers() {
+        let mut b = GraphBuilder::new();
+        let c1 = b.conv("c1", 0, 3, 4, 3, Conv2dCfg::same(1));
+        let r = b.relu(c1);
+        let g = b.global_avg_pool(r);
+        let _fc = b.linear("fc", g, 4, 10);
+        let m = b.finish("t", vec![3, 8, 8]).unwrap();
+        let layers = m.weight_layers();
+        assert_eq!(layers.len(), 2);
+        assert_eq!(layers[0].layer, 0);
+        assert_eq!(layers[1].layer, 1);
+        assert_eq!(layers[1].name, "fc.weight");
+    }
+
+    #[test]
+    fn built_model_runs() {
+        let mut b = GraphBuilder::new();
+        let c = b.conv("c", 0, 1, 2, 3, Conv2dCfg::same(1));
+        let n = b.batch_norm("bn", c, 2);
+        let r = b.relu(n);
+        let g = b.global_avg_pool(r);
+        let _ = b.linear("fc", g, 2, 3);
+        let mut m = b.finish("t", vec![1, 6, 6]).unwrap();
+        crate::init::initialize_seeded(m.store_mut(), 1);
+        let out = m.forward(&Tensor::full([1, 1, 6, 6], 0.5)).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 3]);
+    }
+}

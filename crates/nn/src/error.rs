@@ -1,0 +1,84 @@
+use std::fmt;
+
+use sfi_tensor::TensorError;
+
+/// Error type for model construction and inference.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A tensor operation inside a node failed.
+    Op {
+        /// Index of the node whose operator failed.
+        node: usize,
+        /// The underlying tensor error.
+        source: TensorError,
+    },
+    /// The graph referenced a node that does not precede the referencing
+    /// node (or does not exist).
+    InvalidGraph {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// A parameter id did not resolve to a parameter of the expected kind.
+    InvalidParameter {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// The input tensor shape did not match the model's expected input.
+    InputShape {
+        /// Expected input dimensions (excluding batch).
+        expected: Vec<usize>,
+        /// The offending shape's dimensions.
+        actual: Vec<usize>,
+    },
+    /// An activation cache was used with a model it does not belong to.
+    CacheMismatch {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Op { node, source } => write!(f, "node {node}: {source}"),
+            NnError::InvalidGraph { reason } => write!(f, "invalid graph: {reason}"),
+            NnError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            NnError::InputShape { expected, actual } => {
+                write!(f, "input shape {actual:?} does not match expected {expected:?}")
+            }
+            NnError::CacheMismatch { reason } => write!(f, "cache mismatch: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Op { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+
+    #[test]
+    fn op_error_exposes_source() {
+        use std::error::Error;
+        let err = NnError::Op {
+            node: 3,
+            source: TensorError::Empty { op: "softmax" },
+        };
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("node 3"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Deterministic, seeded parameter initialisation.
+//!
+//! The SFI paper's data-aware analysis consumes the *distribution* of the
+//! golden weights (per-bit 0/1 frequencies and flip distances). Trained CNN
+//! weights are empirically zero-mean with a per-layer scale set by fan-in,
+//! which is exactly what He/Xavier initialisation produces — so a seeded
+//! He-initialised network exercises the same IEEE-754 bit statistics as the
+//! paper's pretrained models without requiring model zoo plumbing (see
+//! DESIGN.md §2 for the substitution argument).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{ParamKind, ParameterStore};
+
+/// Draws one sample from `N(0, 1)` via the Box–Muller transform.
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Fills every parameter of `store` deterministically from `seed`.
+///
+/// - convolution weights (`rank 4`): He normal, `σ = sqrt(2 / fan_in)`;
+/// - linear weights (`rank 2`): Xavier uniform,
+///   `bound = sqrt(6 / (fan_in + fan_out))`;
+/// - biases: zero;
+/// - batch-norm `γ`: `N(1, 0.05)`, `β`: `N(0, 0.05)`;
+/// - batch-norm mean: `N(0, 0.1)`, variance: uniform in `[0.2, 1.0]`
+///   (always positive).
+///
+/// The same `(store layout, seed)` pair always produces identical values, so
+/// campaign workers can rebuild bit-identical models independently.
+pub fn initialize_seeded(store: &mut ParameterStore, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for p in store.iter_mut() {
+        let dims = p.tensor.shape().dims().to_vec();
+        match p.kind {
+            ParamKind::Weight { .. } => {
+                if dims.len() == 4 {
+                    // Conv weight [C_out, C_in/g, K, K]: fan_in = C_in/g * K * K.
+                    let fan_in = (dims[1] * dims[2] * dims[3]) as f64;
+                    let std = (2.0 / fan_in).sqrt();
+                    for v in p.tensor.as_mut_slice() {
+                        *v = (standard_normal(&mut rng) * std) as f32;
+                    }
+                } else {
+                    // Linear weight [out, in]: Xavier uniform.
+                    let fan_out = dims[0] as f64;
+                    let fan_in = dims[1] as f64;
+                    let bound = (6.0 / (fan_in + fan_out)).sqrt();
+                    for v in p.tensor.as_mut_slice() {
+                        *v = rng.gen_range(-bound..bound) as f32;
+                    }
+                }
+            }
+            ParamKind::Bias => {
+                for v in p.tensor.as_mut_slice() {
+                    *v = 0.0;
+                }
+            }
+            ParamKind::BnGamma => {
+                for v in p.tensor.as_mut_slice() {
+                    *v = (1.0 + standard_normal(&mut rng) * 0.05) as f32;
+                }
+            }
+            ParamKind::BnBeta => {
+                for v in p.tensor.as_mut_slice() {
+                    *v = (standard_normal(&mut rng) * 0.05) as f32;
+                }
+            }
+            ParamKind::BnMean => {
+                for v in p.tensor.as_mut_slice() {
+                    *v = (standard_normal(&mut rng) * 0.1) as f32;
+                }
+            }
+            ParamKind::BnVar => {
+                for v in p.tensor.as_mut_slice() {
+                    *v = rng.gen_range(0.2..1.0);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfi_tensor::Tensor;
+
+    fn sample_store() -> ParameterStore {
+        let mut s = ParameterStore::new();
+        s.push("conv.weight", ParamKind::Weight { layer: 0 }, Tensor::zeros([16, 8, 3, 3]));
+        s.push("conv.bias", ParamKind::Bias, Tensor::zeros([16]));
+        s.push("bn.gamma", ParamKind::BnGamma, Tensor::zeros([16]));
+        s.push("bn.beta", ParamKind::BnBeta, Tensor::zeros([16]));
+        s.push("bn.mean", ParamKind::BnMean, Tensor::zeros([16]));
+        s.push("bn.var", ParamKind::BnVar, Tensor::zeros([16]));
+        s.push("fc.weight", ParamKind::Weight { layer: 1 }, Tensor::zeros([10, 64]));
+        s
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = sample_store();
+        let mut b = sample_store();
+        initialize_seeded(&mut a, 99);
+        initialize_seeded(&mut b, 99);
+        assert_eq!(a, b);
+        let mut c = sample_store();
+        initialize_seeded(&mut c, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn conv_weights_match_he_scale() {
+        let mut s = ParameterStore::new();
+        s.push("w", ParamKind::Weight { layer: 0 }, Tensor::zeros([64, 32, 3, 3]));
+        initialize_seeded(&mut s, 7);
+        let w = s.get(0).unwrap().tensor.as_slice();
+        let n = w.len() as f64;
+        let mean: f64 = w.iter().map(|&v| v as f64).sum::<f64>() / n;
+        let var: f64 = w.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
+        let expected_var = 2.0 / (32.0 * 9.0);
+        assert!(mean.abs() < 0.002, "mean {mean}");
+        assert!((var / expected_var - 1.0).abs() < 0.1, "var {var} vs {expected_var}");
+    }
+
+    #[test]
+    fn linear_weights_within_xavier_bound() {
+        let mut s = ParameterStore::new();
+        s.push("w", ParamKind::Weight { layer: 0 }, Tensor::zeros([10, 64]));
+        initialize_seeded(&mut s, 7);
+        let bound = (6.0f64 / (64.0 + 10.0)).sqrt() as f32;
+        assert!(s.get(0).unwrap().tensor.iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn biases_are_zero_and_var_positive() {
+        let mut s = sample_store();
+        initialize_seeded(&mut s, 3);
+        assert!(s.get(1).unwrap().tensor.iter().all(|v| v == 0.0));
+        assert!(s.get(5).unwrap().tensor.iter().all(|v| v > 0.0));
+    }
+
+    #[test]
+    fn gamma_centred_at_one() {
+        let mut s = ParameterStore::new();
+        s.push("g", ParamKind::BnGamma, Tensor::zeros([4096]));
+        initialize_seeded(&mut s, 11);
+        let g = s.get(0).unwrap().tensor.as_slice();
+        let mean: f64 = g.iter().map(|&v| v as f64).sum::<f64>() / g.len() as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

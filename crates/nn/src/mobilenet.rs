@@ -1,0 +1,251 @@
+//! CIFAR-10 MobileNetV2 (Sandler et al. 2018) — the paper's second case
+//! study.
+//!
+//! The CIFAR variant follows the widely used adaptation: stride-1 stem,
+//! stride-1 first expansion stage (32×32 inputs cannot afford the ImageNet
+//! model's aggressive early downsampling), and a 10-class head. Matching the
+//! paper's Table II (54 weight layers, 2,203,584 parameters) requires one
+//! structural detail: the first inverted-residual block (expansion factor
+//! `t = 1`) **keeps** its 1×1 expansion convolution rather than eliding it
+//! as torchvision does — 1 stem + 17 blocks × 3 convolutions + 1 final 1×1
+//! convolution + 1 classifier = 54.
+
+use serde::{Deserialize, Serialize};
+
+use sfi_tensor::ops::Conv2dCfg;
+
+use crate::builder::GraphBuilder;
+use crate::{init, Model, NnError, NodeId};
+
+/// One inverted-residual stage description: `(expansion, channels, repeats,
+/// first-stride)`.
+type Stage = (usize, usize, usize, usize);
+
+/// The CIFAR MobileNetV2 stage table.
+const STAGES: [Stage; 7] = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 1), // stride 1 (ImageNet uses 2): CIFAR adaptation
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+];
+
+/// Configuration of a CIFAR MobileNetV2.
+///
+/// # Example
+///
+/// ```
+/// use sfi_nn::mobilenet::MobileNetV2Config;
+///
+/// let cfg = MobileNetV2Config::cifar();
+/// let model = cfg.build().unwrap();
+/// assert_eq!(model.weight_layers().len(), 54);
+/// assert_eq!(model.store().total_weights(), 2_203_584); // paper Table II
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MobileNetV2Config {
+    /// Width multiplier applied to every channel count (paper network: 1.0).
+    pub width: f64,
+    /// Number of output classes (CIFAR-10: 10).
+    pub classes: usize,
+    /// Input spatial size (CIFAR: 32).
+    pub input_size: usize,
+}
+
+impl MobileNetV2Config {
+    /// The paper's CIFAR-10 MobileNetV2 at full width.
+    pub fn cifar() -> Self {
+        Self { width: 1.0, classes: 10, input_size: 32 }
+    }
+
+    /// A reduced variant small enough for exhaustive fault injection:
+    /// width 0.1, 16×16 inputs.
+    pub fn cifar_micro() -> Self {
+        Self { width: 0.1, classes: 10, input_size: 16 }
+    }
+
+    /// Returns a copy with a different width multiplier.
+    pub fn with_width(mut self, width: f64) -> Self {
+        self.width = width;
+        self
+    }
+
+    /// Returns a copy with a different input resolution.
+    pub fn with_input_size(mut self, input_size: usize) -> Self {
+        self.input_size = input_size;
+        self
+    }
+
+    fn scaled(&self, channels: usize) -> usize {
+        ((channels as f64 * self.width).round() as usize).max(2)
+    }
+
+    /// Builds the model with zeroed parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-positive width, zero classes, or an input
+    /// size not divisible by 8 (the network downsamples three times).
+    pub fn build(&self) -> Result<Model, NnError> {
+        if self.width <= 0.0 || !self.width.is_finite() || self.classes == 0 {
+            return Err(NnError::InvalidGraph {
+                reason: "width must be positive and classes nonzero".into(),
+            });
+        }
+        if self.input_size == 0 || !self.input_size.is_multiple_of(8) {
+            return Err(NnError::InvalidGraph {
+                reason: format!("input size {} must be a positive multiple of 8", self.input_size),
+            });
+        }
+        let mut b = GraphBuilder::new();
+
+        // Stem: 3 -> 32, stride 1 on CIFAR.
+        let stem = self.scaled(32);
+        let mut x = b.conv("conv0", 0, 3, stem, 3, Conv2dCfg::same(1));
+        x = b.batch_norm("bn0", x, stem);
+        x = b.relu6(x);
+
+        let mut c_in = stem;
+        for (si, &(t, c, n, s)) in STAGES.iter().enumerate() {
+            let c_out = self.scaled(c);
+            for block in 0..n {
+                let stride = if block == 0 { s } else { 1 };
+                let name = format!("stage{si}.block{block}");
+                x = inverted_residual(&mut b, &name, x, c_in, c_out, t, stride);
+                c_in = c_out;
+            }
+        }
+
+        // Head: 1x1 conv to 1280, GAP, classifier.
+        let head = self.scaled(1280);
+        x = b.conv("conv_last", x, c_in, head, 1, Conv2dCfg::valid(1));
+        x = b.batch_norm("bn_last", x, head);
+        x = b.relu6(x);
+        x = b.global_avg_pool(x);
+        let _ = b.linear("fc", x, head, self.classes);
+        b.finish("mobilenetv2", vec![3, self.input_size, self.input_size])
+    }
+
+    /// Builds the model and initialises every parameter from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MobileNetV2Config::build`].
+    pub fn build_seeded(&self, seed: u64) -> Result<Model, NnError> {
+        let mut model = self.build()?;
+        init::initialize_seeded(model.store_mut(), seed);
+        Ok(model)
+    }
+}
+
+impl Default for MobileNetV2Config {
+    fn default() -> Self {
+        Self::cifar()
+    }
+}
+
+/// An inverted residual block: 1×1 expand → 3×3 depthwise → 1×1 project,
+/// each BN-normalised, ReLU6 after the first two, residual add when the
+/// block preserves shape. The expansion convolution is present even at
+/// `t = 1` (see module docs).
+fn inverted_residual(
+    b: &mut GraphBuilder,
+    name: &str,
+    input: NodeId,
+    c_in: usize,
+    c_out: usize,
+    t: usize,
+    stride: usize,
+) -> NodeId {
+    let hidden = c_in * t;
+    let mut x = b.conv(&format!("{name}.expand"), input, c_in, hidden, 1, Conv2dCfg::valid(1));
+    x = b.batch_norm(&format!("{name}.bn1"), x, hidden);
+    x = b.relu6(x);
+    x = b.conv(
+        &format!("{name}.depthwise"),
+        x,
+        hidden,
+        hidden,
+        3,
+        Conv2dCfg::same(stride).with_groups(hidden),
+    );
+    x = b.batch_norm(&format!("{name}.bn2"), x, hidden);
+    x = b.relu6(x);
+    x = b.conv(&format!("{name}.project"), x, hidden, c_out, 1, Conv2dCfg::valid(1));
+    x = b.batch_norm(&format!("{name}.bn3"), x, c_out);
+    if stride == 1 && c_in == c_out {
+        x = b.add(x, input);
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfi_tensor::Tensor;
+
+    #[test]
+    fn cifar_matches_paper_table2_totals() {
+        let m = MobileNetV2Config::cifar().build().unwrap();
+        assert_eq!(m.weight_layers().len(), 54, "paper Table II: 54 layers");
+        assert_eq!(m.store().total_weights(), 2_203_584, "paper Table II parameters");
+        // Fault population: params × 32 bits × 2 stuck-at polarities.
+        assert_eq!(m.store().total_weights() * 64, 141_029_376);
+    }
+
+    #[test]
+    fn layer_zero_and_last_layers() {
+        let m = MobileNetV2Config::cifar().build().unwrap();
+        let layers = m.weight_layers();
+        assert_eq!(layers[0].len, 3 * 32 * 9, "stem");
+        assert_eq!(layers[52].len, 320 * 1280, "final 1x1 conv");
+        assert_eq!(layers[53].len, 1280 * 10, "classifier");
+    }
+
+    #[test]
+    fn micro_variant_forward() {
+        let m = MobileNetV2Config::cifar_micro().build_seeded(3).unwrap();
+        let out = m.forward(&Tensor::zeros([1, 3, 16, 16])).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 10]);
+        assert!(out.iter().all(f32::is_finite));
+        assert_eq!(m.weight_layers().len(), 54);
+    }
+
+    #[test]
+    fn full_width_forward_runs() {
+        // One full-size inference to pin the spatial bookkeeping.
+        let m = MobileNetV2Config::cifar().with_width(0.25).build_seeded(9).unwrap();
+        let out = m.forward(&Tensor::full([1, 3, 32, 32], 0.1)).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        assert!(MobileNetV2Config::cifar().with_width(0.0).build().is_err());
+        assert!(MobileNetV2Config::cifar().with_input_size(20).build().is_err());
+        assert!(MobileNetV2Config { classes: 0, ..MobileNetV2Config::cifar() }.build().is_err());
+    }
+
+    #[test]
+    fn residual_blocks_present() {
+        // Stage 1 block 1 (24 -> 24, stride 1) must contain an Add node.
+        let m = MobileNetV2Config::cifar().build().unwrap();
+        let adds = m
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, crate::NodeOp::Add))
+            .count();
+        // Residual blocks: repeats beyond the first in each stage:
+        // (1-1)+(2-1)+(3-1)+(4-1)+(3-1)+(3-1)+(1-1) = 10.
+        assert_eq!(adds, 10);
+    }
+
+    #[test]
+    fn seeded_builds_are_reproducible() {
+        let a = MobileNetV2Config::cifar_micro().build_seeded(21).unwrap();
+        let b = MobileNetV2Config::cifar_micro().build_seeded(21).unwrap();
+        assert_eq!(a.store(), b.store());
+    }
+}

@@ -1,0 +1,728 @@
+use sfi_tensor::ops::{self, BatchNormParams};
+use sfi_tensor::Tensor;
+
+use crate::{Node, NodeId, NnError, ParamId, ParameterStore, WeightLayer};
+
+/// Cached per-node activations of one input, produced by
+/// [`Model::forward_cached`] and consumed by [`Model::forward_from`].
+///
+/// Fault campaigns keep one cache per evaluation image: a fault in weight
+/// layer `l` leaves every node before `l`'s node untouched, so re-running
+/// inference can start from the cached prefix.
+#[derive(Debug, Clone)]
+pub struct ActivationCache {
+    activations: Vec<Tensor>,
+}
+
+impl ActivationCache {
+    /// The cached output of node `id`.
+    pub fn get(&self, id: NodeId) -> Option<&Tensor> {
+        self.activations.get(id)
+    }
+
+    /// Number of cached node outputs.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.activations.len()
+    }
+
+    /// Approximate heap size of the cache in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.activations.iter().map(|t| t.len() * std::mem::size_of::<f32>()).sum()
+    }
+}
+
+/// A CNN as a topologically ordered operator graph plus its parameters.
+///
+/// Build models through the topology configs in [`crate::resnet`] and
+/// [`crate::mobilenet`], or assemble graphs manually with [`Model::new`].
+///
+/// # Example
+///
+/// ```
+/// use sfi_nn::resnet::ResNetConfig;
+/// use sfi_tensor::Tensor;
+///
+/// # fn main() -> Result<(), sfi_nn::NnError> {
+/// let model = ResNetConfig::resnet20().with_width(4).build_seeded(7)?;
+/// let logits = model.forward(&Tensor::zeros([2, 3, 32, 32]))?;
+/// assert_eq!(logits.shape().dims(), &[2, 10]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Model {
+    name: String,
+    nodes: Vec<Node>,
+    store: ParameterStore,
+    input_dims: Vec<usize>,
+    /// For each node, the smallest node id it transitively influences is
+    /// itself; for incremental re-execution we need, per parameter, the node
+    /// that consumes it.
+    param_node: Vec<Option<NodeId>>,
+}
+
+impl Model {
+    /// Assembles a model from a topologically ordered node list.
+    ///
+    /// `input_dims` is the per-image input shape (e.g. `[3, 32, 32]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidGraph`] when node 0 is not the input
+    /// placeholder, any node references a node at or after itself, or input
+    /// arity does not match the operator; returns
+    /// [`NnError::InvalidParameter`] when a referenced parameter id is out
+    /// of range.
+    pub fn new(
+        name: impl Into<String>,
+        nodes: Vec<Node>,
+        store: ParameterStore,
+        input_dims: Vec<usize>,
+    ) -> Result<Self, NnError> {
+        use crate::NodeOp;
+        if nodes.is_empty() || !matches!(nodes[0].op, NodeOp::Input) {
+            return Err(NnError::InvalidGraph {
+                reason: "node 0 must be the Input placeholder".into(),
+            });
+        }
+        let mut param_node: Vec<Option<NodeId>> = vec![None; store.len()];
+        for (id, node) in nodes.iter().enumerate() {
+            let arity = match node.op {
+                NodeOp::Input => 0,
+                NodeOp::Add => 2,
+                _ => 1,
+            };
+            if node.inputs.len() != arity {
+                return Err(NnError::InvalidGraph {
+                    reason: format!("node {id} expects {arity} inputs, has {}", node.inputs.len()),
+                });
+            }
+            for &inp in &node.inputs {
+                if inp >= id {
+                    return Err(NnError::InvalidGraph {
+                        reason: format!("node {id} references non-preceding node {inp}"),
+                    });
+                }
+            }
+            for p in node.params() {
+                if p >= store.len() {
+                    return Err(NnError::InvalidParameter {
+                        reason: format!("node {id} references unknown parameter {p}"),
+                    });
+                }
+                if param_node[p].is_none() {
+                    param_node[p] = Some(id);
+                }
+            }
+        }
+        Ok(Self { name: name.into(), nodes, store, input_dims, param_node })
+    }
+
+    /// The model's name (e.g. `"resnet20"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The graph nodes in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The parameter store.
+    pub fn store(&self) -> &ParameterStore {
+        &self.store
+    }
+
+    /// Mutable access to the parameter store (used by fault injectors).
+    pub fn store_mut(&mut self) -> &mut ParameterStore {
+        &mut self.store
+    }
+
+    /// Per-image input dimensions (e.g. `[3, 32, 32]`).
+    pub fn input_dims(&self) -> &[usize] {
+        &self.input_dims
+    }
+
+    /// The fault-injectable weight layers, in the paper's layer order.
+    pub fn weight_layers(&self) -> Vec<WeightLayer> {
+        self.store.weight_layers()
+    }
+
+    /// The node that consumes parameter `param`, when any does.
+    pub fn node_of_param(&self, param: ParamId) -> Option<NodeId> {
+        self.param_node.get(param).copied().flatten()
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<(), NnError> {
+        let dims = input.shape();
+        let ok = dims.rank() == self.input_dims.len() + 1
+            && dims.dims()[1..] == self.input_dims[..];
+        if ok {
+            Ok(())
+        } else {
+            Err(NnError::InputShape {
+                expected: self.input_dims.clone(),
+                actual: dims.dims().to_vec(),
+            })
+        }
+    }
+
+    fn eval_node(&self, id: NodeId, value_of: impl Fn(NodeId) -> Tensor) -> Result<Tensor, NnError> {
+        use crate::NodeOp;
+        let node = &self.nodes[id];
+        let param = |p: ParamId| &self.store.get(p).expect("validated at construction").tensor;
+        let wrap = |source| NnError::Op { node: id, source };
+        let out = match &node.op {
+            NodeOp::Input => unreachable!("input node is never re-evaluated"),
+            NodeOp::Conv { weight, bias, cfg } => {
+                let x = value_of(node.inputs[0]);
+                ops::conv2d(&x, param(*weight), bias.map(&param), *cfg).map_err(wrap)?
+            }
+            NodeOp::BatchNorm { gamma, beta, mean, var, eps } => {
+                let x = value_of(node.inputs[0]);
+                let params = BatchNormParams {
+                    gamma: param(*gamma),
+                    beta: param(*beta),
+                    mean: param(*mean),
+                    var: param(*var),
+                    eps: *eps,
+                };
+                ops::batch_norm(&x, &params).map_err(wrap)?
+            }
+            NodeOp::Relu => ops::relu(&value_of(node.inputs[0])),
+            NodeOp::Relu6 => ops::relu6(&value_of(node.inputs[0])),
+            NodeOp::AvgPool { kernel } => {
+                ops::avg_pool2d(&value_of(node.inputs[0]), *kernel).map_err(wrap)?
+            }
+            NodeOp::MaxPool { kernel } => {
+                ops::max_pool2d(&value_of(node.inputs[0]), *kernel).map_err(wrap)?
+            }
+            NodeOp::GlobalAvgPool => {
+                ops::global_avg_pool(&value_of(node.inputs[0])).map_err(wrap)?
+            }
+            NodeOp::Linear { weight, bias } => {
+                let x = value_of(node.inputs[0]);
+                let x2 = if x.shape().rank() == 2 {
+                    x
+                } else {
+                    let n = x.shape().dims()[0];
+                    let rest = x.len() / n;
+                    x.reshape([n, rest]).map_err(wrap)?
+                };
+                ops::linear(&x2, param(*weight), bias.map(&param)).map_err(wrap)?
+            }
+            NodeOp::Add => {
+                let a = value_of(node.inputs[0]);
+                let b = value_of(node.inputs[1]);
+                ops::add(&a, &b).map_err(wrap)?
+            }
+            NodeOp::DownsamplePad { out_channels, stride } => {
+                ops::downsample_pad_channels(&value_of(node.inputs[0]), *out_channels, *stride)
+                    .map_err(wrap)?
+            }
+        };
+        Ok(out)
+    }
+
+    /// Runs inference, returning the logits of the final node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputShape`] for a mismatched input, or the first
+    /// operator failure.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        self.check_input(input)?;
+        let mut values: Vec<Tensor> = Vec::with_capacity(self.nodes.len());
+        values.push(input.clone());
+        for id in 1..self.nodes.len() {
+            let v = self.eval_node(id, |i| values[i].clone())?;
+            values.push(v);
+        }
+        Ok(values.pop().expect("graph has at least one node"))
+    }
+
+    /// Runs inference and returns every node's activation, for later
+    /// incremental re-execution with [`Model::forward_from`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Model::forward`].
+    pub fn forward_cached(&self, input: &Tensor) -> Result<ActivationCache, NnError> {
+        self.check_input(input)?;
+        let mut values: Vec<Tensor> = Vec::with_capacity(self.nodes.len());
+        values.push(input.clone());
+        for id in 1..self.nodes.len() {
+            let v = self.eval_node(id, |i| values[i].clone())?;
+            values.push(v);
+        }
+        Ok(ActivationCache { activations: values })
+    }
+
+    /// Re-runs inference assuming every node **before** `first_dirty` still
+    /// has the activation recorded in `cache`.
+    ///
+    /// Nodes `>= first_dirty` are recomputed (reading cached values for
+    /// earlier inputs); the final node's output is returned. With
+    /// `first_dirty == 0` this degrades to a full forward pass over the
+    /// cached input.
+    ///
+    /// This is sound for weight faults: a fault in the parameter consumed by
+    /// node `d` cannot change any activation produced by nodes `< d` in a
+    /// topologically ordered graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::CacheMismatch`] when the cache does not cover this
+    /// model's node count, or the first operator failure.
+    pub fn forward_from(
+        &self,
+        first_dirty: NodeId,
+        cache: &ActivationCache,
+    ) -> Result<Tensor, NnError> {
+        if cache.activations.len() != self.nodes.len() {
+            return Err(NnError::CacheMismatch {
+                reason: format!(
+                    "cache holds {} activations, model has {} nodes",
+                    cache.activations.len(),
+                    self.nodes.len()
+                ),
+            });
+        }
+        let first_dirty = first_dirty.max(1);
+        if first_dirty >= self.nodes.len() {
+            return Ok(cache.activations.last().expect("nonempty").clone());
+        }
+        // Recomputed suffix values, indexed by id - first_dirty.
+        let mut fresh: Vec<Tensor> = Vec::with_capacity(self.nodes.len() - first_dirty);
+        for id in first_dirty..self.nodes.len() {
+            let v = self.eval_node(id, |i| {
+                if i < first_dirty {
+                    cache.activations[i].clone()
+                } else {
+                    fresh[i - first_dirty].clone()
+                }
+            })?;
+            fresh.push(v);
+        }
+        Ok(fresh.pop().expect("suffix is nonempty"))
+    }
+
+    /// Re-runs inference with node `node`'s cached activation replaced by
+    /// `patch(cached)` — the primitive behind *transient activation fault*
+    /// campaigns: a soft error strikes a feature map during one inference,
+    /// so the clean prefix up to (and including) the struck node is reused
+    /// from the golden cache and only the suffix is recomputed.
+    ///
+    /// With `node == 0` the patch applies to the input image itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::CacheMismatch`] when the cache does not cover
+    /// this model's nodes or `node` is out of range, or the first operator
+    /// failure.
+    pub fn forward_patched(
+        &self,
+        node: NodeId,
+        cache: &ActivationCache,
+        patch: impl FnOnce(&mut Tensor),
+    ) -> Result<Tensor, NnError> {
+        if cache.activations.len() != self.nodes.len() {
+            return Err(NnError::CacheMismatch {
+                reason: format!(
+                    "cache holds {} activations, model has {} nodes",
+                    cache.activations.len(),
+                    self.nodes.len()
+                ),
+            });
+        }
+        if node >= self.nodes.len() {
+            return Err(NnError::CacheMismatch {
+                reason: format!("node {node} out of range ({} nodes)", self.nodes.len()),
+            });
+        }
+        let mut patched = cache.activations[node].clone();
+        patch(&mut patched);
+        if node + 1 == self.nodes.len() {
+            return Ok(patched);
+        }
+        // Recompute the suffix, reading the patched value for `node` and
+        // cached values for everything else before it.
+        let mut fresh: Vec<Tensor> = Vec::with_capacity(self.nodes.len() - node - 1);
+        for id in node + 1..self.nodes.len() {
+            let v = self.eval_node(id, |i| {
+                if i == node {
+                    patched.clone()
+                } else if i <= node {
+                    cache.activations[i].clone()
+                } else {
+                    fresh[i - node - 1].clone()
+                }
+            })?;
+            fresh.push(v);
+        }
+        Ok(fresh.pop().expect("suffix is nonempty"))
+    }
+
+    /// A human-readable summary: one line per weight layer with its name,
+    /// shape, and parameter count, plus totals.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sfi_nn::resnet::ResNetConfig;
+    ///
+    /// # fn main() -> Result<(), sfi_nn::NnError> {
+    /// let model = ResNetConfig::resnet20().build()?;
+    /// let summary = model.summary();
+    /// assert!(summary.contains("resnet20"));
+    /// assert!(summary.contains("268336 weights"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{} ({} nodes)", self.name, self.nodes.len());
+        for layer in self.weight_layers() {
+            let param = self.store.get(layer.param).expect("layer param exists");
+            let _ = writeln!(
+                out,
+                "  L{:<3} {:<28} {:<16} {:>9}",
+                layer.layer,
+                layer.name,
+                param.tensor.shape().to_string(),
+                layer.len
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  total: {} weights across {} layers ({} parameters incl. aux)",
+            self.store.total_weights(),
+            self.weight_layers().len(),
+            self.store.iter().map(|p| p.tensor.len()).sum::<usize>()
+        );
+        out
+    }
+
+    /// Per-weight-layer summary statistics of the golden weights:
+    /// `(layer, mean, std, min, max)` — the inputs a reliability engineer
+    /// inspects before trusting the data-aware prior.
+    pub fn weight_stats(&self) -> Vec<LayerStats> {
+        self.weight_layers()
+            .iter()
+            .map(|l| {
+                let w = self.store.get(l.param).expect("layer param exists").tensor.as_slice();
+                let n = w.len() as f64;
+                let mean = w.iter().map(|&v| f64::from(v)).sum::<f64>() / n;
+                let var =
+                    w.iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>() / n;
+                LayerStats {
+                    layer: l.layer,
+                    mean,
+                    std: var.sqrt(),
+                    min: w.iter().copied().fold(f32::INFINITY, f32::min),
+                    max: w.iter().copied().fold(f32::NEG_INFINITY, f32::max),
+                }
+            })
+            .collect()
+    }
+
+    /// Top-1 class indices for a batch of inputs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Model::forward`].
+    pub fn predict(&self, input: &Tensor) -> Result<Vec<usize>, NnError> {
+        let logits = self.forward(input)?;
+        let batch = logits.shape().dims()[0];
+        let classes = logits.shape().dims()[1];
+        let data = logits.as_slice();
+        Ok((0..batch)
+            .map(|b| {
+                let row = &data[b * classes..(b + 1) * classes];
+                argmax_slice(row)
+            })
+            .collect())
+    }
+}
+
+/// Summary statistics of one weight layer's golden values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerStats {
+    /// The paper's 0-based layer index.
+    pub layer: usize,
+    /// Mean weight value.
+    pub mean: f64,
+    /// Standard deviation.
+    pub std: f64,
+    /// Minimum weight.
+    pub min: f32,
+    /// Maximum weight.
+    pub max: f32,
+}
+
+/// Index of the maximum element, NaN-aware (see [`Tensor::argmax`]).
+pub(crate) fn argmax_slice(row: &[f32]) -> usize {
+    let mut best = 0usize;
+    let mut best_val = f32::NEG_INFINITY;
+    let mut seen_finite = false;
+    for (i, &v) in row.iter().enumerate() {
+        if !v.is_nan() && (v > best_val || !seen_finite) {
+            best = i;
+            best_val = v;
+            seen_finite = true;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeOp, ParamKind};
+    use sfi_tensor::ops::Conv2dCfg;
+
+    /// A tiny two-layer model: conv(1->2, 3x3) -> relu -> gap -> linear.
+    fn tiny_model() -> Model {
+        let mut store = ParameterStore::new();
+        let w0 = store.push(
+            "conv.weight",
+            ParamKind::Weight { layer: 0 },
+            Tensor::from_fn([2, 1, 3, 3], |i| (i as f32 - 9.0) * 0.1),
+        );
+        let w1 = store.push(
+            "fc.weight",
+            ParamKind::Weight { layer: 1 },
+            Tensor::from_fn([3, 2], |i| (i as f32 - 3.0) * 0.5),
+        );
+        let b1 = store.push("fc.bias", ParamKind::Bias, Tensor::from_fn([3], |i| i as f32 * 0.1));
+        let nodes = vec![
+            Node { op: NodeOp::Input, inputs: vec![] },
+            Node::unary(NodeOp::Conv { weight: w0, bias: None, cfg: Conv2dCfg::same(1) }, 0),
+            Node::unary(NodeOp::Relu, 1),
+            Node::unary(NodeOp::GlobalAvgPool, 2),
+            Node::unary(NodeOp::Linear { weight: w1, bias: Some(b1) }, 3),
+        ];
+        Model::new("tiny", nodes, store, vec![1, 4, 4]).unwrap()
+    }
+
+    fn tiny_input() -> Tensor {
+        Tensor::from_fn([1, 1, 4, 4], |i| (i as f32).sin())
+    }
+
+    #[test]
+    fn forward_produces_logits() {
+        let m = tiny_model();
+        let out = m.forward(&tiny_input()).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 3]);
+        assert!(out.iter().all(f32::is_finite));
+    }
+
+    #[test]
+    fn forward_rejects_wrong_input_shape() {
+        let m = tiny_model();
+        assert!(matches!(
+            m.forward(&Tensor::zeros([1, 2, 4, 4])),
+            Err(NnError::InputShape { .. })
+        ));
+        assert!(m.forward(&Tensor::zeros([1, 4, 4])).is_err());
+    }
+
+    #[test]
+    fn cached_forward_matches_plain() {
+        let m = tiny_model();
+        let input = tiny_input();
+        let plain = m.forward(&input).unwrap();
+        let cache = m.forward_cached(&input).unwrap();
+        let last = cache.get(cache.len() - 1).unwrap();
+        assert_eq!(plain, *last);
+    }
+
+    #[test]
+    fn forward_from_zero_matches_full() {
+        let m = tiny_model();
+        let input = tiny_input();
+        let cache = m.forward_cached(&input).unwrap();
+        let out = m.forward_from(0, &cache).unwrap();
+        assert_eq!(out, m.forward(&input).unwrap());
+    }
+
+    #[test]
+    fn forward_from_detects_weight_change() {
+        let mut m = tiny_model();
+        let input = tiny_input();
+        let cache = m.forward_cached(&input).unwrap();
+        let golden = m.forward(&input).unwrap();
+        // Corrupt the fc weight; only node 4 is dirty.
+        let fc = m.node_of_param(1).unwrap();
+        assert_eq!(fc, 4);
+        m.store_mut().get_mut(1).unwrap().tensor.as_mut_slice()[0] += 100.0;
+        let faulty = m.forward_from(fc, &cache).unwrap();
+        assert!(golden.max_abs_diff(&faulty).unwrap() > 1.0);
+        // And the cached prefix is genuinely reused: recompute-from-conv
+        // gives the same answer.
+        let full = m.forward(&input).unwrap();
+        assert!(full.max_abs_diff(&faulty).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn forward_from_past_end_returns_cached_output() {
+        let m = tiny_model();
+        let cache = m.forward_cached(&tiny_input()).unwrap();
+        let out = m.forward_from(999, &cache).unwrap();
+        assert_eq!(out, *cache.get(cache.len() - 1).unwrap());
+    }
+
+    #[test]
+    fn forward_from_rejects_foreign_cache() {
+        let m = tiny_model();
+        let cache = ActivationCache { activations: vec![Tensor::zeros([1])] };
+        assert!(matches!(m.forward_from(1, &cache), Err(NnError::CacheMismatch { .. })));
+    }
+
+    #[test]
+    fn graph_validation_rejects_forward_references() {
+        let store = ParameterStore::new();
+        let nodes = vec![
+            Node { op: NodeOp::Input, inputs: vec![] },
+            Node::unary(NodeOp::Relu, 1), // self-reference
+        ];
+        assert!(Model::new("bad", nodes, store, vec![1, 2, 2]).is_err());
+    }
+
+    #[test]
+    fn graph_validation_rejects_missing_input_node() {
+        let store = ParameterStore::new();
+        let nodes = vec![Node::unary(NodeOp::Relu, 0)];
+        assert!(Model::new("bad", nodes, store, vec![1]).is_err());
+    }
+
+    #[test]
+    fn graph_validation_rejects_bad_arity() {
+        let store = ParameterStore::new();
+        let nodes = vec![
+            Node { op: NodeOp::Input, inputs: vec![] },
+            Node { op: NodeOp::Add, inputs: vec![0] },
+        ];
+        assert!(Model::new("bad", nodes, store, vec![1]).is_err());
+    }
+
+    #[test]
+    fn graph_validation_rejects_unknown_param() {
+        let store = ParameterStore::new();
+        let nodes = vec![
+            Node { op: NodeOp::Input, inputs: vec![] },
+            Node::unary(NodeOp::Linear { weight: 5, bias: None }, 0),
+        ];
+        assert!(matches!(
+            Model::new("bad", nodes, store, vec![1]),
+            Err(NnError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn predict_returns_argmax_per_image() {
+        let m = tiny_model();
+        let batch = Tensor::from_fn([2, 1, 4, 4], |i| ((i * 7) % 11) as f32 * 0.1);
+        let preds = m.predict(&batch).unwrap();
+        assert_eq!(preds.len(), 2);
+        assert!(preds.iter().all(|&p| p < 3));
+    }
+
+    #[test]
+    fn argmax_slice_nan_aware() {
+        assert_eq!(argmax_slice(&[f32::NAN, 2.0, 1.0]), 1);
+        assert_eq!(argmax_slice(&[f32::NAN, f32::NAN]), 0);
+        assert_eq!(argmax_slice(&[1.0, 3.0, 3.0]), 1);
+    }
+
+    #[test]
+    fn forward_patched_identity_matches_cached_output() {
+        let m = tiny_model();
+        let cache = m.forward_cached(&tiny_input()).unwrap();
+        let out = m.forward_patched(2, &cache, |_| {}).unwrap();
+        assert_eq!(out, *cache.get(cache.len() - 1).unwrap());
+    }
+
+    #[test]
+    fn forward_patched_at_input_matches_full_forward() {
+        let m = tiny_model();
+        let input = tiny_input();
+        let cache = m.forward_cached(&input).unwrap();
+        // Patch the input: zero one pixel; compare against a plain forward
+        // on the same modified image.
+        let mut modified = input.clone();
+        modified.as_mut_slice()[5] = 0.0;
+        let patched = m
+            .forward_patched(0, &cache, |t| t.as_mut_slice()[5] = 0.0)
+            .unwrap();
+        let direct = m.forward(&modified).unwrap();
+        assert!(patched.max_abs_diff(&direct).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn forward_patched_at_last_node_returns_patched_logits() {
+        let m = tiny_model();
+        let cache = m.forward_cached(&tiny_input()).unwrap();
+        let last = m.nodes().len() - 1;
+        let out = m.forward_patched(last, &cache, |t| t.as_mut_slice()[0] = 99.0).unwrap();
+        assert_eq!(out.as_slice()[0], 99.0);
+    }
+
+    #[test]
+    fn forward_patched_propagates_corruption() {
+        let m = tiny_model();
+        let cache = m.forward_cached(&tiny_input()).unwrap();
+        let golden = cache.get(cache.len() - 1).unwrap().clone();
+        let corrupted = m
+            .forward_patched(1, &cache, |t| {
+                for v in t.as_mut_slice() {
+                    *v += 10.0;
+                }
+            })
+            .unwrap();
+        assert!(golden.max_abs_diff(&corrupted).unwrap() > 0.1);
+    }
+
+    #[test]
+    fn forward_patched_rejects_bad_node_and_cache() {
+        let m = tiny_model();
+        let cache = m.forward_cached(&tiny_input()).unwrap();
+        assert!(m.forward_patched(99, &cache, |_| {}).is_err());
+        let foreign = ActivationCache { activations: vec![Tensor::zeros([1])] };
+        assert!(m.forward_patched(1, &foreign, |_| {}).is_err());
+    }
+
+    #[test]
+    fn summary_lists_every_weight_layer() {
+        let m = tiny_model();
+        let s = m.summary();
+        assert!(s.contains("tiny"));
+        assert!(s.contains("conv.weight"));
+        assert!(s.contains("fc.weight"));
+        assert!(s.contains("total: 24 weights across 2 layers"));
+    }
+
+    #[test]
+    fn weight_stats_are_consistent() {
+        let m = tiny_model();
+        let stats = m.weight_stats();
+        assert_eq!(stats.len(), 2);
+        for s in &stats {
+            assert!(s.min <= s.max);
+            assert!(f64::from(s.min) <= s.mean && s.mean <= f64::from(s.max));
+            assert!(s.std >= 0.0);
+        }
+        // conv weights are the ramp (i - 9) * 0.1 over i in 0..18: mean -0.05.
+        assert!((stats[0].mean - (-0.05)).abs() < 1e-6, "mean {}", stats[0].mean);
+    }
+
+    #[test]
+    fn cache_memory_accounting() {
+        let m = tiny_model();
+        let cache = m.forward_cached(&tiny_input()).unwrap();
+        // input 16 + conv out 32 + relu 32 + gap 2 + fc 3 = 85 floats
+        assert_eq!(cache.memory_bytes(), 85 * 4);
+    }
+}

@@ -1,0 +1,149 @@
+use sfi_tensor::ops::Conv2dCfg;
+
+use crate::ParamId;
+
+/// Identifier of a node inside a [`Model`](crate::Model) graph (its
+/// topological position).
+pub type NodeId = usize;
+
+/// One operator in the model graph.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NodeOp {
+    /// The graph input placeholder. Exactly one per model, at position 0.
+    Input,
+    /// 2-D convolution with weight (and optional bias) parameters.
+    Conv {
+        /// Weight parameter (`[C_out, C_in/groups, K, K]`).
+        weight: ParamId,
+        /// Optional bias parameter (`[C_out]`).
+        bias: Option<ParamId>,
+        /// Stride / padding / groups configuration.
+        cfg: Conv2dCfg,
+    },
+    /// Inference-mode batch normalisation.
+    BatchNorm {
+        /// Scale parameter `γ`.
+        gamma: ParamId,
+        /// Shift parameter `β`.
+        beta: ParamId,
+        /// Running mean `μ`.
+        mean: ParamId,
+        /// Running variance `σ²`.
+        var: ParamId,
+        /// Stability epsilon.
+        eps: f32,
+    },
+    /// ReLU activation.
+    Relu,
+    /// ReLU6 activation (MobileNetV2).
+    Relu6,
+    /// Average pooling with square kernel and equal stride.
+    AvgPool {
+        /// Kernel (and stride) size.
+        kernel: usize,
+    },
+    /// Max pooling with square kernel and equal stride (VGG-style nets).
+    MaxPool {
+        /// Kernel (and stride) size.
+        kernel: usize,
+    },
+    /// Global average pooling producing a rank-2 `[N, C]` tensor.
+    GlobalAvgPool,
+    /// Fully-connected layer.
+    Linear {
+        /// Weight parameter (`[out_features, in_features]`).
+        weight: ParamId,
+        /// Optional bias parameter (`[out_features]`).
+        bias: Option<ParamId>,
+    },
+    /// Element-wise addition of the two input nodes (residual join).
+    Add,
+    /// Parameter-free ResNet "option A" shortcut: spatial subsample by
+    /// `stride` plus zero-padding of channels up to `out_channels`.
+    DownsamplePad {
+        /// Channel count after padding.
+        out_channels: usize,
+        /// Spatial subsampling stride.
+        stride: usize,
+    },
+}
+
+/// A graph node: an operator plus the ids of the nodes it consumes.
+///
+/// Input ids must be strictly smaller than the node's own id (the graph is
+/// stored in topological order), which [`Model::new`](crate::Model::new)
+/// verifies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// The operator.
+    pub op: NodeOp,
+    /// Ids of the nodes whose outputs feed this operator.
+    pub inputs: Vec<NodeId>,
+}
+
+impl Node {
+    /// Convenience constructor for single-input nodes.
+    pub fn unary(op: NodeOp, input: NodeId) -> Self {
+        Self { op, inputs: vec![input] }
+    }
+
+    /// Convenience constructor for two-input nodes (residual joins).
+    pub fn binary(op: NodeOp, lhs: NodeId, rhs: NodeId) -> Self {
+        Self { op, inputs: vec![lhs, rhs] }
+    }
+
+    /// Parameter ids referenced by this node, in a fixed order.
+    pub fn params(&self) -> Vec<ParamId> {
+        match &self.op {
+            NodeOp::Conv { weight, bias, .. } | NodeOp::Linear { weight, bias } => {
+                let mut v = vec![*weight];
+                if let Some(b) = bias {
+                    v.push(*b);
+                }
+                v
+            }
+            NodeOp::BatchNorm { gamma, beta, mean, var, .. } => vec![*gamma, *beta, *mean, *var],
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unary_and_binary_constructors() {
+        let n = Node::unary(NodeOp::Relu, 3);
+        assert_eq!(n.inputs, vec![3]);
+        let b = Node::binary(NodeOp::Add, 1, 2);
+        assert_eq!(b.inputs, vec![1, 2]);
+    }
+
+    #[test]
+    fn params_of_conv_and_linear() {
+        let conv = Node::unary(
+            NodeOp::Conv { weight: 7, bias: Some(8), cfg: Conv2dCfg::same(1) },
+            0,
+        );
+        assert_eq!(conv.params(), vec![7, 8]);
+        let lin = Node::unary(NodeOp::Linear { weight: 2, bias: None }, 0);
+        assert_eq!(lin.params(), vec![2]);
+    }
+
+    #[test]
+    fn params_of_batch_norm() {
+        let bn = Node::unary(
+            NodeOp::BatchNorm { gamma: 1, beta: 2, mean: 3, var: 4, eps: 1e-5 },
+            0,
+        );
+        assert_eq!(bn.params(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn activation_has_no_params() {
+        assert!(Node::unary(NodeOp::Relu, 0).params().is_empty());
+        assert!(Node::binary(NodeOp::Add, 0, 1).params().is_empty());
+    }
+}

@@ -1,0 +1,513 @@
+//! Training: explicit backpropagation through the operator graph plus SGD.
+//!
+//! The paper's golden models are *trained* networks (ResNet-20 at 91.7% on
+//! CIFAR-10). Reproducing the data-aware analysis on weights that have
+//! actually descended a loss — rather than freshly initialised ones —
+//! closes the last gap between this substrate and the paper's setting, and
+//! gives the synthetic evaluation sets meaningful golden accuracy.
+//!
+//! The implementation is deliberately explicit: a reverse pass over the
+//! topologically ordered node list, dispatching to the vector-Jacobian
+//! products in [`sfi_tensor::ops::grad`]. Batch-norm trains in *frozen
+//! statistics* mode (learnable affine, fixed μ/σ²), which sidesteps
+//! batch-statistics coupling and is all a small synthetic task needs.
+//!
+//! # Example
+//!
+//! ```
+//! use sfi_nn::resnet::ResNetConfig;
+//! use sfi_nn::train::{fit, TrainConfig};
+//! use sfi_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), sfi_nn::NnError> {
+//! let mut model = ResNetConfig { base_width: 2, blocks_per_stage: 1, classes: 2, input_size: 8 }
+//!     .build_seeded(1)?;
+//! // Two trivially separable classes.
+//! let images = vec![Tensor::full([1, 3, 8, 8], 1.0), Tensor::full([1, 3, 8, 8], -1.0)];
+//! let labels = vec![0usize, 1];
+//! let report = fit(&mut model, &images, &labels, &TrainConfig::new(40))?;
+//! assert!(report.final_loss() < report.epoch_losses[0]);
+//! # Ok(())
+//! # }
+//! ```
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use sfi_tensor::ops::grad;
+use sfi_tensor::Tensor;
+
+use crate::{Model, NnError, NodeOp, ParamKind};
+
+/// Per-parameter gradients, aligned with the model's parameter ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    fn zeros(params: usize) -> Self {
+        Self { grads: vec![None; params] }
+    }
+
+    fn accumulate(&mut self, param: usize, grad: Tensor) {
+        match &mut self.grads[param] {
+            Some(existing) => {
+                for (a, b) in existing.as_mut_slice().iter_mut().zip(grad.iter()) {
+                    *a += b;
+                }
+            }
+            slot => *slot = Some(grad),
+        }
+    }
+
+    /// The gradient of parameter `param`, when one was produced.
+    pub fn get(&self, param: usize) -> Option<&Tensor> {
+        self.grads.get(param).and_then(Option::as_ref)
+    }
+
+    /// Number of parameters with a gradient.
+    pub fn count(&self) -> usize {
+        self.grads.iter().filter(|g| g.is_some()).count()
+    }
+}
+
+/// Computes the softmax-cross-entropy loss of one batch and the gradients
+/// of every trainable parameter via backpropagation.
+///
+/// # Errors
+///
+/// Propagates forward/backward operator failures and label-range errors.
+pub fn backward(
+    model: &Model,
+    input: &Tensor,
+    labels: &[usize],
+) -> Result<(f32, Gradients), NnError> {
+    let cache = model.forward_cached(input)?;
+    let logits = cache.get(cache.len() - 1).expect("cache covers all nodes");
+    let (loss, grad_logits) = grad::softmax_cross_entropy(logits, labels)
+        .map_err(|source| NnError::Op { node: model.nodes().len() - 1, source })?;
+
+    let mut grads = Gradients::zeros(model.store().len());
+    let mut node_grads: Vec<Option<Tensor>> = vec![None; model.nodes().len()];
+    *node_grads.last_mut().expect("graph is nonempty") = Some(grad_logits);
+
+    for id in (1..model.nodes().len()).rev() {
+        let Some(g_out) = node_grads[id].take() else {
+            continue;
+        };
+        let node = &model.nodes()[id];
+        let x = |i: usize| cache.get(node.inputs[i]).expect("cache covers inputs");
+        let wrap = |source| NnError::Op { node: id, source };
+        let param = |p: usize| &model.store().get(p).expect("validated").tensor;
+        match &node.op {
+            NodeOp::Input => unreachable!("input node has id 0"),
+            NodeOp::Conv { weight, bias, cfg } => {
+                let (gx, gw) =
+                    grad::conv2d_backward(x(0), param(*weight), &g_out, *cfg).map_err(wrap)?;
+                grads.accumulate(*weight, gw);
+                if let Some(b) = bias {
+                    // d/d(bias[co]) = sum of grad over batch and space.
+                    let (n, c, h, w) = (
+                        g_out.shape().n(),
+                        g_out.shape().c(),
+                        g_out.shape().h(),
+                        g_out.shape().w(),
+                    );
+                    let mut gb = Tensor::zeros([c]);
+                    let gos = g_out.as_slice();
+                    for ni in 0..n {
+                        for ci in 0..c {
+                            let sum: f32 =
+                                gos[(ni * c + ci) * h * w..][..h * w].iter().sum();
+                            gb.as_mut_slice()[ci] += sum;
+                        }
+                    }
+                    grads.accumulate(*b, gb);
+                }
+                accumulate_node(&mut node_grads, node.inputs[0], gx);
+            }
+            NodeOp::BatchNorm { gamma, beta, mean, var, eps } => {
+                let (gx, gg, gb) = grad::batch_norm_backward(
+                    x(0),
+                    param(*gamma),
+                    param(*mean),
+                    param(*var),
+                    *eps,
+                    &g_out,
+                )
+                .map_err(wrap)?;
+                grads.accumulate(*gamma, gg);
+                grads.accumulate(*beta, gb);
+                accumulate_node(&mut node_grads, node.inputs[0], gx);
+            }
+            NodeOp::Relu => {
+                let gx = grad::relu_backward(x(0), &g_out).map_err(wrap)?;
+                accumulate_node(&mut node_grads, node.inputs[0], gx);
+            }
+            NodeOp::Relu6 => {
+                let gx = grad::relu6_backward(x(0), &g_out).map_err(wrap)?;
+                accumulate_node(&mut node_grads, node.inputs[0], gx);
+            }
+            NodeOp::AvgPool { kernel } => {
+                let gx = grad::avg_pool2d_backward(x(0).shape(), *kernel, &g_out)
+                    .map_err(wrap)?;
+                accumulate_node(&mut node_grads, node.inputs[0], gx);
+            }
+            NodeOp::MaxPool { kernel } => {
+                let gx = grad::max_pool2d_backward(x(0), *kernel, &g_out).map_err(wrap)?;
+                accumulate_node(&mut node_grads, node.inputs[0], gx);
+            }
+            NodeOp::GlobalAvgPool => {
+                let gx =
+                    grad::global_avg_pool_backward(x(0).shape(), &g_out).map_err(wrap)?;
+                accumulate_node(&mut node_grads, node.inputs[0], gx);
+            }
+            NodeOp::Linear { weight, bias } => {
+                let x0 = x(0);
+                let x2 = if x0.shape().rank() == 2 {
+                    x0.clone()
+                } else {
+                    let n = x0.shape().dims()[0];
+                    x0.reshape([n, x0.len() / n]).map_err(wrap)?
+                };
+                let (gx2, gw, gb) =
+                    grad::linear_backward(&x2, param(*weight), &g_out).map_err(wrap)?;
+                grads.accumulate(*weight, gw);
+                if let Some(b) = bias {
+                    grads.accumulate(*b, gb);
+                }
+                let gx = gx2.reshape(x0.shape()).map_err(wrap)?;
+                accumulate_node(&mut node_grads, node.inputs[0], gx);
+            }
+            NodeOp::Add => {
+                accumulate_node(&mut node_grads, node.inputs[0], g_out.clone());
+                accumulate_node(&mut node_grads, node.inputs[1], g_out);
+            }
+            NodeOp::DownsamplePad { out_channels, stride } => {
+                let gx = grad::downsample_pad_channels_backward(
+                    x(0).shape(),
+                    *out_channels,
+                    *stride,
+                    &g_out,
+                )
+                .map_err(wrap)?;
+                accumulate_node(&mut node_grads, node.inputs[0], gx);
+            }
+        }
+    }
+    Ok((loss, grads))
+}
+
+fn accumulate_node(node_grads: &mut [Option<Tensor>], node: usize, grad: Tensor) {
+    match &mut node_grads[node] {
+        Some(existing) => {
+            for (a, b) in existing.as_mut_slice().iter_mut().zip(grad.iter()) {
+                *a += b;
+            }
+        }
+        slot => *slot = Some(grad),
+    }
+}
+
+/// SGD hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SgdConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables).
+    pub momentum: f32,
+    /// L2 weight decay, applied to `Weight`-kind parameters only.
+    pub weight_decay: f32,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        Self { lr: 0.01, momentum: 0.9, weight_decay: 1e-4 }
+    }
+}
+
+/// SGD-with-momentum optimiser state.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    cfg: SgdConfig,
+    velocity: Vec<Option<Vec<f32>>>,
+}
+
+impl Sgd {
+    /// Creates an optimiser for a model with `params` parameters.
+    pub fn new(cfg: SgdConfig, params: usize) -> Self {
+        Self { cfg, velocity: vec![None; params] }
+    }
+
+    /// Applies one update step. Batch-norm running statistics are never
+    /// touched; weight decay applies only to convolution/linear weights.
+    pub fn step(&mut self, model: &mut Model, grads: &Gradients) {
+        for (id, param) in model.store_mut().iter_mut().enumerate() {
+            if matches!(param.kind, ParamKind::BnMean | ParamKind::BnVar) {
+                continue;
+            }
+            let Some(grad) = grads.get(id) else {
+                continue;
+            };
+            let wd = if matches!(param.kind, ParamKind::Weight { .. }) {
+                self.cfg.weight_decay
+            } else {
+                0.0
+            };
+            let velocity = self.velocity[id]
+                .get_or_insert_with(|| vec![0.0; param.tensor.len()]);
+            for ((w, v), g) in
+                param.tensor.as_mut_slice().iter_mut().zip(velocity.iter_mut()).zip(grad.iter())
+            {
+                *v = self.cfg.momentum * *v - self.cfg.lr * (g + wd * *w);
+                *w += *v;
+            }
+        }
+    }
+}
+
+/// Full training-run configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Shuffle/optimiser seed.
+    pub seed: u64,
+    /// Optimiser hyper-parameters.
+    pub sgd: SgdConfig,
+}
+
+impl TrainConfig {
+    /// `epochs` epochs with defaults otherwise.
+    pub fn new(epochs: usize) -> Self {
+        Self { epochs, batch_size: 8, seed: 0, sgd: SgdConfig::default() }
+    }
+}
+
+/// Outcome of a [`fit`] run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean loss per epoch, in order.
+    pub epoch_losses: Vec<f32>,
+}
+
+impl TrainReport {
+    /// The last epoch's mean loss.
+    pub fn final_loss(&self) -> f32 {
+        self.epoch_losses.last().copied().unwrap_or(f32::INFINITY)
+    }
+}
+
+/// Trains `model` on `(images, labels)` pairs (each image `[1, C, H, W]`).
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidGraph`] for empty or mismatched data, or the
+/// first forward/backward failure.
+pub fn fit(
+    model: &mut Model,
+    images: &[Tensor],
+    labels: &[usize],
+    cfg: &TrainConfig,
+) -> Result<TrainReport, NnError> {
+    if images.is_empty() || images.len() != labels.len() {
+        return Err(NnError::InvalidGraph {
+            reason: format!("{} images vs {} labels", images.len(), labels.len()),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut sgd = Sgd::new(cfg.sgd, model.store().len());
+    let mut order: Vec<usize> = (0..images.len()).collect();
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    let batch = cfg.batch_size.max(1);
+    for _ in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut loss_sum = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(batch) {
+            let (input, chunk_labels) = stack(images, labels, chunk)?;
+            let (loss, grads) = backward(model, &input, &chunk_labels)?;
+            sgd.step(model, &grads);
+            loss_sum += f64::from(loss);
+            batches += 1;
+        }
+        epoch_losses.push((loss_sum / batches.max(1) as f64) as f32);
+    }
+    Ok(TrainReport { epoch_losses })
+}
+
+/// Concatenates single-image tensors into one batch.
+fn stack(
+    images: &[Tensor],
+    labels: &[usize],
+    indices: &[usize],
+) -> Result<(Tensor, Vec<usize>), NnError> {
+    let first = &images[indices[0]];
+    let dims = first.shape().dims().to_vec();
+    let mut data = Vec::with_capacity(first.len() * indices.len());
+    let mut out_labels = Vec::with_capacity(indices.len());
+    for &i in indices {
+        if images[i].shape().dims() != dims {
+            return Err(NnError::InvalidGraph {
+                reason: "images in a batch must share a shape".into(),
+            });
+        }
+        data.extend_from_slice(images[i].as_slice());
+        out_labels.push(labels[i]);
+    }
+    let mut shape = dims;
+    shape[0] = indices.len();
+    let batch = Tensor::from_vec(sfi_tensor::Shape::new(&shape), data)
+        .expect("stacked buffer matches its shape");
+    Ok((batch, out_labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resnet::ResNetConfig;
+
+    fn tiny_model(classes: usize) -> Model {
+        ResNetConfig { base_width: 2, blocks_per_stage: 1, classes, input_size: 8 }
+            .build_seeded(5)
+            .unwrap()
+    }
+
+    fn toy_data(n: usize, classes: usize) -> (Vec<Tensor>, Vec<usize>) {
+        // Class c = constant image of value scaled by class index, plus a
+        // deterministic ripple so convolutions see structure.
+        let images: Vec<Tensor> = (0..n)
+            .map(|i| {
+                let c = i % classes;
+                Tensor::from_fn([1, 3, 8, 8], |j| {
+                    (c as f32 - (classes as f32 - 1.0) / 2.0) * 0.8
+                        + ((i * 31 + j * 7) % 13) as f32 * 0.01
+                })
+            })
+            .collect();
+        let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
+        (images, labels)
+    }
+
+    #[test]
+    fn backward_produces_gradients_for_all_trainables() {
+        let model = tiny_model(10);
+        let (images, labels) = toy_data(4, 10);
+        let (input, batch_labels) = stack(&images, &labels, &[0, 1, 2, 3]).unwrap();
+        let (loss, grads) = backward(&model, &input, &batch_labels).unwrap();
+        assert!(loss > 0.0 && loss.is_finite());
+        // Every weight and every BN affine parameter has a gradient.
+        let expected = model
+            .store()
+            .iter()
+            .filter(|p| {
+                matches!(
+                    p.kind,
+                    ParamKind::Weight { .. }
+                        | ParamKind::Bias
+                        | ParamKind::BnGamma
+                        | ParamKind::BnBeta
+                )
+            })
+            .count();
+        assert_eq!(grads.count(), expected);
+    }
+
+    #[test]
+    fn gradients_match_numeric_end_to_end() {
+        // Spot-check the full backprop chain against finite differences on
+        // a handful of parameters spread across the network.
+        let model = tiny_model(4);
+        let (images, labels) = toy_data(2, 4);
+        let (input, batch_labels) = stack(&images, &labels, &[0, 1]).unwrap();
+        let (_, grads) = backward(&model, &input, &batch_labels).unwrap();
+        let eps = 1e-2f32;
+        for (param_id, idx) in [(0usize, 3usize), (0, 20)] {
+            let mut plus = model.clone();
+            plus.store_mut().get_mut(param_id).unwrap().tensor.as_mut_slice()[idx] += eps;
+            let lp = {
+                let c = plus.forward(&input).unwrap();
+                grad::softmax_cross_entropy(&c, &batch_labels).unwrap().0
+            };
+            let mut minus = model.clone();
+            minus.store_mut().get_mut(param_id).unwrap().tensor.as_mut_slice()[idx] -= eps;
+            let lm = {
+                let c = minus.forward(&input).unwrap();
+                grad::softmax_cross_entropy(&c, &batch_labels).unwrap().0
+            };
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grads.get(param_id).unwrap().as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "param {param_id}[{idx}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn fit_reduces_loss_and_learns_the_toy_task() {
+        let mut model = tiny_model(4);
+        let (images, labels) = toy_data(24, 4);
+        let sgd = SgdConfig { lr: 0.004, momentum: 0.9, weight_decay: 1e-4 };
+        let cfg = TrainConfig { epochs: 40, batch_size: 8, seed: 1, sgd };
+        let report = fit(&mut model, &images, &labels, &cfg).unwrap();
+        assert_eq!(report.epoch_losses.len(), 40);
+        assert!(
+            report.final_loss() < report.epoch_losses[0] * 0.5,
+            "loss should at least halve: {:?}",
+            (report.epoch_losses[0], report.final_loss())
+        );
+        // The trained model classifies the toy task well above chance.
+        let correct = images
+            .iter()
+            .zip(&labels)
+            .filter(|(img, &label)| model.predict(img).unwrap()[0] == label)
+            .count();
+        assert!(correct * 2 > images.len(), "accuracy {}/{}", correct, images.len());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (images, labels) = toy_data(8, 2);
+        let cfg = TrainConfig::new(5);
+        let mut a = tiny_model(2);
+        let mut b = tiny_model(2);
+        let ra = fit(&mut a, &images, &labels, &cfg).unwrap();
+        let rb = fit(&mut b, &images, &labels, &cfg).unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(a.store(), b.store());
+    }
+
+    #[test]
+    fn bn_statistics_are_frozen() {
+        let mut model = tiny_model(2);
+        let stats_before: Vec<Tensor> = model
+            .store()
+            .iter()
+            .filter(|p| matches!(p.kind, ParamKind::BnMean | ParamKind::BnVar))
+            .map(|p| p.tensor.clone())
+            .collect();
+        let (images, labels) = toy_data(8, 2);
+        fit(&mut model, &images, &labels, &TrainConfig::new(3)).unwrap();
+        let stats_after: Vec<Tensor> = model
+            .store()
+            .iter()
+            .filter(|p| matches!(p.kind, ParamKind::BnMean | ParamKind::BnVar))
+            .map(|p| p.tensor.clone())
+            .collect();
+        assert_eq!(stats_before, stats_after);
+    }
+
+    #[test]
+    fn fit_rejects_mismatched_data() {
+        let mut model = tiny_model(2);
+        let (images, _) = toy_data(4, 2);
+        assert!(fit(&mut model, &images, &[0, 1], &TrainConfig::new(1)).is_err());
+        assert!(fit(&mut model, &[], &[], &TrainConfig::new(1)).is_err());
+    }
+}

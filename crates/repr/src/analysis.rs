@@ -1,0 +1,259 @@
+//! Bit analysis of weights under a reduced-precision [`Format`] —
+//! paper Eq. 4–5 generalised to arbitrary bit widths.
+
+use serde::{Deserialize, Serialize};
+
+use sfi_stats::bit_analysis::DataAwareConfig;
+use sfi_stats::StatsError;
+
+use crate::format::{Format, ReprError};
+
+/// Per-bit statistics of a weight population under a given [`Format`]:
+/// 0/1 frequencies of the *encoded* bits and average decoded-domain flip
+/// distances in both directions.
+///
+/// # Example
+///
+/// ```
+/// use sfi_repr::{Format, FormatBitAnalysis};
+///
+/// let a = FormatBitAnalysis::from_weights(
+///     Format::fixed(8, 6)?,
+///     [0.5f32, -0.25, 0.125],
+/// )?;
+/// assert_eq!(a.bits(), 8);
+/// // Flipping the sign bit of a fixed-point weight moves it by 2^(b-1-f).
+/// assert!(a.d_avg(7) > a.d_avg(0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FormatBitAnalysis {
+    format: Format,
+    count: u64,
+    f0: Vec<u64>,
+    f1: Vec<u64>,
+    sum_d01: Vec<f64>,
+    sum_d10: Vec<f64>,
+}
+
+impl FormatBitAnalysis {
+    /// Analyses a weight population in one pass.
+    ///
+    /// Weights are first snapped onto the format's grid (campaigns inject
+    /// into quantised models, so that is the golden distribution); flip
+    /// distances are measured between the decoded golden and decoded faulty
+    /// values, saturating at twice the format's maximum magnitude when a
+    /// flip produces a non-finite value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReprError::EmptyInput`] when the iterator yields nothing.
+    pub fn from_weights(
+        format: Format,
+        weights: impl IntoIterator<Item = f32>,
+    ) -> Result<Self, ReprError> {
+        let bits = format.bits() as usize;
+        let mut a = Self {
+            format,
+            count: 0,
+            f0: vec![0; bits],
+            f1: vec![0; bits],
+            sum_d01: vec![0.0; bits],
+            sum_d10: vec![0.0; bits],
+        };
+        let saturate = 2.0 * format.max_magnitude();
+        for w in weights {
+            a.count += 1;
+            let enc = format.encode(w);
+            let golden = format.decode(enc);
+            for i in 0..bits {
+                let flipped = format.decode(enc ^ (1u32 << i));
+                let d = if flipped.is_finite() && golden.is_finite() {
+                    (f64::from(flipped) - f64::from(golden)).abs().min(saturate)
+                } else {
+                    saturate
+                };
+                if enc & (1 << i) != 0 {
+                    a.f1[i] += 1;
+                    a.sum_d10[i] += d;
+                } else {
+                    a.f0[i] += 1;
+                    a.sum_d01[i] += d;
+                }
+            }
+        }
+        if a.count == 0 {
+            return Err(ReprError::EmptyInput);
+        }
+        Ok(a)
+    }
+
+    /// The analysed format.
+    pub fn format(&self) -> Format {
+        self.format
+    }
+
+    /// Number of stored bits per weight.
+    pub fn bits(&self) -> u32 {
+        self.format.bits()
+    }
+
+    /// Number of weights analysed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of weights whose encoded bit `i` is 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= bits()`.
+    pub fn f0(&self, i: u32) -> u64 {
+        self.f0[i as usize]
+    }
+
+    /// Number of weights whose encoded bit `i` is 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= bits()`.
+    pub fn f1(&self, i: u32) -> u64 {
+        self.f1[i as usize]
+    }
+
+    /// Average decoded distance of a 0→1 flip of bit `i`.
+    pub fn d01(&self, i: u32) -> f64 {
+        let f0 = self.f0[i as usize];
+        if f0 == 0 {
+            0.0
+        } else {
+            self.sum_d01[i as usize] / f0 as f64
+        }
+    }
+
+    /// Average decoded distance of a 1→0 flip of bit `i`.
+    pub fn d10(&self, i: u32) -> f64 {
+        let f1 = self.f1[i as usize];
+        if f1 == 0 {
+            0.0
+        } else {
+            self.sum_d10[i as usize] / f1 as f64
+        }
+    }
+
+    /// Frequency-weighted average flip distance of bit `i` (Eq. 4).
+    pub fn d_avg(&self, i: u32) -> f64 {
+        let w = self.count as f64;
+        self.d01(i) * (self.f0(i) as f64 / w) + self.d10(i) * (self.f1(i) as f64 / w)
+    }
+
+    /// All `D_avg` values, LSB first.
+    pub fn d_avg_all(&self) -> Vec<f64> {
+        (0..self.bits()).map(|i| self.d_avg(i)).collect()
+    }
+}
+
+/// Computes the data-aware `p(i)` over a format's bit positions (Eq. 5),
+/// with the same outlier-robust min–max normalisation as the 32-bit float
+/// case.
+///
+/// # Errors
+///
+/// Returns an error when `cfg` fails validation.
+pub fn data_aware_p_format(
+    analysis: &FormatBitAnalysis,
+    cfg: &DataAwareConfig,
+) -> Result<Vec<f64>, StatsError> {
+    cfg.validate()?;
+    let d_avg = analysis.d_avg_all();
+    let lo = d_avg.iter().copied().filter(|d| d.is_finite()).fold(f64::INFINITY, f64::min);
+    let hi = d_avg.iter().copied().filter(|d| d.is_finite()).fold(f64::NEG_INFINITY, f64::max);
+    let p = d_avg
+        .iter()
+        .map(|&d| {
+            if !d.is_finite() {
+                cfg.max
+            } else if hi > lo {
+                (cfg.min + (d - lo) * (cfg.max - cfg.min) / (hi - lo)).max(cfg.p_floor)
+            } else {
+                cfg.max
+            }
+        })
+        .collect();
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_weights() -> Vec<f32> {
+        (1..=512).map(|i| ((i % 101) as f32 - 50.0) * 0.01).collect()
+    }
+
+    #[test]
+    fn frequencies_partition_population() {
+        for format in [Format::F16, Format::Bf16, Format::fixed(8, 6).unwrap()] {
+            let a = FormatBitAnalysis::from_weights(format, sample_weights()).unwrap();
+            for i in 0..a.bits() {
+                assert_eq!(a.f0(i) + a.f1(i), a.count(), "{format} bit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(matches!(
+            FormatBitAnalysis::from_weights(Format::F16, std::iter::empty()),
+            Err(ReprError::EmptyInput)
+        ));
+    }
+
+    #[test]
+    fn f16_exponent_msb_dominates() {
+        let a = FormatBitAnalysis::from_weights(Format::F16, sample_weights()).unwrap();
+        // f16 layout: bit 14 is the exponent MSB.
+        let d = a.d_avg_all();
+        let max_other =
+            d.iter().enumerate().filter(|&(i, _)| i != 14).map(|(_, &v)| v).fold(0.0, f64::max);
+        assert!(d[14] > max_other, "bit 14 {} vs {max_other}", d[14]);
+    }
+
+    #[test]
+    fn fixed_point_msb_is_most_critical() {
+        let q = Format::fixed(8, 6).unwrap();
+        let a = FormatBitAnalysis::from_weights(q, sample_weights()).unwrap();
+        let d = a.d_avg_all();
+        // Two's complement: every bit flip of bit i moves the value by
+        // exactly 2^i / 2^frac, so D_avg grows monotonically with i.
+        for i in 0..7 {
+            assert!(d[i] < d[i + 1], "bit {i}: {} vs {}", d[i], d[i + 1]);
+        }
+        // And exactly 2^(i-frac).
+        assert!((d[0] - 1.0 / 64.0).abs() < 1e-12);
+        assert!((d[7] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p_vector_spans_format_bits() {
+        for format in [Format::F16, Format::Bf16, Format::fixed(8, 6).unwrap()] {
+            let a = FormatBitAnalysis::from_weights(format, sample_weights()).unwrap();
+            let p = data_aware_p_format(&a, &DataAwareConfig::paper_default()).unwrap();
+            assert_eq!(p.len() as u32, format.bits());
+            assert!(p.iter().all(|&v| (0.001..=0.5).contains(&v)), "{format}");
+            // The maximum-distance bit is pinned at 0.5.
+            assert!(p.contains(&0.5));
+        }
+    }
+
+    #[test]
+    fn fixed_point_p_monotone() {
+        let q = Format::fixed(8, 6).unwrap();
+        let a = FormatBitAnalysis::from_weights(q, sample_weights()).unwrap();
+        let p = data_aware_p_format(&a, &DataAwareConfig::paper_default()).unwrap();
+        for i in 0..7 {
+            assert!(p[i] <= p[i + 1] + 1e-12, "bit {i}");
+        }
+        assert_eq!(p[7], 0.5);
+    }
+}

@@ -1,0 +1,401 @@
+//! Weight encodings: IEEE-754 binary16, bfloat16, and two's-complement
+//! fixed point.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Error type for format construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReprError {
+    /// The requested format parameters are inconsistent.
+    InvalidFormat {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// An analysis input was empty.
+    EmptyInput,
+}
+
+impl fmt::Display for ReprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReprError::InvalidFormat { reason } => write!(f, "invalid format: {reason}"),
+            ReprError::EmptyInput => write!(f, "input must not be empty"),
+        }
+    }
+}
+
+impl std::error::Error for ReprError {}
+
+/// A reduced-precision weight representation.
+///
+/// Every format encodes an `f32` into the low [`bits`](Format::bits) bits
+/// of a `u32` (round-to-nearest) and decodes back to the exact `f32` the
+/// hardware would dequantise. Encoding is *lossy* in general; after
+/// [`quantize_weights`](crate::quantize_weights) snaps a model onto the
+/// representable grid, `encode ∘ decode` is the identity, which is what a
+/// fault-injection campaign needs.
+///
+/// # Example
+///
+/// ```
+/// use sfi_repr::Format;
+///
+/// // binary16: 1.0 encodes to the classic 0x3C00.
+/// assert_eq!(Format::F16.encode(1.0), 0x3C00);
+/// assert_eq!(Format::F16.decode(0x3C00), 1.0);
+/// // Q1.6 fixed point: 0.5 is 32/64.
+/// let q = Format::fixed(8, 6)?;
+/// assert_eq!(q.decode(q.encode(0.5)), 0.5);
+/// # Ok::<(), sfi_repr::ReprError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Format {
+    /// IEEE-754 binary16: 1 sign, 5 exponent, 10 mantissa bits.
+    F16,
+    /// bfloat16: 1 sign, 8 exponent, 7 mantissa bits (truncated f32).
+    Bf16,
+    /// Signed two's-complement fixed point `Q(bits-frac-1).frac`.
+    Fixed {
+        /// Total stored bits (2..=32).
+        bits: u8,
+        /// Fractional bits (`< bits`).
+        frac: u8,
+    },
+}
+
+impl Format {
+    /// Creates a fixed-point format with `bits` total and `frac` fractional
+    /// bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReprError::InvalidFormat`] unless `2 <= bits <= 32` and
+    /// `frac < bits`.
+    pub fn fixed(bits: u8, frac: u8) -> Result<Self, ReprError> {
+        if !(2..=32).contains(&bits) || frac >= bits {
+            return Err(ReprError::InvalidFormat {
+                reason: format!("fixed point needs 2 <= bits <= 32 and frac < bits, got Q{bits}.{frac}"),
+            });
+        }
+        Ok(Format::Fixed { bits, frac })
+    }
+
+    /// Number of stored bits per weight.
+    pub fn bits(&self) -> u32 {
+        match self {
+            Format::F16 | Format::Bf16 => 16,
+            Format::Fixed { bits, .. } => u32::from(*bits),
+        }
+    }
+
+    /// The largest magnitude the format can represent (used to saturate
+    /// flip distances, mirroring `sfi_stats::bit_analysis::flip_distance`).
+    pub fn max_magnitude(&self) -> f64 {
+        match self {
+            Format::F16 => 65_504.0,
+            Format::Bf16 => f32::MAX as f64,
+            Format::Fixed { bits, frac } => {
+                let max_int = (1i64 << (bits - 1)) - 1;
+                max_int as f64 / f64::from(1u32 << frac)
+            }
+        }
+    }
+
+    /// Encodes `value` into the low [`bits`](Format::bits) bits
+    /// (round-to-nearest; fixed point saturates at the representable range;
+    /// NaN encodes to a canonical quiet NaN for floats and 0 for fixed
+    /// point).
+    pub fn encode(&self, value: f32) -> u32 {
+        match self {
+            Format::F16 => u32::from(f32_to_f16_bits(value)),
+            Format::Bf16 => u32::from(f32_to_bf16_bits(value)),
+            Format::Fixed { bits, frac } => {
+                if value.is_nan() {
+                    return 0;
+                }
+                let scale = f64::from(1u32 << frac);
+                let max = (1i64 << (bits - 1)) - 1;
+                let min = -(1i64 << (bits - 1));
+                let scaled = (f64::from(value) * scale).round();
+                let clamped = if scaled.is_nan() {
+                    0
+                } else if scaled >= max as f64 {
+                    max
+                } else if scaled <= min as f64 {
+                    min
+                } else {
+                    scaled as i64
+                };
+                (clamped as u32) & mask(u32::from(*bits))
+            }
+        }
+    }
+
+    /// Decodes the low [`bits`](Format::bits) bits of `enc` back to `f32`.
+    ///
+    /// Bits above the format width are ignored.
+    pub fn decode(&self, enc: u32) -> f32 {
+        match self {
+            Format::F16 => f16_bits_to_f32((enc & 0xFFFF) as u16),
+            Format::Bf16 => f32::from_bits((enc & 0xFFFF) << 16),
+            Format::Fixed { bits, frac } => {
+                let b = u32::from(*bits);
+                let raw = enc & mask(b);
+                // Sign-extend.
+                let signed = if b < 32 && raw & (1 << (b - 1)) != 0 {
+                    (raw | !mask(b)) as i32
+                } else {
+                    raw as i32
+                };
+                (f64::from(signed) / f64::from(1u32 << frac)) as f32
+            }
+        }
+    }
+
+    /// Snaps `value` onto the format's representable grid
+    /// (`decode(encode(value))`).
+    pub fn quantize(&self, value: f32) -> f32 {
+        self.decode(self.encode(value))
+    }
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Format::F16 => write!(f, "fp16"),
+            Format::Bf16 => write!(f, "bf16"),
+            Format::Fixed { bits, frac } => write!(f, "Q{}.{}", bits - frac - 1, frac),
+        }
+    }
+}
+
+fn mask(bits: u32) -> u32 {
+    if bits >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    }
+}
+
+/// f32 → binary16 with round-to-nearest-even.
+fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x7F_FFFF;
+    if exp == 255 {
+        // Inf / NaN.
+        return if mant != 0 { sign | 0x7E00 } else { sign | 0x7C00 };
+    }
+    let half_exp = exp - 127 + 15;
+    if half_exp >= 31 {
+        // Overflow to infinity.
+        return sign | 0x7C00;
+    }
+    if half_exp <= 0 {
+        // Subnormal half (or underflow to zero).
+        if half_exp < -10 {
+            return sign;
+        }
+        let m = mant | 0x80_0000; // implicit leading 1
+        let shift = (14 - half_exp) as u32; // 14..24
+        let val = (m >> shift) as u16;
+        let rem = m & ((1u32 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let rounded = if rem > halfway || (rem == halfway && val & 1 == 1) { val + 1 } else { val };
+        // A carry out of the subnormal range lands exactly on the smallest
+        // normal, whose encoding is contiguous — no special case needed.
+        return sign | rounded;
+    }
+    // Normal half.
+    let mut e = half_exp as u16;
+    let mut m = (mant >> 13) as u16;
+    let rem = mant & 0x1FFF;
+    if rem > 0x1000 || (rem == 0x1000 && m & 1 == 1) {
+        m += 1;
+        if m == 0x400 {
+            m = 0;
+            e += 1;
+            if e >= 31 {
+                return sign | 0x7C00;
+            }
+        }
+    }
+    sign | (e << 10) | m
+}
+
+/// binary16 → f32 (exact).
+fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = if h & 0x8000 != 0 { -1.0f32 } else { 1.0 };
+    let exp = (h >> 10) & 0x1F;
+    let mant = h & 0x3FF;
+    match exp {
+        0 => sign * f32::from(mant) * 2f32.powi(-24),
+        31 => {
+            if mant == 0 {
+                sign * f32::INFINITY
+            } else {
+                f32::NAN
+            }
+        }
+        _ => sign * (1.0 + f32::from(mant) / 1024.0) * 2f32.powi(i32::from(exp) - 15),
+    }
+}
+
+/// f32 → bfloat16 with round-to-nearest-even.
+fn f32_to_bf16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        // Preserve NaN; force a quiet mantissa bit so truncation cannot
+        // produce an infinity.
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    let lsb = (bits >> 16) & 1;
+    let rounded = bits.wrapping_add(0x7FFF + lsb);
+    (rounded >> 16) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_golden_encodings() {
+        assert_eq!(Format::F16.encode(0.0), 0x0000);
+        assert_eq!(Format::F16.encode(-0.0), 0x8000);
+        assert_eq!(Format::F16.encode(1.0), 0x3C00);
+        assert_eq!(Format::F16.encode(-2.0), 0xC000);
+        assert_eq!(Format::F16.encode(65504.0), 0x7BFF); // f16::MAX
+        assert_eq!(Format::F16.encode(65520.0), 0x7C00); // rounds to +inf
+        assert_eq!(Format::F16.encode(f32::INFINITY), 0x7C00);
+        // Smallest positive subnormal: 2^-24.
+        assert_eq!(Format::F16.encode(5.960_464_5e-8), 0x0001);
+        // Underflow to zero below half the smallest subnormal.
+        assert_eq!(Format::F16.encode(1e-9), 0x0000);
+    }
+
+    #[test]
+    fn f16_decode_golden() {
+        assert_eq!(Format::F16.decode(0x3C00), 1.0);
+        assert_eq!(Format::F16.decode(0x3555), 0.333_251_95); // ~1/3
+        assert_eq!(Format::F16.decode(0x7BFF), 65504.0);
+        assert_eq!(Format::F16.decode(0x0001), 2f32.powi(-24));
+        assert!(Format::F16.decode(0x7C00).is_infinite());
+        assert!(Format::F16.decode(0x7C01).is_nan());
+        assert_eq!(Format::F16.decode(0xC000), -2.0);
+    }
+
+    #[test]
+    fn f16_round_trip_representable() {
+        // Every finite f16 value survives decode -> encode exactly.
+        for h in 0u32..0x10000 {
+            let v = Format::F16.decode(h);
+            if v.is_finite() {
+                assert_eq!(Format::F16.encode(v), h & 0xFFFF, "half bits {h:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    fn f16_round_to_nearest_even() {
+        // 1.0 + 2^-11 is exactly halfway between 1.0 and the next f16;
+        // round-to-even picks 1.0 (even mantissa).
+        let halfway = 1.0 + 2f32.powi(-11);
+        assert_eq!(Format::F16.encode(halfway), 0x3C00);
+        // 1.0 + 3*2^-11 is halfway between odd and even; picks the even
+        // upper neighbour.
+        let halfway_up = 1.0 + 3.0 * 2f32.powi(-11);
+        assert_eq!(Format::F16.encode(halfway_up), 0x3C02);
+    }
+
+    #[test]
+    fn bf16_truncates_f32() {
+        assert_eq!(Format::Bf16.encode(1.0), 0x3F80);
+        assert_eq!(Format::Bf16.decode(0x3F80), 1.0);
+        assert_eq!(Format::Bf16.encode(-1.5), 0xBFC0);
+        // bf16 keeps the f32 exponent range: 1e38 stays finite.
+        let big = Format::Bf16.decode(Format::Bf16.encode(1e38));
+        assert!(big.is_finite() && big > 9e37);
+        assert!(Format::Bf16.decode(Format::Bf16.encode(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn bf16_round_trip_representable() {
+        for h in (0u32..0x10000).step_by(7) {
+            let v = Format::Bf16.decode(h);
+            if v.is_finite() {
+                assert_eq!(Format::Bf16.encode(v), h, "bf16 bits {h:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_point_basics() {
+        let q = Format::fixed(8, 6).unwrap(); // Q1.6: range [-2, 1.984375]
+        assert_eq!(q.bits(), 8);
+        assert_eq!(q.encode(0.0), 0);
+        assert_eq!(q.encode(0.5), 32);
+        assert_eq!(q.decode(32), 0.5);
+        assert_eq!(q.encode(-0.5), 0xE0); // -32 in two's complement (8 bit)
+        assert_eq!(q.decode(0xE0), -0.5);
+        // Saturation at the representable range.
+        assert_eq!(q.decode(q.encode(100.0)), 127.0 / 64.0);
+        assert_eq!(q.decode(q.encode(-100.0)), -2.0);
+        assert!((q.max_magnitude() - 127.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_point_rounding() {
+        let q = Format::fixed(8, 6).unwrap();
+        // 0.0078125 = 0.5/64: rounds to nearest integer step (ties away
+        // from zero per f64::round).
+        assert_eq!(q.encode(0.009), 1);
+        assert_eq!(q.encode(0.007), 0);
+        assert_eq!(q.encode(f32::NAN), 0);
+    }
+
+    #[test]
+    fn fixed_point_round_trip_all_codes() {
+        let q = Format::fixed(8, 6).unwrap();
+        for code in 0u32..256 {
+            let v = q.decode(code);
+            assert_eq!(q.encode(v), code, "code {code}");
+        }
+    }
+
+    #[test]
+    fn fixed_rejects_bad_params() {
+        assert!(Format::fixed(1, 0).is_err());
+        assert!(Format::fixed(8, 8).is_err());
+        assert!(Format::fixed(33, 2).is_err());
+        assert!(Format::fixed(8, 9).is_err());
+    }
+
+    #[test]
+    fn quantize_is_idempotent() {
+        for format in [Format::F16, Format::Bf16, Format::fixed(8, 6).unwrap()] {
+            for v in [0.1f32, -0.7, 1.3, 0.0, -1.9] {
+                let once = format.quantize(v);
+                assert_eq!(format.quantize(once), once, "{format} {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Format::F16.to_string(), "fp16");
+        assert_eq!(Format::Bf16.to_string(), "bf16");
+        assert_eq!(Format::fixed(8, 6).unwrap().to_string(), "Q1.6");
+        assert_eq!(Format::fixed(16, 12).unwrap().to_string(), "Q3.12");
+    }
+
+    #[test]
+    fn decode_ignores_high_bits() {
+        let q = Format::fixed(8, 6).unwrap();
+        assert_eq!(q.decode(0xFFFF_FF20), q.decode(0x20));
+        assert_eq!(Format::F16.decode(0xABCD_3C00), 1.0);
+    }
+}

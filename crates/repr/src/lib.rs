@@ -1,0 +1,58 @@
+//! Reduced-precision weight representations for SFI campaigns.
+//!
+//! The paper's conclusion names "different data representations for storing
+//! their parameters" as the next step for the data-aware SFI methodology.
+//! This crate delivers it: weight encodings beyond IEEE-754 single
+//! precision, each with
+//!
+//! - a lossless **encode/decode** pair ([`Format`]) mapping `f32` weights
+//!   to an `n`-bit stored representation,
+//! - **bit analysis** in the decoded domain ([`FormatBitAnalysis`]):
+//!   per-bit 0/1 frequencies and flip distances, generalising paper
+//!   Eq. 4 to any bit width,
+//! - the **data-aware `p(i)`** vector (Eq. 5) over the format's bits,
+//! - a [`FormatCorruption`] implementing
+//!   [`sfi_faultsim::campaign::Corruption`], so the unchanged campaign
+//!   runner injects faults into the *encoded* weight,
+//! - [`quantize_weights`] to snap a model's weights onto the format's
+//!   representable grid before a campaign (so encode ∘ decode is exact
+//!   during injection).
+//!
+//! Supported formats: IEEE-754 binary16 (`F16`), bfloat16 (`Bf16`), and
+//! signed two's-complement fixed point (`Fixed`, e.g. the classic Q2.5
+//! int8 used by embedded inference engines).
+//!
+//! # Example: data-aware SFI over an int8 model
+//!
+//! ```
+//! use sfi_core::plan::plan_data_aware_with_p;
+//! use sfi_faultsim::population::FaultSpace;
+//! use sfi_nn::resnet::ResNetConfig;
+//! use sfi_repr::{data_aware_p_format, quantize_weights, Format, FormatBitAnalysis};
+//! use sfi_stats::bit_analysis::DataAwareConfig;
+//! use sfi_stats::sample_size::SampleSpec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let format = Format::fixed(8, 6)?; // Q1.6 int8
+//! let mut model = ResNetConfig::resnet20_micro().build_seeded(1)?;
+//! quantize_weights(model.store_mut(), format);
+//!
+//! let analysis = FormatBitAnalysis::from_weights(format, model.store().all_weights())?;
+//! let p = data_aware_p_format(&analysis, &DataAwareConfig::paper_default())?;
+//! let space = FaultSpace::stuck_at(&model).with_bits(8);
+//! let plan = plan_data_aware_with_p(&space, &p, &SampleSpec::paper_default())?;
+//! assert!(plan.total_sample() < space.total());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod corruption;
+mod format;
+
+pub use analysis::{data_aware_p_format, FormatBitAnalysis};
+pub use corruption::{quantize_weights, FormatCorruption};
+pub use format::{Format, ReprError};

@@ -1,0 +1,94 @@
+//! Property-based tests of the reduced-precision formats.
+
+use proptest::prelude::*;
+
+use sfi_repr::{data_aware_p_format, Format, FormatBitAnalysis};
+use sfi_stats::bit_analysis::DataAwareConfig;
+
+fn formats() -> Vec<Format> {
+    vec![
+        Format::F16,
+        Format::Bf16,
+        Format::fixed(8, 6).unwrap(),
+        Format::fixed(8, 4).unwrap(),
+        Format::fixed(16, 12).unwrap(),
+        Format::fixed(4, 2).unwrap(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantisation is idempotent and encode(decode(x)) round-trips for any
+    /// value already on the grid.
+    #[test]
+    fn quantise_idempotent(v in -100.0f32..100.0) {
+        for format in formats() {
+            let q = format.quantize(v);
+            prop_assert_eq!(format.quantize(q).to_bits(), q.to_bits(), "{} {}", format, v);
+            prop_assert_eq!(format.encode(q), format.encode(format.decode(format.encode(q))));
+        }
+    }
+
+    /// Quantisation error is bounded: floats by relative epsilon, fixed
+    /// point by half a quantisation step (once inside the range).
+    #[test]
+    fn quantisation_error_bounded(v in -1.9f32..1.9) {
+        // f16: 11-bit significand => rel err <= 2^-11 for normal values.
+        let q = Format::F16.quantize(v);
+        if v.abs() > 1e-4 {
+            prop_assert!(((q - v) / v).abs() <= 2f32.powi(-11) + 1e-7, "f16 {v} -> {q}");
+        }
+        // bf16: 8-bit significand => rel err <= 2^-8.
+        let q = Format::Bf16.quantize(v);
+        if v.abs() > 1e-4 {
+            prop_assert!(((q - v) / v).abs() <= 2f32.powi(-8) + 1e-7, "bf16 {v} -> {q}");
+        }
+        // Q1.6: absolute err <= 1/128 inside [-2, 127/64].
+        let f = Format::fixed(8, 6).unwrap();
+        let q = f.quantize(v);
+        prop_assert!((q - v).abs() <= 0.5 / 64.0 + 1e-6, "Q1.6 {v} -> {q}");
+    }
+
+    /// Encoded values fit in the format's bit width.
+    #[test]
+    fn encodings_fit_bit_width(v in -1000.0f32..1000.0) {
+        for format in formats() {
+            let enc = format.encode(v);
+            let bits = format.bits();
+            if bits < 32 {
+                prop_assert_eq!(enc >> bits, 0, "{}: {:#x}", format, enc);
+            }
+        }
+    }
+
+    /// Fixed-point ordering is preserved: larger values encode to larger
+    /// signed codes (monotonicity of the quantiser).
+    #[test]
+    fn fixed_point_monotone(a in -1.9f32..1.9, b in -1.9f32..1.9) {
+        let f = Format::fixed(8, 6).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(f.quantize(lo) <= f.quantize(hi));
+    }
+
+    /// The per-format data-aware p vector is always well-formed.
+    #[test]
+    fn p_vectors_well_formed(
+        weights in proptest::collection::vec(-1.5f32..1.5, 8..100),
+    ) {
+        for format in formats() {
+            let analysis =
+                FormatBitAnalysis::from_weights(format, weights.iter().copied()).unwrap();
+            let p = data_aware_p_format(&analysis, &DataAwareConfig::paper_default()).unwrap();
+            prop_assert_eq!(p.len() as u32, format.bits());
+            prop_assert!(p.iter().all(|&v| (0.0..=0.5).contains(&v)), "{}", format);
+            // Frequencies partition.
+            for i in 0..format.bits() {
+                prop_assert_eq!(
+                    analysis.f0(i) + analysis.f1(i),
+                    weights.len() as u64
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Sample allocation across strata: proportional and Neyman-optimal.
+//!
+//! The paper sizes every subpopulation *independently* with Eq. 1, which
+//! guarantees a per-stratum margin. When the quantity of interest is the
+//! *combined* (stratified) estimate — the whole-network critical rate —
+//! classical survey statistics allocates a single total budget across
+//! strata instead:
+//!
+//! - **proportional**: `n_h ∝ N_h` — self-weighting, needs no prior;
+//! - **Neyman**: `n_h ∝ N_h·√(p_h(1−p_h))` — minimises the stratified
+//!   estimator's variance for a fixed total, using the same per-bit prior
+//!   `p(i)` the data-aware scheme already derives (Eq. 5).
+//!
+//! [`required_total_neyman`] inverts the allocation: the smallest total
+//! budget whose Neyman allocation meets a target margin on the combined
+//! estimate — directly comparable with the sum of the paper's per-stratum
+//! samples (see the `allocation` tests and the `ablation_adaptive` bench
+//! family).
+
+use serde::{Deserialize, Serialize};
+
+use crate::confidence::Confidence;
+use crate::sample_size::variance_term;
+use crate::StatsError;
+
+/// One stratum's description for allocation purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StratumSpec {
+    /// Stratum population `N_h`.
+    pub population: u64,
+    /// Prior success probability `p_h` (0.5 when unknown).
+    pub p: f64,
+}
+
+fn validate(strata: &[StratumSpec]) -> Result<u64, StatsError> {
+    if strata.is_empty() {
+        return Err(StatsError::EmptyInput { op: "allocation" });
+    }
+    for s in strata {
+        if !s.p.is_finite() || !(0.0..=1.0).contains(&s.p) {
+            return Err(StatsError::InvalidProbability { name: "p", value: s.p });
+        }
+    }
+    Ok(strata.iter().map(|s| s.population).sum())
+}
+
+/// Largest-remainder rounding of real allocations to integers summing to
+/// `total`, each capped at its stratum population.
+fn round_allocations(real: &[f64], strata: &[StratumSpec], total: u64) -> Vec<u64> {
+    let mut alloc: Vec<u64> = real
+        .iter()
+        .zip(strata)
+        .map(|(&r, s)| (r.floor() as u64).min(s.population))
+        .collect();
+    let mut assigned: u64 = alloc.iter().sum();
+    // Distribute the remainder by descending fractional part, respecting
+    // population caps.
+    let mut order: Vec<usize> = (0..real.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = real[a] - real[a].floor();
+        let fb = real[b] - real[b].floor();
+        fb.partial_cmp(&fa).expect("fractions are finite")
+    });
+    let mut i = 0;
+    while assigned < total && i < order.len() * 2 {
+        let idx = order[i % order.len()];
+        if alloc[idx] < strata[idx].population {
+            alloc[idx] += 1;
+            assigned += 1;
+        }
+        i += 1;
+    }
+    alloc
+}
+
+/// Splits `total` across strata proportionally to their populations.
+///
+/// # Errors
+///
+/// Returns an error for an empty stratum list, an invalid prior, or a
+/// total exceeding the combined population.
+pub fn proportional_allocation(
+    strata: &[StratumSpec],
+    total: u64,
+) -> Result<Vec<u64>, StatsError> {
+    let pop = validate(strata)?;
+    if total > pop {
+        return Err(StatsError::SampleExceedsPopulation { sample: total, population: pop });
+    }
+    let real: Vec<f64> = strata
+        .iter()
+        .map(|s| total as f64 * s.population as f64 / pop as f64)
+        .collect();
+    Ok(round_allocations(&real, strata, total))
+}
+
+/// Splits `total` across strata by Neyman's rule,
+/// `n_h ∝ N_h √(p_h (1 − p_h))`, falling back to proportional when every
+/// stratum has a degenerate prior.
+///
+/// # Errors
+///
+/// Same conditions as [`proportional_allocation`].
+pub fn neyman_allocation(strata: &[StratumSpec], total: u64) -> Result<Vec<u64>, StatsError> {
+    let pop = validate(strata)?;
+    if total > pop {
+        return Err(StatsError::SampleExceedsPopulation { sample: total, population: pop });
+    }
+    let weights: Vec<f64> = strata
+        .iter()
+        .map(|s| s.population as f64 * variance_term(s.p).sqrt())
+        .collect();
+    let sum: f64 = weights.iter().sum();
+    if sum == 0.0 {
+        return proportional_allocation(strata, total);
+    }
+    let real: Vec<f64> = weights.iter().map(|w| total as f64 * w / sum).collect();
+    Ok(round_allocations(&real, strata, total))
+}
+
+/// The smallest total budget whose Neyman allocation bounds the combined
+/// stratified estimator's margin by `error_margin` at `confidence`:
+///
+/// ```text
+/// n = (Σ W_h √(p_h q_h))² / ( e²/z² + (1/N) Σ W_h p_h q_h )
+/// ```
+///
+/// (the classical stratified sample-size formula with finite-population
+/// correction, `W_h = N_h / N`).
+///
+/// # Errors
+///
+/// Returns an error for an empty stratum list, an invalid prior, or a
+/// non-positive margin.
+pub fn required_total_neyman(
+    strata: &[StratumSpec],
+    error_margin: f64,
+    confidence: Confidence,
+) -> Result<u64, StatsError> {
+    let pop = validate(strata)?;
+    if !error_margin.is_finite() || error_margin <= 0.0 || error_margin >= 1.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "error_margin",
+            reason: format!("must lie in (0, 1), got {error_margin}"),
+        });
+    }
+    let n_total = pop as f64;
+    let mut sqrt_sum = 0.0f64;
+    let mut pq_sum = 0.0f64;
+    for s in strata {
+        let w = s.population as f64 / n_total;
+        let pq = variance_term(s.p);
+        sqrt_sum += w * pq.sqrt();
+        pq_sum += w * pq;
+    }
+    let z = confidence.z();
+    let denom = error_margin * error_margin / (z * z) + pq_sum / n_total;
+    if denom == 0.0 || sqrt_sum == 0.0 {
+        return Ok(0);
+    }
+    let n = (sqrt_sum * sqrt_sum / denom).ceil() as u64;
+    Ok(n.min(pop))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strata() -> Vec<StratumSpec> {
+        vec![
+            StratumSpec { population: 1_000, p: 0.5 },
+            StratumSpec { population: 9_000, p: 0.1 },
+            StratumSpec { population: 90_000, p: 0.001 },
+        ]
+    }
+
+    #[test]
+    fn proportional_matches_population_shares() {
+        let alloc = proportional_allocation(&strata(), 1_000).unwrap();
+        assert_eq!(alloc.iter().sum::<u64>(), 1_000);
+        assert_eq!(alloc[0], 10);
+        assert_eq!(alloc[1], 90);
+        assert_eq!(alloc[2], 900);
+    }
+
+    #[test]
+    fn neyman_shifts_budget_to_high_variance_strata() {
+        let prop = proportional_allocation(&strata(), 10_000).unwrap();
+        let ney = neyman_allocation(&strata(), 10_000).unwrap();
+        assert_eq!(ney.iter().sum::<u64>(), 10_000);
+        // The p = 0.5 stratum has the highest per-unit variance: Neyman
+        // gives it far more than its 1% population share.
+        assert!(ney[0] > prop[0] * 5, "neyman {:?} vs proportional {:?}", ney, prop);
+        // The near-certain stratum gets much less.
+        assert!(ney[2] < prop[2]);
+    }
+
+    #[test]
+    fn allocations_respect_population_caps() {
+        let tiny = vec![
+            StratumSpec { population: 5, p: 0.5 },
+            StratumSpec { population: 100_000, p: 0.5 },
+        ];
+        let alloc = neyman_allocation(&tiny, 50_000).unwrap();
+        assert!(alloc[0] <= 5);
+        assert_eq!(alloc.iter().sum::<u64>(), 50_000);
+    }
+
+    #[test]
+    fn degenerate_priors_fall_back_to_proportional() {
+        let degenerate = vec![
+            StratumSpec { population: 100, p: 0.0 },
+            StratumSpec { population: 300, p: 1.0 },
+        ];
+        let alloc = neyman_allocation(&degenerate, 40).unwrap();
+        assert_eq!(alloc, vec![10, 30]);
+    }
+
+    #[test]
+    fn required_total_single_stratum_matches_eq1() {
+        use crate::sample_size::{sample_size, SampleSpec};
+        // With one stratum the stratified formula reduces to Eq. 1.
+        let one = vec![StratumSpec { population: 1_000_000, p: 0.5 }];
+        let spec = SampleSpec::paper_default();
+        let eq1 = sample_size(1_000_000, &spec);
+        let strat = required_total_neyman(&one, 0.01, Confidence::C99).unwrap();
+        let diff = (eq1 as i64 - strat as i64).abs();
+        assert!(diff <= 2, "eq1 {eq1} vs stratified {strat}");
+    }
+
+    #[test]
+    fn data_aware_priors_slash_the_required_total() {
+        // The whole-network margin needs far fewer faults under informed
+        // priors than under the worst-case p = 0.5 everywhere.
+        let informed = strata();
+        let worst: Vec<StratumSpec> = strata()
+            .iter()
+            .map(|s| StratumSpec { p: 0.5, ..*s })
+            .collect();
+        let n_informed = required_total_neyman(&informed, 0.01, Confidence::C99).unwrap();
+        let n_worst = required_total_neyman(&worst, 0.01, Confidence::C99).unwrap();
+        assert!(
+            n_informed * 3 < n_worst,
+            "informed {n_informed} vs worst-case {n_worst}"
+        );
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(proportional_allocation(&[], 10).is_err());
+        assert!(proportional_allocation(&strata(), 1_000_000).is_err());
+        let bad = vec![StratumSpec { population: 10, p: 1.5 }];
+        assert!(neyman_allocation(&bad, 5).is_err());
+        assert!(required_total_neyman(&strata(), 0.0, Confidence::C99).is_err());
+    }
+
+    #[test]
+    fn totals_are_capped_by_population() {
+        let small = vec![StratumSpec { population: 50, p: 0.5 }];
+        let n = required_total_neyman(&small, 0.0001, Confidence::C99).unwrap();
+        assert_eq!(n, 50, "cannot exceed a census");
+    }
+}

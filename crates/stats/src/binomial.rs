@@ -1,0 +1,216 @@
+//! Binomial moments and the normal-approximation validity check behind the
+//! Central-Limit-Theorem argument of paper §II.
+
+use serde::{Deserialize, Serialize};
+
+use crate::StatsError;
+
+/// A binomial distribution `X ~ B(n, p)`: the number of critical failures in
+/// `n` independent fault injections with per-trial success probability `p`.
+///
+/// # Example
+///
+/// ```
+/// use sfi_stats::binomial::Binomial;
+///
+/// let b = Binomial::new(1_000, 0.5).unwrap();
+/// assert_eq!(b.mean(), 500.0);
+/// assert_eq!(b.variance(), 250.0); // paper Eq. 2: n·p·(1−p)
+/// assert!(b.normal_approx_valid());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Creates a binomial distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidProbability`] when `p` is outside
+    /// `[0, 1]`.
+    pub fn new(n: u64, p: f64) -> Result<Self, StatsError> {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(StatsError::InvalidProbability { name: "p", value: p });
+        }
+        Ok(Self { n, p })
+    }
+
+    /// Number of trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Per-trial success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Expected number of successes, `n·p`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Variance `n·p·(1−p)` — paper Eq. 2, the term substituted into Eq. 1.
+    pub fn variance(&self) -> f64 {
+        self.mean() * (1.0 - self.p)
+    }
+
+    /// Standard deviation `sqrt(n·p·(1−p))`.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// The usual rule of thumb for approximating `B(n, p)` with a normal
+    /// distribution: both `n·p` and `n·(1−p)` must be at least 10.
+    ///
+    /// The paper's statistical machinery (Eq. 1) relies on this
+    /// approximation; subpopulations too small to satisfy it should be
+    /// sampled exhaustively instead.
+    pub fn normal_approx_valid(&self) -> bool {
+        self.mean() >= 10.0 && (self.n as f64 * (1.0 - self.p)) >= 10.0
+    }
+
+    /// Probability of observing exactly `k` successes.
+    ///
+    /// Computed in log space, so it stays finite for large `n`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return 0.0;
+        }
+        if self.p == 0.0 {
+            return if k == 0 { 1.0 } else { 0.0 };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 1.0 } else { 0.0 };
+        }
+        let n = self.n as f64;
+        let kf = k as f64;
+        let log_pmf = ln_choose(self.n, k) + kf * self.p.ln() + (n - kf) * (1.0 - self.p).ln();
+        log_pmf.exp()
+    }
+
+    /// Probability of observing at most `k` successes.
+    pub fn cdf(&self, k: u64) -> f64 {
+        let k = k.min(self.n);
+        (0..=k).map(|i| self.pmf(i)).sum::<f64>().min(1.0)
+    }
+}
+
+/// Natural log of the binomial coefficient `C(n, k)` via `ln Γ`.
+fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0`.
+fn ln_gamma(x: f64) -> f64 {
+    // g = 7, n = 9 Lanczos coefficients.
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_match_formulas() {
+        let b = Binomial::new(100, 0.3).unwrap();
+        assert!((b.mean() - 30.0).abs() < 1e-12);
+        assert!((b.variance() - 21.0).abs() < 1e-12);
+        assert!((b.std_dev() - 21.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_probability() {
+        assert!(Binomial::new(10, -0.1).is_err());
+        assert!(Binomial::new(10, 1.1).is_err());
+        assert!(Binomial::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let b = Binomial::new(20, 0.37).unwrap();
+        let total: f64 = (0..=20).map(|k| b.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn pmf_known_values() {
+        let b = Binomial::new(4, 0.5).unwrap();
+        assert!((b.pmf(2) - 0.375).abs() < 1e-9);
+        assert!((b.pmf(0) - 0.0625).abs() < 1e-9);
+        assert_eq!(b.pmf(5), 0.0);
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        let b0 = Binomial::new(10, 0.0).unwrap();
+        assert_eq!(b0.pmf(0), 1.0);
+        assert_eq!(b0.pmf(1), 0.0);
+        let b1 = Binomial::new(10, 1.0).unwrap();
+        assert_eq!(b1.pmf(10), 1.0);
+        assert_eq!(b1.pmf(9), 0.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_reaches_one() {
+        let b = Binomial::new(15, 0.6).unwrap();
+        let mut prev = 0.0;
+        for k in 0..=15 {
+            let c = b.cdf(k);
+            assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+        assert!((b.cdf(15) - 1.0).abs() < 1e-9);
+        assert!((b.cdf(100) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_approx_rule() {
+        assert!(Binomial::new(1_000, 0.5).unwrap().normal_approx_valid());
+        assert!(!Binomial::new(20, 0.1).unwrap().normal_approx_valid());
+        assert!(!Binomial::new(20, 0.9).unwrap().normal_approx_valid());
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for n in 1..10u64 {
+            let fact: f64 = (1..=n).map(|i| i as f64).product();
+            assert!((ln_gamma(n as f64 + 1.0) - fact.ln()).abs() < 1e-9, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn pmf_large_n_is_finite() {
+        let b = Binomial::new(1_000_000, 0.5).unwrap();
+        let v = b.pmf(500_000);
+        assert!(v.is_finite() && v > 0.0);
+    }
+}

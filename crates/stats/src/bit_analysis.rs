@@ -1,0 +1,591 @@
+//! Data-aware bit analysis of IEEE-754 weight distributions (paper §III-B).
+//!
+//! Everything the *data-aware SFI* scheme needs is derived from the golden
+//! (fault-free) weights alone:
+//!
+//! 1. per-bit 0/1 frequencies `f_0(i)`, `f_1(i)` (paper Fig. 3),
+//! 2. average bit-flip distances `D_{0→1}(i)`, `D_{1→0}(i)` (paper Fig. 2),
+//! 3. their frequency-weighted combination `D_avg(i)` (paper Eq. 4),
+//! 4. the outlier-robust min–max normalisation onto `[0, 0.5]` producing
+//!    the per-bit success probability `p(i)` (paper Eq. 5, Fig. 4).
+
+use serde::{Deserialize, Serialize};
+
+use crate::StatsError;
+
+/// Number of bits in the IEEE-754 single-precision representation the paper
+/// (and this crate) analyses.
+pub const F32_BITS: usize = 32;
+
+/// Flips bit `bit` (0 = LSB of the mantissa, 31 = sign) of an `f32`.
+///
+/// # Panics
+///
+/// Panics if `bit >= 32`.
+///
+/// # Example
+///
+/// ```
+/// use sfi_stats::bit_analysis::flip_bit;
+///
+/// assert_eq!(flip_bit(1.0, 31), -1.0);          // sign flip
+/// assert_eq!(flip_bit(1.0, 23), 0.5);           // exponent LSB of 1.0 is set
+/// ```
+pub fn flip_bit(value: f32, bit: u32) -> f32 {
+    assert!(bit < 32, "bit index {bit} out of range");
+    f32::from_bits(value.to_bits() ^ (1u32 << bit))
+}
+
+/// Absolute distance `|flip(w, i) − w|` introduced by a bit-flip, as `f64`.
+///
+/// When the flip produces a non-finite value (e.g. pushing the exponent to
+/// all-ones), the distance **saturates at `f32::MAX`** — the largest
+/// magnitude the faulty weight could represent. Saturation keeps `D_avg`
+/// finite, which matters for Eq. 5: a handful of weights overflowing to
+/// Inf would otherwise make bit 30's average infinite and change which
+/// bits the min–max normalisation treats as outliers (trained CNN weights
+/// stay below 1.0, so the paper never met this case; He-initialised tails
+/// occasionally cross it).
+pub fn flip_distance(value: f32, bit: u32) -> f64 {
+    let flipped = flip_bit(value, bit);
+    if !flipped.is_finite() || !value.is_finite() {
+        return f32::MAX as f64;
+    }
+    (flipped as f64 - value as f64).abs().min(f32::MAX as f64)
+}
+
+/// Whether bit `bit` of `value`'s IEEE-754 representation is set.
+pub fn bit_is_one(value: f32, bit: u32) -> bool {
+    assert!(bit < 32, "bit index {bit} out of range");
+    value.to_bits() & (1u32 << bit) != 0
+}
+
+/// Per-bit statistics of a weight population: 0/1 frequencies and average
+/// bit-flip distances in both directions.
+///
+/// Built in a single pass over the weights with
+/// [`WeightBitAnalysis::from_weights`].
+///
+/// # Example
+///
+/// ```
+/// use sfi_stats::bit_analysis::WeightBitAnalysis;
+///
+/// let analysis = WeightBitAnalysis::from_weights([0.5f32, -0.25, 0.125]).unwrap();
+/// // All three weights have magnitude < 2, so the exponent MSB (bit 30)
+/// // is always 0.
+/// assert_eq!(analysis.f1(30), 0);
+/// assert_eq!(analysis.f0(30), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightBitAnalysis {
+    count: u64,
+    f0: [u64; F32_BITS],
+    f1: [u64; F32_BITS],
+    /// Sum of distances caused by 0→1 flips per bit.
+    sum_d01: [f64; F32_BITS],
+    /// Sum of distances caused by 1→0 flips per bit.
+    sum_d10: [f64; F32_BITS],
+}
+
+impl WeightBitAnalysis {
+    /// Analyses a weight population in one pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] when the iterator yields nothing.
+    pub fn from_weights(weights: impl IntoIterator<Item = f32>) -> Result<Self, StatsError> {
+        let mut a = Self {
+            count: 0,
+            f0: [0; F32_BITS],
+            f1: [0; F32_BITS],
+            sum_d01: [0.0; F32_BITS],
+            sum_d10: [0.0; F32_BITS],
+        };
+        for w in weights {
+            a.count += 1;
+            let bits = w.to_bits();
+            for i in 0..F32_BITS as u32 {
+                let d = flip_distance(w, i);
+                if bits & (1 << i) != 0 {
+                    a.f1[i as usize] += 1;
+                    a.sum_d10[i as usize] += d;
+                } else {
+                    a.f0[i as usize] += 1;
+                    a.sum_d01[i as usize] += d;
+                }
+            }
+        }
+        if a.count == 0 {
+            return Err(StatsError::EmptyInput { op: "WeightBitAnalysis::from_weights" });
+        }
+        Ok(a)
+    }
+
+    /// Merges the statistics of another population into this one.
+    ///
+    /// Lets per-layer analyses be combined into a whole-network analysis
+    /// without re-scanning the weights.
+    pub fn merge(&mut self, other: &WeightBitAnalysis) {
+        self.count += other.count;
+        for i in 0..F32_BITS {
+            self.f0[i] += other.f0[i];
+            self.f1[i] += other.f1[i];
+            self.sum_d01[i] += other.sum_d01[i];
+            self.sum_d10[i] += other.sum_d10[i];
+        }
+    }
+
+    /// Number of weights analysed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of weights whose bit `i` is 0 (paper `f_0(i)`, Fig. 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    pub fn f0(&self, i: u32) -> u64 {
+        self.f0[i as usize]
+    }
+
+    /// Number of weights whose bit `i` is 1 (paper `f_1(i)`, Fig. 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    pub fn f1(&self, i: u32) -> u64 {
+        self.f1[i as usize]
+    }
+
+    /// Fraction of weights whose bit `i` is 1.
+    pub fn fraction_one(&self, i: u32) -> f64 {
+        self.f1(i) as f64 / self.count as f64
+    }
+
+    /// Average distance caused by flipping bit `i` from 0 to 1
+    /// (paper `D_{0→1}(i)`), or 0 when the bit is never 0.
+    pub fn d01(&self, i: u32) -> f64 {
+        let f0 = self.f0[i as usize];
+        if f0 == 0 {
+            0.0
+        } else {
+            self.sum_d01[i as usize] / f0 as f64
+        }
+    }
+
+    /// Average distance caused by flipping bit `i` from 1 to 0
+    /// (paper `D_{1→0}(i)`), or 0 when the bit is never 1.
+    pub fn d10(&self, i: u32) -> f64 {
+        let f1 = self.f1[i as usize];
+        if f1 == 0 {
+            0.0
+        } else {
+            self.sum_d10[i as usize] / f1 as f64
+        }
+    }
+
+    /// The frequency-weighted average flip distance of bit `i` — paper
+    /// Eq. 4 with `f_0`, `f_1` taken as *fractions* so that `D_avg` is the
+    /// expected distance of a uniformly chosen flip of bit `i`:
+    ///
+    /// ```text
+    /// D_avg(i) = D_{0→1}(i) · f_0(i)/W + D_{1→0}(i) · f_1(i)/W
+    /// ```
+    pub fn d_avg(&self, i: u32) -> f64 {
+        let w = self.count as f64;
+        self.d01(i) * (self.f0(i) as f64 / w) + self.d10(i) * (self.f1(i) as f64 / w)
+    }
+
+    /// All 32 `D_avg` values, LSB first.
+    pub fn d_avg_all(&self) -> [f64; F32_BITS] {
+        let mut out = [0.0; F32_BITS];
+        for (i, v) in out.iter_mut().enumerate() {
+            *v = self.d_avg(i as u32);
+        }
+        out
+    }
+}
+
+/// How bits with extreme `D_avg` are excluded from the min–max
+/// normalisation of Eq. 5 (they are pinned at the maximal criticality
+/// `p = b` instead).
+///
+/// Non-finite `D_avg` values are always treated as outliers regardless of
+/// policy — a flip that produces Inf/NaN is maximally critical by
+/// definition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OutlierPolicy {
+    /// No outlier exclusion beyond non-finite values.
+    None,
+    /// The `k` largest finite `D_avg` values are outliers.
+    ///
+    /// `TopK(1)` reproduces the paper's observed behaviour on FP32 CNN
+    /// weights: the exponent MSB dominates every other bit by tens of
+    /// orders of magnitude and is pinned at `p = 0.5`.
+    TopK(usize),
+    /// Tukey fences on `log10(D_avg)`: values above
+    /// `Q3 + k · (Q3 − Q1)` are outliers. `k = 1.5` is the classical
+    /// setting.
+    Tukey {
+        /// Fence multiplier.
+        k: f64,
+    },
+}
+
+/// Configuration of the Eq. 5 normalisation from `D_avg(i)` to `p(i)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataAwareConfig {
+    /// Lower end `a` of the target range (paper: 0).
+    pub min: f64,
+    /// Upper end `b` of the target range (paper: 0.5, the worst case).
+    pub max: f64,
+    /// Outlier policy; outliers receive `p = max`.
+    pub outlier: OutlierPolicy,
+    /// Floor applied to every non-outlier `p(i)`.
+    ///
+    /// Eq. 5 maps the least critical bit to exactly `p = a = 0`, which
+    /// would budget *zero* injections for its subpopulation and leave the
+    /// stratified estimator undefined there. A small floor keeps every
+    /// subpopulation observable; `0.001` matches the per-bit sample sizes
+    /// implied by the paper's Table I data-aware column.
+    pub p_floor: f64,
+}
+
+impl DataAwareConfig {
+    /// The paper's configuration: range `[0, 0.5]`, no outlier exclusion
+    /// beyond non-finite safeguarding, floor `0.001`.
+    ///
+    /// With saturated flip distances the exponent MSB *is* the maximum, so
+    /// plain min–max already assigns it `p = 0.5` and pushes every other
+    /// bit towards the floor — matching the per-layer data-aware sample
+    /// sizes of paper Table I (one worst-case bit plus ~30 floor-sized
+    /// strata per layer). Explicit outlier policies remain available for
+    /// the `ablation_outliers` bench.
+    pub fn paper_default() -> Self {
+        Self { min: 0.0, max: 0.5, outlier: OutlierPolicy::None, p_floor: 0.001 }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `0 ≤ min < max ≤ 0.5` and
+    /// `min ≤ p_floor ≤ max`.
+    pub fn validate(&self) -> Result<(), StatsError> {
+        if !(self.min.is_finite() && self.max.is_finite()) || self.min < 0.0 || self.max > 0.5
+            || self.min >= self.max
+        {
+            return Err(StatsError::InvalidParameter {
+                name: "range",
+                reason: format!("need 0 <= min < max <= 0.5, got [{}, {}]", self.min, self.max),
+            });
+        }
+        if !self.p_floor.is_finite() || self.p_floor < self.min || self.p_floor > self.max {
+            return Err(StatsError::InvalidParameter {
+                name: "p_floor",
+                reason: format!("must lie within [{}, {}], got {}", self.min, self.max, self.p_floor),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for DataAwareConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Computes the per-bit success probabilities `p(i)` of paper Eq. 5.
+///
+/// Outlier bits (per `cfg.outlier`, plus any bit with non-finite `D_avg`)
+/// are pinned at `cfg.max`; the remaining bits are min–max normalised from
+/// their `D_avg` range onto `[cfg.min, cfg.max]` and floored at
+/// `cfg.p_floor`.
+///
+/// # Errors
+///
+/// Returns an error when `cfg` fails validation.
+///
+/// # Example
+///
+/// ```
+/// use sfi_stats::bit_analysis::{data_aware_p, DataAwareConfig, WeightBitAnalysis};
+///
+/// let weights: Vec<f32> = (0..512).map(|i| (i as f32 - 256.0) * 1e-3).collect();
+/// let analysis = WeightBitAnalysis::from_weights(weights)?;
+/// let p = data_aware_p(&analysis, &DataAwareConfig::paper_default())?;
+/// // The exponent MSB is by far the most critical bit…
+/// assert_eq!(p[30], 0.5);
+/// // …and every probability lies in (0, 0.5].
+/// assert!(p.iter().all(|&v| v > 0.0 && v <= 0.5));
+/// # Ok::<(), sfi_stats::StatsError>(())
+/// ```
+pub fn data_aware_p(
+    analysis: &WeightBitAnalysis,
+    cfg: &DataAwareConfig,
+) -> Result<[f64; F32_BITS], StatsError> {
+    cfg.validate()?;
+    let d_avg = analysis.d_avg_all();
+    let outlier = outlier_mask(&d_avg, cfg.outlier);
+
+    // Min–max over the non-outlier, finite values.
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (i, &d) in d_avg.iter().enumerate() {
+        if !outlier[i] && d.is_finite() {
+            lo = lo.min(d);
+            hi = hi.max(d);
+        }
+    }
+
+    let mut p = [cfg.max; F32_BITS];
+    for (i, &d) in d_avg.iter().enumerate() {
+        if outlier[i] || !d.is_finite() {
+            p[i] = cfg.max;
+        } else if hi > lo {
+            let scaled = cfg.min + (d - lo) * (cfg.max - cfg.min) / (hi - lo);
+            p[i] = scaled.max(cfg.p_floor);
+        } else {
+            // Degenerate distribution: every bit equally critical — fall
+            // back to the conservative worst case.
+            p[i] = cfg.max;
+        }
+    }
+    Ok(p)
+}
+
+fn outlier_mask(d_avg: &[f64; F32_BITS], policy: OutlierPolicy) -> [bool; F32_BITS] {
+    let mut mask = [false; F32_BITS];
+    // Non-finite values are always outliers.
+    for (i, &d) in d_avg.iter().enumerate() {
+        if !d.is_finite() {
+            mask[i] = true;
+        }
+    }
+    match policy {
+        OutlierPolicy::None => {}
+        OutlierPolicy::TopK(k) => {
+            let mut finite: Vec<(usize, f64)> = d_avg
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|(i, d)| !mask[*i] && d.is_finite())
+                .collect();
+            finite.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite values compare"));
+            for &(i, _) in finite.iter().take(k) {
+                mask[i] = true;
+            }
+        }
+        OutlierPolicy::Tukey { k } => {
+            let mut logs: Vec<f64> = d_avg
+                .iter()
+                .enumerate()
+                .filter(|(i, d)| !mask[*i] && d.is_finite() && **d > 0.0)
+                .map(|(_, d)| d.log10())
+                .collect();
+            if logs.len() < 4 {
+                return mask;
+            }
+            logs.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+            let q1 = quantile_sorted(&logs, 0.25);
+            let q3 = quantile_sorted(&logs, 0.75);
+            let fence = q3 + k * (q3 - q1);
+            for (i, &d) in d_avg.iter().enumerate() {
+                if !mask[i] && d.is_finite() && d > 0.0 && d.log10() > fence {
+                    mask[i] = true;
+                }
+            }
+        }
+    }
+    mask
+}
+
+/// Linear-interpolated quantile of an ascending-sorted slice.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_bit_sign_and_exponent() {
+        assert_eq!(flip_bit(2.5, 31), -2.5);
+        assert_eq!(flip_bit(-1.0, 31), 1.0);
+        assert_eq!(flip_bit(1.0, 23), 0.5);
+        assert_eq!(flip_bit(0.5, 23), 1.0);
+        // Flipping twice restores the value.
+        for bit in 0..32 {
+            assert_eq!(flip_bit(flip_bit(0.123, bit), bit), 0.123);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flip_bit_rejects_bit_32() {
+        flip_bit(1.0, 32);
+    }
+
+    #[test]
+    fn flip_distance_matches_manual() {
+        // 1.0 -> 0.5 when clearing the set exponent LSB.
+        assert_eq!(flip_distance(1.0, 23), 0.5);
+        // 0.5 -> 1.0 when setting it.
+        assert_eq!(flip_distance(0.5, 23), 0.5);
+        // sign flip of w: distance 2|w|.
+        assert_eq!(flip_distance(3.0, 31), 6.0);
+    }
+
+    #[test]
+    fn flip_distance_saturates_when_flip_overflows() {
+        // Exponent 0b11111110 (254) → flip of bit 23 gives 255 → Inf,
+        // reported as the saturated distance f32::MAX.
+        let w = f32::from_bits(254 << 23);
+        assert_eq!(flip_distance(w, 23), f32::MAX as f64);
+        assert_eq!(flip_distance(f32::NAN, 0), f32::MAX as f64);
+        assert!(flip_distance(w, 23).is_finite());
+    }
+
+    #[test]
+    fn bit_is_one_checks_representation() {
+        assert!(bit_is_one(-1.0, 31));
+        assert!(!bit_is_one(1.0, 31));
+        // 1.0f32 = 0x3F800000: bits 23..29 set, bit 30 clear.
+        assert!(bit_is_one(1.0, 23));
+        assert!(bit_is_one(1.0, 29));
+        assert!(!bit_is_one(1.0, 30));
+    }
+
+    #[test]
+    fn analysis_counts_sum_to_population() {
+        let weights = vec![0.1f32, -0.2, 0.3, -0.4, 0.5];
+        let a = WeightBitAnalysis::from_weights(weights).unwrap();
+        assert_eq!(a.count(), 5);
+        for i in 0..32 {
+            assert_eq!(a.f0(i) + a.f1(i), 5, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn sign_bit_frequency_matches_negative_count() {
+        let weights = vec![0.1f32, -0.2, 0.3, -0.4, -0.5];
+        let a = WeightBitAnalysis::from_weights(weights).unwrap();
+        assert_eq!(a.f1(31), 3);
+        assert_eq!(a.f0(31), 2);
+        assert!((a.fraction_one(31) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponent_msb_always_zero_for_small_weights() {
+        // |w| < 2 ⇒ biased exponent ≤ 127 ⇒ bit 30 = 0.
+        let weights: Vec<f32> = (1..100).map(|i| i as f32 * 1e-3).collect();
+        let a = WeightBitAnalysis::from_weights(weights).unwrap();
+        assert_eq!(a.f1(30), 0);
+    }
+
+    #[test]
+    fn empty_population_rejected() {
+        assert!(WeightBitAnalysis::from_weights(std::iter::empty()).is_err());
+    }
+
+    #[test]
+    fn merge_equals_joint_analysis() {
+        let w1 = vec![0.25f32, -0.5, 0.75];
+        let w2 = vec![-0.125f32, 1.5];
+        let mut a = WeightBitAnalysis::from_weights(w1.clone()).unwrap();
+        a.merge(&WeightBitAnalysis::from_weights(w2.clone()).unwrap());
+        let joint =
+            WeightBitAnalysis::from_weights(w1.into_iter().chain(w2)).unwrap();
+        assert_eq!(a, joint);
+    }
+
+    #[test]
+    fn d_avg_weighted_by_frequencies() {
+        // Single weight 1.0: bit 23 is 1 so D_avg(23) = D_{1→0}(23) = 0.5.
+        let a = WeightBitAnalysis::from_weights([1.0f32]).unwrap();
+        assert_eq!(a.d10(23), 0.5); // 1.0 -> 0.5
+        assert_eq!(a.d01(23), 0.0);
+        assert_eq!(a.d_avg(23), 0.5);
+    }
+
+    #[test]
+    fn exponent_msb_dominates_d_avg() {
+        let weights: Vec<f32> = (1..=256).map(|i| (i as f32 - 128.0) * 2e-3).collect();
+        let a = WeightBitAnalysis::from_weights(weights).unwrap();
+        let d = a.d_avg_all();
+        let max_other = d[..30].iter().copied().fold(0.0f64, f64::max);
+        assert!(d[30] > max_other * 1e6, "bit 30 must dominate: {} vs {max_other}", d[30]);
+    }
+
+    #[test]
+    fn data_aware_p_shape() {
+        let weights: Vec<f32> = (1..=4096).map(|i| ((i % 511) as f32 - 255.0) * 4e-4).collect();
+        let a = WeightBitAnalysis::from_weights(weights).unwrap();
+        let p = data_aware_p(&a, &DataAwareConfig::paper_default()).unwrap();
+        // The exponent MSB is the pinned outlier.
+        assert_eq!(p[30], 0.5);
+        // Mantissa LSB is the least critical bit — at the floor.
+        assert!((p[0] - 0.001).abs() < 1e-9, "p[0] = {}", p[0]);
+        // Everything in range.
+        assert!(p.iter().all(|&v| (0.001..=0.5).contains(&v)));
+        // Monotone trend across the mantissa: higher mantissa bits at least
+        // as critical as lower ones.
+        for i in 0..22 {
+            assert!(p[i] <= p[i + 1] + 1e-9, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn data_aware_p_with_tukey_policy() {
+        let weights: Vec<f32> = (1..=1024).map(|i| ((i % 200) as f32 - 100.0) * 1e-3).collect();
+        let a = WeightBitAnalysis::from_weights(weights).unwrap();
+        let cfg = DataAwareConfig {
+            outlier: OutlierPolicy::Tukey { k: 1.5 },
+            ..DataAwareConfig::paper_default()
+        };
+        let p = data_aware_p(&a, &cfg).unwrap();
+        // Tukey fences mark several exponent bits as outliers.
+        assert_eq!(p[30], 0.5);
+        assert!(p.iter().all(|&v| (0.0..=0.5).contains(&v)));
+    }
+
+    #[test]
+    fn data_aware_config_validation() {
+        assert!(DataAwareConfig::paper_default().validate().is_ok());
+        let bad = DataAwareConfig { min: 0.4, max: 0.2, ..DataAwareConfig::paper_default() };
+        assert!(bad.validate().is_err());
+        let bad = DataAwareConfig { max: 0.7, ..DataAwareConfig::paper_default() };
+        assert!(bad.validate().is_err());
+        let bad = DataAwareConfig { p_floor: 0.9, ..DataAwareConfig::paper_default() };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn degenerate_distribution_falls_back_to_worst_case() {
+        // A single repeated weight still yields a usable p vector.
+        let a = WeightBitAnalysis::from_weights(std::iter::repeat_n(0.5f32, 16)).unwrap();
+        let p = data_aware_p(&a, &DataAwareConfig::paper_default()).unwrap();
+        assert!(p.iter().all(|&v| v > 0.0 && v <= 0.5));
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile_sorted(&v, 0.0), 1.0);
+        assert_eq!(quantile_sorted(&v, 1.0), 4.0);
+        assert_eq!(quantile_sorted(&v, 0.5), 2.5);
+    }
+}

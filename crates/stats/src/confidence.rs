@@ -1,0 +1,303 @@
+//! Confidence levels and their normal-approximation `z` constants.
+
+use serde::{Deserialize, Serialize};
+
+use crate::StatsError;
+
+/// A two-sided confidence level with its standard-normal quantile `z`.
+///
+/// The preset variants use the *engineering* constants found in the
+/// fault-injection literature rather than maximally precise quantiles:
+/// `C99` is `2.58` (not `2.5758…`) because the DATE 2023 paper and its
+/// sample-size reference (Leveugle et al., DATE 2009) both round that way —
+/// using the precise quantile shifts several Table I entries by one or two
+/// faults. Use [`Confidence::Custom`] for a different constant.
+///
+/// # Example
+///
+/// ```
+/// use sfi_stats::confidence::Confidence;
+///
+/// assert_eq!(Confidence::C99.z(), 2.58);
+/// assert!((Confidence::C95.level() - 0.95).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Confidence {
+    /// 90% confidence, `z = 1.645`.
+    C90,
+    /// 95% confidence, `z = 1.96`.
+    C95,
+    /// 99% confidence, `z = 2.58` (paper convention).
+    C99,
+    /// 99.8% confidence, `z = 3.09`.
+    C998,
+    /// A custom confidence level with an explicit `z` constant.
+    Custom {
+        /// The confidence level in `(0, 1)`.
+        level: f64,
+        /// The corresponding standard-normal quantile.
+        z: f64,
+    },
+}
+
+impl Confidence {
+    /// The standard-normal quantile used in sample-size and margin formulas.
+    pub fn z(&self) -> f64 {
+        match self {
+            Confidence::C90 => 1.645,
+            Confidence::C95 => 1.96,
+            Confidence::C99 => 2.58,
+            Confidence::C998 => 3.09,
+            Confidence::Custom { z, .. } => *z,
+        }
+    }
+
+    /// The confidence level as a probability in `(0, 1)`.
+    pub fn level(&self) -> f64 {
+        match self {
+            Confidence::C90 => 0.90,
+            Confidence::C95 => 0.95,
+            Confidence::C99 => 0.99,
+            Confidence::C998 => 0.998,
+            Confidence::Custom { level, .. } => *level,
+        }
+    }
+
+    /// Creates a custom confidence level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidProbability`] when `level` is outside
+    /// `(0, 1)` or [`StatsError::InvalidParameter`] when `z` is not a
+    /// positive finite number.
+    pub fn custom(level: f64, z: f64) -> Result<Self, StatsError> {
+        if !(0.0..1.0).contains(&level) || level == 0.0 {
+            return Err(StatsError::InvalidProbability { name: "level", value: level });
+        }
+        if !z.is_finite() || z <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "z",
+                reason: format!("must be positive and finite, got {z}"),
+            });
+        }
+        Ok(Confidence::Custom { level, z })
+    }
+
+    /// Creates a confidence level from the level alone, computing `z` as
+    /// the exact two-sided standard-normal quantile
+    /// `Φ⁻¹((1 + level) / 2)`.
+    ///
+    /// Note that the presets use the *rounded* engineering constants of the
+    /// fault-injection literature ([`Confidence::C99`] is 2.58, not
+    /// 2.5758…); use this constructor when you want the precise quantile
+    /// or a non-preset level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidProbability`] when `level` is outside
+    /// `(0, 1)`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sfi_stats::confidence::Confidence;
+    ///
+    /// let c = Confidence::from_level(0.99)?;
+    /// assert!((c.z() - 2.5758).abs() < 1e-3);
+    /// # Ok::<(), sfi_stats::StatsError>(())
+    /// ```
+    pub fn from_level(level: f64) -> Result<Self, StatsError> {
+        if !level.is_finite() || level <= 0.0 || level >= 1.0 {
+            return Err(StatsError::InvalidProbability { name: "level", value: level });
+        }
+        let z = normal_quantile((1.0 + level) / 2.0);
+        Ok(Confidence::Custom { level, z })
+    }
+}
+
+/// Standard-normal quantile function `Φ⁻¹(p)` for `p ∈ (0, 1)`.
+///
+/// Acklam's rational approximation (|relative error| < 1.15e-9), refined by
+/// one Halley step against [`normal_cdf`].
+///
+/// # Panics
+///
+/// Panics if `p` is outside `(0, 1)`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile requires p in (0, 1), got {p}");
+    // Coefficients of Acklam's approximation.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Halley refinement step.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Standard-normal CDF `Φ(x)` via the complementary error function
+/// (Abramowitz–Stegun 7.1.26 style polynomial, |error| < 1.5e-7, made
+/// symmetric for negative arguments).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function approximation.
+fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+impl Default for Confidence {
+    /// The paper's setting: 99% confidence.
+    fn default() -> Self {
+        Confidence::C99
+    }
+}
+
+impl std::fmt::Display for Confidence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1}% (z={})", self.level() * 100.0, self.z())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_constants() {
+        assert_eq!(Confidence::C90.z(), 1.645);
+        assert_eq!(Confidence::C95.z(), 1.96);
+        assert_eq!(Confidence::C99.z(), 2.58);
+        assert_eq!(Confidence::C998.z(), 3.09);
+    }
+
+    #[test]
+    fn z_increases_with_level() {
+        let levels = [Confidence::C90, Confidence::C95, Confidence::C99, Confidence::C998];
+        for pair in levels.windows(2) {
+            assert!(pair[0].z() < pair[1].z());
+            assert!(pair[0].level() < pair[1].level());
+        }
+    }
+
+    #[test]
+    fn custom_validation() {
+        assert!(Confidence::custom(0.5, 0.674).is_ok());
+        assert!(Confidence::custom(0.0, 1.0).is_err());
+        assert!(Confidence::custom(1.5, 1.0).is_err());
+        assert!(Confidence::custom(0.9, -1.0).is_err());
+        assert!(Confidence::custom(0.9, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn default_is_paper_setting() {
+        assert_eq!(Confidence::default(), Confidence::C99);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Confidence::C99.to_string(), "99.0% (z=2.58)");
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-4);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-4);
+        assert!((normal_cdf(3.0) - 0.99865).abs() < 1e-4);
+        assert!(normal_cdf(8.0) > 0.9999999);
+        assert!(normal_cdf(-8.0) < 1e-7);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for p in [0.001, 0.01, 0.025, 0.2, 0.5, 0.8, 0.975, 0.99, 0.999] {
+            let x = normal_quantile(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-7, "p = {p}, x = {x}");
+        }
+    }
+
+    #[test]
+    fn quantile_known_values() {
+        // Accuracy is bounded by the erfc polynomial (~1.5e-7).
+        assert!(normal_quantile(0.5).abs() < 1e-6);
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-4);
+        assert!((normal_quantile(0.995) - 2.575829).abs() < 1e-4);
+        assert!((normal_quantile(0.95) - 1.644854).abs() < 1e-4);
+    }
+
+    #[test]
+    fn from_level_matches_precise_quantiles() {
+        let c = Confidence::from_level(0.95).unwrap();
+        assert!((c.z() - 1.959964).abs() < 1e-4);
+        assert_eq!(c.level(), 0.95);
+        assert!(Confidence::from_level(0.0).is_err());
+        assert!(Confidence::from_level(1.0).is_err());
+        assert!(Confidence::from_level(f64::NAN).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile requires p in (0, 1)")]
+    fn quantile_rejects_out_of_range() {
+        normal_quantile(1.0);
+    }
+}

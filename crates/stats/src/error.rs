@@ -1,0 +1,71 @@
+use std::fmt;
+
+/// Error type for every fallible operation in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// A probability parameter lay outside `[0, 1]` (or `(0, 1)` where an
+    /// open interval is required).
+    InvalidProbability {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The value that was rejected.
+        value: f64,
+    },
+    /// A numeric parameter was non-positive or non-finite where a positive
+    /// finite value is required.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that failed.
+        reason: String,
+    },
+    /// The requested sample was larger than the population.
+    SampleExceedsPopulation {
+        /// Requested sample size.
+        sample: u64,
+        /// Available population size.
+        population: u64,
+    },
+    /// An empty data set was supplied where at least one element is needed.
+    EmptyInput {
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidProbability { name, value } => {
+                write!(f, "probability `{name}` must lie in [0, 1], got {value}")
+            }
+            StatsError::InvalidParameter { name, reason } => {
+                write!(f, "parameter `{name}` invalid: {reason}")
+            }
+            StatsError::SampleExceedsPopulation { sample, population } => {
+                write!(f, "sample size {sample} exceeds population {population}")
+            }
+            StatsError::EmptyInput { op } => write!(f, "{op}: input must not be empty"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = StatsError::SampleExceedsPopulation { sample: 10, population: 5 };
+        assert_eq!(e.to_string(), "sample size 10 exceeds population 5");
+    }
+}

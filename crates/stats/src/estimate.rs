@@ -1,0 +1,365 @@
+//! Proportion estimates with finite-population-corrected error margins, and
+//! the stratified estimator used to aggregate per-subpopulation results.
+
+use serde::{Deserialize, Serialize};
+
+use crate::confidence::Confidence;
+use crate::StatsError;
+
+/// Outcome of sampling one (sub)population: `successes` critical faults out
+/// of `sample` injections drawn from a population of `population` faults.
+///
+/// # Example
+///
+/// ```
+/// use sfi_stats::confidence::Confidence;
+/// use sfi_stats::estimate::StratumResult;
+///
+/// let r = StratumResult { population: 10_000, sample: 1_000, successes: 150 };
+/// assert_eq!(r.proportion(), 0.15);
+/// let margin = r.error_margin(Confidence::C99);
+/// assert!(margin > 0.0 && margin < 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StratumResult {
+    /// Total number of possible faults in the (sub)population, `N`.
+    pub population: u64,
+    /// Number of faults actually injected, `n ≤ N`.
+    pub sample: u64,
+    /// Number of injections classified as critical, `x ≤ n`.
+    pub successes: u64,
+}
+
+impl StratumResult {
+    /// The observed critical-fault proportion `p̂ = x / n`.
+    ///
+    /// Returns `0.0` when no faults were injected.
+    pub fn proportion(&self) -> f64 {
+        if self.sample == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.sample as f64
+        }
+    }
+
+    /// Finite-population-corrected error margin of the estimate:
+    ///
+    /// ```text
+    /// e = z · sqrt( p̂·(1−p̂)/n · (N−n)/(N−1) )
+    /// ```
+    ///
+    /// This is paper Eq. 1 solved for `e` at the observed `p̂` — the black
+    /// vertical bars of Figs. 5–7. Exhaustive campaigns (`n == N`) have a
+    /// margin of exactly zero, as do empty samples (nothing was estimated).
+    pub fn error_margin(&self, confidence: Confidence) -> f64 {
+        confidence.z() * self.standard_error()
+    }
+
+    /// The finite-population-corrected standard error of `p̂`.
+    pub fn standard_error(&self) -> f64 {
+        if self.sample == 0 || self.population <= 1 || self.sample >= self.population {
+            return 0.0;
+        }
+        let n = self.sample as f64;
+        let big_n = self.population as f64;
+        let p = self.proportion();
+        let fpc = (big_n - n) / (big_n - 1.0);
+        (p * (1.0 - p) / n * fpc).sqrt()
+    }
+
+    /// Two-sided confidence interval `[p̂ − e, p̂ + e]`, clamped to `[0, 1]`.
+    pub fn confidence_interval(&self, confidence: Confidence) -> (f64, f64) {
+        let p = self.proportion();
+        let e = self.error_margin(confidence);
+        ((p - e).max(0.0), (p + e).min(1.0))
+    }
+
+    /// Wilson score interval for the critical-fault proportion.
+    ///
+    /// The paper's Eq.-1 (Wald) margin collapses to zero when a sample
+    /// observes zero (or only) successes, which misreports certainty for
+    /// small samples of rare events. The Wilson interval stays informative
+    /// in that regime; the adaptive sampler
+    /// (`sfi_core::adaptive`) uses its half-width as the stopping
+    /// criterion. No finite-population correction is applied, making the
+    /// interval slightly conservative for large sampling fractions.
+    pub fn wilson_interval(&self, confidence: Confidence) -> (f64, f64) {
+        if self.sample == 0 {
+            return (0.0, 1.0);
+        }
+        let n = self.sample as f64;
+        let p = self.proportion();
+        let z = confidence.z();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let centre = (p + z2 / (2.0 * n)) / denom;
+        let half = z / denom * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        ((centre - half).max(0.0), (centre + half).min(1.0))
+    }
+
+    /// Half-width of the Wilson score interval.
+    pub fn wilson_half_width(&self, confidence: Confidence) -> f64 {
+        let (lo, hi) = self.wilson_interval(confidence);
+        (hi - lo) / 2.0
+    }
+
+    /// Validates internal consistency (`x ≤ n ≤ N`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::SampleExceedsPopulation`] when `n > N` and
+    /// [`StatsError::InvalidParameter`] when `x > n`.
+    pub fn validate(&self) -> Result<(), StatsError> {
+        if self.sample > self.population {
+            return Err(StatsError::SampleExceedsPopulation {
+                sample: self.sample,
+                population: self.population,
+            });
+        }
+        if self.successes > self.sample {
+            return Err(StatsError::InvalidParameter {
+                name: "successes",
+                reason: format!("{} successes exceed sample {}", self.successes, self.sample),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A stratified proportion estimate over independent subpopulations.
+///
+/// This is how per-bit subpopulation results `N(i,l)` are recombined into a
+/// per-layer (or whole-network) critical-fault rate: each stratum is
+/// weighted by its population share, and the variance is the weighted sum of
+/// the per-stratum sampling variances (strata are sampled independently, so
+/// covariances vanish).
+///
+/// # Example
+///
+/// ```
+/// use sfi_stats::confidence::Confidence;
+/// use sfi_stats::estimate::{stratified_estimate, StratumResult};
+///
+/// let strata = [
+///     StratumResult { population: 1_000, sample: 100, successes: 50 },
+///     StratumResult { population: 3_000, sample: 300, successes: 30 },
+/// ];
+/// let est = stratified_estimate(&strata, Confidence::C99).unwrap();
+/// // 0.25 * 0.5 + 0.75 * 0.1 = 0.2
+/// assert!((est.proportion - 0.2).abs() < 1e-12);
+/// assert!(est.error_margin > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StratifiedEstimate {
+    /// Combined critical-fault proportion.
+    pub proportion: f64,
+    /// Error margin at the requested confidence.
+    pub error_margin: f64,
+    /// Total population across strata.
+    pub population: u64,
+    /// Total injections across strata.
+    pub sample: u64,
+    /// Total successes across strata.
+    pub successes: u64,
+}
+
+/// Combines independent stratum results into one estimate.
+///
+/// Strata with an empty sample contribute their weight with an assumed
+/// proportion of zero and zero variance; this only occurs for subpopulations
+/// whose planned `p(i)` was exactly zero (the outcome is assumed certain, so
+/// no injections were budgeted).
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for an empty slice, or the first
+/// validation error of any stratum.
+pub fn stratified_estimate(
+    strata: &[StratumResult],
+    confidence: Confidence,
+) -> Result<StratifiedEstimate, StatsError> {
+    if strata.is_empty() {
+        return Err(StatsError::EmptyInput { op: "stratified_estimate" });
+    }
+    let mut total_pop = 0u64;
+    for s in strata {
+        s.validate()?;
+        total_pop += s.population;
+    }
+    if total_pop == 0 {
+        return Err(StatsError::EmptyInput { op: "stratified_estimate" });
+    }
+    let big_n = total_pop as f64;
+    let mut p_hat = 0.0f64;
+    let mut var = 0.0f64;
+    let mut sample = 0u64;
+    let mut successes = 0u64;
+    for s in strata {
+        let w = s.population as f64 / big_n;
+        p_hat += w * s.proportion();
+        let se = s.standard_error();
+        var += w * w * se * se;
+        sample += s.sample;
+        successes += s.successes;
+    }
+    Ok(StratifiedEstimate {
+        proportion: p_hat,
+        error_margin: confidence.z() * var.sqrt(),
+        population: total_pop,
+        sample,
+        successes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportion_and_margin_basics() {
+        let r = StratumResult { population: 1_000, sample: 100, successes: 25 };
+        assert_eq!(r.proportion(), 0.25);
+        let e = r.error_margin(Confidence::C95);
+        // p=0.25, n=100, fpc=(900/999): se = sqrt(0.25*0.75/100 * 0.9009) ≈ 0.0411
+        assert!((e - 1.96 * 0.0411).abs() < 0.002, "e = {e}");
+    }
+
+    #[test]
+    fn exhaustive_sample_has_zero_margin() {
+        let r = StratumResult { population: 50, sample: 50, successes: 10 };
+        assert_eq!(r.error_margin(Confidence::C99), 0.0);
+    }
+
+    #[test]
+    fn empty_sample_has_zero_margin_and_proportion() {
+        let r = StratumResult { population: 50, sample: 0, successes: 0 };
+        assert_eq!(r.proportion(), 0.0);
+        assert_eq!(r.error_margin(Confidence::C99), 0.0);
+    }
+
+    #[test]
+    fn margin_shrinks_with_sample_size() {
+        let small = StratumResult { population: 100_000, sample: 100, successes: 20 };
+        let large = StratumResult { population: 100_000, sample: 10_000, successes: 2_000 };
+        assert!(
+            large.error_margin(Confidence::C99) < small.error_margin(Confidence::C99),
+            "larger samples must have tighter margins"
+        );
+    }
+
+    #[test]
+    fn planned_margin_is_attained_by_planned_sample() {
+        // If we take the Eq.-1 sample for e=1% and observe p̂=0.5 (worst
+        // case), the realised margin must be ~1%.
+        use crate::sample_size::{sample_size, SampleSpec};
+        let spec = SampleSpec::paper_default();
+        let n = sample_size(1_000_000, &spec);
+        let r = StratumResult { population: 1_000_000, sample: n, successes: n / 2 };
+        let e = r.error_margin(Confidence::C99);
+        assert!((e - 0.01).abs() < 2e-4, "e = {e}");
+    }
+
+    #[test]
+    fn confidence_interval_clamps() {
+        let r = StratumResult { population: 1_000, sample: 10, successes: 0 };
+        let (lo, hi) = r.confidence_interval(Confidence::C99);
+        assert_eq!(lo, 0.0);
+        assert!(hi >= 0.0);
+        let r = StratumResult { population: 1_000, sample: 10, successes: 10 };
+        let (_, hi) = r.confidence_interval(Confidence::C99);
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    fn validate_catches_inconsistencies() {
+        assert!(StratumResult { population: 10, sample: 20, successes: 0 }.validate().is_err());
+        assert!(StratumResult { population: 10, sample: 5, successes: 7 }.validate().is_err());
+        assert!(StratumResult { population: 10, sample: 5, successes: 5 }.validate().is_ok());
+    }
+
+    #[test]
+    fn wilson_interval_nondegenerate_at_zero_successes() {
+        let r = StratumResult { population: 100_000, sample: 200, successes: 0 };
+        assert_eq!(r.error_margin(Confidence::C99), 0.0, "Wald degenerates");
+        let (lo, hi) = r.wilson_interval(Confidence::C99);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.1, "Wilson stays informative: hi = {hi}");
+    }
+
+    #[test]
+    fn wilson_contains_point_estimate() {
+        for successes in [0u64, 1, 25, 50, 99, 100] {
+            let r = StratumResult { population: 100_000, sample: 100, successes };
+            let (lo, hi) = r.wilson_interval(Confidence::C95);
+            let p = r.proportion();
+            assert!(lo <= p + 1e-12 && p <= hi + 1e-12, "x = {successes}");
+        }
+    }
+
+    #[test]
+    fn wilson_close_to_wald_for_moderate_p() {
+        let r = StratumResult { population: 10_000_000, sample: 10_000, successes: 3_000 };
+        let wald = r.error_margin(Confidence::C95);
+        let wilson = r.wilson_half_width(Confidence::C95);
+        assert!((wald - wilson).abs() / wald < 0.05, "wald {wald} vs wilson {wilson}");
+    }
+
+    #[test]
+    fn wilson_shrinks_with_sample() {
+        let small = StratumResult { population: 1_000_000, sample: 50, successes: 0 };
+        let large = StratumResult { population: 1_000_000, sample: 5_000, successes: 0 };
+        assert!(
+            large.wilson_half_width(Confidence::C99) < small.wilson_half_width(Confidence::C99)
+        );
+    }
+
+    #[test]
+    fn wilson_empty_sample_is_vacuous() {
+        let r = StratumResult { population: 10, sample: 0, successes: 0 };
+        assert_eq!(r.wilson_interval(Confidence::C99), (0.0, 1.0));
+    }
+
+    #[test]
+    fn stratified_weights_by_population() {
+        let strata = [
+            StratumResult { population: 900, sample: 90, successes: 0 },
+            StratumResult { population: 100, sample: 10, successes: 10 },
+        ];
+        let est = stratified_estimate(&strata, Confidence::C99).unwrap();
+        assert!((est.proportion - 0.1).abs() < 1e-12);
+        assert_eq!(est.population, 1_000);
+        assert_eq!(est.sample, 100);
+        assert_eq!(est.successes, 10);
+    }
+
+    #[test]
+    fn stratified_margin_below_worst_stratum() {
+        let strata = [
+            StratumResult { population: 10_000, sample: 500, successes: 100 },
+            StratumResult { population: 10_000, sample: 500, successes: 400 },
+        ];
+        let est = stratified_estimate(&strata, Confidence::C99).unwrap();
+        let worst =
+            strata.iter().map(|s| s.error_margin(Confidence::C99)).fold(0.0f64, f64::max);
+        assert!(est.error_margin < worst);
+    }
+
+    #[test]
+    fn stratified_single_stratum_matches_simple() {
+        let s = StratumResult { population: 5_000, sample: 600, successes: 90 };
+        let est = stratified_estimate(&[s], Confidence::C95).unwrap();
+        assert!((est.proportion - s.proportion()).abs() < 1e-12);
+        assert!((est.error_margin - s.error_margin(Confidence::C95)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stratified_rejects_empty() {
+        assert!(stratified_estimate(&[], Confidence::C99).is_err());
+    }
+
+    #[test]
+    fn stratified_propagates_validation_errors() {
+        let bad = [StratumResult { population: 1, sample: 2, successes: 0 }];
+        assert!(stratified_estimate(&bad, Confidence::C99).is_err());
+    }
+}

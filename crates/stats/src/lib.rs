@@ -1,0 +1,51 @@
+//! Statistical-inference toolkit for fault-injection campaigns.
+//!
+//! Implements every statistical ingredient of the [DATE 2023 SFI paper]:
+//!
+//! - [`sample_size`](sample_size::sample_size) — the finite-population
+//!   sample-size formula (paper Eq. 1/3), parameterised by error margin,
+//!   confidence level, and success probability `p`;
+//! - [`Confidence`](confidence::Confidence) — confidence levels and their
+//!   normal-approximation `z` constants (the paper and its reference
+//!   \[Leveugle et al., DATE 2009\] use `z = 2.58` for 99%);
+//! - [`estimate`] — proportion estimates with finite-population-corrected
+//!   error margins, plus the stratified estimator that aggregates
+//!   per-subpopulation results into per-layer / whole-network figures;
+//! - [`sampling`] — deterministic simple random sampling without
+//!   replacement over astronomically large index spaces;
+//! - [`bit_analysis`] — the data-aware machinery of paper §III-B: per-bit
+//!   0/1 frequencies over a weight set (Fig. 3), bit-flip distances
+//!   `D_{0→1}`, `D_{1→0}`, their frequency-weighted average `D_avg`
+//!   (Eq. 4), and the outlier-robust min–max normalisation that turns
+//!   `D_avg` into the per-bit success probability `p(i)` (Eq. 5, Fig. 4);
+//! - [`binomial`] — binomial moments and the normal-approximation validity
+//!   check behind the Central-Limit-Theorem argument of paper §II.
+//!
+//! # Example: paper Table I, first row
+//!
+//! ```
+//! use sfi_stats::confidence::Confidence;
+//! use sfi_stats::sample_size::{sample_size, SampleSpec};
+//!
+//! // ResNet-20 layer 0: 432 weights × 32 bits × 2 stuck-at faults.
+//! let spec = SampleSpec { error_margin: 0.01, confidence: Confidence::C99, p: 0.5 };
+//! assert_eq!(sample_size(27_648, &spec), 10_389); // layer-wise SFI
+//! assert_eq!(sample_size(864, &spec), 821);       // per-bit subpopulation
+//! ```
+//!
+//! [DATE 2023 SFI paper]: https://doi.org/10.23919/DATE56975.2023.10136998
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod allocation;
+pub mod binomial;
+pub mod bit_analysis;
+pub mod confidence;
+pub mod estimate;
+pub mod sample_size;
+pub mod sampling;
+
+pub use error::StatsError;

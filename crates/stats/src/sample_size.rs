@@ -1,0 +1,265 @@
+//! The finite-population sample-size formula (paper Eq. 1 / Eq. 3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::confidence::Confidence;
+use crate::StatsError;
+
+/// Parameters of one sample-size computation: error margin `e`, confidence
+/// (providing `t`/`z`), and the per-trial success probability `p`.
+///
+/// The paper's configuration for all four SFI schemes is `e = 1%`,
+/// 99% confidence; `p = 0.5` for the data-unaware schemes (worst case) and
+/// the per-bit `p(i)` from Eq. 5 for the data-aware scheme.
+///
+/// # Example
+///
+/// ```
+/// use sfi_stats::confidence::Confidence;
+/// use sfi_stats::sample_size::SampleSpec;
+///
+/// let spec = SampleSpec::paper_default();
+/// assert_eq!(spec.error_margin, 0.01);
+/// assert_eq!(spec.confidence, Confidence::C99);
+/// assert_eq!(spec.p, 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SampleSpec {
+    /// Desired maximum error of the estimate, e.g. `0.01` for ±1%.
+    pub error_margin: f64,
+    /// Confidence level supplying the `t` constant of Eq. 1.
+    pub confidence: Confidence,
+    /// Probability that a single trial succeeds (a fault becomes a critical
+    /// failure). `0.5` maximises `p·(1−p)` and hence the sample size.
+    pub p: f64,
+}
+
+impl SampleSpec {
+    /// The paper's configuration: `e = 1%`, 99% confidence, `p = 0.5`.
+    pub fn paper_default() -> Self {
+        Self { error_margin: 0.01, confidence: Confidence::C99, p: 0.5 }
+    }
+
+    /// Returns a copy with a different success probability.
+    pub fn with_p(mut self, p: f64) -> Self {
+        self.p = p;
+        self
+    }
+
+    /// Validates the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `error_margin` is not in `(0, 1)` or `p` is not
+    /// in `[0, 1]`.
+    pub fn validate(&self) -> Result<(), StatsError> {
+        if !self.error_margin.is_finite() || self.error_margin <= 0.0 || self.error_margin >= 1.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "error_margin",
+                reason: format!("must lie in (0, 1), got {}", self.error_margin),
+            });
+        }
+        if !self.p.is_finite() || !(0.0..=1.0).contains(&self.p) {
+            return Err(StatsError::InvalidProbability { name: "p", value: self.p });
+        }
+        Ok(())
+    }
+}
+
+impl Default for SampleSpec {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The binomial variance term `p·(1−p)` (paper Fig. 1 left).
+///
+/// Maximal at `p = 0.5`, which is why the data-unaware schemes — which must
+/// assume nothing about fault criticality — produce the largest samples.
+///
+/// # Example
+///
+/// ```
+/// use sfi_stats::sample_size::variance_term;
+///
+/// assert_eq!(variance_term(0.5), 0.25);
+/// assert!(variance_term(0.1) < variance_term(0.5));
+/// ```
+pub fn variance_term(p: f64) -> f64 {
+    p * (1.0 - p)
+}
+
+/// Sample size for estimating a proportion over a finite population of `n`
+/// elements (paper Eq. 1, with the finite population correction applied):
+///
+/// ```text
+/// n = N / (1 + e² · (N − 1) / (t² · p · (1 − p)))
+/// ```
+///
+/// The real-valued solution is rounded to the nearest integer, which is the
+/// rounding that reproduces the paper's Tables I and II exactly. A `p` of
+/// exactly 0 or 1 yields a sample of 0 — the outcome is already certain.
+///
+/// # Example
+///
+/// ```
+/// use sfi_stats::sample_size::{sample_size, SampleSpec};
+///
+/// // Paper Table I, ResNet-20 totals: the network-wise sample.
+/// let n = sample_size(17_174_144, &SampleSpec::paper_default());
+/// assert_eq!(n, 16_625);
+/// ```
+pub fn sample_size(population: u64, spec: &SampleSpec) -> u64 {
+    debug_assert!(spec.validate().is_ok(), "invalid sample spec: {spec:?}");
+    if population == 0 {
+        return 0;
+    }
+    let pq = variance_term(spec.p);
+    if pq == 0.0 {
+        return 0;
+    }
+    let n = population as f64;
+    let e = spec.error_margin;
+    let z = spec.confidence.z();
+    let raw = n / (1.0 + e * e * (n - 1.0) / (z * z * pq));
+    let rounded = raw.round() as u64;
+    rounded.min(population)
+}
+
+/// Sample size in the infinite-population limit: `n∞ = z²·p·(1−p)/e²`.
+///
+/// Useful to see how quickly Eq. 1 saturates — for ResNet-20's 17.2M-fault
+/// population the finite correction changes the answer by less than 0.1%.
+pub fn sample_size_infinite(spec: &SampleSpec) -> f64 {
+    let z = spec.confidence.z();
+    z * z * variance_term(spec.p) / (spec.error_margin * spec.error_margin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every layer-wise and data-unaware entry of paper Table I.
+    #[test]
+    fn reproduces_paper_table1_layer_wise() {
+        let spec = SampleSpec::paper_default();
+        // (parameters, expected layer-wise n) — population is params × 64.
+        let rows: &[(u64, u64)] = &[
+            (432, 10_389),
+            (2_304, 14_954),
+            (4_608, 15_752),
+            (9_216, 16_184),
+            (9_226, 16_185),
+            (18_432, 16_410),
+            (36_864, 16_524),
+            (640, 11_834),
+        ];
+        for &(params, expected) in rows {
+            assert_eq!(sample_size(params * 64, &spec), expected, "params {params}");
+        }
+    }
+
+    /// Every data-unaware entry of paper Table I (per-bit subpopulations,
+    /// 32 bit positions, each of size params × 2).
+    #[test]
+    fn reproduces_paper_table1_data_unaware() {
+        let spec = SampleSpec::paper_default();
+        let rows: &[(u64, u64)] = &[
+            (432, 26_272),
+            (2_304, 115_488),
+            (4_608, 189_792),
+            (9_216, 279_872),
+            (9_226, 280_000),
+            (18_432, 366_912),
+            (36_864, 434_464),
+            (640, 38_048),
+        ];
+        for &(params, expected) in rows {
+            let per_bit = sample_size(params * 2, &spec);
+            assert_eq!(per_bit * 32, expected, "params {params}");
+        }
+    }
+
+    /// Network-wise totals of Tables I and II.
+    #[test]
+    fn reproduces_paper_network_wise() {
+        let spec = SampleSpec::paper_default();
+        assert_eq!(sample_size(17_174_144, &spec), 16_625); // ResNet-20
+        assert_eq!(sample_size(141_029_376, &spec), 16_639); // MobileNetV2
+    }
+
+    #[test]
+    fn sample_never_exceeds_population() {
+        let spec = SampleSpec::paper_default();
+        for n in [1u64, 2, 5, 10, 50, 100] {
+            assert!(sample_size(n, &spec) <= n);
+        }
+    }
+
+    #[test]
+    fn zero_population_yields_zero() {
+        assert_eq!(sample_size(0, &SampleSpec::paper_default()), 0);
+    }
+
+    #[test]
+    fn degenerate_p_yields_zero() {
+        let spec = SampleSpec::paper_default().with_p(0.0);
+        assert_eq!(sample_size(1000, &spec), 0);
+        let spec = SampleSpec::paper_default().with_p(1.0);
+        assert_eq!(sample_size(1000, &spec), 0);
+    }
+
+    #[test]
+    fn monotone_in_p_towards_half() {
+        let base = SampleSpec::paper_default();
+        let n_small = sample_size(100_000, &base.with_p(0.01));
+        let n_mid = sample_size(100_000, &base.with_p(0.2));
+        let n_half = sample_size(100_000, &base.with_p(0.5));
+        assert!(n_small < n_mid && n_mid < n_half);
+    }
+
+    #[test]
+    fn monotone_in_error_margin() {
+        let tight = SampleSpec { error_margin: 0.005, ..SampleSpec::paper_default() };
+        let loose = SampleSpec { error_margin: 0.05, ..SampleSpec::paper_default() };
+        assert!(sample_size(1_000_000, &tight) > sample_size(1_000_000, &loose));
+    }
+
+    #[test]
+    fn monotone_in_confidence() {
+        let spec95 =
+            SampleSpec { confidence: Confidence::C95, ..SampleSpec::paper_default() };
+        let spec99 = SampleSpec::paper_default();
+        assert!(sample_size(1_000_000, &spec95) < sample_size(1_000_000, &spec99));
+    }
+
+    #[test]
+    fn infinite_limit_bounds_finite() {
+        let spec = SampleSpec::paper_default();
+        let inf = sample_size_infinite(&spec);
+        // 2.58² * 0.25 / 1e-4 = 16_641
+        assert!((inf - 16_641.0).abs() < 1.0);
+        assert!(sample_size(u64::MAX / 2, &spec) as f64 <= inf.ceil());
+    }
+
+    #[test]
+    fn variance_term_peaks_at_half() {
+        assert_eq!(variance_term(0.5), 0.25);
+        assert_eq!(variance_term(0.0), 0.0);
+        assert_eq!(variance_term(1.0), 0.0);
+        assert!((variance_term(0.3) - 0.21).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(SampleSpec::paper_default().validate().is_ok());
+        assert!(SampleSpec { error_margin: 0.0, ..SampleSpec::paper_default() }
+            .validate()
+            .is_err());
+        assert!(SampleSpec { error_margin: 1.0, ..SampleSpec::paper_default() }
+            .validate()
+            .is_err());
+        assert!(SampleSpec::paper_default().with_p(1.5).validate().is_err());
+        assert!(SampleSpec::paper_default().with_p(f64::NAN).validate().is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! Deterministic simple random sampling without replacement.
+//!
+//! Fault populations reach hundreds of millions of elements (MobileNetV2:
+//! 141,029,376 stuck-at faults), so materialising the index space and
+//! shuffling it is wasteful. [`sample_without_replacement`] uses a sparse
+//! Fisher–Yates (hash-map-backed partial shuffle) that costs `O(n)` time and
+//! memory in the *sample* size, independent of the population size.
+//!
+//! [`sample_by_hashing`] is the cheaper but slightly biased alternative kept
+//! for the `ablation_sampling` bench: it hashes indices until enough
+//! distinct ones are found, which degrades as `n` approaches `N`.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use crate::StatsError;
+
+/// Draws `sample` distinct indices uniformly at random from `0..population`.
+///
+/// Implements a sparse Fisher–Yates shuffle: conceptually the first `n`
+/// entries of a full shuffle of `0..N`, but storing only displaced entries
+/// in a hash map. Every subset of size `n` is equally likely; the result
+/// order is the shuffle order (itself uniformly random).
+///
+/// # Errors
+///
+/// Returns [`StatsError::SampleExceedsPopulation`] when `sample > population`.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sfi_stats::sampling::sample_without_replacement;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let picks = sample_without_replacement(1_000_000_000, 5, &mut rng).unwrap();
+/// assert_eq!(picks.len(), 5);
+/// ```
+pub fn sample_without_replacement(
+    population: u64,
+    sample: u64,
+    rng: &mut impl Rng,
+) -> Result<Vec<u64>, StatsError> {
+    if sample > population {
+        return Err(StatsError::SampleExceedsPopulation { sample, population });
+    }
+    let mut displaced: HashMap<u64, u64> = HashMap::with_capacity(sample as usize * 2);
+    let mut out = Vec::with_capacity(sample as usize);
+    for i in 0..sample {
+        // Pick j uniformly from [i, N).
+        let j = rng.gen_range(i..population);
+        let value_at_j = displaced.get(&j).copied().unwrap_or(j);
+        let value_at_i = displaced.get(&i).copied().unwrap_or(i);
+        displaced.insert(j, value_at_i);
+        out.push(value_at_j);
+    }
+    Ok(out)
+}
+
+/// Draws `sample` distinct indices by repeated uniform draws with rejection.
+///
+/// Simpler than the sparse shuffle and equally uniform, but its running time
+/// degenerates as `sample → population` (coupon-collector behaviour). Kept
+/// as the baseline of the `ablation_sampling` bench.
+///
+/// # Errors
+///
+/// Returns [`StatsError::SampleExceedsPopulation`] when `sample > population`.
+pub fn sample_by_hashing(
+    population: u64,
+    sample: u64,
+    rng: &mut impl Rng,
+) -> Result<Vec<u64>, StatsError> {
+    if sample > population {
+        return Err(StatsError::SampleExceedsPopulation { sample, population });
+    }
+    let mut seen = std::collections::HashSet::with_capacity(sample as usize * 2);
+    let mut out = Vec::with_capacity(sample as usize);
+    while (out.len() as u64) < sample {
+        let idx = rng.gen_range(0..population);
+        if seen.insert(idx) {
+            out.push(idx);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn draws_requested_count_of_distinct_indices() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let picks = sample_without_replacement(1_000, 100, &mut rng).unwrap();
+        assert_eq!(picks.len(), 100);
+        let distinct: std::collections::HashSet<_> = picks.iter().collect();
+        assert_eq!(distinct.len(), 100);
+        assert!(picks.iter().all(|&p| p < 1_000));
+    }
+
+    #[test]
+    fn full_sample_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut picks = sample_without_replacement(50, 50, &mut rng).unwrap();
+        picks.sort_unstable();
+        assert_eq!(picks, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rejects_oversample() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(matches!(
+            sample_without_replacement(10, 11, &mut rng),
+            Err(StatsError::SampleExceedsPopulation { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let a = sample_without_replacement(10_000, 64, &mut StdRng::seed_from_u64(42)).unwrap();
+        let b = sample_without_replacement(10_000, 64, &mut StdRng::seed_from_u64(42)).unwrap();
+        assert_eq!(a, b);
+        let c = sample_without_replacement(10_000, 64, &mut StdRng::seed_from_u64(43)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn huge_population_small_sample_is_cheap() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let picks = sample_without_replacement(u64::MAX, 1_000, &mut rng).unwrap();
+        assert_eq!(picks.len(), 1_000);
+    }
+
+    #[test]
+    fn roughly_uniform_over_halves() {
+        // Statistical smoke test: 20k draws from 0..2000, each half should
+        // get close to 10k.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut low = 0u64;
+        for _ in 0..200 {
+            let picks = sample_without_replacement(2_000, 100, &mut rng).unwrap();
+            low += picks.iter().filter(|&&p| p < 1_000).count() as u64;
+        }
+        assert!((9_000..11_000).contains(&low), "low half count {low}");
+    }
+
+    #[test]
+    fn hashing_variant_matches_contract() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let picks = sample_by_hashing(500, 250, &mut rng).unwrap();
+        let distinct: std::collections::HashSet<_> = picks.iter().collect();
+        assert_eq!(distinct.len(), 250);
+        assert!(sample_by_hashing(5, 6, &mut rng).is_err());
+    }
+
+    #[test]
+    fn zero_sample_is_empty() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(sample_without_replacement(100, 0, &mut rng).unwrap().is_empty());
+        assert!(sample_without_replacement(0, 0, &mut rng).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests of the statistical machinery.
+
+use proptest::prelude::*;
+
+use sfi_stats::binomial::Binomial;
+use sfi_stats::bit_analysis::{
+    bit_is_one, data_aware_p, flip_bit, flip_distance, DataAwareConfig, WeightBitAnalysis,
+};
+use sfi_stats::confidence::Confidence;
+use sfi_stats::estimate::{stratified_estimate, StratumResult};
+use sfi_stats::sample_size::{sample_size, SampleSpec};
+use sfi_stats::sampling::sample_without_replacement;
+
+fn finite_weight() -> impl Strategy<Value = f32> {
+    (-2.0f32..2.0).prop_filter("nonzero-ish", |v| v.is_finite())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eq. 1 never produces a sample exceeding the population, and the
+    /// sample shrinks (weakly) as the error margin grows.
+    #[test]
+    fn sample_size_bounds_and_monotonicity(
+        population in 1u64..10_000_000,
+        e1 in 0.005f64..0.2,
+        delta in 0.001f64..0.2,
+    ) {
+        let spec1 = SampleSpec { error_margin: e1, ..SampleSpec::paper_default() };
+        let spec2 = SampleSpec { error_margin: e1 + delta, ..SampleSpec::paper_default() };
+        let n1 = sample_size(population, &spec1);
+        let n2 = sample_size(population, &spec2);
+        prop_assert!(n1 <= population);
+        prop_assert!(n2 <= n1 + 1, "n({}) = {n1}, n({}) = {n2}", e1, e1 + delta);
+    }
+
+    /// Eq. 1 is monotone (weakly) in the population: more faults never
+    /// need a smaller sample.
+    #[test]
+    fn sample_size_monotone_in_population(
+        population in 1u64..1_000_000,
+        extra in 1u64..1_000_000,
+    ) {
+        let spec = SampleSpec::paper_default();
+        prop_assert!(sample_size(population, &spec) <= sample_size(population + extra, &spec) + 1);
+    }
+
+    /// The sample is maximal at p = 0.5 over any other p.
+    #[test]
+    fn worst_case_p_is_half(population in 100u64..1_000_000, p in 0.0f64..1.0) {
+        let at_half = sample_size(population, &SampleSpec::paper_default());
+        let at_p = sample_size(population, &SampleSpec::paper_default().with_p(p));
+        prop_assert!(at_p <= at_half);
+    }
+
+    /// Bit flips are involutions and always change exactly one bit.
+    #[test]
+    fn flip_bit_is_involution(w in finite_weight(), bit in 0u32..32) {
+        let once = flip_bit(w, bit);
+        prop_assert_eq!(flip_bit(once, bit).to_bits(), w.to_bits());
+        prop_assert_eq!((once.to_bits() ^ w.to_bits()).count_ones(), 1);
+        prop_assert_eq!(bit_is_one(once, bit), !bit_is_one(w, bit));
+    }
+
+    /// Flip distance is finite, non-negative, and symmetric in direction.
+    #[test]
+    fn flip_distance_properties(w in finite_weight(), bit in 0u32..32) {
+        let d = flip_distance(w, bit);
+        prop_assert!(d.is_finite() && d >= 0.0);
+        // Distance from the flipped value back equals the forward distance
+        // (same pair of representations), unless saturation kicked in.
+        let flipped = flip_bit(w, bit);
+        if flipped.is_finite() {
+            prop_assert_eq!(d, flip_distance(flipped, bit));
+        }
+    }
+
+    /// Per-bit frequencies always partition the population, and the
+    /// derived p(i) stays within the configured range.
+    #[test]
+    fn analysis_and_p_invariants(weights in proptest::collection::vec(finite_weight(), 4..200)) {
+        let count = weights.len() as u64;
+        let analysis = WeightBitAnalysis::from_weights(weights).unwrap();
+        for bit in 0..32 {
+            prop_assert_eq!(analysis.f0(bit) + analysis.f1(bit), count);
+            prop_assert!(analysis.d_avg(bit) >= 0.0);
+        }
+        let cfg = DataAwareConfig::paper_default();
+        let p = data_aware_p(&analysis, &cfg).unwrap();
+        for (i, &v) in p.iter().enumerate() {
+            prop_assert!(
+                (cfg.p_floor..=cfg.max + 1e-12).contains(&v),
+                "bit {i}: p = {v}"
+            );
+        }
+    }
+
+    /// Sampling without replacement returns distinct in-range indices and
+    /// is deterministic per seed.
+    #[test]
+    fn sampling_invariants(population in 1u64..100_000, frac in 0.0f64..1.0, seed: u64) {
+        let sample = ((population as f64) * frac) as u64;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let picks = sample_without_replacement(population, sample, &mut rng).unwrap();
+        prop_assert_eq!(picks.len() as u64, sample);
+        prop_assert!(picks.iter().all(|&p| p < population));
+        let distinct: std::collections::HashSet<_> = picks.iter().collect();
+        prop_assert_eq!(distinct.len(), picks.len());
+    }
+
+    /// The stratified estimator interpolates: its proportion lies between
+    /// the smallest and largest stratum proportions.
+    #[test]
+    fn stratified_estimate_interpolates(
+        strata in proptest::collection::vec(
+            (1u64..10_000, 0.0f64..1.0, 0.0f64..1.0),
+            1..10,
+        ),
+    ) {
+        let results: Vec<StratumResult> = strata
+            .iter()
+            .map(|&(pop, sample_frac, success_frac)| {
+                let sample = ((pop as f64) * sample_frac) as u64;
+                let successes = ((sample as f64) * success_frac) as u64;
+                StratumResult { population: pop, sample, successes }
+            })
+            .collect();
+        let est = stratified_estimate(&results, Confidence::C99).unwrap();
+        let lo = results.iter().map(StratumResult::proportion).fold(f64::INFINITY, f64::min);
+        let hi = results.iter().map(StratumResult::proportion).fold(0.0f64, f64::max);
+        prop_assert!(est.proportion >= lo - 1e-12 && est.proportion <= hi + 1e-12);
+        prop_assert!(est.error_margin >= 0.0);
+    }
+
+    /// The error margin shrinks (weakly) as the sample grows with the same
+    /// observed proportion.
+    #[test]
+    fn margin_shrinks_with_sample(
+        population in 1_000u64..1_000_000,
+        base in 10u64..100,
+        growth in 2u64..50,
+    ) {
+        let small = StratumResult { population, sample: base, successes: base / 2 };
+        let large = StratumResult {
+            population,
+            sample: (base * growth).min(population),
+            successes: (base * growth).min(population) / 2,
+        };
+        prop_assert!(
+            large.error_margin(Confidence::C99) <= small.error_margin(Confidence::C99) + 1e-12
+        );
+    }
+
+    /// Binomial pmf is a probability distribution for moderate n.
+    #[test]
+    fn binomial_pmf_normalised(n in 1u64..60, p in 0.01f64..0.99) {
+        let b = Binomial::new(n, p).unwrap();
+        let total: f64 = (0..=n).map(|k| b.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "total {total}");
+        prop_assert!((b.variance() - n as f64 * p * (1.0 - p)).abs() < 1e-9);
+    }
+}
+
+use rand::SeedableRng;

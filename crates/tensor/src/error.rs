@@ -1,0 +1,116 @@
+use std::fmt;
+
+use crate::Shape;
+
+/// Error type for every fallible operation in this crate.
+///
+/// All variants carry enough context to reconstruct which operand was at
+/// fault; `Display` renders a single lowercase sentence per the API
+/// guidelines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// Two shapes that were required to match did not.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Shape of the first operand.
+        lhs: Shape,
+        /// Shape of the second operand.
+        rhs: Shape,
+    },
+    /// An operand had the wrong rank.
+    RankMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Rank the operation expected.
+        expected: usize,
+        /// Rank it was given.
+        actual: usize,
+    },
+    /// A configuration value (stride, group count, kernel size, …) was
+    /// invalid for the given operands.
+    InvalidConfig {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// The data buffer length did not match the product of the dimensions.
+    LengthMismatch {
+        /// Shape that was requested.
+        shape: Shape,
+        /// Length of the provided buffer.
+        len: usize,
+    },
+    /// An index was outside the tensor bounds.
+    IndexOutOfBounds {
+        /// Shape of the tensor being indexed.
+        shape: Shape,
+        /// The offending flat index.
+        index: usize,
+    },
+    /// An empty tensor was passed where at least one element is required.
+    Empty {
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: shape mismatch between {lhs} and {rhs}")
+            }
+            TensorError::RankMismatch { op, expected, actual } => {
+                write!(f, "{op}: expected rank {expected}, got rank {actual}")
+            }
+            TensorError::InvalidConfig { op, reason } => {
+                write!(f, "{op}: invalid configuration: {reason}")
+            }
+            TensorError::LengthMismatch { shape, len } => {
+                write!(
+                    f,
+                    "buffer of length {len} does not match shape {shape} ({} elements)",
+                    shape.len()
+                )
+            }
+            TensorError::IndexOutOfBounds { shape, index } => {
+                write!(f, "index {index} out of bounds for shape {shape}")
+            }
+            TensorError::Empty { op } => write!(f, "{op}: tensor must not be empty"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = TensorError::ShapeMismatch {
+            op: "add",
+            lhs: Shape::new(&[1, 2]),
+            rhs: Shape::new(&[2, 1]),
+        };
+        let msg = err.to_string();
+        assert!(msg.starts_with("add: shape mismatch"));
+        assert!(msg.contains("[1, 2]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn length_mismatch_reports_expected_elements() {
+        let err = TensorError::LengthMismatch { shape: Shape::new(&[2, 3]), len: 5 };
+        assert!(err.to_string().contains("6 elements"));
+    }
+}

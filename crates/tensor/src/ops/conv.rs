@@ -1,0 +1,502 @@
+use crate::{Shape, Tensor, TensorError};
+
+use super::gemm::gemm;
+
+/// Spatial padding policy for [`conv2d`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Padding {
+    /// Symmetric zero padding of `(kernel - 1) / 2` pixels, preserving the
+    /// spatial size for odd kernels at stride 1.
+    Same,
+    /// Explicit symmetric zero padding in pixels.
+    Explicit(usize),
+}
+
+/// Configuration of a 2-D convolution: stride, padding, and channel groups.
+///
+/// # Example
+///
+/// ```
+/// use sfi_tensor::ops::{Conv2dCfg, Padding};
+///
+/// let cfg = Conv2dCfg::same(1);
+/// assert_eq!(cfg.stride, 1);
+/// assert_eq!(cfg.padding, Padding::Same);
+/// assert_eq!(cfg.groups, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dCfg {
+    /// Stride applied in both spatial dimensions.
+    pub stride: usize,
+    /// Zero-padding policy.
+    pub padding: Padding,
+    /// Number of channel groups; `groups == in_channels` is a depthwise
+    /// convolution.
+    pub groups: usize,
+}
+
+impl Conv2dCfg {
+    /// Stride-`s` convolution with "same" padding and a single group.
+    pub fn same(stride: usize) -> Self {
+        Self { stride, padding: Padding::Same, groups: 1 }
+    }
+
+    /// Stride-`s` convolution with no padding and a single group.
+    pub fn valid(stride: usize) -> Self {
+        Self { stride, padding: Padding::Explicit(0), groups: 1 }
+    }
+
+    /// Returns a copy with the group count replaced.
+    pub fn with_groups(mut self, groups: usize) -> Self {
+        self.groups = groups;
+        self
+    }
+
+    fn resolve_padding(&self, kernel: usize) -> usize {
+        match self.padding {
+            Padding::Same => (kernel - 1) / 2,
+            Padding::Explicit(p) => p,
+        }
+    }
+}
+
+struct ConvDims {
+    batch: usize,
+    c_in: usize,
+    h_in: usize,
+    w_in: usize,
+    c_out: usize,
+    c_in_per_group: usize,
+    k_h: usize,
+    k_w: usize,
+    pad: usize,
+    h_out: usize,
+    w_out: usize,
+}
+
+fn validate(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    cfg: Conv2dCfg,
+) -> Result<ConvDims, TensorError> {
+    const OP: &str = "conv2d";
+    if input.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch { op: OP, expected: 4, actual: input.shape().rank() });
+    }
+    if weight.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch { op: OP, expected: 4, actual: weight.shape().rank() });
+    }
+    let (batch, c_in, h_in, w_in) =
+        (input.shape().n(), input.shape().c(), input.shape().h(), input.shape().w());
+    let (c_out, c_w, k_h, k_w) =
+        (weight.shape().n(), weight.shape().c(), weight.shape().h(), weight.shape().w());
+    if cfg.stride == 0 {
+        return Err(TensorError::InvalidConfig { op: OP, reason: "stride must be nonzero".into() });
+    }
+    if cfg.groups == 0 || c_in % cfg.groups != 0 || c_out % cfg.groups != 0 {
+        return Err(TensorError::InvalidConfig {
+            op: OP,
+            reason: format!(
+                "groups {} must divide in channels {} and out channels {}",
+                cfg.groups, c_in, c_out
+            ),
+        });
+    }
+    let c_in_per_group = c_in / cfg.groups;
+    if c_w != c_in_per_group {
+        return Err(TensorError::InvalidConfig {
+            op: OP,
+            reason: format!(
+                "weight expects {c_w} input channels per group, input provides {c_in_per_group}"
+            ),
+        });
+    }
+    if k_h == 0 || k_w == 0 {
+        return Err(TensorError::InvalidConfig { op: OP, reason: "kernel must be nonempty".into() });
+    }
+    let pad = cfg.resolve_padding(k_h.max(k_w));
+    let h_padded = h_in + 2 * pad;
+    let w_padded = w_in + 2 * pad;
+    if h_padded < k_h || w_padded < k_w {
+        return Err(TensorError::InvalidConfig {
+            op: OP,
+            reason: format!(
+                "kernel {k_h}x{k_w} larger than padded input {h_padded}x{w_padded}"
+            ),
+        });
+    }
+    if let Some(b) = bias {
+        if b.shape() != Shape::new(&[c_out]) {
+            return Err(TensorError::ShapeMismatch {
+                op: OP,
+                lhs: b.shape(),
+                rhs: Shape::new(&[c_out]),
+            });
+        }
+    }
+    let h_out = (h_padded - k_h) / cfg.stride + 1;
+    let w_out = (w_padded - k_w) / cfg.stride + 1;
+    Ok(ConvDims { batch, c_in, h_in, w_in, c_out, c_in_per_group, k_h, k_w, pad, h_out, w_out })
+}
+
+/// 2-D convolution over an NCHW input.
+///
+/// `input` is `[N, C_in, H, W]`, `weight` is
+/// `[C_out, C_in/groups, K_h, K_w]`, `bias` (when present) is `[C_out]`.
+/// The implementation dispatches to a specialised depthwise kernel when
+/// `groups == C_in == C_out`, and to the `im2col` + GEMM path otherwise.
+///
+/// # Errors
+///
+/// Returns an error when the operand ranks are not 4, the group count does
+/// not divide the channel counts, the bias length differs from `C_out`, the
+/// stride is zero, or the kernel exceeds the padded input.
+///
+/// # Example
+///
+/// ```
+/// use sfi_tensor::{ops, Tensor};
+///
+/// # fn main() -> Result<(), sfi_tensor::TensorError> {
+/// let input = Tensor::full([1, 1, 3, 3], 1.0);
+/// let weight = Tensor::full([1, 1, 3, 3], 1.0);
+/// let out = ops::conv2d(&input, &weight, None, ops::Conv2dCfg::same(1))?;
+/// // centre pixel sees all nine ones
+/// assert_eq!(out.get([0, 0, 1, 1]), Some(9.0));
+/// # Ok(())
+/// # }
+/// ```
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    cfg: Conv2dCfg,
+) -> Result<Tensor, TensorError> {
+    let dims = validate(input, weight, bias, cfg)?;
+    if cfg.groups == dims.c_in && dims.c_out == dims.c_in && dims.c_in_per_group == 1 {
+        Ok(depthwise(input, weight, bias, cfg, &dims))
+    } else {
+        Ok(im2col_conv(input, weight, bias, cfg, &dims))
+    }
+}
+
+/// Reference direct (sextuple-loop) convolution.
+///
+/// Produces bit-identical results to [`conv2d`] for the accumulation order
+/// used here and is retained as the test oracle and the baseline of the
+/// `ablation_conv` bench.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d`].
+pub fn conv2d_direct(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    cfg: Conv2dCfg,
+) -> Result<Tensor, TensorError> {
+    let d = validate(input, weight, bias, cfg)?;
+    let mut out = Tensor::zeros([d.batch, d.c_out, d.h_out, d.w_out]);
+    let in_data = input.as_slice();
+    let w_data = weight.as_slice();
+    let out_data = out.as_mut_slice();
+    let c_out_per_group = d.c_out / cfg.groups;
+    for n in 0..d.batch {
+        for co in 0..d.c_out {
+            let g = co / c_out_per_group;
+            let base = bias.map_or(0.0, |b| b.as_slice()[co]);
+            for oh in 0..d.h_out {
+                for ow in 0..d.w_out {
+                    let mut acc = 0.0f32;
+                    for ci_g in 0..d.c_in_per_group {
+                        let ci = g * d.c_in_per_group + ci_g;
+                        for kh in 0..d.k_h {
+                            let ih = (oh * cfg.stride + kh) as isize - d.pad as isize;
+                            if ih < 0 || ih as usize >= d.h_in {
+                                continue;
+                            }
+                            for kw in 0..d.k_w {
+                                let iw = (ow * cfg.stride + kw) as isize - d.pad as isize;
+                                if iw < 0 || iw as usize >= d.w_in {
+                                    continue;
+                                }
+                                let in_idx = ((n * d.c_in + ci) * d.h_in + ih as usize) * d.w_in
+                                    + iw as usize;
+                                let w_idx =
+                                    ((co * d.c_in_per_group + ci_g) * d.k_h + kh) * d.k_w + kw;
+                                acc += in_data[in_idx] * w_data[w_idx];
+                            }
+                        }
+                    }
+                    let out_idx = ((n * d.c_out + co) * d.h_out + oh) * d.w_out + ow;
+                    out_data[out_idx] = acc + base;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `im2col` + GEMM convolution, exposed for the conv-strategy ablation bench.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d`].
+pub fn conv2d_im2col(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    cfg: Conv2dCfg,
+) -> Result<Tensor, TensorError> {
+    let dims = validate(input, weight, bias, cfg)?;
+    Ok(im2col_conv(input, weight, bias, cfg, &dims))
+}
+
+fn im2col_conv(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    cfg: Conv2dCfg,
+    d: &ConvDims,
+) -> Tensor {
+    let mut out = Tensor::zeros([d.batch, d.c_out, d.h_out, d.w_out]);
+    let spatial = d.h_out * d.w_out;
+    let k_len = d.c_in_per_group * d.k_h * d.k_w;
+    let c_out_per_group = d.c_out / cfg.groups;
+    let in_data = input.as_slice();
+    let w_data = weight.as_slice();
+    let out_data = out.as_mut_slice();
+    // Column buffer reused across images and groups.
+    let mut cols = vec![0.0f32; k_len * spatial];
+    for n in 0..d.batch {
+        for g in 0..cfg.groups {
+            // Lower the group's input window into the column matrix.
+            for ci_g in 0..d.c_in_per_group {
+                let ci = g * d.c_in_per_group + ci_g;
+                let in_chan = &in_data[(n * d.c_in + ci) * d.h_in * d.w_in..][..d.h_in * d.w_in];
+                for kh in 0..d.k_h {
+                    for kw in 0..d.k_w {
+                        let row = (ci_g * d.k_h + kh) * d.k_w + kw;
+                        let dst = &mut cols[row * spatial..(row + 1) * spatial];
+                        let mut idx = 0usize;
+                        for oh in 0..d.h_out {
+                            let ih = (oh * cfg.stride + kh) as isize - d.pad as isize;
+                            if ih < 0 || ih as usize >= d.h_in {
+                                for _ in 0..d.w_out {
+                                    dst[idx] = 0.0;
+                                    idx += 1;
+                                }
+                                continue;
+                            }
+                            let in_row = &in_chan[ih as usize * d.w_in..][..d.w_in];
+                            for ow in 0..d.w_out {
+                                let iw = (ow * cfg.stride + kw) as isize - d.pad as isize;
+                                dst[idx] = if iw < 0 || iw as usize >= d.w_in {
+                                    0.0
+                                } else {
+                                    in_row[iw as usize]
+                                };
+                                idx += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            // GEMM: weights [c_out_per_group, k_len] x cols [k_len, spatial].
+            let w_group = &w_data[g * c_out_per_group * k_len..][..c_out_per_group * k_len];
+            let out_group = &mut out_data
+                [(n * d.c_out + g * c_out_per_group) * spatial..][..c_out_per_group * spatial];
+            gemm(c_out_per_group, k_len, spatial, w_group, &cols, out_group);
+        }
+        if let Some(b) = bias {
+            let b_data = b.as_slice();
+            for co in 0..d.c_out {
+                let dst = &mut out_data[(n * d.c_out + co) * spatial..][..spatial];
+                for v in dst {
+                    *v += b_data[co];
+                }
+            }
+        }
+    }
+    out
+}
+
+fn depthwise(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    cfg: Conv2dCfg,
+    d: &ConvDims,
+) -> Tensor {
+    let mut out = Tensor::zeros([d.batch, d.c_out, d.h_out, d.w_out]);
+    let in_data = input.as_slice();
+    let w_data = weight.as_slice();
+    let out_data = out.as_mut_slice();
+    for n in 0..d.batch {
+        for c in 0..d.c_in {
+            let in_chan = &in_data[(n * d.c_in + c) * d.h_in * d.w_in..][..d.h_in * d.w_in];
+            let w_chan = &w_data[c * d.k_h * d.k_w..][..d.k_h * d.k_w];
+            let base = bias.map_or(0.0, |b| b.as_slice()[c]);
+            let out_chan =
+                &mut out_data[(n * d.c_out + c) * d.h_out * d.w_out..][..d.h_out * d.w_out];
+            for oh in 0..d.h_out {
+                for ow in 0..d.w_out {
+                    let mut acc = 0.0f32;
+                    for kh in 0..d.k_h {
+                        let ih = (oh * cfg.stride + kh) as isize - d.pad as isize;
+                        if ih < 0 || ih as usize >= d.h_in {
+                            continue;
+                        }
+                        for kw in 0..d.k_w {
+                            let iw = (ow * cfg.stride + kw) as isize - d.pad as isize;
+                            if iw < 0 || iw as usize >= d.w_in {
+                                continue;
+                            }
+                            acc += in_chan[ih as usize * d.w_in + iw as usize]
+                                * w_chan[kh * d.k_w + kw];
+                        }
+                    }
+                    out_chan[oh * d.w_out + ow] = acc + base;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_tensor(shape: [usize; 4]) -> Tensor {
+        Tensor::from_fn(shape, |i| (i % 13) as f32 * 0.25 - 1.0)
+    }
+
+    #[test]
+    fn same_padding_preserves_size() {
+        let input = Tensor::zeros([2, 3, 8, 8]);
+        let weight = Tensor::zeros([5, 3, 3, 3]);
+        let out = conv2d(&input, &weight, None, Conv2dCfg::same(1)).unwrap();
+        assert_eq!(out.shape().dims(), &[2, 5, 8, 8]);
+    }
+
+    #[test]
+    fn stride_two_halves_size() {
+        let input = Tensor::zeros([1, 3, 8, 8]);
+        let weight = Tensor::zeros([4, 3, 3, 3]);
+        let out = conv2d(&input, &weight, None, Conv2dCfg::same(2)).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn one_by_one_kernel_is_channel_mix() {
+        let input = Tensor::from_vec([1, 2, 1, 1], vec![3.0, 5.0]).unwrap();
+        let weight = Tensor::from_vec([1, 2, 1, 1], vec![2.0, -1.0]).unwrap();
+        let out = conv2d(&input, &weight, None, Conv2dCfg::valid(1)).unwrap();
+        assert_eq!(out.get([0, 0, 0, 0]), Some(1.0));
+    }
+
+    #[test]
+    fn bias_is_added_per_output_channel() {
+        let input = Tensor::zeros([1, 1, 2, 2]);
+        let weight = Tensor::zeros([3, 1, 1, 1]);
+        let bias = Tensor::from_vec([3], vec![1.0, 2.0, 3.0]).unwrap();
+        let out = conv2d(&input, &weight, Some(&bias), Conv2dCfg::valid(1)).unwrap();
+        assert_eq!(out.get([0, 0, 0, 0]), Some(1.0));
+        assert_eq!(out.get([0, 1, 1, 1]), Some(2.0));
+        assert_eq!(out.get([0, 2, 0, 1]), Some(3.0));
+    }
+
+    #[test]
+    fn im2col_matches_direct_grouped() {
+        let input = seq_tensor([2, 4, 7, 7]);
+        let weight = seq_tensor([6, 2, 3, 3]); // groups = 2
+        let bias = Tensor::from_fn([6], |i| i as f32 * 0.1);
+        let cfg = Conv2dCfg::same(2).with_groups(2);
+        let a = conv2d_direct(&input, &weight, Some(&bias), cfg).unwrap();
+        let b = conv2d_im2col(&input, &weight, Some(&bias), cfg).unwrap();
+        assert!(a.max_abs_diff(&b).unwrap() < 1e-4, "paths diverge");
+    }
+
+    #[test]
+    fn depthwise_matches_direct() {
+        let input = seq_tensor([1, 5, 6, 6]);
+        let weight = seq_tensor([5, 1, 3, 3]);
+        let cfg = Conv2dCfg::same(1).with_groups(5);
+        let a = conv2d_direct(&input, &weight, None, cfg).unwrap();
+        let b = conv2d(&input, &weight, None, cfg).unwrap();
+        assert!(a.max_abs_diff(&b).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn rejects_wrong_rank() {
+        let bad = Tensor::zeros([3, 3]);
+        let weight = Tensor::zeros([1, 1, 3, 3]);
+        assert!(matches!(
+            conv2d(&bad, &weight, None, Conv2dCfg::same(1)),
+            Err(TensorError::RankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_groups() {
+        let input = Tensor::zeros([1, 3, 4, 4]);
+        let weight = Tensor::zeros([4, 3, 3, 3]);
+        let cfg = Conv2dCfg::same(1).with_groups(2);
+        assert!(matches!(
+            conv2d(&input, &weight, None, cfg),
+            Err(TensorError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_stride() {
+        let input = Tensor::zeros([1, 1, 4, 4]);
+        let weight = Tensor::zeros([1, 1, 3, 3]);
+        let cfg = Conv2dCfg { stride: 0, padding: Padding::Same, groups: 1 };
+        assert!(conv2d(&input, &weight, None, cfg).is_err());
+    }
+
+    #[test]
+    fn rejects_bias_of_wrong_length() {
+        let input = Tensor::zeros([1, 1, 4, 4]);
+        let weight = Tensor::zeros([2, 1, 3, 3]);
+        let bias = Tensor::zeros([3]);
+        assert!(conv2d(&input, &weight, Some(&bias), Conv2dCfg::same(1)).is_err());
+    }
+
+    #[test]
+    fn rejects_channel_mismatch() {
+        let input = Tensor::zeros([1, 3, 4, 4]);
+        let weight = Tensor::zeros([2, 4, 3, 3]);
+        assert!(conv2d(&input, &weight, None, Conv2dCfg::same(1)).is_err());
+    }
+
+    #[test]
+    fn kernel_larger_than_input_rejected_without_padding() {
+        let input = Tensor::zeros([1, 1, 2, 2]);
+        let weight = Tensor::zeros([1, 1, 5, 5]);
+        assert!(conv2d(&input, &weight, None, Conv2dCfg::valid(1)).is_err());
+    }
+
+    #[test]
+    fn nan_weight_propagates() {
+        let input = Tensor::full([1, 1, 3, 3], 1.0);
+        let mut weight = Tensor::full([1, 1, 3, 3], 1.0);
+        weight.as_mut_slice()[4] = f32::NAN;
+        let out = conv2d(&input, &weight, None, Conv2dCfg::same(1)).unwrap();
+        assert!(out.get([0, 0, 1, 1]).unwrap().is_nan());
+    }
+
+    #[test]
+    fn known_edge_values_with_same_padding() {
+        // All-ones 3x3 kernel over all-ones input: corners see 4, edges 6.
+        let input = Tensor::full([1, 1, 3, 3], 1.0);
+        let weight = Tensor::full([1, 1, 3, 3], 1.0);
+        let out = conv2d(&input, &weight, None, Conv2dCfg::same(1)).unwrap();
+        assert_eq!(out.get([0, 0, 0, 0]), Some(4.0));
+        assert_eq!(out.get([0, 0, 0, 1]), Some(6.0));
+        assert_eq!(out.get([0, 0, 1, 1]), Some(9.0));
+    }
+}

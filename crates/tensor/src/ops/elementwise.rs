@@ -1,0 +1,129 @@
+use crate::{Tensor, TensorError};
+
+/// Element-wise addition of two tensors of identical shape (residual sum).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
+///
+/// # Example
+///
+/// ```
+/// use sfi_tensor::{ops, Tensor};
+///
+/// # fn main() -> Result<(), sfi_tensor::TensorError> {
+/// let a = Tensor::full([2, 2], 1.0);
+/// let b = Tensor::full([2, 2], 2.0);
+/// assert_eq!(ops::add(&a, &b)?.as_slice(), &[3.0; 4]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn add(lhs: &Tensor, rhs: &Tensor) -> Result<Tensor, TensorError> {
+    if lhs.shape() != rhs.shape() {
+        return Err(TensorError::ShapeMismatch { op: "add", lhs: lhs.shape(), rhs: rhs.shape() });
+    }
+    let data = lhs.iter().zip(rhs.iter()).map(|(a, b)| a + b).collect();
+    Tensor::from_vec(lhs.shape(), data)
+}
+
+/// ResNet "option A" identity shortcut for a stride-2 stage transition.
+///
+/// Spatially subsamples the input by `stride` and zero-pads the channel
+/// dimension up to `out_channels`. This is the parameter-free downsample
+/// path used by CIFAR ResNets (He et al. 2016), which is why the per-layer
+/// fault population of ResNet-20 contains no shortcut weights.
+///
+/// # Errors
+///
+/// Returns an error for non-rank-4 inputs, zero stride, or when
+/// `out_channels` is smaller than the input channel count.
+pub fn downsample_pad_channels(
+    input: &Tensor,
+    out_channels: usize,
+    stride: usize,
+) -> Result<Tensor, TensorError> {
+    const OP: &str = "downsample_pad_channels";
+    if input.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch { op: OP, expected: 4, actual: input.shape().rank() });
+    }
+    if stride == 0 {
+        return Err(TensorError::InvalidConfig { op: OP, reason: "stride must be nonzero".into() });
+    }
+    let (n, c, h, w) = (input.shape().n(), input.shape().c(), input.shape().h(), input.shape().w());
+    if out_channels < c {
+        return Err(TensorError::InvalidConfig {
+            op: OP,
+            reason: format!("cannot shrink channels from {c} to {out_channels}"),
+        });
+    }
+    let h_out = h.div_ceil(stride);
+    let w_out = w.div_ceil(stride);
+    let mut out = Tensor::zeros([n, out_channels, h_out, w_out]);
+    let in_data = input.as_slice();
+    let out_data = out.as_mut_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            for oh in 0..h_out {
+                for ow in 0..w_out {
+                    let src = ((ni * c + ci) * h + oh * stride) * w + ow * stride;
+                    let dst = ((ni * out_channels + ci) * h_out + oh) * w_out + ow;
+                    out_data[dst] = in_data[src];
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_rejects_mismatched_shapes() {
+        let a = Tensor::zeros([2, 2]);
+        let b = Tensor::zeros([4]);
+        assert!(add(&a, &b).is_err());
+    }
+
+    #[test]
+    fn add_is_elementwise() {
+        let a = Tensor::from_vec([3], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_vec([3], vec![10.0, 20.0, 30.0]).unwrap();
+        assert_eq!(add(&a, &b).unwrap().as_slice(), &[11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn downsample_subsamples_and_pads() {
+        let input = Tensor::from_fn([1, 2, 4, 4], |i| i as f32);
+        let out = downsample_pad_channels(&input, 4, 2).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 4, 2, 2]);
+        // channel 0, position (0,0) comes from input (0,0)
+        assert_eq!(out.get([0, 0, 0, 0]), input.get([0, 0, 0, 0]));
+        // channel 0, position (1,1) comes from input (2,2)
+        assert_eq!(out.get([0, 0, 1, 1]), input.get([0, 0, 2, 2]));
+        // padded channels are zero
+        assert_eq!(out.get([0, 2, 0, 0]), Some(0.0));
+        assert_eq!(out.get([0, 3, 1, 1]), Some(0.0));
+    }
+
+    #[test]
+    fn downsample_identity_when_stride_one_same_channels() {
+        let input = Tensor::from_fn([1, 3, 2, 2], |i| i as f32);
+        let out = downsample_pad_channels(&input, 3, 1).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn downsample_odd_size_rounds_up() {
+        let input = Tensor::zeros([1, 1, 5, 5]);
+        let out = downsample_pad_channels(&input, 1, 2).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 3, 3]);
+    }
+
+    #[test]
+    fn downsample_rejects_channel_shrink() {
+        let input = Tensor::zeros([1, 4, 2, 2]);
+        assert!(downsample_pad_channels(&input, 2, 1).is_err());
+    }
+}

@@ -1,0 +1,72 @@
+/// Row-major matrix multiply: `c[m][n] += a[m][k] * b[k][n]`.
+///
+/// `c` must be zero-initialised (or hold a partial accumulation the caller
+/// wants to extend). The loop order is `m, k, n` so the innermost loop
+/// streams both `b` and `c` rows sequentially, which the compiler
+/// auto-vectorises; this is the workhorse of the `im2col` convolution path.
+///
+/// # Panics
+///
+/// Panics in debug builds when the slice lengths do not match
+/// `m*k` / `k*n` / `m*n`.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k, "gemm: lhs length");
+    debug_assert_eq!(b.len(), k * n, "gemm: rhs length");
+    debug_assert_eq!(c.len(), m * n, "gemm: out length");
+    for mi in 0..m {
+        let a_row = &a[mi * k..(mi + 1) * k];
+        let c_row = &mut c[mi * n..(mi + 1) * n];
+        // No zero-skipping here: `0.0 * NaN` must stay NaN so that faults
+        // which drive activations to NaN/Inf propagate exactly as IEEE-754
+        // arithmetic dictates.
+        for (ki, &a_v) in a_row.iter().enumerate() {
+            let b_row = &b[ki * n..(ki + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                *c_v += a_v * b_v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_times_matrix() {
+        let a = vec![1.0, 0.0, 0.0, 1.0]; // 2x2 identity
+        let b = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 2x3
+        let mut c = vec![0.0; 6];
+        gemm(2, 2, 3, &a, &b, &mut c);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn known_product() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![5.0, 6.0, 7.0, 8.0];
+        let mut c = vec![0.0; 4];
+        gemm(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn accumulates_into_existing_c() {
+        let a = vec![1.0];
+        let b = vec![2.0];
+        let mut c = vec![10.0];
+        gemm(1, 1, 1, &a, &b, &mut c);
+        assert_eq!(c, vec![12.0]);
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        // 1x3 * 3x2
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let mut c = vec![0.0; 2];
+        gemm(1, 3, 2, &a, &b, &mut c);
+        assert_eq!(c, vec![1.0 + 3.0, 2.0 + 3.0]);
+    }
+}

@@ -1,0 +1,697 @@
+//! Backward (gradient) counterparts of the inference operators.
+//!
+//! These power the training subsystem in `sfi-nn`: reproducing the paper
+//! end-to-end needs *trained* golden weights (its models reach ~92% on
+//! CIFAR-10), and training needs gradients. Each function computes the
+//! vector-Jacobian product of its forward op; all are validated against
+//! finite-difference gradients in the test suite.
+
+use crate::{Shape, Tensor, TensorError};
+
+use super::conv::Conv2dCfg;
+
+/// Gradients of [`conv2d`](super::conv2d) with respect to its input and
+/// weight.
+///
+/// `grad_out` has the forward output's shape `[N, C_out, H_out, W_out]`.
+/// Returns `(grad_input, grad_weight)` with the shapes of `input` and
+/// `weight`.
+///
+/// # Errors
+///
+/// Returns an error when the operand shapes are inconsistent with a
+/// forward call of the same configuration.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    cfg: Conv2dCfg,
+) -> Result<(Tensor, Tensor), TensorError> {
+    const OP: &str = "conv2d_backward";
+    // Re-derive and validate the forward geometry.
+    let forward = super::conv2d(input, weight, None, cfg)?;
+    if forward.shape() != grad_out.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: OP,
+            lhs: grad_out.shape(),
+            rhs: forward.shape(),
+        });
+    }
+    let (batch, c_in, h_in, w_in) =
+        (input.shape().n(), input.shape().c(), input.shape().h(), input.shape().w());
+    let (c_out, c_in_g, k_h, k_w) =
+        (weight.shape().n(), weight.shape().c(), weight.shape().h(), weight.shape().w());
+    let (h_out, w_out) = (grad_out.shape().h(), grad_out.shape().w());
+    let pad = match cfg.padding {
+        super::Padding::Same => (k_h.max(k_w) - 1) / 2,
+        super::Padding::Explicit(p) => p,
+    };
+    let c_out_g = c_out / cfg.groups;
+
+    let mut grad_input = Tensor::zeros(input.shape());
+    let mut grad_weight = Tensor::zeros(weight.shape());
+    let gi = grad_input.as_mut_slice();
+    let gw = grad_weight.as_mut_slice();
+    let x = input.as_slice();
+    let w = weight.as_slice();
+    let go = grad_out.as_slice();
+
+    for n in 0..batch {
+        for co in 0..c_out {
+            let g = co / c_out_g;
+            for oh in 0..h_out {
+                for ow in 0..w_out {
+                    let go_v = go[((n * c_out + co) * h_out + oh) * w_out + ow];
+                    if go_v == 0.0 {
+                        continue;
+                    }
+                    for ci_g in 0..c_in_g {
+                        let ci = g * c_in_g + ci_g;
+                        for kh in 0..k_h {
+                            let ih = (oh * cfg.stride + kh) as isize - pad as isize;
+                            if ih < 0 || ih as usize >= h_in {
+                                continue;
+                            }
+                            for kw in 0..k_w {
+                                let iw = (ow * cfg.stride + kw) as isize - pad as isize;
+                                if iw < 0 || iw as usize >= w_in {
+                                    continue;
+                                }
+                                let x_idx = ((n * c_in + ci) * h_in + ih as usize) * w_in
+                                    + iw as usize;
+                                let w_idx = ((co * c_in_g + ci_g) * k_h + kh) * k_w + kw;
+                                gi[x_idx] += go_v * w[w_idx];
+                                gw[w_idx] += go_v * x[x_idx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok((grad_input, grad_weight))
+}
+
+/// Gradients of [`linear`](super::linear): `(grad_input, grad_weight,
+/// grad_bias)`.
+///
+/// # Errors
+///
+/// Returns an error when the operand shapes are inconsistent.
+pub fn linear_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+) -> Result<(Tensor, Tensor, Tensor), TensorError> {
+    const OP: &str = "linear_backward";
+    let batch = input.shape().dims()[0];
+    let in_f = input.shape().dims()[1];
+    let out_f = weight.shape().dims()[0];
+    if grad_out.shape() != Shape::new(&[batch, out_f]) || weight.shape().dims()[1] != in_f {
+        return Err(TensorError::ShapeMismatch {
+            op: OP,
+            lhs: grad_out.shape(),
+            rhs: Shape::new(&[batch, out_f]),
+        });
+    }
+    let mut gx = Tensor::zeros([batch, in_f]);
+    let mut gw = Tensor::zeros([out_f, in_f]);
+    let mut gb = Tensor::zeros([out_f]);
+    let (x, w, go) = (input.as_slice(), weight.as_slice(), grad_out.as_slice());
+    {
+        let gx = gx.as_mut_slice();
+        let gw = gw.as_mut_slice();
+        let gb = gb.as_mut_slice();
+        for b in 0..batch {
+            for o in 0..out_f {
+                let g = go[b * out_f + o];
+                if g == 0.0 {
+                    continue;
+                }
+                gb[o] += g;
+                for i in 0..in_f {
+                    gx[b * in_f + i] += g * w[o * in_f + i];
+                    gw[o * in_f + i] += g * x[b * in_f + i];
+                }
+            }
+        }
+    }
+    Ok((gx, gw, gb))
+}
+
+/// Gradient of [`relu`](super::relu): passes `grad_out` where the forward
+/// *input* was positive.
+///
+/// # Errors
+///
+/// Returns an error when the shapes differ.
+pub fn relu_backward(input: &Tensor, grad_out: &Tensor) -> Result<Tensor, TensorError> {
+    if input.shape() != grad_out.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "relu_backward",
+            lhs: input.shape(),
+            rhs: grad_out.shape(),
+        });
+    }
+    let data = input
+        .iter()
+        .zip(grad_out.iter())
+        .map(|(x, g)| if x > 0.0 { g } else { 0.0 })
+        .collect();
+    Tensor::from_vec(input.shape(), data)
+}
+
+/// Gradient of [`relu6`](super::relu6): passes `grad_out` where the
+/// forward input was strictly inside `(0, 6)`.
+///
+/// # Errors
+///
+/// Returns an error when the shapes differ.
+pub fn relu6_backward(input: &Tensor, grad_out: &Tensor) -> Result<Tensor, TensorError> {
+    if input.shape() != grad_out.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "relu6_backward",
+            lhs: input.shape(),
+            rhs: grad_out.shape(),
+        });
+    }
+    let data = input
+        .iter()
+        .zip(grad_out.iter())
+        .map(|(x, g)| if x > 0.0 && x < 6.0 { g } else { 0.0 })
+        .collect();
+    Tensor::from_vec(input.shape(), data)
+}
+
+/// Gradients of inference-mode [`batch_norm`](super::batch_norm) with
+/// *frozen* running statistics: `(grad_input, grad_gamma, grad_beta)`.
+///
+/// With frozen `μ, σ²` the op is an affine map per channel, so
+/// `∂y/∂x = γ/√(σ²+ε)` and the parameter gradients are plain reductions.
+/// (This is the "fine-tuning" BN mode; it avoids the batch-statistics
+/// coupling of full training-mode BN, which the SFI workload never needs.)
+///
+/// # Errors
+///
+/// Returns an error when the operand shapes are inconsistent.
+pub fn batch_norm_backward(
+    input: &Tensor,
+    gamma: &Tensor,
+    mean: &Tensor,
+    var: &Tensor,
+    eps: f32,
+    grad_out: &Tensor,
+) -> Result<(Tensor, Tensor, Tensor), TensorError> {
+    const OP: &str = "batch_norm_backward";
+    if input.shape() != grad_out.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: OP,
+            lhs: input.shape(),
+            rhs: grad_out.shape(),
+        });
+    }
+    let (n, c, h, w) = (input.shape().n(), input.shape().c(), input.shape().h(), input.shape().w());
+    if gamma.shape() != Shape::new(&[c]) {
+        return Err(TensorError::ShapeMismatch {
+            op: OP,
+            lhs: gamma.shape(),
+            rhs: Shape::new(&[c]),
+        });
+    }
+    let spatial = h * w;
+    let mut gx = Tensor::zeros(input.shape());
+    let mut gg = Tensor::zeros([c]);
+    let mut gb = Tensor::zeros([c]);
+    let x = input.as_slice();
+    let go = grad_out.as_slice();
+    {
+        let gx = gx.as_mut_slice();
+        let gg = gg.as_mut_slice();
+        let gb = gb.as_mut_slice();
+        for ci in 0..c {
+            let inv_std = 1.0 / (var.as_slice()[ci] + eps).sqrt();
+            let scale = gamma.as_slice()[ci] * inv_std;
+            let mu = mean.as_slice()[ci];
+            for ni in 0..n {
+                let base = (ni * c + ci) * spatial;
+                for s in 0..spatial {
+                    let g = go[base + s];
+                    gx[base + s] = g * scale;
+                    gg[ci] += g * (x[base + s] - mu) * inv_std;
+                    gb[ci] += g;
+                }
+            }
+        }
+    }
+    Ok((gx, gg, gb))
+}
+
+/// Gradient of [`avg_pool2d`](super::avg_pool2d): spreads each output
+/// gradient uniformly over its `kernel × kernel` window.
+///
+/// # Errors
+///
+/// Returns an error when the geometry is inconsistent.
+pub fn avg_pool2d_backward(
+    input_shape: Shape,
+    kernel: usize,
+    grad_out: &Tensor,
+) -> Result<Tensor, TensorError> {
+    const OP: &str = "avg_pool2d_backward";
+    let (n, c, h, w) =
+        (input_shape.n(), input_shape.c(), input_shape.h(), input_shape.w());
+    if kernel == 0 || h % kernel != 0 || w % kernel != 0 {
+        return Err(TensorError::InvalidConfig {
+            op: OP,
+            reason: format!("kernel {kernel} does not divide {h}x{w}"),
+        });
+    }
+    let (h_out, w_out) = (h / kernel, w / kernel);
+    if grad_out.shape() != Shape::new(&[n, c, h_out, w_out]) {
+        return Err(TensorError::ShapeMismatch {
+            op: OP,
+            lhs: grad_out.shape(),
+            rhs: Shape::new(&[n, c, h_out, w_out]),
+        });
+    }
+    let mut gx = Tensor::zeros(input_shape);
+    let norm = 1.0 / (kernel * kernel) as f32;
+    let go = grad_out.as_slice();
+    let gx_s = gx.as_mut_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            for oh in 0..h_out {
+                for ow in 0..w_out {
+                    let g = go[((ni * c + ci) * h_out + oh) * w_out + ow] * norm;
+                    for kh in 0..kernel {
+                        for kw in 0..kernel {
+                            gx_s[((ni * c + ci) * h + oh * kernel + kh) * w
+                                + ow * kernel
+                                + kw] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(gx)
+}
+
+/// Gradient of [`max_pool2d`](super::max_pool2d): routes each output
+/// gradient to the position the forward pass selected (first maximum in
+/// scan order, NaN-aware — matching the forward's tie-breaking exactly).
+///
+/// # Errors
+///
+/// Returns an error when the geometry is inconsistent.
+pub fn max_pool2d_backward(
+    input: &Tensor,
+    kernel: usize,
+    grad_out: &Tensor,
+) -> Result<Tensor, TensorError> {
+    const OP: &str = "max_pool2d_backward";
+    let (n, c, h, w) =
+        (input.shape().n(), input.shape().c(), input.shape().h(), input.shape().w());
+    if kernel == 0 || h % kernel != 0 || w % kernel != 0 {
+        return Err(TensorError::InvalidConfig {
+            op: OP,
+            reason: format!("kernel {kernel} does not divide {h}x{w}"),
+        });
+    }
+    let (h_out, w_out) = (h / kernel, w / kernel);
+    if grad_out.shape() != Shape::new(&[n, c, h_out, w_out]) {
+        return Err(TensorError::ShapeMismatch {
+            op: OP,
+            lhs: grad_out.shape(),
+            rhs: Shape::new(&[n, c, h_out, w_out]),
+        });
+    }
+    let mut gx = Tensor::zeros(input.shape());
+    let x = input.as_slice();
+    let go = grad_out.as_slice();
+    let gx_s = gx.as_mut_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            let chan_base = (ni * c + ci) * h * w;
+            for oh in 0..h_out {
+                for ow in 0..w_out {
+                    // Re-run the forward selection to find the winner.
+                    let mut best_idx = chan_base + oh * kernel * w + ow * kernel;
+                    let mut best = f32::NEG_INFINITY;
+                    let mut seen = false;
+                    for kh in 0..kernel {
+                        for kw in 0..kernel {
+                            let idx =
+                                chan_base + (oh * kernel + kh) * w + ow * kernel + kw;
+                            let v = x[idx];
+                            if !v.is_nan() && (v > best || !seen) {
+                                best = v;
+                                best_idx = idx;
+                                seen = true;
+                            }
+                        }
+                    }
+                    gx_s[best_idx] += go[((ni * c + ci) * h_out + oh) * w_out + ow];
+                }
+            }
+        }
+    }
+    Ok(gx)
+}
+
+/// Gradient of [`global_avg_pool`](super::global_avg_pool).
+///
+/// # Errors
+///
+/// Returns an error when the geometry is inconsistent.
+pub fn global_avg_pool_backward(
+    input_shape: Shape,
+    grad_out: &Tensor,
+) -> Result<Tensor, TensorError> {
+    const OP: &str = "global_avg_pool_backward";
+    let (n, c, h, w) =
+        (input_shape.n(), input_shape.c(), input_shape.h(), input_shape.w());
+    if grad_out.shape() != Shape::new(&[n, c]) {
+        return Err(TensorError::ShapeMismatch {
+            op: OP,
+            lhs: grad_out.shape(),
+            rhs: Shape::new(&[n, c]),
+        });
+    }
+    let mut gx = Tensor::zeros(input_shape);
+    let norm = 1.0 / (h * w) as f32;
+    let go = grad_out.as_slice();
+    let gx_s = gx.as_mut_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            let g = go[ni * c + ci] * norm;
+            for s in 0..h * w {
+                gx_s[(ni * c + ci) * h * w + s] = g;
+            }
+        }
+    }
+    Ok(gx)
+}
+
+/// Gradient of
+/// [`downsample_pad_channels`](super::downsample_pad_channels): routes the
+/// gradients of the kept (subsampled, non-padded) positions back.
+///
+/// # Errors
+///
+/// Returns an error when the geometry is inconsistent.
+pub fn downsample_pad_channels_backward(
+    input_shape: Shape,
+    out_channels: usize,
+    stride: usize,
+    grad_out: &Tensor,
+) -> Result<Tensor, TensorError> {
+    const OP: &str = "downsample_pad_backward";
+    let (n, c, h, w) =
+        (input_shape.n(), input_shape.c(), input_shape.h(), input_shape.w());
+    if stride == 0 || out_channels < c {
+        return Err(TensorError::InvalidConfig {
+            op: OP,
+            reason: "stride must be nonzero and channels cannot shrink".into(),
+        });
+    }
+    let (h_out, w_out) = (h.div_ceil(stride), w.div_ceil(stride));
+    if grad_out.shape() != Shape::new(&[n, out_channels, h_out, w_out]) {
+        return Err(TensorError::ShapeMismatch {
+            op: OP,
+            lhs: grad_out.shape(),
+            rhs: Shape::new(&[n, out_channels, h_out, w_out]),
+        });
+    }
+    let mut gx = Tensor::zeros(input_shape);
+    let go = grad_out.as_slice();
+    let gx_s = gx.as_mut_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            for oh in 0..h_out {
+                for ow in 0..w_out {
+                    gx_s[((ni * c + ci) * h + oh * stride) * w + ow * stride] +=
+                        go[((ni * out_channels + ci) * h_out + oh) * w_out + ow];
+                }
+            }
+        }
+    }
+    Ok(gx)
+}
+
+/// Combined softmax + cross-entropy loss over logits `[N, classes]` with
+/// integer labels. Returns `(mean_loss, grad_logits)` where the gradient is
+/// the classic `softmax − one_hot`, scaled by `1/N`.
+///
+/// # Errors
+///
+/// Returns an error for non-rank-2 logits or an out-of-range label.
+pub fn softmax_cross_entropy(
+    logits: &Tensor,
+    labels: &[usize],
+) -> Result<(f32, Tensor), TensorError> {
+    const OP: &str = "softmax_cross_entropy";
+    if logits.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: OP,
+            expected: 2,
+            actual: logits.shape().rank(),
+        });
+    }
+    let batch = logits.shape().dims()[0];
+    let classes = logits.shape().dims()[1];
+    if labels.len() != batch {
+        return Err(TensorError::InvalidConfig {
+            op: OP,
+            reason: format!("{} labels for batch of {batch}", labels.len()),
+        });
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
+        return Err(TensorError::InvalidConfig {
+            op: OP,
+            reason: format!("label {bad} out of range 0..{classes}"),
+        });
+    }
+    let probs = super::softmax(logits)?;
+    let mut grad = probs.clone();
+    let mut loss = 0.0f64;
+    let scale = 1.0 / batch as f32;
+    {
+        let g = grad.as_mut_slice();
+        let p = probs.as_slice();
+        for (b, &label) in labels.iter().enumerate() {
+            loss -= f64::from(p[b * classes + label].max(1e-12).ln());
+            g[b * classes + label] -= 1.0;
+            for c in 0..classes {
+                g[b * classes + c] *= scale;
+            }
+        }
+    }
+    Ok(((loss / batch as f64) as f32, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    /// Numerical gradient of a scalar function of one tensor entry.
+    fn numeric_grad(f: impl Fn(&Tensor) -> f32, at: &Tensor, idx: usize) -> f32 {
+        let eps = 1e-3f32;
+        let mut plus = at.clone();
+        plus.as_mut_slice()[idx] += eps;
+        let mut minus = at.clone();
+        minus.as_mut_slice()[idx] -= eps;
+        (f(&plus) - f(&minus)) / (2.0 * eps)
+    }
+
+    fn ramp(shape: impl Into<Shape>, scale: f32) -> Tensor {
+        let shape = shape.into();
+        Tensor::from_fn(shape, |i| ((i % 17) as f32 - 8.0) * scale)
+    }
+
+    /// Scalar objective: sum of forward output (so grad_out = ones).
+    #[test]
+    fn conv2d_backward_matches_numeric() {
+        let input = ramp([1, 2, 5, 5], 0.2);
+        let weight = ramp([3, 2, 3, 3], 0.1);
+        let cfg = Conv2dCfg::same(2);
+        let ones = Tensor::full(ops::conv2d(&input, &weight, None, cfg).unwrap().shape(), 1.0);
+        let (gx, gw) = conv2d_backward(&input, &weight, &ones, cfg).unwrap();
+        let f_in = |t: &Tensor| ops::conv2d(t, &weight, None, cfg).unwrap().iter().sum::<f32>();
+        let f_w = |t: &Tensor| ops::conv2d(&input, t, None, cfg).unwrap().iter().sum::<f32>();
+        for idx in [0usize, 7, 23, 49] {
+            let n = numeric_grad(f_in, &input, idx);
+            assert!((gx.as_slice()[idx] - n).abs() < 1e-2, "gx[{idx}] {} vs {n}", gx.as_slice()[idx]);
+        }
+        for idx in [0usize, 5, 17, 53] {
+            let n = numeric_grad(f_w, &weight, idx);
+            assert!((gw.as_slice()[idx] - n).abs() < 1e-2, "gw[{idx}] {} vs {n}", gw.as_slice()[idx]);
+        }
+    }
+
+    #[test]
+    fn grouped_conv_backward_matches_numeric() {
+        let input = ramp([1, 4, 4, 4], 0.2);
+        let weight = ramp([4, 1, 3, 3], 0.1); // depthwise
+        let cfg = Conv2dCfg::same(1).with_groups(4);
+        let ones = Tensor::full(ops::conv2d(&input, &weight, None, cfg).unwrap().shape(), 1.0);
+        let (gx, gw) = conv2d_backward(&input, &weight, &ones, cfg).unwrap();
+        let f_in = |t: &Tensor| ops::conv2d(t, &weight, None, cfg).unwrap().iter().sum::<f32>();
+        let f_w = |t: &Tensor| ops::conv2d(&input, t, None, cfg).unwrap().iter().sum::<f32>();
+        for idx in [3usize, 20, 45] {
+            assert!((gx.as_slice()[idx] - numeric_grad(f_in, &input, idx)).abs() < 1e-2);
+        }
+        for idx in [0usize, 10, 35] {
+            assert!((gw.as_slice()[idx] - numeric_grad(f_w, &weight, idx)).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn linear_backward_matches_numeric() {
+        let input = ramp([2, 4], 0.3);
+        let weight = ramp([3, 4], 0.2);
+        let ones = Tensor::full([2, 3], 1.0);
+        let (gx, gw, gb) = linear_backward(&input, &weight, &ones).unwrap();
+        let f_in = |t: &Tensor| ops::linear(t, &weight, None).unwrap().iter().sum::<f32>();
+        let f_w = |t: &Tensor| ops::linear(&input, t, None).unwrap().iter().sum::<f32>();
+        for idx in 0..8 {
+            assert!((gx.as_slice()[idx] - numeric_grad(f_in, &input, idx)).abs() < 1e-2);
+        }
+        for idx in 0..12 {
+            assert!((gw.as_slice()[idx] - numeric_grad(f_w, &weight, idx)).abs() < 1e-2);
+        }
+        // Bias gradient: d(sum)/d(b_o) = batch.
+        assert!(gb.iter().all(|v| (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn relu_backward_gates_on_input_sign() {
+        let input = Tensor::from_vec([4], vec![-1.0, 0.0, 0.5, 2.0]).unwrap();
+        let g = Tensor::full([4], 3.0);
+        let gx = relu_backward(&input, &g).unwrap();
+        assert_eq!(gx.as_slice(), &[0.0, 0.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn relu6_backward_gates_both_sides() {
+        let input = Tensor::from_vec([4], vec![-1.0, 3.0, 6.0, 9.0]).unwrap();
+        let g = Tensor::full([4], 2.0);
+        let gx = relu6_backward(&input, &g).unwrap();
+        assert_eq!(gx.as_slice(), &[0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn batch_norm_backward_matches_numeric() {
+        let input = ramp([1, 2, 3, 3], 0.4);
+        let gamma = Tensor::from_vec([2], vec![1.2, 0.8]).unwrap();
+        let beta = Tensor::from_vec([2], vec![0.1, -0.2]).unwrap();
+        let mean = Tensor::from_vec([2], vec![0.3, -0.1]).unwrap();
+        let var = Tensor::from_vec([2], vec![0.9, 1.4]).unwrap();
+        let eps = 1e-5;
+        let fwd = |x: &Tensor, g: &Tensor| {
+            let p = ops::BatchNormParams { gamma: g, beta: &beta, mean: &mean, var: &var, eps };
+            ops::batch_norm(x, &p).unwrap().iter().sum::<f32>()
+        };
+        let ones = Tensor::full(input.shape(), 1.0);
+        let (gx, gg, gb) =
+            batch_norm_backward(&input, &gamma, &mean, &var, eps, &ones).unwrap();
+        for idx in [0usize, 5, 13] {
+            let n = numeric_grad(|x| fwd(x, &gamma), &input, idx);
+            assert!((gx.as_slice()[idx] - n).abs() < 1e-2);
+        }
+        for idx in 0..2 {
+            let n = numeric_grad(|g| fwd(&input, g), &gamma, idx);
+            assert!((gg.as_slice()[idx] - n).abs() < 1e-1, "gg[{idx}]");
+            assert!((gb.as_slice()[idx] - 9.0).abs() < 1e-4, "gb = spatial count");
+        }
+    }
+
+    #[test]
+    fn pool_backwards_match_numeric() {
+        let input = ramp([1, 2, 4, 4], 0.3);
+        let ones_avg = Tensor::full([1, 2, 2, 2], 1.0);
+        let g_avg = avg_pool2d_backward(input.shape(), 2, &ones_avg).unwrap();
+        let f_avg = |t: &Tensor| ops::avg_pool2d(t, 2).unwrap().iter().sum::<f32>();
+        for idx in [0usize, 9, 31] {
+            assert!((g_avg.as_slice()[idx] - numeric_grad(f_avg, &input, idx)).abs() < 1e-3);
+        }
+        let ones_gap = Tensor::full([1, 2], 1.0);
+        let g_gap = global_avg_pool_backward(input.shape(), &ones_gap).unwrap();
+        let f_gap = |t: &Tensor| ops::global_avg_pool(t).unwrap().iter().sum::<f32>();
+        for idx in [2usize, 17] {
+            assert!((g_gap.as_slice()[idx] - numeric_grad(f_gap, &input, idx)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn max_pool_backward_matches_numeric() {
+        // Distinct values so the argmax is stable under the probe epsilon.
+        let input = Tensor::from_fn([1, 2, 4, 4], |i| ((i * 13) % 31) as f32 * 0.5);
+        let ones = Tensor::full([1, 2, 2, 2], 1.0);
+        let gx = max_pool2d_backward(&input, 2, &ones).unwrap();
+        let f = |t: &Tensor| ops::max_pool2d(t, 2).unwrap().iter().sum::<f32>();
+        for idx in 0..32 {
+            let n = numeric_grad(f, &input, idx);
+            assert!((gx.as_slice()[idx] - n).abs() < 1e-2, "idx {idx}");
+        }
+        // Exactly one winner per window.
+        let nonzero = gx.iter().filter(|&v| v != 0.0).count();
+        assert_eq!(nonzero, 8);
+    }
+
+    #[test]
+    fn downsample_backward_matches_numeric() {
+        let input = ramp([1, 2, 4, 4], 0.3);
+        let out_shape = ops::downsample_pad_channels(&input, 4, 2).unwrap().shape();
+        let ones = Tensor::full(out_shape, 1.0);
+        let gx = downsample_pad_channels_backward(input.shape(), 4, 2, &ones).unwrap();
+        let f = |t: &Tensor| {
+            ops::downsample_pad_channels(t, 4, 2).unwrap().iter().sum::<f32>()
+        };
+        for idx in 0..32 {
+            assert!((gx.as_slice()[idx] - numeric_grad(f, &input, idx)).abs() < 1e-3, "{idx}");
+        }
+    }
+
+    #[test]
+    fn cross_entropy_loss_and_gradient() {
+        let logits = Tensor::from_vec([2, 3], vec![2.0, 1.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 2]).unwrap();
+        assert!(loss > 0.0);
+        // Gradient rows sum to zero (softmax minus one-hot).
+        for b in 0..2 {
+            let s: f32 = (0..3).map(|c| grad.get([b, c]).unwrap()).sum();
+            assert!(s.abs() < 1e-6);
+        }
+        // Perfect predictions give near-zero loss.
+        let confident =
+            Tensor::from_vec([1, 3], vec![100.0, 0.0, 0.0]).unwrap();
+        let (l2, _) = softmax_cross_entropy(&confident, &[0]).unwrap();
+        assert!(l2 < 1e-4);
+        // Gradient matches the numeric derivative of the loss.
+        let f = |t: &Tensor| softmax_cross_entropy(t, &[0, 2]).unwrap().0;
+        for idx in 0..6 {
+            let eps = 1e-3f32;
+            let mut plus = logits.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = logits.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let n = (f(&plus) - f(&minus)) / (2.0 * eps);
+            assert!((grad.as_slice()[idx] - n).abs() < 1e-3, "grad[{idx}]");
+        }
+    }
+
+    #[test]
+    fn error_paths() {
+        let x = Tensor::zeros([1, 1, 4, 4]);
+        let w = Tensor::zeros([1, 1, 3, 3]);
+        let bad_go = Tensor::zeros([1, 1, 9, 9]);
+        assert!(conv2d_backward(&x, &w, &bad_go, Conv2dCfg::same(1)).is_err());
+        assert!(relu_backward(&x, &Tensor::zeros([2, 2])).is_err());
+        assert!(softmax_cross_entropy(&Tensor::zeros([2, 3]), &[0]).is_err());
+        assert!(softmax_cross_entropy(&Tensor::zeros([1, 3]), &[5]).is_err());
+        assert!(avg_pool2d_backward(Shape::new(&[1, 1, 5, 5]), 2, &Tensor::zeros([1, 1, 2, 2]))
+            .is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! Numeric operators over [`Tensor`](crate::Tensor)s.
+//!
+//! Every operator is a free function that borrows its operands, validates
+//! shapes, and returns a freshly allocated result — callers decide where data
+//! lives. The set is exactly what the two case-study CNNs (ResNet-20,
+//! MobileNetV2) require:
+//!
+//! - [`conv2d`] (grouped / depthwise aware), with [`conv2d_direct`] and
+//!   [`conv2d_im2col`] exposed separately for the conv-strategy ablation
+//!   bench,
+//! - [`linear`] fully-connected layers,
+//! - [`batch_norm`] in inference mode,
+//! - [`relu`], [`relu6`], [`softmax`],
+//! - [`avg_pool2d`], [`max_pool2d`], [`global_avg_pool`],
+//! - [`add`] residual addition and [`downsample_pad_channels`]
+//!   (ResNet "option A" shortcut),
+//! - [`gemm`] the blocked matrix multiply underneath `im2col` convolution.
+
+mod activation;
+mod conv;
+mod elementwise;
+mod gemm;
+mod linear;
+mod norm;
+mod pool;
+
+pub mod grad;
+
+pub use activation::{relu, relu6, softmax};
+pub use conv::{conv2d, conv2d_direct, conv2d_im2col, Conv2dCfg, Padding};
+pub use elementwise::{add, downsample_pad_channels};
+pub use gemm::gemm;
+pub use linear::linear;
+pub use norm::{batch_norm, BatchNormParams};
+pub use pool::{avg_pool2d, global_avg_pool, max_pool2d};

@@ -1,0 +1,133 @@
+use crate::{Shape, Tensor, TensorError};
+
+/// Per-channel parameters of an inference-mode batch normalisation.
+///
+/// All four tensors are rank 1 of length `C` (the channel count of the
+/// input). The transform applied per channel `c` is
+/// `y = gamma[c] * (x - mean[c]) / sqrt(var[c] + eps) + beta[c]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchNormParams<'a> {
+    /// Learned scale `γ`.
+    pub gamma: &'a Tensor,
+    /// Learned shift `β`.
+    pub beta: &'a Tensor,
+    /// Running mean `μ`.
+    pub mean: &'a Tensor,
+    /// Running variance `σ²` (non-negative).
+    pub var: &'a Tensor,
+    /// Numerical-stability epsilon; PyTorch's default is `1e-5`.
+    pub eps: f32,
+}
+
+/// Inference-mode batch normalisation over an NCHW tensor.
+///
+/// # Errors
+///
+/// Returns an error when the input is not rank 4 or any parameter tensor is
+/// not rank 1 of length `C`.
+///
+/// # Example
+///
+/// ```
+/// use sfi_tensor::{ops, Tensor};
+///
+/// # fn main() -> Result<(), sfi_tensor::TensorError> {
+/// let x = Tensor::full([1, 1, 2, 2], 3.0);
+/// let gamma = Tensor::full([1], 2.0);
+/// let beta = Tensor::full([1], 1.0);
+/// let mean = Tensor::full([1], 3.0);
+/// let var = Tensor::full([1], 1.0);
+/// let params = ops::BatchNormParams { gamma: &gamma, beta: &beta, mean: &mean, var: &var, eps: 0.0 };
+/// let y = ops::batch_norm(&x, &params)?;
+/// // (3 - 3) / 1 * 2 + 1 = 1
+/// assert_eq!(y.as_slice(), &[1.0; 4]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn batch_norm(input: &Tensor, params: &BatchNormParams<'_>) -> Result<Tensor, TensorError> {
+    const OP: &str = "batch_norm";
+    if input.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch { op: OP, expected: 4, actual: input.shape().rank() });
+    }
+    let c = input.shape().c();
+    let want = Shape::new(&[c]);
+    for t in [params.gamma, params.beta, params.mean, params.var] {
+        if t.shape() != want {
+            return Err(TensorError::ShapeMismatch { op: OP, lhs: t.shape(), rhs: want });
+        }
+    }
+    let (n, h, w) = (input.shape().n(), input.shape().h(), input.shape().w());
+    let spatial = h * w;
+    let mut out = input.clone();
+    let data = out.as_mut_slice();
+    for ci in 0..c {
+        let inv_std = 1.0 / (params.var.as_slice()[ci] + params.eps).sqrt();
+        let scale = params.gamma.as_slice()[ci] * inv_std;
+        let shift = params.beta.as_slice()[ci] - params.mean.as_slice()[ci] * scale;
+        for ni in 0..n {
+            let chan = &mut data[(ni * c + ci) * spatial..][..spatial];
+            for v in chan {
+                *v = *v * scale + shift;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_params(c: usize) -> (Tensor, Tensor, Tensor, Tensor) {
+        (Tensor::full([c], 1.0), Tensor::zeros([c]), Tensor::zeros([c]), Tensor::full([c], 1.0))
+    }
+
+    #[test]
+    fn identity_params_are_identity() {
+        let x = Tensor::from_fn([2, 3, 2, 2], |i| i as f32 * 0.5);
+        let (g, b, m, v) = unit_params(3);
+        let p = BatchNormParams { gamma: &g, beta: &b, mean: &m, var: &v, eps: 0.0 };
+        let y = batch_norm(&x, &p).unwrap();
+        assert!(x.max_abs_diff(&y).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn normalises_per_channel() {
+        let x = Tensor::from_vec([1, 2, 1, 2], vec![10.0, 10.0, -4.0, -4.0]).unwrap();
+        let g = Tensor::from_vec([2], vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_vec([2], vec![0.0, 1.0]).unwrap();
+        let m = Tensor::from_vec([2], vec![10.0, -4.0]).unwrap();
+        let v = Tensor::from_vec([2], vec![4.0, 1.0]).unwrap();
+        let p = BatchNormParams { gamma: &g, beta: &b, mean: &m, var: &v, eps: 0.0 };
+        let y = batch_norm(&x, &p).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn eps_prevents_division_by_zero() {
+        let x = Tensor::full([1, 1, 1, 1], 5.0);
+        let g = Tensor::full([1], 1.0);
+        let b = Tensor::zeros([1]);
+        let m = Tensor::zeros([1]);
+        let v = Tensor::zeros([1]); // zero variance
+        let p = BatchNormParams { gamma: &g, beta: &b, mean: &m, var: &v, eps: 1e-5 };
+        let y = batch_norm(&x, &p).unwrap();
+        assert!(y.as_slice()[0].is_finite());
+    }
+
+    #[test]
+    fn rejects_wrong_param_length() {
+        let x = Tensor::zeros([1, 3, 2, 2]);
+        let (g, b, m, v) = unit_params(2);
+        let p = BatchNormParams { gamma: &g, beta: &b, mean: &m, var: &v, eps: 1e-5 };
+        assert!(batch_norm(&x, &p).is_err());
+    }
+
+    #[test]
+    fn rejects_rank_two_input() {
+        let x = Tensor::zeros([3, 3]);
+        let (g, b, m, v) = unit_params(3);
+        let p = BatchNormParams { gamma: &g, beta: &b, mean: &m, var: &v, eps: 1e-5 };
+        assert!(batch_norm(&x, &p).is_err());
+    }
+}

@@ -1,0 +1,226 @@
+use crate::{Tensor, TensorError};
+
+/// Average pooling with a square window and matching stride.
+///
+/// The spatial dimensions must be divisible by `kernel`; CIFAR topologies
+/// only ever pool evenly (e.g. the final 8×8 → 1×1 or 4×4 → 1×1 pools).
+///
+/// # Errors
+///
+/// Returns an error when the input is not rank 4, `kernel` is zero, or the
+/// spatial size is not divisible by `kernel`.
+pub fn avg_pool2d(input: &Tensor, kernel: usize) -> Result<Tensor, TensorError> {
+    const OP: &str = "avg_pool2d";
+    if input.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch { op: OP, expected: 4, actual: input.shape().rank() });
+    }
+    if kernel == 0 {
+        return Err(TensorError::InvalidConfig { op: OP, reason: "kernel must be nonzero".into() });
+    }
+    let (n, c, h, w) = (input.shape().n(), input.shape().c(), input.shape().h(), input.shape().w());
+    if h % kernel != 0 || w % kernel != 0 {
+        return Err(TensorError::InvalidConfig {
+            op: OP,
+            reason: format!("input {h}x{w} not divisible by kernel {kernel}"),
+        });
+    }
+    let (h_out, w_out) = (h / kernel, w / kernel);
+    let mut out = Tensor::zeros([n, c, h_out, w_out]);
+    let in_data = input.as_slice();
+    let out_data = out.as_mut_slice();
+    let norm = 1.0 / (kernel * kernel) as f32;
+    for ni in 0..n {
+        for ci in 0..c {
+            let chan = &in_data[(ni * c + ci) * h * w..][..h * w];
+            for oh in 0..h_out {
+                for ow in 0..w_out {
+                    let mut acc = 0.0f32;
+                    for kh in 0..kernel {
+                        for kw in 0..kernel {
+                            acc += chan[(oh * kernel + kh) * w + ow * kernel + kw];
+                        }
+                    }
+                    out_data[((ni * c + ci) * h_out + oh) * w_out + ow] = acc * norm;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Max pooling with a square window and matching stride.
+///
+/// The spatial dimensions must be divisible by `kernel` (as for
+/// [`avg_pool2d`]). NaN inputs are never selected unless a window is
+/// entirely NaN, mirroring the NaN-aware argmax used for predictions.
+///
+/// # Errors
+///
+/// Returns an error when the input is not rank 4, `kernel` is zero, or the
+/// spatial size is not divisible by `kernel`.
+pub fn max_pool2d(input: &Tensor, kernel: usize) -> Result<Tensor, TensorError> {
+    const OP: &str = "max_pool2d";
+    if input.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch { op: OP, expected: 4, actual: input.shape().rank() });
+    }
+    if kernel == 0 {
+        return Err(TensorError::InvalidConfig { op: OP, reason: "kernel must be nonzero".into() });
+    }
+    let (n, c, h, w) = (input.shape().n(), input.shape().c(), input.shape().h(), input.shape().w());
+    if h % kernel != 0 || w % kernel != 0 {
+        return Err(TensorError::InvalidConfig {
+            op: OP,
+            reason: format!("input {h}x{w} not divisible by kernel {kernel}"),
+        });
+    }
+    let (h_out, w_out) = (h / kernel, w / kernel);
+    let mut out = Tensor::zeros([n, c, h_out, w_out]);
+    let in_data = input.as_slice();
+    let out_data = out.as_mut_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            let chan = &in_data[(ni * c + ci) * h * w..][..h * w];
+            for oh in 0..h_out {
+                for ow in 0..w_out {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut seen = false;
+                    for kh in 0..kernel {
+                        for kw in 0..kernel {
+                            let v = chan[(oh * kernel + kh) * w + ow * kernel + kw];
+                            if !v.is_nan() && (v > best || !seen) {
+                                best = v;
+                                seen = true;
+                            }
+                        }
+                    }
+                    out_data[((ni * c + ci) * h_out + oh) * w_out + ow] =
+                        if seen { best } else { f32::NAN };
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Global average pooling: collapses each `H × W` feature map to a scalar,
+/// returning a rank-2 `[N, C]` tensor ready for a classifier head.
+///
+/// # Errors
+///
+/// Returns an error when the input is not rank 4 or has empty spatial
+/// dimensions.
+pub fn global_avg_pool(input: &Tensor) -> Result<Tensor, TensorError> {
+    const OP: &str = "global_avg_pool";
+    if input.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch { op: OP, expected: 4, actual: input.shape().rank() });
+    }
+    let (n, c, h, w) = (input.shape().n(), input.shape().c(), input.shape().h(), input.shape().w());
+    if h == 0 || w == 0 {
+        return Err(TensorError::Empty { op: OP });
+    }
+    let mut out = Tensor::zeros([n, c]);
+    let in_data = input.as_slice();
+    let out_data = out.as_mut_slice();
+    let norm = 1.0 / (h * w) as f32;
+    for ni in 0..n {
+        for ci in 0..c {
+            let chan = &in_data[(ni * c + ci) * h * w..][..h * w];
+            out_data[ni * c + ci] = chan.iter().sum::<f32>() * norm;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_pool_divides_evenly() {
+        let input = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let out = avg_pool2d(&input, 2).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 1, 1]);
+        assert_eq!(out.as_slice(), &[2.5]);
+    }
+
+    #[test]
+    fn avg_pool_kernel_one_is_identity() {
+        let input = Tensor::from_fn([1, 2, 3, 3], |i| i as f32);
+        let out = avg_pool2d(&input, 1).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn avg_pool_rejects_uneven_division() {
+        let input = Tensor::zeros([1, 1, 5, 5]);
+        assert!(avg_pool2d(&input, 2).is_err());
+    }
+
+    #[test]
+    fn avg_pool_rejects_zero_kernel() {
+        let input = Tensor::zeros([1, 1, 4, 4]);
+        assert!(avg_pool2d(&input, 0).is_err());
+    }
+
+    #[test]
+    fn max_pool_picks_window_maxima() {
+        let input =
+            Tensor::from_vec([1, 1, 2, 4], vec![1.0, 5.0, -1.0, 2.0, 3.0, 0.0, 7.0, -4.0])
+                .unwrap();
+        let out = max_pool2d(&input, 2).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 1, 2]);
+        assert_eq!(out.as_slice(), &[5.0, 7.0]);
+    }
+
+    #[test]
+    fn max_pool_skips_nan_unless_all_nan() {
+        let input =
+            Tensor::from_vec([1, 1, 2, 2], vec![f32::NAN, 2.0, 1.0, f32::NAN]).unwrap();
+        assert_eq!(max_pool2d(&input, 2).unwrap().as_slice(), &[2.0]);
+        let all_nan = Tensor::full([1, 1, 2, 2], f32::NAN);
+        assert!(max_pool2d(&all_nan, 2).unwrap().as_slice()[0].is_nan());
+    }
+
+    #[test]
+    fn max_pool_rejects_bad_geometry() {
+        assert!(max_pool2d(&Tensor::zeros([1, 1, 5, 5]), 2).is_err());
+        assert!(max_pool2d(&Tensor::zeros([1, 1, 4, 4]), 0).is_err());
+        assert!(max_pool2d(&Tensor::zeros([4, 4]), 2).is_err());
+    }
+
+    #[test]
+    fn max_pool_dominates_avg_pool() {
+        let input = Tensor::from_fn([1, 2, 4, 4], |i| ((i * 13) % 29) as f32 - 10.0);
+        let mx = max_pool2d(&input, 2).unwrap();
+        let av = avg_pool2d(&input, 2).unwrap();
+        for (m, a) in mx.iter().zip(av.iter()) {
+            assert!(m >= a);
+        }
+    }
+
+    #[test]
+    fn global_avg_pool_matches_avg_pool_full_kernel() {
+        let input = Tensor::from_fn([2, 3, 4, 4], |i| (i % 7) as f32);
+        let g = global_avg_pool(&input).unwrap();
+        let a = avg_pool2d(&input, 4).unwrap();
+        for n in 0..2 {
+            for c in 0..3 {
+                let diff = (g.get([n, c]).unwrap() - a.get([n, c, 0, 0]).unwrap()).abs();
+                assert!(diff < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn global_avg_pool_returns_rank_two() {
+        let input = Tensor::zeros([3, 5, 2, 2]);
+        let out = global_avg_pool(&input).unwrap();
+        assert_eq!(out.shape().dims(), &[3, 5]);
+    }
+
+    #[test]
+    fn global_avg_pool_rejects_empty_spatial() {
+        let input = Tensor::zeros([1, 1, 0, 4]);
+        assert!(global_avg_pool(&input).is_err());
+    }
+}

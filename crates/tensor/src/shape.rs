@@ -1,0 +1,205 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum tensor rank supported by the crate.
+///
+/// CNN inference needs at most 4 dimensions (`N × C × H × W`).
+pub const MAX_RANK: usize = 4;
+
+/// The dimensions of a [`Tensor`](crate::Tensor), rank 1 to [`MAX_RANK`].
+///
+/// `Shape` is a small value type (`Copy`) storing the dimensions inline.
+/// Feature maps use the NCHW convention: `[batch, channels, height, width]`.
+///
+/// # Example
+///
+/// ```
+/// use sfi_tensor::Shape;
+///
+/// let s = Shape::new(&[1, 16, 32, 32]);
+/// assert_eq!(s.rank(), 4);
+/// assert_eq!(s.len(), 16 * 32 * 32);
+/// assert_eq!(s.dims(), &[1, 16, 32, 32]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: [usize; MAX_RANK],
+    rank: usize,
+}
+
+impl Shape {
+    /// Creates a shape from a slice of dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or longer than [`MAX_RANK`]. Use
+    /// [`Shape::try_new`] for a fallible variant.
+    pub fn new(dims: &[usize]) -> Self {
+        Self::try_new(dims).expect("shape rank must be between 1 and 4")
+    }
+
+    /// Creates a shape from a slice of dimensions, returning `None` if the
+    /// rank is zero or larger than [`MAX_RANK`].
+    pub fn try_new(dims: &[usize]) -> Option<Self> {
+        if dims.is_empty() || dims.len() > MAX_RANK {
+            return None;
+        }
+        let mut inner = [1usize; MAX_RANK];
+        inner[..dims.len()].copy_from_slice(dims);
+        Some(Self { dims: inner, rank: dims.len() })
+    }
+
+    /// The number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The dimensions as a slice of length [`rank`](Self::rank).
+    pub fn dims(&self) -> &[usize] {
+        &self.dims[..self.rank]
+    }
+
+    /// Total number of elements (product of the dimensions).
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.dims().iter().product()
+    }
+
+    /// Whether the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimension `i`, or `None` when `i >= rank`.
+    pub fn dim(&self, i: usize) -> Option<usize> {
+        self.dims().get(i).copied()
+    }
+
+    /// Batch dimension of an NCHW shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not rank 4.
+    pub fn n(&self) -> usize {
+        assert_eq!(self.rank, 4, "n() requires an NCHW shape");
+        self.dims[0]
+    }
+
+    /// Channel dimension of an NCHW shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not rank 4.
+    pub fn c(&self) -> usize {
+        assert_eq!(self.rank, 4, "c() requires an NCHW shape");
+        self.dims[1]
+    }
+
+    /// Height dimension of an NCHW shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not rank 4.
+    pub fn h(&self) -> usize {
+        assert_eq!(self.rank, 4, "h() requires an NCHW shape");
+        self.dims[2]
+    }
+
+    /// Width dimension of an NCHW shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not rank 4.
+    pub fn w(&self) -> usize {
+        assert_eq!(self.rank, 4, "w() requires an NCHW shape");
+        self.dims[3]
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.dims())
+    }
+}
+
+impl From<[usize; 1]> for Shape {
+    fn from(d: [usize; 1]) -> Self {
+        Shape::new(&d)
+    }
+}
+
+impl From<[usize; 2]> for Shape {
+    fn from(d: [usize; 2]) -> Self {
+        Shape::new(&d)
+    }
+}
+
+impl From<[usize; 3]> for Shape {
+    fn from(d: [usize; 3]) -> Self {
+        Shape::new(&d)
+    }
+}
+
+impl From<[usize; 4]> for Shape {
+    fn from(d: [usize; 4]) -> Self {
+        Shape::new(&d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_accessors() {
+        let s = Shape::new(&[2, 3, 4, 5]);
+        assert_eq!(s.rank(), 4);
+        assert_eq!(s.len(), 120);
+        assert_eq!((s.n(), s.c(), s.h(), s.w()), (2, 3, 4, 5));
+        assert_eq!(s.dim(1), Some(3));
+        assert_eq!(s.dim(4), None);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_ranks() {
+        assert!(Shape::try_new(&[]).is_none());
+        assert!(Shape::try_new(&[1, 2, 3, 4, 5]).is_none());
+        assert!(Shape::try_new(&[7]).is_some());
+    }
+
+    #[test]
+    fn equality_ignores_padding_dims() {
+        // [2, 3] must compare equal regardless of internal padding.
+        let a = Shape::new(&[2, 3]);
+        let b = Shape::try_new(&[2, 3]).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, Shape::new(&[2, 3, 1]));
+    }
+
+    #[test]
+    fn display_matches_debug_slice() {
+        assert_eq!(Shape::new(&[1, 16, 8, 8]).to_string(), "[1, 16, 8, 8]");
+    }
+
+    #[test]
+    fn zero_sized_dims() {
+        let s = Shape::new(&[0, 4]);
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an NCHW shape")]
+    fn nchw_accessor_panics_on_rank_2() {
+        Shape::new(&[2, 3]).n();
+    }
+
+    #[test]
+    fn from_arrays() {
+        assert_eq!(Shape::from([3]).rank(), 1);
+        assert_eq!(Shape::from([3, 4]).rank(), 2);
+        assert_eq!(Shape::from([3, 4, 5]).rank(), 3);
+        assert_eq!(Shape::from([3, 4, 5, 6]).rank(), 4);
+    }
+}

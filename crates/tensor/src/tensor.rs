@@ -1,0 +1,308 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Shape, TensorError};
+
+/// A dense, row-major `f32` tensor.
+///
+/// Feature maps follow the NCHW convention. The type is deliberately plain:
+/// an owned `Vec<f32>` plus a [`Shape`], with validated constructors and
+/// element accessors. All numeric operators live in [`crate::ops`].
+///
+/// # Example
+///
+/// ```
+/// use sfi_tensor::Tensor;
+///
+/// # fn main() -> Result<(), sfi_tensor::TensorError> {
+/// let t = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0])?;
+/// assert_eq!(t.get([1, 0]), Some(3.0));
+/// assert_eq!(t.iter().sum::<f32>(), 10.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        Self { data: vec![0.0; shape.len()], shape }
+    }
+
+    /// Creates a tensor filled with a constant value.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        Self { data: vec![value; shape.len()], shape }
+    }
+
+    /// Creates a tensor from an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when `data.len()` differs from
+    /// the number of elements implied by `shape`.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Result<Self, TensorError> {
+        let shape = shape.into();
+        if data.len() != shape.len() {
+            return Err(TensorError::LengthMismatch { shape, len: data.len() });
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// Creates a tensor by evaluating `f` at every flat index.
+    pub fn from_fn(shape: impl Into<Shape>, mut f: impl FnMut(usize) -> f32) -> Self {
+        let shape = shape.into();
+        let data = (0..shape.len()).map(&mut f).collect();
+        Self { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Total number of elements.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// A read-only view of the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// A mutable view of the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index, or `None` when out of bounds.
+    ///
+    /// The index length must equal the tensor rank.
+    pub fn get(&self, index: impl AsRef<[usize]>) -> Option<f32> {
+        let flat = self.flatten_index(index.as_ref())?;
+        self.data.get(flat).copied()
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] when the index does not
+    /// address an element (wrong rank or any coordinate out of range).
+    pub fn set(&mut self, index: impl AsRef<[usize]>, value: f32) -> Result<(), TensorError> {
+        match self.flatten_index(index.as_ref()) {
+            Some(flat) => {
+                self.data[flat] = value;
+                Ok(())
+            }
+            None => Err(TensorError::IndexOutOfBounds { shape: self.shape, index: usize::MAX }),
+        }
+    }
+
+    /// Converts a multi-dimensional index to a flat offset.
+    ///
+    /// Returns `None` if the rank differs or any coordinate is out of range.
+    pub fn flatten_index(&self, index: &[usize]) -> Option<usize> {
+        if index.len() != self.shape.rank() {
+            return None;
+        }
+        let dims = self.shape.dims();
+        let mut flat = 0usize;
+        for (&i, &d) in index.iter().zip(dims) {
+            if i >= d {
+                return None;
+            }
+            flat = flat * d + i;
+        }
+        Some(flat)
+    }
+
+    /// Iterates over elements in row-major order.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, f32>> {
+        self.data.iter().copied()
+    }
+
+    /// Returns a new tensor with `f` applied to every element.
+    pub fn map(&self, f: impl FnMut(f32) -> f32) -> Self {
+        Self { shape: self.shape, data: self.data.iter().copied().map(f).collect() }
+    }
+
+    /// Reinterprets the buffer under a new shape with the same element count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when the element counts differ.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Result<Self, TensorError> {
+        let shape = shape.into();
+        if shape.len() != self.data.len() {
+            return Err(TensorError::LengthMismatch { shape, len: self.data.len() });
+        }
+        Ok(Self { shape, data: self.data.clone() })
+    }
+
+    /// Index of the maximum element (ties broken towards the lower index).
+    ///
+    /// Returns `None` for an empty tensor. NaN elements are never selected
+    /// unless every element is NaN, in which case index 0 is returned; this
+    /// gives fault campaigns a deterministic "prediction" even when a fault
+    /// propagates NaNs into the logits.
+    pub fn argmax(&self) -> Option<usize> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let mut best = 0usize;
+        let mut best_val = f32::NEG_INFINITY;
+        let mut seen_finite = false;
+        for (i, &v) in self.data.iter().enumerate() {
+            if !v.is_nan() && (v > best_val || !seen_finite) {
+                best = i;
+                best_val = v;
+                seen_finite = true;
+            }
+        }
+        Some(best)
+    }
+
+    /// Maximum absolute difference against another tensor of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32, TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "max_abs_diff",
+                lhs: self.shape,
+                rhs: other.shape,
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max))
+    }
+}
+
+impl AsRef<[f32]> for Tensor {
+    fn as_ref(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Tensor::zeros([2, 3]);
+        assert_eq!(z.len(), 6);
+        assert!(z.iter().all(|v| v == 0.0));
+        let f = Tensor::full([2, 2], 1.5);
+        assert!(f.iter().all(|v| v == 1.5));
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec([2, 2], vec![0.0; 4]).is_ok());
+        let err = Tensor::from_vec([2, 2], vec![0.0; 5]).unwrap_err();
+        assert!(matches!(err, TensorError::LengthMismatch { len: 5, .. }));
+    }
+
+    #[test]
+    fn indexing_round_trip() {
+        let t = Tensor::from_fn([2, 3, 4, 5], |i| i as f32);
+        for n in 0..2 {
+            for c in 0..3 {
+                for h in 0..4 {
+                    for w in 0..5 {
+                        let flat = ((n * 3 + c) * 4 + h) * 5 + w;
+                        assert_eq!(t.get([n, c, h, w]), Some(flat as f32));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn get_rejects_bad_rank_and_bounds() {
+        let t = Tensor::zeros([2, 2]);
+        assert_eq!(t.get([0]), None);
+        assert_eq!(t.get([2, 0]), None);
+        assert_eq!(t.get([0, 0, 0]), None);
+    }
+
+    #[test]
+    fn set_writes_value() {
+        let mut t = Tensor::zeros([2, 2]);
+        t.set([1, 1], 7.0).unwrap();
+        assert_eq!(t.get([1, 1]), Some(7.0));
+        assert!(t.set([2, 0], 1.0).is_err());
+    }
+
+    #[test]
+    fn argmax_basic() {
+        let t = Tensor::from_vec([4], vec![0.1, 3.0, -2.0, 3.0]).unwrap();
+        assert_eq!(t.argmax(), Some(1)); // tie broken towards lower index
+    }
+
+    #[test]
+    fn argmax_skips_nan() {
+        let t = Tensor::from_vec([3], vec![f32::NAN, 1.0, 0.5]).unwrap();
+        assert_eq!(t.argmax(), Some(1));
+    }
+
+    #[test]
+    fn argmax_all_nan_is_deterministic() {
+        let t = Tensor::from_vec([2], vec![f32::NAN, f32::NAN]).unwrap();
+        assert_eq!(t.argmax(), Some(0));
+    }
+
+    #[test]
+    fn argmax_handles_neg_infinity_only() {
+        let t = Tensor::from_vec([2], vec![f32::NEG_INFINITY, f32::NEG_INFINITY]).unwrap();
+        assert_eq!(t.argmax(), Some(0));
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_fn([2, 6], |i| i as f32);
+        let r = t.reshape([3, 4]).unwrap();
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape([5]).is_err());
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        let a = Tensor::from_vec([3], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_vec([3], vec![1.5, 2.0, 1.0]).unwrap();
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 2.0);
+        let c = Tensor::zeros([2]);
+        assert!(a.max_abs_diff(&c).is_err());
+    }
+
+    #[test]
+    fn map_applies_function() {
+        let t = Tensor::from_vec([2], vec![1.0, -2.0]).unwrap();
+        let m = t.map(f32::abs);
+        assert_eq!(m.as_slice(), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for tensor operators.
+
+use proptest::prelude::*;
+use sfi_tensor::ops::{self, Conv2dCfg};
+use sfi_tensor::Tensor;
+
+fn small_val() -> impl Strategy<Value = f32> {
+    // Finite, moderate magnitudes so accumulated FP error stays bounded.
+    (-4.0f32..4.0).prop_map(|v| (v * 16.0).round() / 16.0)
+}
+
+fn tensor_strategy(shape: [usize; 4]) -> impl Strategy<Value = Tensor> {
+    let len: usize = shape.iter().product();
+    proptest::collection::vec(small_val(), len)
+        .prop_map(move |data| Tensor::from_vec(shape, data).expect("length matches"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The im2col path must agree with the direct reference convolution.
+    #[test]
+    fn conv_paths_agree(
+        input in tensor_strategy([1, 3, 6, 6]),
+        weight in tensor_strategy([4, 3, 3, 3]),
+        stride in 1usize..3,
+    ) {
+        let cfg = Conv2dCfg::same(stride);
+        let direct = ops::conv2d_direct(&input, &weight, None, cfg).unwrap();
+        let fast = ops::conv2d_im2col(&input, &weight, None, cfg).unwrap();
+        prop_assert!(direct.max_abs_diff(&fast).unwrap() < 1e-3);
+    }
+
+    /// Convolution is linear in the input: conv(a + b) == conv(a) + conv(b).
+    #[test]
+    fn conv_is_linear_in_input(
+        a in tensor_strategy([1, 2, 5, 5]),
+        b in tensor_strategy([1, 2, 5, 5]),
+        weight in tensor_strategy([3, 2, 3, 3]),
+    ) {
+        let cfg = Conv2dCfg::same(1);
+        let sum = ops::add(&a, &b).unwrap();
+        let conv_sum = ops::conv2d(&sum, &weight, None, cfg).unwrap();
+        let sum_conv = ops::add(
+            &ops::conv2d(&a, &weight, None, cfg).unwrap(),
+            &ops::conv2d(&b, &weight, None, cfg).unwrap(),
+        ).unwrap();
+        prop_assert!(conv_sum.max_abs_diff(&sum_conv).unwrap() < 1e-2);
+    }
+
+    /// ReLU is idempotent and never produces negatives.
+    #[test]
+    fn relu_idempotent_nonnegative(t in tensor_strategy([1, 2, 4, 4])) {
+        let once = ops::relu(&t);
+        let twice = ops::relu(&once);
+        prop_assert_eq!(once.as_slice(), twice.as_slice());
+        prop_assert!(once.iter().all(|v| v >= 0.0));
+    }
+
+    /// ReLU6 output always lies in [0, 6].
+    #[test]
+    fn relu6_bounded(t in tensor_strategy([1, 1, 4, 4])) {
+        let out = ops::relu6(&t);
+        prop_assert!(out.iter().all(|v| (0.0..=6.0).contains(&v)));
+    }
+
+    /// Softmax rows are probability distributions.
+    #[test]
+    fn softmax_is_distribution(data in proptest::collection::vec(small_val(), 20)) {
+        let t = Tensor::from_vec([4, 5], data).unwrap();
+        let s = ops::softmax(&t).unwrap();
+        for b in 0..4 {
+            let row: Vec<f32> = (0..5).map(|c| s.get([b, c]).unwrap()).collect();
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    /// Softmax preserves argmax.
+    #[test]
+    fn softmax_preserves_argmax(data in proptest::collection::vec(-3.0f32..3.0, 6)) {
+        let t = Tensor::from_vec([1, 6], data).unwrap();
+        let s = ops::softmax(&t).unwrap();
+        prop_assert_eq!(t.argmax(), s.argmax());
+    }
+
+    /// Global average pooling preserves the total mean.
+    #[test]
+    fn global_pool_preserves_mean(t in tensor_strategy([2, 3, 4, 4])) {
+        let pooled = ops::global_avg_pool(&t).unwrap();
+        let mean_in: f32 = t.iter().sum::<f32>() / t.len() as f32;
+        let mean_out: f32 = pooled.iter().sum::<f32>() / pooled.len() as f32;
+        prop_assert!((mean_in - mean_out).abs() < 1e-4);
+    }
+
+    /// add is commutative.
+    #[test]
+    fn add_commutes(a in tensor_strategy([1, 2, 3, 3]), b in tensor_strategy([1, 2, 3, 3])) {
+        let ab = ops::add(&a, &b).unwrap();
+        let ba = ops::add(&b, &a).unwrap();
+        prop_assert_eq!(ab.as_slice(), ba.as_slice());
+    }
+
+    /// Reshape round-trips preserve data.
+    #[test]
+    fn reshape_round_trip(t in tensor_strategy([2, 2, 3, 3])) {
+        let flat = t.reshape([36]).unwrap();
+        let back = flat.reshape([2, 2, 3, 3]).unwrap();
+        prop_assert_eq!(t.as_slice(), back.as_slice());
+    }
+
+    /// flatten_index is a bijection onto 0..len.
+    #[test]
+    fn flatten_index_bijective(_unit in Just(())) {
+        let t = Tensor::zeros([2, 3, 4, 5]);
+        let mut seen = vec![false; t.len()];
+        for n in 0..2 {
+            for c in 0..3 {
+                for h in 0..4 {
+                    for w in 0..5 {
+                        let idx = t.flatten_index(&[n, c, h, w]).unwrap();
+                        prop_assert!(!seen[idx]);
+                        seen[idx] = true;
+                    }
+                }
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+}

@@ -1,0 +1,57 @@
+//! Adaptive (sequential) sampling vs the paper's fixed Eq.-1 plans: stop
+//! injecting as soon as the observed estimate is tight enough.
+//!
+//! Run with: `cargo run --release --example adaptive_sampling`
+
+use sfi::core::report::{group_digits, TextTable};
+use sfi::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = ResNetConfig { base_width: 2, blocks_per_stage: 1, classes: 10, input_size: 16 }
+        .build_seeded(42)?;
+    let data = SynthCifarConfig::new().with_size(16).with_samples(4).generate();
+    let golden = GoldenReference::build(&model, &data)?;
+    let space = FaultSpace::stuck_at(&model);
+    let target = 0.02;
+
+    println!("fixed Eq.-1 sample (worst case p = 0.5) vs adaptive Wilson stopping");
+    println!("target margin: ±{:.1}% at 99% confidence\n", target * 100.0);
+    let mut table = TextTable::new(vec![
+        "layer".into(),
+        "population".into(),
+        "fixed n".into(),
+        "adaptive n".into(),
+        "saving".into(),
+        "estimate %".into(),
+        "achieved ±%".into(),
+    ]);
+    let spec = SampleSpec { error_margin: target, ..SampleSpec::paper_default() };
+    let cfg = CampaignConfig::default();
+    for layer in 0..space.layers() {
+        let subpop = space.layer_subpopulation(layer)?;
+        let fixed = sample_size(subpop.size(), &spec);
+        let adaptive = run_adaptive(
+            &model,
+            &data,
+            &golden,
+            &subpop,
+            &AdaptiveConfig::new(target),
+            11,
+            &cfg,
+        )?;
+        table.add_row(vec![
+            format!("L{layer}"),
+            group_digits(subpop.size()),
+            group_digits(fixed),
+            group_digits(adaptive.result.sample),
+            format!("{:.1}x", fixed as f64 / adaptive.result.sample.max(1) as f64),
+            format!("{:.2}", adaptive.result.proportion() * 100.0),
+            format!("{:.2}", adaptive.achieved_margin(Confidence::C99) * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("critical rates sit far below the worst-case p = 0.5, so sequential");
+    println!("stopping reaches the same precision with a fraction of the injections");
+    println!("while every intermediate prefix remains a valid simple random sample.");
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! The `sfi` command-line tool. See `sfi help` or [`sfi::cli::USAGE`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match sfi::cli::parse(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", sfi::cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = sfi::cli::run(&opts, &mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

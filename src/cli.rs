@@ -1,0 +1,625 @@
+//! The `sfi` command-line interface.
+//!
+//! A thin, dependency-free argument parser plus the drivers behind the
+//! `sfi` binary's subcommands. Parsing is separated from execution so the
+//! grammar is unit-testable; see [`parse`] and [`run`].
+//!
+//! ```text
+//! sfi plan    --model resnet20 --scheme data-aware [--error 0.01] [--seed 1]
+//! sfi run     --model resnet20-micro --scheme layer-wise [--images 4] [--error 0.05]
+//! sfi analyze --model mobilenetv2 [--seed 1]
+//! sfi bits    --model resnet20-micro [--images 4] [--error 0.1]
+//! sfi harden  --model resnet20-micro [--budget-frac 0.5] [--images 4]
+//! ```
+
+use std::fmt;
+
+use sfi_core::bits::bit_ranking;
+use sfi_core::execute::execute_plan;
+use sfi_core::hardening::{plan_protection, HardeningConfig};
+use sfi_core::plan::{
+    plan_data_aware, plan_data_unaware, plan_layer_wise, plan_network_wise, SfiPlan,
+};
+use sfi_core::report::{group_digits, TextTable};
+use sfi_dataset::SynthCifarConfig;
+use sfi_faultsim::campaign::CampaignConfig;
+use sfi_faultsim::golden::GoldenReference;
+use sfi_faultsim::population::FaultSpace;
+use sfi_nn::mobilenet::MobileNetV2Config;
+use sfi_nn::resnet::ResNetConfig;
+use sfi_nn::Model;
+use sfi_stats::bit_analysis::{data_aware_p, DataAwareConfig, WeightBitAnalysis};
+use sfi_stats::confidence::Confidence;
+use sfi_stats::sample_size::SampleSpec;
+
+/// Errors produced while parsing the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCliError {
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseCliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ParseCliError {}
+
+fn err(message: impl Into<String>) -> ParseCliError {
+    ParseCliError { message: message.into() }
+}
+
+/// The subcommand to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Print a sampling plan (no simulation).
+    Plan,
+    /// Execute a statistical campaign and print estimates.
+    Run,
+    /// Print the weight-distribution bit analysis (Figs. 3/4).
+    Analyze,
+    /// Run a data-unaware campaign and print the bit-criticality ranking.
+    Bits,
+    /// Run a layer-wise campaign and print a selective-hardening plan.
+    Harden,
+    /// Print usage.
+    Help,
+}
+
+/// Which network to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelChoice {
+    /// Full-size ResNet-20 (268,336 weights) — planning/analysis only.
+    Resnet20,
+    /// Reduced ResNet-20 (width 2, 16×16) for simulation-backed commands.
+    Resnet20Micro,
+    /// Full-size CIFAR MobileNetV2 (2,203,584 weights).
+    MobileNetV2,
+    /// Reduced MobileNetV2 for simulation-backed commands.
+    MobileNetV2Micro,
+    /// Full-size CIFAR VGG-11 (9 weight layers).
+    Vgg11,
+    /// Reduced VGG for simulation-backed commands.
+    VggMicro,
+}
+
+impl ModelChoice {
+    fn parse(s: &str) -> Result<Self, ParseCliError> {
+        match s {
+            "resnet20" => Ok(ModelChoice::Resnet20),
+            "resnet20-micro" => Ok(ModelChoice::Resnet20Micro),
+            "mobilenetv2" => Ok(ModelChoice::MobileNetV2),
+            "mobilenetv2-micro" => Ok(ModelChoice::MobileNetV2Micro),
+            "vgg11" => Ok(ModelChoice::Vgg11),
+            "vgg-micro" => Ok(ModelChoice::VggMicro),
+            other => Err(err(format!(
+                "unknown model `{other}` (expected resnet20, resnet20-micro, mobilenetv2, \
+                 mobilenetv2-micro, vgg11, vgg-micro)"
+            ))),
+        }
+    }
+
+    fn build(&self, seed: u64) -> Result<Model, sfi_nn::NnError> {
+        match self {
+            ModelChoice::Resnet20 => ResNetConfig::resnet20().build_seeded(seed),
+            ModelChoice::Resnet20Micro => ResNetConfig::resnet20_micro().build_seeded(seed),
+            ModelChoice::MobileNetV2 => MobileNetV2Config::cifar().build_seeded(seed),
+            ModelChoice::MobileNetV2Micro => {
+                MobileNetV2Config::cifar_micro().build_seeded(seed)
+            }
+            ModelChoice::Vgg11 => sfi_nn::vgg::VggConfig::vgg11().build_seeded(seed),
+            ModelChoice::VggMicro => sfi_nn::vgg::VggConfig::vgg_micro().build_seeded(seed),
+        }
+    }
+
+    fn input_size(&self) -> usize {
+        match self {
+            ModelChoice::Resnet20 | ModelChoice::MobileNetV2 | ModelChoice::Vgg11 => 32,
+            ModelChoice::Resnet20Micro | ModelChoice::MobileNetV2Micro | ModelChoice::VggMicro => {
+                16
+            }
+        }
+    }
+}
+
+/// Which SFI scheme to plan or run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeChoice {
+    /// One sample over the whole fault space.
+    NetworkWise,
+    /// One sample per weight layer.
+    LayerWise,
+    /// One sample per `(layer, bit)` at p = 0.5.
+    DataUnaware,
+    /// One sample per `(layer, bit)` at the data-derived p(i).
+    DataAware,
+}
+
+impl SchemeChoice {
+    fn parse(s: &str) -> Result<Self, ParseCliError> {
+        match s {
+            "network-wise" | "network" => Ok(SchemeChoice::NetworkWise),
+            "layer-wise" | "layer" => Ok(SchemeChoice::LayerWise),
+            "data-unaware" => Ok(SchemeChoice::DataUnaware),
+            "data-aware" => Ok(SchemeChoice::DataAware),
+            other => Err(err(format!(
+                "unknown scheme `{other}` (expected network-wise, layer-wise, data-unaware, \
+                 data-aware)"
+            ))),
+        }
+    }
+}
+
+/// A fully parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// Subcommand.
+    pub command: Command,
+    /// Target network.
+    pub model: ModelChoice,
+    /// Scheme (plan/run).
+    pub scheme: SchemeChoice,
+    /// Error margin `e`.
+    pub error_margin: f64,
+    /// Evaluation images for simulation-backed commands.
+    pub images: usize,
+    /// Seed for weights, data, and sampling.
+    pub seed: u64,
+    /// Fraction of the full SEC-DED budget for `harden`.
+    pub budget_frac: f64,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        Self {
+            command: Command::Help,
+            model: ModelChoice::Resnet20Micro,
+            scheme: SchemeChoice::LayerWise,
+            error_margin: 0.05,
+            images: 4,
+            seed: 42,
+            budget_frac: 0.5,
+        }
+    }
+}
+
+/// Usage text printed by `sfi help` (and on parse errors).
+pub const USAGE: &str = "\
+sfi — statistical fault injection for CNN reliability (DATE 2023)
+
+USAGE:
+    sfi <COMMAND> [OPTIONS]
+
+COMMANDS:
+    plan      compute a sampling plan (no simulation; full-size models fine)
+    run       execute a statistical campaign and print per-layer estimates
+    analyze   golden weight bit analysis: f0/f1 and data-aware p(i)
+    bits      bit-criticality ranking from a data-unaware campaign
+    harden    selective SEC-DED protection plan from per-layer estimates
+    help      print this message
+
+OPTIONS:
+    --model <resnet20|resnet20-micro|mobilenetv2|mobilenetv2-micro|vgg11|vgg-micro>
+    --scheme <network-wise|layer-wise|data-unaware|data-aware>
+    --error <fraction>        planned error margin e (default 0.05; paper: 0.01)
+    --images <n>              evaluation images for run/bits/harden (default 4)
+    --seed <n>                master seed (default 42)
+    --budget-frac <fraction>  share of the full ECC budget for harden (default 0.5)
+";
+
+/// Parses the argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`ParseCliError`] describing the first offending token.
+pub fn parse(args: &[String]) -> Result<CliOptions, ParseCliError> {
+    let mut opts = CliOptions::default();
+    let mut iter = args.iter();
+    let Some(cmd) = iter.next() else {
+        return Ok(opts); // no args: help
+    };
+    opts.command = match cmd.as_str() {
+        "plan" => Command::Plan,
+        "run" => Command::Run,
+        "analyze" => Command::Analyze,
+        "bits" => Command::Bits,
+        "harden" => Command::Harden,
+        "help" | "--help" | "-h" => Command::Help,
+        other => return Err(err(format!("unknown command `{other}`"))),
+    };
+    while let Some(flag) = iter.next() {
+        let mut value = || {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| err(format!("flag `{flag}` expects a value")))
+        };
+        match flag.as_str() {
+            "--model" => opts.model = ModelChoice::parse(&value()?)?,
+            "--scheme" => opts.scheme = SchemeChoice::parse(&value()?)?,
+            "--error" => {
+                let v = value()?;
+                opts.error_margin = v
+                    .parse::<f64>()
+                    .map_err(|_| err(format!("`--error {v}` is not a number")))?;
+                if !(opts.error_margin > 0.0 && opts.error_margin < 1.0) {
+                    return Err(err("`--error` must lie in (0, 1)"));
+                }
+            }
+            "--images" => {
+                let v = value()?;
+                opts.images = v
+                    .parse::<usize>()
+                    .map_err(|_| err(format!("`--images {v}` is not an integer")))?;
+                if opts.images == 0 {
+                    return Err(err("`--images` must be at least 1"));
+                }
+            }
+            "--seed" => {
+                let v = value()?;
+                opts.seed = v
+                    .parse::<u64>()
+                    .map_err(|_| err(format!("`--seed {v}` is not an integer")))?;
+            }
+            "--budget-frac" => {
+                let v = value()?;
+                opts.budget_frac = v
+                    .parse::<f64>()
+                    .map_err(|_| err(format!("`--budget-frac {v}` is not a number")))?;
+                if !(0.0..=1.0).contains(&opts.budget_frac) {
+                    return Err(err("`--budget-frac` must lie in [0, 1]"));
+                }
+            }
+            other => return Err(err(format!("unknown flag `{other}`"))),
+        }
+    }
+    Ok(opts)
+}
+
+fn build_plan(
+    opts: &CliOptions,
+    model: &Model,
+    space: &FaultSpace,
+) -> Result<SfiPlan, Box<dyn std::error::Error>> {
+    let spec = SampleSpec { error_margin: opts.error_margin, ..SampleSpec::paper_default() };
+    Ok(match opts.scheme {
+        SchemeChoice::NetworkWise => plan_network_wise(space, &spec),
+        SchemeChoice::LayerWise => plan_layer_wise(space, &spec),
+        SchemeChoice::DataUnaware => plan_data_unaware(space, &spec),
+        SchemeChoice::DataAware => {
+            let analysis = WeightBitAnalysis::from_weights(model.store().all_weights())?;
+            plan_data_aware(space, &analysis, &spec, &DataAwareConfig::paper_default())?
+        }
+    })
+}
+
+/// Executes a parsed command line, writing the report to `out`.
+///
+/// # Errors
+///
+/// Propagates model construction, planning, and campaign failures.
+pub fn run(
+    opts: &CliOptions,
+    out: &mut impl std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    match opts.command {
+        Command::Help => {
+            write!(out, "{USAGE}")?;
+            return Ok(());
+        }
+        Command::Plan => {
+            let model = opts.model.build(opts.seed)?;
+            let space = FaultSpace::stuck_at(&model);
+            let plan = build_plan(opts, &model, &space)?;
+            let mut table = TextTable::new(vec!["layer".into(), "population".into(), "n".into()]);
+            for layer in 0..space.layers() {
+                table.add_row(vec![
+                    format!("L{layer}"),
+                    group_digits(space.layer_subpopulation(layer)?.size()),
+                    group_digits(plan.restricted_to_layer(layer, &space).total_sample()),
+                ]);
+            }
+            writeln!(
+                out,
+                "{} plan for {} (e = {}%, 99% confidence)\n",
+                plan.scheme(),
+                model.name(),
+                opts.error_margin * 100.0
+            )?;
+            write!(out, "{}", table.render())?;
+            writeln!(
+                out,
+                "total: {} of {} faults ({:.2}%)",
+                group_digits(plan.total_sample()),
+                group_digits(plan.total_population()),
+                plan.injected_percent()
+            )?;
+        }
+        Command::Run => {
+            let model = opts.model.build(opts.seed)?;
+            let data = SynthCifarConfig::new()
+                .with_size(opts.model.input_size())
+                .with_samples(opts.images)
+                .with_seed(opts.seed)
+                .generate();
+            let golden = GoldenReference::build(&model, &data)?;
+            let space = FaultSpace::stuck_at(&model);
+            let plan = build_plan(opts, &model, &space)?;
+            writeln!(
+                out,
+                "executing {} campaign: {} faults on {} images...",
+                plan.scheme(),
+                group_digits(plan.total_sample()),
+                opts.images
+            )?;
+            let outcome = execute_plan(
+                &model,
+                &data,
+                &golden,
+                &plan,
+                opts.seed,
+                &CampaignConfig::default(),
+            )?;
+            let mut table = TextTable::new(vec![
+                "layer".into(),
+                "critical %".into(),
+                "± %".into(),
+                "n".into(),
+            ]);
+            for layer in 0..space.layers() {
+                if let Some(est) = outcome.layer_estimate(layer, Confidence::C99) {
+                    table.add_row(vec![
+                        format!("L{layer}"),
+                        format!("{:.3}", est.proportion * 100.0),
+                        format!("{:.3}", est.error_margin * 100.0),
+                        group_digits(est.sample),
+                    ]);
+                }
+            }
+            write!(out, "{}", table.render())?;
+            let net = outcome.network_estimate(Confidence::C99)?;
+            writeln!(
+                out,
+                "network: {:.3}% ± {:.3}% critical ({} injections, {} inferences, {:.1?})",
+                net.proportion * 100.0,
+                net.error_margin * 100.0,
+                group_digits(outcome.injections()),
+                group_digits(outcome.inferences()),
+                outcome.elapsed()
+            )?;
+        }
+        Command::Analyze => {
+            let model = opts.model.build(opts.seed)?;
+            let analysis = WeightBitAnalysis::from_weights(model.store().all_weights())?;
+            let p = data_aware_p(&analysis, &DataAwareConfig::paper_default())?;
+            writeln!(
+                out,
+                "bit analysis of {} ({} weights)\n",
+                model.name(),
+                group_digits(model.store().total_weights() as u64)
+            )?;
+            let mut table = TextTable::new(vec![
+                "bit".into(),
+                "f1 fraction".into(),
+                "D_avg".into(),
+                "p(i)".into(),
+            ]);
+            for bit in (0..32).rev() {
+                table.add_row(vec![
+                    bit.to_string(),
+                    format!("{:.4}", analysis.fraction_one(bit)),
+                    format!("{:.3e}", analysis.d_avg(bit)),
+                    format!("{:.4}", p[bit as usize]),
+                ]);
+            }
+            write!(out, "{}", table.render())?;
+        }
+        Command::Bits => {
+            let model = opts.model.build(opts.seed)?;
+            let data = SynthCifarConfig::new()
+                .with_size(opts.model.input_size())
+                .with_samples(opts.images)
+                .with_seed(opts.seed)
+                .generate();
+            let golden = GoldenReference::build(&model, &data)?;
+            let space = FaultSpace::stuck_at(&model);
+            let spec =
+                SampleSpec { error_margin: opts.error_margin, ..SampleSpec::paper_default() };
+            let plan = plan_data_unaware(&space, &spec);
+            writeln!(
+                out,
+                "data-unaware campaign ({} faults) for the bit ranking...",
+                group_digits(plan.total_sample())
+            )?;
+            let outcome = execute_plan(
+                &model,
+                &data,
+                &golden,
+                &plan,
+                opts.seed,
+                &CampaignConfig::default(),
+            )?;
+            let mut table = TextTable::new(vec![
+                "bit".into(),
+                "critical %".into(),
+                "± %".into(),
+                "n".into(),
+            ]);
+            for v in bit_ranking(&outcome, Confidence::C99) {
+                table.add_row(vec![
+                    v.bit.to_string(),
+                    format!("{:.3}", v.estimate.proportion * 100.0),
+                    format!("{:.3}", v.estimate.error_margin * 100.0),
+                    group_digits(v.estimate.sample),
+                ]);
+            }
+            write!(out, "{}", table.render())?;
+        }
+        Command::Harden => {
+            let model = opts.model.build(opts.seed)?;
+            let data = SynthCifarConfig::new()
+                .with_size(opts.model.input_size())
+                .with_samples(opts.images)
+                .with_seed(opts.seed)
+                .generate();
+            let golden = GoldenReference::build(&model, &data)?;
+            let space = FaultSpace::stuck_at(&model);
+            let spec =
+                SampleSpec { error_margin: opts.error_margin, ..SampleSpec::paper_default() };
+            let plan = plan_layer_wise(&space, &spec);
+            let outcome = execute_plan(
+                &model,
+                &data,
+                &golden,
+                &plan,
+                opts.seed,
+                &CampaignConfig::default(),
+            )?;
+            let full = HardeningConfig::secded32(model.store().total_weights() as u64 * 7);
+            let cfg = HardeningConfig {
+                budget_bits: (full.budget_bits as f64 * opts.budget_frac) as u64,
+                ..full
+            };
+            let protection = plan_protection(&outcome, &space, &cfg, Confidence::C99)?;
+            writeln!(
+                out,
+                "SEC-DED budget: {} of {} check bits ({:.0}%)\n",
+                group_digits(cfg.budget_bits),
+                group_digits(full.budget_bits),
+                opts.budget_frac * 100.0
+            )?;
+            let mut table = TextTable::new(vec![
+                "priority".into(),
+                "layer".into(),
+                "critical %".into(),
+                "cost bits".into(),
+                "protected".into(),
+            ]);
+            for (rank, l) in protection.ranking.iter().enumerate() {
+                table.add_row(vec![
+                    (rank + 1).to_string(),
+                    format!("L{}", l.layer),
+                    format!("{:.3}", l.critical_rate * 100.0),
+                    group_digits(l.cost_bits),
+                    if l.protected { "yes".into() } else { "no".into() },
+                ]);
+            }
+            write!(out, "{}", table.render())?;
+            writeln!(
+                out,
+                "criticality: {:.3}% baseline -> {:.3}% residual ({:.1}% removed)",
+                protection.baseline_rate * 100.0,
+                protection.residual_rate * 100.0,
+                protection.criticality_removed() * 100.0
+            )?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_defaults_to_help() {
+        assert_eq!(parse(&[]).unwrap().command, Command::Help);
+        assert_eq!(parse(&args("help")).unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn parse_full_run_command() {
+        let o = parse(&args(
+            "run --model resnet20-micro --scheme data-aware --error 0.02 --images 8 --seed 7",
+        ))
+        .unwrap();
+        assert_eq!(o.command, Command::Run);
+        assert_eq!(o.model, ModelChoice::Resnet20Micro);
+        assert_eq!(o.scheme, SchemeChoice::DataAware);
+        assert_eq!(o.error_margin, 0.02);
+        assert_eq!(o.images, 8);
+        assert_eq!(o.seed, 7);
+    }
+
+    #[test]
+    fn parse_rejects_bad_tokens() {
+        assert!(parse(&args("frobnicate")).is_err());
+        assert!(parse(&args("run --model teapot")).is_err());
+        assert!(parse(&args("run --scheme magic")).is_err());
+        assert!(parse(&args("run --error two")).is_err());
+        assert!(parse(&args("run --error 1.5")).is_err());
+        assert!(parse(&args("run --images 0")).is_err());
+        assert!(parse(&args("run --images")).is_err());
+        assert!(parse(&args("run --bogus 1")).is_err());
+        assert!(parse(&args("harden --budget-frac 2")).is_err());
+    }
+
+    #[test]
+    fn scheme_aliases() {
+        assert_eq!(SchemeChoice::parse("network").unwrap(), SchemeChoice::NetworkWise);
+        assert_eq!(SchemeChoice::parse("layer").unwrap(), SchemeChoice::LayerWise);
+    }
+
+    #[test]
+    fn help_renders_usage() {
+        let mut buf = Vec::new();
+        run(&CliOptions::default(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("USAGE"));
+        assert!(text.contains("--budget-frac"));
+    }
+
+    #[test]
+    fn plan_command_on_full_resnet() {
+        let opts = parse(&args("plan --model resnet20 --scheme layer-wise --error 0.01")).unwrap();
+        let mut buf = Vec::new();
+        run(&opts, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Paper Table I values appear in the plan output (the natural
+        // layer-11 count of 9,216 makes the total 307,649 instead of the
+        // paper's 307,650, which includes 10 classifier biases there).
+        assert!(text.contains("307,649"), "{text}");
+        assert!(text.contains("10,389"));
+        assert!(text.contains("16,524"));
+    }
+
+    #[test]
+    fn analyze_command_reports_bits() {
+        let opts = parse(&args("analyze --model resnet20-micro")).unwrap();
+        let mut buf = Vec::new();
+        run(&opts, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("f1 fraction"));
+        assert!(text.contains("p(i)"));
+    }
+
+    #[test]
+    fn run_command_small_campaign() {
+        let opts = parse(&args(
+            "run --model resnet20-micro --scheme network-wise --error 0.2 --images 2",
+        ))
+        .unwrap();
+        let mut buf = Vec::new();
+        run(&opts, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("network:"), "{text}");
+    }
+
+    #[test]
+    fn harden_command_produces_plan() {
+        let opts = parse(&args(
+            "harden --model resnet20-micro --error 0.2 --images 2 --budget-frac 0.3",
+        ))
+        .unwrap();
+        let mut buf = Vec::new();
+        run(&opts, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("SEC-DED budget"));
+        assert!(text.contains("residual"));
+    }
+}

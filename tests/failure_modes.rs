@@ -1,0 +1,157 @@
+//! Failure-injection tests: every public error path across the workspace
+//! must fail loudly, with a useful message, and without corrupting state.
+
+use sfi::prelude::*;
+
+fn tiny_model() -> Model {
+    ResNetConfig { base_width: 2, blocks_per_stage: 1, classes: 10, input_size: 8 }
+        .build_seeded(1)
+        .expect("valid config")
+}
+
+#[test]
+fn wrong_input_shapes_are_rejected_with_context() {
+    let model = tiny_model();
+    let err = model.forward(&Tensor::zeros([1, 3, 32, 32])).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("[3, 8, 8]"), "message should name the expected shape: {msg}");
+}
+
+#[test]
+fn campaign_on_mismatched_golden_reference_errors_cleanly() {
+    let model = tiny_model();
+    let data = SynthCifarConfig::new().with_size(8).with_samples(2).generate();
+    let golden = GoldenReference::build(&model, &data).unwrap();
+    // A different topology: its node count differs, so the caches cannot
+    // be reused — incremental campaigns must fail, not misclassify.
+    let other = ResNetConfig { base_width: 2, blocks_per_stage: 2, classes: 10, input_size: 8 }
+        .build_seeded(1)
+        .unwrap();
+    let fault = Fault {
+        site: FaultSite { layer: 0, weight: 0, bit: 30 },
+        model: FaultModel::StuckAt1,
+    };
+    let res = run_campaign(&other, &data, &golden, &[fault], &CampaignConfig::default());
+    assert!(res.is_err(), "foreign cache must be rejected");
+}
+
+#[test]
+fn fault_beyond_model_bounds_is_rejected_mid_campaign() {
+    let model = tiny_model();
+    let data = SynthCifarConfig::new().with_size(8).with_samples(2).generate();
+    let golden = GoldenReference::build(&model, &data).unwrap();
+    let faults = vec![
+        Fault { site: FaultSite { layer: 0, weight: 0, bit: 0 }, model: FaultModel::BitFlip },
+        Fault { site: FaultSite { layer: 99, weight: 0, bit: 0 }, model: FaultModel::BitFlip },
+    ];
+    let before = model.store().clone();
+    assert!(run_campaign(&model, &data, &golden, &faults, &CampaignConfig::default()).is_err());
+    // The input model is never mutated, even on failure.
+    assert_eq!(*model.store(), before);
+}
+
+#[test]
+fn plan_for_different_topology_is_rejected_before_injection() {
+    let model = tiny_model();
+    let data = SynthCifarConfig::new().with_size(8).with_samples(2).generate();
+    let golden = GoldenReference::build(&model, &data).unwrap();
+    let bigger = ResNetConfig::resnet20_micro().build().unwrap();
+    let plan = plan_layer_wise(
+        &FaultSpace::stuck_at(&bigger),
+        &SampleSpec { error_margin: 0.2, ..SampleSpec::paper_default() },
+    );
+    let err = execute_plan(&model, &data, &golden, &plan, 0, &CampaignConfig::default())
+        .unwrap_err();
+    assert!(err.to_string().contains("plan mismatch"), "{err}");
+}
+
+#[test]
+fn oversampling_a_population_is_impossible() {
+    let model = tiny_model();
+    let space = FaultSpace::stuck_at(&model);
+    // Even at the absurd margin the sample never exceeds the population.
+    let spec = SampleSpec { error_margin: 0.0001, ..SampleSpec::paper_default() };
+    let plan = plan_layer_wise(&space, &spec);
+    for s in plan.strata() {
+        assert!(s.sample <= s.population);
+    }
+}
+
+#[test]
+fn nan_poisoned_weights_still_classify_deterministically() {
+    // A model whose weights were corrupted to NaN must not panic — logits
+    // become NaN and the NaN-aware argmax still yields a deterministic
+    // class, so campaigns over already-degenerate models stay total.
+    let mut model = tiny_model();
+    let param = model.weight_layers()[0].param;
+    for v in model.store_mut().get_mut(param).unwrap().tensor.as_mut_slice() {
+        *v = f32::NAN;
+    }
+    let image = Tensor::zeros([1, 3, 8, 8]);
+    let a = model.predict(&image).unwrap();
+    let b = model.predict(&image).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn empty_dataset_is_rejected_everywhere() {
+    let model = tiny_model();
+    let empty = SynthCifarConfig::new().with_size(8).with_samples(0).generate();
+    assert!(GoldenReference::build(&model, &empty).is_err());
+    let data = SynthCifarConfig::new().with_size(8).with_samples(1).generate();
+    let golden = GoldenReference::build(&model, &data).unwrap();
+    assert!(run_campaign(&model, &empty, &golden, &[], &CampaignConfig::default()).is_err());
+}
+
+#[test]
+fn quantized_plan_requires_matching_bit_width() {
+    let model = tiny_model();
+    let space16 = FaultSpace::stuck_at(&model).with_bits(16);
+    // A 32-entry p vector is fine for a 16-bit space (prefix used), but an
+    // 8-entry one is not.
+    let spec = SampleSpec::paper_default();
+    assert!(plan_data_aware_with_p(&space16, &[0.1; 32], &spec).is_ok());
+    assert!(plan_data_aware_with_p(&space16, &[0.1; 8], &spec).is_err());
+}
+
+#[test]
+fn errors_chain_their_sources() {
+    use std::error::Error as _;
+    let model = tiny_model();
+    let data = SynthCifarConfig::new().with_size(8).with_samples(2).generate();
+    let golden = GoldenReference::build(&model, &data).unwrap();
+    let bigger = ResNetConfig::resnet20_micro().build().unwrap();
+    let plan = plan_layer_wise(
+        &FaultSpace::stuck_at(&bigger),
+        &SampleSpec { error_margin: 0.2, ..SampleSpec::paper_default() },
+    );
+    let err = execute_plan(&model, &data, &golden, &plan, 0, &CampaignConfig::default())
+        .unwrap_err();
+    // Either a self-contained message or a chained source — never a bare
+    // unprintable error.
+    assert!(!err.to_string().is_empty());
+    let _ = err.source(); // must not panic
+}
+
+#[test]
+fn adaptive_sampler_rejects_impossible_margins_gracefully() {
+    let model = tiny_model();
+    let data = SynthCifarConfig::new().with_size(8).with_samples(1).generate();
+    let golden = GoldenReference::build(&model, &data).unwrap();
+    let subpop = FaultSpace::stuck_at(&model).bit_subpopulation(0, 3).unwrap();
+    // Margin so tight the tiny population cannot reach it by sampling: the
+    // sampler runs to a census and reports convergence-by-exhaustion.
+    let cfg = AdaptiveConfig { target_margin: 1e-12, ..AdaptiveConfig::new(0.01) };
+    let out = run_adaptive(
+        &model,
+        &data,
+        &golden,
+        &subpop,
+        &cfg,
+        1,
+        &CampaignConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(out.result.sample, subpop.size());
+    assert!(out.converged);
+}

@@ -1,0 +1,138 @@
+//! Regression tests pinning every *arithmetically exact* number of the
+//! paper's Tables I and II — the sample-size columns are pure Eq. 1/3
+//! computations on the full-size fault populations, so they must match the
+//! published values digit for digit.
+
+use sfi::prelude::*;
+
+/// Paper Table I. Columns: parameters, exhaustive N, network-wise n,
+/// layer-wise n, data-unaware n. The paper's layer 11 reports 9,226
+/// parameters (it folds in the 10 classifier biases); this table uses the
+/// paper's counts so the derived columns match exactly.
+const TABLE1: [(u64, u64, u64, u64, u64); 20] = [
+    (432, 27_648, 27, 10_389, 26_272),
+    (2_304, 147_456, 143, 14_954, 115_488),
+    (2_304, 147_456, 143, 14_954, 115_488),
+    (2_304, 147_456, 143, 14_954, 115_488),
+    (2_304, 147_456, 143, 14_954, 115_488),
+    (2_304, 147_456, 143, 14_954, 115_488),
+    (2_304, 147_456, 143, 14_954, 115_488),
+    (4_608, 294_912, 285, 15_752, 189_792),
+    (9_216, 589_824, 571, 16_184, 279_872),
+    (9_216, 589_824, 571, 16_184, 279_872),
+    (9_216, 589_824, 571, 16_184, 279_872),
+    (9_226, 590_464, 572, 16_185, 280_000),
+    (9_216, 589_824, 571, 16_184, 279_872),
+    (18_432, 1_179_648, 1_142, 16_410, 366_912),
+    (36_864, 2_359_296, 2_284, 16_524, 434_464),
+    (36_864, 2_359_296, 2_284, 16_524, 434_464),
+    (36_864, 2_359_296, 2_284, 16_524, 434_464),
+    (36_864, 2_359_296, 2_284, 16_524, 434_464),
+    (36_864, 2_359_296, 2_284, 16_524, 434_464),
+    (640, 40_960, 40, 11_834, 38_048),
+];
+
+fn paper_space() -> FaultSpace {
+    FaultSpace::from_layer_weights(TABLE1.iter().map(|r| r.0).collect())
+}
+
+#[test]
+fn table1_exhaustive_column() {
+    for (i, row) in TABLE1.iter().enumerate() {
+        assert_eq!(row.0 * 64, row.1, "layer {i} exhaustive population");
+    }
+    let total: u64 = TABLE1.iter().map(|r| r.1).sum();
+    assert_eq!(total, 17_174_144, "paper total exhaustive faults");
+}
+
+#[test]
+fn table1_network_wise_column() {
+    let space = paper_space();
+    let plan = plan_network_wise(&space, &SampleSpec::paper_default());
+    assert_eq!(plan.total_sample(), 16_625, "paper network-wise total");
+    let mut total_shares = 0u64;
+    for (layer, row) in TABLE1.iter().enumerate() {
+        let share = plan.restricted_to_layer(layer, &space).total_sample();
+        assert_eq!(share, row.2, "layer {layer} network-wise share");
+        total_shares += share;
+    }
+    // Proportional rounding reproduces the published per-layer shares
+    // exactly; their sum (16,628, also in the paper's own column) differs
+    // from the global 16,625 by per-layer rounding.
+    assert_eq!(total_shares, 16_628);
+}
+
+#[test]
+fn table1_layer_wise_column() {
+    let space = paper_space();
+    let plan = plan_layer_wise(&space, &SampleSpec::paper_default());
+    for (layer, row) in TABLE1.iter().enumerate() {
+        assert_eq!(plan.layer_sample(layer), row.3, "layer {layer} layer-wise n");
+    }
+    let total: u64 = TABLE1.iter().map(|r| r.3).sum();
+    assert_eq!(plan.total_sample(), total);
+    assert_eq!(total, 307_650, "paper layer-wise total");
+}
+
+#[test]
+fn table1_data_unaware_column() {
+    let space = paper_space();
+    let plan = plan_data_unaware(&space, &SampleSpec::paper_default());
+    for (layer, row) in TABLE1.iter().enumerate() {
+        assert_eq!(plan.layer_sample(layer), row.4, "layer {layer} data-unaware n");
+    }
+    assert_eq!(plan.total_sample(), 4_885_760, "paper data-unaware total");
+}
+
+#[test]
+fn table2_mobilenet_totals() {
+    // Paper Table II: 54 layers, 2,203,584 parameters, 141,029,376
+    // exhaustive faults, 16,639 network-wise, 838,988 layer-wise,
+    // 14,894,400 data-unaware.
+    let model = MobileNetV2Config::cifar().build().unwrap();
+    let space = FaultSpace::stuck_at(&model);
+    assert_eq!(space.layers(), 54);
+    assert_eq!(space.total(), 141_029_376);
+    let spec = SampleSpec::paper_default();
+    assert_eq!(plan_network_wise(&space, &spec).total_sample(), 16_639);
+    assert_eq!(plan_layer_wise(&space, &spec).total_sample(), 838_988);
+    assert_eq!(plan_data_unaware(&space, &spec).total_sample(), 14_894_400);
+}
+
+#[test]
+fn table3_injected_percentages() {
+    // Paper Table III derives the injected-% column from Tables I/II.
+    let resnet = paper_space();
+    let spec = SampleSpec::paper_default();
+    let lw = plan_layer_wise(&resnet, &spec);
+    assert!((lw.injected_percent() - 1.79).abs() < 0.01, "{}", lw.injected_percent());
+    let du = plan_data_unaware(&resnet, &spec);
+    assert!((du.injected_percent() - 28.45).abs() < 0.01, "{}", du.injected_percent());
+
+    let model = MobileNetV2Config::cifar().build().unwrap();
+    let mspace = FaultSpace::stuck_at(&model);
+    let mlw = plan_layer_wise(&mspace, &spec);
+    assert!((mlw.injected_percent() - 0.59).abs() < 0.01, "{}", mlw.injected_percent());
+    let mdu = plan_data_unaware(&mspace, &spec);
+    assert!((mdu.injected_percent() - 10.56).abs() < 0.01, "{}", mdu.injected_percent());
+}
+
+#[test]
+fn data_aware_band_matches_paper() {
+    // The data-aware column depends on the golden weight distribution; with
+    // He-initialised weights (see DESIGN.md §2) the totals land in the same
+    // band as the paper's trained weights: 207,837 (1.21%) for ResNet-20
+    // and 778,951 (0.55%) for MobileNetV2.
+    let model = ResNetConfig::resnet20().build_seeded(1).unwrap();
+    let space = FaultSpace::stuck_at(&model);
+    let analysis = WeightBitAnalysis::from_weights(model.store().all_weights()).unwrap();
+    let plan = plan_data_aware(
+        &space,
+        &analysis,
+        &SampleSpec::paper_default(),
+        &DataAwareConfig::paper_default(),
+    )
+    .unwrap();
+    let pct = plan.injected_percent();
+    assert!((0.9..1.6).contains(&pct), "ResNet-20 data-aware {pct}% vs paper 1.21%");
+}
