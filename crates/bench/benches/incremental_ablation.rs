@@ -49,10 +49,7 @@ fn bench_forward(c: &mut Criterion) {
     });
     let cache = setup.model.forward_cached(image).unwrap();
     // Re-running from the deepest weight layer touches only the head.
-    let deep_node = setup
-        .model
-        .node_of_param(setup.model.weight_layers()[19].param)
-        .unwrap();
+    let deep_node = setup.model.node_of_param(setup.model.weight_layers()[19].param).unwrap();
     g.bench_function("resnet20_micro_8x8_from_fc", |b| {
         b.iter(|| setup.model.forward_from(deep_node, &cache).unwrap())
     });

@@ -44,10 +44,8 @@ fn main() {
     println!("        bit 31 (sign) ................................ bit 0 (mantissa LSB)");
     let matrix = layer_bit_matrix(&outcome, Confidence::C99);
     for (layer, row) in matrix.iter().enumerate() {
-        let cells: String = (0..row.len())
-            .rev()
-            .map(|bit| row[bit].map_or('?', |e| cell(e.proportion)))
-            .collect();
+        let cells: String =
+            (0..row.len()).rev().map(|bit| row[bit].map_or('?', |e| cell(e.proportion))).collect();
         println!("L{layer:<2}  {cells}");
     }
 

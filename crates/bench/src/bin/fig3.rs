@@ -9,13 +9,10 @@ use sfi_stats::bit_analysis::WeightBitAnalysis;
 
 fn main() {
     let model = ResNetConfig::resnet20().build_seeded(1).expect("resnet-20 builds");
-    let analysis = WeightBitAnalysis::from_weights(model.store().all_weights())
-        .expect("model has weights");
+    let analysis =
+        WeightBitAnalysis::from_weights(model.store().all_weights()).expect("model has weights");
     let total = analysis.count();
-    println!(
-        "Fig. 3 — f1(i) / f0(i) over the {} ResNet-20 weights",
-        group_digits(total)
-    );
+    println!("Fig. 3 — f1(i) / f0(i) over the {} ResNet-20 weights", group_digits(total));
     println!();
     println!("bit  field     f1(i)        f0(i)        f1 fraction");
     for bit in (0..32).rev() {

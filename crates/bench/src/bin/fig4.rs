@@ -10,8 +10,8 @@ use sfi_nn::Model;
 use sfi_stats::bit_analysis::{data_aware_p, DataAwareConfig, WeightBitAnalysis};
 
 fn show(name: &str, model: &Model) {
-    let analysis = WeightBitAnalysis::from_weights(model.store().all_weights())
-        .expect("model has weights");
+    let analysis =
+        WeightBitAnalysis::from_weights(model.store().all_weights()).expect("model has weights");
     let p = data_aware_p(&analysis, &DataAwareConfig::paper_default())
         .expect("valid data-aware config");
     println!("p(i) for {name}:");

@@ -27,8 +27,8 @@ fn main() {
     let truth = ExhaustiveTruth::build(model, data, &golden, &cfg).expect("exhaustive runs");
 
     let lw_plan = plan_layer_wise(&space, spec);
-    let analysis = WeightBitAnalysis::from_weights(model.store().all_weights())
-        .expect("model has weights");
+    let analysis =
+        WeightBitAnalysis::from_weights(model.store().all_weights()).expect("model has weights");
     let da_plan = plan_data_aware(&space, &analysis, spec, &DataAwareConfig::paper_default())
         .expect("valid data-aware config");
     eprintln!("layer-wise campaign: {} faults...", group_digits(lw_plan.total_sample()));

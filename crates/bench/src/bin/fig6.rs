@@ -26,16 +26,16 @@ fn main() {
     let space = FaultSpace::stuck_at(model);
     let cfg = CampaignConfig::default();
 
-    let (truth, _) = exhaustive_layer(model, data, &golden, &space, 0, &cfg)
-        .expect("layer-0 exhaustive runs");
+    let (truth, _) =
+        exhaustive_layer(model, data, &golden, &space, 0, &cfg).expect("layer-0 exhaustive runs");
     println!(
         "Fig. 6 — layer 0 deep dive (N = {}, exhaustive critical rate = {:.3}%)",
         group_digits(truth.population),
         truth.proportion() * 100.0
     );
 
-    let analysis = WeightBitAnalysis::from_weights(model.store().all_weights())
-        .expect("model has weights");
+    let analysis =
+        WeightBitAnalysis::from_weights(model.store().all_weights()).expect("model has weights");
     let plans: Vec<SfiPlan> = vec![
         plan_network_wise(&space, spec).restricted_to_layer(0, &space),
         plan_layer_wise(&space, spec).restricted_to_layer(0, &space),
@@ -46,19 +46,14 @@ fn main() {
     ];
 
     for plan in plans {
-        println!(
-            "\n{} SFI (n = {} per sample):",
-            plan.scheme(),
-            group_digits(plan.total_sample())
-        );
+        println!("\n{} SFI (n = {} per sample):", plan.scheme(), group_digits(plan.total_sample()));
         println!("sample  critical %  margin %  truth inside?");
         let mut hits = 0;
         for s in 0..SAMPLES {
             let outcome = execute_plan(model, data, &golden, &plan, 1000 + s, &cfg)
                 .expect("campaign executes");
             let est = outcome.layer_estimate(0, Confidence::C99).expect("layer sampled");
-            let inside =
-                (est.proportion - truth.proportion()).abs() <= est.error_margin + 1e-12;
+            let inside = (est.proportion - truth.proportion()).abs() <= est.error_margin + 1e-12;
             hits += u32::from(inside);
             println!(
                 "  S{s}     {:9.3}  {:8.3}  {}",

@@ -30,8 +30,8 @@ fn main() {
     let truth = ExhaustiveTruth::build(model, data, &golden, &cfg).expect("exhaustive runs");
 
     let nw_plan = plan_network_wise(&space, spec);
-    let analysis = WeightBitAnalysis::from_weights(model.store().all_weights())
-        .expect("model has weights");
+    let analysis =
+        WeightBitAnalysis::from_weights(model.store().all_weights()).expect("model has weights");
     let da_plan = plan_data_aware(&space, &analysis, spec, &DataAwareConfig::paper_default())
         .expect("valid data-aware config");
     eprintln!("network-wise: {} faults...", group_digits(nw_plan.total_sample()));

@@ -20,8 +20,7 @@ use sfi_stats::sample_size::SampleSpec;
 fn main() {
     let paper_convention = std::env::args().any(|a| a == "--paper-convention");
     let model = ResNetConfig::resnet20().build_seeded(1).expect("resnet-20 builds");
-    let mut layer_weights: Vec<u64> =
-        model.weight_layers().iter().map(|l| l.len as u64).collect();
+    let mut layer_weights: Vec<u64> = model.weight_layers().iter().map(|l| l.len as u64).collect();
     if paper_convention {
         // The paper's Table I attributes the 10 classifier biases to
         // layer 11 (9,226 instead of 9,216).
@@ -33,8 +32,8 @@ fn main() {
     let nw = plan_network_wise(&space, &spec);
     let lw = plan_layer_wise(&space, &spec);
     let du = plan_data_unaware(&space, &spec);
-    let analysis = WeightBitAnalysis::from_weights(model.store().all_weights())
-        .expect("model has weights");
+    let analysis =
+        WeightBitAnalysis::from_weights(model.store().all_weights()).expect("model has weights");
     let da = plan_data_aware(&space, &analysis, &spec, &DataAwareConfig::paper_default())
         .expect("valid data-aware config");
 

@@ -20,18 +20,14 @@ fn main() {
     let nw = plan_network_wise(&space, &spec);
     let lw = plan_layer_wise(&space, &spec);
     let du = plan_data_unaware(&space, &spec);
-    let analysis = WeightBitAnalysis::from_weights(model.store().all_weights())
-        .expect("model has weights");
+    let analysis =
+        WeightBitAnalysis::from_weights(model.store().all_weights()).expect("model has weights");
     let da = plan_data_aware(&space, &analysis, &spec, &DataAwareConfig::paper_default())
         .expect("valid data-aware config");
 
     println!("Table II — MobileNetV2: Exhaustive vs Statistical FIs (totals, e=1%, 99%)");
     println!();
-    let mut table = TextTable::new(vec![
-        "Quantity".into(),
-        "This repo".into(),
-        "Paper".into(),
-    ]);
+    let mut table = TextTable::new(vec!["Quantity".into(), "This repo".into(), "Paper".into()]);
     let rows: Vec<(&str, u64, u64)> = vec![
         ("Total layers", space.layers() as u64, 54),
         ("Total parameters", model.store().total_weights() as u64, 2_203_584),

@@ -30,14 +30,11 @@ fn run(name: &str, setup: &Setup) {
     let space = FaultSpace::stuck_at(model);
     let cfg = CampaignConfig::default();
 
-    eprintln!(
-        "[{name}] exhaustive campaign over {} faults...",
-        group_digits(space.total())
-    );
+    eprintln!("[{name}] exhaustive campaign over {} faults...", group_digits(space.total()));
     let truth = ExhaustiveTruth::build(model, data, &golden, &cfg).expect("exhaustive runs");
 
-    let analysis = WeightBitAnalysis::from_weights(model.store().all_weights())
-        .expect("model has weights");
+    let analysis =
+        WeightBitAnalysis::from_weights(model.store().all_weights()).expect("model has weights");
     let plans: Vec<SfiPlan> = vec![
         plan_network_wise(&space, spec),
         plan_layer_wise(&space, spec),
@@ -67,17 +64,15 @@ fn run(name: &str, setup: &Setup) {
     ]);
     for plan in plans {
         eprintln!("[{name}] executing {} ({} faults)...", plan.scheme(), plan.total_sample());
-        let outcome = execute_plan(model, data, &golden, &plan, 11, &cfg)
-            .expect("campaign executes");
+        let outcome =
+            execute_plan(model, data, &golden, &plan, 11, &cfg).expect("campaign executes");
         let v = validate_against_exhaustive(&outcome, &truth, Confidence::C99);
         table.add_row(vec![
             plan.scheme().to_string(),
             group_digits(v.injections),
             format!("{:.2}", v.injected_percent),
             format!("{:.3}", v.avg_error_margin * 100.0),
-            v.coverage_non_degenerate()
-                .map(|c| percent(c, 0))
-                .unwrap_or_else(|| "n/a".into()),
+            v.coverage_non_degenerate().map(|c| percent(c, 0)).unwrap_or_else(|| "n/a".into()),
         ]);
     }
     println!("{}", table.render());

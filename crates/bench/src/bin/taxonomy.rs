@@ -34,8 +34,8 @@ fn main() {
         let sub = space.layer_subpopulation(layer).expect("layer in range");
         let faults: Vec<_> = sub.iter().collect();
         eprintln!("layer {layer}: {} faults...", group_digits(sub.size()));
-        let res = run_campaign_detailed(model, data, &golden, &faults, true)
-            .expect("campaign executes");
+        let res =
+            run_campaign_detailed(model, data, &golden, &faults, true).expect("campaign executes");
         let (masked, benign, sdc, due) = res.tally();
         totals.0 += masked;
         totals.1 += benign;

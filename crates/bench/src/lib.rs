@@ -100,10 +100,7 @@ pub fn resnet20_setup(scale: Scale) -> Setup {
             spec: SampleSpec { error_margin: 0.025, ..SampleSpec::paper_default() },
         },
         Scale::Full => Setup {
-            model: ResNetConfig::resnet20()
-                .with_width(4)
-                .build_seeded(42)
-                .expect("valid config"),
+            model: ResNetConfig::resnet20().with_width(4).build_seeded(42).expect("valid config"),
             data: SynthCifarConfig::new().with_samples(8).generate(),
             spec: SampleSpec { error_margin: 0.02, ..SampleSpec::paper_default() },
         },

@@ -45,12 +45,7 @@ impl AdaptiveConfig {
     /// The paper-flavoured default: 1% margin at 99% confidence, starting
     /// with 64-fault rounds.
     pub fn new(target_margin: f64) -> Self {
-        Self {
-            target_margin,
-            confidence: Confidence::C99,
-            initial_chunk: 64,
-            max_total: None,
-        }
+        Self { target_margin, confidence: Confidence::C99, initial_chunk: 64, max_total: None }
     }
 }
 
@@ -165,8 +160,8 @@ pub fn run_adaptive_with<C: Corruption>(
         chunk = chunk.saturating_mul(2);
     }
     let result = StratumResult { population, sample: injected, successes };
-    let converged = result.wilson_half_width(cfg.confidence) <= cfg.target_margin
-        || injected == population;
+    let converged =
+        result.wilson_half_width(cfg.confidence) <= cfg.target_margin || injected == population;
     Ok(AdaptiveOutcome { result, rounds, inferences, converged })
 }
 
@@ -179,10 +174,9 @@ mod tests {
     use sfi_stats::sample_size::{sample_size, SampleSpec};
 
     fn setup() -> (Model, Dataset, GoldenReference) {
-        let model =
-            ResNetConfig { base_width: 2, blocks_per_stage: 1, classes: 10, input_size: 8 }
-                .build_seeded(18)
-                .unwrap();
+        let model = ResNetConfig { base_width: 2, blocks_per_stage: 1, classes: 10, input_size: 8 }
+            .build_seeded(18)
+            .unwrap();
         let data = SynthCifarConfig::new().with_size(8).with_samples(3).generate();
         let golden = GoldenReference::build(&model, &data).unwrap();
         (model, data, golden)
@@ -193,16 +187,9 @@ mod tests {
         let (model, data, golden) = setup();
         let subpop = FaultSpace::stuck_at(&model).layer_subpopulation(4).unwrap();
         let cfg = AdaptiveConfig::new(0.04);
-        let out = run_adaptive(
-            &model,
-            &data,
-            &golden,
-            &subpop,
-            &cfg,
-            3,
-            &CampaignConfig::default(),
-        )
-        .unwrap();
+        let out =
+            run_adaptive(&model, &data, &golden, &subpop, &cfg, 3, &CampaignConfig::default())
+                .unwrap();
         assert!(out.converged);
         assert!(out.achieved_margin(Confidence::C99) <= 0.04 + 1e-12);
         assert!(out.result.sample <= subpop.size());
@@ -230,11 +217,7 @@ mod tests {
             &CampaignConfig::default(),
         )
         .unwrap();
-        assert!(
-            out.result.sample * 2 < fixed,
-            "adaptive {} vs fixed {fixed}",
-            out.result.sample
-        );
+        assert!(out.result.sample * 2 < fixed, "adaptive {} vs fixed {fixed}", out.result.sample);
     }
 
     #[test]
@@ -257,16 +240,9 @@ mod tests {
             max_total: Some(100),
             ..AdaptiveConfig::new(0.01)
         };
-        let out = run_adaptive(
-            &model,
-            &data,
-            &golden,
-            &subpop,
-            &cfg,
-            1,
-            &CampaignConfig::default(),
-        )
-        .unwrap();
+        let out =
+            run_adaptive(&model, &data, &golden, &subpop, &cfg, 1, &CampaignConfig::default())
+                .unwrap();
         assert_eq!(out.result.sample, 100);
         assert!(!out.converged);
     }
@@ -277,16 +253,9 @@ mod tests {
         // Bit subpopulation of layer 0: only 108 faults.
         let subpop = FaultSpace::stuck_at(&model).bit_subpopulation(0, 5).unwrap();
         let cfg = AdaptiveConfig { target_margin: 1e-9, ..AdaptiveConfig::new(0.01) };
-        let out = run_adaptive(
-            &model,
-            &data,
-            &golden,
-            &subpop,
-            &cfg,
-            1,
-            &CampaignConfig::default(),
-        )
-        .unwrap();
+        let out =
+            run_adaptive(&model, &data, &golden, &subpop, &cfg, 1, &CampaignConfig::default())
+                .unwrap();
         assert_eq!(out.result.sample, subpop.size());
         assert!(out.converged, "a census is exact by definition");
     }

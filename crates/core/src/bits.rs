@@ -106,8 +106,7 @@ pub fn layer_bit_matrix(
     let mut matrix = vec![vec![None; max_bit + 1]; max_layer + 1];
     for s in outcome.strata() {
         if let (Some(l), Some(b)) = (s.stratum.layer, s.stratum.bit) {
-            matrix[l][b as usize] =
-                stratified_estimate(&[s.result], confidence).ok();
+            matrix[l][b as usize] = stratified_estimate(&[s.result], confidence).ok();
         }
     }
     matrix
@@ -126,19 +125,15 @@ mod tests {
     use sfi_stats::sample_size::SampleSpec;
 
     fn outcome(bitwise: bool) -> SfiOutcome {
-        let model =
-            ResNetConfig { base_width: 2, blocks_per_stage: 1, classes: 10, input_size: 8 }
-                .build_seeded(6)
-                .unwrap();
+        let model = ResNetConfig { base_width: 2, blocks_per_stage: 1, classes: 10, input_size: 8 }
+            .build_seeded(6)
+            .unwrap();
         let data = SynthCifarConfig::new().with_size(8).with_samples(2).generate();
         let golden = GoldenReference::build(&model, &data).unwrap();
         let space = FaultSpace::stuck_at(&model);
         let spec = SampleSpec { error_margin: 0.2, ..SampleSpec::paper_default() };
-        let plan = if bitwise {
-            plan_data_unaware(&space, &spec)
-        } else {
-            plan_layer_wise(&space, &spec)
-        };
+        let plan =
+            if bitwise { plan_data_unaware(&space, &spec) } else { plan_layer_wise(&space, &spec) };
         execute_plan(&model, &data, &golden, &plan, 8, &CampaignConfig::default()).unwrap()
     }
 

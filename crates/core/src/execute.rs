@@ -7,9 +7,9 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use sfi_dataset::Dataset;
-use sfi_faultsim::campaign::{
-    run_campaign_with, CampaignConfig, Corruption, FaultClass, Ieee754Corruption,
-};
+use sfi_faultsim::campaign::{CampaignConfig, Corruption, FaultClass, Ieee754Corruption};
+use sfi_faultsim::executor::{with_executor, CampaignTelemetry};
+use sfi_faultsim::fault::Fault;
 use sfi_faultsim::golden::GoldenReference;
 use sfi_faultsim::population::{FaultSpace, Subpopulation};
 use sfi_nn::Model;
@@ -42,11 +42,32 @@ pub struct LayerTally {
     pub successes: u64,
 }
 
+/// Live progress of a plan execution, delivered to the observer of
+/// [`execute_plan_observed`] after every classified fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanProgress {
+    /// Index of the stratum currently executing (plan order).
+    pub stratum: usize,
+    /// Total strata in the plan.
+    pub strata: usize,
+    /// Faults classified within the current stratum.
+    pub completed: u64,
+    /// Faults planned for the current stratum.
+    pub total: u64,
+    /// Faults classified across the whole plan so far.
+    pub plan_completed: u64,
+    /// Faults planned across the whole plan.
+    pub plan_total: u64,
+    /// Single-image inferences executed across the whole plan so far.
+    pub inferences: u64,
+}
+
 /// Complete outcome of executing an SFI plan.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SfiOutcome {
     scheme: SchemeKind,
     strata: Vec<StratumOutcome>,
+    stratum_telemetry: Vec<CampaignTelemetry>,
     layer_tallies: Vec<LayerTally>,
     layer_populations: Vec<u64>,
     injections: u64,
@@ -120,17 +141,19 @@ impl SfiOutcome {
         // Network-wise fallback: per-layer tally with the layer population.
         let tally = self.layer_tallies.iter().find(|t| t.layer == layer)?;
         let population = *self.layer_populations.get(layer)?;
-        let result = StratumResult {
-            population,
-            sample: tally.sample,
-            successes: tally.successes,
-        };
+        let result = StratumResult { population, sample: tally.sample, successes: tally.successes };
         stratified_estimate(&[result], confidence).ok()
     }
 
     /// Per-layer raw tallies (every scheme records them).
     pub fn layer_tallies(&self) -> &[LayerTally] {
         &self.layer_tallies
+    }
+
+    /// Per-stratum telemetry (wall time, inference counts, class tallies),
+    /// aligned with [`strata`](Self::strata).
+    pub fn stratum_telemetry(&self) -> &[CampaignTelemetry] {
+        &self.stratum_telemetry
     }
 }
 
@@ -205,11 +228,45 @@ pub fn execute_plan_in_space<C: Corruption>(
     campaign_cfg: &CampaignConfig,
     corruption: &C,
 ) -> Result<SfiOutcome, SfiError> {
+    execute_plan_observed(
+        model,
+        data,
+        golden,
+        plan,
+        space,
+        seed,
+        campaign_cfg,
+        corruption,
+        &mut |_| {},
+    )
+}
+
+/// [`execute_plan_in_space`] with a progress observer, called after every
+/// classified fault with plan-wide completion and inference counts.
+///
+/// All strata are sampled up front, then executed against **one** worker
+/// pool ([`with_executor`]): each worker's model clone is built once and
+/// amortised across the entire plan instead of once per stratum.
+///
+/// # Errors
+///
+/// Same conditions as [`execute_plan`].
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan_observed<C: Corruption>(
+    model: &Model,
+    data: &Dataset,
+    golden: &GoldenReference,
+    plan: &SfiPlan,
+    space: &FaultSpace,
+    seed: u64,
+    campaign_cfg: &CampaignConfig,
+    corruption: &C,
+    progress: &mut dyn FnMut(PlanProgress),
+) -> Result<SfiOutcome, SfiError> {
     let start = Instant::now();
-    let mut strata = Vec::with_capacity(plan.strata().len());
-    let mut layer_counts: Vec<(u64, u64)> = vec![(0, 0); space.layers()];
-    let mut injections = 0u64;
-    let mut inferences = 0u64;
+    // Phase 1 — resolve and sample every stratum (plan/sampling errors
+    // surface before any worker is spawned).
+    let mut sampled: Vec<Vec<Fault>> = Vec::with_capacity(plan.strata().len());
     for (idx, stratum) in plan.strata().iter().enumerate() {
         let subpop = resolve(space, stratum)?;
         if subpop.size() != stratum.population {
@@ -221,10 +278,43 @@ pub fn execute_plan_in_space<C: Corruption>(
                 ),
             });
         }
-        let mut rng = StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
         let indices = sample_without_replacement(subpop.size(), stratum.sample, &mut rng)?;
-        let faults = subpop.faults_at(&indices)?;
-        let result = run_campaign_with(model, data, golden, &faults, campaign_cfg, corruption)?;
+        sampled.push(subpop.faults_at(&indices)?);
+    }
+    // Phase 2 — one executor session across all strata.
+    let n_strata = sampled.len();
+    let plan_total: u64 = sampled.iter().map(|f| f.len() as u64).sum();
+    let results = with_executor(model, data, golden, campaign_cfg, corruption, |exec| {
+        let mut results = Vec::with_capacity(n_strata);
+        let mut done_before = 0u64;
+        let mut inferences_before = 0u64;
+        for (idx, faults) in sampled.iter().enumerate() {
+            let result = exec.run_observed(faults, &mut |p| {
+                progress(PlanProgress {
+                    stratum: idx,
+                    strata: n_strata,
+                    completed: p.completed,
+                    total: p.total,
+                    plan_completed: done_before + p.completed,
+                    plan_total,
+                    inferences: inferences_before + p.inferences,
+                })
+            })?;
+            done_before += result.injections;
+            inferences_before += result.inferences;
+            results.push(result);
+        }
+        Ok(results)
+    })?;
+    // Phase 3 — assemble outcomes, tallies, and telemetry.
+    let mut strata = Vec::with_capacity(n_strata);
+    let mut stratum_telemetry = Vec::with_capacity(n_strata);
+    let mut layer_counts: Vec<(u64, u64)> = vec![(0, 0); space.layers()];
+    let mut injections = 0u64;
+    let mut inferences = 0u64;
+    for ((stratum, faults), result) in plan.strata().iter().zip(&sampled).zip(&results) {
         injections += result.injections;
         inferences += result.inferences;
         for (fault, class) in faults.iter().zip(&result.classes) {
@@ -234,6 +324,7 @@ pub fn execute_plan_in_space<C: Corruption>(
                 entry.1 += 1;
             }
         }
+        stratum_telemetry.push(CampaignTelemetry::from_result(result));
         strata.push(StratumOutcome {
             stratum: *stratum,
             result: StratumResult {
@@ -255,6 +346,7 @@ pub fn execute_plan_in_space<C: Corruption>(
     Ok(SfiOutcome {
         scheme: plan.scheme(),
         strata,
+        stratum_telemetry,
         layer_tallies,
         layer_populations,
         injections,
@@ -326,8 +418,8 @@ mod tests {
         // campaign gives the same layer, which is why the paper calls
         // per-layer readings of a network-wise SFI statistically invalid.
         let lw_plan = plan_layer_wise(&space, &loose_spec());
-        let lw = execute_plan(&model, &data, &golden, &lw_plan, 2, &CampaignConfig::default())
-            .unwrap();
+        let lw =
+            execute_plan(&model, &data, &golden, &lw_plan, 2, &CampaignConfig::default()).unwrap();
         let lw_est = lw.layer_estimate(14, Confidence::C99).unwrap();
         assert!(
             est.sample * 4 < lw_est.sample,
@@ -377,6 +469,77 @@ mod tests {
         assert_eq!(outcome.strata().len(), 32);
         let est = outcome.layer_estimate(0, Confidence::C99).unwrap();
         assert!(est.sample > 0);
+    }
+
+    #[test]
+    fn telemetry_sums_match_outcome_totals() {
+        let (model, data, golden, space) = setup();
+        let plan = plan_layer_wise(&space, &loose_spec());
+        let outcome =
+            execute_plan(&model, &data, &golden, &plan, 9, &CampaignConfig::default()).unwrap();
+        let telemetry = outcome.stratum_telemetry();
+        assert_eq!(telemetry.len(), outcome.strata().len());
+        let inferences: u64 = telemetry.iter().map(|t| t.inferences).sum();
+        assert_eq!(inferences, outcome.inferences());
+        let injections: u64 = telemetry.iter().map(|t| t.injections).sum();
+        assert_eq!(injections, outcome.injections());
+        for (t, s) in telemetry.iter().zip(outcome.strata()) {
+            assert_eq!(t.injections, s.result.sample);
+            assert_eq!(t.critical, s.result.successes);
+            assert_eq!(t.masked + t.critical + t.non_critical, t.injections);
+        }
+    }
+
+    #[test]
+    fn observer_sees_monotone_plan_progress() {
+        let (model, data, golden, space) = setup();
+        let plan = plan_layer_wise(&space, &loose_spec());
+        let mut seen: Vec<PlanProgress> = Vec::new();
+        let outcome = execute_plan_observed(
+            &model,
+            &data,
+            &golden,
+            &plan,
+            &space,
+            11,
+            &CampaignConfig::default(),
+            &Ieee754Corruption,
+            &mut |p| seen.push(p),
+        )
+        .unwrap();
+        assert_eq!(seen.len() as u64, outcome.injections(), "one event per fault");
+        for pair in seen.windows(2) {
+            assert_eq!(pair[1].plan_completed, pair[0].plan_completed + 1);
+            assert!(pair[1].inferences >= pair[0].inferences);
+            assert!(pair[1].stratum >= pair[0].stratum);
+        }
+        let last = seen.last().unwrap();
+        assert_eq!(last.plan_completed, last.plan_total);
+        assert_eq!(last.plan_total, outcome.injections());
+        assert_eq!(last.inferences, outcome.inferences());
+        assert_eq!(last.stratum, outcome.strata().len() - 1);
+    }
+
+    #[test]
+    fn observed_execution_matches_unobserved() {
+        let (model, data, golden, space) = setup();
+        let plan = plan_layer_wise(&space, &loose_spec());
+        let cfg = CampaignConfig { workers: 4, ..CampaignConfig::default() };
+        let plain = execute_plan(&model, &data, &golden, &plan, 13, &cfg).unwrap();
+        let observed = execute_plan_observed(
+            &model,
+            &data,
+            &golden,
+            &plan,
+            &space,
+            13,
+            &cfg,
+            &Ieee754Corruption,
+            &mut |_| {},
+        )
+        .unwrap();
+        assert_eq!(plain.strata(), observed.strata());
+        assert_eq!(plain.layer_tallies(), observed.layer_tallies());
     }
 
     #[test]

@@ -196,10 +196,9 @@ mod tests {
     use sfi_stats::sample_size::SampleSpec;
 
     fn outcome_and_space() -> (SfiOutcome, FaultSpace, u64) {
-        let model =
-            ResNetConfig { base_width: 2, blocks_per_stage: 1, classes: 10, input_size: 8 }
-                .build_seeded(3)
-                .unwrap();
+        let model = ResNetConfig { base_width: 2, blocks_per_stage: 1, classes: 10, input_size: 8 }
+            .build_seeded(3)
+            .unwrap();
         let data = SynthCifarConfig::new().with_size(8).with_samples(3).generate();
         let golden = GoldenReference::build(&model, &data).unwrap();
         let space = FaultSpace::stuck_at(&model);

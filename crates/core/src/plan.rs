@@ -91,11 +91,7 @@ impl SfiPlan {
 
     /// Planned injections for one layer (`None` strata excluded).
     pub fn layer_sample(&self, layer: usize) -> u64 {
-        self.strata
-            .iter()
-            .filter(|s| s.layer == Some(layer))
-            .map(|s| s.sample)
-            .sum()
+        self.strata.iter().filter(|s| s.layer == Some(layer)).map(|s| s.sample).sum()
     }
 
     /// Fraction of the population the plan injects, in percent.
@@ -120,15 +116,12 @@ impl SfiPlan {
         match self.scheme {
             SchemeKind::NetworkWise => {
                 let global = &self.strata[0];
-                let layer_pop = space
-                    .layer_subpopulation(layer)
-                    .map(|s| s.size())
-                    .unwrap_or(0);
+                let layer_pop = space.layer_subpopulation(layer).map(|s| s.size()).unwrap_or(0);
                 let share = if global.population == 0 {
                     0
                 } else {
-                    ((global.sample as f64) * layer_pop as f64 / global.population as f64)
-                        .round() as u64
+                    ((global.sample as f64) * layer_pop as f64 / global.population as f64).round()
+                        as u64
                 };
                 SfiPlan {
                     scheme: self.scheme,
@@ -145,12 +138,7 @@ impl SfiPlan {
             _ => SfiPlan {
                 scheme: self.scheme,
                 spec: self.spec,
-                strata: self
-                    .strata
-                    .iter()
-                    .copied()
-                    .filter(|s| s.layer == Some(layer))
-                    .collect(),
+                strata: self.strata.iter().copied().filter(|s| s.layer == Some(layer)).collect(),
             },
         }
     }
@@ -258,9 +246,7 @@ pub fn plan_data_aware_with_p(
         });
     }
     if p[..bits].iter().any(|v| !v.is_finite() || !(0.0..=1.0).contains(v)) {
-        return Err(SfiError::PlanMismatch {
-            reason: "p entries must lie in [0, 1]".into(),
-        });
+        return Err(SfiError::PlanMismatch { reason: "p entries must lie in [0, 1]".into() });
     }
     let strata = bit_strata(space, |bit| p[bit as usize], spec);
     Ok(SfiPlan { scheme: SchemeKind::DataAware, spec: *spec, strata })
@@ -280,11 +266,7 @@ pub fn plan_data_aware_with_p(
 ///
 /// Returns [`SfiError::PlanMismatch`] for a short or out-of-range `p`
 /// vector, or a stats error from the allocation itself.
-pub fn plan_neyman(
-    space: &FaultSpace,
-    p: &[f64],
-    spec: &SampleSpec,
-) -> Result<SfiPlan, SfiError> {
+pub fn plan_neyman(space: &FaultSpace, p: &[f64], spec: &SampleSpec) -> Result<SfiPlan, SfiError> {
     use sfi_stats::allocation::{neyman_allocation, required_total_neyman, StratumSpec};
     let bits = space.bits() as usize;
     if p.len() < bits {
@@ -299,10 +281,8 @@ pub fn plan_neyman(
     let mut coords = Vec::with_capacity(space.layers() * bits);
     for l in 0..space.layers() {
         for bit in 0..bits as u8 {
-            let population = space
-                .bit_subpopulation(l, bit)
-                .expect("indices come from the space itself")
-                .size();
+            let population =
+                space.bit_subpopulation(l, bit).expect("indices come from the space itself").size();
             specs.push(StratumSpec { population, p: p[bit as usize] });
             coords.push((l, bit));
         }
@@ -329,10 +309,8 @@ fn bit_strata(space: &FaultSpace, p_of_bit: impl Fn(u8) -> f64, spec: &SampleSpe
     let mut strata = Vec::with_capacity(space.layers() * bits);
     for l in 0..space.layers() {
         for bit in 0..bits as u8 {
-            let population = space
-                .bit_subpopulation(l, bit)
-                .expect("indices come from the space itself")
-                .size();
+            let population =
+                space.bit_subpopulation(l, bit).expect("indices come from the space itself").size();
             let p = p_of_bit(bit);
             let stratum_spec = spec.with_p(p);
             strata.push(Stratum {
@@ -403,10 +381,7 @@ mod tests {
         // only through layer 11's 10 missing biases.
         let plan = plan_data_unaware(&resnet_space(), &SampleSpec::paper_default());
         let total = plan.total_sample();
-        assert!(
-            (4_880_000..=4_890_000).contains(&total),
-            "total {total} out of expected band"
-        );
+        assert!((4_880_000..=4_890_000).contains(&total), "total {total} out of expected band");
     }
 
     #[test]
@@ -422,8 +397,7 @@ mod tests {
     fn data_aware_shrinks_the_data_unaware_plan() {
         let model = ResNetConfig::resnet20().build_seeded(1).unwrap();
         let space = FaultSpace::stuck_at(&model);
-        let analysis =
-            WeightBitAnalysis::from_weights(model.store().all_weights()).unwrap();
+        let analysis = WeightBitAnalysis::from_weights(model.store().all_weights()).unwrap();
         let spec = SampleSpec::paper_default();
         let unaware = plan_data_unaware(&space, &spec);
         let aware =
@@ -439,8 +413,7 @@ mod tests {
     fn data_aware_keeps_outlier_bit_at_worst_case() {
         let model = ResNetConfig::resnet20_micro().build_seeded(5).unwrap();
         let space = FaultSpace::stuck_at(&model);
-        let analysis =
-            WeightBitAnalysis::from_weights(model.store().all_weights()).unwrap();
+        let analysis = WeightBitAnalysis::from_weights(model.store().all_weights()).unwrap();
         let spec = SampleSpec::paper_default();
         let aware =
             plan_data_aware(&space, &analysis, &spec, &DataAwareConfig::paper_default()).unwrap();
@@ -505,16 +478,14 @@ mod tests {
     fn neyman_plan_is_far_cheaper_than_data_aware() {
         let model = ResNetConfig::resnet20().build_seeded(1).unwrap();
         let space = FaultSpace::stuck_at(&model);
-        let analysis =
-            WeightBitAnalysis::from_weights(model.store().all_weights()).unwrap();
+        let analysis = WeightBitAnalysis::from_weights(model.store().all_weights()).unwrap();
         let p = sfi_stats::bit_analysis::data_aware_p(
             &analysis,
             &sfi_stats::bit_analysis::DataAwareConfig::paper_default(),
         )
         .unwrap();
         let spec = SampleSpec::paper_default();
-        let aware =
-            plan_data_aware(&space, &analysis, &spec, &Default::default()).unwrap();
+        let aware = plan_data_aware(&space, &analysis, &spec, &Default::default()).unwrap();
         let neyman = plan_neyman(&space, &p, &spec).unwrap();
         assert_eq!(neyman.scheme(), SchemeKind::Neyman);
         assert_eq!(neyman.total_population(), aware.total_population());
@@ -527,12 +498,8 @@ mod tests {
             aware.total_sample()
         );
         // Allocation concentrates on the worst-case bit 30 strata.
-        let bit30: u64 = neyman
-            .strata()
-            .iter()
-            .filter(|s| s.bit == Some(30))
-            .map(|s| s.sample)
-            .sum();
+        let bit30: u64 =
+            neyman.strata().iter().filter(|s| s.bit == Some(30)).map(|s| s.sample).sum();
         // Bit 30 holds 1/32 of the population but √(pq) weighting hands it
         // roughly a third of the budget — an order of magnitude more than
         // its population share.

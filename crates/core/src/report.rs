@@ -167,6 +167,49 @@ pub fn outcome_to_csv(
     to_csv(&rows)
 }
 
+/// Renders an executed outcome's per-stratum telemetry as a text table:
+/// one row per stratum (layer/bit labels, injections, inferences, class
+/// tallies, wall time, throughput) plus a totals row.
+pub fn telemetry_report(outcome: &crate::execute::SfiOutcome) -> String {
+    let mut t = TextTable::new(vec![
+        "stratum".into(),
+        "injections".into(),
+        "masked".into(),
+        "critical".into(),
+        "inferences".into(),
+        "wall [ms]".into(),
+        "inf/s".into(),
+    ]);
+    for (s, tel) in outcome.strata().iter().zip(outcome.stratum_telemetry()) {
+        let label = match (s.stratum.layer, s.stratum.bit) {
+            (None, _) => "network".to_string(),
+            (Some(l), None) => format!("L{l}"),
+            (Some(l), Some(b)) => format!("L{l}/b{b}"),
+        };
+        t.add_row(vec![
+            label,
+            group_digits(tel.injections),
+            group_digits(tel.masked),
+            group_digits(tel.critical),
+            group_digits(tel.inferences),
+            format!("{:.1}", tel.wall.as_secs_f64() * 1e3),
+            format!("{:.0}", tel.inferences_per_second()),
+        ]);
+    }
+    let total_wall: f64 = outcome.stratum_telemetry().iter().map(|t| t.wall.as_secs_f64()).sum();
+    let rate = if total_wall > 0.0 { outcome.inferences() as f64 / total_wall } else { 0.0 };
+    t.add_row(vec![
+        "total".into(),
+        group_digits(outcome.injections()),
+        group_digits(outcome.stratum_telemetry().iter().map(|t| t.masked).sum()),
+        group_digits(outcome.stratum_telemetry().iter().map(|t| t.critical).sum()),
+        group_digits(outcome.inferences()),
+        format!("{:.1}", total_wall * 1e3),
+        format!("{rate:.0}"),
+    ]);
+    t.render()
+}
+
 /// Renders an ASCII bar of `width` cells for `value` in `[0, max]` —
 /// used by the figure-regeneration binaries to sketch the paper's charts in
 /// a terminal.
@@ -237,10 +280,8 @@ mod tests {
 
     #[test]
     fn to_csv_round_trips_simple_rows() {
-        let rows = vec![
-            vec!["a".to_string(), "b".to_string()],
-            vec!["1,5".to_string(), "2".to_string()],
-        ];
+        let rows =
+            vec![vec!["a".to_string(), "b".to_string()], vec!["1,5".to_string(), "2".to_string()]];
         assert_eq!(to_csv(&rows), "a,b\n\"1,5\",2\n");
     }
 
@@ -256,10 +297,9 @@ mod tests {
         use sfi_stats::confidence::Confidence;
         use sfi_stats::sample_size::SampleSpec;
 
-        let model =
-            ResNetConfig { base_width: 2, blocks_per_stage: 1, classes: 10, input_size: 8 }
-                .build_seeded(2)
-                .unwrap();
+        let model = ResNetConfig { base_width: 2, blocks_per_stage: 1, classes: 10, input_size: 8 }
+            .build_seeded(2)
+            .unwrap();
         let data = SynthCifarConfig::new().with_size(8).with_samples(2).generate();
         let golden = GoldenReference::build(&model, &data).unwrap();
         let space = FaultSpace::stuck_at(&model);
@@ -271,6 +311,35 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "layer,population,sample,successes,critical_rate,error_margin");
         assert_eq!(lines.len(), 1 + space.layers());
+    }
+
+    #[test]
+    fn telemetry_report_has_stratum_and_total_rows() {
+        use crate::execute::execute_plan;
+        use crate::plan::plan_layer_wise;
+        use sfi_dataset::SynthCifarConfig;
+        use sfi_faultsim::campaign::CampaignConfig;
+        use sfi_faultsim::golden::GoldenReference;
+        use sfi_faultsim::population::FaultSpace;
+        use sfi_nn::resnet::ResNetConfig;
+        use sfi_stats::sample_size::SampleSpec;
+
+        let model = ResNetConfig { base_width: 2, blocks_per_stage: 1, classes: 10, input_size: 8 }
+            .build_seeded(2)
+            .unwrap();
+        let data = SynthCifarConfig::new().with_size(8).with_samples(2).generate();
+        let golden = GoldenReference::build(&model, &data).unwrap();
+        let space = FaultSpace::stuck_at(&model);
+        let spec = SampleSpec { error_margin: 0.25, ..SampleSpec::paper_default() };
+        let plan = plan_layer_wise(&space, &spec);
+        let outcome =
+            execute_plan(&model, &data, &golden, &plan, 1, &CampaignConfig::default()).unwrap();
+        let report = telemetry_report(&outcome);
+        let lines: Vec<&str> = report.lines().collect();
+        // Header + separator + one row per stratum + totals.
+        assert_eq!(lines.len(), 2 + space.layers() + 1);
+        assert!(lines[2].starts_with("L0"));
+        assert!(lines.last().unwrap().starts_with("total"));
     }
 
     #[test]

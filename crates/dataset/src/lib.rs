@@ -408,11 +408,7 @@ mod tests {
         let flipped = aug.image(3);
         for h in 0..8 {
             for w in 0..8 {
-                assert_eq!(
-                    flipped.get([0, 1, h, w]),
-                    original.get([0, 1, h, 7 - w]),
-                    "({h},{w})"
-                );
+                assert_eq!(flipped.get([0, 1, h, w]), original.get([0, 1, h, 7 - w]), "({h},{w})");
             }
         }
         // Double flip is the identity.
@@ -429,8 +425,7 @@ mod tests {
         let golden = golden_predictions(&model, &data).unwrap();
         assert_eq!(golden.len(), 6);
         // Golden predictions are self-consistent with evaluate's counting.
-        let correct =
-            golden.iter().enumerate().filter(|&(i, &p)| p == data.label(i)).count();
+        let correct = golden.iter().enumerate().filter(|&(i, &p)| p == data.label(i)).count();
         assert_eq!(correct, acc.correct);
     }
 

@@ -126,13 +126,9 @@ impl ActivationSpace {
     /// Returns [`FaultSimError::InvalidFault`] for a node without
     /// activations (the input placeholder or an unknown id).
     pub fn node_population(&self, node: NodeId) -> Result<u64, FaultSimError> {
-        let (_, len) = self
-            .node_sizes
-            .iter()
-            .find(|&&(id, _)| id == node)
-            .ok_or_else(|| FaultSimError::InvalidFault {
-                reason: format!("node {node} has no activations"),
-            })?;
+        let (_, len) = self.node_sizes.iter().find(|&&(id, _)| id == node).ok_or_else(|| {
+            FaultSimError::InvalidFault { reason: format!("node {node} has no activations") }
+        })?;
         Ok(*len as u64 * ACT_BITS * self.images as u64)
     }
 
@@ -276,10 +272,9 @@ mod tests {
     use std::collections::HashSet;
 
     fn setup() -> (Model, Dataset, GoldenReference, ActivationSpace) {
-        let model =
-            ResNetConfig { base_width: 2, blocks_per_stage: 1, classes: 10, input_size: 8 }
-                .build_seeded(12)
-                .unwrap();
+        let model = ResNetConfig { base_width: 2, blocks_per_stage: 1, classes: 10, input_size: 8 }
+            .build_seeded(12)
+            .unwrap();
         let data = SynthCifarConfig::new().with_size(8).with_samples(2).generate();
         let golden = GoldenReference::build(&model, &data).unwrap();
         let space = ActivationSpace::build(&model, &data).unwrap();
@@ -345,10 +340,7 @@ mod tests {
         let faults = space.faults_at(&[5, 500, 5000]).unwrap();
         let _ = run_activation_campaign(&model, &data, &golden, &faults).unwrap();
         assert_eq!(*model.store(), store_before);
-        assert_eq!(
-            *golden.cache(0).get(golden.cache(0).len() - 1).unwrap(),
-            golden_logits
-        );
+        assert_eq!(*golden.cache(0).get(golden.cache(0).len() - 1).unwrap(), golden_logits);
     }
 
     #[test]

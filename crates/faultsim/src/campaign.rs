@@ -1,5 +1,10 @@
 //! The campaign runner: inject → re-infer → classify → revert, over a list
 //! of faults, optionally across worker threads.
+//!
+//! [`run_campaign`] / [`run_campaign_with`] are thin wrappers over the
+//! work-stealing [`executor`](crate::executor) — one model clone per worker
+//! and dynamic fault distribution. The historical static-shard scheduler is
+//! kept as [`run_campaign_static`] so benches can measure the difference.
 
 use std::time::{Duration, Instant};
 
@@ -8,9 +13,9 @@ use serde::{Deserialize, Serialize};
 use sfi_dataset::Dataset;
 use sfi_nn::Model;
 
+use crate::executor::{classify_one, needed_for_critical, with_executor};
 use crate::fault::Fault;
 use crate::golden::GoldenReference;
-use crate::injector::{inject_with, revert};
 use crate::FaultSimError;
 
 /// How a fault corrupts a stored weight.
@@ -41,8 +46,7 @@ impl Corruption for Ieee754Corruption {
 /// reference, the natural criterion is whether *any* evaluated image changes
 /// its top-1 class ([`Criterion::AnyMismatch`]). The rate-based variant
 /// generalises this to a tolerance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum Criterion {
     /// Critical iff at least one image's top-1 prediction changes.
     #[default]
@@ -53,7 +57,6 @@ pub enum Criterion {
         threshold: f64,
     },
 }
-
 
 /// Classification outcome of a single injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -83,8 +86,9 @@ pub struct CampaignConfig {
     /// Reuse golden activation caches and re-run inference only from the
     /// faulted layer onwards. Disable to measure the ablation baseline.
     pub incremental: bool,
-    /// Worker threads. `1` runs inline; larger values shard the fault list
-    /// across `crossbeam` scoped threads, each with its own model clone.
+    /// Worker threads. `1` runs inline; larger values spawn a pool of
+    /// scoped threads, each with its own model clone, that steal faults
+    /// from a shared cursor (see [`crate::executor`]).
     pub workers: usize,
     /// Stop evaluating a fault's remaining images as soon as its
     /// classification is decided (always sound for
@@ -194,6 +198,33 @@ pub fn run_campaign_with<C: Corruption>(
     cfg: &CampaignConfig,
     corruption: &C,
 ) -> Result<CampaignResult, FaultSimError> {
+    // Never spawn more workers than faults; the executor's cursor would
+    // leave the excess idle anyway, but their model clones are not free.
+    let cfg = CampaignConfig { workers: cfg.workers.max(1).min(faults.len().max(1)), ..*cfg };
+    with_executor(model, data, golden, &cfg, corruption, |exec| exec.run(faults))
+}
+
+/// Runs a campaign with the historical static-shard scheduler: the fault
+/// list is split into `workers` contiguous chunks up front, one scoped
+/// thread per chunk.
+///
+/// Classifications are identical to [`run_campaign_with`]; only the
+/// schedule differs. Kept as the ablation baseline for the `campaign`
+/// bench — per-fault cost is uneven (masked faults are free, early-exited
+/// critical faults nearly so), so static shards straggle where the
+/// work-stealing executor balances.
+///
+/// # Errors
+///
+/// Same conditions as [`run_campaign`].
+pub fn run_campaign_static<C: Corruption>(
+    model: &Model,
+    data: &Dataset,
+    golden: &GoldenReference,
+    faults: &[Fault],
+    cfg: &CampaignConfig,
+    corruption: &C,
+) -> Result<CampaignResult, FaultSimError> {
     if data.is_empty() || golden.len() == 0 {
         return Err(FaultSimError::EmptyEvalSet);
     }
@@ -205,11 +236,11 @@ pub fn run_campaign_with<C: Corruption>(
     } else {
         let chunk = faults.len().div_ceil(workers);
         let shards: Vec<&[Fault]> = faults.chunks(chunk).collect();
-        let results = crossbeam::thread::scope(|scope| {
+        let results = std::thread::scope(|scope| {
             let handles: Vec<_> = shards
                 .iter()
                 .map(|shard| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut worker_model = model.clone();
                         run_shard(&mut worker_model, data, golden, shard, cfg, corruption)
                     })
@@ -219,8 +250,7 @@ pub fn run_campaign_with<C: Corruption>(
                 .into_iter()
                 .map(|h| h.join().expect("campaign worker must not panic"))
                 .collect::<Vec<_>>()
-        })
-        .expect("campaign scope must not panic");
+        });
         let mut classes = Vec::with_capacity(faults.len());
         let mut inferences = 0u64;
         for r in results {
@@ -247,47 +277,13 @@ fn run_shard<C: Corruption>(
     cfg: &CampaignConfig,
     corruption: &C,
 ) -> Result<(Vec<FaultClass>, u64), FaultSimError> {
-    let total_images = data.len();
-    let needed_for_critical = match cfg.criterion {
-        Criterion::AnyMismatch => 1usize,
-        Criterion::MismatchRate { threshold } => {
-            ((threshold * total_images as f64).floor() as usize + 1).min(total_images)
-        }
-    };
+    let needed = needed_for_critical(cfg, data.len());
     let mut classes = Vec::with_capacity(faults.len());
     let mut inferences = 0u64;
     for fault in faults {
-        let injection = inject_with(model, fault, |f, original| corruption.corrupt(f, original))?;
-        if !injection.is_effective() {
-            classes.push(FaultClass::Masked);
-            // Nothing changed; no need to revert bits that are identical,
-            // but revert anyway to keep the invariant simple.
-            revert(model, &injection);
-            continue;
-        }
-        let mut mismatches = 0usize;
-        for idx in 0..total_images {
-            let logits = if cfg.incremental {
-                model.forward_from(injection.dirty_node, golden.cache(idx))?
-            } else {
-                model.forward(data.image(idx))?
-            };
-            inferences += 1;
-            let pred = logits.argmax().expect("logits are nonempty");
-            if pred != golden.prediction(idx) {
-                mismatches += 1;
-                if cfg.early_exit && mismatches >= needed_for_critical {
-                    break;
-                }
-            }
-        }
-        let class = if mismatches >= needed_for_critical {
-            FaultClass::Critical
-        } else {
-            FaultClass::NonCritical
-        };
+        let (class, cost) = classify_one(model, data, golden, fault, needed, cfg, corruption)?;
         classes.push(class);
-        revert(model, &injection);
+        inferences += cost;
     }
     Ok((classes, inferences))
 }
@@ -447,6 +443,18 @@ mod tests {
         )
         .unwrap();
         assert!(strict.critical() <= any.critical());
+    }
+
+    #[test]
+    fn static_scheduler_matches_work_stealing() {
+        let (model, data, golden) = setup();
+        let faults: Vec<Fault> = (0..30).map(|w| sa1(1, w % 36, (w % 31) as u8)).collect();
+        let cfg = CampaignConfig { workers: 4, ..Default::default() };
+        let stealing = run_campaign(&model, &data, &golden, &faults, &cfg).unwrap();
+        let static_ =
+            run_campaign_static(&model, &data, &golden, &faults, &cfg, &Ieee754Corruption).unwrap();
+        assert_eq!(stealing.classes, static_.classes);
+        assert_eq!(stealing.inferences, static_.inferences);
     }
 
     #[test]

@@ -66,8 +66,7 @@ mod tests {
     #[test]
     fn from_nn_error_preserves_source() {
         use std::error::Error;
-        let e: FaultSimError =
-            NnError::InvalidGraph { reason: "x".into() }.into();
+        let e: FaultSimError = NnError::InvalidGraph { reason: "x".into() }.into();
         assert!(e.source().is_some());
     }
 }

@@ -1,0 +1,616 @@
+//! The persistent work-stealing campaign executor.
+//!
+//! [`run_campaign`](crate::campaign::run_campaign) historically spawned a
+//! fresh thread scope per call and split the fault list into static,
+//! contiguous shards. Both choices waste time at production scale:
+//!
+//! - a plan execution runs one campaign **per stratum** (the paper's
+//!   data-aware plan has 32 strata per layer), so per-call scope spawns and
+//!   per-worker model clones are paid hundreds of times over;
+//! - per-fault cost is wildly uneven — a masked fault costs zero
+//!   inferences, an early-exited critical fault ~1, and a non-critical
+//!   fault the entire evaluation set — so static shards straggle behind
+//!   the unluckiest worker.
+//!
+//! [`with_executor`] fixes both: it spawns one worker pool (one model clone
+//! per worker) that lives for the whole session, and distributes faults
+//! dynamically through an atomic next-fault cursor, so an idle worker
+//! always steals the next undone fault. Workers report `(index, class)`
+//! pairs and the collector writes them into per-fault slots, keeping the
+//! output **byte-identical** to the single-threaded path regardless of
+//! worker count or scheduling order.
+//!
+//! # Example
+//!
+//! ```
+//! use sfi_dataset::SynthCifarConfig;
+//! use sfi_faultsim::campaign::{CampaignConfig, Ieee754Corruption};
+//! use sfi_faultsim::executor::with_executor;
+//! use sfi_faultsim::fault::{Fault, FaultModel, FaultSite};
+//! use sfi_faultsim::golden::GoldenReference;
+//! use sfi_nn::resnet::ResNetConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = ResNetConfig::resnet20_micro().build_seeded(1)?;
+//! let data = SynthCifarConfig::new().with_size(16).with_samples(2).generate();
+//! let golden = GoldenReference::build(&model, &data)?;
+//! let cfg = CampaignConfig { workers: 2, ..CampaignConfig::default() };
+//! let fault = |w| Fault {
+//!     site: FaultSite { layer: 0, weight: w, bit: 30 },
+//!     model: FaultModel::StuckAt1,
+//! };
+//! // One pool serves any number of campaigns (here: two strata).
+//! let (a, b) = with_executor(&model, &data, &golden, &cfg, &Ieee754Corruption, |exec| {
+//!     Ok((exec.run(&[fault(0), fault(1)])?, exec.run(&[fault(2)])?))
+//! })?;
+//! assert_eq!(a.injections, 2);
+//! assert_eq!(b.injections, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use sfi_dataset::Dataset;
+use sfi_nn::Model;
+
+use crate::campaign::{CampaignConfig, CampaignResult, Corruption, Criterion, FaultClass};
+use crate::fault::Fault;
+use crate::golden::GoldenReference;
+use crate::injector::{inject_with, revert};
+use crate::FaultSimError;
+
+/// Progress snapshot delivered to [`CampaignExecutor::run_observed`]
+/// callbacks after every completed fault.
+///
+/// `completed` is strictly monotone over the callbacks of one campaign and
+/// ends at `total`; `inferences` is the running inference count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignProgress {
+    /// Faults classified so far (monotone, final value == `total`).
+    pub completed: u64,
+    /// Faults in this campaign.
+    pub total: u64,
+    /// Single-image inferences executed so far.
+    pub inferences: u64,
+}
+
+/// Wall-clock and workload tallies of one campaign (one stratum, in plan
+/// executions).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampaignTelemetry {
+    /// Wall-clock duration of the campaign.
+    pub wall: Duration,
+    /// Faults injected.
+    pub injections: u64,
+    /// Single-image inferences executed.
+    pub inferences: u64,
+    /// Faults whose stuck value equalled the stored bit (zero inferences).
+    pub masked: u64,
+    /// Faults that changed at least the criterion's share of predictions.
+    pub critical: u64,
+    /// Effective but harmless faults.
+    pub non_critical: u64,
+}
+
+impl CampaignTelemetry {
+    /// Derives the telemetry of a finished campaign.
+    pub fn from_result(result: &CampaignResult) -> Self {
+        Self {
+            wall: result.elapsed,
+            injections: result.injections,
+            inferences: result.inferences,
+            masked: result.masked(),
+            critical: result.critical(),
+            non_critical: result.injections - result.masked() - result.critical(),
+        }
+    }
+
+    /// Inference throughput; `0.0` for an instantaneous (all-masked or
+    /// empty) campaign.
+    pub fn inferences_per_second(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.inferences as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One unit of pool work: a shared fault list plus the steal cursor.
+struct Batch {
+    faults: Vec<Fault>,
+    next: AtomicUsize,
+}
+
+/// Per-fault worker report: the fault's slot, its classification (or the
+/// first error hit while classifying it), and the inferences it cost.
+type Item = (usize, Result<(FaultClass, u64), FaultSimError>);
+
+/// A batch handed to one worker, with the result lane back to the
+/// collector. Dropping the `results` sender signals batch completion.
+struct Task {
+    batch: Arc<Batch>,
+    needed_for_critical: usize,
+    results: Sender<Item>,
+}
+
+/// A campaign executor bound to one `(model, data, golden, corruption)`
+/// session via [`with_executor`].
+///
+/// With `workers > 1` the executor owns a pool of threads, each holding its
+/// own model clone for the lifetime of the session; [`run`](Self::run) hands
+/// the pool a fault list and the workers steal faults through an atomic
+/// cursor. With `workers == 1` the executor runs inline on a single
+/// persistent clone, which is also the reference behaviour the pooled path
+/// must reproduce bit-for-bit.
+pub struct CampaignExecutor<'a, C: Corruption> {
+    data: &'a Dataset,
+    golden: &'a GoldenReference,
+    cfg: CampaignConfig,
+    corruption: &'a C,
+    mode: Mode,
+}
+
+enum Mode {
+    /// Single persistent model clone, processed on the calling thread.
+    Inline(Box<Model>),
+    /// Worker pool; one task sender per worker thread.
+    Pool(Vec<Sender<Task>>),
+}
+
+/// Runs `f` with a campaign executor whose worker pool (and per-worker
+/// model clones) persists across every [`CampaignExecutor::run`] call made
+/// inside `f` — the cheap way to execute many strata against one model.
+///
+/// `cfg.workers <= 1` runs inline without spawning anything.
+///
+/// # Errors
+///
+/// Returns [`FaultSimError::EmptyEvalSet`] for an empty dataset or golden
+/// reference; otherwise whatever `f` returns.
+pub fn with_executor<C, R, F>(
+    model: &Model,
+    data: &Dataset,
+    golden: &GoldenReference,
+    cfg: &CampaignConfig,
+    corruption: &C,
+    f: F,
+) -> Result<R, FaultSimError>
+where
+    C: Corruption,
+    F: FnOnce(&mut CampaignExecutor<'_, C>) -> Result<R, FaultSimError>,
+{
+    if data.is_empty() || golden.len() == 0 {
+        return Err(FaultSimError::EmptyEvalSet);
+    }
+    let workers = cfg.workers.max(1);
+    if workers == 1 {
+        let mut exec = CampaignExecutor {
+            data,
+            golden,
+            cfg: *cfg,
+            corruption,
+            mode: Mode::Inline(Box::new(model.clone())),
+        };
+        return f(&mut exec);
+    }
+    std::thread::scope(|scope| {
+        let mut senders = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = channel::<Task>();
+            senders.push(tx);
+            let worker_model = model.clone();
+            scope.spawn(move || worker_loop(worker_model, data, golden, cfg, corruption, rx));
+        }
+        let mut exec =
+            CampaignExecutor { data, golden, cfg: *cfg, corruption, mode: Mode::Pool(senders) };
+        let out = f(&mut exec);
+        // Dropping `exec` (and with it the task senders) disconnects every
+        // worker's receiver; the scope then joins the exiting workers.
+        drop(exec);
+        out
+    })
+}
+
+impl<C: Corruption> CampaignExecutor<'_, C> {
+    /// Runs one campaign over `faults`.
+    ///
+    /// Results are in fault order and identical across worker counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first injection or inference error (by fault order).
+    pub fn run(&mut self, faults: &[Fault]) -> Result<CampaignResult, FaultSimError> {
+        self.run_observed(faults, &mut |_| {})
+    }
+
+    /// [`run`](Self::run) with a progress callback, invoked after every
+    /// classified fault with monotonically increasing `completed` counts.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run`](Self::run).
+    pub fn run_observed(
+        &mut self,
+        faults: &[Fault],
+        progress: &mut dyn FnMut(CampaignProgress),
+    ) -> Result<CampaignResult, FaultSimError> {
+        let start = Instant::now();
+        let needed = needed_for_critical(&self.cfg, self.data.len());
+        let total = faults.len() as u64;
+        let mut inferences = 0u64;
+        let classes = match &mut self.mode {
+            Mode::Inline(model) => {
+                let mut classes = Vec::with_capacity(faults.len());
+                for (done, fault) in faults.iter().enumerate() {
+                    let (class, cost) = classify_one(
+                        model,
+                        self.data,
+                        self.golden,
+                        fault,
+                        needed,
+                        &self.cfg,
+                        self.corruption,
+                    )?;
+                    inferences += cost;
+                    classes.push(class);
+                    progress(CampaignProgress { completed: done as u64 + 1, total, inferences });
+                }
+                classes
+            }
+            Mode::Pool(senders) => {
+                let batch = Arc::new(Batch { faults: faults.to_vec(), next: AtomicUsize::new(0) });
+                let (tx, rx) = channel::<Item>();
+                for sender in senders.iter() {
+                    let task = Task {
+                        batch: Arc::clone(&batch),
+                        needed_for_critical: needed,
+                        results: tx.clone(),
+                    };
+                    sender.send(task).expect("campaign workers outlive the session");
+                }
+                drop(tx);
+                // Exactly one item arrives per fault index, in completion
+                // order; slot writes restore fault order deterministically.
+                let mut slots: Vec<Option<FaultClass>> = vec![None; faults.len()];
+                let mut first_error: Option<(usize, FaultSimError)> = None;
+                for done in 0..faults.len() {
+                    let (idx, item) =
+                        rx.recv().expect("campaign workers report every claimed fault");
+                    match item {
+                        Ok((class, cost)) => {
+                            inferences += cost;
+                            slots[idx] = Some(class);
+                        }
+                        Err(e) => {
+                            if first_error.as_ref().is_none_or(|(i, _)| idx < *i) {
+                                first_error = Some((idx, e));
+                            }
+                        }
+                    }
+                    progress(CampaignProgress { completed: done as u64 + 1, total, inferences });
+                }
+                if let Some((_, e)) = first_error {
+                    return Err(e);
+                }
+                slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+            }
+        };
+        Ok(CampaignResult {
+            injections: faults.len() as u64,
+            classes,
+            inferences,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// The session's campaign configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.cfg
+    }
+
+    /// Number of pool workers (1 for the inline mode).
+    pub fn workers(&self) -> usize {
+        match &self.mode {
+            Mode::Inline(_) => 1,
+            Mode::Pool(senders) => senders.len(),
+        }
+    }
+}
+
+/// How many prediction mismatches make a fault critical under `cfg`.
+pub(crate) fn needed_for_critical(cfg: &CampaignConfig, total_images: usize) -> usize {
+    match cfg.criterion {
+        Criterion::AnyMismatch => 1usize,
+        Criterion::MismatchRate { threshold } => {
+            ((threshold * total_images as f64).floor() as usize + 1).min(total_images)
+        }
+    }
+}
+
+/// Injects one fault, classifies it against the golden reference, and
+/// reverts, returning the class and the number of inferences spent.
+pub(crate) fn classify_one<C: Corruption>(
+    model: &mut Model,
+    data: &Dataset,
+    golden: &GoldenReference,
+    fault: &Fault,
+    needed_for_critical: usize,
+    cfg: &CampaignConfig,
+    corruption: &C,
+) -> Result<(FaultClass, u64), FaultSimError> {
+    let injection = inject_with(model, fault, |f, original| corruption.corrupt(f, original))?;
+    if !injection.is_effective() {
+        // Nothing changed; revert anyway to keep the invariant simple.
+        revert(model, &injection);
+        return Ok((FaultClass::Masked, 0));
+    }
+    let mut inferences = 0u64;
+    let mut mismatches = 0usize;
+    let mut outcome: Result<(), FaultSimError> = Ok(());
+    for idx in 0..data.len() {
+        let logits = if cfg.incremental {
+            model.forward_from(injection.dirty_node, golden.cache(idx))
+        } else {
+            model.forward(data.image(idx))
+        };
+        let logits = match logits {
+            Ok(l) => l,
+            Err(e) => {
+                outcome = Err(e.into());
+                break;
+            }
+        };
+        inferences += 1;
+        let pred = logits.argmax().expect("logits are nonempty");
+        if pred != golden.prediction(idx) {
+            mismatches += 1;
+            if cfg.early_exit && mismatches >= needed_for_critical {
+                break;
+            }
+        }
+    }
+    revert(model, &injection);
+    outcome?;
+    let class = if mismatches >= needed_for_critical {
+        FaultClass::Critical
+    } else {
+        FaultClass::NonCritical
+    };
+    Ok((class, inferences))
+}
+
+/// Pool worker: drain tasks until the session's senders are dropped, steal
+/// faults within each task until its cursor runs out.
+fn worker_loop<C: Corruption>(
+    mut model: Model,
+    data: &Dataset,
+    golden: &GoldenReference,
+    cfg: &CampaignConfig,
+    corruption: &C,
+    tasks: Receiver<Task>,
+) {
+    while let Ok(task) = tasks.recv() {
+        loop {
+            let idx = task.batch.next.fetch_add(1, Ordering::Relaxed);
+            let Some(fault) = task.batch.faults.get(idx) else {
+                break;
+            };
+            let item = classify_one(
+                &mut model,
+                data,
+                golden,
+                fault,
+                task.needed_for_critical,
+                cfg,
+                corruption,
+            );
+            if task.results.send((idx, item)).is_err() {
+                // Collector bailed out; nothing left to report.
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, Ieee754Corruption};
+    use crate::fault::{FaultModel, FaultSite};
+    use sfi_dataset::SynthCifarConfig;
+    use sfi_nn::resnet::ResNetConfig;
+
+    fn setup() -> (Model, Dataset, GoldenReference) {
+        let model = ResNetConfig::resnet20_micro().build_seeded(4).unwrap();
+        let data = SynthCifarConfig::new().with_size(16).with_samples(4).generate();
+        let golden = GoldenReference::build(&model, &data).unwrap();
+        (model, data, golden)
+    }
+
+    fn mixed_faults(model: &Model, n: usize) -> Vec<Fault> {
+        let space = crate::population::FaultSpace::stuck_at(model);
+        (0..n)
+            .map(|w| {
+                let layer = w % 3;
+                let count = space.layer_weight_count(layer).unwrap() as usize;
+                Fault {
+                    site: FaultSite { layer, weight: w * 7 % count, bit: (w % 31) as u8 },
+                    model: if w % 2 == 0 { FaultModel::StuckAt1 } else { FaultModel::StuckAt0 },
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pool_matches_inline_bit_for_bit() {
+        let (model, data, golden) = setup();
+        let faults = mixed_faults(&model, 40);
+        let mut results = Vec::new();
+        for workers in [1usize, 2, 4, 8] {
+            let cfg = CampaignConfig { workers, ..CampaignConfig::default() };
+            let res = with_executor(&model, &data, &golden, &cfg, &Ieee754Corruption, |exec| {
+                exec.run(&faults)
+            })
+            .unwrap();
+            results.push(res);
+        }
+        for r in &results[1..] {
+            assert_eq!(r.classes, results[0].classes);
+            assert_eq!(r.inferences, results[0].inferences);
+        }
+    }
+
+    #[test]
+    fn session_pool_survives_multiple_campaigns() {
+        let (model, data, golden) = setup();
+        let cfg = CampaignConfig { workers: 3, ..CampaignConfig::default() };
+        let all = mixed_faults(&model, 30);
+        let (joint, split) =
+            with_executor(&model, &data, &golden, &cfg, &Ieee754Corruption, |exec| {
+                assert_eq!(exec.workers(), 3);
+                let joint = exec.run(&all)?;
+                let first = exec.run(&all[..15])?;
+                let second = exec.run(&all[15..])?;
+                Ok((joint, (first, second)))
+            })
+            .unwrap();
+        let mut stitched = split.0.classes.clone();
+        stitched.extend(split.1.classes.clone());
+        assert_eq!(joint.classes, stitched, "pool state must not leak across campaigns");
+    }
+
+    #[test]
+    fn executor_agrees_with_run_campaign() {
+        let (model, data, golden) = setup();
+        let faults = mixed_faults(&model, 24);
+        let cfg = CampaignConfig { workers: 4, ..CampaignConfig::default() };
+        let via_campaign = run_campaign(&model, &data, &golden, &faults, &cfg).unwrap();
+        let direct = with_executor(&model, &data, &golden, &cfg, &Ieee754Corruption, |exec| {
+            exec.run(&faults)
+        })
+        .unwrap();
+        assert_eq!(via_campaign.classes, direct.classes);
+    }
+
+    #[test]
+    fn progress_is_monotone_and_complete() {
+        let (model, data, golden) = setup();
+        let faults = mixed_faults(&model, 20);
+        for workers in [1usize, 4] {
+            let cfg = CampaignConfig { workers, ..CampaignConfig::default() };
+            let mut seen = Vec::new();
+            with_executor(&model, &data, &golden, &cfg, &Ieee754Corruption, |exec| {
+                exec.run_observed(&faults, &mut |p| seen.push(p))
+            })
+            .unwrap();
+            assert_eq!(seen.len(), faults.len(), "one event per fault ({workers} workers)");
+            for pair in seen.windows(2) {
+                assert!(pair[1].completed == pair[0].completed + 1, "monotone completed");
+                assert!(pair[1].inferences >= pair[0].inferences, "monotone inferences");
+            }
+            let last = seen.last().unwrap();
+            assert_eq!(last.completed, faults.len() as u64);
+            assert_eq!(last.total, faults.len() as u64);
+        }
+    }
+
+    #[test]
+    fn telemetry_tallies_are_consistent() {
+        let (model, data, golden) = setup();
+        // Bit 30 stuck-at-1 on He-init weights: never masked, mostly
+        // critical; stuck-at-0 on the same bit: always masked.
+        let mut faults: Vec<Fault> = (0..10)
+            .map(|w| Fault {
+                site: FaultSite { layer: 0, weight: w, bit: 30 },
+                model: FaultModel::StuckAt1,
+            })
+            .collect();
+        faults.extend((0..5).map(|w| Fault {
+            site: FaultSite { layer: 0, weight: w, bit: 30 },
+            model: FaultModel::StuckAt0,
+        }));
+        let cfg = CampaignConfig::default();
+        let res = run_campaign(&model, &data, &golden, &faults, &cfg).unwrap();
+        let t = CampaignTelemetry::from_result(&res);
+        assert_eq!(t.injections, 15);
+        assert_eq!(t.masked, 5);
+        assert_eq!(t.critical + t.non_critical + t.masked, t.injections);
+        assert_eq!(t.inferences, res.inferences);
+        assert!(t.wall > Duration::ZERO);
+        assert!(t.inferences_per_second() > 0.0);
+    }
+
+    #[test]
+    fn masked_only_campaign_reports_zero_inference_rate() {
+        let (model, data, golden) = setup();
+        let faults: Vec<Fault> = (0..5)
+            .map(|w| Fault {
+                site: FaultSite { layer: 0, weight: w, bit: 30 },
+                model: FaultModel::StuckAt0,
+            })
+            .collect();
+        let res =
+            run_campaign(&model, &data, &golden, &faults, &CampaignConfig::default()).unwrap();
+        let t = CampaignTelemetry::from_result(&res);
+        assert_eq!(t.inferences, 0);
+        assert_eq!(t.masked, 5);
+        assert_eq!(t.inferences_per_second(), 0.0);
+    }
+
+    #[test]
+    fn pool_propagates_first_error_by_fault_order() {
+        let (model, data, golden) = setup();
+        let mut faults = mixed_faults(&model, 10);
+        faults[3] =
+            Fault { site: FaultSite { layer: 99, weight: 0, bit: 0 }, model: FaultModel::StuckAt1 };
+        faults[7] =
+            Fault { site: FaultSite { layer: 98, weight: 0, bit: 0 }, model: FaultModel::StuckAt1 };
+        for workers in [1usize, 4] {
+            let cfg = CampaignConfig { workers, ..CampaignConfig::default() };
+            let err = with_executor(&model, &data, &golden, &cfg, &Ieee754Corruption, |exec| {
+                exec.run(&faults)
+            })
+            .unwrap_err();
+            match err {
+                FaultSimError::InvalidFault { reason } => {
+                    assert!(reason.contains("99"), "{workers} workers: {reason}")
+                }
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_fault_list_is_fine() {
+        let (model, data, golden) = setup();
+        let cfg = CampaignConfig { workers: 4, ..CampaignConfig::default() };
+        let res =
+            with_executor(&model, &data, &golden, &cfg, &Ieee754Corruption, |exec| exec.run(&[]))
+                .unwrap();
+        assert_eq!(res.injections, 0);
+        assert!(res.classes.is_empty());
+    }
+
+    #[test]
+    fn rejects_empty_dataset() {
+        let (model, data, golden) = setup();
+        let empty = data.truncated(0);
+        let out = with_executor(
+            &model,
+            &empty,
+            &golden,
+            &CampaignConfig::default(),
+            &Ieee754Corruption,
+            |exec| exec.run(&[]),
+        );
+        assert!(matches!(out, Err(FaultSimError::EmptyEvalSet)));
+    }
+}

@@ -107,11 +107,7 @@ impl Fault {
 
 impl std::fmt::Display for Fault {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{}@L{}.w{}.b{}",
-            self.model, self.site.layer, self.site.weight, self.site.bit
-        )
+        write!(f, "{}@L{}.w{}.b{}", self.model, self.site.layer, self.site.weight, self.site.bit)
     }
 }
 

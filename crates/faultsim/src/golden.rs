@@ -110,10 +110,7 @@ mod tests {
     fn rejects_empty_dataset() {
         let model = ResNetConfig::resnet20_micro().build_seeded(8).unwrap();
         let data = SynthCifarConfig::new().with_size(16).with_samples(0).generate();
-        assert!(matches!(
-            GoldenReference::build(&model, &data),
-            Err(FaultSimError::EmptyEvalSet)
-        ));
+        assert!(matches!(GoldenReference::build(&model, &data), Err(FaultSimError::EmptyEvalSet)));
     }
 
     #[test]

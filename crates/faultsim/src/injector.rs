@@ -96,11 +96,7 @@ pub fn inject_with(
     let dirty_node = model.node_of_param(param).ok_or_else(|| FaultSimError::InvalidFault {
         reason: format!("parameter {param} is not consumed by any node"),
     })?;
-    let tensor = &mut model
-        .store_mut()
-        .get_mut(param)
-        .expect("weight layer param exists")
-        .tensor;
+    let tensor = &mut model.store_mut().get_mut(param).expect("weight layer param exists").tensor;
     let slot = &mut tensor.as_mut_slice()[fault.site.weight];
     let original = *slot;
     let faulty = corrupt(fault, original);
@@ -158,10 +154,8 @@ mod tests {
     fn masked_stuck_at_detected() {
         let mut m = model();
         // Find a weight with |w| < 2 so bit 30 is 0; stuck-at-0 is masked.
-        let f = Fault {
-            site: FaultSite { layer: 0, weight: 0, bit: 30 },
-            model: FaultModel::StuckAt0,
-        };
+        let f =
+            Fault { site: FaultSite { layer: 0, weight: 0, bit: 30 }, model: FaultModel::StuckAt0 };
         let w = m.store().layer_weights(0).unwrap()[0];
         assert!(w.abs() < 2.0, "He-init weights are small");
         let inj = inject(&mut m, &f).unwrap();
@@ -179,10 +173,8 @@ mod tests {
     #[test]
     fn faulty_value_matches_fault_model() {
         let mut m = model();
-        let f = Fault {
-            site: FaultSite { layer: 2, weight: 7, bit: 31 },
-            model: FaultModel::StuckAt1,
-        };
+        let f =
+            Fault { site: FaultSite { layer: 2, weight: 7, bit: 31 }, model: FaultModel::StuckAt1 };
         let before = m.store().layer_weights(2).unwrap()[7];
         let inj = inject(&mut m, &f).unwrap();
         assert_eq!(inj.faulty, f.apply_to(before));

@@ -15,7 +15,11 @@
 //!   injects each fault, re-runs inference **from the faulted layer
 //!   onwards**, classifies the fault as Critical / Non-critical exactly as
 //!   the paper does (top-1 change against the golden prediction), and
-//!   reverts.
+//!   reverts;
+//! - [`executor`] — the persistent work-stealing worker pool behind the
+//!   campaign runner: one model clone per worker amortised across every
+//!   stratum of a plan, dynamic fault distribution, and per-campaign
+//!   telemetry.
 //!
 //! # Example
 //!
@@ -48,6 +52,7 @@ mod error;
 
 pub mod activation;
 pub mod campaign;
+pub mod executor;
 pub mod fault;
 pub mod golden;
 pub mod injector;

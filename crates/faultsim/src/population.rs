@@ -328,10 +328,7 @@ mod tests {
     fn fault_at_rejects_out_of_range() {
         let s = space();
         let sub = s.bit_subpopulation(0, 0).unwrap();
-        assert!(matches!(
-            sub.fault_at(sub.size()),
-            Err(FaultSimError::IndexOutOfRange { .. })
-        ));
+        assert!(matches!(sub.fault_at(sub.size()), Err(FaultSimError::IndexOutOfRange { .. })));
     }
 
     #[test]

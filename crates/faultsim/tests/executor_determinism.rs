@@ -1,0 +1,99 @@
+//! Property-based determinism suite for the campaign executor: the
+//! classification vector is a pure function of (model, data, faults,
+//! criterion) — never of the schedule. Any worker count, scheduler, and
+//! re-execution strategy must produce identical `classes`.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sfi_dataset::SynthCifarConfig;
+use sfi_faultsim::campaign::{
+    run_campaign, run_campaign_static, CampaignConfig, Ieee754Corruption,
+};
+use sfi_faultsim::executor::with_executor;
+use sfi_faultsim::fault::Fault;
+use sfi_faultsim::golden::GoldenReference;
+use sfi_faultsim::population::FaultSpace;
+
+/// Draws `n` (possibly repeated) faults from the model's full stuck-at
+/// population — repeats are legal campaign inputs and must classify
+/// identically at each occurrence.
+fn random_faults(space: &FaultSpace, seed: u64, n: usize) -> Vec<Fault> {
+    let sub = space.network_subpopulation();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| sub.fault_at(rng.gen_range(0..sub.size())).unwrap()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tentpole invariant: for a random fault subset of reduced-width
+    /// ResNet-20, `classes` (and the per-fault inference cost) are
+    /// identical across workers ∈ {1, 2, 4, 8} × incremental on/off ×
+    /// early-exit on/off, under both schedulers.
+    #[test]
+    fn classes_invariant_across_schedules(
+        fault_seed in 0u64..1_000_000,
+        incremental in any::<bool>(),
+        early_exit in any::<bool>(),
+    ) {
+        let model = sfi_nn::resnet::ResNetConfig::resnet20_micro().build_seeded(3).unwrap();
+        let data = SynthCifarConfig::new().with_size(16).with_samples(3).generate();
+        let golden = GoldenReference::build(&model, &data).unwrap();
+        let space = FaultSpace::stuck_at(&model);
+        let faults = random_faults(&space, fault_seed, 16);
+
+        let reference = run_campaign(
+            &model,
+            &data,
+            &golden,
+            &faults,
+            &CampaignConfig { workers: 1, incremental, early_exit, ..Default::default() },
+        )
+        .unwrap();
+        for workers in [2usize, 4, 8] {
+            let cfg = CampaignConfig { workers, incremental, early_exit, ..Default::default() };
+            let stealing = run_campaign(&model, &data, &golden, &faults, &cfg).unwrap();
+            prop_assert_eq!(
+                &stealing.classes, &reference.classes,
+                "work stealing, workers = {}", workers
+            );
+            prop_assert_eq!(stealing.inferences, reference.inferences);
+            let static_ =
+                run_campaign_static(&model, &data, &golden, &faults, &cfg, &Ieee754Corruption)
+                    .unwrap();
+            prop_assert_eq!(
+                &static_.classes, &reference.classes,
+                "static shards, workers = {}", workers
+            );
+            prop_assert_eq!(static_.inferences, reference.inferences);
+        }
+    }
+
+    /// Splitting one campaign into arbitrary sub-campaigns on a shared
+    /// executor session concatenates to the same classifications — the
+    /// plan-execution pattern (many strata, one pool) in miniature.
+    #[test]
+    fn session_split_is_concatenation(
+        fault_seed in 0u64..1_000_000,
+        split in 1usize..23,
+        workers in 1usize..5,
+    ) {
+        let model = sfi_nn::resnet::ResNetConfig::resnet20_micro().build_seeded(3).unwrap();
+        let data = SynthCifarConfig::new().with_size(16).with_samples(2).generate();
+        let golden = GoldenReference::build(&model, &data).unwrap();
+        let space = FaultSpace::stuck_at(&model);
+        let faults = random_faults(&space, fault_seed, 24);
+        let cfg = CampaignConfig { workers, ..Default::default() };
+
+        let joint = run_campaign(&model, &data, &golden, &faults, &cfg).unwrap();
+        let stitched = with_executor(&model, &data, &golden, &cfg, &Ieee754Corruption, |exec| {
+            let mut classes = exec.run(&faults[..split])?.classes;
+            classes.extend(exec.run(&faults[split..])?.classes);
+            Ok(classes)
+        })
+        .unwrap();
+        prop_assert_eq!(stitched, joint.classes);
+    }
+}

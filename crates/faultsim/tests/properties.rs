@@ -107,7 +107,8 @@ fn campaign_worker_count_invariance() {
     let golden = GoldenReference::build(&model, &data).unwrap();
     let space = FaultSpace::stuck_at(&model);
     let sub = space.network_subpopulation();
-    let faults: Vec<Fault> = (0..sub.size()).step_by(997).map(|i| sub.fault_at(i).unwrap()).collect();
+    let faults: Vec<Fault> =
+        (0..sub.size()).step_by(997).map(|i| sub.fault_at(i).unwrap()).collect();
     let mut reference = None;
     for workers in [1usize, 2, 3, 8] {
         let cfg = CampaignConfig { workers, ..Default::default() };

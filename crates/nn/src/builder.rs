@@ -106,11 +106,8 @@ impl GraphBuilder {
             ParamKind::Weight { layer },
             Tensor::zeros([out_features, in_features]),
         );
-        let bias = self.store.push(
-            format!("{name}.bias"),
-            ParamKind::Bias,
-            Tensor::zeros([out_features]),
-        );
+        let bias =
+            self.store.push(format!("{name}.bias"), ParamKind::Bias, Tensor::zeros([out_features]));
         self.push_node(Node::unary(NodeOp::Linear { weight, bias: Some(bias) }, input))
     }
 

@@ -74,10 +74,7 @@ mod tests {
     #[test]
     fn op_error_exposes_source() {
         use std::error::Error;
-        let err = NnError::Op {
-            node: 3,
-            source: TensorError::Empty { op: "softmax" },
-        };
+        let err = NnError::Op { node: 3, source: TensorError::Empty { op: "softmax" } };
         assert!(err.source().is_some());
         assert!(err.to_string().contains("node 3"));
     }

@@ -232,11 +232,7 @@ mod tests {
     fn residual_blocks_present() {
         // Stage 1 block 1 (24 -> 24, stride 1) must contain an Add node.
         let m = MobileNetV2Config::cifar().build().unwrap();
-        let adds = m
-            .nodes()
-            .iter()
-            .filter(|n| matches!(n.op, crate::NodeOp::Add))
-            .count();
+        let adds = m.nodes().iter().filter(|n| matches!(n.op, crate::NodeOp::Add)).count();
         // Residual blocks: repeats beyond the first in each stage:
         // (1-1)+(2-1)+(3-1)+(4-1)+(3-1)+(3-1)+(1-1) = 10.
         assert_eq!(adds, 10);

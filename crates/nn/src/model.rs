@@ -1,7 +1,7 @@
 use sfi_tensor::ops::{self, BatchNormParams};
 use sfi_tensor::Tensor;
 
-use crate::{Node, NodeId, NnError, ParamId, ParameterStore, WeightLayer};
+use crate::{NnError, Node, NodeId, ParamId, ParameterStore, WeightLayer};
 
 /// Cached per-node activations of one input, produced by
 /// [`Model::forward_cached`] and consumed by [`Model::forward_from`].
@@ -156,8 +156,8 @@ impl Model {
 
     fn check_input(&self, input: &Tensor) -> Result<(), NnError> {
         let dims = input.shape();
-        let ok = dims.rank() == self.input_dims.len() + 1
-            && dims.dims()[1..] == self.input_dims[..];
+        let ok =
+            dims.rank() == self.input_dims.len() + 1 && dims.dims()[1..] == self.input_dims[..];
         if ok {
             Ok(())
         } else {
@@ -168,7 +168,11 @@ impl Model {
         }
     }
 
-    fn eval_node(&self, id: NodeId, value_of: impl Fn(NodeId) -> Tensor) -> Result<Tensor, NnError> {
+    fn eval_node(
+        &self,
+        id: NodeId,
+        value_of: impl Fn(NodeId) -> Tensor,
+    ) -> Result<Tensor, NnError> {
         use crate::NodeOp;
         let node = &self.nodes[id];
         let param = |p: ParamId| &self.store.get(p).expect("validated at construction").tensor;
@@ -415,8 +419,7 @@ impl Model {
                 let w = self.store.get(l.param).expect("layer param exists").tensor.as_slice();
                 let n = w.len() as f64;
                 let mean = w.iter().map(|&v| f64::from(v)).sum::<f64>() / n;
-                let var =
-                    w.iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>() / n;
+                let var = w.iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>() / n;
                 LayerStats {
                     layer: l.layer,
                     mean,
@@ -522,10 +525,7 @@ mod tests {
     #[test]
     fn forward_rejects_wrong_input_shape() {
         let m = tiny_model();
-        assert!(matches!(
-            m.forward(&Tensor::zeros([1, 2, 4, 4])),
-            Err(NnError::InputShape { .. })
-        ));
+        assert!(matches!(m.forward(&Tensor::zeros([1, 2, 4, 4])), Err(NnError::InputShape { .. })));
         assert!(m.forward(&Tensor::zeros([1, 4, 4])).is_err());
     }
 
@@ -654,9 +654,7 @@ mod tests {
         // on the same modified image.
         let mut modified = input.clone();
         modified.as_mut_slice()[5] = 0.0;
-        let patched = m
-            .forward_patched(0, &cache, |t| t.as_mut_slice()[5] = 0.0)
-            .unwrap();
+        let patched = m.forward_patched(0, &cache, |t| t.as_mut_slice()[5] = 0.0).unwrap();
         let direct = m.forward(&modified).unwrap();
         assert!(patched.max_abs_diff(&direct).unwrap() < 1e-6);
     }

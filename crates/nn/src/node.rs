@@ -123,10 +123,8 @@ mod tests {
 
     #[test]
     fn params_of_conv_and_linear() {
-        let conv = Node::unary(
-            NodeOp::Conv { weight: 7, bias: Some(8), cfg: Conv2dCfg::same(1) },
-            0,
-        );
+        let conv =
+            Node::unary(NodeOp::Conv { weight: 7, bias: Some(8), cfg: Conv2dCfg::same(1) }, 0);
         assert_eq!(conv.params(), vec![7, 8]);
         let lin = Node::unary(NodeOp::Linear { weight: 2, bias: None }, 0);
         assert_eq!(lin.params(), vec![2]);
@@ -134,10 +132,8 @@ mod tests {
 
     #[test]
     fn params_of_batch_norm() {
-        let bn = Node::unary(
-            NodeOp::BatchNorm { gamma: 1, beta: 2, mean: 3, var: 4, eps: 1e-5 },
-            0,
-        );
+        let bn =
+            Node::unary(NodeOp::BatchNorm { gamma: 1, beta: 2, mean: 3, var: 4, eps: 1e-5 }, 0);
         assert_eq!(bn.params(), vec![1, 2, 3, 4]);
     }
 

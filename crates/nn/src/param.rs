@@ -170,17 +170,13 @@ impl ParameterStore {
             .iter()
             .find(|p| p.kind == ParamKind::Weight { layer })
             .map(|p| p.tensor.as_slice())
-            .ok_or_else(|| NnError::InvalidParameter {
-                reason: format!("no weight layer {layer}"),
-            })
+            .ok_or_else(|| NnError::InvalidParameter { reason: format!("no weight layer {layer}") })
     }
 
     /// Iterates over every fault-injectable weight value, layer by layer.
     pub fn all_weights(&self) -> impl Iterator<Item = f32> + '_ {
         let layers = self.weight_layers();
-        layers.into_iter().flat_map(move |l| {
-            self.params[l.param].tensor.as_slice().to_vec()
-        })
+        layers.into_iter().flat_map(move |l| self.params[l.param].tensor.as_slice().to_vec())
     }
 }
 

@@ -149,11 +149,8 @@ fn basic_block(
     x = b.relu(x);
     x = b.conv(&format!("{name}.conv2"), x, c_out, c_out, 3, Conv2dCfg::same(1));
     x = b.batch_norm(&format!("{name}.bn2"), x, c_out);
-    let shortcut = if stride != 1 || c_in != c_out {
-        b.downsample_pad(input, c_out, stride)
-    } else {
-        input
-    };
+    let shortcut =
+        if stride != 1 || c_in != c_out { b.downsample_pad(input, c_out, stride) } else { input };
     let sum = b.add(x, shortcut);
     b.relu(sum)
 }

@@ -120,8 +120,7 @@ pub fn backward(
                     let gos = g_out.as_slice();
                     for ni in 0..n {
                         for ci in 0..c {
-                            let sum: f32 =
-                                gos[(ni * c + ci) * h * w..][..h * w].iter().sum();
+                            let sum: f32 = gos[(ni * c + ci) * h * w..][..h * w].iter().sum();
                             gb.as_mut_slice()[ci] += sum;
                         }
                     }
@@ -152,8 +151,7 @@ pub fn backward(
                 accumulate_node(&mut node_grads, node.inputs[0], gx);
             }
             NodeOp::AvgPool { kernel } => {
-                let gx = grad::avg_pool2d_backward(x(0).shape(), *kernel, &g_out)
-                    .map_err(wrap)?;
+                let gx = grad::avg_pool2d_backward(x(0).shape(), *kernel, &g_out).map_err(wrap)?;
                 accumulate_node(&mut node_grads, node.inputs[0], gx);
             }
             NodeOp::MaxPool { kernel } => {
@@ -161,8 +159,7 @@ pub fn backward(
                 accumulate_node(&mut node_grads, node.inputs[0], gx);
             }
             NodeOp::GlobalAvgPool => {
-                let gx =
-                    grad::global_avg_pool_backward(x(0).shape(), &g_out).map_err(wrap)?;
+                let gx = grad::global_avg_pool_backward(x(0).shape(), &g_out).map_err(wrap)?;
                 accumulate_node(&mut node_grads, node.inputs[0], gx);
             }
             NodeOp::Linear { weight, bias } => {
@@ -257,8 +254,7 @@ impl Sgd {
             } else {
                 0.0
             };
-            let velocity = self.velocity[id]
-                .get_or_insert_with(|| vec![0.0; param.tensor.len()]);
+            let velocity = self.velocity[id].get_or_insert_with(|| vec![0.0; param.tensor.len()]);
             for ((w, v), g) in
                 param.tensor.as_mut_slice().iter_mut().zip(velocity.iter_mut()).zip(grad.iter())
             {

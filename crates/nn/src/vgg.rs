@@ -184,9 +184,7 @@ mod tests {
     fn rejects_bad_configs() {
         assert!(VggConfig { stages: vec![], ..VggConfig::vgg11() }.build().is_err());
         assert!(VggConfig { input_size: 24, ..VggConfig::vgg11() }.build().is_err());
-        assert!(VggConfig { stages: vec![(0, 8)], classes: 10, input_size: 8 }
-            .build()
-            .is_err());
+        assert!(VggConfig { stages: vec![(0, 8)], classes: 10, input_size: 8 }.build().is_err());
     }
 
     #[test]

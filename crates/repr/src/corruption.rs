@@ -73,7 +73,8 @@ impl Corruption for FormatCorruption {
             sfi_faultsim::fault::FaultModel::BitFlip => enc ^ mask,
             sfi_faultsim::fault::FaultModel::AdjacentFlip => {
                 // Adjacency is bounded by the format's own MSB.
-                let pair = if u32::from(fault.site.bit) + 1 < bits { mask | (mask << 1) } else { mask };
+                let pair =
+                    if u32::from(fault.site.bit) + 1 < bits { mask | (mask << 1) } else { mask };
                 enc ^ pair
             }
         };

@@ -77,7 +77,9 @@ impl Format {
     pub fn fixed(bits: u8, frac: u8) -> Result<Self, ReprError> {
         if !(2..=32).contains(&bits) || frac >= bits {
             return Err(ReprError::InvalidFormat {
-                reason: format!("fixed point needs 2 <= bits <= 32 and frac < bits, got Q{bits}.{frac}"),
+                reason: format!(
+                    "fixed point needs 2 <= bits <= 32 and frac < bits, got Q{bits}.{frac}"
+                ),
             });
         }
         Ok(Format::Fixed { bits, frac })

@@ -7,7 +7,9 @@ use sfi_faultsim::campaign::{run_campaign_with, CampaignConfig};
 use sfi_faultsim::golden::GoldenReference;
 use sfi_faultsim::population::FaultSpace;
 use sfi_nn::resnet::ResNetConfig;
-use sfi_repr::{data_aware_p_format, quantize_weights, Format, FormatBitAnalysis, FormatCorruption};
+use sfi_repr::{
+    data_aware_p_format, quantize_weights, Format, FormatBitAnalysis, FormatCorruption,
+};
 use sfi_stats::bit_analysis::DataAwareConfig;
 use sfi_stats::confidence::Confidence;
 use sfi_stats::sample_size::SampleSpec;
@@ -33,15 +35,9 @@ fn int8_campaign_produces_sane_classification() {
     let sub = space.layer_subpopulation(0).unwrap();
     let faults: Vec<_> = sub.iter().collect();
     let corruption = FormatCorruption::new(format);
-    let res = run_campaign_with(
-        &model,
-        &data,
-        &golden,
-        &faults,
-        &CampaignConfig::default(),
-        &corruption,
-    )
-    .unwrap();
+    let res =
+        run_campaign_with(&model, &data, &golden, &faults, &CampaignConfig::default(), &corruption)
+            .unwrap();
     assert_eq!(res.injections, sub.size());
     // Exactly half of all stuck-at faults are masked (one polarity per bit
     // always matches the stored value).
@@ -61,16 +57,14 @@ fn quantized_statistical_campaign_brackets_quantized_truth() {
     // Exhaustive truth for layer 4.
     let sub = space.layer_subpopulation(4).unwrap();
     let faults: Vec<_> = sub.iter().collect();
-    let exhaustive =
-        run_campaign_with(&model, &data, &golden, &faults, &cfg, &corruption).unwrap();
+    let exhaustive = run_campaign_with(&model, &data, &golden, &faults, &cfg, &corruption).unwrap();
     let truth = exhaustive.critical_rate();
 
     // Layer-wise statistical estimate at e = 4%.
     let spec = SampleSpec { error_margin: 0.04, ..SampleSpec::paper_default() };
     let plan = plan_layer_wise(&space, &spec).restricted_to_layer(4, &space);
     let outcome =
-        execute_plan_in_space(&model, &data, &golden, &plan, &space, 5, &cfg, &corruption)
-            .unwrap();
+        execute_plan_in_space(&model, &data, &golden, &plan, &space, 5, &cfg, &corruption).unwrap();
     let est = outcome.layer_estimate(4, Confidence::C99).unwrap();
     assert!(
         (est.proportion - truth).abs() <= est.error_margin.max(0.04) + 1e-9,
@@ -88,8 +82,7 @@ fn data_aware_plan_over_f16_space_shrinks_cost() {
     let spec = SampleSpec { error_margin: 0.02, ..SampleSpec::paper_default() };
     let unaware = plan_data_unaware(&space, &spec);
     assert_eq!(unaware.strata().len(), 8 * 16, "8 layers x 16 bits");
-    let analysis =
-        FormatBitAnalysis::from_weights(format, model.store().all_weights()).unwrap();
+    let analysis = FormatBitAnalysis::from_weights(format, model.store().all_weights()).unwrap();
     let p = data_aware_p_format(&analysis, &DataAwareConfig::paper_default()).unwrap();
     let aware = plan_data_aware_with_p(&space, &p, &spec).unwrap();
     assert!(aware.total_sample() < unaware.total_sample());

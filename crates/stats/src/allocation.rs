@@ -47,11 +47,8 @@ fn validate(strata: &[StratumSpec]) -> Result<u64, StatsError> {
 /// Largest-remainder rounding of real allocations to integers summing to
 /// `total`, each capped at its stratum population.
 fn round_allocations(real: &[f64], strata: &[StratumSpec], total: u64) -> Vec<u64> {
-    let mut alloc: Vec<u64> = real
-        .iter()
-        .zip(strata)
-        .map(|(&r, s)| (r.floor() as u64).min(s.population))
-        .collect();
+    let mut alloc: Vec<u64> =
+        real.iter().zip(strata).map(|(&r, s)| (r.floor() as u64).min(s.population)).collect();
     let mut assigned: u64 = alloc.iter().sum();
     // Distribute the remainder by descending fractional part, respecting
     // population caps.
@@ -79,18 +76,13 @@ fn round_allocations(real: &[f64], strata: &[StratumSpec], total: u64) -> Vec<u6
 ///
 /// Returns an error for an empty stratum list, an invalid prior, or a
 /// total exceeding the combined population.
-pub fn proportional_allocation(
-    strata: &[StratumSpec],
-    total: u64,
-) -> Result<Vec<u64>, StatsError> {
+pub fn proportional_allocation(strata: &[StratumSpec], total: u64) -> Result<Vec<u64>, StatsError> {
     let pop = validate(strata)?;
     if total > pop {
         return Err(StatsError::SampleExceedsPopulation { sample: total, population: pop });
     }
-    let real: Vec<f64> = strata
-        .iter()
-        .map(|s| total as f64 * s.population as f64 / pop as f64)
-        .collect();
+    let real: Vec<f64> =
+        strata.iter().map(|s| total as f64 * s.population as f64 / pop as f64).collect();
     Ok(round_allocations(&real, strata, total))
 }
 
@@ -106,10 +98,8 @@ pub fn neyman_allocation(strata: &[StratumSpec], total: u64) -> Result<Vec<u64>,
     if total > pop {
         return Err(StatsError::SampleExceedsPopulation { sample: total, population: pop });
     }
-    let weights: Vec<f64> = strata
-        .iter()
-        .map(|s| s.population as f64 * variance_term(s.p).sqrt())
-        .collect();
+    let weights: Vec<f64> =
+        strata.iter().map(|s| s.population as f64 * variance_term(s.p).sqrt()).collect();
     let sum: f64 = weights.iter().sum();
     if sum == 0.0 {
         return proportional_allocation(strata, total);
@@ -208,10 +198,8 @@ mod tests {
 
     #[test]
     fn degenerate_priors_fall_back_to_proportional() {
-        let degenerate = vec![
-            StratumSpec { population: 100, p: 0.0 },
-            StratumSpec { population: 300, p: 1.0 },
-        ];
+        let degenerate =
+            vec![StratumSpec { population: 100, p: 0.0 }, StratumSpec { population: 300, p: 1.0 }];
         let alloc = neyman_allocation(&degenerate, 40).unwrap();
         assert_eq!(alloc, vec![10, 30]);
     }
@@ -233,16 +221,11 @@ mod tests {
         // The whole-network margin needs far fewer faults under informed
         // priors than under the worst-case p = 0.5 everywhere.
         let informed = strata();
-        let worst: Vec<StratumSpec> = strata()
-            .iter()
-            .map(|s| StratumSpec { p: 0.5, ..*s })
-            .collect();
+        let worst: Vec<StratumSpec> =
+            strata().iter().map(|s| StratumSpec { p: 0.5, ..*s }).collect();
         let n_informed = required_total_neyman(&informed, 0.01, Confidence::C99).unwrap();
         let n_worst = required_total_neyman(&worst, 0.01, Confidence::C99).unwrap();
-        assert!(
-            n_informed * 3 < n_worst,
-            "informed {n_informed} vs worst-case {n_worst}"
-        );
+        assert!(n_informed * 3 < n_worst, "informed {n_informed} vs worst-case {n_worst}");
     }
 
     #[test]

@@ -274,7 +274,9 @@ impl DataAwareConfig {
     /// Returns an error unless `0 ≤ min < max ≤ 0.5` and
     /// `min ≤ p_floor ≤ max`.
     pub fn validate(&self) -> Result<(), StatsError> {
-        if !(self.min.is_finite() && self.max.is_finite()) || self.min < 0.0 || self.max > 0.5
+        if !(self.min.is_finite() && self.max.is_finite())
+            || self.min < 0.0
+            || self.max > 0.5
             || self.min >= self.max
         {
             return Err(StatsError::InvalidParameter {
@@ -285,7 +287,10 @@ impl DataAwareConfig {
         if !self.p_floor.is_finite() || self.p_floor < self.min || self.p_floor > self.max {
             return Err(StatsError::InvalidParameter {
                 name: "p_floor",
-                reason: format!("must lie within [{}, {}], got {}", self.min, self.max, self.p_floor),
+                reason: format!(
+                    "must lie within [{}, {}], got {}",
+                    self.min, self.max, self.p_floor
+                ),
             });
         }
         Ok(())
@@ -507,8 +512,7 @@ mod tests {
         let w2 = vec![-0.125f32, 1.5];
         let mut a = WeightBitAnalysis::from_weights(w1.clone()).unwrap();
         a.merge(&WeightBitAnalysis::from_weights(w2.clone()).unwrap());
-        let joint =
-            WeightBitAnalysis::from_weights(w1.into_iter().chain(w2)).unwrap();
+        let joint = WeightBitAnalysis::from_weights(w1.into_iter().chain(w2)).unwrap();
         assert_eq!(a, joint);
     }
 

@@ -339,8 +339,7 @@ mod tests {
             StratumResult { population: 10_000, sample: 500, successes: 400 },
         ];
         let est = stratified_estimate(&strata, Confidence::C99).unwrap();
-        let worst =
-            strata.iter().map(|s| s.error_margin(Confidence::C99)).fold(0.0f64, f64::max);
+        let worst = strata.iter().map(|s| s.error_margin(Confidence::C99)).fold(0.0f64, f64::max);
         assert!(est.error_margin < worst);
     }
 

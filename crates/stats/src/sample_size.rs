@@ -227,8 +227,7 @@ mod tests {
 
     #[test]
     fn monotone_in_confidence() {
-        let spec95 =
-            SampleSpec { confidence: Confidence::C95, ..SampleSpec::paper_default() };
+        let spec95 = SampleSpec { confidence: Confidence::C95, ..SampleSpec::paper_default() };
         let spec99 = SampleSpec::paper_default();
         assert!(sample_size(1_000_000, &spec95) < sample_size(1_000_000, &spec99));
     }

@@ -35,7 +35,11 @@ pub fn relu6(input: &Tensor) -> Tensor {
 pub fn softmax(input: &Tensor) -> Result<Tensor, TensorError> {
     const OP: &str = "softmax";
     if input.shape().rank() != 2 {
-        return Err(TensorError::RankMismatch { op: OP, expected: 2, actual: input.shape().rank() });
+        return Err(TensorError::RankMismatch {
+            op: OP,
+            expected: 2,
+            actual: input.shape().rank(),
+        });
     }
     let classes = input.shape().dims()[1];
     if classes == 0 {

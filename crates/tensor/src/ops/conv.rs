@@ -82,10 +82,18 @@ fn validate(
 ) -> Result<ConvDims, TensorError> {
     const OP: &str = "conv2d";
     if input.shape().rank() != 4 {
-        return Err(TensorError::RankMismatch { op: OP, expected: 4, actual: input.shape().rank() });
+        return Err(TensorError::RankMismatch {
+            op: OP,
+            expected: 4,
+            actual: input.shape().rank(),
+        });
     }
     if weight.shape().rank() != 4 {
-        return Err(TensorError::RankMismatch { op: OP, expected: 4, actual: weight.shape().rank() });
+        return Err(TensorError::RankMismatch {
+            op: OP,
+            expected: 4,
+            actual: weight.shape().rank(),
+        });
     }
     let (batch, c_in, h_in, w_in) =
         (input.shape().n(), input.shape().c(), input.shape().h(), input.shape().w());
@@ -113,7 +121,10 @@ fn validate(
         });
     }
     if k_h == 0 || k_w == 0 {
-        return Err(TensorError::InvalidConfig { op: OP, reason: "kernel must be nonempty".into() });
+        return Err(TensorError::InvalidConfig {
+            op: OP,
+            reason: "kernel must be nonempty".into(),
+        });
     }
     let pad = cfg.resolve_padding(k_h.max(k_w));
     let h_padded = h_in + 2 * pad;
@@ -121,9 +132,7 @@ fn validate(
     if h_padded < k_h || w_padded < k_w {
         return Err(TensorError::InvalidConfig {
             op: OP,
-            reason: format!(
-                "kernel {k_h}x{k_w} larger than padded input {h_padded}x{w_padded}"
-            ),
+            reason: format!("kernel {k_h}x{k_w} larger than padded input {h_padded}x{w_padded}"),
         });
     }
     if let Some(b) = bias {
@@ -305,8 +314,8 @@ fn im2col_conv(
             }
             // GEMM: weights [c_out_per_group, k_len] x cols [k_len, spatial].
             let w_group = &w_data[g * c_out_per_group * k_len..][..c_out_per_group * k_len];
-            let out_group = &mut out_data
-                [(n * d.c_out + g * c_out_per_group) * spatial..][..c_out_per_group * spatial];
+            let out_group = &mut out_data[(n * d.c_out + g * c_out_per_group) * spatial..]
+                [..c_out_per_group * spatial];
             gemm(c_out_per_group, k_len, spatial, w_group, &cols, out_group);
         }
         if let Some(b) = bias {

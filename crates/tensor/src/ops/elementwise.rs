@@ -44,7 +44,11 @@ pub fn downsample_pad_channels(
 ) -> Result<Tensor, TensorError> {
     const OP: &str = "downsample_pad_channels";
     if input.shape().rank() != 4 {
-        return Err(TensorError::RankMismatch { op: OP, expected: 4, actual: input.shape().rank() });
+        return Err(TensorError::RankMismatch {
+            op: OP,
+            expected: 4,
+            actual: input.shape().rank(),
+        });
     }
     if stride == 0 {
         return Err(TensorError::InvalidConfig { op: OP, reason: "stride must be nonzero".into() });

@@ -77,8 +77,8 @@ pub fn conv2d_backward(
                                 if iw < 0 || iw as usize >= w_in {
                                     continue;
                                 }
-                                let x_idx = ((n * c_in + ci) * h_in + ih as usize) * w_in
-                                    + iw as usize;
+                                let x_idx =
+                                    ((n * c_in + ci) * h_in + ih as usize) * w_in + iw as usize;
                                 let w_idx = ((co * c_in_g + ci_g) * k_h + kh) * k_w + kw;
                                 gi[x_idx] += go_v * w[w_idx];
                                 gw[w_idx] += go_v * x[x_idx];
@@ -153,11 +153,8 @@ pub fn relu_backward(input: &Tensor, grad_out: &Tensor) -> Result<Tensor, Tensor
             rhs: grad_out.shape(),
         });
     }
-    let data = input
-        .iter()
-        .zip(grad_out.iter())
-        .map(|(x, g)| if x > 0.0 { g } else { 0.0 })
-        .collect();
+    let data =
+        input.iter().zip(grad_out.iter()).map(|(x, g)| if x > 0.0 { g } else { 0.0 }).collect();
     Tensor::from_vec(input.shape(), data)
 }
 
@@ -258,8 +255,7 @@ pub fn avg_pool2d_backward(
     grad_out: &Tensor,
 ) -> Result<Tensor, TensorError> {
     const OP: &str = "avg_pool2d_backward";
-    let (n, c, h, w) =
-        (input_shape.n(), input_shape.c(), input_shape.h(), input_shape.w());
+    let (n, c, h, w) = (input_shape.n(), input_shape.c(), input_shape.h(), input_shape.w());
     if kernel == 0 || h % kernel != 0 || w % kernel != 0 {
         return Err(TensorError::InvalidConfig {
             op: OP,
@@ -285,9 +281,8 @@ pub fn avg_pool2d_backward(
                     let g = go[((ni * c + ci) * h_out + oh) * w_out + ow] * norm;
                     for kh in 0..kernel {
                         for kw in 0..kernel {
-                            gx_s[((ni * c + ci) * h + oh * kernel + kh) * w
-                                + ow * kernel
-                                + kw] += g;
+                            gx_s[((ni * c + ci) * h + oh * kernel + kh) * w + ow * kernel + kw] +=
+                                g;
                         }
                     }
                 }
@@ -310,8 +305,7 @@ pub fn max_pool2d_backward(
     grad_out: &Tensor,
 ) -> Result<Tensor, TensorError> {
     const OP: &str = "max_pool2d_backward";
-    let (n, c, h, w) =
-        (input.shape().n(), input.shape().c(), input.shape().h(), input.shape().w());
+    let (n, c, h, w) = (input.shape().n(), input.shape().c(), input.shape().h(), input.shape().w());
     if kernel == 0 || h % kernel != 0 || w % kernel != 0 {
         return Err(TensorError::InvalidConfig {
             op: OP,
@@ -341,8 +335,7 @@ pub fn max_pool2d_backward(
                     let mut seen = false;
                     for kh in 0..kernel {
                         for kw in 0..kernel {
-                            let idx =
-                                chan_base + (oh * kernel + kh) * w + ow * kernel + kw;
+                            let idx = chan_base + (oh * kernel + kh) * w + ow * kernel + kw;
                             let v = x[idx];
                             if !v.is_nan() && (v > best || !seen) {
                                 best = v;
@@ -369,8 +362,7 @@ pub fn global_avg_pool_backward(
     grad_out: &Tensor,
 ) -> Result<Tensor, TensorError> {
     const OP: &str = "global_avg_pool_backward";
-    let (n, c, h, w) =
-        (input_shape.n(), input_shape.c(), input_shape.h(), input_shape.w());
+    let (n, c, h, w) = (input_shape.n(), input_shape.c(), input_shape.h(), input_shape.w());
     if grad_out.shape() != Shape::new(&[n, c]) {
         return Err(TensorError::ShapeMismatch {
             op: OP,
@@ -407,8 +399,7 @@ pub fn downsample_pad_channels_backward(
     grad_out: &Tensor,
 ) -> Result<Tensor, TensorError> {
     const OP: &str = "downsample_pad_backward";
-    let (n, c, h, w) =
-        (input_shape.n(), input_shape.c(), input_shape.h(), input_shape.w());
+    let (n, c, h, w) = (input_shape.n(), input_shape.c(), input_shape.h(), input_shape.w());
     if stride == 0 || out_channels < c {
         return Err(TensorError::InvalidConfig {
             op: OP,
@@ -522,11 +513,19 @@ mod tests {
         let f_w = |t: &Tensor| ops::conv2d(&input, t, None, cfg).unwrap().iter().sum::<f32>();
         for idx in [0usize, 7, 23, 49] {
             let n = numeric_grad(f_in, &input, idx);
-            assert!((gx.as_slice()[idx] - n).abs() < 1e-2, "gx[{idx}] {} vs {n}", gx.as_slice()[idx]);
+            assert!(
+                (gx.as_slice()[idx] - n).abs() < 1e-2,
+                "gx[{idx}] {} vs {n}",
+                gx.as_slice()[idx]
+            );
         }
         for idx in [0usize, 5, 17, 53] {
             let n = numeric_grad(f_w, &weight, idx);
-            assert!((gw.as_slice()[idx] - n).abs() < 1e-2, "gw[{idx}] {} vs {n}", gw.as_slice()[idx]);
+            assert!(
+                (gw.as_slice()[idx] - n).abs() < 1e-2,
+                "gw[{idx}] {} vs {n}",
+                gw.as_slice()[idx]
+            );
         }
     }
 
@@ -594,8 +593,7 @@ mod tests {
             ops::batch_norm(x, &p).unwrap().iter().sum::<f32>()
         };
         let ones = Tensor::full(input.shape(), 1.0);
-        let (gx, gg, gb) =
-            batch_norm_backward(&input, &gamma, &mean, &var, eps, &ones).unwrap();
+        let (gx, gg, gb) = batch_norm_backward(&input, &gamma, &mean, &var, eps, &ones).unwrap();
         for idx in [0usize, 5, 13] {
             let n = numeric_grad(|x| fwd(x, &gamma), &input, idx);
             assert!((gx.as_slice()[idx] - n).abs() < 1e-2);
@@ -646,9 +644,7 @@ mod tests {
         let out_shape = ops::downsample_pad_channels(&input, 4, 2).unwrap().shape();
         let ones = Tensor::full(out_shape, 1.0);
         let gx = downsample_pad_channels_backward(input.shape(), 4, 2, &ones).unwrap();
-        let f = |t: &Tensor| {
-            ops::downsample_pad_channels(t, 4, 2).unwrap().iter().sum::<f32>()
-        };
+        let f = |t: &Tensor| ops::downsample_pad_channels(t, 4, 2).unwrap().iter().sum::<f32>();
         for idx in 0..32 {
             assert!((gx.as_slice()[idx] - numeric_grad(f, &input, idx)).abs() < 1e-3, "{idx}");
         }
@@ -665,8 +661,7 @@ mod tests {
             assert!(s.abs() < 1e-6);
         }
         // Perfect predictions give near-zero loss.
-        let confident =
-            Tensor::from_vec([1, 3], vec![100.0, 0.0, 0.0]).unwrap();
+        let confident = Tensor::from_vec([1, 3], vec![100.0, 0.0, 0.0]).unwrap();
         let (l2, _) = softmax_cross_entropy(&confident, &[0]).unwrap();
         assert!(l2 < 1e-4);
         // Gradient matches the numeric derivative of the loss.

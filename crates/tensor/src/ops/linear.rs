@@ -32,7 +32,11 @@ pub fn linear(
 ) -> Result<Tensor, TensorError> {
     const OP: &str = "linear";
     if input.shape().rank() != 2 {
-        return Err(TensorError::RankMismatch { op: OP, expected: 2, actual: input.shape().rank() });
+        return Err(TensorError::RankMismatch {
+            op: OP,
+            expected: 2,
+            actual: input.shape().rank(),
+        });
     }
     if weight.shape().rank() != 2 {
         return Err(TensorError::RankMismatch {

@@ -47,7 +47,11 @@ pub struct BatchNormParams<'a> {
 pub fn batch_norm(input: &Tensor, params: &BatchNormParams<'_>) -> Result<Tensor, TensorError> {
     const OP: &str = "batch_norm";
     if input.shape().rank() != 4 {
-        return Err(TensorError::RankMismatch { op: OP, expected: 4, actual: input.shape().rank() });
+        return Err(TensorError::RankMismatch {
+            op: OP,
+            expected: 4,
+            actual: input.shape().rank(),
+        });
     }
     let c = input.shape().c();
     let want = Shape::new(&[c]);

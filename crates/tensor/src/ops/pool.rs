@@ -12,7 +12,11 @@ use crate::{Tensor, TensorError};
 pub fn avg_pool2d(input: &Tensor, kernel: usize) -> Result<Tensor, TensorError> {
     const OP: &str = "avg_pool2d";
     if input.shape().rank() != 4 {
-        return Err(TensorError::RankMismatch { op: OP, expected: 4, actual: input.shape().rank() });
+        return Err(TensorError::RankMismatch {
+            op: OP,
+            expected: 4,
+            actual: input.shape().rank(),
+        });
     }
     if kernel == 0 {
         return Err(TensorError::InvalidConfig { op: OP, reason: "kernel must be nonzero".into() });
@@ -61,7 +65,11 @@ pub fn avg_pool2d(input: &Tensor, kernel: usize) -> Result<Tensor, TensorError> 
 pub fn max_pool2d(input: &Tensor, kernel: usize) -> Result<Tensor, TensorError> {
     const OP: &str = "max_pool2d";
     if input.shape().rank() != 4 {
-        return Err(TensorError::RankMismatch { op: OP, expected: 4, actual: input.shape().rank() });
+        return Err(TensorError::RankMismatch {
+            op: OP,
+            expected: 4,
+            actual: input.shape().rank(),
+        });
     }
     if kernel == 0 {
         return Err(TensorError::InvalidConfig { op: OP, reason: "kernel must be nonzero".into() });
@@ -112,7 +120,11 @@ pub fn max_pool2d(input: &Tensor, kernel: usize) -> Result<Tensor, TensorError> 
 pub fn global_avg_pool(input: &Tensor) -> Result<Tensor, TensorError> {
     const OP: &str = "global_avg_pool";
     if input.shape().rank() != 4 {
-        return Err(TensorError::RankMismatch { op: OP, expected: 4, actual: input.shape().rank() });
+        return Err(TensorError::RankMismatch {
+            op: OP,
+            expected: 4,
+            actual: input.shape().rank(),
+        });
     }
     let (n, c, h, w) = (input.shape().n(), input.shape().c(), input.shape().h(), input.shape().w());
     if h == 0 || w == 0 {
@@ -165,8 +177,7 @@ mod tests {
     #[test]
     fn max_pool_picks_window_maxima() {
         let input =
-            Tensor::from_vec([1, 1, 2, 4], vec![1.0, 5.0, -1.0, 2.0, 3.0, 0.0, 7.0, -4.0])
-                .unwrap();
+            Tensor::from_vec([1, 1, 2, 4], vec![1.0, 5.0, -1.0, 2.0, 3.0, 0.0, 7.0, -4.0]).unwrap();
         let out = max_pool2d(&input, 2).unwrap();
         assert_eq!(out.shape().dims(), &[1, 1, 1, 2]);
         assert_eq!(out.as_slice(), &[5.0, 7.0]);
@@ -174,8 +185,7 @@ mod tests {
 
     #[test]
     fn max_pool_skips_nan_unless_all_nan() {
-        let input =
-            Tensor::from_vec([1, 1, 2, 2], vec![f32::NAN, 2.0, 1.0, f32::NAN]).unwrap();
+        let input = Tensor::from_vec([1, 1, 2, 2], vec![f32::NAN, 2.0, 1.0, f32::NAN]).unwrap();
         assert_eq!(max_pool2d(&input, 2).unwrap().as_slice(), &[2.0]);
         let all_nan = Tensor::full([1, 1, 2, 2], f32::NAN);
         assert!(max_pool2d(&all_nan, 2).unwrap().as_slice()[0].is_nan());

@@ -12,21 +12,12 @@ use sfi::tensor::ops::Conv2dCfg;
 /// A small LeNet-style network: two conv/pool stages and two linear layers.
 fn build_lenet(seed: u64) -> Result<Model, Box<dyn std::error::Error>> {
     let mut store = ParameterStore::new();
-    let w0 = store.push(
-        "conv1.weight",
-        ParamKind::Weight { layer: 0 },
-        Tensor::zeros([6, 1, 5, 5]),
-    );
-    let w1 = store.push(
-        "conv2.weight",
-        ParamKind::Weight { layer: 1 },
-        Tensor::zeros([16, 6, 5, 5]),
-    );
-    let w2 = store.push(
-        "fc1.weight",
-        ParamKind::Weight { layer: 2 },
-        Tensor::zeros([32, 16 * 7 * 7]),
-    );
+    let w0 =
+        store.push("conv1.weight", ParamKind::Weight { layer: 0 }, Tensor::zeros([6, 1, 5, 5]));
+    let w1 =
+        store.push("conv2.weight", ParamKind::Weight { layer: 1 }, Tensor::zeros([16, 6, 5, 5]));
+    let w2 =
+        store.push("fc1.weight", ParamKind::Weight { layer: 2 }, Tensor::zeros([32, 16 * 7 * 7]));
     let b2 = store.push("fc1.bias", ParamKind::Bias, Tensor::zeros([32]));
     let w3 = store.push("fc2.weight", ParamKind::Weight { layer: 3 }, Tensor::zeros([10, 32]));
     let b3 = store.push("fc2.bias", ParamKind::Bias, Tensor::zeros([10]));

@@ -42,10 +42,7 @@ fn analyse(name: &str, model: &Model) -> Result<(), Box<dyn std::error::Error>> 
         group_digits(aware.total_sample()),
         aware.injected_percent()
     );
-    println!(
-        "reduction: {:.1}x\n",
-        unaware.total_sample() as f64 / aware.total_sample() as f64
-    );
+    println!("reduction: {:.1}x\n", unaware.total_sample() as f64 / aware.total_sample() as f64);
     Ok(())
 }
 

@@ -9,22 +9,14 @@ use sfi::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ResNet-8 at width 2 keeps the exhaustive campaign around a minute.
-    let model = ResNetConfig {
-        base_width: 2,
-        blocks_per_stage: 1,
-        classes: 10,
-        input_size: 16,
-    }
-    .build_seeded(42)?;
+    let model = ResNetConfig { base_width: 2, blocks_per_stage: 1, classes: 10, input_size: 16 }
+        .build_seeded(42)?;
     let data = SynthCifarConfig::new().with_size(16).with_samples(4).generate();
     let golden = GoldenReference::build(&model, &data)?;
     let space = FaultSpace::stuck_at(&model);
     let cfg = CampaignConfig::default();
 
-    println!(
-        "exhaustive campaign over {} faults...",
-        group_digits(space.total())
-    );
+    println!("exhaustive campaign over {} faults...", group_digits(space.total()));
     let truth = ExhaustiveTruth::build(&model, &data, &golden, &cfg)?;
     println!(
         "exhaustive: {:.3}% of faults are critical ({} injections)\n",

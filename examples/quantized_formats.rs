@@ -10,8 +10,9 @@ use sfi::prelude::*;
 fn assess(format: Format) -> Result<Vec<String>, Box<dyn std::error::Error>> {
     // Quantise the weights onto the format's grid; inference stays f32, as
     // in dequantise-on-load weight memories.
-    let mut model = ResNetConfig { base_width: 2, blocks_per_stage: 1, classes: 10, input_size: 16 }
-        .build_seeded(42)?;
+    let mut model =
+        ResNetConfig { base_width: 2, blocks_per_stage: 1, classes: 10, input_size: 16 }
+            .build_seeded(42)?;
     quantize_weights(model.store_mut(), format);
     let data = SynthCifarConfig::new().with_size(16).with_samples(4).generate();
     let golden = GoldenReference::build(&model, &data)?;

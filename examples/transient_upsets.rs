@@ -53,11 +53,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         e.0 += 1;
         e.1 += u64::from(critical);
     }
-    let mut table =
-        TextTable::new(vec!["node".into(), "sampled".into(), "critical %".into()]);
-    for (node, (sampled, critical)) in
-        per_node.iter().filter(|(_, (s, _))| *s >= 50)
-    {
+    let mut table = TextTable::new(vec!["node".into(), "sampled".into(), "critical %".into()]);
+    for (node, (sampled, critical)) in per_node.iter().filter(|(_, (s, _))| *s >= 50) {
         table.add_row(vec![
             node.to_string(),
             sampled.to_string(),

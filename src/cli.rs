@@ -15,14 +15,14 @@
 use std::fmt;
 
 use sfi_core::bits::bit_ranking;
-use sfi_core::execute::execute_plan;
+use sfi_core::execute::{execute_plan, execute_plan_observed, PlanProgress};
 use sfi_core::hardening::{plan_protection, HardeningConfig};
 use sfi_core::plan::{
     plan_data_aware, plan_data_unaware, plan_layer_wise, plan_network_wise, SfiPlan,
 };
-use sfi_core::report::{group_digits, TextTable};
+use sfi_core::report::{group_digits, telemetry_report, TextTable};
 use sfi_dataset::SynthCifarConfig;
-use sfi_faultsim::campaign::CampaignConfig;
+use sfi_faultsim::campaign::{CampaignConfig, Ieee754Corruption};
 use sfi_faultsim::golden::GoldenReference;
 use sfi_faultsim::population::FaultSpace;
 use sfi_nn::mobilenet::MobileNetV2Config;
@@ -106,9 +106,7 @@ impl ModelChoice {
             ModelChoice::Resnet20 => ResNetConfig::resnet20().build_seeded(seed),
             ModelChoice::Resnet20Micro => ResNetConfig::resnet20_micro().build_seeded(seed),
             ModelChoice::MobileNetV2 => MobileNetV2Config::cifar().build_seeded(seed),
-            ModelChoice::MobileNetV2Micro => {
-                MobileNetV2Config::cifar_micro().build_seeded(seed)
-            }
+            ModelChoice::MobileNetV2Micro => MobileNetV2Config::cifar_micro().build_seeded(seed),
             ModelChoice::Vgg11 => sfi_nn::vgg::VggConfig::vgg11().build_seeded(seed),
             ModelChoice::VggMicro => sfi_nn::vgg::VggConfig::vgg_micro().build_seeded(seed),
         }
@@ -169,6 +167,10 @@ pub struct CliOptions {
     pub seed: u64,
     /// Fraction of the full SEC-DED budget for `harden`.
     pub budget_frac: f64,
+    /// Campaign worker threads for simulation-backed commands.
+    pub workers: usize,
+    /// Report live progress (stderr) and per-stratum telemetry for `run`.
+    pub progress: bool,
 }
 
 impl Default for CliOptions {
@@ -181,6 +183,8 @@ impl Default for CliOptions {
             images: 4,
             seed: 42,
             budget_frac: 0.5,
+            workers: 1,
+            progress: false,
         }
     }
 }
@@ -207,6 +211,8 @@ OPTIONS:
     --images <n>              evaluation images for run/bits/harden (default 4)
     --seed <n>                master seed (default 42)
     --budget-frac <fraction>  share of the full ECC budget for harden (default 0.5)
+    --workers <n>             campaign worker threads (default 1)
+    --progress                live progress on stderr + per-stratum telemetry (run)
 ";
 
 /// Parses the argument list (without the program name).
@@ -230,19 +236,15 @@ pub fn parse(args: &[String]) -> Result<CliOptions, ParseCliError> {
         other => return Err(err(format!("unknown command `{other}`"))),
     };
     while let Some(flag) = iter.next() {
-        let mut value = || {
-            iter.next()
-                .cloned()
-                .ok_or_else(|| err(format!("flag `{flag}` expects a value")))
-        };
+        let mut value =
+            || iter.next().cloned().ok_or_else(|| err(format!("flag `{flag}` expects a value")));
         match flag.as_str() {
             "--model" => opts.model = ModelChoice::parse(&value()?)?,
             "--scheme" => opts.scheme = SchemeChoice::parse(&value()?)?,
             "--error" => {
                 let v = value()?;
-                opts.error_margin = v
-                    .parse::<f64>()
-                    .map_err(|_| err(format!("`--error {v}` is not a number")))?;
+                opts.error_margin =
+                    v.parse::<f64>().map_err(|_| err(format!("`--error {v}` is not a number")))?;
                 if !(opts.error_margin > 0.0 && opts.error_margin < 1.0) {
                     return Err(err("`--error` must lie in (0, 1)"));
                 }
@@ -258,9 +260,8 @@ pub fn parse(args: &[String]) -> Result<CliOptions, ParseCliError> {
             }
             "--seed" => {
                 let v = value()?;
-                opts.seed = v
-                    .parse::<u64>()
-                    .map_err(|_| err(format!("`--seed {v}` is not an integer")))?;
+                opts.seed =
+                    v.parse::<u64>().map_err(|_| err(format!("`--seed {v}` is not an integer")))?;
             }
             "--budget-frac" => {
                 let v = value()?;
@@ -271,6 +272,16 @@ pub fn parse(args: &[String]) -> Result<CliOptions, ParseCliError> {
                     return Err(err("`--budget-frac` must lie in [0, 1]"));
                 }
             }
+            "--workers" => {
+                let v = value()?;
+                opts.workers = v
+                    .parse::<usize>()
+                    .map_err(|_| err(format!("`--workers {v}` is not an integer")))?;
+                if opts.workers == 0 {
+                    return Err(err("`--workers` must be at least 1"));
+                }
+            }
+            "--progress" => opts.progress = true,
             other => return Err(err(format!("unknown flag `{other}`"))),
         }
     }
@@ -348,25 +359,52 @@ pub fn run(
             let plan = build_plan(opts, &model, &space)?;
             writeln!(
                 out,
-                "executing {} campaign: {} faults on {} images...",
+                "executing {} campaign: {} faults on {} images ({} worker{})...",
                 plan.scheme(),
                 group_digits(plan.total_sample()),
-                opts.images
+                opts.images,
+                opts.workers,
+                if opts.workers == 1 { "" } else { "s" }
             )?;
-            let outcome = execute_plan(
-                &model,
-                &data,
-                &golden,
-                &plan,
-                opts.seed,
-                &CampaignConfig::default(),
-            )?;
-            let mut table = TextTable::new(vec![
-                "layer".into(),
-                "critical %".into(),
-                "± %".into(),
-                "n".into(),
-            ]);
+            let cfg = CampaignConfig { workers: opts.workers, ..CampaignConfig::default() };
+            let outcome = if opts.progress {
+                // Throttle stderr updates to ~100 over the whole plan.
+                let outcome = execute_plan_observed(
+                    &model,
+                    &data,
+                    &golden,
+                    &plan,
+                    &space,
+                    opts.seed,
+                    &cfg,
+                    &Ieee754Corruption,
+                    &mut |p: PlanProgress| {
+                        let step = (p.plan_total / 100).max(1);
+                        if p.plan_completed.is_multiple_of(step) || p.plan_completed == p.plan_total
+                        {
+                            eprint!(
+                                "\rstratum {}/{}  faults {}/{}  inferences {}    ",
+                                p.stratum + 1,
+                                p.strata,
+                                p.plan_completed,
+                                p.plan_total,
+                                group_digits(p.inferences)
+                            );
+                        }
+                    },
+                )?;
+                eprintln!();
+                outcome
+            } else {
+                execute_plan(&model, &data, &golden, &plan, opts.seed, &cfg)?
+            };
+            if opts.progress {
+                writeln!(out, "\nper-stratum telemetry:")?;
+                write!(out, "{}", telemetry_report(&outcome))?;
+                writeln!(out)?;
+            }
+            let mut table =
+                TextTable::new(vec!["layer".into(), "critical %".into(), "± %".into(), "n".into()]);
             for layer in 0..space.layers() {
                 if let Some(est) = outcome.layer_estimate(layer, Confidence::C99) {
                     table.add_row(vec![
@@ -438,14 +476,10 @@ pub fn run(
                 &golden,
                 &plan,
                 opts.seed,
-                &CampaignConfig::default(),
+                &CampaignConfig { workers: opts.workers, ..CampaignConfig::default() },
             )?;
-            let mut table = TextTable::new(vec![
-                "bit".into(),
-                "critical %".into(),
-                "± %".into(),
-                "n".into(),
-            ]);
+            let mut table =
+                TextTable::new(vec!["bit".into(), "critical %".into(), "± %".into(), "n".into()]);
             for v in bit_ranking(&outcome, Confidence::C99) {
                 table.add_row(vec![
                     v.bit.to_string(),
@@ -474,7 +508,7 @@ pub fn run(
                 &golden,
                 &plan,
                 opts.seed,
-                &CampaignConfig::default(),
+                &CampaignConfig { workers: opts.workers, ..CampaignConfig::default() },
             )?;
             let full = HardeningConfig::secded32(model.store().total_weights() as u64 * 7);
             let cfg = HardeningConfig {
@@ -560,6 +594,64 @@ mod tests {
     }
 
     #[test]
+    fn parse_workers_and_progress() {
+        let o = parse(&args("run --workers 4 --progress")).unwrap();
+        assert_eq!(o.workers, 4);
+        assert!(o.progress);
+        let d = parse(&args("run")).unwrap();
+        assert_eq!(d.workers, 1);
+        assert!(!d.progress);
+        assert!(parse(&args("run --workers 0")).is_err());
+        assert!(parse(&args("run --workers four")).is_err());
+    }
+
+    #[test]
+    fn run_with_progress_prints_telemetry() {
+        let opts = parse(&args(
+            "run --model resnet20-micro --scheme network-wise --error 0.2 --images 2 \
+             --workers 2 --progress",
+        ))
+        .unwrap();
+        let mut buf = Vec::new();
+        run(&opts, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("per-stratum telemetry:"), "{text}");
+        assert!(text.contains("inf/s"));
+        assert!(text.contains("total"));
+        assert!(text.contains("network:"));
+    }
+
+    #[test]
+    fn worker_count_does_not_change_estimates() {
+        let base =
+            parse(&args("run --model resnet20-micro --scheme network-wise --error 0.2 --images 2"))
+                .unwrap();
+        let mut serial = Vec::new();
+        run(&base, &mut serial).unwrap();
+        let parallel_opts = CliOptions { workers: 4, ..base };
+        let mut parallel = Vec::new();
+        run(&parallel_opts, &mut parallel).unwrap();
+        // Drop the header (worker count) and the trailing wall-clock token
+        // of the summary line; everything else must match exactly.
+        let strip = |b: &[u8]| {
+            String::from_utf8(b.to_vec())
+                .unwrap()
+                .lines()
+                .filter(|l| !l.contains("..."))
+                .map(|l| {
+                    if l.starts_with("network:") {
+                        l.rsplit_once(", ").map(|(a, _)| a.to_string()).unwrap_or_default()
+                    } else {
+                        l.to_string()
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&serial), strip(&parallel));
+    }
+
+    #[test]
     fn scheme_aliases() {
         assert_eq!(SchemeChoice::parse("network").unwrap(), SchemeChoice::NetworkWise);
         assert_eq!(SchemeChoice::parse("layer").unwrap(), SchemeChoice::LayerWise);
@@ -600,10 +692,9 @@ mod tests {
 
     #[test]
     fn run_command_small_campaign() {
-        let opts = parse(&args(
-            "run --model resnet20-micro --scheme network-wise --error 0.2 --images 2",
-        ))
-        .unwrap();
+        let opts =
+            parse(&args("run --model resnet20-micro --scheme network-wise --error 0.2 --images 2"))
+                .unwrap();
         let mut buf = Vec::new();
         run(&opts, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
@@ -612,10 +703,9 @@ mod tests {
 
     #[test]
     fn harden_command_produces_plan() {
-        let opts = parse(&args(
-            "harden --model resnet20-micro --error 0.2 --images 2 --budget-frac 0.3",
-        ))
-        .unwrap();
+        let opts =
+            parse(&args("harden --model resnet20-micro --error 0.2 --images 2 --budget-frac 0.3"))
+                .unwrap();
         let mut buf = Vec::new();
         run(&opts, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();

@@ -62,9 +62,6 @@ pub mod prelude {
         plan_data_aware, plan_data_aware_with_p, plan_data_unaware, plan_layer_wise,
         plan_network_wise, plan_neyman, SchemeKind, SfiPlan,
     };
-    pub use sfi_repr::{
-        data_aware_p_format, quantize_weights, Format, FormatBitAnalysis, FormatCorruption,
-    };
     pub use sfi_core::validation::validate_against_exhaustive;
     pub use sfi_core::SfiError;
     pub use sfi_dataset::{evaluate, Dataset, SynthCifarConfig};
@@ -76,6 +73,9 @@ pub mod prelude {
     pub use sfi_nn::resnet::ResNetConfig;
     pub use sfi_nn::vgg::VggConfig;
     pub use sfi_nn::Model;
+    pub use sfi_repr::{
+        data_aware_p_format, quantize_weights, Format, FormatBitAnalysis, FormatCorruption,
+    };
     pub use sfi_stats::bit_analysis::{data_aware_p, DataAwareConfig, WeightBitAnalysis};
     pub use sfi_stats::confidence::Confidence;
     pub use sfi_stats::estimate::{stratified_estimate, StratumResult};

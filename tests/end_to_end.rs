@@ -196,8 +196,8 @@ fn neyman_plan_meets_the_network_margin_cheaply() {
     let p = data_aware_p(&analysis, &DataAwareConfig::paper_default()).unwrap();
     let spec = SampleSpec { error_margin: 0.01, ..SampleSpec::paper_default() };
     let neyman = plan_neyman(&space, &p, &spec).unwrap();
-    let aware = plan_data_aware(&space, &analysis, &spec, &DataAwareConfig::paper_default())
-        .unwrap();
+    let aware =
+        plan_data_aware(&space, &analysis, &spec, &DataAwareConfig::paper_default()).unwrap();
     assert!(neyman.total_sample() < aware.total_sample());
     let outcome =
         execute_plan(&model, &data, &golden, &neyman, 8, &CampaignConfig::default()).unwrap();

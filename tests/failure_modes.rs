@@ -27,10 +27,8 @@ fn campaign_on_mismatched_golden_reference_errors_cleanly() {
     let other = ResNetConfig { base_width: 2, blocks_per_stage: 2, classes: 10, input_size: 8 }
         .build_seeded(1)
         .unwrap();
-    let fault = Fault {
-        site: FaultSite { layer: 0, weight: 0, bit: 30 },
-        model: FaultModel::StuckAt1,
-    };
+    let fault =
+        Fault { site: FaultSite { layer: 0, weight: 0, bit: 30 }, model: FaultModel::StuckAt1 };
     let res = run_campaign(&other, &data, &golden, &[fault], &CampaignConfig::default());
     assert!(res.is_err(), "foreign cache must be rejected");
 }
@@ -60,8 +58,8 @@ fn plan_for_different_topology_is_rejected_before_injection() {
         &FaultSpace::stuck_at(&bigger),
         &SampleSpec { error_margin: 0.2, ..SampleSpec::paper_default() },
     );
-    let err = execute_plan(&model, &data, &golden, &plan, 0, &CampaignConfig::default())
-        .unwrap_err();
+    let err =
+        execute_plan(&model, &data, &golden, &plan, 0, &CampaignConfig::default()).unwrap_err();
     assert!(err.to_string().contains("plan mismatch"), "{err}");
 }
 
@@ -125,8 +123,8 @@ fn errors_chain_their_sources() {
         &FaultSpace::stuck_at(&bigger),
         &SampleSpec { error_margin: 0.2, ..SampleSpec::paper_default() },
     );
-    let err = execute_plan(&model, &data, &golden, &plan, 0, &CampaignConfig::default())
-        .unwrap_err();
+    let err =
+        execute_plan(&model, &data, &golden, &plan, 0, &CampaignConfig::default()).unwrap_err();
     // Either a self-contained message or a chained source — never a bare
     // unprintable error.
     assert!(!err.to_string().is_empty());
@@ -142,16 +140,8 @@ fn adaptive_sampler_rejects_impossible_margins_gracefully() {
     // Margin so tight the tiny population cannot reach it by sampling: the
     // sampler runs to a census and reports convergence-by-exhaustion.
     let cfg = AdaptiveConfig { target_margin: 1e-12, ..AdaptiveConfig::new(0.01) };
-    let out = run_adaptive(
-        &model,
-        &data,
-        &golden,
-        &subpop,
-        &cfg,
-        1,
-        &CampaignConfig::default(),
-    )
-    .unwrap();
+    let out =
+        run_adaptive(&model, &data, &golden, &subpop, &cfg, 1, &CampaignConfig::default()).unwrap();
     assert_eq!(out.result.sample, subpop.size());
     assert!(out.converged);
 }

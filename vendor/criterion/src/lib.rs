@@ -1,0 +1,319 @@
+//! Offline API-compatible stand-in for the subset of `criterion` that the
+//! SFI workspace's benches use.
+//!
+//! The hermetic build environment has no crates.io access (see
+//! `vendor/README.md`), so this crate provides a small but *real* wall-clock
+//! benchmark harness behind criterion's API: warm-up, a timed measurement
+//! loop honouring `sample_size`/`measurement_time`, and a mean/min/max
+//! report per benchmark.
+//!
+//! Run modes, matching criterion's behaviour under cargo:
+//!
+//! - `cargo bench` passes `--bench` → full measurement;
+//! - `cargo test` (no `--bench` argument) → each benchmark runs exactly one
+//!   iteration as a smoke test, so bench targets stay fast in test runs.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measured timing summary of one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Number of timed iterations.
+    pub iters: u64,
+    /// Mean wall time per iteration.
+    pub mean: Duration,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Slowest iteration.
+    pub max: Duration,
+}
+
+/// Top-level harness handle, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    full: bool,
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let full = std::env::args().any(|a| a == "--bench");
+        Self { full, default_sample_size: 20, default_measurement_time: Duration::from_secs(3) }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            full: self.full,
+            sample_size: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks `f` as a standalone (group-less) benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(
+            &id.into_benchmark_id().label,
+            self.full,
+            self.default_sample_size,
+            self.default_measurement_time,
+            f,
+        );
+        self
+    }
+}
+
+/// A group of benchmarks sharing sample-size/time settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    full: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the measurement loop's total wall time.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Declares the per-iteration throughput (accepted for API parity; the
+    /// report prints raw times only).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        run_benchmark(&label, self.full, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (formatting hook in real criterion; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Per-iteration throughput declaration, mirroring `criterion::Throughput`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter rendering.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Builds an id from a parameter rendering alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+/// Conversion into [`BenchmarkId`], so `&str` and `BenchmarkId` are both
+/// accepted wherever an id is expected.
+pub trait IntoBenchmarkId {
+    /// Converts into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    mode: BenchMode,
+    samples: Vec<Duration>,
+}
+
+enum BenchMode {
+    /// One untimed iteration (cargo test smoke mode).
+    Smoke,
+    /// Timed loop: up to `sample_size` iterations within `budget`.
+    Full { sample_size: usize, budget: Duration },
+}
+
+impl Bencher {
+    /// Times repeated calls of `f` according to the active mode.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            BenchMode::Smoke => {
+                black_box(f());
+            }
+            BenchMode::Full { sample_size, budget } => {
+                // Warm-up: one untimed iteration (fills caches, faults pages).
+                black_box(f());
+                let loop_start = Instant::now();
+                for _ in 0..sample_size {
+                    let start = Instant::now();
+                    black_box(f());
+                    self.samples.push(start.elapsed());
+                    if loop_start.elapsed() > budget {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    full: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    let mode = if full {
+        BenchMode::Full { sample_size, budget: measurement_time }
+    } else {
+        BenchMode::Smoke
+    };
+    let mut bencher = Bencher { mode, samples: Vec::new() };
+    f(&mut bencher);
+    if !full {
+        println!("{label}: smoke ok");
+        return;
+    }
+    match summarize(&bencher.samples) {
+        Some(s) => println!(
+            "{label}: mean {:?} min {:?} max {:?} ({} iters)",
+            s.mean, s.min, s.max, s.iters
+        ),
+        None => println!("{label}: no samples recorded"),
+    }
+}
+
+/// Reduces raw per-iteration durations to a [`Sample`].
+pub fn summarize(samples: &[Duration]) -> Option<Sample> {
+    if samples.is_empty() {
+        return None;
+    }
+    let total: Duration = samples.iter().sum();
+    Some(Sample {
+        iters: samples.len() as u64,
+        mean: total / samples.len() as u32,
+        min: *samples.iter().min().expect("nonempty"),
+        max: *samples.iter().max().expect("nonempty"),
+    })
+}
+
+/// Declares a group-runner function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut calls = 0;
+        let mut b = Bencher { mode: BenchMode::Smoke, samples: Vec::new() };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.samples.is_empty());
+    }
+
+    #[test]
+    fn full_mode_collects_samples() {
+        let mut b = Bencher {
+            mode: BenchMode::Full { sample_size: 5, budget: Duration::from_secs(1) },
+            samples: Vec::new(),
+        };
+        b.iter(|| std::hint::black_box(3 * 7));
+        assert_eq!(b.samples.len(), 5);
+        let s = summarize(&b.samples).unwrap();
+        assert_eq!(s.iters, 5);
+        assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+
+    #[test]
+    fn ids_render_in_labels() {
+        assert_eq!(BenchmarkId::new("f", 32).label, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+        assert_eq!("plain".into_benchmark_id().label, "plain");
+    }
+
+    #[test]
+    fn summarize_empty_is_none() {
+        assert!(summarize(&[]).is_none());
+    }
+}

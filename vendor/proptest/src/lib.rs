@@ -1,0 +1,383 @@
+//! Offline API-compatible stand-in for the subset of `proptest` that the
+//! SFI workspace uses.
+//!
+//! The hermetic build environment has no crates.io access (see
+//! `vendor/README.md`), so this crate re-implements the property-testing
+//! surface the workspace's `tests/properties.rs` files rely on: the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map`/`prop_filter`, range
+//! and tuple strategies, [`collection::vec`], [`Just`], [`any`], and the
+//! `prop_assert*` macros.
+//!
+//! Differences from the real proptest, by design:
+//!
+//! - **no shrinking** — a failing case panics with the raw assertion
+//!   message (cases are seeded deterministically, so failures reproduce);
+//! - **deterministic seeding** — case `i` of test `t` derives its RNG from
+//!   `hash(t) ⊕ i`, so runs are identical across machines and invocations.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SampleUniform, SeedableRng};
+
+/// Runner configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A recipe for generating values of an output type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Resamples until `f` accepts the value (up to an attempt cap).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, whence, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?} rejected 10000 consecutive samples", self.whence);
+    }
+}
+
+/// Strategy producing a fixed (cloned) value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)*) = self;
+                ($($name.generate(rng),)*)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Types with a canonical whole-domain strategy, mirroring
+/// `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value of the type.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        // Finite, sign-balanced, spanning several orders of magnitude.
+        rng.gen_range(-1.0e6..1.0e6)
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen_range(-1.0e6f32..1.0e6)
+    }
+}
+
+/// Whole-domain strategy for `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Output of [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: a fixed length or a half-open
+    /// range of lengths.
+    pub trait IntoSizeRange {
+        /// Lower (inclusive) and upper (exclusive) length bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        assert!(lo < hi, "empty vec size range");
+        VecStrategy { element, lo, hi }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.lo..self.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test module needs, mirroring
+/// `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// FNV-1a hash of the test name, used to decorrelate per-test RNG streams.
+#[doc(hidden)]
+pub fn seed_for(name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+///
+/// Supports the forms the workspace uses: an optional leading
+/// `#![proptest_config(...)]`, any number of `#[test] fn` items whose
+/// parameters are either `pattern in strategy` or `name: Type` (the latter
+/// drawing from [`any`]).
+#[macro_export]
+macro_rules! proptest {
+    // ---- internal: run one case's parameter bindings, then the body ----
+    (@run $rng:ident $body:block) => { $body };
+    (@run $rng:ident $body:block $pat:pat in $strat:expr) => {
+        { let $pat = $crate::Strategy::generate(&($strat), &mut $rng);
+          $crate::proptest!(@run $rng $body) }
+    };
+    (@run $rng:ident $body:block $pat:pat in $strat:expr, $($rest:tt)*) => {
+        { let $pat = $crate::Strategy::generate(&($strat), &mut $rng);
+          $crate::proptest!(@run $rng $body $($rest)*) }
+    };
+    (@run $rng:ident $body:block $name:ident : $ty:ty) => {
+        { let $name: $ty = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+          $crate::proptest!(@run $rng $body) }
+    };
+    (@run $rng:ident $body:block $name:ident : $ty:ty, $($rest:tt)*) => {
+        { let $name: $ty = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+          $crate::proptest!(@run $rng $body $($rest)*) }
+    };
+
+    // ---- internal: emit each test fn ----
+    (@fns $cfg:expr;) => {};
+    (@fns $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                #[allow(unused_mut, unused_variables)]
+                let mut rng = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)), case);
+                $crate::proptest!(@run rng $body $($params)*);
+            }
+        }
+        $crate::proptest!(@fns $cfg; $($rest)*);
+    };
+
+    // ---- public entry points ----
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn unit_interval() -> impl Strategy<Value = f64> {
+        (0.0f64..1.0).prop_filter("finite", |v| v.is_finite())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges respect their bounds.
+        #[test]
+        fn range_bounds(v in 3u64..17, f in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&v));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        /// Mapped and filtered strategies compose.
+        #[test]
+        fn combinators(v in unit_interval().prop_map(|x| x * 10.0)) {
+            prop_assert!((0.0..10.0).contains(&v));
+        }
+
+        /// Tuples, vecs, Just, and `name: Type` params all generate.
+        #[test]
+        fn aggregate_forms(
+            (a, b) in (0u32..4, 0u32..4),
+            xs in crate::collection::vec(0usize..9, 2..5),
+            unit in Just(7u8),
+            seed: u64,
+        ) {
+            prop_assert!(a < 4 && b < 4);
+            prop_assert!(xs.len() >= 2 && xs.len() < 5);
+            prop_assert!(xs.iter().all(|&x| x < 9));
+            prop_assert_eq!(unit, 7);
+            let _ = seed;
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::seed_for("x", 0);
+        let mut b = crate::seed_for("x", 0);
+        let s = 0u64..u64::MAX;
+        assert_eq!(Strategy::generate(&s, &mut a), Strategy::generate(&s, &mut b));
+    }
+}

@@ -1,0 +1,283 @@
+//! Offline API-compatible stand-in for the subset of `rand` 0.8 that the
+//! SFI workspace uses.
+//!
+//! The hermetic build environment has no crates.io access, so the real
+//! `rand` cannot be fetched (see `vendor/README.md`). This crate implements
+//! the exact surface the workspace calls — `rngs::StdRng`, [`SeedableRng`],
+//! [`Rng::gen_range`]/[`Rng::gen`], and `seq::SliceRandom::shuffle` — over a
+//! SplitMix64 generator.
+//!
+//! The generator is deterministic per seed, which is all the workspace
+//! relies on (every seeded artefact is regenerated from source, never
+//! compared against streams produced by the real `rand`). SplitMix64 passes
+//! BigCrush and is more than adequate for sampling fault indices and
+//! initialising weights.
+
+#![forbid(unsafe_code)]
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A generator constructible from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly over a `Range` by [`Rng::gen_range`].
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Draws a value uniformly from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// Types samplable from their "standard" distribution by [`Rng::gen`]
+/// (`[0, 1)` for floats, full range for integers, fair coin for `bool`).
+pub trait Standard: Sized {
+    /// Draws one standard sample.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// Maps a 64-bit word to `[0, 1)` with 53 random mantissa bits.
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Draws uniformly from `[0, span)` by 128-bit widening multiply
+/// (Lemire's method without the rejection step; the bias is `O(2^-64)`).
+#[inline]
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    (((rng.next_u64() as u128) * (span as u128)) >> 64) as u64
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range called with an empty range");
+                let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                (low as $wide).wrapping_add(bounded_u64(rng, span) as $wide) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+                         i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range called with an empty range");
+        let v = low + unit_f64(rng.next_u64()) * (high - low);
+        // Guard against `low + 1.0 * span` rounding up to `high`.
+        if v >= high {
+            low
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        let v = f64::sample_range(rng, low as f64, high as f64) as f32;
+        if v >= high {
+            low
+        } else {
+            v
+        }
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64()) as f32
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// High-level sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value uniformly from `range` (half-open).
+    #[inline]
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Draws a value from the type's standard distribution.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    ///
+    /// Not the same stream as the real `rand::rngs::StdRng` (ChaCha12) —
+    /// only determinism per seed is promised, which is the property every
+    /// seeded artefact in the workspace depends on.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood 2014).
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Slice sampling helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// In-place random reordering of slices.
+    pub trait SliceRandom {
+        /// Shuffles the slice uniformly (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let u = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&u));
+            let f = rng.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let s = rng.gen_range(0usize..5);
+            assert!(s < 5);
+            let x = rng.gen_range(-1.5f32..1.5);
+            assert!((-1.5..1.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn unit_samples_are_half_open() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut low = 0u32;
+        for _ in 0..100_000 {
+            if rng.gen_range(0u64..1000) < 500 {
+                low += 1;
+            }
+        }
+        assert!((48_000..52_000).contains(&low), "low half {low}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<u32> = (0..100).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle virtually never is identity");
+    }
+
+    #[test]
+    fn huge_spans_do_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let _ = rng.gen_range(0u64..u64::MAX);
+            let _ = rng.gen_range(i64::MIN..i64::MAX);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline API-compatible stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` *names* (trait + derive macro)
+//! that the workspace imports, without any serialisation machinery. See
+//! `vendor/README.md` for the policy; the derives expand to nothing, and
+//! nothing in the workspace bounds on these traits.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching `serde::Serialize`'s name.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name.
+pub trait Deserialize<'de> {}
