@@ -1,0 +1,631 @@
+//! Crash-tolerant plan execution: checkpoint journal, resume, cancellation.
+//!
+//! Validation-scale campaigns (the paper's Table I runs millions of
+//! inferences) can outlive a machine's patience: jobs get pre-empted,
+//! nodes reboot, users hit Ctrl-C. This module wraps
+//! [`execute_plan_observed`](crate::execute::execute_plan_observed)-style
+//! execution with the [`sfi_faultsim::journal`] write-ahead journal so an
+//! interrupted campaign loses at most `checkpoint_every` classifications:
+//!
+//! 1. every classified fault is appended to the journal **as it
+//!    completes** (completion order, not fault order);
+//! 2. a resumed execution replays the journal, skips every fault already
+//!    classified, and re-executes only the remainder;
+//! 3. the merged outcome is identical to an uninterrupted run — same
+//!    classes, same tallies, same estimates, at any worker count —
+//!    because per-fault classification is deterministic and keyed by a
+//!    stable [`FaultId`].
+//!
+//! A journal is bound to its plan by a [`plan_fingerprint`]: resuming
+//! under a different model, plan, seed, or campaign criterion is rejected
+//! with [`FaultSimError::CheckpointMismatch`] rather than silently mixing
+//! incompatible classifications.
+//!
+//! Cancellation is cooperative: pass a [`CancelToken`] and arm it from
+//! anywhere; the execution stops at the next fault boundary, flushes and
+//! seals the journal, and returns [`CampaignRun::Interrupted`] with resume
+//! statistics. Running the same command again with `resume` picks up
+//! where the journal left off.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use sfi_dataset::Dataset;
+use sfi_faultsim::campaign::{CampaignConfig, CampaignResult, Corruption, Criterion, FaultClass};
+use sfi_faultsim::executor::{with_executor, CancelToken};
+use sfi_faultsim::fault::{Fault, FaultModel};
+use sfi_faultsim::golden::GoldenReference;
+use sfi_faultsim::journal::{self, FaultId, JournalWriter};
+use sfi_faultsim::population::FaultSpace;
+use sfi_faultsim::FaultSimError;
+use sfi_nn::Model;
+
+use crate::execute::{assemble_outcome, sample_strata, PlanProgress, SfiOutcome};
+use crate::plan::{SchemeKind, SfiPlan};
+use crate::SfiError;
+
+/// Where and how often to checkpoint a plan execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Journal directory (created when absent; must be empty or hold a
+    /// journal of the same plan when `resume` is set).
+    pub dir: PathBuf,
+    /// Continue from an existing journal instead of starting fresh.
+    pub resume: bool,
+    /// Fsync the journal every this many classifications (≥ 1). Lower
+    /// values bound the re-execution window after a crash more tightly at
+    /// the cost of more frequent synchronous I/O.
+    pub checkpoint_every: u64,
+}
+
+impl CheckpointConfig {
+    /// A fresh (non-resuming) checkpoint configuration with the default
+    /// 64-record fsync cadence.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into(), resume: false, checkpoint_every: 64 }
+    }
+}
+
+/// Resume bookkeeping of one checkpointed execution.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ResumeStats {
+    /// Faults skipped because the journal already held their class.
+    pub resumed: u64,
+    /// Corrupt journal records discarded during recovery (truncated or
+    /// checksum-failing tails); their faults were re-executed.
+    pub dropped: u64,
+    /// Faults classified (and journaled) by this session.
+    pub completed: u64,
+    /// Total faults the plan schedules.
+    pub total: u64,
+    /// Per-stratum count of journal-resumed faults, in plan order.
+    pub per_stratum_resumed: Vec<u64>,
+}
+
+/// What a checkpointed execution produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignRun {
+    /// Every planned fault is classified; the outcome is complete (and
+    /// identical to an uninterrupted run, wall-clock aside).
+    Complete {
+        /// The assembled outcome.
+        outcome: SfiOutcome,
+        /// How much of it came from the journal vs. this session.
+        stats: ResumeStats,
+    },
+    /// The execution was cancelled before completing; everything
+    /// classified so far is sealed in the journal and a re-run with
+    /// `resume` continues from here.
+    Interrupted {
+        /// Journal/session bookkeeping up to the stop.
+        stats: ResumeStats,
+    },
+}
+
+impl CampaignRun {
+    /// The resume statistics of either variant.
+    pub fn stats(&self) -> &ResumeStats {
+        match self {
+            CampaignRun::Complete { stats, .. } | CampaignRun::Interrupted { stats } => stats,
+        }
+    }
+
+    /// The outcome, when the run completed.
+    pub fn outcome(&self) -> Option<&SfiOutcome> {
+        match self {
+            CampaignRun::Complete { outcome, .. } => Some(outcome),
+            CampaignRun::Interrupted { .. } => None,
+        }
+    }
+}
+
+/// 64-bit FNV-1a over the facts that determine a campaign's
+/// classifications: scheme, seed, evaluation-set size, classification
+/// criterion, execution strategy, and every sampled fault.
+///
+/// Worker count and retry budget are deliberately excluded — they change
+/// scheduling, never classifications — so a campaign checkpointed at 8
+/// workers resumes cleanly at 1. The fingerprint does not hash model
+/// weights or image pixels; it relies on the sampled fault list (a
+/// deterministic function of plan and seed) plus the caller using the
+/// same artifacts, which the CLI derives from the same seeds.
+pub fn plan_fingerprint(
+    plan: &SfiPlan,
+    seed: u64,
+    eval_images: usize,
+    cfg: &CampaignConfig,
+    sampled: &[Vec<Fault>],
+) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    let scheme_tag: u8 = match plan.scheme() {
+        SchemeKind::NetworkWise => 0,
+        SchemeKind::LayerWise => 1,
+        SchemeKind::DataUnaware => 2,
+        SchemeKind::DataAware => 3,
+        SchemeKind::Neyman => 4,
+    };
+    eat(&[scheme_tag]);
+    eat(&seed.to_le_bytes());
+    eat(&(eval_images as u64).to_le_bytes());
+    match cfg.criterion {
+        Criterion::AnyMismatch => eat(&[0]),
+        Criterion::MismatchRate { threshold } => {
+            eat(&[1]);
+            eat(&threshold.to_bits().to_le_bytes());
+        }
+    }
+    eat(&[u8::from(cfg.incremental), u8::from(cfg.early_exit)]);
+    for faults in sampled {
+        eat(&(faults.len() as u64).to_le_bytes());
+        for fault in faults {
+            eat(&(fault.site.layer as u64).to_le_bytes());
+            eat(&(fault.site.weight as u64).to_le_bytes());
+            eat(&[fault.site.bit]);
+            let model_tag: u8 = match fault.model {
+                FaultModel::StuckAt0 => 0,
+                FaultModel::StuckAt1 => 1,
+                FaultModel::BitFlip => 2,
+                FaultModel::AdjacentFlip => 3,
+            };
+            eat(&[model_tag]);
+        }
+    }
+    h
+}
+
+/// Executes `plan` with write-ahead checkpointing and optional
+/// cooperative cancellation.
+///
+/// Semantics:
+///
+/// - **Fresh run** (`checkpoint.resume == false`): `checkpoint.dir` must
+///   not already hold a journal; every classification is journaled as it
+///   completes.
+/// - **Resume** (`checkpoint.resume == true`): the journal in
+///   `checkpoint.dir` is recovered (tolerating truncated or
+///   checksum-failing tails), validated against this plan's
+///   [`plan_fingerprint`], and every fault it already classifies is
+///   skipped. Only the remainder is re-executed, into a fresh journal
+///   segment.
+/// - **Cancellation**: when `cancel` fires, the execution stops at a
+///   fault boundary, drains in-flight work into the journal, seals it,
+///   and returns [`CampaignRun::Interrupted`].
+///
+/// The completed outcome is identical to
+/// [`execute_plan`](crate::execute::execute_plan) on the same inputs —
+/// same classes, tallies, telemetry counts, and estimates, with only
+/// wall-clock durations differing — regardless of how many times the
+/// campaign was interrupted and at which worker counts it ran.
+///
+/// # Errors
+///
+/// Everything [`execute_plan`](crate::execute::execute_plan) can return,
+/// plus journal I/O failures ([`FaultSimError::Journal`]) and resuming
+/// against a journal from a different plan
+/// ([`FaultSimError::CheckpointMismatch`]).
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan_checkpointed<C: Corruption>(
+    model: &Model,
+    data: &Dataset,
+    golden: &GoldenReference,
+    plan: &SfiPlan,
+    space: &FaultSpace,
+    seed: u64,
+    campaign_cfg: &CampaignConfig,
+    corruption: &C,
+    checkpoint: &CheckpointConfig,
+    cancel: Option<&CancelToken>,
+    progress: &mut dyn FnMut(PlanProgress),
+) -> Result<CampaignRun, SfiError> {
+    if checkpoint.checkpoint_every == 0 {
+        return Err(SfiError::InvalidExperiment {
+            reason: "checkpoint_every must be at least 1".into(),
+        });
+    }
+    let start = Instant::now();
+    let sampled = sample_strata(plan, space, seed)?;
+    let fingerprint = plan_fingerprint(plan, seed, data.len(), campaign_cfg, &sampled);
+    let (mut writer, done, dropped) =
+        open_journal(&checkpoint.dir, checkpoint.resume, fingerprint, checkpoint.checkpoint_every)?;
+
+    // Split every stratum into journal-resumed faults and faults still to
+    // run; remember each to-run fault's original index for the merge.
+    let n_strata = sampled.len();
+    let plan_total: u64 = sampled.iter().map(|f| f.len() as u64).sum();
+    let mut todo: Vec<Vec<usize>> = Vec::with_capacity(n_strata);
+    let mut per_stratum_resumed = vec![0u64; n_strata];
+    for (s, faults) in sampled.iter().enumerate() {
+        let mut missing = Vec::new();
+        for i in 0..faults.len() {
+            if done.contains_key(&FaultId::new(s, i)) {
+                per_stratum_resumed[s] += 1;
+            } else {
+                missing.push(i);
+            }
+        }
+        todo.push(missing);
+    }
+    let resumed: u64 = per_stratum_resumed.iter().sum();
+
+    // Execute the remainder in one pool session, journaling each
+    // classification from the collector as it completes.
+    let mut completed = 0u64;
+    let mut journal_error: Option<FaultSimError> = None;
+    let mut session: Vec<Option<CampaignResult>> = Vec::with_capacity(n_strata);
+    let mut interrupted = false;
+    let exec_out = with_executor(model, data, golden, campaign_cfg, corruption, |exec| {
+        let mut done_before: u64 = per_stratum_resumed.iter().sum();
+        let mut inferences_before = 0u64;
+        for (s, indices) in todo.iter().enumerate() {
+            if interrupted || cancel.is_some_and(|t| t.is_cancelled()) {
+                interrupted = true;
+                session.push(None);
+                continue;
+            }
+            if indices.is_empty() {
+                session.push(None);
+                continue;
+            }
+            let subset: Vec<Fault> = indices.iter().map(|&i| sampled[s][i]).collect();
+            let stratum_total = sampled[s].len() as u64;
+            let stratum_resumed = per_stratum_resumed[s];
+            let out = exec.run_with(
+                &subset,
+                &mut |p| {
+                    progress(PlanProgress {
+                        stratum: s,
+                        strata: n_strata,
+                        completed: stratum_resumed + p.completed,
+                        total: stratum_total,
+                        plan_completed: done_before + p.completed,
+                        plan_total,
+                        inferences: inferences_before + p.inferences,
+                    })
+                },
+                &mut |subset_idx, class, cost| {
+                    completed += 1;
+                    if journal_error.is_none() {
+                        let id = FaultId::new(s, indices[subset_idx]);
+                        if let Err(e) = writer.append(id, class, cost) {
+                            journal_error = Some(e);
+                        }
+                    }
+                },
+                cancel,
+            );
+            match out {
+                Ok(result) => {
+                    done_before += result.injections;
+                    inferences_before += result.inferences;
+                    session.push(Some(result));
+                }
+                Err(FaultSimError::Cancelled { .. }) => {
+                    interrupted = true;
+                    session.push(None);
+                }
+                Err(e) => return Err(e),
+            }
+            if let Some(e) = journal_error.take() {
+                return Err(e);
+            }
+        }
+        Ok(())
+    });
+    // Seal before surfacing any error: whatever was classified is durable.
+    let seal = writer.seal();
+    exec_out.map_err(SfiError::from)?;
+    seal.map_err(SfiError::from)?;
+
+    let stats = ResumeStats { resumed, dropped, completed, total: plan_total, per_stratum_resumed };
+    if interrupted {
+        return Ok(CampaignRun::Interrupted { stats });
+    }
+
+    // Merge journal-resumed and freshly-run classifications back into
+    // fault order, stratum by stratum.
+    let mut results = Vec::with_capacity(n_strata);
+    for (s, faults) in sampled.iter().enumerate() {
+        let fresh = &session[s];
+        let mut classes = Vec::with_capacity(faults.len());
+        let mut inferences = 0u64;
+        let mut fresh_cursor = 0usize;
+        for i in 0..faults.len() {
+            if let Some(&(class, cost)) = done.get(&FaultId::new(s, i)) {
+                classes.push(class);
+                inferences += cost;
+            } else {
+                let result = fresh.as_ref().ok_or_else(|| SfiError::InvalidExperiment {
+                    reason: format!("stratum {s} has unclassified faults but no session result"),
+                })?;
+                classes.push(result.classes[fresh_cursor]);
+                fresh_cursor += 1;
+            }
+        }
+        let (fresh_inferences, elapsed) = fresh
+            .as_ref()
+            .map(|r| (r.inferences, r.elapsed))
+            .unwrap_or((0, std::time::Duration::ZERO));
+        inferences += fresh_inferences;
+        results.push(CampaignResult {
+            injections: faults.len() as u64,
+            classes,
+            inferences,
+            elapsed,
+        });
+    }
+    let outcome = assemble_outcome(plan, space, &sampled, &results, start.elapsed());
+    Ok(CampaignRun::Complete { outcome, stats })
+}
+
+/// Creates or resumes the journal, returning the writer, the map of
+/// already-classified faults, and the count of corrupt records dropped
+/// during recovery.
+type DoneMap = std::collections::HashMap<FaultId, (FaultClass, u64)>;
+
+fn open_journal(
+    dir: &Path,
+    resume: bool,
+    fingerprint: u64,
+    checkpoint_every: u64,
+) -> Result<(JournalWriter, DoneMap, u64), SfiError> {
+    if resume {
+        let (writer, recovery) = journal::resume(dir, fingerprint, checkpoint_every)?;
+        let dropped = recovery.dropped;
+        Ok((writer, recovery.as_map(), dropped))
+    } else {
+        let writer = JournalWriter::create(dir, fingerprint, checkpoint_every)?;
+        Ok((writer, DoneMap::new(), 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::plan_layer_wise;
+    use sfi_dataset::SynthCifarConfig;
+    use sfi_faultsim::campaign::Ieee754Corruption;
+    use sfi_nn::resnet::ResNetConfig;
+    use sfi_stats::sample_size::SampleSpec;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("sfi-checkpoint-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn setup() -> (Model, Dataset, GoldenReference, FaultSpace) {
+        let model = ResNetConfig::resnet20_micro().build_seeded(10).unwrap();
+        let data = SynthCifarConfig::new().with_size(16).with_samples(3).generate();
+        let golden = GoldenReference::build(&model, &data).unwrap();
+        let space = FaultSpace::stuck_at(&model);
+        (model, data, golden, space)
+    }
+
+    fn loose_spec() -> SampleSpec {
+        SampleSpec { error_margin: 0.15, ..SampleSpec::paper_default() }
+    }
+
+    fn strip_wall(outcome: &SfiOutcome) -> impl PartialEq + std::fmt::Debug {
+        (
+            outcome.scheme(),
+            outcome.strata().to_vec(),
+            outcome
+                .stratum_telemetry()
+                .iter()
+                .map(|t| {
+                    (
+                        t.injections,
+                        t.inferences,
+                        t.masked,
+                        t.critical,
+                        t.non_critical,
+                        t.exec_failures,
+                    )
+                })
+                .collect::<Vec<_>>(),
+            outcome.layer_tallies().to_vec(),
+            outcome.injections(),
+            outcome.inferences(),
+        )
+    }
+
+    #[test]
+    fn uninterrupted_checkpointed_run_matches_plain_execution() {
+        let (model, data, golden, space) = setup();
+        let plan = plan_layer_wise(&space, &loose_spec());
+        let cfg = CampaignConfig::default();
+        let plain = crate::execute::execute_plan(&model, &data, &golden, &plan, 5, &cfg).unwrap();
+        let dir = tmp_dir("plain");
+        let run = execute_plan_checkpointed(
+            &model,
+            &data,
+            &golden,
+            &plan,
+            &space,
+            5,
+            &cfg,
+            &Ieee754Corruption,
+            &CheckpointConfig::new(&dir),
+            None,
+            &mut |_| {},
+        )
+        .unwrap();
+        let CampaignRun::Complete { outcome, stats } = run else { panic!("expected Complete") };
+        assert_eq!(strip_wall(&outcome), strip_wall(&plain));
+        assert_eq!(stats.resumed, 0);
+        assert_eq!(stats.completed, plain.injections());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interrupt_and_resume_is_identical_to_uninterrupted() {
+        let (model, data, golden, space) = setup();
+        let plan = plan_layer_wise(&space, &loose_spec());
+        let cfg = CampaignConfig::default();
+        let plain = crate::execute::execute_plan(&model, &data, &golden, &plan, 7, &cfg).unwrap();
+        let dir = tmp_dir("resume");
+        // Interrupt after ~40% of the plan.
+        let token = CancelToken::new();
+        let stop_at = plain.injections() * 2 / 5;
+        let run = execute_plan_checkpointed(
+            &model,
+            &data,
+            &golden,
+            &plan,
+            &space,
+            7,
+            &cfg,
+            &Ieee754Corruption,
+            &CheckpointConfig::new(&dir),
+            Some(&token),
+            &mut |p| {
+                if p.plan_completed >= stop_at {
+                    token.cancel();
+                }
+            },
+        )
+        .unwrap();
+        let CampaignRun::Interrupted { stats } = run else { panic!("expected an interrupted run") };
+        assert!(stats.completed >= stop_at);
+        assert!(stats.completed < plain.injections());
+        // Resume to completion (different worker count on purpose).
+        let resume_cfg = CampaignConfig { workers: 4, ..cfg };
+        let checkpoint = CheckpointConfig { dir: dir.clone(), resume: true, checkpoint_every: 64 };
+        let run = execute_plan_checkpointed(
+            &model,
+            &data,
+            &golden,
+            &plan,
+            &space,
+            7,
+            &resume_cfg,
+            &Ieee754Corruption,
+            &checkpoint,
+            None,
+            &mut |_| {},
+        )
+        .unwrap();
+        let CampaignRun::Complete { outcome, stats } = run else { panic!("expected Complete") };
+        assert_eq!(stats.resumed, stats.total - stats.completed);
+        assert!(stats.resumed > 0, "the journal must have carried work over");
+        assert_eq!(strip_wall(&outcome), strip_wall(&plain));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_under_different_plan_is_rejected() {
+        let (model, data, golden, space) = setup();
+        let plan = plan_layer_wise(&space, &loose_spec());
+        let cfg = CampaignConfig::default();
+        let dir = tmp_dir("mismatch");
+        let run = execute_plan_checkpointed(
+            &model,
+            &data,
+            &golden,
+            &plan,
+            &space,
+            1,
+            &cfg,
+            &Ieee754Corruption,
+            &CheckpointConfig::new(&dir),
+            None,
+            &mut |_| {},
+        );
+        assert!(run.is_ok());
+        // Same journal, different seed: the fingerprint must not match.
+        let checkpoint = CheckpointConfig { dir: dir.clone(), resume: true, checkpoint_every: 64 };
+        let err = execute_plan_checkpointed(
+            &model,
+            &data,
+            &golden,
+            &plan,
+            &space,
+            2,
+            &cfg,
+            &Ieee754Corruption,
+            &checkpoint,
+            None,
+            &mut |_| {},
+        )
+        .unwrap_err();
+        assert!(matches!(err, SfiError::FaultSim(FaultSimError::CheckpointMismatch { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_ignores_workers_but_not_criterion() {
+        let (_, data, _, space) = setup();
+        let plan = plan_layer_wise(&space, &loose_spec());
+        let cfg1 = CampaignConfig { workers: 1, ..CampaignConfig::default() };
+        let cfg8 = CampaignConfig { workers: 8, ..CampaignConfig::default() };
+        let sampled = sample_strata(&plan, &space, 3).unwrap();
+        let a = plan_fingerprint(&plan, 3, data.len(), &cfg1, &sampled);
+        let b = plan_fingerprint(&plan, 3, data.len(), &cfg8, &sampled);
+        assert_eq!(a, b, "worker count must not invalidate a checkpoint");
+        let strict = CampaignConfig {
+            criterion: Criterion::MismatchRate { threshold: 0.5 },
+            ..CampaignConfig::default()
+        };
+        let c = plan_fingerprint(&plan, 3, data.len(), &strict, &sampled);
+        assert_ne!(a, c, "the classification criterion is part of the plan identity");
+    }
+
+    #[test]
+    fn completed_journal_resumes_to_the_same_outcome_without_reexecution() {
+        let (model, data, golden, space) = setup();
+        let plan = plan_layer_wise(&space, &loose_spec());
+        let cfg = CampaignConfig::default();
+        let dir = tmp_dir("noop");
+        let first = execute_plan_checkpointed(
+            &model,
+            &data,
+            &golden,
+            &plan,
+            &space,
+            9,
+            &cfg,
+            &Ieee754Corruption,
+            &CheckpointConfig::new(&dir),
+            None,
+            &mut |_| {},
+        )
+        .unwrap();
+        let checkpoint = CheckpointConfig { dir: dir.clone(), resume: true, checkpoint_every: 64 };
+        let second = execute_plan_checkpointed(
+            &model,
+            &data,
+            &golden,
+            &plan,
+            &space,
+            9,
+            &cfg,
+            &Ieee754Corruption,
+            &checkpoint,
+            None,
+            &mut |_| {},
+        )
+        .unwrap();
+        let (CampaignRun::Complete { outcome: a, .. }, CampaignRun::Complete { outcome: b, stats }) =
+            (first, second)
+        else {
+            panic!("both runs must complete")
+        };
+        assert_eq!(stats.completed, 0, "nothing left to execute");
+        assert_eq!(stats.resumed, stats.total);
+        assert_eq!(strip_wall(&a), strip_wall(&b));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

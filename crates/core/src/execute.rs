@@ -266,23 +266,7 @@ pub fn execute_plan_observed<C: Corruption>(
     let start = Instant::now();
     // Phase 1 — resolve and sample every stratum (plan/sampling errors
     // surface before any worker is spawned).
-    let mut sampled: Vec<Vec<Fault>> = Vec::with_capacity(plan.strata().len());
-    for (idx, stratum) in plan.strata().iter().enumerate() {
-        let subpop = resolve(space, stratum)?;
-        if subpop.size() != stratum.population {
-            return Err(SfiError::PlanMismatch {
-                reason: format!(
-                    "stratum {idx} plans population {} but the model provides {}",
-                    stratum.population,
-                    subpop.size()
-                ),
-            });
-        }
-        let mut rng =
-            StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-        let indices = sample_without_replacement(subpop.size(), stratum.sample, &mut rng)?;
-        sampled.push(subpop.faults_at(&indices)?);
-    }
+    let sampled = sample_strata(plan, space, seed)?;
     // Phase 2 — one executor session across all strata.
     let n_strata = sampled.len();
     let plan_total: u64 = sampled.iter().map(|f| f.len() as u64).sum();
@@ -309,15 +293,64 @@ pub fn execute_plan_observed<C: Corruption>(
         Ok(results)
     })?;
     // Phase 3 — assemble outcomes, tallies, and telemetry.
-    let mut strata = Vec::with_capacity(n_strata);
-    let mut stratum_telemetry = Vec::with_capacity(n_strata);
+    Ok(assemble_outcome(plan, space, &sampled, &results, start.elapsed()))
+}
+
+/// Resolves and samples every stratum of `plan` (phase 1 of execution).
+///
+/// Sampling is deterministic in `seed`: each stratum derives an
+/// independent sub-seed, so the same `(plan, seed)` pair always yields the
+/// same fault lists — the property checkpoint resume relies on.
+pub(crate) fn sample_strata(
+    plan: &SfiPlan,
+    space: &FaultSpace,
+    seed: u64,
+) -> Result<Vec<Vec<Fault>>, SfiError> {
+    let mut sampled: Vec<Vec<Fault>> = Vec::with_capacity(plan.strata().len());
+    for (idx, stratum) in plan.strata().iter().enumerate() {
+        let subpop = resolve(space, stratum)?;
+        if subpop.size() != stratum.population {
+            return Err(SfiError::PlanMismatch {
+                reason: format!(
+                    "stratum {idx} plans population {} but the model provides {}",
+                    stratum.population,
+                    subpop.size()
+                ),
+            });
+        }
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let indices = sample_without_replacement(subpop.size(), stratum.sample, &mut rng)?;
+        sampled.push(subpop.faults_at(&indices)?);
+    }
+    Ok(sampled)
+}
+
+/// Builds the [`SfiOutcome`] from per-stratum campaign results (phase 3 of
+/// execution; shared with checkpointed execution).
+///
+/// Faults recorded as [`FaultClass::ExecutionFailure`] are excluded from
+/// each stratum's statistical sample — they produced no classification, so
+/// counting them would silently bias the estimate downwards.
+pub(crate) fn assemble_outcome(
+    plan: &SfiPlan,
+    space: &FaultSpace,
+    sampled: &[Vec<Fault>],
+    results: &[sfi_faultsim::campaign::CampaignResult],
+    elapsed: Duration,
+) -> SfiOutcome {
+    let mut strata = Vec::with_capacity(results.len());
+    let mut stratum_telemetry = Vec::with_capacity(results.len());
     let mut layer_counts: Vec<(u64, u64)> = vec![(0, 0); space.layers()];
     let mut injections = 0u64;
     let mut inferences = 0u64;
-    for ((stratum, faults), result) in plan.strata().iter().zip(&sampled).zip(&results) {
+    for ((stratum, faults), result) in plan.strata().iter().zip(sampled).zip(results) {
         injections += result.injections;
         inferences += result.inferences;
         for (fault, class) in faults.iter().zip(&result.classes) {
+            if matches!(class, FaultClass::ExecutionFailure) {
+                continue;
+            }
             let entry = &mut layer_counts[fault.site.layer];
             entry.0 += 1;
             if class.is_critical() {
@@ -329,7 +362,7 @@ pub fn execute_plan_observed<C: Corruption>(
             stratum: *stratum,
             result: StratumResult {
                 population: stratum.population,
-                sample: result.injections,
+                sample: result.injections - result.exec_failures(),
                 successes: result.critical(),
             },
         });
@@ -343,7 +376,7 @@ pub fn execute_plan_observed<C: Corruption>(
     let layer_populations = (0..space.layers())
         .map(|l| space.layer_subpopulation(l).expect("index in range").size())
         .collect();
-    Ok(SfiOutcome {
+    SfiOutcome {
         scheme: plan.scheme(),
         strata,
         stratum_telemetry,
@@ -351,8 +384,8 @@ pub fn execute_plan_observed<C: Corruption>(
         layer_populations,
         injections,
         inferences,
-        elapsed: start.elapsed(),
-    })
+        elapsed,
+    }
 }
 
 fn resolve(space: &FaultSpace, stratum: &Stratum) -> Result<Subpopulation, SfiError> {

@@ -24,6 +24,11 @@
 //!    ([`exhaustive`]) — does the truth fall inside every margin, and what
 //!    did the campaign cost? This regenerates paper Table III.
 //!
+//! Long-running executions can be made crash-tolerant with [`checkpoint`]:
+//! every classification is journaled as it completes, interrupted runs
+//! resume without repeating work, and the merged outcome is identical to
+//! an uninterrupted execution.
+//!
 //! # Example: planning the paper's Table I columns
 //!
 //! ```
@@ -47,6 +52,7 @@ mod error;
 
 pub mod adaptive;
 pub mod bits;
+pub mod checkpoint;
 pub mod execute;
 pub mod exhaustive;
 pub mod hardening;

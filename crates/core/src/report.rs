@@ -169,44 +169,70 @@ pub fn outcome_to_csv(
 
 /// Renders an executed outcome's per-stratum telemetry as a text table:
 /// one row per stratum (layer/bit labels, injections, inferences, class
-/// tallies, wall time, throughput) plus a totals row.
+/// tallies, execution failures, wall time, throughput) plus a totals row.
 pub fn telemetry_report(outcome: &crate::execute::SfiOutcome) -> String {
-    let mut t = TextTable::new(vec![
-        "stratum".into(),
+    telemetry_report_resumed(outcome, None)
+}
+
+/// [`telemetry_report`] with an optional per-stratum `resumed` column —
+/// how many of each stratum's classifications were replayed from a
+/// checkpoint journal instead of executed this session (plan order, as in
+/// [`ResumeStats::per_stratum_resumed`](crate::checkpoint::ResumeStats)).
+pub fn telemetry_report_resumed(
+    outcome: &crate::execute::SfiOutcome,
+    per_stratum_resumed: Option<&[u64]>,
+) -> String {
+    let mut header = vec![
+        "stratum".to_string(),
         "injections".into(),
         "masked".into(),
         "critical".into(),
+        "failures".into(),
         "inferences".into(),
         "wall [ms]".into(),
         "inf/s".into(),
-    ]);
-    for (s, tel) in outcome.strata().iter().zip(outcome.stratum_telemetry()) {
+    ];
+    if per_stratum_resumed.is_some() {
+        header.insert(1, "resumed".into());
+    }
+    let mut t = TextTable::new(header);
+    for (idx, (s, tel)) in outcome.strata().iter().zip(outcome.stratum_telemetry()).enumerate() {
         let label = match (s.stratum.layer, s.stratum.bit) {
             (None, _) => "network".to_string(),
             (Some(l), None) => format!("L{l}"),
             (Some(l), Some(b)) => format!("L{l}/b{b}"),
         };
-        t.add_row(vec![
+        let mut row = vec![
             label,
             group_digits(tel.injections),
             group_digits(tel.masked),
             group_digits(tel.critical),
+            group_digits(tel.exec_failures),
             group_digits(tel.inferences),
             format!("{:.1}", tel.wall.as_secs_f64() * 1e3),
             format!("{:.0}", tel.inferences_per_second()),
-        ]);
+        ];
+        if let Some(resumed) = per_stratum_resumed {
+            row.insert(1, group_digits(resumed.get(idx).copied().unwrap_or(0)));
+        }
+        t.add_row(row);
     }
     let total_wall: f64 = outcome.stratum_telemetry().iter().map(|t| t.wall.as_secs_f64()).sum();
     let rate = if total_wall > 0.0 { outcome.inferences() as f64 / total_wall } else { 0.0 };
-    t.add_row(vec![
-        "total".into(),
+    let mut row = vec![
+        "total".to_string(),
         group_digits(outcome.injections()),
         group_digits(outcome.stratum_telemetry().iter().map(|t| t.masked).sum()),
         group_digits(outcome.stratum_telemetry().iter().map(|t| t.critical).sum()),
+        group_digits(outcome.stratum_telemetry().iter().map(|t| t.exec_failures).sum()),
         group_digits(outcome.inferences()),
         format!("{:.1}", total_wall * 1e3),
         format!("{rate:.0}"),
-    ]);
+    ];
+    if let Some(resumed) = per_stratum_resumed {
+        row.insert(1, group_digits(resumed.iter().sum()));
+    }
+    t.add_row(row);
     t.render()
 }
 
@@ -338,8 +364,18 @@ mod tests {
         let lines: Vec<&str> = report.lines().collect();
         // Header + separator + one row per stratum + totals.
         assert_eq!(lines.len(), 2 + space.layers() + 1);
+        assert!(lines[0].contains("failures"));
+        assert!(!lines[0].contains("resumed"));
         assert!(lines[2].starts_with("L0"));
         assert!(lines.last().unwrap().starts_with("total"));
+
+        // The resumed variant adds a column fed from per-stratum counts.
+        let resumed: Vec<u64> = (0..outcome.strata().len() as u64).collect();
+        let report = telemetry_report_resumed(&outcome, Some(&resumed));
+        let lines: Vec<&str> = report.lines().collect();
+        assert!(lines[0].contains("resumed"));
+        let total: u64 = resumed.iter().sum();
+        assert!(lines.last().unwrap().contains(&group_digits(total)));
     }
 
     #[test]

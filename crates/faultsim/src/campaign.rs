@@ -68,6 +68,10 @@ pub enum FaultClass {
     /// The stuck-at value equalled the stored bit: the fault cannot have
     /// any effect and no inference was run.
     Masked,
+    /// The fault could not be classified: evaluating it panicked beyond the
+    /// retry budget or produced degenerate logits. Recorded instead of
+    /// aborting the campaign; excluded from the statistical sample.
+    ExecutionFailure,
 }
 
 impl FaultClass {
@@ -94,11 +98,22 @@ pub struct CampaignConfig {
     /// classification is decided (always sound for
     /// [`Criterion::AnyMismatch`]).
     pub early_exit: bool,
+    /// How many times a fault whose evaluation *panicked* is re-queued
+    /// (to a surviving worker, or to a fresh model clone inline) before it
+    /// is recorded as [`FaultClass::ExecutionFailure`]. Panics never abort
+    /// a campaign; they cost at most `1 + max_fault_retries` attempts.
+    pub max_fault_retries: usize,
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        Self { criterion: Criterion::AnyMismatch, incremental: true, workers: 1, early_exit: true }
+        Self {
+            criterion: Criterion::AnyMismatch,
+            incremental: true,
+            workers: 1,
+            early_exit: true,
+            max_fault_retries: 1,
+        }
     }
 }
 
@@ -124,6 +139,12 @@ impl CampaignResult {
     /// Number of masked faults (stuck-at equal to the stored bit).
     pub fn masked(&self) -> u64 {
         self.classes.iter().filter(|c| matches!(c, FaultClass::Masked)).count() as u64
+    }
+
+    /// Number of faults recorded as [`FaultClass::ExecutionFailure`]
+    /// (panicked beyond the retry budget or degenerate logits).
+    pub fn exec_failures(&self) -> u64 {
+        self.classes.iter().filter(|c| matches!(c, FaultClass::ExecutionFailure)).count() as u64
     }
 
     /// Fraction of critical faults among all injected faults.

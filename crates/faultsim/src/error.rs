@@ -23,6 +23,38 @@ pub enum FaultSimError {
     },
     /// The campaign was given no evaluation images.
     EmptyEvalSet,
+    /// One or more pool workers died without reporting their claimed
+    /// faults (a non-unwinding death; panics are isolated and retried).
+    WorkerLost {
+        /// Faults whose reports never arrived.
+        missing: u64,
+    },
+    /// Every pool worker has died; the campaign cannot make progress.
+    WorkerPoolExhausted,
+    /// Internal accounting failure: a fault slot was never filled even
+    /// though every worker report was consumed.
+    MissingResult {
+        /// The unfilled fault index.
+        index: usize,
+    },
+    /// The campaign was cooperatively cancelled via a
+    /// [`CancelToken`](crate::executor::CancelToken); every fault classified
+    /// before the stop was reported through the run's hooks.
+    Cancelled {
+        /// Faults classified before the cancellation took effect.
+        completed: u64,
+    },
+    /// A checkpoint journal could not be written, read, or parsed.
+    Journal {
+        /// Human-readable description of the failure.
+        reason: String,
+    },
+    /// A checkpoint journal belongs to a different plan (model, seed,
+    /// scheme, or campaign options differ).
+    CheckpointMismatch {
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
 }
 
 impl fmt::Display for FaultSimError {
@@ -34,6 +66,22 @@ impl fmt::Display for FaultSimError {
                 write!(f, "fault index {index} out of range for subpopulation of size {size}")
             }
             FaultSimError::EmptyEvalSet => write!(f, "evaluation set must not be empty"),
+            FaultSimError::WorkerLost { missing } => {
+                write!(f, "campaign workers died with {missing} fault report(s) outstanding")
+            }
+            FaultSimError::WorkerPoolExhausted => {
+                write!(f, "every campaign worker has died; no worker left to classify faults")
+            }
+            FaultSimError::MissingResult { index } => {
+                write!(f, "fault slot {index} was never filled by any worker")
+            }
+            FaultSimError::Cancelled { completed } => {
+                write!(f, "campaign cancelled after {completed} classified fault(s)")
+            }
+            FaultSimError::Journal { reason } => write!(f, "journal error: {reason}"),
+            FaultSimError::CheckpointMismatch { reason } => {
+                write!(f, "checkpoint mismatch: {reason}")
+            }
         }
     }
 }

@@ -20,6 +20,28 @@
 //! output **byte-identical** to the single-threaded path regardless of
 //! worker count or scheduling order.
 //!
+//! # Crash tolerance
+//!
+//! Campaigns at validation scale run for hours; the executor therefore
+//! never lets one bad fault take the session down:
+//!
+//! - **Panic isolation** — each fault's classification runs under
+//!   [`std::panic::catch_unwind`]. A panicking fault poisons at most the
+//!   worker that ran it: that worker retires (its model clone may hold an
+//!   unreverted fault), the fault is re-queued to a surviving worker up to
+//!   [`CampaignConfig::max_fault_retries`] times, and a fault that keeps
+//!   panicking is recorded as [`FaultClass::ExecutionFailure`] instead of
+//!   aborting the run. The pool degrades gracefully; in inline mode the
+//!   single model clone is rebuilt from the pristine model after a panic.
+//! - **Cooperative cancellation** — [`CampaignExecutor::run_with`] accepts
+//!   a [`CancelToken`] checked at fault boundaries. On cancellation the
+//!   collector stops issuing work, drains every in-flight classification
+//!   (reporting each through the `on_classified` hook, so journals stay
+//!   complete), and returns [`FaultSimError::Cancelled`].
+//! - **Typed channel errors** — a worker that dies without unwinding
+//!   surfaces as [`FaultSimError::WorkerLost`] /
+//!   [`FaultSimError::WorkerPoolExhausted`], never as a hang or an abort.
+//!
 //! # Example
 //!
 //! ```
@@ -49,9 +71,11 @@
 //! # }
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
@@ -64,6 +88,32 @@ use crate::fault::Fault;
 use crate::golden::GoldenReference;
 use crate::injector::{inject_with, revert};
 use crate::FaultSimError;
+
+/// A cooperative stop signal for long-running campaigns.
+///
+/// Cloning shares the underlying flag: arm the token from any thread (a
+/// signal handler, a timeout, a UI) with [`cancel`](Self::cancel) and every
+/// executor run holding a clone stops at its next fault boundary, drains
+/// in-flight work, and returns [`FaultSimError::Cancelled`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms the token; idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
 
 /// Progress snapshot delivered to [`CampaignExecutor::run_observed`]
 /// callbacks after every completed fault.
@@ -96,18 +146,23 @@ pub struct CampaignTelemetry {
     pub critical: u64,
     /// Effective but harmless faults.
     pub non_critical: u64,
+    /// Faults that could not be classified (panicked beyond the retry
+    /// budget or produced degenerate logits).
+    pub exec_failures: u64,
 }
 
 impl CampaignTelemetry {
     /// Derives the telemetry of a finished campaign.
     pub fn from_result(result: &CampaignResult) -> Self {
+        let exec_failures = result.exec_failures();
         Self {
             wall: result.elapsed,
             injections: result.injections,
             inferences: result.inferences,
             masked: result.masked(),
             critical: result.critical(),
-            non_critical: result.injections - result.masked() - result.critical(),
+            non_critical: result.injections - result.masked() - result.critical() - exec_failures,
+            exec_failures,
         }
     }
 
@@ -123,22 +178,98 @@ impl CampaignTelemetry {
     }
 }
 
+/// Retry queue + completion flag behind the shared steal cursor.
+struct BatchState {
+    /// Fault indices whose claimer panicked, awaiting a surviving worker.
+    retries: VecDeque<usize>,
+    /// Set by the collector when no further work will be issued.
+    closed: bool,
+}
+
 /// One unit of pool work: a shared fault list plus the steal cursor.
 struct Batch {
     faults: Vec<Fault>,
     next: AtomicUsize,
+    /// Fast-path stop flag mirroring `BatchState::closed`.
+    stop: AtomicBool,
+    state: Mutex<BatchState>,
+    wake: Condvar,
 }
 
-/// Per-fault worker report: the fault's slot, its classification (or the
-/// first error hit while classifying it), and the inferences it cost.
-type Item = (usize, Result<(FaultClass, u64), FaultSimError>);
+impl Batch {
+    fn new(faults: Vec<Fault>) -> Self {
+        Self {
+            faults,
+            next: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            state: Mutex::new(BatchState { retries: VecDeque::new(), closed: false }),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Claims the next fault index: re-queued retries first, then the
+    /// cursor; blocks when the cursor is exhausted but a panicked fault may
+    /// still be re-queued. Returns `None` once the batch is closed.
+    fn claim(&self) -> Option<usize> {
+        if self.stop.load(Ordering::Acquire) {
+            return None;
+        }
+        if let Some(idx) = self.state.lock().expect("batch lock never poisoned").retries.pop_front()
+        {
+            return Some(idx);
+        }
+        let idx = self.next.fetch_add(1, Ordering::Relaxed);
+        if idx < self.faults.len() {
+            return Some(idx);
+        }
+        let mut st = self.state.lock().expect("batch lock never poisoned");
+        loop {
+            if let Some(idx) = st.retries.pop_front() {
+                return Some(idx);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.wake.wait(st).expect("batch lock never poisoned");
+        }
+    }
+
+    /// Re-queues a fault whose claimer panicked and wakes idle workers.
+    fn requeue(&self, idx: usize) {
+        let mut st = self.state.lock().expect("batch lock never poisoned");
+        st.retries.push_back(idx);
+        drop(st);
+        self.wake.notify_all();
+    }
+
+    /// Closes the batch: workers stop claiming and idle workers wake up.
+    fn close(&self) {
+        self.stop.store(true, Ordering::Release);
+        let mut st = self.state.lock().expect("batch lock never poisoned");
+        st.closed = true;
+        drop(st);
+        self.wake.notify_all();
+    }
+}
+
+/// Per-fault worker message back to the collector.
+enum WorkerReport {
+    /// The fault's slot, its classification (or the first error hit while
+    /// classifying it), and the inferences it cost.
+    Classified(usize, Result<(FaultClass, u64), FaultSimError>),
+    /// Classifying `fault` panicked; `worker` retires (its model clone may
+    /// hold an unreverted fault). The panic payload itself is reported by
+    /// the standard panic hook on the worker's thread.
+    Panicked { fault: usize, worker: usize },
+}
 
 /// A batch handed to one worker, with the result lane back to the
-/// collector. Dropping the `results` sender signals batch completion.
+/// collector. Dropping the `results` sender signals the worker is done
+/// with the batch.
 struct Task {
     batch: Arc<Batch>,
     needed_for_critical: usize,
-    results: Sender<Item>,
+    results: Sender<WorkerReport>,
 }
 
 /// A campaign executor bound to one `(model, data, golden, corruption)`
@@ -151,6 +282,8 @@ struct Task {
 /// persistent clone, which is also the reference behaviour the pooled path
 /// must reproduce bit-for-bit.
 pub struct CampaignExecutor<'a, C: Corruption> {
+    /// Pristine model, used to rebuild the inline clone after a panic.
+    model: &'a Model,
     data: &'a Dataset,
     golden: &'a GoldenReference,
     cfg: CampaignConfig,
@@ -161,8 +294,9 @@ pub struct CampaignExecutor<'a, C: Corruption> {
 enum Mode {
     /// Single persistent model clone, processed on the calling thread.
     Inline(Box<Model>),
-    /// Worker pool; one task sender per worker thread.
-    Pool(Vec<Sender<Task>>),
+    /// Worker pool; one task sender per surviving worker thread (`None`
+    /// marks a worker that died and was pruned from the pool).
+    Pool(Vec<Option<Sender<Task>>>),
 }
 
 /// Runs `f` with a campaign executor whose worker pool (and per-worker
@@ -193,6 +327,7 @@ where
     let workers = cfg.workers.max(1);
     if workers == 1 {
         let mut exec = CampaignExecutor {
+            model,
             data,
             golden,
             cfg: *cfg,
@@ -203,14 +338,22 @@ where
     }
     std::thread::scope(|scope| {
         let mut senders = Vec::with_capacity(workers);
-        for _ in 0..workers {
+        for worker_id in 0..workers {
             let (tx, rx) = channel::<Task>();
-            senders.push(tx);
+            senders.push(Some(tx));
             let worker_model = model.clone();
-            scope.spawn(move || worker_loop(worker_model, data, golden, cfg, corruption, rx));
+            scope.spawn(move || {
+                worker_loop(worker_id, worker_model, data, golden, cfg, corruption, rx)
+            });
         }
-        let mut exec =
-            CampaignExecutor { data, golden, cfg: *cfg, corruption, mode: Mode::Pool(senders) };
+        let mut exec = CampaignExecutor {
+            model,
+            data,
+            golden,
+            cfg: *cfg,
+            corruption,
+            mode: Mode::Pool(senders),
+        };
         let out = f(&mut exec);
         // Dropping `exec` (and with it the task senders) disconnects every
         // worker's receiver; the scope then joins the exiting workers.
@@ -242,65 +385,190 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
         faults: &[Fault],
         progress: &mut dyn FnMut(CampaignProgress),
     ) -> Result<CampaignResult, FaultSimError> {
+        self.run_with(faults, progress, &mut |_, _, _| {}, None)
+    }
+
+    /// The fully instrumented run: progress callbacks, a per-fault
+    /// completion sink, and cooperative cancellation.
+    ///
+    /// `on_classified(index, class, inferences)` fires in **completion
+    /// order** (not fault order) exactly once per classified fault — the
+    /// hook checkpoint journals use to persist results as they happen.
+    /// `cancel` is checked at every fault boundary; on cancellation the
+    /// executor stops issuing work, drains in-flight classifications
+    /// (still reporting them through `on_classified`), and returns
+    /// [`FaultSimError::Cancelled`].
+    ///
+    /// # Errors
+    ///
+    /// - the first injection or inference error, by fault order;
+    /// - [`FaultSimError::Cancelled`] when `cancel` fires;
+    /// - [`FaultSimError::WorkerLost`] / [`FaultSimError::WorkerPoolExhausted`]
+    ///   when pool workers die without unwinding (panics are isolated and
+    ///   do **not** produce these).
+    pub fn run_with(
+        &mut self,
+        faults: &[Fault],
+        progress: &mut dyn FnMut(CampaignProgress),
+        on_classified: &mut dyn FnMut(usize, FaultClass, u64),
+        cancel: Option<&CancelToken>,
+    ) -> Result<CampaignResult, FaultSimError> {
+        if cancel.is_some_and(|t| t.is_cancelled()) {
+            return Err(FaultSimError::Cancelled { completed: 0 });
+        }
         let start = Instant::now();
         let needed = needed_for_critical(&self.cfg, self.data.len());
         let total = faults.len() as u64;
         let mut inferences = 0u64;
+        let data = self.data;
+        let golden = self.golden;
+        let cfg = self.cfg;
+        let corruption = self.corruption;
         let classes = match &mut self.mode {
             Mode::Inline(model) => {
                 let mut classes = Vec::with_capacity(faults.len());
                 for (done, fault) in faults.iter().enumerate() {
-                    let (class, cost) = classify_one(
-                        model,
-                        self.data,
-                        self.golden,
-                        fault,
-                        needed,
-                        &self.cfg,
-                        self.corruption,
-                    )?;
+                    if cancel.is_some_and(|t| t.is_cancelled()) {
+                        return Err(FaultSimError::Cancelled { completed: done as u64 });
+                    }
+                    let mut attempts = 0usize;
+                    let (class, cost) = loop {
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            classify_one(model, data, golden, fault, needed, &cfg, corruption)
+                        }));
+                        match outcome {
+                            Ok(item) => break item?,
+                            Err(_) => {
+                                // The clone may hold an unreverted fault;
+                                // rebuild it from the pristine model.
+                                **model = self.model.clone();
+                                if attempts >= cfg.max_fault_retries {
+                                    break (FaultClass::ExecutionFailure, 0);
+                                }
+                                attempts += 1;
+                            }
+                        }
+                    };
                     inferences += cost;
                     classes.push(class);
+                    on_classified(done, class, cost);
                     progress(CampaignProgress { completed: done as u64 + 1, total, inferences });
                 }
                 classes
             }
             Mode::Pool(senders) => {
-                let batch = Arc::new(Batch { faults: faults.to_vec(), next: AtomicUsize::new(0) });
-                let (tx, rx) = channel::<Item>();
-                for sender in senders.iter() {
+                let batch = Arc::new(Batch::new(faults.to_vec()));
+                let (tx, rx) = channel::<WorkerReport>();
+                let mut live = 0usize;
+                for slot in senders.iter_mut() {
+                    let Some(sender) = slot else { continue };
                     let task = Task {
                         batch: Arc::clone(&batch),
                         needed_for_critical: needed,
                         results: tx.clone(),
                     };
-                    sender.send(task).expect("campaign workers outlive the session");
+                    if sender.send(task).is_err() {
+                        // The worker died outside a batch; prune it now so
+                        // a dead channel never aborts or hangs the session.
+                        *slot = None;
+                    } else {
+                        live += 1;
+                    }
                 }
                 drop(tx);
-                // Exactly one item arrives per fault index, in completion
-                // order; slot writes restore fault order deterministically.
+                if live == 0 {
+                    return Err(FaultSimError::WorkerPoolExhausted);
+                }
                 let mut slots: Vec<Option<FaultClass>> = vec![None; faults.len()];
+                let mut retries_used: HashMap<usize, usize> = HashMap::new();
                 let mut first_error: Option<(usize, FaultSimError)> = None;
-                for done in 0..faults.len() {
-                    let (idx, item) =
-                        rx.recv().expect("campaign workers report every claimed fault");
-                    match item {
-                        Ok((class, cost)) => {
-                            inferences += cost;
-                            slots[idx] = Some(class);
+                let mut filled = 0usize;
+                let mut classified = 0u64;
+                let mut cancelled = false;
+                while filled < faults.len() {
+                    if !cancelled && cancel.is_some_and(|t| t.is_cancelled()) {
+                        cancelled = true;
+                        batch.close();
+                    }
+                    // Exactly one report eventually arrives per claimed
+                    // fault; a disconnect before every slot is filled means
+                    // workers died without unwinding.
+                    let Ok(report) = rx.recv() else { break };
+                    match report {
+                        WorkerReport::Classified(idx, item) => {
+                            if slots[idx].is_some() {
+                                continue;
+                            }
+                            match item {
+                                Ok((class, cost)) => {
+                                    inferences += cost;
+                                    slots[idx] = Some(class);
+                                    filled += 1;
+                                    classified += 1;
+                                    on_classified(idx, class, cost);
+                                }
+                                Err(e) => {
+                                    if first_error.as_ref().is_none_or(|(i, _)| idx < *i) {
+                                        first_error = Some((idx, e));
+                                    }
+                                    // Fill the slot so the campaign drains
+                                    // fully before the error is returned.
+                                    slots[idx] = Some(FaultClass::ExecutionFailure);
+                                    filled += 1;
+                                }
+                            }
+                            progress(CampaignProgress {
+                                completed: filled as u64,
+                                total,
+                                inferences,
+                            });
                         }
-                        Err(e) => {
-                            if first_error.as_ref().is_none_or(|(i, _)| idx < *i) {
-                                first_error = Some((idx, e));
+                        WorkerReport::Panicked { fault, worker } => {
+                            live = live.saturating_sub(1);
+                            senders[worker] = None;
+                            if slots[fault].is_some() {
+                                continue;
+                            }
+                            let used = retries_used.entry(fault).or_insert(0);
+                            if !cancelled && *used < cfg.max_fault_retries && live > 0 {
+                                *used += 1;
+                                batch.requeue(fault);
+                            } else {
+                                slots[fault] = Some(FaultClass::ExecutionFailure);
+                                filled += 1;
+                                classified += 1;
+                                on_classified(fault, FaultClass::ExecutionFailure, 0);
+                                progress(CampaignProgress {
+                                    completed: filled as u64,
+                                    total,
+                                    inferences,
+                                });
                             }
                         }
                     }
-                    progress(CampaignProgress { completed: done as u64 + 1, total, inferences });
+                }
+                batch.close();
+                if filled < faults.len() {
+                    // Cancellation is best-effort: a campaign whose faults
+                    // were all in flight when the token fired completes
+                    // normally and falls through to the Ok path below.
+                    if cancelled {
+                        return Err(FaultSimError::Cancelled { completed: classified });
+                    }
+                    return Err(if live == 0 {
+                        FaultSimError::WorkerPoolExhausted
+                    } else {
+                        FaultSimError::WorkerLost { missing: (faults.len() - filled) as u64 }
+                    });
                 }
                 if let Some((_, e)) = first_error {
                     return Err(e);
                 }
-                slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+                let mut classes = Vec::with_capacity(faults.len());
+                for (index, slot) in slots.into_iter().enumerate() {
+                    classes.push(slot.ok_or(FaultSimError::MissingResult { index })?);
+                }
+                classes
             }
         };
         Ok(CampaignResult {
@@ -316,11 +584,15 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
         &self.cfg
     }
 
-    /// Number of pool workers (1 for the inline mode).
+    /// Number of surviving workers (1 for the inline mode).
+    ///
+    /// Starts at `cfg.workers` and decreases as workers retire after
+    /// catching a panic; it never reaches 0 while a campaign can still
+    /// complete.
     pub fn workers(&self) -> usize {
         match &self.mode {
             Mode::Inline(_) => 1,
-            Mode::Pool(senders) => senders.len(),
+            Mode::Pool(senders) => senders.iter().filter(|s| s.is_some()).count(),
         }
     }
 }
@@ -337,6 +609,10 @@ pub(crate) fn needed_for_critical(cfg: &CampaignConfig, total_images: usize) -> 
 
 /// Injects one fault, classifies it against the golden reference, and
 /// reverts, returning the class and the number of inferences spent.
+///
+/// Degenerate (empty) logits classify the fault as
+/// [`FaultClass::ExecutionFailure`] rather than panicking, so campaigns
+/// over pathological models stay total.
 pub(crate) fn classify_one<C: Corruption>(
     model: &mut Model,
     data: &Dataset,
@@ -354,6 +630,7 @@ pub(crate) fn classify_one<C: Corruption>(
     }
     let mut inferences = 0u64;
     let mut mismatches = 0usize;
+    let mut failed = false;
     let mut outcome: Result<(), FaultSimError> = Ok(());
     for idx in 0..data.len() {
         let logits = if cfg.incremental {
@@ -369,7 +646,10 @@ pub(crate) fn classify_one<C: Corruption>(
             }
         };
         inferences += 1;
-        let pred = logits.argmax().expect("logits are nonempty");
+        let Some(pred) = logits.argmax() else {
+            failed = true;
+            break;
+        };
         if pred != golden.prediction(idx) {
             mismatches += 1;
             if cfg.early_exit && mismatches >= needed_for_critical {
@@ -379,7 +659,9 @@ pub(crate) fn classify_one<C: Corruption>(
     }
     revert(model, &injection);
     outcome?;
-    let class = if mismatches >= needed_for_critical {
+    let class = if failed {
+        FaultClass::ExecutionFailure
+    } else if mismatches >= needed_for_critical {
         FaultClass::Critical
     } else {
         FaultClass::NonCritical
@@ -388,8 +670,11 @@ pub(crate) fn classify_one<C: Corruption>(
 }
 
 /// Pool worker: drain tasks until the session's senders are dropped, steal
-/// faults within each task until its cursor runs out.
+/// faults within each task until its cursor runs out. A panic while
+/// classifying retires the worker — its model clone may hold an unreverted
+/// fault — after reporting the poisoned fault to the collector.
 fn worker_loop<C: Corruption>(
+    worker_id: usize,
     mut model: Model,
     data: &Dataset,
     golden: &GoldenReference,
@@ -398,23 +683,32 @@ fn worker_loop<C: Corruption>(
     tasks: Receiver<Task>,
 ) {
     while let Ok(task) = tasks.recv() {
-        loop {
-            let idx = task.batch.next.fetch_add(1, Ordering::Relaxed);
-            let Some(fault) = task.batch.faults.get(idx) else {
-                break;
-            };
-            let item = classify_one(
-                &mut model,
-                data,
-                golden,
-                fault,
-                task.needed_for_critical,
-                cfg,
-                corruption,
-            );
-            if task.results.send((idx, item)).is_err() {
-                // Collector bailed out; nothing left to report.
-                break;
+        while let Some(idx) = task.batch.claim() {
+            let fault = &task.batch.faults[idx];
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                classify_one(
+                    &mut model,
+                    data,
+                    golden,
+                    fault,
+                    task.needed_for_critical,
+                    cfg,
+                    corruption,
+                )
+            }));
+            match outcome {
+                Ok(item) => {
+                    if task.results.send(WorkerReport::Classified(idx, item)).is_err() {
+                        // Collector bailed out; nothing left to report.
+                        break;
+                    }
+                }
+                Err(_) => {
+                    let _ =
+                        task.results.send(WorkerReport::Panicked { fault: idx, worker: worker_id });
+                    // The model clone is suspect; retire this worker.
+                    return;
+                }
             }
         }
     }
@@ -447,6 +741,19 @@ mod tests {
                 }
             })
             .collect()
+    }
+
+    /// Corruption that panics when asked to corrupt a designated site —
+    /// the test stand-in for a fault whose evaluation crashes the worker.
+    struct PanickingCorruption {
+        poison: FaultSite,
+    }
+
+    impl Corruption for PanickingCorruption {
+        fn corrupt(&self, fault: &Fault, original: f32) -> f32 {
+            assert!(fault.site != self.poison, "poisoned fault");
+            fault.apply_to(original)
+        }
     }
 
     #[test]
@@ -542,7 +849,8 @@ mod tests {
         let t = CampaignTelemetry::from_result(&res);
         assert_eq!(t.injections, 15);
         assert_eq!(t.masked, 5);
-        assert_eq!(t.critical + t.non_critical + t.masked, t.injections);
+        assert_eq!(t.exec_failures, 0);
+        assert_eq!(t.critical + t.non_critical + t.masked + t.exec_failures, t.injections);
         assert_eq!(t.inferences, res.inferences);
         assert!(t.wall > Duration::ZERO);
         assert!(t.inferences_per_second() > 0.0);
@@ -612,5 +920,138 @@ mod tests {
             |exec| exec.run(&[]),
         );
         assert!(matches!(out, Err(FaultSimError::EmptyEvalSet)));
+    }
+
+    #[test]
+    fn pool_isolates_a_panicking_fault() {
+        let (model, data, golden) = setup();
+        let faults = mixed_faults(&model, 24);
+        let poison = faults[9].site;
+        let corruption = PanickingCorruption { poison };
+        let clean =
+            run_campaign(&model, &data, &golden, &faults, &CampaignConfig::default()).unwrap();
+        let cfg = CampaignConfig { workers: 4, max_fault_retries: 1, ..CampaignConfig::default() };
+        let (res, survivors) = with_executor(&model, &data, &golden, &cfg, &corruption, |exec| {
+            let res = exec.run(&faults)?;
+            Ok((res, exec.workers()))
+        })
+        .unwrap();
+        assert_eq!(res.classes[9], FaultClass::ExecutionFailure);
+        for (i, (got, want)) in res.classes.iter().zip(&clean.classes).enumerate() {
+            if i != 9 {
+                assert_eq!(got, want, "fault {i} must classify as in the clean run");
+            }
+        }
+        let t = CampaignTelemetry::from_result(&res);
+        assert_eq!(t.exec_failures, 1);
+        // Initial attempt + one retry each killed a worker.
+        assert_eq!(survivors, 2);
+    }
+
+    #[test]
+    fn inline_recovers_from_a_panicking_fault() {
+        let (model, data, golden) = setup();
+        let faults = mixed_faults(&model, 12);
+        let poison = faults[4].site;
+        let corruption = PanickingCorruption { poison };
+        let clean =
+            run_campaign(&model, &data, &golden, &faults, &CampaignConfig::default()).unwrap();
+        let cfg = CampaignConfig { workers: 1, ..CampaignConfig::default() };
+        let res =
+            with_executor(&model, &data, &golden, &cfg, &corruption, |exec| exec.run(&faults))
+                .unwrap();
+        assert_eq!(res.classes[4], FaultClass::ExecutionFailure);
+        for (i, (got, want)) in res.classes.iter().zip(&clean.classes).enumerate() {
+            if i != 4 {
+                assert_eq!(got, want, "fault {i} unaffected by the panic");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_survives_session_after_panics() {
+        // A campaign with a poisoned fault degrades the pool; the *next*
+        // campaign on the same session still completes correctly.
+        let (model, data, golden) = setup();
+        let faults = mixed_faults(&model, 16);
+        let poison = faults[0].site;
+        let corruption = PanickingCorruption { poison };
+        let cfg = CampaignConfig { workers: 3, max_fault_retries: 1, ..CampaignConfig::default() };
+        let clean_tail =
+            run_campaign(&model, &data, &golden, &faults[1..], &CampaignConfig::default()).unwrap();
+        with_executor(&model, &data, &golden, &cfg, &corruption, |exec| {
+            let first = exec.run(&faults)?;
+            assert_eq!(first.classes[0], FaultClass::ExecutionFailure);
+            assert_eq!(exec.workers(), 1, "two workers retired by the poisoned fault");
+            let second = exec.run(&faults[1..])?;
+            assert_eq!(second.classes, clean_tail.classes);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn cancellation_stops_at_fault_boundary_and_reports_partials() {
+        let (model, data, golden) = setup();
+        let faults = mixed_faults(&model, 30);
+        let full =
+            run_campaign(&model, &data, &golden, &faults, &CampaignConfig::default()).unwrap();
+        for workers in [1usize, 4] {
+            let cfg = CampaignConfig { workers, ..CampaignConfig::default() };
+            let token = CancelToken::new();
+            let mut seen: Vec<(usize, FaultClass, u64)> = Vec::new();
+            let stop_after = 5u64;
+            let out = with_executor(&model, &data, &golden, &cfg, &Ieee754Corruption, |exec| {
+                let t = token.clone();
+                exec.run_with(
+                    &faults,
+                    &mut move |p| {
+                        if p.completed >= stop_after {
+                            t.cancel();
+                        }
+                    },
+                    &mut |idx, class, cost| seen.push((idx, class, cost)),
+                    Some(&token),
+                )
+            });
+            match out {
+                Err(FaultSimError::Cancelled { completed }) => {
+                    assert!(completed >= stop_after, "{workers} workers: {completed}");
+                    if workers == 1 {
+                        // Inline mode stops at the very next fault boundary.
+                        assert_eq!(completed, stop_after);
+                    }
+                    assert_eq!(seen.len() as u64, completed, "one sink event per fault");
+                    // Partials agree with the uninterrupted run, index by index.
+                    for (idx, class, _) in &seen {
+                        assert_eq!(*class, full.classes[*idx], "fault {idx}");
+                    }
+                }
+                // Cancellation is best-effort: a fast pool may have every
+                // fault in flight before the token is observed, in which
+                // case the completed campaign is returned whole.
+                Ok(res) => {
+                    assert!(workers > 1, "inline cancellation is deterministic");
+                    assert_eq!(res.classes, full.classes);
+                }
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_immediately() {
+        let (model, data, golden) = setup();
+        let faults = mixed_faults(&model, 8);
+        let token = CancelToken::new();
+        token.cancel();
+        for workers in [1usize, 3] {
+            let cfg = CampaignConfig { workers, ..CampaignConfig::default() };
+            let err = with_executor(&model, &data, &golden, &cfg, &Ieee754Corruption, |exec| {
+                exec.run_with(&faults, &mut |_| {}, &mut |_, _, _| {}, Some(&token))
+            })
+            .unwrap_err();
+            assert!(matches!(err, FaultSimError::Cancelled { .. }), "{workers} workers: {err:?}");
+        }
     }
 }

@@ -1,0 +1,722 @@
+//! Append-only, checksummed write-ahead journal of per-fault
+//! classifications — the durability layer behind crash-tolerant campaigns.
+//!
+//! A validation-scale campaign classifies millions of faults over hours;
+//! losing the whole run to a worker panic, an OOM kill, or a Ctrl-C is not
+//! acceptable. The journal makes every classified fault durable:
+//!
+//! - **Records** are fixed-width binary entries `(fault id, class,
+//!   inference cost, CRC-32)` appended to *segment files*. A segment is
+//!   never appended to by a later process: each journal session opens a
+//!   fresh segment, so a torn tail can only ever be the crash point of one
+//!   session.
+//! - **Durability** is explicit: the active segment is fsync'd every
+//!   `sync_every` records and at every [`JournalWriter::flush`].
+//! - **The manifest** (`MANIFEST`) lists the sealed segments with their
+//!   record counts and the plan fingerprint. It is replaced atomically
+//!   (write to `MANIFEST.tmp`, fsync, rename), so readers always observe
+//!   either the old or the new manifest, never a torn one.
+//! - **Recovery** ([`recover`]) replays every segment, validates each
+//!   record's checksum, and keeps the longest valid prefix: the first
+//!   truncated or bit-flipped record ends the trusted region. Dropped
+//!   records are merely re-executed on resume — safety never depends on
+//!   the tail surviving.
+//!
+//! Fault identity is structural: [`FaultId::new`] packs the (stratum,
+//! index) coordinates of a fault inside its plan, which are stable because
+//! plan sampling is seed-deterministic. The plan fingerprint stored in
+//! every segment header and in the manifest guards against resuming a
+//! journal under a different plan, model, seed, or classification
+//! criterion.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::campaign::FaultClass;
+use crate::FaultSimError;
+
+/// Magic bytes opening every segment file.
+const SEGMENT_MAGIC: [u8; 4] = *b"SFIJ";
+/// On-disk format version.
+const FORMAT_VERSION: u16 = 1;
+/// Segment header: magic + version + reserved + fingerprint.
+const SEGMENT_HEADER_LEN: usize = 4 + 2 + 2 + 8;
+/// Record: fault id (8) + class (1) + inferences (8) + CRC-32 (4).
+const RECORD_LEN: usize = 21;
+/// Manifest file name inside the journal directory.
+const MANIFEST_NAME: &str = "MANIFEST";
+
+/// Stable identity of one planned fault: its stratum and its index within
+/// the stratum's sampled fault list.
+///
+/// Both coordinates are deterministic functions of the plan and the seed,
+/// so the same fault carries the same id across interrupted, resumed, and
+/// uninterrupted executions at any worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FaultId(u64);
+
+impl FaultId {
+    /// Packs `(stratum, index)` into one id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `stratum >= 2^24` or `index >= 2^40` — far beyond any
+    /// plan this workspace produces (the paper's largest campaign has 1,536
+    /// strata and ~5.8 M faults in its biggest one).
+    pub fn new(stratum: usize, index: usize) -> Self {
+        assert!(stratum < (1 << 24), "stratum {stratum} exceeds 2^24");
+        assert!(index < (1u64 << 40) as usize, "fault index {index} exceeds 2^40");
+        FaultId(((stratum as u64) << 40) | index as u64)
+    }
+
+    /// The raw packed value.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds an id from its raw packed value (journal replay).
+    pub fn from_raw(raw: u64) -> Self {
+        FaultId(raw)
+    }
+
+    /// The stratum coordinate.
+    pub fn stratum(&self) -> usize {
+        (self.0 >> 40) as usize
+    }
+
+    /// The index-within-stratum coordinate.
+    pub fn index(&self) -> usize {
+        (self.0 & ((1u64 << 40) - 1)) as usize
+    }
+}
+
+/// One durable classification: which fault, what class, what it cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// The classified fault.
+    pub id: FaultId,
+    /// Its classification.
+    pub class: FaultClass,
+    /// Single-image inferences the classification consumed.
+    pub inferences: u64,
+}
+
+/// What [`recover`] salvaged from a journal directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecovery {
+    /// Valid records in append order (later duplicates, if any, win).
+    pub records: Vec<JournalRecord>,
+    /// Records discarded because of a truncated or checksum-failing tail.
+    pub dropped: u64,
+    /// Whether the manifest was absent and recovery fell back to scanning
+    /// the directory for segments.
+    pub missing_manifest: bool,
+    /// The plan fingerprint the journal was written under.
+    pub fingerprint: u64,
+}
+
+impl JournalRecovery {
+    /// The salvaged classifications as a lookup map (last record wins).
+    pub fn as_map(&self) -> HashMap<FaultId, (FaultClass, u64)> {
+        self.records.iter().map(|r| (r.id, (r.class, r.inferences))).collect()
+    }
+}
+
+/// Appends classification records to the active segment of a journal
+/// directory, fsync'ing every `sync_every` records.
+///
+/// Obtain one with [`JournalWriter::create`] (fresh journal) or [`resume`]
+/// (continue an interrupted one). Call [`seal`](Self::seal) before
+/// dropping to flush the tail and publish the segment in the manifest; an
+/// unsealed segment is still recovered record-by-record, minus any
+/// un-synced tail.
+#[derive(Debug)]
+pub struct JournalWriter {
+    dir: PathBuf,
+    file: File,
+    active_name: String,
+    active_records: u64,
+    unsynced: u64,
+    sync_every: u64,
+    sealed: Vec<(String, u64)>,
+    fingerprint: u64,
+}
+
+fn journal_err(context: &str, e: std::io::Error) -> FaultSimError {
+    FaultSimError::Journal { reason: format!("{context}: {e}") }
+}
+
+/// CRC-32 (IEEE 802.3, reflected) over `data` — the per-record checksum.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn class_to_byte(class: FaultClass) -> u8 {
+    match class {
+        FaultClass::Masked => 0,
+        FaultClass::Critical => 1,
+        FaultClass::NonCritical => 2,
+        FaultClass::ExecutionFailure => 3,
+    }
+}
+
+fn class_from_byte(byte: u8) -> Option<FaultClass> {
+    match byte {
+        0 => Some(FaultClass::Masked),
+        1 => Some(FaultClass::Critical),
+        2 => Some(FaultClass::NonCritical),
+        3 => Some(FaultClass::ExecutionFailure),
+        _ => None,
+    }
+}
+
+fn segment_name(seq: u64) -> String {
+    format!("segment-{seq:06}.sfj")
+}
+
+fn segment_seq(name: &str) -> Option<u64> {
+    name.strip_prefix("segment-")?.strip_suffix(".sfj")?.parse().ok()
+}
+
+fn encode_record(rec: &JournalRecord) -> [u8; RECORD_LEN] {
+    let mut buf = [0u8; RECORD_LEN];
+    buf[0..8].copy_from_slice(&rec.id.raw().to_le_bytes());
+    buf[8] = class_to_byte(rec.class);
+    buf[9..17].copy_from_slice(&rec.inferences.to_le_bytes());
+    let crc = crc32(&buf[0..17]);
+    buf[17..21].copy_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+fn decode_record(buf: &[u8]) -> Option<JournalRecord> {
+    if buf.len() < RECORD_LEN {
+        return None;
+    }
+    let stored = u32::from_le_bytes(buf[17..21].try_into().ok()?);
+    if crc32(&buf[0..17]) != stored {
+        return None;
+    }
+    let id = FaultId::from_raw(u64::from_le_bytes(buf[0..8].try_into().ok()?));
+    let class = class_from_byte(buf[8])?;
+    let inferences = u64::from_le_bytes(buf[9..17].try_into().ok()?);
+    Some(JournalRecord { id, class, inferences })
+}
+
+fn sync_dir(dir: &Path) {
+    // Directory fsync makes the rename itself durable; best-effort because
+    // not every filesystem supports it and recovery tolerates its absence.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+impl JournalWriter {
+    /// Starts a fresh journal in `dir` (created if absent).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `dir` already holds a journal (manifest or segments) —
+    /// resuming must be an explicit choice ([`resume`]) — or on I/O errors.
+    pub fn create(dir: &Path, fingerprint: u64, sync_every: u64) -> Result<Self, FaultSimError> {
+        fs::create_dir_all(dir).map_err(|e| journal_err("creating journal directory", e))?;
+        let occupied = fs::read_dir(dir)
+            .map_err(|e| journal_err("listing journal directory", e))?
+            .filter_map(|e| e.ok())
+            .any(|e| {
+                let name = e.file_name().to_string_lossy().into_owned();
+                name == MANIFEST_NAME || segment_seq(&name).is_some()
+            });
+        if occupied {
+            return Err(FaultSimError::Journal {
+                reason: format!(
+                    "{} already holds a journal; pass resume to continue it",
+                    dir.display()
+                ),
+            });
+        }
+        Self::open_segment(dir.to_path_buf(), 1, Vec::new(), fingerprint, sync_every)
+    }
+
+    fn open_segment(
+        dir: PathBuf,
+        seq: u64,
+        sealed: Vec<(String, u64)>,
+        fingerprint: u64,
+        sync_every: u64,
+    ) -> Result<Self, FaultSimError> {
+        let active_name = segment_name(seq);
+        let path = dir.join(&active_name);
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .map_err(|e| journal_err("opening journal segment", e))?;
+        let mut header = [0u8; SEGMENT_HEADER_LEN];
+        header[0..4].copy_from_slice(&SEGMENT_MAGIC);
+        header[4..6].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+        header[8..16].copy_from_slice(&fingerprint.to_le_bytes());
+        file.write_all(&header).map_err(|e| journal_err("writing segment header", e))?;
+        Ok(Self {
+            dir,
+            file,
+            active_name,
+            active_records: 0,
+            unsynced: 0,
+            sync_every: sync_every.max(1),
+            sealed,
+            fingerprint,
+        })
+    }
+
+    /// Appends one classification, fsync'ing when the `sync_every` budget
+    /// is reached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/fsync failures as [`FaultSimError::Journal`].
+    pub fn append(
+        &mut self,
+        id: FaultId,
+        class: FaultClass,
+        inferences: u64,
+    ) -> Result<(), FaultSimError> {
+        let rec = JournalRecord { id, class, inferences };
+        self.file
+            .write_all(&encode_record(&rec))
+            .map_err(|e| journal_err("appending journal record", e))?;
+        self.active_records += 1;
+        self.unsynced += 1;
+        if self.unsynced >= self.sync_every {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Forces every appended record to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fsync failures as [`FaultSimError::Journal`].
+    pub fn flush(&mut self) -> Result<(), FaultSimError> {
+        if self.unsynced > 0 {
+            self.file.sync_all().map_err(|e| journal_err("syncing journal segment", e))?;
+            self.unsynced = 0;
+        }
+        Ok(())
+    }
+
+    /// Flushes the active segment and publishes it in an atomically
+    /// replaced manifest.
+    ///
+    /// Call on clean completion and on cooperative cancellation; safe to
+    /// call repeatedly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures as [`FaultSimError::Journal`].
+    pub fn seal(&mut self) -> Result<(), FaultSimError> {
+        self.flush()?;
+        let mut manifest =
+            format!("sfi-journal v{FORMAT_VERSION}\nfingerprint {:016x}\n", self.fingerprint);
+        for (name, records) in &self.sealed {
+            manifest.push_str(&format!("segment {name} {records}\n"));
+        }
+        manifest.push_str(&format!("segment {} {}\n", self.active_name, self.active_records));
+        let tmp = self.dir.join("MANIFEST.tmp");
+        let mut f = File::create(&tmp).map_err(|e| journal_err("writing manifest", e))?;
+        f.write_all(manifest.as_bytes()).map_err(|e| journal_err("writing manifest", e))?;
+        f.sync_all().map_err(|e| journal_err("syncing manifest", e))?;
+        fs::rename(&tmp, self.dir.join(MANIFEST_NAME))
+            .map_err(|e| journal_err("publishing manifest", e))?;
+        sync_dir(&self.dir);
+        Ok(())
+    }
+
+    /// Records appended to the active segment so far.
+    pub fn appended(&self) -> u64 {
+        self.active_records
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// Parsed manifest: fingerprint plus `(segment name, record count)` pairs.
+type Manifest = (u64, Vec<(String, u64)>);
+
+fn read_manifest(dir: &Path) -> Result<Option<Manifest>, FaultSimError> {
+    let text = match fs::read_to_string(dir.join(MANIFEST_NAME)) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(journal_err("reading manifest", e)),
+    };
+    let mut lines = text.lines();
+    let header = lines.next().unwrap_or_default();
+    if !header.starts_with("sfi-journal v") {
+        return Err(FaultSimError::Journal {
+            reason: format!("manifest header `{header}` is not an sfi journal"),
+        });
+    }
+    let mut fingerprint = None;
+    let mut segments = Vec::new();
+    for line in lines {
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("fingerprint") => {
+                let hex = parts.next().unwrap_or_default();
+                fingerprint = u64::from_str_radix(hex, 16).ok();
+            }
+            Some("segment") => {
+                let name = parts.next().unwrap_or_default().to_string();
+                let count: u64 = parts.next().unwrap_or_default().parse().map_err(|_| {
+                    FaultSimError::Journal { reason: format!("malformed manifest line `{line}`") }
+                })?;
+                segments.push((name, count));
+            }
+            _ => {}
+        }
+    }
+    let fingerprint = fingerprint.ok_or_else(|| FaultSimError::Journal {
+        reason: "manifest lists no fingerprint".to_string(),
+    })?;
+    Ok(Some((fingerprint, segments)))
+}
+
+/// Reads one segment, returning its fingerprint, the valid record prefix,
+/// and how many trailing bytes/records were discarded as corrupt.
+fn read_segment(path: &Path) -> Result<(u64, Vec<JournalRecord>, u64), FaultSimError> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| journal_err("reading journal segment", e))?;
+    if bytes.len() < SEGMENT_HEADER_LEN
+        || bytes[0..4] != SEGMENT_MAGIC
+        || u16::from_le_bytes([bytes[4], bytes[5]]) != FORMAT_VERSION
+    {
+        return Err(FaultSimError::Journal {
+            reason: format!("{} is not a v{FORMAT_VERSION} journal segment", path.display()),
+        });
+    }
+    let fingerprint = u64::from_le_bytes(bytes[8..16].try_into().expect("header length checked"));
+    let body = &bytes[SEGMENT_HEADER_LEN..];
+    let mut records = Vec::with_capacity(body.len() / RECORD_LEN);
+    let mut offset = 0usize;
+    while offset < body.len() {
+        match decode_record(&body[offset..]) {
+            Some(rec) => {
+                records.push(rec);
+                offset += RECORD_LEN;
+            }
+            // Torn tail or bit flip: everything from here on is untrusted.
+            None => break,
+        }
+    }
+    let dropped = ((body.len() - offset) as u64).div_ceil(RECORD_LEN as u64);
+    Ok((fingerprint, records, dropped))
+}
+
+/// Segment file names in `dir`, in sequence order.
+fn segment_names(dir: &Path) -> Result<Vec<String>, FaultSimError> {
+    let mut names: Vec<String> = fs::read_dir(dir)
+        .map_err(|e| journal_err("listing journal directory", e))?
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            segment_seq(&name).map(|_| name)
+        })
+        .collect();
+    names.sort_by_key(|n| segment_seq(n).unwrap_or(u64::MAX));
+    Ok(names)
+}
+
+/// Replays a journal directory, keeping each segment's longest valid
+/// record prefix.
+///
+/// Segments are replayed in sequence order; within a segment, replay stops
+/// at the first truncated or checksum-failing record — the framing past it
+/// cannot be trusted. Because every record is independently keyed by its
+/// [`FaultId`] and classification is deterministic, a lost record is never
+/// a safety problem: resume simply re-executes it. The manifest (when
+/// present) supplies the fingerprint and the sealed record counts, so a
+/// sealed segment that comes up short is detected and the shortfall
+/// reported in [`JournalRecovery::dropped`]; a missing manifest downgrades
+/// recovery to a directory scan and is flagged in
+/// [`JournalRecovery::missing_manifest`].
+///
+/// # Errors
+///
+/// Fails when the directory cannot be read, holds no segments, or a
+/// segment file is not a journal segment at all (wrong magic/version).
+pub fn recover(dir: &Path) -> Result<JournalRecovery, FaultSimError> {
+    let manifest = read_manifest(dir)?;
+    let missing_manifest = manifest.is_none();
+    let names = segment_names(dir)?;
+    if names.is_empty() {
+        return Err(FaultSimError::Journal {
+            reason: format!("{} holds no journal segments", dir.display()),
+        });
+    }
+    // Sealed record counts; segments beyond the manifest (or all of them,
+    // without one) have no expectation.
+    let expected: HashMap<String, u64> =
+        manifest.as_ref().map(|(_, segs)| segs.iter().cloned().collect()).unwrap_or_default();
+    let mut records = Vec::new();
+    let mut dropped = 0u64;
+    let mut fingerprint = manifest.as_ref().map(|(fp, _)| *fp);
+    for name in &names {
+        let (seg_fp, segment_records, seg_dropped) = read_segment(&dir.join(name))?;
+        let fp = *fingerprint.get_or_insert(seg_fp);
+        if seg_fp != fp {
+            return Err(FaultSimError::Journal {
+                reason: format!("segment {name} fingerprint mismatch within one journal"),
+            });
+        }
+        dropped += seg_dropped;
+        if let Some(&want) = expected.get(name) {
+            // A sealed segment that comes up short lost durable records;
+            // the count is already part of `seg_dropped` when the loss is a
+            // torn tail, but a silent truncation below the sealed count
+            // must be surfaced too.
+            let have = segment_records.len() as u64;
+            dropped += want.saturating_sub(have).saturating_sub(seg_dropped.min(want));
+        }
+        records.extend(segment_records);
+    }
+    Ok(JournalRecovery {
+        records,
+        dropped,
+        missing_manifest,
+        fingerprint: fingerprint.unwrap_or_default(),
+    })
+}
+
+/// Recovers an interrupted journal and opens a fresh segment to continue
+/// it, validating that `fingerprint` matches the journal's.
+///
+/// # Errors
+///
+/// Fails on recovery errors ([`recover`]) or when the journal was written
+/// under a different plan fingerprint ([`FaultSimError::CheckpointMismatch`]).
+pub fn resume(
+    dir: &Path,
+    fingerprint: u64,
+    sync_every: u64,
+) -> Result<(JournalWriter, JournalRecovery), FaultSimError> {
+    let recovery = recover(dir)?;
+    if recovery.fingerprint != fingerprint {
+        return Err(FaultSimError::CheckpointMismatch {
+            reason: format!(
+                "journal fingerprint {:016x} does not match this plan's {:016x} — different \
+                 model, plan, seed, or campaign options",
+                recovery.fingerprint, fingerprint
+            ),
+        });
+    }
+    let names = segment_names(dir)?;
+    let next_seq = names.iter().filter_map(|n| segment_seq(n)).max().unwrap_or(0) + 1;
+    // Reconstruct the sealed list from what each segment actually yields,
+    // then re-seal immediately so every salvaged record is published in the
+    // manifest even if this session also crashes.
+    let mut sealed = Vec::with_capacity(names.len());
+    for name in names {
+        let (_, records, _) = read_segment(&dir.join(&name))?;
+        sealed.push((name, records.len() as u64));
+    }
+    let mut writer =
+        JournalWriter::open_segment(dir.to_path_buf(), next_seq, sealed, fingerprint, sync_every)?;
+    writer.seal()?;
+    Ok((writer, recovery))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static NEXT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("sfi-journal-test-{}-{tag}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_records(n: u64) -> Vec<JournalRecord> {
+        (0..n)
+            .map(|i| JournalRecord {
+                id: FaultId::new((i % 3) as usize, i as usize),
+                class: match i % 4 {
+                    0 => FaultClass::Masked,
+                    1 => FaultClass::Critical,
+                    2 => FaultClass::NonCritical,
+                    _ => FaultClass::ExecutionFailure,
+                },
+                inferences: i * 7,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic IEEE 802.3 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn fault_id_round_trips_coordinates() {
+        let id = FaultId::new(1_535, 5_800_000);
+        assert_eq!(id.stratum(), 1_535);
+        assert_eq!(id.index(), 5_800_000);
+        assert_eq!(FaultId::from_raw(id.raw()), id);
+    }
+
+    #[test]
+    fn record_encoding_round_trips() {
+        for rec in sample_records(8) {
+            let buf = encode_record(&rec);
+            assert_eq!(decode_record(&buf), Some(rec));
+        }
+    }
+
+    #[test]
+    fn write_seal_recover_round_trip() {
+        let dir = tmp_dir("roundtrip");
+        let recs = sample_records(10);
+        let mut w = JournalWriter::create(&dir, 0xABCD, 4).unwrap();
+        for r in &recs {
+            w.append(r.id, r.class, r.inferences).unwrap();
+        }
+        w.seal().unwrap();
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.records, recs);
+        assert_eq!(rec.dropped, 0);
+        assert!(!rec.missing_manifest);
+        assert_eq!(rec.fingerprint, 0xABCD);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unsealed_tail_is_recovered_without_manifest_entry() {
+        let dir = tmp_dir("unsealed");
+        let recs = sample_records(5);
+        let mut w = JournalWriter::create(&dir, 7, 1).unwrap();
+        for r in &recs {
+            w.append(r.id, r.class, r.inferences).unwrap();
+        }
+        // No seal: simulate a crash. Records were fsync'd (sync_every 1).
+        drop(w);
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.records, recs);
+        assert!(rec.missing_manifest);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_segment_keeps_valid_prefix() {
+        let dir = tmp_dir("truncated");
+        let recs = sample_records(6);
+        let mut w = JournalWriter::create(&dir, 7, 1).unwrap();
+        for r in &recs {
+            w.append(r.id, r.class, r.inferences).unwrap();
+        }
+        w.seal().unwrap();
+        let seg = dir.join(segment_name(1));
+        let len = fs::metadata(&seg).unwrap().len();
+        // Tear the last record mid-way.
+        let f = OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(len - 5).unwrap();
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.records, recs[..5]);
+        assert_eq!(rec.dropped, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_ends_trusted_prefix() {
+        let dir = tmp_dir("bitflip");
+        let recs = sample_records(6);
+        let mut w = JournalWriter::create(&dir, 7, 1).unwrap();
+        for r in &recs {
+            w.append(r.id, r.class, r.inferences).unwrap();
+        }
+        w.seal().unwrap();
+        let seg = dir.join(segment_name(1));
+        let mut bytes = fs::read(&seg).unwrap();
+        // Flip one bit inside record 2's payload.
+        let target = SEGMENT_HEADER_LEN + 2 * RECORD_LEN + 3;
+        bytes[target] ^= 0x10;
+        fs::write(&seg, &bytes).unwrap();
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.records, recs[..2], "prefix before the flipped record survives");
+        assert_eq!(rec.dropped, 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_foreign_fingerprint() {
+        let dir = tmp_dir("foreign");
+        let mut w = JournalWriter::create(&dir, 1, 1).unwrap();
+        w.append(FaultId::new(0, 0), FaultClass::Masked, 0).unwrap();
+        w.seal().unwrap();
+        match resume(&dir, 2, 1) {
+            Err(FaultSimError::CheckpointMismatch { reason }) => {
+                assert!(reason.contains("fingerprint"), "{reason}")
+            }
+            other => panic!("expected CheckpointMismatch, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_appends_new_segment_and_merges() {
+        let dir = tmp_dir("resume");
+        let recs = sample_records(9);
+        let mut w = JournalWriter::create(&dir, 3, 2).unwrap();
+        for r in &recs[..4] {
+            w.append(r.id, r.class, r.inferences).unwrap();
+        }
+        w.seal().unwrap();
+        drop(w);
+        let (mut w2, recovery) = resume(&dir, 3, 2).unwrap();
+        assert_eq!(recovery.records, recs[..4]);
+        for r in &recs[4..] {
+            w2.append(r.id, r.class, r.inferences).unwrap();
+        }
+        w2.seal().unwrap();
+        let full = recover(&dir).unwrap();
+        assert_eq!(full.records, recs);
+        assert_eq!(full.dropped, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_occupied_directory() {
+        let dir = tmp_dir("occupied");
+        let mut w = JournalWriter::create(&dir, 1, 1).unwrap();
+        w.seal().unwrap();
+        drop(w);
+        assert!(matches!(JournalWriter::create(&dir, 1, 1), Err(FaultSimError::Journal { .. })));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_directory_is_not_a_journal() {
+        let dir = tmp_dir("empty");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(recover(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -18,8 +18,12 @@
 //!   reverts;
 //! - [`executor`] — the persistent work-stealing worker pool behind the
 //!   campaign runner: one model clone per worker amortised across every
-//!   stratum of a plan, dynamic fault distribution, and per-campaign
-//!   telemetry.
+//!   stratum of a plan, dynamic fault distribution, per-campaign
+//!   telemetry, worker-panic isolation, and cooperative cancellation;
+//! - [`journal`] — the append-only, checksummed checkpoint journal that
+//!   makes long campaigns crash-tolerant: every classification is logged
+//!   as it completes, and a resumed campaign replays the journal to skip
+//!   already-classified faults.
 //!
 //! # Example
 //!
@@ -56,6 +60,7 @@ pub mod executor;
 pub mod fault;
 pub mod golden;
 pub mod injector;
+pub mod journal;
 pub mod population;
 pub mod taxonomy;
 

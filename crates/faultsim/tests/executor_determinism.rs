@@ -3,6 +3,9 @@
 //! criterion) — never of the schedule. Any worker count, scheduler, and
 //! re-execution strategy must produce identical `classes`.
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -11,10 +14,21 @@ use sfi_dataset::SynthCifarConfig;
 use sfi_faultsim::campaign::{
     run_campaign, run_campaign_static, CampaignConfig, Ieee754Corruption,
 };
-use sfi_faultsim::executor::with_executor;
+use sfi_faultsim::executor::{with_executor, CancelToken};
 use sfi_faultsim::fault::Fault;
 use sfi_faultsim::golden::GoldenReference;
+use sfi_faultsim::journal::{recover, FaultId, JournalWriter};
 use sfi_faultsim::population::FaultSpace;
+use sfi_faultsim::FaultSimError;
+
+fn journal_dir() -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("sfi-executor-determinism-{}-{n}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
 
 /// Draws `n` (possibly repeated) faults from the model's full stuck-at
 /// population — repeats are legal campaign inputs and must classify
@@ -95,5 +109,90 @@ proptest! {
         })
         .unwrap();
         prop_assert_eq!(stitched, joint.classes);
+    }
+
+    /// Interrupting a journaled campaign at an arbitrary fault and resuming
+    /// from the recovered journal — at a possibly different worker count —
+    /// reconstructs classifications byte-identical to an uninterrupted run.
+    #[test]
+    fn interrupt_and_journal_resume_is_identical(
+        fault_seed in 0u64..1_000_000,
+        stop_at in 1usize..16,
+        first_idx in 0usize..4,
+        resume_idx in 0usize..4,
+    ) {
+        const WORKERS: [usize; 4] = [1, 2, 4, 8];
+        let model = sfi_nn::resnet::ResNetConfig::resnet20_micro().build_seeded(3).unwrap();
+        let data = SynthCifarConfig::new().with_size(16).with_samples(2).generate();
+        let golden = GoldenReference::build(&model, &data).unwrap();
+        let space = FaultSpace::stuck_at(&model);
+        let faults = random_faults(&space, fault_seed, 16);
+        let reference =
+            run_campaign(&model, &data, &golden, &faults, &CampaignConfig::default()).unwrap();
+
+        // Session one: journal every classification, fire the token after
+        // `stop_at` of them. Cancellation is cooperative, so a fast pool may
+        // still complete every fault — both outcomes are legal.
+        let dir = journal_dir();
+        let fingerprint = 0x5f1_u64 ^ fault_seed;
+        let mut writer = JournalWriter::create(&dir, fingerprint, 8).unwrap();
+        let token = CancelToken::new();
+        let cfg = CampaignConfig { workers: WORKERS[first_idx], ..Default::default() };
+        let first = with_executor(&model, &data, &golden, &cfg, &Ieee754Corruption, |exec| {
+            let mut journal_err = None;
+            let res = exec.run_with(
+                &faults,
+                &mut |_| {},
+                &mut |idx, class, inferences| {
+                    if let Err(e) = writer.append(FaultId::new(0, idx), class, inferences) {
+                        journal_err.get_or_insert(e);
+                    }
+                    if writer.appended() >= stop_at as u64 {
+                        token.cancel();
+                    }
+                },
+                Some(&token),
+            );
+            if let Some(e) = journal_err {
+                return Err(e);
+            }
+            Ok(res)
+        })
+        .unwrap();
+        writer.seal().unwrap();
+        match &first {
+            Ok(res) => prop_assert_eq!(&res.classes, &reference.classes),
+            Err(FaultSimError::Cancelled { completed }) => {
+                prop_assert!(*completed >= stop_at as u64)
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+
+        // Session two: recover the journal, execute only the missing faults,
+        // and merge by fault index.
+        let recovery = recover(&dir).unwrap();
+        prop_assert_eq!(recovery.dropped, 0);
+        prop_assert_eq!(recovery.fingerprint, fingerprint);
+        let done = recovery.as_map();
+        let todo: Vec<Fault> = faults
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !done.contains_key(&FaultId::new(0, *i)))
+            .map(|(_, f)| *f)
+            .collect();
+        let resume_cfg = CampaignConfig { workers: WORKERS[resume_idx], ..Default::default() };
+        let fresh = run_campaign(&model, &data, &golden, &todo, &resume_cfg).unwrap();
+        let mut cursor = 0;
+        let merged: Vec<_> = (0..faults.len())
+            .map(|i| match done.get(&FaultId::new(0, i)) {
+                Some((class, _)) => *class,
+                None => {
+                    cursor += 1;
+                    fresh.classes[cursor - 1]
+                }
+            })
+            .collect();
+        prop_assert_eq!(merged, reference.classes);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

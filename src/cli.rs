@@ -13,14 +13,16 @@
 //! ```
 
 use std::fmt;
+use std::path::PathBuf;
 
 use sfi_core::bits::bit_ranking;
+use sfi_core::checkpoint::{execute_plan_checkpointed, CampaignRun, CheckpointConfig};
 use sfi_core::execute::{execute_plan, execute_plan_observed, PlanProgress};
 use sfi_core::hardening::{plan_protection, HardeningConfig};
 use sfi_core::plan::{
     plan_data_aware, plan_data_unaware, plan_layer_wise, plan_network_wise, SfiPlan,
 };
-use sfi_core::report::{group_digits, telemetry_report, TextTable};
+use sfi_core::report::{group_digits, telemetry_report, telemetry_report_resumed, TextTable};
 use sfi_dataset::SynthCifarConfig;
 use sfi_faultsim::campaign::{CampaignConfig, Ieee754Corruption};
 use sfi_faultsim::golden::GoldenReference;
@@ -171,6 +173,13 @@ pub struct CliOptions {
     pub workers: usize,
     /// Report live progress (stderr) and per-stratum telemetry for `run`.
     pub progress: bool,
+    /// Checkpoint-journal directory for `run` (enables crash tolerance).
+    pub checkpoint_dir: Option<String>,
+    /// Resume from the journal in `checkpoint_dir` instead of starting
+    /// fresh.
+    pub resume: bool,
+    /// Fsync the journal every this many classifications (`run`).
+    pub checkpoint_every: u64,
 }
 
 impl Default for CliOptions {
@@ -185,6 +194,9 @@ impl Default for CliOptions {
             budget_frac: 0.5,
             workers: 1,
             progress: false,
+            checkpoint_dir: None,
+            resume: false,
+            checkpoint_every: 64,
         }
     }
 }
@@ -213,6 +225,10 @@ OPTIONS:
     --budget-frac <fraction>  share of the full ECC budget for harden (default 0.5)
     --workers <n>             campaign worker threads (default 1)
     --progress                live progress on stderr + per-stratum telemetry (run)
+    --checkpoint-dir <dir>    journal every classification to <dir> (run); an
+                              interrupted campaign can then be continued
+    --resume                  continue from the journal in --checkpoint-dir
+    --checkpoint-every <n>    fsync the journal every n classifications (default 64)
 ";
 
 /// Parses the argument list (without the program name).
@@ -282,8 +298,28 @@ pub fn parse(args: &[String]) -> Result<CliOptions, ParseCliError> {
                 }
             }
             "--progress" => opts.progress = true,
+            "--checkpoint-dir" => {
+                let v = value()?;
+                if v.is_empty() {
+                    return Err(err("`--checkpoint-dir` must not be empty"));
+                }
+                opts.checkpoint_dir = Some(v);
+            }
+            "--resume" => opts.resume = true,
+            "--checkpoint-every" => {
+                let v = value()?;
+                opts.checkpoint_every = v
+                    .parse::<u64>()
+                    .map_err(|_| err(format!("`--checkpoint-every {v}` is not an integer")))?;
+                if opts.checkpoint_every == 0 {
+                    return Err(err("`--checkpoint-every` must be at least 1"));
+                }
+            }
             other => return Err(err(format!("unknown flag `{other}`"))),
         }
+    }
+    if opts.resume && opts.checkpoint_dir.is_none() {
+        return Err(err("`--resume` requires `--checkpoint-dir`"));
     }
     Ok(opts)
 }
@@ -367,8 +403,75 @@ pub fn run(
                 if opts.workers == 1 { "" } else { "s" }
             )?;
             let cfg = CampaignConfig { workers: opts.workers, ..CampaignConfig::default() };
-            let outcome = if opts.progress {
-                // Throttle stderr updates to ~100 over the whole plan.
+            // Throttle stderr updates to ~100 over the whole plan.
+            let report_progress = opts.progress;
+            let mut progress = |p: PlanProgress| {
+                if !report_progress {
+                    return;
+                }
+                let step = (p.plan_total / 100).max(1);
+                if p.plan_completed.is_multiple_of(step) || p.plan_completed == p.plan_total {
+                    eprint!(
+                        "\rstratum {}/{}  faults {}/{}  inferences {}    ",
+                        p.stratum + 1,
+                        p.strata,
+                        p.plan_completed,
+                        p.plan_total,
+                        group_digits(p.inferences)
+                    );
+                }
+            };
+            let (outcome, resume_stats) = if let Some(dir) = &opts.checkpoint_dir {
+                let checkpoint = CheckpointConfig {
+                    dir: PathBuf::from(dir),
+                    resume: opts.resume,
+                    checkpoint_every: opts.checkpoint_every,
+                };
+                let run = execute_plan_checkpointed(
+                    &model,
+                    &data,
+                    &golden,
+                    &plan,
+                    &space,
+                    opts.seed,
+                    &cfg,
+                    &Ieee754Corruption,
+                    &checkpoint,
+                    None,
+                    &mut progress,
+                )?;
+                if report_progress {
+                    eprintln!();
+                }
+                match run {
+                    CampaignRun::Complete { outcome, stats } => {
+                        if stats.resumed > 0 {
+                            writeln!(
+                                out,
+                                "resumed {} of {} classifications from the checkpoint journal \
+                                 ({} corrupt record(s) dropped and re-executed)",
+                                group_digits(stats.resumed),
+                                group_digits(stats.total),
+                                stats.dropped
+                            )?;
+                        }
+                        (outcome, Some(stats))
+                    }
+                    CampaignRun::Interrupted { stats } => {
+                        writeln!(
+                            out,
+                            "campaign interrupted: {} of {} faults classified and journaled",
+                            group_digits(stats.resumed + stats.completed),
+                            group_digits(stats.total)
+                        )?;
+                        return Err(format!(
+                            "campaign interrupted; continue it with `--checkpoint-dir {dir} \
+                             --resume`"
+                        )
+                        .into());
+                    }
+                }
+            } else if report_progress {
                 let outcome = execute_plan_observed(
                     &model,
                     &data,
@@ -378,29 +481,22 @@ pub fn run(
                     opts.seed,
                     &cfg,
                     &Ieee754Corruption,
-                    &mut |p: PlanProgress| {
-                        let step = (p.plan_total / 100).max(1);
-                        if p.plan_completed.is_multiple_of(step) || p.plan_completed == p.plan_total
-                        {
-                            eprint!(
-                                "\rstratum {}/{}  faults {}/{}  inferences {}    ",
-                                p.stratum + 1,
-                                p.strata,
-                                p.plan_completed,
-                                p.plan_total,
-                                group_digits(p.inferences)
-                            );
-                        }
-                    },
+                    &mut progress,
                 )?;
                 eprintln!();
-                outcome
+                (outcome, None)
             } else {
-                execute_plan(&model, &data, &golden, &plan, opts.seed, &cfg)?
+                (execute_plan(&model, &data, &golden, &plan, opts.seed, &cfg)?, None)
             };
             if opts.progress {
                 writeln!(out, "\nper-stratum telemetry:")?;
-                write!(out, "{}", telemetry_report(&outcome))?;
+                let table = match &resume_stats {
+                    Some(stats) => {
+                        telemetry_report_resumed(&outcome, Some(&stats.per_stratum_resumed))
+                    }
+                    None => telemetry_report(&outcome),
+                };
+                write!(out, "{table}")?;
                 writeln!(out)?;
             }
             let mut table =
@@ -426,6 +522,15 @@ pub fn run(
                 group_digits(outcome.inferences()),
                 outcome.elapsed()
             )?;
+            let failures: u64 = outcome.stratum_telemetry().iter().map(|t| t.exec_failures).sum();
+            if failures > 0 {
+                return Err(format!(
+                    "campaign recorded {} execution failure(s); the affected faults were \
+                     excluded from the estimates",
+                    group_digits(failures)
+                )
+                .into());
+            }
         }
         Command::Analyze => {
             let model = opts.model.build(opts.seed)?;
@@ -649,6 +754,63 @@ mod tests {
                 .join("\n")
         };
         assert_eq!(strip(&serial), strip(&parallel));
+    }
+
+    #[test]
+    fn parse_checkpoint_flags() {
+        let o = parse(&args("run --checkpoint-dir /tmp/j --checkpoint-every 8 --resume")).unwrap();
+        assert_eq!(o.checkpoint_dir.as_deref(), Some("/tmp/j"));
+        assert!(o.resume);
+        assert_eq!(o.checkpoint_every, 8);
+        let d = parse(&args("run")).unwrap();
+        assert_eq!(d.checkpoint_dir, None);
+        assert!(!d.resume);
+        assert_eq!(d.checkpoint_every, 64);
+        assert!(parse(&args("run --resume")).is_err(), "resume requires a checkpoint dir");
+        assert!(parse(&args("run --checkpoint-dir /tmp/j --checkpoint-every 0")).is_err());
+        assert!(parse(&args("run --checkpoint-dir /tmp/j --checkpoint-every x")).is_err());
+        assert!(parse(&args("run --checkpoint-dir")).is_err());
+    }
+
+    #[test]
+    fn checkpointed_run_and_resume_match_plain_run() {
+        let base =
+            parse(&args("run --model resnet20-micro --scheme network-wise --error 0.2 --images 2"))
+                .unwrap();
+        let mut plain = Vec::new();
+        run(&base, &mut plain).unwrap();
+        let dir = std::env::temp_dir().join(format!("sfi-cli-checkpoint-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let checkpointed =
+            CliOptions { checkpoint_dir: Some(dir.to_string_lossy().into_owned()), ..base.clone() };
+        let mut first = Vec::new();
+        run(&checkpointed, &mut first).unwrap();
+        // Resuming over the completed journal re-executes nothing and
+        // reports the same estimates.
+        let resume = CliOptions { resume: true, ..checkpointed.clone() };
+        let mut second = Vec::new();
+        run(&resume, &mut second).unwrap();
+        let strip = |b: &[u8]| {
+            String::from_utf8(b.to_vec())
+                .unwrap()
+                .lines()
+                .filter(|l| !l.contains("...") && !l.starts_with("resumed"))
+                .map(|l| {
+                    if l.starts_with("network:") {
+                        l.rsplit_once(", ").map(|(a, _)| a.to_string()).unwrap_or_default()
+                    } else {
+                        l.to_string()
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&plain), strip(&first));
+        assert_eq!(strip(&plain), strip(&second));
+        let second_text = String::from_utf8(second).unwrap();
+        assert!(second_text.contains("resumed"), "{second_text}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

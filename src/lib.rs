@@ -56,6 +56,9 @@ pub mod cli;
 pub mod prelude {
     pub use sfi_core::adaptive::{run_adaptive, AdaptiveConfig, AdaptiveOutcome};
     pub use sfi_core::bits::{bit_ranking, layer_bit_matrix, BitVulnerability};
+    pub use sfi_core::checkpoint::{
+        execute_plan_checkpointed, plan_fingerprint, CampaignRun, CheckpointConfig, ResumeStats,
+    };
     pub use sfi_core::execute::{execute_plan, execute_plan_in_space, SfiOutcome};
     pub use sfi_core::exhaustive::ExhaustiveTruth;
     pub use sfi_core::plan::{
@@ -66,8 +69,10 @@ pub mod prelude {
     pub use sfi_core::SfiError;
     pub use sfi_dataset::{evaluate, Dataset, SynthCifarConfig};
     pub use sfi_faultsim::campaign::{run_campaign, CampaignConfig, Criterion, FaultClass};
+    pub use sfi_faultsim::executor::CancelToken;
     pub use sfi_faultsim::fault::{Fault, FaultModel, FaultSite};
     pub use sfi_faultsim::golden::GoldenReference;
+    pub use sfi_faultsim::journal::{FaultId, JournalRecord, JournalRecovery, JournalWriter};
     pub use sfi_faultsim::population::FaultSpace;
     pub use sfi_nn::mobilenet::MobileNetV2Config;
     pub use sfi_nn::resnet::ResNetConfig;

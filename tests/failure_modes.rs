@@ -1,6 +1,9 @@
 //! Failure-injection tests: every public error path across the workspace
 //! must fail loudly, with a useful message, and without corrupting state.
 
+use std::path::{Path, PathBuf};
+
+use sfi::faultsim::campaign::Ieee754Corruption;
 use sfi::prelude::*;
 
 fn tiny_model() -> Model {
@@ -129,6 +132,177 @@ fn errors_chain_their_sources() {
     // unprintable error.
     assert!(!err.to_string().is_empty());
     let _ = err.source(); // must not panic
+}
+
+// --- checkpoint journal corruption -------------------------------------
+//
+// A crash can leave the journal in any state: a half-written record at the
+// tail, silent bit rot in the middle of a segment, or a manifest that never
+// made it to disk. Recovery must keep every record up to the first invalid
+// byte, discard the rest, and re-execute exactly the discarded work — the
+// resumed outcome always equals the uninterrupted one.
+
+struct JournalFixture {
+    model: Model,
+    data: Dataset,
+    golden: GoldenReference,
+    space: FaultSpace,
+    plan: SfiPlan,
+    clean: SfiOutcome,
+    dir: PathBuf,
+    /// Classifications journaled before the simulated crash.
+    completed: u64,
+}
+
+const JOURNAL_SEED: u64 = 9;
+
+/// Runs a single-worker checkpointed campaign and cancels it mid-plan,
+/// leaving a sealed journal in `dir` for the test to corrupt.
+fn interrupted_journal(tag: &str) -> JournalFixture {
+    let model = ResNetConfig { base_width: 2, blocks_per_stage: 1, classes: 10, input_size: 8 }
+        .build_seeded(5)
+        .unwrap();
+    let data = SynthCifarConfig::new().with_size(8).with_samples(2).generate();
+    let golden = GoldenReference::build(&model, &data).unwrap();
+    let space = FaultSpace::stuck_at(&model);
+    let spec = SampleSpec { error_margin: 0.2, ..SampleSpec::paper_default() };
+    let plan = plan_layer_wise(&space, &spec);
+    let cfg = CampaignConfig::default();
+    let clean = execute_plan(&model, &data, &golden, &plan, JOURNAL_SEED, &cfg).unwrap();
+
+    let dir =
+        std::env::temp_dir().join(format!("sfi-journal-corruption-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let stop_at = (clean.injections() / 2).max(8);
+    let token = CancelToken::new();
+    // One worker: inline execution stops deterministically at the next
+    // fault boundary, so the run is always interrupted (never complete).
+    let run = execute_plan_checkpointed(
+        &model,
+        &data,
+        &golden,
+        &plan,
+        &space,
+        JOURNAL_SEED,
+        &cfg,
+        &Ieee754Corruption,
+        &CheckpointConfig::new(&dir),
+        Some(&token),
+        &mut |p| {
+            if p.plan_completed >= stop_at {
+                token.cancel();
+            }
+        },
+    )
+    .unwrap();
+    let CampaignRun::Interrupted { stats } = run else {
+        panic!("single-worker cancellation must interrupt the run");
+    };
+    assert!(stats.completed >= stop_at);
+    JournalFixture { model, data, golden, space, plan, clean, dir, completed: stats.completed }
+}
+
+fn journal_segments(dir: &Path) -> Vec<PathBuf> {
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|entry| entry.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "sfj"))
+        .collect();
+    segments.sort();
+    assert!(!segments.is_empty(), "the interrupted run must leave a sealed segment");
+    segments
+}
+
+fn resume_journal(fx: &JournalFixture) -> (SfiOutcome, ResumeStats) {
+    let checkpoint = CheckpointConfig { dir: fx.dir.clone(), resume: true, checkpoint_every: 64 };
+    let run = execute_plan_checkpointed(
+        &fx.model,
+        &fx.data,
+        &fx.golden,
+        &fx.plan,
+        &fx.space,
+        JOURNAL_SEED,
+        &CampaignConfig::default(),
+        &Ieee754Corruption,
+        &checkpoint,
+        None,
+        &mut |_| {},
+    )
+    .unwrap();
+    let CampaignRun::Complete { outcome, stats } = run else {
+        panic!("uncancelled resume must complete");
+    };
+    (outcome, stats)
+}
+
+/// Everything of an [`SfiOutcome`] except wall-clock durations.
+fn strip_wall(outcome: &SfiOutcome) -> impl PartialEq + std::fmt::Debug {
+    (
+        outcome.scheme(),
+        outcome.strata().to_vec(),
+        outcome
+            .stratum_telemetry()
+            .iter()
+            .map(|t| {
+                (t.injections, t.inferences, t.masked, t.critical, t.non_critical, t.exec_failures)
+            })
+            .collect::<Vec<_>>(),
+        outcome.layer_tallies().to_vec(),
+        outcome.injections(),
+        outcome.inferences(),
+    )
+}
+
+#[test]
+fn truncated_journal_segment_recovers_from_last_valid_record() {
+    let fx = interrupted_journal("truncate");
+    // A crash mid-append leaves a partial record at the tail of the last
+    // segment. Chop 5 bytes off: the final 21-byte record becomes invalid.
+    let last = journal_segments(&fx.dir).pop().unwrap();
+    let len = std::fs::metadata(&last).unwrap().len();
+    assert!(len > 21, "segment holds at least the header and one record");
+    let file = std::fs::OpenOptions::new().write(true).open(&last).unwrap();
+    file.set_len(len - 5).unwrap();
+    drop(file);
+
+    let (outcome, stats) = resume_journal(&fx);
+    assert_eq!(stats.dropped, 1, "exactly the partial tail record is discarded");
+    assert_eq!(stats.resumed, fx.completed - 1);
+    assert_eq!(strip_wall(&outcome), strip_wall(&fx.clean));
+    std::fs::remove_dir_all(&fx.dir).ok();
+}
+
+#[test]
+fn bit_flipped_journal_record_is_detected_by_checksum() {
+    let fx = interrupted_journal("bitflip");
+    // Flip one bit inside the first record (offset 16 skips the segment
+    // header). The CRC no longer matches: that record and everything after
+    // it in the segment is untrusted and re-executed.
+    let last = journal_segments(&fx.dir).pop().unwrap();
+    let mut bytes = std::fs::read(&last).unwrap();
+    bytes[16 + 4] ^= 0x20;
+    std::fs::write(&last, bytes).unwrap();
+
+    let (outcome, stats) = resume_journal(&fx);
+    assert!(stats.dropped >= 1, "the corrupt record must be discarded");
+    assert_eq!(stats.resumed, fx.completed - stats.dropped);
+    assert_eq!(strip_wall(&outcome), strip_wall(&fx.clean));
+    std::fs::remove_dir_all(&fx.dir).ok();
+}
+
+#[test]
+fn missing_manifest_is_rebuilt_from_segment_headers() {
+    let fx = interrupted_journal("manifest");
+    let manifest = fx.dir.join("MANIFEST");
+    assert!(manifest.exists(), "sealing must publish a manifest");
+    std::fs::remove_file(&manifest).unwrap();
+
+    let (outcome, stats) = resume_journal(&fx);
+    assert_eq!(stats.dropped, 0, "segment records are intact");
+    assert_eq!(stats.resumed, fx.completed, "no journaled work is repeated");
+    assert_eq!(strip_wall(&outcome), strip_wall(&fx.clean));
+    std::fs::remove_dir_all(&fx.dir).ok();
 }
 
 #[test]
