@@ -1,0 +1,261 @@
+//! `kernels`: the inference fast-path benches. `gemm_kernels` compares the
+//! naive triple loop against the cache-blocked GEMM on ResNet-20-shaped
+//! im2col matrices; `campaign_fast_path` measures the end-to-end bit-level
+//! campaign with the pre-optimisation path (naive kernels, no lowering
+//! cache) against the fast path (blocked GEMM, cached lowerings, scratch
+//! arenas), asserting the classifications stay byte-identical. Under
+//! `cargo bench` the comparison is written to `BENCH_kernels.json` at the
+//! workspace root. With `--smoke` the binary runs a seconds-scale
+//! regression guard instead and exits non-zero if the blocked GEMM is
+//! slower than the naive one at the largest shape (used by CI).
+
+use std::time::{Duration, Instant};
+
+use criterion::{BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sfi_bench::{resnet20_setup, Scale};
+use sfi_faultsim::campaign::{run_campaign, CampaignConfig};
+use sfi_faultsim::fault::Fault;
+use sfi_faultsim::golden::GoldenReference;
+use sfi_faultsim::population::FaultSpace;
+use sfi_nn::KernelPolicy;
+use sfi_stats::sampling::sample_without_replacement;
+use sfi_tensor::ops::{gemm, gemm_blocked};
+
+/// ResNet-20 convolution GEMM shapes at CIFAR resolution: `m` = output
+/// channels, `k` = `c_in * k_h * k_w`, `n` = output pixels per image. One
+/// per stage, plus a tall-`n` stress shape that crosses both the
+/// `BLOCK_N` and `BLOCK_K` tile boundaries.
+const SHAPES: [(usize, usize, usize); 4] =
+    [(16, 144, 1024), (32, 288, 256), (64, 576, 64), (64, 576, 1024)];
+
+/// Deterministic operand fill; no special values — throughput only, the
+/// bit-identity suite covers NaN/Inf.
+fn filled(len: usize, seed: u64) -> Vec<f32> {
+    (0..len).map(|i| ((i as u64 * 2_654_435_761 + seed * 97) % 1000) as f32 / 500.0 - 1.0).collect()
+}
+
+/// Mean wall time of `f` over `iters` runs (one warm-up run first).
+fn mean_secs<F: FnMut()>(mut f: F, iters: usize) -> f64 {
+    f();
+    let mut total = 0.0;
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        total += start.elapsed().as_secs_f64();
+    }
+    total / iters as f64
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_kernels");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &(m, k, n) in &SHAPES {
+        let a = filled(m * k, 1);
+        let b_mat = filled(k * n, 2);
+        let shape = format!("{m}x{k}x{n}");
+        g.bench_function(BenchmarkId::new("naive", &shape), |b| {
+            b.iter(|| {
+                let mut out = vec![0.0f32; m * n];
+                gemm(m, k, n, &a, &b_mat, &mut out);
+                out
+            })
+        });
+        g.bench_function(BenchmarkId::new("blocked", &shape), |b| {
+            b.iter(|| {
+                let mut out = vec![0.0f32; m * n];
+                gemm_blocked(m, k, n, &a, &b_mat, &mut out);
+                out
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The straggler-heavy bit-level workload from the scheduler bench: every
+/// bit position of layer `layer`, `per_bit` faults each.
+fn bit_level_faults(space: &FaultSpace, layer: usize, per_bit: u64) -> Vec<Fault> {
+    let mut faults = Vec::new();
+    for bit in (0..32).rev() {
+        let sub = space.bit_subpopulation(layer, bit).unwrap();
+        let mut rng = StdRng::seed_from_u64(900 + bit as u64);
+        let n = per_bit.min(sub.size());
+        let indices = sample_without_replacement(sub.size(), n, &mut rng).unwrap();
+        faults.extend(sub.faults_at(&indices).unwrap());
+    }
+    faults
+}
+
+/// The pre-optimisation configuration: naive GEMM, no lowering cache (the
+/// arena is tied to the kernel policy, so this also skips buffer reuse).
+fn naive_cfg() -> CampaignConfig {
+    CampaignConfig { kernel: KernelPolicy::Naive, ..CampaignConfig::default() }
+}
+
+fn bench_campaign_fast_path(c: &mut Criterion) {
+    let setup = resnet20_setup(Scale::Default);
+    let (model, data) = (&setup.model, &setup.data);
+    let golden_plain = GoldenReference::build(model, data).unwrap();
+    let golden_cached = golden_plain.clone().with_lowering(model).unwrap();
+    let space = FaultSpace::stuck_at(model);
+    let faults = bit_level_faults(&space, 7, 8);
+    let fast_cfg = CampaignConfig::default();
+
+    // The fast path is only a fast path if it is invisible in the results.
+    let baseline = run_campaign(model, data, &golden_plain, &faults, &naive_cfg()).unwrap();
+    let fast = run_campaign(model, data, &golden_cached, &faults, &fast_cfg).unwrap();
+    assert_eq!(baseline.classes, fast.classes, "fast path changed classifications");
+    assert_eq!(baseline.inferences, fast.inferences, "fast path changed inference counts");
+
+    let mut g = c.benchmark_group("campaign_fast_path");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    g.bench_function("naive_uncached", |b| {
+        b.iter(|| run_campaign(model, data, &golden_plain, &faults, &naive_cfg()).unwrap())
+    });
+    g.bench_function("fast_cached", |b| {
+        b.iter(|| run_campaign(model, data, &golden_cached, &faults, &fast_cfg).unwrap())
+    });
+    g.finish();
+}
+
+/// Measures the naive and blocked GEMM per shape plus the end-to-end
+/// campaign on both paths, and writes `BENCH_kernels.json` at the
+/// workspace root.
+///
+/// The campaign runs at `Scale::Full` — the real 20-layer ResNet-20 at
+/// CIFAR resolution — because that is the workload the fast path is for;
+/// the criterion group above sticks to `Scale::Default` so interactive
+/// runs stay quick.
+fn emit_bench_json() {
+    const GEMM_ITERS: usize = 20;
+    const CAMPAIGN_ITERS: usize = 5;
+    const PER_BIT: u64 = 1;
+
+    let setup = resnet20_setup(Scale::Full);
+    let (model, data) = (&setup.model, &setup.data);
+    let golden_plain = GoldenReference::build(model, data).unwrap();
+    let golden_cached = golden_plain.clone().with_lowering(model).unwrap();
+    let space = FaultSpace::stuck_at(model);
+    // The paper's statistical plan samples every (layer, bit) stratum of
+    // the network; one fault per stratum keeps the bench to seconds while
+    // preserving the real cost mix (early wide layers dominate).
+    let faults: Vec<Fault> =
+        (0..space.layers()).flat_map(|l| bit_level_faults(&space, l, PER_BIT)).collect();
+
+    let mut gemm_entries = Vec::new();
+    for &(m, k, n) in &SHAPES {
+        let a = filled(m * k, 1);
+        let b_mat = filled(k * n, 2);
+        let naive = mean_secs(
+            || {
+                let mut out = vec![0.0f32; m * n];
+                gemm(m, k, n, &a, &b_mat, &mut out);
+            },
+            GEMM_ITERS,
+        );
+        let blocked = mean_secs(
+            || {
+                let mut out = vec![0.0f32; m * n];
+                gemm_blocked(m, k, n, &a, &b_mat, &mut out);
+            },
+            GEMM_ITERS,
+        );
+        gemm_entries.push(format!(
+            "    {{\"shape\": \"{m}x{k}x{n}\", \"naive_mean_s\": {naive:.9}, \
+             \"blocked_mean_s\": {blocked:.9}, \"speedup\": {:.3}}}",
+            naive / blocked
+        ));
+    }
+
+    let fast_cfg = CampaignConfig::default();
+    let baseline = run_campaign(model, data, &golden_plain, &faults, &naive_cfg()).unwrap();
+    let fast = run_campaign(model, data, &golden_cached, &faults, &fast_cfg).unwrap();
+    let identical = baseline.classes == fast.classes;
+    let naive_s = mean_secs(
+        || {
+            run_campaign(model, data, &golden_plain, &faults, &naive_cfg()).unwrap();
+        },
+        CAMPAIGN_ITERS,
+    );
+    let fast_s = mean_secs(
+        || {
+            run_campaign(model, data, &golden_cached, &faults, &fast_cfg).unwrap();
+        },
+        CAMPAIGN_ITERS,
+    );
+    let speedup = naive_s / fast_s;
+
+    let json = format!(
+        "{{\n  \"bench\": \"kernels\",\n  \"workload\": \"ResNet-20 (CIFAR scale), bit-level plan \
+         over all 20 layers x 32 bits, {} faults, {} eval images\",\n  \"gemm_iters_per_point\": \
+         {GEMM_ITERS},\n  \"campaign_iters_per_point\": {CAMPAIGN_ITERS},\n  \"gemm\": \
+         [\n{}\n  ],\n  \"campaign\": {{\n    \"naive_uncached_mean_s\": {naive_s:.6},\n    \
+         \"fast_cached_mean_s\": {fast_s:.6},\n    \"speedup\": {speedup:.3},\n    \
+         \"classes_identical\": {identical},\n    \"meets_1_5x_target\": {}\n  }}\n}}\n",
+        faults.len(),
+        data.len(),
+        gemm_entries.join(",\n"),
+        speedup >= 1.5
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    std::fs::write(path, &json).expect("write BENCH_kernels.json");
+    println!("wrote {path}");
+}
+
+/// CI regression guard: a few iterations of each kernel at every shape,
+/// failing the process if the blocked GEMM is slower than the naive one at
+/// the largest shape (10% tolerance for machine noise).
+fn smoke() -> i32 {
+    const ITERS: usize = 5;
+    let mut status = 0;
+    let (largest_m, largest_k, largest_n) =
+        *SHAPES.iter().max_by_key(|(m, k, n)| m * k * n).unwrap();
+    for &(m, k, n) in &SHAPES {
+        let a = filled(m * k, 1);
+        let b_mat = filled(k * n, 2);
+        let naive = mean_secs(
+            || {
+                let mut out = vec![0.0f32; m * n];
+                gemm(m, k, n, &a, &b_mat, &mut out);
+            },
+            ITERS,
+        );
+        let blocked = mean_secs(
+            || {
+                let mut out = vec![0.0f32; m * n];
+                gemm_blocked(m, k, n, &a, &b_mat, &mut out);
+            },
+            ITERS,
+        );
+        println!(
+            "smoke gemm {m}x{k}x{n}: naive {:.1}us blocked {:.1}us (speedup {:.2}x)",
+            naive * 1e6,
+            blocked * 1e6,
+            naive / blocked
+        );
+        if (m, k, n) == (largest_m, largest_k, largest_n) && blocked > naive * 1.10 {
+            eprintln!(
+                "FAIL: blocked GEMM slower than naive at the largest shape \
+                 ({m}x{k}x{n}): {blocked:.6}s vs {naive:.6}s"
+            );
+            status = 1;
+        }
+    }
+    status
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        std::process::exit(smoke());
+    }
+    let mut c = Criterion::default();
+    bench_gemm(&mut c);
+    bench_campaign_fast_path(&mut c);
+    // Machine-readable comparison (full bench runs only, so `cargo test`
+    // smoke runs stay read-only).
+    if std::env::args().any(|a| a == "--bench") {
+        emit_bench_json();
+    }
+}

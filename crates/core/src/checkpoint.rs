@@ -123,9 +123,10 @@ impl CampaignRun {
 /// classifications: scheme, seed, evaluation-set size, classification
 /// criterion, execution strategy, and every sampled fault.
 ///
-/// Worker count and retry budget are deliberately excluded — they change
-/// scheduling, never classifications — so a campaign checkpointed at 8
-/// workers resumes cleanly at 1. The fingerprint does not hash model
+/// Worker count, retry budget and kernel policy are deliberately
+/// excluded — they change scheduling or speed, never classifications — so
+/// a campaign checkpointed at 8 workers resumes cleanly at 1, and a
+/// journal written on the naive kernel path resumes on the fast path. The fingerprint does not hash model
 /// weights or image pixels; it relies on the sampled fault list (a
 /// deterministic function of plan and seed) plus the caller using the
 /// same artifacts, which the CLI derives from the same seeds.
@@ -354,11 +355,20 @@ pub fn execute_plan_checkpointed<C: Corruption>(
             .map(|r| (r.inferences, r.elapsed))
             .unwrap_or((0, std::time::Duration::ZERO));
         inferences += fresh_inferences;
+        // Fast-path counters describe only the fresh session's work;
+        // journal-resumed faults carry no cache or arena telemetry.
+        let (lowering_hits, lowering_misses, arena_peak_bytes) = fresh
+            .as_ref()
+            .map(|r| (r.lowering_hits, r.lowering_misses, r.arena_peak_bytes))
+            .unwrap_or((0, 0, 0));
         results.push(CampaignResult {
             injections: faults.len() as u64,
             classes,
             inferences,
             elapsed,
+            lowering_hits,
+            lowering_misses,
+            arena_peak_bytes,
         });
     }
     let outcome = assemble_outcome(plan, space, &sampled, &results, start.elapsed());
@@ -575,6 +585,10 @@ mod tests {
         let a = plan_fingerprint(&plan, 3, data.len(), &cfg1, &sampled);
         let b = plan_fingerprint(&plan, 3, data.len(), &cfg8, &sampled);
         assert_eq!(a, b, "worker count must not invalidate a checkpoint");
+        let naive =
+            CampaignConfig { kernel: sfi_nn::KernelPolicy::Naive, ..CampaignConfig::default() };
+        let k = plan_fingerprint(&plan, 3, data.len(), &naive, &sampled);
+        assert_eq!(a, k, "kernel policy must not invalidate a checkpoint");
         let strict = CampaignConfig {
             criterion: Criterion::MismatchRate { threshold: 0.5 },
             ..CampaignConfig::default()

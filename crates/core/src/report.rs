@@ -169,7 +169,8 @@ pub fn outcome_to_csv(
 
 /// Renders an executed outcome's per-stratum telemetry as a text table:
 /// one row per stratum (layer/bit labels, injections, inferences, class
-/// tallies, execution failures, wall time, throughput) plus a totals row.
+/// tallies, execution failures, lowering-cache hits/misses, scratch-arena
+/// high-water mark, wall time, throughput) plus a totals row.
 pub fn telemetry_report(outcome: &crate::execute::SfiOutcome) -> String {
     telemetry_report_resumed(outcome, None)
 }
@@ -189,6 +190,9 @@ pub fn telemetry_report_resumed(
         "critical".into(),
         "failures".into(),
         "inferences".into(),
+        "low-hits".into(),
+        "low-miss".into(),
+        "arena [KiB]".into(),
         "wall [ms]".into(),
         "inf/s".into(),
     ];
@@ -209,6 +213,9 @@ pub fn telemetry_report_resumed(
             group_digits(tel.critical),
             group_digits(tel.exec_failures),
             group_digits(tel.inferences),
+            group_digits(tel.lowering_hits),
+            group_digits(tel.lowering_misses),
+            group_digits(tel.arena_peak_bytes / 1024),
             format!("{:.1}", tel.wall.as_secs_f64() * 1e3),
             format!("{:.0}", tel.inferences_per_second()),
         ];
@@ -219,6 +226,9 @@ pub fn telemetry_report_resumed(
     }
     let total_wall: f64 = outcome.stratum_telemetry().iter().map(|t| t.wall.as_secs_f64()).sum();
     let rate = if total_wall > 0.0 { outcome.inferences() as f64 / total_wall } else { 0.0 };
+    // Arena peaks are session high-water marks, so the total is the max,
+    // not the sum.
+    let arena_peak = outcome.stratum_telemetry().iter().map(|t| t.arena_peak_bytes).max();
     let mut row = vec![
         "total".to_string(),
         group_digits(outcome.injections()),
@@ -226,6 +236,9 @@ pub fn telemetry_report_resumed(
         group_digits(outcome.stratum_telemetry().iter().map(|t| t.critical).sum()),
         group_digits(outcome.stratum_telemetry().iter().map(|t| t.exec_failures).sum()),
         group_digits(outcome.inferences()),
+        group_digits(outcome.stratum_telemetry().iter().map(|t| t.lowering_hits).sum()),
+        group_digits(outcome.stratum_telemetry().iter().map(|t| t.lowering_misses).sum()),
+        group_digits(arena_peak.unwrap_or(0) / 1024),
         format!("{:.1}", total_wall * 1e3),
         format!("{rate:.0}"),
     ];
@@ -365,6 +378,8 @@ mod tests {
         // Header + separator + one row per stratum + totals.
         assert_eq!(lines.len(), 2 + space.layers() + 1);
         assert!(lines[0].contains("failures"));
+        assert!(lines[0].contains("low-hits"));
+        assert!(lines[0].contains("arena [KiB]"));
         assert!(!lines[0].contains("resumed"));
         assert!(lines[2].starts_with("L0"));
         assert!(lines.last().unwrap().starts_with("total"));

@@ -11,7 +11,8 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use sfi_dataset::Dataset;
-use sfi_nn::Model;
+use sfi_nn::{KernelPolicy, Model};
+use sfi_tensor::ScratchArena;
 
 use crate::executor::{classify_one, needed_for_critical, with_executor};
 use crate::fault::Fault;
@@ -103,6 +104,14 @@ pub struct CampaignConfig {
     /// is recorded as [`FaultClass::ExecutionFailure`]. Panics never abort
     /// a campaign; they cost at most `1 + max_fault_retries` attempts.
     pub max_fault_retries: usize,
+    /// Inference kernel policy. [`KernelPolicy::Fast`] (the default) uses
+    /// blocked GEMM, scratch arenas and any cached lowerings;
+    /// [`KernelPolicy::Naive`] reproduces the historical per-fault cost
+    /// (fresh allocations, naive GEMM) for ablation benches. Classifications
+    /// are bit-identical either way. Excluded from plan fingerprints, like
+    /// `workers`.
+    #[serde(default)]
+    pub kernel: KernelPolicy,
 }
 
 impl Default for CampaignConfig {
@@ -113,6 +122,7 @@ impl Default for CampaignConfig {
             workers: 1,
             early_exit: true,
             max_fault_retries: 1,
+            kernel: KernelPolicy::Fast,
         }
     }
 }
@@ -128,6 +138,18 @@ pub struct CampaignResult {
     pub inferences: u64,
     /// Wall-clock duration of the campaign.
     pub elapsed: Duration,
+    /// Lowering-cache lookups served from precomputed column matrices
+    /// during this campaign (0 when the cache is disabled).
+    #[serde(default)]
+    pub lowering_hits: u64,
+    /// Lowering-cache lookups that missed (faulted node not lowerable or
+    /// not covered; 0 when the cache is disabled).
+    #[serde(default)]
+    pub lowering_misses: u64,
+    /// High-water mark of per-worker scratch-arena bytes at campaign end
+    /// (0 under [`KernelPolicy::Naive`], which allocates afresh).
+    #[serde(default)]
+    pub arena_peak_bytes: u64,
 }
 
 impl CampaignResult {
@@ -250,8 +272,10 @@ pub fn run_campaign_static<C: Corruption>(
         return Err(FaultSimError::EmptyEvalSet);
     }
     let start = Instant::now();
+    let hits0 = golden.lowering_hits();
+    let misses0 = golden.lowering_misses();
     let workers = cfg.workers.max(1).min(faults.len().max(1));
-    let (classes, inferences) = if workers <= 1 {
+    let (classes, inferences, arena_peak) = if workers <= 1 {
         let mut worker_model = model.clone();
         run_shard(&mut worker_model, data, golden, faults, cfg, corruption)?
     } else {
@@ -274,22 +298,29 @@ pub fn run_campaign_static<C: Corruption>(
         });
         let mut classes = Vec::with_capacity(faults.len());
         let mut inferences = 0u64;
+        let mut arena_peak = 0u64;
         for r in results {
-            let (c, i) = r?;
+            let (c, i, peak) = r?;
             classes.extend(c);
             inferences += i;
+            arena_peak = arena_peak.max(peak);
         }
-        (classes, inferences)
+        (classes, inferences, arena_peak)
     };
     Ok(CampaignResult {
         injections: classes.len() as u64,
         classes,
         inferences,
         elapsed: start.elapsed(),
+        lowering_hits: golden.lowering_hits().saturating_sub(hits0),
+        lowering_misses: golden.lowering_misses().saturating_sub(misses0),
+        arena_peak_bytes: arena_peak,
     })
 }
 
-/// Processes a contiguous shard of faults on one worker-local model.
+/// Processes a contiguous shard of faults on one worker-local model,
+/// returning classifications, inference count, and the shard arena's
+/// high-water mark.
 fn run_shard<C: Corruption>(
     model: &mut Model,
     data: &Dataset,
@@ -297,16 +328,18 @@ fn run_shard<C: Corruption>(
     faults: &[Fault],
     cfg: &CampaignConfig,
     corruption: &C,
-) -> Result<(Vec<FaultClass>, u64), FaultSimError> {
+) -> Result<(Vec<FaultClass>, u64, u64), FaultSimError> {
     let needed = needed_for_critical(cfg, data.len());
     let mut classes = Vec::with_capacity(faults.len());
     let mut inferences = 0u64;
+    let mut arena = ScratchArena::new();
     for fault in faults {
-        let (class, cost) = classify_one(model, data, golden, fault, needed, cfg, corruption)?;
+        let (class, cost) =
+            classify_one(model, data, golden, fault, needed, cfg, corruption, &mut arena)?;
         classes.push(class);
         inferences += cost;
     }
-    Ok((classes, inferences))
+    Ok((classes, inferences, arena.peak_bytes() as u64))
 }
 
 #[cfg(test)]

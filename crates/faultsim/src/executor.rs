@@ -73,7 +73,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -81,7 +81,8 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use sfi_dataset::Dataset;
-use sfi_nn::Model;
+use sfi_nn::{ForwardOptions, KernelPolicy, Model};
+use sfi_tensor::ScratchArena;
 
 use crate::campaign::{CampaignConfig, CampaignResult, Corruption, Criterion, FaultClass};
 use crate::fault::Fault;
@@ -149,6 +150,15 @@ pub struct CampaignTelemetry {
     /// Faults that could not be classified (panicked beyond the retry
     /// budget or produced degenerate logits).
     pub exec_failures: u64,
+    /// Lowering-cache lookups served from precomputed column matrices.
+    #[serde(default)]
+    pub lowering_hits: u64,
+    /// Lowering-cache lookups that missed.
+    #[serde(default)]
+    pub lowering_misses: u64,
+    /// High-water mark of per-worker scratch-arena bytes.
+    #[serde(default)]
+    pub arena_peak_bytes: u64,
 }
 
 impl CampaignTelemetry {
@@ -163,6 +173,9 @@ impl CampaignTelemetry {
             critical: result.critical(),
             non_critical: result.injections - result.masked() - result.critical() - exec_failures,
             exec_failures,
+            lowering_hits: result.lowering_hits,
+            lowering_misses: result.lowering_misses,
+            arena_peak_bytes: result.arena_peak_bytes,
         }
     }
 
@@ -289,14 +302,25 @@ pub struct CampaignExecutor<'a, C: Corruption> {
     cfg: CampaignConfig,
     corruption: &'a C,
     mode: Mode,
+    /// Session-wide tallies fed by every worker (or the inline loop).
+    stats: Arc<SessionStats>,
 }
 
 enum Mode {
-    /// Single persistent model clone, processed on the calling thread.
-    Inline(Box<Model>),
+    /// Single persistent model clone (plus scratch arena), processed on the
+    /// calling thread.
+    Inline { model: Box<Model>, arena: ScratchArena },
     /// Worker pool; one task sender per surviving worker thread (`None`
     /// marks a worker that died and was pruned from the pool).
     Pool(Vec<Option<Sender<Task>>>),
+}
+
+/// Telemetry shared between the collector and every worker of a session.
+#[derive(Debug, Default)]
+struct SessionStats {
+    /// Largest scratch-arena footprint any worker has reached, in bytes.
+    /// Monotone over the session; arenas persist across campaigns.
+    arena_peak: AtomicU64,
 }
 
 /// Runs `f` with a campaign executor whose worker pool (and per-worker
@@ -325,6 +349,7 @@ where
         return Err(FaultSimError::EmptyEvalSet);
     }
     let workers = cfg.workers.max(1);
+    let stats = Arc::new(SessionStats::default());
     if workers == 1 {
         let mut exec = CampaignExecutor {
             model,
@@ -332,7 +357,8 @@ where
             golden,
             cfg: *cfg,
             corruption,
-            mode: Mode::Inline(Box::new(model.clone())),
+            mode: Mode::Inline { model: Box::new(model.clone()), arena: ScratchArena::new() },
+            stats,
         };
         return f(&mut exec);
     }
@@ -342,8 +368,18 @@ where
             let (tx, rx) = channel::<Task>();
             senders.push(Some(tx));
             let worker_model = model.clone();
+            let worker_stats = Arc::clone(&stats);
             scope.spawn(move || {
-                worker_loop(worker_id, worker_model, data, golden, cfg, corruption, rx)
+                worker_loop(
+                    worker_id,
+                    worker_model,
+                    data,
+                    golden,
+                    cfg,
+                    corruption,
+                    rx,
+                    worker_stats,
+                )
             });
         }
         let mut exec = CampaignExecutor {
@@ -353,6 +389,7 @@ where
             cfg: *cfg,
             corruption,
             mode: Mode::Pool(senders),
+            stats,
         };
         let out = f(&mut exec);
         // Dropping `exec` (and with it the task senders) disconnects every
@@ -424,8 +461,10 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
         let golden = self.golden;
         let cfg = self.cfg;
         let corruption = self.corruption;
+        let lowering_hits0 = golden.lowering_hits();
+        let lowering_misses0 = golden.lowering_misses();
         let classes = match &mut self.mode {
-            Mode::Inline(model) => {
+            Mode::Inline { model, arena } => {
                 let mut classes = Vec::with_capacity(faults.len());
                 for (done, fault) in faults.iter().enumerate() {
                     if cancel.is_some_and(|t| t.is_cancelled()) {
@@ -434,7 +473,9 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
                     let mut attempts = 0usize;
                     let (class, cost) = loop {
                         let outcome = catch_unwind(AssertUnwindSafe(|| {
-                            classify_one(model, data, golden, fault, needed, &cfg, corruption)
+                            classify_one(
+                                model, data, golden, fault, needed, &cfg, corruption, arena,
+                            )
                         }));
                         match outcome {
                             Ok(item) => break item?,
@@ -454,6 +495,7 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
                     on_classified(done, class, cost);
                     progress(CampaignProgress { completed: done as u64 + 1, total, inferences });
                 }
+                self.stats.arena_peak.fetch_max(arena.peak_bytes() as u64, Ordering::Relaxed);
                 classes
             }
             Mode::Pool(senders) => {
@@ -576,6 +618,9 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
             classes,
             inferences,
             elapsed: start.elapsed(),
+            lowering_hits: golden.lowering_hits().saturating_sub(lowering_hits0),
+            lowering_misses: golden.lowering_misses().saturating_sub(lowering_misses0),
+            arena_peak_bytes: self.stats.arena_peak.load(Ordering::Relaxed),
         })
     }
 
@@ -591,7 +636,7 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
     /// complete.
     pub fn workers(&self) -> usize {
         match &self.mode {
-            Mode::Inline(_) => 1,
+            Mode::Inline { .. } => 1,
             Mode::Pool(senders) => senders.iter().filter(|s| s.is_some()).count(),
         }
     }
@@ -610,9 +655,18 @@ pub(crate) fn needed_for_critical(cfg: &CampaignConfig, total_images: usize) -> 
 /// Injects one fault, classifies it against the golden reference, and
 /// reverts, returning the class and the number of inferences spent.
 ///
+/// Under [`KernelPolicy::Fast`] the re-executions run through `arena`
+/// (reusing im2col and activation buffers across faults) and consume any
+/// lowering `golden` has cached for the faulted node — sound because
+/// incremental re-execution feeds the faulted layer its *golden* input, so
+/// the cached column matrix is valid for every fault in the stratum.
+/// [`KernelPolicy::Naive`] bypasses both and reproduces the historical
+/// per-fault cost; classifications are bit-identical either way.
+///
 /// Degenerate (empty) logits classify the fault as
 /// [`FaultClass::ExecutionFailure`] rather than panicking, so campaigns
 /// over pathological models stay total.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn classify_one<C: Corruption>(
     model: &mut Model,
     data: &Dataset,
@@ -621,6 +675,7 @@ pub(crate) fn classify_one<C: Corruption>(
     needed_for_critical: usize,
     cfg: &CampaignConfig,
     corruption: &C,
+    arena: &mut ScratchArena,
 ) -> Result<(FaultClass, u64), FaultSimError> {
     let injection = inject_with(model, fault, |f, original| corruption.corrupt(f, original))?;
     if !injection.is_effective() {
@@ -628,15 +683,33 @@ pub(crate) fn classify_one<C: Corruption>(
         revert(model, &injection);
         return Ok((FaultClass::Masked, 0));
     }
+    let fast = cfg.kernel == KernelPolicy::Fast;
     let mut inferences = 0u64;
     let mut mismatches = 0usize;
     let mut failed = false;
     let mut outcome: Result<(), FaultSimError> = Ok(());
     for idx in 0..data.len() {
-        let logits = if cfg.incremental {
-            model.forward_from(injection.dirty_node, golden.cache(idx))
-        } else {
-            model.forward(data.image(idx))
+        let logits = match (cfg.incremental, fast) {
+            (true, true) => {
+                let lowered =
+                    golden.lowering(injection.dirty_node, idx).map(|l| (injection.dirty_node, l));
+                let mut opts =
+                    ForwardOptions { arena: Some(&mut *arena), lowered, ..Default::default() };
+                model.forward_from_with(injection.dirty_node, golden.cache(idx), &mut opts)
+            }
+            (true, false) => model.forward_from_with(
+                injection.dirty_node,
+                golden.cache(idx),
+                &mut ForwardOptions { policy: KernelPolicy::Naive, ..Default::default() },
+            ),
+            (false, true) => model.forward_with(
+                data.image(idx),
+                &mut ForwardOptions { arena: Some(&mut *arena), ..Default::default() },
+            ),
+            (false, false) => model.forward_with(
+                data.image(idx),
+                &mut ForwardOptions { policy: KernelPolicy::Naive, ..Default::default() },
+            ),
         };
         let logits = match logits {
             Ok(l) => l,
@@ -672,7 +745,10 @@ pub(crate) fn classify_one<C: Corruption>(
 /// Pool worker: drain tasks until the session's senders are dropped, steal
 /// faults within each task until its cursor runs out. A panic while
 /// classifying retires the worker — its model clone may hold an unreverted
-/// fault — after reporting the poisoned fault to the collector.
+/// fault — after reporting the poisoned fault to the collector. Each worker
+/// owns a scratch arena for the session and publishes its high-water mark
+/// to the shared stats before every report.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop<C: Corruption>(
     worker_id: usize,
     mut model: Model,
@@ -681,7 +757,9 @@ fn worker_loop<C: Corruption>(
     cfg: &CampaignConfig,
     corruption: &C,
     tasks: Receiver<Task>,
+    stats: Arc<SessionStats>,
 ) {
+    let mut arena = ScratchArena::new();
     while let Ok(task) = tasks.recv() {
         while let Some(idx) = task.batch.claim() {
             let fault = &task.batch.faults[idx];
@@ -694,8 +772,10 @@ fn worker_loop<C: Corruption>(
                     task.needed_for_critical,
                     cfg,
                     corruption,
+                    &mut arena,
                 )
             }));
+            stats.arena_peak.fetch_max(arena.peak_bytes() as u64, Ordering::Relaxed);
             match outcome {
                 Ok(item) => {
                     if task.results.send(WorkerReport::Classified(idx, item)).is_err() {

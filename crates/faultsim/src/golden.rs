@@ -1,9 +1,32 @@
 //! The fault-free reference a campaign classifies against.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use sfi_dataset::Dataset;
-use sfi_nn::{ActivationCache, Model};
+use sfi_nn::{ActivationCache, Model, NnError, NodeId, NodeOp};
+use sfi_tensor::ops::{self, LoweredConv};
 
 use crate::FaultSimError;
+
+/// Precomputed im2col column matrices of every lowerable conv layer's golden
+/// input, per evaluation image.
+///
+/// Weight faults never change a layer's *input* under incremental
+/// re-execution (the cached golden prefix feeds the faulted node), so the
+/// lowering of that input is valid for every fault targeting the layer — it
+/// depends only on input values and geometry, not on weights. Workers share
+/// the cache read-only; hit/miss counters live behind [`Arc`] so clones made
+/// for worker threads report into the same tallies.
+#[derive(Debug, Clone)]
+struct LoweringCache {
+    /// `by_node[&node][image]` — one lowered panel set per eval image.
+    by_node: HashMap<NodeId, Vec<LoweredConv>>,
+    bytes: usize,
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
+}
 
 /// Golden top-1 predictions plus per-image activation caches.
 ///
@@ -30,6 +53,7 @@ use crate::FaultSimError;
 pub struct GoldenReference {
     predictions: Vec<usize>,
     caches: Vec<ActivationCache>,
+    lowering: Option<LoweringCache>,
 }
 
 impl GoldenReference {
@@ -52,7 +76,96 @@ impl GoldenReference {
             predictions.push(logits.argmax().expect("logits are nonempty"));
             caches.push(cache);
         }
-        Ok(Self { predictions, caches })
+        Ok(Self { predictions, caches, lowering: None })
+    }
+
+    /// Precomputes the im2col lowering of every lowerable conv node's golden
+    /// input, for every evaluation image.
+    ///
+    /// Convolutions that dispatch to the depthwise kernel (which never
+    /// lowers) are skipped. The cached panels are consumed by the campaign
+    /// executor when re-running the *faulted* conv itself: the faulted layer
+    /// reads its golden input, so the lowering is valid for every fault in
+    /// the stratum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultSimError::Nn`] when a conv node references a missing
+    /// weight parameter or its golden input fails to lower.
+    pub fn with_lowering(mut self, model: &Model) -> Result<Self, FaultSimError> {
+        let mut by_node: HashMap<NodeId, Vec<LoweredConv>> = HashMap::new();
+        let mut bytes = 0usize;
+        for (id, node) in model.nodes().iter().enumerate() {
+            let NodeOp::Conv { weight, cfg, .. } = node.op else { continue };
+            let weight = &model
+                .store()
+                .get(weight)
+                .ok_or_else(|| NnError::InvalidParameter {
+                    reason: format!("conv node {id} references missing weight {weight}"),
+                })?
+                .tensor;
+            let input_id = node.inputs[0];
+            let sample = self.caches[0].get(input_id).expect("cache covers all nodes");
+            if !ops::conv2d_uses_lowering(sample, weight, cfg) {
+                continue;
+            }
+            let mut per_image = Vec::with_capacity(self.caches.len());
+            for cache in &self.caches {
+                let input = cache.get(input_id).expect("cache covers all nodes");
+                let lowered = ops::im2col_lower(input, weight, cfg)
+                    .map_err(|source| NnError::Op { node: id, source })?;
+                bytes += lowered.memory_bytes();
+                per_image.push(lowered);
+            }
+            by_node.insert(id, per_image);
+        }
+        self.lowering = Some(LoweringCache {
+            by_node,
+            bytes,
+            hits: Arc::new(AtomicU64::new(0)),
+            misses: Arc::new(AtomicU64::new(0)),
+        });
+        Ok(self)
+    }
+
+    /// Cached lowering of conv node `node`'s golden input for image `image`,
+    /// if the cache is enabled and covers that node.
+    ///
+    /// Counts a hit or miss only when the cache is enabled; with the cache
+    /// absent (built without [`with_lowering`](Self::with_lowering)) every
+    /// lookup returns `None` without touching the counters.
+    pub fn lowering(&self, node: NodeId, image: usize) -> Option<&LoweredConv> {
+        let cache = self.lowering.as_ref()?;
+        match cache.by_node.get(&node).and_then(|per_image| per_image.get(image)) {
+            Some(lowered) => {
+                cache.hits.fetch_add(1, Ordering::Relaxed);
+                Some(lowered)
+            }
+            None => {
+                cache.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Whether the lowering cache was built.
+    pub fn has_lowering(&self) -> bool {
+        self.lowering.is_some()
+    }
+
+    /// Heap bytes held by the cached column matrices (0 when disabled).
+    pub fn lowering_bytes(&self) -> usize {
+        self.lowering.as_ref().map_or(0, |c| c.bytes)
+    }
+
+    /// Number of cache lookups that found a precomputed lowering.
+    pub fn lowering_hits(&self) -> u64 {
+        self.lowering.as_ref().map_or(0, |c| c.hits.load(Ordering::Relaxed))
+    }
+
+    /// Number of cache lookups that missed (non-lowerable or uncovered node).
+    pub fn lowering_misses(&self) -> u64 {
+        self.lowering.as_ref().map_or(0, |c| c.misses.load(Ordering::Relaxed))
     }
 
     /// Number of reference images.
@@ -84,9 +197,10 @@ impl GoldenReference {
         &self.caches[idx]
     }
 
-    /// Total heap footprint of the caches, in bytes.
+    /// Total heap footprint of the activation caches plus any lowering
+    /// cache, in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.caches.iter().map(ActivationCache::memory_bytes).sum()
+        self.caches.iter().map(ActivationCache::memory_bytes).sum::<usize>() + self.lowering_bytes()
     }
 }
 
@@ -120,5 +234,55 @@ mod tests {
         let golden = GoldenReference::build(&model, &data).unwrap();
         assert_eq!(golden.cache(0).len(), model.nodes().len());
         assert!(golden.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn lowering_cache_covers_convs_and_counts_lookups() {
+        let model = ResNetConfig::resnet20_micro().build_seeded(8).unwrap();
+        let data = SynthCifarConfig::new().with_size(16).with_samples(3).generate();
+        let plain = GoldenReference::build(&model, &data).unwrap();
+        assert!(!plain.has_lowering());
+        assert_eq!(plain.lowering_bytes(), 0);
+        let base_bytes = plain.memory_bytes();
+        // Disabled cache: lookups return None and do not count as misses.
+        assert!(plain.lowering(1, 0).is_none());
+        assert_eq!(plain.lowering_misses(), 0);
+
+        let golden = plain.with_lowering(&model).unwrap();
+        assert!(golden.has_lowering());
+        assert!(golden.lowering_bytes() > 0);
+        assert_eq!(golden.memory_bytes(), base_bytes + golden.lowering_bytes());
+
+        let conv_nodes: Vec<usize> = model
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.op, sfi_nn::NodeOp::Conv { .. }))
+            .map(|(id, _)| id)
+            .collect();
+        assert!(!conv_nodes.is_empty());
+        let mut hits = 0;
+        for &node in &conv_nodes {
+            for image in 0..golden.len() {
+                if golden.lowering(node, image).is_some() {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(hits > 0, "resnet20-micro has lowerable convs");
+        assert_eq!(golden.lowering_hits(), hits);
+        // A non-conv node is an honest miss once the cache is enabled.
+        assert!(golden.lowering(0, 0).is_none());
+        assert_eq!(golden.lowering_misses(), 1);
+    }
+
+    #[test]
+    fn clones_share_lowering_counters() {
+        let model = ResNetConfig::resnet20_micro().build_seeded(8).unwrap();
+        let data = SynthCifarConfig::new().with_size(16).with_samples(1).generate();
+        let golden = GoldenReference::build(&model, &data).unwrap().with_lowering(&model).unwrap();
+        let clone = golden.clone();
+        let _ = clone.lowering(0, 0); // miss on the input node
+        assert_eq!(golden.lowering_misses(), 1, "counters are shared across clones");
     }
 }

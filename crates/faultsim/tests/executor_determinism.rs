@@ -85,6 +85,54 @@ proptest! {
         }
     }
 
+    /// The fast inference path (blocked GEMM, scratch arenas, cached
+    /// lowerings) is a pure optimisation: classifications and inference
+    /// counts equal the naive kernel path, with the lowering cache on or
+    /// off, at workers ∈ {1, 2, 4, 8}.
+    #[test]
+    fn fast_path_matches_naive_across_caches_and_workers(
+        fault_seed in 0u64..1_000_000,
+        incremental in any::<bool>(),
+    ) {
+        let model = sfi_nn::resnet::ResNetConfig::resnet20_micro().build_seeded(3).unwrap();
+        let data = SynthCifarConfig::new().with_size(16).with_samples(3).generate();
+        let golden_plain = GoldenReference::build(&model, &data).unwrap();
+        let golden_lowered = golden_plain.clone().with_lowering(&model).unwrap();
+        let space = FaultSpace::stuck_at(&model);
+        let faults = random_faults(&space, fault_seed, 16);
+
+        let reference = run_campaign(
+            &model,
+            &data,
+            &golden_plain,
+            &faults,
+            &CampaignConfig {
+                workers: 1,
+                incremental,
+                kernel: sfi_nn::KernelPolicy::Naive,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for workers in [1usize, 2, 4, 8] {
+            for (golden, label) in [(&golden_plain, "uncached"), (&golden_lowered, "cached")] {
+                let cfg = CampaignConfig { workers, incremental, ..Default::default() };
+                let fast = run_campaign(&model, &data, golden, &faults, &cfg).unwrap();
+                prop_assert_eq!(
+                    &fast.classes, &reference.classes,
+                    "fast/{} vs naive, workers = {}", label, workers
+                );
+                prop_assert_eq!(fast.inferences, reference.inferences);
+            }
+        }
+        if incremental && reference.inferences > 0 {
+            prop_assert!(
+                golden_lowered.lowering_hits() + golden_lowered.lowering_misses() > 0,
+                "incremental fast runs must consult the lowering cache"
+            );
+        }
+    }
+
     /// Splitting one campaign into arbitrary sub-campaigns on a shared
     /// executor session concatenates to the same classifications — the
     /// plan-execution pattern (many strata, one pool) in miniature.

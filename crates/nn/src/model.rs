@@ -1,7 +1,69 @@
-use sfi_tensor::ops::{self, BatchNormParams};
-use sfi_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use sfi_tensor::ops::{self, BatchNormParams, GemmKernel, LoweredConv};
+use sfi_tensor::{ScratchArena, Tensor};
 
 use crate::{NnError, Node, NodeId, ParamId, ParameterStore, WeightLayer};
+
+/// Kernel and allocation policy of a forward pass.
+///
+/// The two policies are **bit-identical** — the blocked GEMM preserves the
+/// naive kernel's per-output-element accumulation order — so fault
+/// classifications never depend on the choice; only speed does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum KernelPolicy {
+    /// Blocked GEMM, by-reference input reads, and (when an arena is
+    /// provided) recycled buffers.
+    #[default]
+    Fast,
+    /// The historical reference path: naive GEMM, fresh allocations, and a
+    /// defensive clone of every node input. Kept as the measurable
+    /// pre-optimization baseline for benches and ablations.
+    Naive,
+}
+
+/// Per-caller state threaded through the `*_with` forward variants.
+///
+/// The plain [`Model::forward`]-family methods use the defaults (fast
+/// kernels, no arena, no pre-lowered panels).
+#[derive(Default)]
+pub struct ForwardOptions<'a> {
+    /// Kernel and allocation policy.
+    pub policy: KernelPolicy,
+    /// Scratch arena for im2col/GEMM buffers; intermediate activations are
+    /// recycled into it when the pass finishes.
+    pub arena: Option<&'a mut ScratchArena>,
+    /// Pre-lowered im2col panels for one conv node. Consulted only when
+    /// that exact node is evaluated under [`KernelPolicy::Fast`]; the
+    /// caller asserts the panels were lowered from the value the node's
+    /// input holds during this pass.
+    pub lowered: Option<(NodeId, &'a LoweredConv)>,
+}
+
+/// Resolves node-output references during a forward pass: a clean prefix
+/// (cached activations), at most one overridden node, and the recomputed
+/// suffix.
+struct NodeValues<'a> {
+    prefix: &'a [Tensor],
+    over: Option<(NodeId, &'a Tensor)>,
+    suffix_base: usize,
+    suffix: &'a [Tensor],
+}
+
+impl NodeValues<'_> {
+    fn get(&self, id: NodeId) -> &Tensor {
+        if let Some((n, t)) = self.over {
+            if n == id {
+                return t;
+            }
+        }
+        if id >= self.suffix_base {
+            &self.suffix[id - self.suffix_base]
+        } else {
+            &self.prefix[id]
+        }
+    }
+}
 
 /// Cached per-node activations of one input, produced by
 /// [`Model::forward_cached`] and consumed by [`Model::forward_from`].
@@ -168,20 +230,99 @@ impl Model {
         }
     }
 
-    fn eval_node(
+    fn eval_node_with(
         &self,
         id: NodeId,
-        value_of: impl Fn(NodeId) -> Tensor,
+        vals: &NodeValues<'_>,
+        opts: &mut ForwardOptions<'_>,
     ) -> Result<Tensor, NnError> {
+        use crate::NodeOp;
+        if opts.policy == KernelPolicy::Naive {
+            return self.eval_node_naive(id, vals);
+        }
+        let node = &self.nodes[id];
+        let param = |p: ParamId| &self.store.get(p).expect("validated at construction").tensor;
+        let wrap = |source| NnError::Op { node: id, source };
+        let x = |i: usize| vals.get(node.inputs[i]);
+        let out = match &node.op {
+            NodeOp::Input => unreachable!("input node is never re-evaluated"),
+            NodeOp::Conv { weight, bias, cfg } => {
+                let w = param(*weight);
+                let b = bias.map(&param);
+                match opts.lowered {
+                    Some((n, low)) if n == id => {
+                        ops::conv2d_from_lowered(low, w, b, opts.arena.as_deref_mut())
+                            .map_err(wrap)?
+                    }
+                    _ => match opts.arena.as_deref_mut() {
+                        Some(a) => ops::conv2d_with(x(0), w, b, *cfg, a).map_err(wrap)?,
+                        None => ops::conv2d(x(0), w, b, *cfg).map_err(wrap)?,
+                    },
+                }
+            }
+            NodeOp::BatchNorm { gamma, beta, mean, var, eps } => {
+                let params = BatchNormParams {
+                    gamma: param(*gamma),
+                    beta: param(*beta),
+                    mean: param(*mean),
+                    var: param(*var),
+                    eps: *eps,
+                };
+                match opts.arena.as_deref_mut() {
+                    Some(a) => ops::batch_norm_with(x(0), &params, a).map_err(wrap)?,
+                    None => ops::batch_norm(x(0), &params).map_err(wrap)?,
+                }
+            }
+            NodeOp::Relu => match opts.arena.as_deref_mut() {
+                Some(a) => ops::relu_with(x(0), a),
+                None => ops::relu(x(0)),
+            },
+            NodeOp::Relu6 => match opts.arena.as_deref_mut() {
+                Some(a) => ops::relu6_with(x(0), a),
+                None => ops::relu6(x(0)),
+            },
+            NodeOp::AvgPool { kernel } => ops::avg_pool2d(x(0), *kernel).map_err(wrap)?,
+            NodeOp::MaxPool { kernel } => ops::max_pool2d(x(0), *kernel).map_err(wrap)?,
+            NodeOp::GlobalAvgPool => ops::global_avg_pool(x(0)).map_err(wrap)?,
+            NodeOp::Linear { weight, bias } => {
+                let xv = x(0);
+                let reshaped;
+                let x2 = if xv.shape().rank() == 2 {
+                    xv
+                } else {
+                    let n = xv.shape().dims()[0];
+                    let rest = xv.len() / n;
+                    reshaped = xv.reshape([n, rest]).map_err(wrap)?;
+                    &reshaped
+                };
+                ops::linear(x2, param(*weight), bias.map(&param)).map_err(wrap)?
+            }
+            NodeOp::Add => match opts.arena.as_deref_mut() {
+                Some(a) => ops::add_with(x(0), x(1), a).map_err(wrap)?,
+                None => ops::add(x(0), x(1)).map_err(wrap)?,
+            },
+            NodeOp::DownsamplePad { out_channels, stride } => {
+                ops::downsample_pad_channels(x(0), *out_channels, *stride).map_err(wrap)?
+            }
+        };
+        Ok(out)
+    }
+
+    /// The historical evaluation path: clones every node input and uses the
+    /// naive GEMM — the faithful pre-optimization cost model behind
+    /// [`KernelPolicy::Naive`]. Bit-identical to the fast path.
+    fn eval_node_naive(&self, id: NodeId, vals: &NodeValues<'_>) -> Result<Tensor, NnError> {
         use crate::NodeOp;
         let node = &self.nodes[id];
         let param = |p: ParamId| &self.store.get(p).expect("validated at construction").tensor;
         let wrap = |source| NnError::Op { node: id, source };
+        let value_of = |i: NodeId| vals.get(i).clone();
         let out = match &node.op {
             NodeOp::Input => unreachable!("input node is never re-evaluated"),
             NodeOp::Conv { weight, bias, cfg } => {
                 let x = value_of(node.inputs[0]);
-                ops::conv2d(&x, param(*weight), bias.map(&param), *cfg).map_err(wrap)?
+                ops::conv2d_kernel(&x, param(*weight), bias.map(&param), *cfg, GemmKernel::Naive)
+                    .map_err(wrap)?
             }
             NodeOp::BatchNorm { gamma, beta, mean, var, eps } => {
                 let x = value_of(node.inputs[0]);
@@ -236,14 +377,48 @@ impl Model {
     /// Returns [`NnError::InputShape`] for a mismatched input, or the first
     /// operator failure.
     pub fn forward(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        self.forward_with(input, &mut ForwardOptions::default())
+    }
+
+    /// [`Model::forward`] with explicit [`ForwardOptions`] — the campaign
+    /// hot path threads a per-worker [`ScratchArena`] through here so conv
+    /// buffers and intermediate activations are recycled across faults.
+    ///
+    /// Bit-identical to [`Model::forward`] for every option combination.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Model::forward`].
+    pub fn forward_with(
+        &self,
+        input: &Tensor,
+        opts: &mut ForwardOptions<'_>,
+    ) -> Result<Tensor, NnError> {
         self.check_input(input)?;
-        let mut values: Vec<Tensor> = Vec::with_capacity(self.nodes.len());
-        values.push(input.clone());
+        let mut suffix: Vec<Tensor> = Vec::with_capacity(self.nodes.len().saturating_sub(1));
         for id in 1..self.nodes.len() {
-            let v = self.eval_node(id, |i| values[i].clone())?;
-            values.push(v);
+            let v = self.eval_node_with(
+                id,
+                &NodeValues {
+                    prefix: &[],
+                    over: Some((0, input)),
+                    suffix_base: 1,
+                    suffix: &suffix,
+                },
+                opts,
+            )?;
+            suffix.push(v);
         }
-        Ok(values.pop().expect("graph has at least one node"))
+        let out = match suffix.pop() {
+            Some(t) => t,
+            None => input.clone(),
+        };
+        if let Some(arena) = opts.arena.as_deref_mut() {
+            for t in suffix {
+                arena.recycle(t.into_vec());
+            }
+        }
+        Ok(out)
     }
 
     /// Runs inference and returns every node's activation, for later
@@ -257,7 +432,11 @@ impl Model {
         let mut values: Vec<Tensor> = Vec::with_capacity(self.nodes.len());
         values.push(input.clone());
         for id in 1..self.nodes.len() {
-            let v = self.eval_node(id, |i| values[i].clone())?;
+            let v = self.eval_node_with(
+                id,
+                &NodeValues { prefix: &values, over: None, suffix_base: usize::MAX, suffix: &[] },
+                &mut ForwardOptions::default(),
+            )?;
             values.push(v);
         }
         Ok(ActivationCache { activations: values })
@@ -284,6 +463,25 @@ impl Model {
         first_dirty: NodeId,
         cache: &ActivationCache,
     ) -> Result<Tensor, NnError> {
+        self.forward_from_with(first_dirty, cache, &mut ForwardOptions::default())
+    }
+
+    /// [`Model::forward_from`] with explicit [`ForwardOptions`].
+    ///
+    /// When `opts.lowered` names the first dirty conv node, its im2col
+    /// lowering is skipped entirely and the cached panels feed the GEMM —
+    /// sound because incremental re-execution hands that node its *golden*
+    /// input, the exact value the panels were lowered from.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Model::forward_from`].
+    pub fn forward_from_with(
+        &self,
+        first_dirty: NodeId,
+        cache: &ActivationCache,
+        opts: &mut ForwardOptions<'_>,
+    ) -> Result<Tensor, NnError> {
         if cache.activations.len() != self.nodes.len() {
             return Err(NnError::CacheMismatch {
                 reason: format!(
@@ -300,16 +498,25 @@ impl Model {
         // Recomputed suffix values, indexed by id - first_dirty.
         let mut fresh: Vec<Tensor> = Vec::with_capacity(self.nodes.len() - first_dirty);
         for id in first_dirty..self.nodes.len() {
-            let v = self.eval_node(id, |i| {
-                if i < first_dirty {
-                    cache.activations[i].clone()
-                } else {
-                    fresh[i - first_dirty].clone()
-                }
-            })?;
+            let v = self.eval_node_with(
+                id,
+                &NodeValues {
+                    prefix: &cache.activations,
+                    over: None,
+                    suffix_base: first_dirty,
+                    suffix: &fresh,
+                },
+                opts,
+            )?;
             fresh.push(v);
         }
-        Ok(fresh.pop().expect("suffix is nonempty"))
+        let out = fresh.pop().expect("suffix is nonempty");
+        if let Some(arena) = opts.arena.as_deref_mut() {
+            for t in fresh {
+                arena.recycle(t.into_vec());
+            }
+        }
+        Ok(out)
     }
 
     /// Re-runs inference with node `node`'s cached activation replaced by
@@ -331,6 +538,23 @@ impl Model {
         cache: &ActivationCache,
         patch: impl FnOnce(&mut Tensor),
     ) -> Result<Tensor, NnError> {
+        self.forward_patched_with(node, cache, patch, &mut ForwardOptions::default())
+    }
+
+    /// [`Model::forward_patched`] with explicit [`ForwardOptions`]
+    /// (`opts.lowered` is ignored here: a patched activation invalidates
+    /// any panels lowered downstream of it).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Model::forward_patched`].
+    pub fn forward_patched_with(
+        &self,
+        node: NodeId,
+        cache: &ActivationCache,
+        patch: impl FnOnce(&mut Tensor),
+        opts: &mut ForwardOptions<'_>,
+    ) -> Result<Tensor, NnError> {
         if cache.activations.len() != self.nodes.len() {
             return Err(NnError::CacheMismatch {
                 reason: format!(
@@ -350,22 +574,32 @@ impl Model {
         if node + 1 == self.nodes.len() {
             return Ok(patched);
         }
+        // A patched value makes pre-lowered panels unsound; drop them.
+        let lowered = opts.lowered.take();
         // Recompute the suffix, reading the patched value for `node` and
         // cached values for everything else before it.
         let mut fresh: Vec<Tensor> = Vec::with_capacity(self.nodes.len() - node - 1);
         for id in node + 1..self.nodes.len() {
-            let v = self.eval_node(id, |i| {
-                if i == node {
-                    patched.clone()
-                } else if i <= node {
-                    cache.activations[i].clone()
-                } else {
-                    fresh[i - node - 1].clone()
-                }
-            })?;
+            let v = self.eval_node_with(
+                id,
+                &NodeValues {
+                    prefix: &cache.activations,
+                    over: Some((node, &patched)),
+                    suffix_base: node + 1,
+                    suffix: &fresh,
+                },
+                opts,
+            )?;
             fresh.push(v);
         }
-        Ok(fresh.pop().expect("suffix is nonempty"))
+        opts.lowered = lowered;
+        let out = fresh.pop().expect("suffix is nonempty");
+        if let Some(arena) = opts.arena.as_deref_mut() {
+            for t in fresh {
+                arena.recycle(t.into_vec());
+            }
+        }
+        Ok(out)
     }
 
     /// A human-readable summary: one line per weight layer with its name,
@@ -722,5 +956,66 @@ mod tests {
         let cache = m.forward_cached(&tiny_input()).unwrap();
         // input 16 + conv out 32 + relu 32 + gap 2 + fc 3 = 85 floats
         assert_eq!(cache.memory_bytes(), 85 * 4);
+    }
+
+    fn assert_bits_equal(a: &Tensor, b: &Tensor, what: &str) {
+        assert_eq!(a.shape(), b.shape(), "{what}: shapes");
+        let same = a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits());
+        assert!(same, "{what}: values diverge");
+    }
+
+    #[test]
+    fn forward_policies_and_arena_are_bit_identical() {
+        let m = tiny_model();
+        let input = tiny_input();
+        let fast = m.forward(&input).unwrap();
+        let naive = m
+            .forward_with(
+                &input,
+                &mut ForwardOptions { policy: KernelPolicy::Naive, ..Default::default() },
+            )
+            .unwrap();
+        assert_bits_equal(&fast, &naive, "fast vs naive");
+        let mut arena = ScratchArena::new();
+        for round in 0..3 {
+            let opts = &mut ForwardOptions { arena: Some(&mut arena), ..Default::default() };
+            let with_arena = m.forward_with(&input, opts).unwrap();
+            assert_bits_equal(&fast, &with_arena, "arena round");
+            let _ = round;
+        }
+        assert!(arena.peak_bytes() > 0, "arena must have been used");
+    }
+
+    #[test]
+    fn forward_from_with_lowered_panels_matches_plain() {
+        let m = tiny_model();
+        let input = tiny_input();
+        let cache = m.forward_cached(&input).unwrap();
+        // Node 1 is the conv; lower its golden input (the image itself).
+        let crate::NodeOp::Conv { weight, cfg, .. } = m.nodes()[1].op else {
+            panic!("node 1 is the conv")
+        };
+        let w = &m.store().get(weight).unwrap().tensor;
+        let lowered = sfi_tensor::ops::im2col_lower(cache.get(0).unwrap(), w, cfg).unwrap();
+        let plain = m.forward_from(1, &cache).unwrap();
+        let mut arena = ScratchArena::new();
+        let opts = &mut ForwardOptions {
+            arena: Some(&mut arena),
+            lowered: Some((1, &lowered)),
+            ..Default::default()
+        };
+        let fast = m.forward_from_with(1, &cache, opts).unwrap();
+        assert_bits_equal(&plain, &fast, "lowered forward_from");
+    }
+
+    #[test]
+    fn forward_patched_with_arena_matches_plain() {
+        let m = tiny_model();
+        let cache = m.forward_cached(&tiny_input()).unwrap();
+        let plain = m.forward_patched(1, &cache, |t| t.as_mut_slice()[0] = 5.0).unwrap();
+        let mut arena = ScratchArena::new();
+        let opts = &mut ForwardOptions { arena: Some(&mut arena), ..Default::default() };
+        let fast = m.forward_patched_with(1, &cache, |t| t.as_mut_slice()[0] = 5.0, opts).unwrap();
+        assert_bits_equal(&plain, &fast, "patched with arena");
     }
 }

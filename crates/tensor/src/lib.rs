@@ -38,11 +38,13 @@
 #![warn(missing_docs)]
 
 mod error;
+mod scratch;
 mod shape;
 mod tensor;
 
 pub mod ops;
 
 pub use error::TensorError;
+pub use scratch::ScratchArena;
 pub use shape::{Shape, MAX_RANK};
 pub use tensor::Tensor;

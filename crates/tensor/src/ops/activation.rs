@@ -1,4 +1,21 @@
-use crate::{Tensor, TensorError};
+use crate::{ScratchArena, Tensor, TensorError};
+
+/// The ReLU kernel behind [`relu`].
+fn relu_apply(data: &mut [f32]) {
+    for v in data {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// The ReLU6 kernel behind [`relu6`].
+fn relu6_apply(data: &mut [f32]) {
+    // f32::clamp propagates NaN, matching the documented semantics.
+    for v in data {
+        *v = v.clamp(0.0, 6.0);
+    }
+}
 
 /// Rectified linear unit: `max(x, 0)` element-wise.
 ///
@@ -14,15 +31,47 @@ use crate::{Tensor, TensorError};
 /// assert_eq!(ops::relu(&t).as_slice(), &[0.0, 0.5, 2.0]);
 /// ```
 pub fn relu(input: &Tensor) -> Tensor {
-    input.map(|v| if v < 0.0 { 0.0 } else { v })
+    let mut out = input.clone();
+    relu_apply(out.as_mut_slice());
+    out
+}
+
+/// [`relu`] drawing its output buffer from `arena` — the campaign hot path.
+///
+/// Fuses the copy and the clamp into one pass. Unlike the arithmetic ops
+/// (GEMM, batch norm, add), ReLU performs no floating-point *arithmetic* —
+/// only a compare-and-select — so every output bit pattern equals either
+/// the input element or `0.0` regardless of how the loop is compiled.
+/// Bit-identity with [`relu`] therefore holds by value, without needing a
+/// shared compiled kernel (NaN and `-0.0` are preserved by both: the
+/// `< 0.0` compare is false for either).
+pub fn relu_with(input: &Tensor, arena: &mut ScratchArena) -> Tensor {
+    let mut data = arena.take(input.len());
+    for (d, &s) in data.iter_mut().zip(input.as_slice()) {
+        *d = if s < 0.0 { 0.0 } else { s };
+    }
+    Tensor::from_vec(input.shape(), data).expect("same length as input")
 }
 
 /// ReLU clamped at 6: `min(max(x, 0), 6)`, as used by MobileNetV2.
 ///
 /// NaN inputs are preserved.
 pub fn relu6(input: &Tensor) -> Tensor {
-    // f32::clamp propagates NaN, matching the documented semantics.
-    input.map(|v| v.clamp(0.0, 6.0))
+    let mut out = input.clone();
+    relu6_apply(out.as_mut_slice());
+    out
+}
+
+/// [`relu6`] drawing its output buffer from `arena`, fused into one pass.
+/// Bit-identical to [`relu6`] by value — `clamp` is compare-and-select,
+/// not arithmetic, so both variants yield the same bits per element (see
+/// [`relu_with`]).
+pub fn relu6_with(input: &Tensor, arena: &mut ScratchArena) -> Tensor {
+    let mut data = arena.take(input.len());
+    for (d, &s) in data.iter_mut().zip(input.as_slice()) {
+        *d = s.clamp(0.0, 6.0);
+    }
+    Tensor::from_vec(input.shape(), data).expect("same length as input")
 }
 
 /// Numerically stable softmax over the last dimension of a rank-2 tensor

@@ -1,4 +1,13 @@
-use crate::{Tensor, TensorError};
+use crate::{ScratchArena, Tensor, TensorError};
+
+/// The shared addition kernel: `dst[i] += rhs[i]` over a copy of the left
+/// operand, used by both [`add`] and [`add_with`] so they stay bit-identical
+/// by construction.
+fn add_apply(dst: &mut [f32], rhs: &[f32]) {
+    for (d, &r) in dst.iter_mut().zip(rhs) {
+        *d += r;
+    }
+}
 
 /// Element-wise addition of two tensors of identical shape (residual sum).
 ///
@@ -22,7 +31,28 @@ pub fn add(lhs: &Tensor, rhs: &Tensor) -> Result<Tensor, TensorError> {
     if lhs.shape() != rhs.shape() {
         return Err(TensorError::ShapeMismatch { op: "add", lhs: lhs.shape(), rhs: rhs.shape() });
     }
-    let data = lhs.iter().zip(rhs.iter()).map(|(a, b)| a + b).collect();
+    let mut data = lhs.as_slice().to_vec();
+    add_apply(&mut data, rhs.as_slice());
+    Tensor::from_vec(lhs.shape(), data)
+}
+
+/// [`add`] drawing its output buffer from `arena` — the campaign hot path.
+/// Bit-identical to [`add`]; only the buffer provenance differs.
+///
+/// # Errors
+///
+/// Same conditions as [`add`].
+pub fn add_with(
+    lhs: &Tensor,
+    rhs: &Tensor,
+    arena: &mut ScratchArena,
+) -> Result<Tensor, TensorError> {
+    if lhs.shape() != rhs.shape() {
+        return Err(TensorError::ShapeMismatch { op: "add", lhs: lhs.shape(), rhs: rhs.shape() });
+    }
+    let mut data = arena.take(lhs.len());
+    data.copy_from_slice(lhs.as_slice());
+    add_apply(&mut data, rhs.as_slice());
     Tensor::from_vec(lhs.shape(), data)
 }
 

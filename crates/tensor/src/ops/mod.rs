@@ -7,14 +7,17 @@
 //!
 //! - [`conv2d`] (grouped / depthwise aware), with [`conv2d_direct`] and
 //!   [`conv2d_im2col`] exposed separately for the conv-strategy ablation
-//!   bench,
+//!   bench, [`conv2d_with`] for arena-backed buffers, and the
+//!   [`im2col_lower`] / [`conv2d_from_lowered`] pair for campaign-level
+//!   column-matrix caching,
 //! - [`linear`] fully-connected layers,
 //! - [`batch_norm`] in inference mode,
 //! - [`relu`], [`relu6`], [`softmax`],
 //! - [`avg_pool2d`], [`max_pool2d`], [`global_avg_pool`],
 //! - [`add`] residual addition and [`downsample_pad_channels`]
 //!   (ResNet "option A" shortcut),
-//! - [`gemm`] the blocked matrix multiply underneath `im2col` convolution.
+//! - [`gemm`] and its bit-identical cache-blocked sibling [`gemm_blocked`],
+//!   the matrix multiplies underneath `im2col` convolution.
 
 mod activation;
 mod conv;
@@ -26,10 +29,13 @@ mod pool;
 
 pub mod grad;
 
-pub use activation::{relu, relu6, softmax};
-pub use conv::{conv2d, conv2d_direct, conv2d_im2col, Conv2dCfg, Padding};
-pub use elementwise::{add, downsample_pad_channels};
-pub use gemm::gemm;
+pub use activation::{relu, relu6, relu6_with, relu_with, softmax};
+pub use conv::{
+    conv2d, conv2d_direct, conv2d_from_lowered, conv2d_im2col, conv2d_kernel, conv2d_uses_lowering,
+    conv2d_with, im2col_lower, Conv2dCfg, GemmKernel, LoweredConv, Padding,
+};
+pub use elementwise::{add, add_with, downsample_pad_channels};
+pub use gemm::{gemm, gemm_blocked, gemm_blocked_with, gemm_packed};
 pub use linear::linear;
-pub use norm::{batch_norm, BatchNormParams};
+pub use norm::{batch_norm, batch_norm_with, BatchNormParams};
 pub use pool::{avg_pool2d, global_avg_pool, max_pool2d};

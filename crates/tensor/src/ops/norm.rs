@@ -45,6 +45,32 @@ pub struct BatchNormParams<'a> {
 /// # }
 /// ```
 pub fn batch_norm(input: &Tensor, params: &BatchNormParams<'_>) -> Result<Tensor, TensorError> {
+    validate(input, params)?;
+    let mut out = input.clone();
+    bn_apply(out.as_mut_slice(), input.shape(), params);
+    Ok(out)
+}
+
+/// [`batch_norm`] drawing its output buffer from `arena` — the campaign hot
+/// path. Bit-identical to [`batch_norm`] (the same in-place kernel runs on
+/// a copied buffer); only the buffer provenance differs.
+///
+/// # Errors
+///
+/// Same conditions as [`batch_norm`].
+pub fn batch_norm_with(
+    input: &Tensor,
+    params: &BatchNormParams<'_>,
+    arena: &mut crate::ScratchArena,
+) -> Result<Tensor, TensorError> {
+    validate(input, params)?;
+    let mut data = arena.take(input.len());
+    data.copy_from_slice(input.as_slice());
+    bn_apply(&mut data, input.shape(), params);
+    Ok(Tensor::from_vec(input.shape(), data).expect("same length as input"))
+}
+
+fn validate(input: &Tensor, params: &BatchNormParams<'_>) -> Result<(), TensorError> {
     const OP: &str = "batch_norm";
     if input.shape().rank() != 4 {
         return Err(TensorError::RankMismatch {
@@ -53,17 +79,21 @@ pub fn batch_norm(input: &Tensor, params: &BatchNormParams<'_>) -> Result<Tensor
             actual: input.shape().rank(),
         });
     }
-    let c = input.shape().c();
-    let want = Shape::new(&[c]);
+    let want = Shape::new(&[input.shape().c()]);
     for t in [params.gamma, params.beta, params.mean, params.var] {
         if t.shape() != want {
             return Err(TensorError::ShapeMismatch { op: OP, lhs: t.shape(), rhs: want });
         }
     }
-    let (n, h, w) = (input.shape().n(), input.shape().h(), input.shape().w());
+    Ok(())
+}
+
+/// The shared normalisation kernel: one compiled loop serves both
+/// [`batch_norm`] and [`batch_norm_with`], keeping them bit-identical by
+/// construction.
+fn bn_apply(data: &mut [f32], shape: Shape, params: &BatchNormParams<'_>) {
+    let (n, c, h, w) = (shape.n(), shape.c(), shape.h(), shape.w());
     let spatial = h * w;
-    let mut out = input.clone();
-    let data = out.as_mut_slice();
     for ci in 0..c {
         let inv_std = 1.0 / (params.var.as_slice()[ci] + params.eps).sqrt();
         let scale = params.gamma.as_slice()[ci] * inv_std;
@@ -75,7 +105,6 @@ pub fn batch_norm(input: &Tensor, params: &BatchNormParams<'_>) -> Result<Tensor
             }
         }
     }
-    Ok(out)
 }
 
 #[cfg(test)]

@@ -180,6 +180,10 @@ pub struct CliOptions {
     pub resume: bool,
     /// Fsync the journal every this many classifications (`run`).
     pub checkpoint_every: u64,
+    /// Precompute im2col lowerings of every conv layer's golden input
+    /// (`run`). On by default; `--no-lowering-cache` disables it to trade
+    /// speed for memory. Classifications are identical either way.
+    pub lowering_cache: bool,
 }
 
 impl Default for CliOptions {
@@ -197,6 +201,7 @@ impl Default for CliOptions {
             checkpoint_dir: None,
             resume: false,
             checkpoint_every: 64,
+            lowering_cache: true,
         }
     }
 }
@@ -229,6 +234,8 @@ OPTIONS:
                               interrupted campaign can then be continued
     --resume                  continue from the journal in --checkpoint-dir
     --checkpoint-every <n>    fsync the journal every n classifications (default 64)
+    --no-lowering-cache       skip precomputing im2col lowerings of golden conv
+                              inputs (run); slower but lighter on memory
 ";
 
 /// Parses the argument list (without the program name).
@@ -306,6 +313,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, ParseCliError> {
                 opts.checkpoint_dir = Some(v);
             }
             "--resume" => opts.resume = true,
+            "--no-lowering-cache" => opts.lowering_cache = false,
             "--checkpoint-every" => {
                 let v = value()?;
                 opts.checkpoint_every = v
@@ -391,6 +399,7 @@ pub fn run(
                 .with_seed(opts.seed)
                 .generate();
             let golden = GoldenReference::build(&model, &data)?;
+            let golden = if opts.lowering_cache { golden.with_lowering(&model)? } else { golden };
             let space = FaultSpace::stuck_at(&model);
             let plan = build_plan(opts, &model, &space)?;
             writeln!(
@@ -401,6 +410,12 @@ pub fn run(
                 opts.images,
                 opts.workers,
                 if opts.workers == 1 { "" } else { "s" }
+            )?;
+            writeln!(
+                out,
+                "golden reference: {} activation-cache bytes + {} lowering-cache bytes",
+                group_digits((golden.memory_bytes() - golden.lowering_bytes()) as u64),
+                group_digits(golden.lowering_bytes() as u64),
             )?;
             let cfg = CampaignConfig { workers: opts.workers, ..CampaignConfig::default() };
             // Throttle stderr updates to ~100 over the whole plan.
@@ -811,6 +826,47 @@ mod tests {
         let second_text = String::from_utf8(second).unwrap();
         assert!(second_text.contains("resumed"), "{second_text}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_no_lowering_cache() {
+        let o = parse(&args("run --no-lowering-cache")).unwrap();
+        assert!(!o.lowering_cache);
+        assert!(parse(&args("run")).unwrap().lowering_cache, "cache is on by default");
+    }
+
+    #[test]
+    fn lowering_cache_does_not_change_estimates() {
+        let base =
+            parse(&args("run --model resnet20-micro --scheme network-wise --error 0.2 --images 2"))
+                .unwrap();
+        let mut cached = Vec::new();
+        run(&base, &mut cached).unwrap();
+        let mut uncached = Vec::new();
+        run(&CliOptions { lowering_cache: false, ..base }, &mut uncached).unwrap();
+        // Drop the memory header (cache bytes differ by construction) and
+        // the summary's wall-clock tail; every estimate must match exactly.
+        let strip = |b: &[u8]| {
+            String::from_utf8(b.to_vec())
+                .unwrap()
+                .lines()
+                .filter(|l| !l.contains("...") && !l.starts_with("golden reference:"))
+                .map(|l| {
+                    if l.starts_with("network:") {
+                        l.rsplit_once(", ").map(|(a, _)| a.to_string()).unwrap_or_default()
+                    } else {
+                        l.to_string()
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&cached), strip(&uncached));
+        let text = String::from_utf8(cached).unwrap();
+        assert!(text.contains("golden reference:"), "{text}");
+        assert!(text.contains("lowering-cache bytes"));
+        let text = String::from_utf8(uncached).unwrap();
+        assert!(text.contains("+ 0 lowering-cache bytes"), "{text}");
     }
 
     #[test]
