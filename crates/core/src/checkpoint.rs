@@ -32,15 +32,18 @@ use std::time::Instant;
 
 use sfi_dataset::Dataset;
 use sfi_faultsim::campaign::{CampaignConfig, CampaignResult, Corruption, Criterion, FaultClass};
-use sfi_faultsim::executor::{with_executor, CancelToken};
+use sfi_faultsim::executor::{with_executor_probed, CampaignTelemetry, CancelToken};
 use sfi_faultsim::fault::{Fault, FaultModel};
 use sfi_faultsim::golden::GoldenReference;
 use sfi_faultsim::journal::{self, FaultId, JournalWriter};
 use sfi_faultsim::population::FaultSpace;
 use sfi_faultsim::FaultSimError;
 use sfi_nn::Model;
+use sfi_obs::{Event, Probe};
 
-use crate::execute::{assemble_outcome, sample_strata, PlanProgress, SfiOutcome};
+use crate::execute::{
+    assemble_outcome, class_name, sample_strata, stratum_label, PlanProgress, SfiOutcome,
+};
 use crate::plan::{SchemeKind, SfiPlan};
 use crate::SfiError;
 
@@ -226,6 +229,50 @@ pub fn execute_plan_checkpointed<C: Corruption>(
     cancel: Option<&CancelToken>,
     progress: &mut dyn FnMut(PlanProgress),
 ) -> Result<CampaignRun, SfiError> {
+    execute_plan_checkpointed_traced(
+        model,
+        data,
+        golden,
+        plan,
+        space,
+        seed,
+        campaign_cfg,
+        corruption,
+        checkpoint,
+        cancel,
+        Probe::disabled(),
+        progress,
+    )
+}
+
+/// [`execute_plan_checkpointed`] with an observability [`Probe`].
+///
+/// Emits the same span events as
+/// [`execute_plan_traced`](crate::execute::execute_plan_traced), plus the
+/// checkpoint-specific ones: a `resume` event when continuing from a
+/// journal (carrying the resumed and dropped-record counts) and an
+/// `interrupted` event when a cancellation stops the run. Journal `fsync`
+/// count and latency are folded into the probe's metrics after the seal.
+/// The probe never changes classifications, tallies, or estimates.
+///
+/// # Errors
+///
+/// Same conditions as [`execute_plan_checkpointed`].
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan_checkpointed_traced<C: Corruption>(
+    model: &Model,
+    data: &Dataset,
+    golden: &GoldenReference,
+    plan: &SfiPlan,
+    space: &FaultSpace,
+    seed: u64,
+    campaign_cfg: &CampaignConfig,
+    corruption: &C,
+    checkpoint: &CheckpointConfig,
+    cancel: Option<&CancelToken>,
+    probe: &Probe,
+    progress: &mut dyn FnMut(PlanProgress),
+) -> Result<CampaignRun, SfiError> {
     if checkpoint.checkpoint_every == 0 {
         return Err(SfiError::InvalidExperiment {
             reason: "checkpoint_every must be at least 1".into(),
@@ -256,77 +303,118 @@ pub fn execute_plan_checkpointed<C: Corruption>(
     }
     let resumed: u64 = per_stratum_resumed.iter().sum();
 
+    probe.emit(&Event::CampaignStart {
+        strata: n_strata,
+        faults: plan_total,
+        workers: campaign_cfg.workers.max(1),
+    });
+    if checkpoint.resume {
+        probe.emit(&Event::Resume { resumed, dropped });
+    }
+
     // Execute the remainder in one pool session, journaling each
     // classification from the collector as it completes.
     let mut completed = 0u64;
     let mut journal_error: Option<FaultSimError> = None;
     let mut session: Vec<Option<CampaignResult>> = Vec::with_capacity(n_strata);
     let mut interrupted = false;
-    let exec_out = with_executor(model, data, golden, campaign_cfg, corruption, |exec| {
-        let mut done_before: u64 = per_stratum_resumed.iter().sum();
-        let mut inferences_before = 0u64;
-        for (s, indices) in todo.iter().enumerate() {
-            if interrupted || cancel.is_some_and(|t| t.is_cancelled()) {
-                interrupted = true;
-                session.push(None);
-                continue;
-            }
-            if indices.is_empty() {
-                session.push(None);
-                continue;
-            }
-            let subset: Vec<Fault> = indices.iter().map(|&i| sampled[s][i]).collect();
-            let stratum_total = sampled[s].len() as u64;
-            let stratum_resumed = per_stratum_resumed[s];
-            let out = exec.run_with(
-                &subset,
-                &mut |p| {
-                    progress(PlanProgress {
-                        stratum: s,
-                        strata: n_strata,
-                        completed: stratum_resumed + p.completed,
-                        total: stratum_total,
-                        plan_completed: done_before + p.completed,
-                        plan_total,
-                        inferences: inferences_before + p.inferences,
-                    })
-                },
-                &mut |subset_idx, class, cost| {
-                    completed += 1;
-                    if journal_error.is_none() {
-                        let id = FaultId::new(s, indices[subset_idx]);
-                        if let Err(e) = writer.append(id, class, cost) {
-                            journal_error = Some(e);
-                        }
-                    }
-                },
-                cancel,
-            );
-            match out {
-                Ok(result) => {
-                    done_before += result.injections;
-                    inferences_before += result.inferences;
-                    session.push(Some(result));
-                }
-                Err(FaultSimError::Cancelled { .. }) => {
+    let exec_out =
+        with_executor_probed(model, data, golden, campaign_cfg, corruption, probe, |exec| {
+            let mut done_before: u64 = per_stratum_resumed.iter().sum();
+            let mut inferences_before = 0u64;
+            for (s, indices) in todo.iter().enumerate() {
+                if interrupted || cancel.is_some_and(|t| t.is_cancelled()) {
                     interrupted = true;
                     session.push(None);
+                    continue;
                 }
-                Err(e) => return Err(e),
+                if indices.is_empty() {
+                    session.push(None);
+                    continue;
+                }
+                if probe.spans() {
+                    let label = stratum_label(&plan.strata()[s]);
+                    probe.emit(&Event::StratumStart {
+                        stratum: s,
+                        label: &label,
+                        faults: indices.len() as u64,
+                    });
+                }
+                let subset: Vec<Fault> = indices.iter().map(|&i| sampled[s][i]).collect();
+                let stratum_total = sampled[s].len() as u64;
+                let stratum_resumed = per_stratum_resumed[s];
+                let out = exec.run_with(
+                    &subset,
+                    &mut |p| {
+                        progress(PlanProgress {
+                            stratum: s,
+                            strata: n_strata,
+                            completed: stratum_resumed + p.completed,
+                            total: stratum_total,
+                            plan_completed: done_before + p.completed,
+                            plan_total,
+                            inferences: inferences_before + p.inferences,
+                        })
+                    },
+                    &mut |subset_idx, class, cost| {
+                        completed += 1;
+                        probe.emit(&Event::Fault {
+                            stratum: s,
+                            index: indices[subset_idx],
+                            class: class_name(class),
+                            inferences: cost,
+                        });
+                        if journal_error.is_none() {
+                            let id = FaultId::new(s, indices[subset_idx]);
+                            if let Err(e) = writer.append(id, class, cost) {
+                                journal_error = Some(e);
+                            }
+                        }
+                    },
+                    cancel,
+                );
+                match out {
+                    Ok(result) => {
+                        if probe.spans() {
+                            let tel = CampaignTelemetry::from_result(&result);
+                            probe.emit(&Event::StratumEnd {
+                                stratum: s,
+                                injections: tel.injections,
+                                masked: tel.masked,
+                                critical: tel.critical,
+                                non_critical: tel.non_critical,
+                                failures: tel.exec_failures,
+                                lowering_hits: tel.lowering_hits,
+                                lowering_misses: tel.lowering_misses,
+                                wall_ms: tel.wall.as_secs_f64() * 1e3,
+                            });
+                        }
+                        done_before += result.injections;
+                        inferences_before += result.inferences;
+                        session.push(Some(result));
+                    }
+                    Err(FaultSimError::Cancelled { .. }) => {
+                        interrupted = true;
+                        session.push(None);
+                    }
+                    Err(e) => return Err(e),
+                }
+                if let Some(e) = journal_error.take() {
+                    return Err(e);
+                }
             }
-            if let Some(e) = journal_error.take() {
-                return Err(e);
-            }
-        }
-        Ok(())
-    });
+            Ok(())
+        });
     // Seal before surfacing any error: whatever was classified is durable.
     let seal = writer.seal();
+    let (fsyncs, fsync_ns) = writer.fsync_stats();
+    probe.record_fsync(fsyncs, fsync_ns);
     exec_out.map_err(SfiError::from)?;
     seal.map_err(SfiError::from)?;
 
     let stats = ResumeStats { resumed, dropped, completed, total: plan_total, per_stratum_resumed };
     if interrupted {
+        probe.emit(&Event::Interrupted { completed });
         return Ok(CampaignRun::Interrupted { stats });
     }
 
@@ -372,6 +460,11 @@ pub fn execute_plan_checkpointed<C: Corruption>(
         });
     }
     let outcome = assemble_outcome(plan, space, &sampled, &results, start.elapsed());
+    probe.emit(&Event::CampaignEnd {
+        injections: outcome.injections(),
+        inferences: outcome.inferences(),
+        wall_ms: outcome.elapsed().as_secs_f64() * 1e3,
+    });
     Ok(CampaignRun::Complete { outcome, stats })
 }
 
@@ -595,6 +688,85 @@ mod tests {
         };
         let c = plan_fingerprint(&plan, 3, data.len(), &strict, &sampled);
         assert_ne!(a, c, "the classification criterion is part of the plan identity");
+    }
+
+    #[test]
+    fn corrupting_two_segments_drops_exactly_two_records_and_still_converges() {
+        let (model, data, golden, space) = setup();
+        let plan = plan_layer_wise(&space, &loose_spec());
+        let cfg = CampaignConfig::default();
+        let plain = crate::execute::execute_plan(&model, &data, &golden, &plan, 11, &cfg).unwrap();
+        let dir = tmp_dir("two-corrupt");
+        // Session 1: interrupt partway so segment-000001 seals a prefix.
+        let token = CancelToken::new();
+        let stop_at = plain.injections() * 2 / 5;
+        let run = execute_plan_checkpointed(
+            &model,
+            &data,
+            &golden,
+            &plan,
+            &space,
+            11,
+            &cfg,
+            &Ieee754Corruption,
+            &CheckpointConfig::new(&dir),
+            Some(&token),
+            &mut |p| {
+                if p.plan_completed >= stop_at {
+                    token.cancel();
+                }
+            },
+        )
+        .unwrap();
+        assert!(matches!(run, CampaignRun::Interrupted { .. }));
+        // Session 2: resume to completion, sealing segment-000002.
+        let checkpoint = CheckpointConfig { dir: dir.clone(), resume: true, checkpoint_every: 64 };
+        let run = execute_plan_checkpointed(
+            &model,
+            &data,
+            &golden,
+            &plan,
+            &space,
+            11,
+            &cfg,
+            &Ieee754Corruption,
+            &checkpoint,
+            None,
+            &mut |_| {},
+        )
+        .unwrap();
+        assert!(matches!(run, CampaignRun::Complete { .. }));
+        // Tear the final record of BOTH segments: each sealed segment then
+        // yields one record fewer than its manifest entry, so recovery must
+        // report exactly one drop per segment — two in total.
+        for seg in ["segment-000001.sfj", "segment-000002.sfj"] {
+            let path = dir.join(seg);
+            let len = std::fs::metadata(&path).unwrap().len();
+            let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+            f.set_len(len - 5).unwrap();
+        }
+        // Session 3: recovery drops the two torn records, re-executes those
+        // two faults, and the merged outcome still matches the clean run.
+        let run = execute_plan_checkpointed(
+            &model,
+            &data,
+            &golden,
+            &plan,
+            &space,
+            11,
+            &cfg,
+            &Ieee754Corruption,
+            &checkpoint,
+            None,
+            &mut |_| {},
+        )
+        .unwrap();
+        let CampaignRun::Complete { outcome, stats } = run else { panic!("expected Complete") };
+        assert_eq!(stats.dropped, 2, "exactly one record torn off each of the two segments");
+        assert_eq!(stats.completed, 2, "each dropped record forces one re-execution");
+        assert_eq!(stats.resumed, stats.total - 2);
+        assert_eq!(strip_wall(&outcome), strip_wall(&plain));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

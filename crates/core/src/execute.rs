@@ -8,11 +8,12 @@ use serde::{Deserialize, Serialize};
 
 use sfi_dataset::Dataset;
 use sfi_faultsim::campaign::{CampaignConfig, Corruption, FaultClass, Ieee754Corruption};
-use sfi_faultsim::executor::{with_executor, CampaignTelemetry};
+use sfi_faultsim::executor::{with_executor_probed, CampaignTelemetry};
 use sfi_faultsim::fault::Fault;
 use sfi_faultsim::golden::GoldenReference;
 use sfi_faultsim::population::{FaultSpace, Subpopulation};
 use sfi_nn::Model;
+use sfi_obs::{Event, Probe};
 use sfi_stats::confidence::Confidence;
 use sfi_stats::estimate::{stratified_estimate, StratifiedEstimate, StratumResult};
 use sfi_stats::sampling::sample_without_replacement;
@@ -263,6 +264,62 @@ pub fn execute_plan_observed<C: Corruption>(
     corruption: &C,
     progress: &mut dyn FnMut(PlanProgress),
 ) -> Result<SfiOutcome, SfiError> {
+    execute_plan_traced(
+        model,
+        data,
+        golden,
+        plan,
+        space,
+        seed,
+        campaign_cfg,
+        corruption,
+        Probe::disabled(),
+        progress,
+    )
+}
+
+/// The display label of a stratum (matches the telemetry report).
+pub(crate) fn stratum_label(stratum: &Stratum) -> String {
+    match (stratum.layer, stratum.bit) {
+        (None, _) => "network".to_string(),
+        (Some(l), None) => format!("L{l}"),
+        (Some(l), Some(b)) => format!("L{l}/b{b}"),
+    }
+}
+
+/// The trace-event spelling of a fault classification.
+pub(crate) fn class_name(class: FaultClass) -> &'static str {
+    match class {
+        FaultClass::Masked => "masked",
+        FaultClass::Critical => "critical",
+        FaultClass::NonCritical => "non_critical",
+        FaultClass::ExecutionFailure => "exec_failure",
+    }
+}
+
+/// [`execute_plan_observed`] with an observability probe: emits
+/// `campaign_start` / `stratum_start` / `fault` / `stratum_end` /
+/// `campaign_end` spans to the probe's event stream and lets the executor
+/// record per-worker metrics into it. With [`Probe::disabled`] this is
+/// exactly [`execute_plan_observed`] — classifications and estimates are
+/// byte-identical at every trace level.
+///
+/// # Errors
+///
+/// Same conditions as [`execute_plan`].
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan_traced<C: Corruption>(
+    model: &Model,
+    data: &Dataset,
+    golden: &GoldenReference,
+    plan: &SfiPlan,
+    space: &FaultSpace,
+    seed: u64,
+    campaign_cfg: &CampaignConfig,
+    corruption: &C,
+    probe: &Probe,
+    progress: &mut dyn FnMut(PlanProgress),
+) -> Result<SfiOutcome, SfiError> {
     let start = Instant::now();
     // Phase 1 — resolve and sample every stratum (plan/sampling errors
     // surface before any worker is spawned).
@@ -270,30 +327,76 @@ pub fn execute_plan_observed<C: Corruption>(
     // Phase 2 — one executor session across all strata.
     let n_strata = sampled.len();
     let plan_total: u64 = sampled.iter().map(|f| f.len() as u64).sum();
-    let results = with_executor(model, data, golden, campaign_cfg, corruption, |exec| {
-        let mut results = Vec::with_capacity(n_strata);
-        let mut done_before = 0u64;
-        let mut inferences_before = 0u64;
-        for (idx, faults) in sampled.iter().enumerate() {
-            let result = exec.run_observed(faults, &mut |p| {
-                progress(PlanProgress {
-                    stratum: idx,
-                    strata: n_strata,
-                    completed: p.completed,
-                    total: p.total,
-                    plan_completed: done_before + p.completed,
-                    plan_total,
-                    inferences: inferences_before + p.inferences,
-                })
-            })?;
-            done_before += result.injections;
-            inferences_before += result.inferences;
-            results.push(result);
-        }
-        Ok(results)
-    })?;
+    probe.emit(&Event::CampaignStart {
+        strata: n_strata,
+        faults: plan_total,
+        workers: campaign_cfg.workers.max(1),
+    });
+    let results =
+        with_executor_probed(model, data, golden, campaign_cfg, corruption, probe, |exec| {
+            let mut results = Vec::with_capacity(n_strata);
+            let mut done_before = 0u64;
+            let mut inferences_before = 0u64;
+            for (idx, faults) in sampled.iter().enumerate() {
+                if probe.spans() {
+                    let label = stratum_label(&plan.strata()[idx]);
+                    probe.emit(&Event::StratumStart {
+                        stratum: idx,
+                        label: &label,
+                        faults: faults.len() as u64,
+                    });
+                }
+                let result = exec.run_with(
+                    faults,
+                    &mut |p| {
+                        progress(PlanProgress {
+                            stratum: idx,
+                            strata: n_strata,
+                            completed: p.completed,
+                            total: p.total,
+                            plan_completed: done_before + p.completed,
+                            plan_total,
+                            inferences: inferences_before + p.inferences,
+                        })
+                    },
+                    &mut |fault_idx, class, cost| {
+                        probe.emit(&Event::Fault {
+                            stratum: idx,
+                            index: fault_idx,
+                            class: class_name(class),
+                            inferences: cost,
+                        });
+                    },
+                    None,
+                )?;
+                if probe.spans() {
+                    let tel = CampaignTelemetry::from_result(&result);
+                    probe.emit(&Event::StratumEnd {
+                        stratum: idx,
+                        injections: tel.injections,
+                        masked: tel.masked,
+                        critical: tel.critical,
+                        non_critical: tel.non_critical,
+                        failures: tel.exec_failures,
+                        lowering_hits: tel.lowering_hits,
+                        lowering_misses: tel.lowering_misses,
+                        wall_ms: tel.wall.as_secs_f64() * 1e3,
+                    });
+                }
+                done_before += result.injections;
+                inferences_before += result.inferences;
+                results.push(result);
+            }
+            Ok(results)
+        })?;
     // Phase 3 — assemble outcomes, tallies, and telemetry.
-    Ok(assemble_outcome(plan, space, &sampled, &results, start.elapsed()))
+    let outcome = assemble_outcome(plan, space, &sampled, &results, start.elapsed());
+    probe.emit(&Event::CampaignEnd {
+        injections: outcome.injections,
+        inferences: outcome.inferences,
+        wall_ms: outcome.elapsed.as_secs_f64() * 1e3,
+    });
+    Ok(outcome)
 }
 
 /// Resolves and samples every stratum of `plan` (phase 1 of execution).

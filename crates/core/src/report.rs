@@ -99,8 +99,66 @@ pub fn group_digits(value: u64) -> String {
 }
 
 /// Formats a proportion as a percentage with `decimals` digits.
+///
+/// Non-finite proportions (a NaN from a 0/0 rate, an infinity from a
+/// degenerate denominator) render as `"n/a"` instead of leaking `NaN%`
+/// into tables.
 pub fn percent(value: f64, decimals: usize) -> String {
+    if !value.is_finite() {
+        return "n/a".to_string();
+    }
     format!("{:.decimals$}%", value * 100.0)
+}
+
+/// One named phase of a run, as consumed by [`phase_report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseLine {
+    /// Phase name (`model`, `golden`, `plan`, `campaign`, `report`, …).
+    pub name: String,
+    /// Wall-clock time spent in the phase, in milliseconds.
+    pub wall_ms: f64,
+    /// Busy (CPU) time across workers in milliseconds, when measured —
+    /// only the campaign phase has a meaningful multi-worker busy time.
+    pub busy_ms: Option<f64>,
+}
+
+/// Renders a per-phase wall/CPU breakdown table: one row per phase with
+/// its wall time, share of the total wall time, and busy (worker CPU)
+/// time where measured, plus a totals row. Degenerate timings (zero or
+/// non-finite totals) render shares as `n/a` rather than `NaN%`.
+pub fn phase_report(phases: &[PhaseLine]) -> String {
+    let mut t = TextTable::new(vec![
+        "phase".to_string(),
+        "wall [ms]".into(),
+        "share".into(),
+        "busy [ms]".into(),
+    ]);
+    let total: f64 = phases.iter().map(|p| p.wall_ms.max(0.0)).sum();
+    let share = |wall_ms: f64| {
+        if total > 0.0 {
+            percent(wall_ms / total, 1)
+        } else {
+            "n/a".to_string()
+        }
+    };
+    let busy_cell = |busy: Option<f64>| busy.map_or_else(|| "-".to_string(), |b| format!("{b:.1}"));
+    for phase in phases {
+        t.add_row(vec![
+            phase.name.clone(),
+            format!("{:.1}", phase.wall_ms),
+            share(phase.wall_ms),
+            busy_cell(phase.busy_ms),
+        ]);
+    }
+    let busies: Vec<f64> = phases.iter().filter_map(|p| p.busy_ms).collect();
+    let total_busy = (!busies.is_empty()).then(|| busies.iter().sum::<f64>());
+    t.add_row(vec![
+        "total".to_string(),
+        format!("{total:.1}"),
+        share(total),
+        busy_cell(total_busy),
+    ]);
+    t.render()
 }
 
 /// Escapes one CSV field per RFC 4180: fields containing commas, quotes,
@@ -298,6 +356,41 @@ mod tests {
     fn percent_formats() {
         assert_eq!(percent(0.0156, 2), "1.56%");
         assert_eq!(percent(1.0, 0), "100%");
+    }
+
+    #[test]
+    fn percent_never_leaks_nan_or_infinity() {
+        assert_eq!(percent(f64::NAN, 2), "n/a");
+        assert_eq!(percent(f64::INFINITY, 2), "n/a");
+        assert_eq!(percent(f64::NEG_INFINITY, 0), "n/a");
+        assert_eq!(percent(0.0, 1), "0.0%");
+    }
+
+    #[test]
+    fn phase_report_breaks_down_wall_and_busy_time() {
+        let phases = vec![
+            PhaseLine { name: "model".into(), wall_ms: 10.0, busy_ms: None },
+            PhaseLine { name: "campaign".into(), wall_ms: 30.0, busy_ms: Some(90.0) },
+        ];
+        let report = phase_report(&phases);
+        let lines: Vec<&str> = report.lines().collect();
+        assert_eq!(lines.len(), 2 + 2 + 1, "header, separator, two phases, totals");
+        assert!(lines[2].starts_with("model"));
+        assert!(lines[2].contains("25.0%"));
+        assert!(lines[2].ends_with('-'), "no busy time measured for the model phase");
+        assert!(lines[3].contains("75.0%"));
+        assert!(lines[3].contains("90.0"));
+        assert!(lines[4].starts_with("total"));
+        assert!(lines[4].contains("40.0"));
+        assert!(lines[4].contains("100.0%"));
+    }
+
+    #[test]
+    fn phase_report_with_zero_total_renders_na_shares() {
+        let phases = vec![PhaseLine { name: "noop".into(), wall_ms: 0.0, busy_ms: None }];
+        let report = phase_report(&phases);
+        assert!(report.contains("n/a"));
+        assert!(!report.contains("NaN"));
     }
 
     #[test]

@@ -334,8 +334,17 @@ fn run_shard<C: Corruption>(
     let mut inferences = 0u64;
     let mut arena = ScratchArena::new();
     for fault in faults {
-        let (class, cost) =
-            classify_one(model, data, golden, fault, needed, cfg, corruption, &mut arena)?;
+        let (class, cost) = classify_one(
+            model,
+            data,
+            golden,
+            fault,
+            needed,
+            cfg,
+            corruption,
+            &mut arena,
+            sfi_obs::WorkerProbe::off(),
+        )?;
         classes.push(class);
         inferences += cost;
     }

@@ -82,6 +82,7 @@ use serde::{Deserialize, Serialize};
 
 use sfi_dataset::Dataset;
 use sfi_nn::{ForwardOptions, KernelPolicy, Model};
+use sfi_obs::{Probe, WorkerProbe};
 use sfi_tensor::ScratchArena;
 
 use crate::campaign::{CampaignConfig, CampaignResult, Corruption, Criterion, FaultClass};
@@ -304,6 +305,9 @@ pub struct CampaignExecutor<'a, C: Corruption> {
     mode: Mode,
     /// Session-wide tallies fed by every worker (or the inline loop).
     stats: Arc<SessionStats>,
+    /// Observability probe; [`Probe::disabled`] unless the session was
+    /// opened through [`with_executor_probed`].
+    probe: &'a Probe,
 }
 
 enum Mode {
@@ -345,6 +349,30 @@ where
     C: Corruption,
     F: FnOnce(&mut CampaignExecutor<'_, C>) -> Result<R, FaultSimError>,
 {
+    with_executor_probed(model, data, golden, cfg, corruption, Probe::disabled(), f)
+}
+
+/// [`with_executor`] with an observability probe: workers time their
+/// inferences and arena activity into the probe's shards, and the
+/// collector counts requeues and retirements. With [`Probe::disabled`]
+/// every instrumentation point reduces to a branch.
+///
+/// # Errors
+///
+/// Same conditions as [`with_executor`].
+pub fn with_executor_probed<C, R, F>(
+    model: &Model,
+    data: &Dataset,
+    golden: &GoldenReference,
+    cfg: &CampaignConfig,
+    corruption: &C,
+    probe: &Probe,
+    f: F,
+) -> Result<R, FaultSimError>
+where
+    C: Corruption,
+    F: FnOnce(&mut CampaignExecutor<'_, C>) -> Result<R, FaultSimError>,
+{
     if data.is_empty() || golden.len() == 0 {
         return Err(FaultSimError::EmptyEvalSet);
     }
@@ -359,6 +387,7 @@ where
             corruption,
             mode: Mode::Inline { model: Box::new(model.clone()), arena: ScratchArena::new() },
             stats,
+            probe,
         };
         return f(&mut exec);
     }
@@ -379,6 +408,7 @@ where
                     corruption,
                     rx,
                     worker_stats,
+                    probe,
                 )
             });
         }
@@ -390,6 +420,7 @@ where
             corruption,
             mode: Mode::Pool(senders),
             stats,
+            probe,
         };
         let out = f(&mut exec);
         // Dropping `exec` (and with it the task senders) disconnects every
@@ -465,6 +496,8 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
         let lowering_misses0 = golden.lowering_misses();
         let classes = match &mut self.mode {
             Mode::Inline { model, arena } => {
+                let wprobe = self.probe.worker(0);
+                let arena_before = arena.stats();
                 let mut classes = Vec::with_capacity(faults.len());
                 for (done, fault) in faults.iter().enumerate() {
                     if cancel.is_some_and(|t| t.is_cancelled()) {
@@ -474,7 +507,7 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
                     let (class, cost) = loop {
                         let outcome = catch_unwind(AssertUnwindSafe(|| {
                             classify_one(
-                                model, data, golden, fault, needed, &cfg, corruption, arena,
+                                model, data, golden, fault, needed, &cfg, corruption, arena, wprobe,
                             )
                         }));
                         match outcome {
@@ -487,6 +520,7 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
                                     break (FaultClass::ExecutionFailure, 0);
                                 }
                                 attempts += 1;
+                                self.probe.record_requeue();
                             }
                         }
                     };
@@ -495,6 +529,11 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
                     on_classified(done, class, cost);
                     progress(CampaignProgress { completed: done as u64 + 1, total, inferences });
                 }
+                let arena_after = arena.stats();
+                wprobe.record_arena(
+                    arena_after.takes - arena_before.takes,
+                    arena_after.reuses - arena_before.reuses,
+                );
                 self.stats.arena_peak.fetch_max(arena.peak_bytes() as u64, Ordering::Relaxed);
                 classes
             }
@@ -568,12 +607,14 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
                         WorkerReport::Panicked { fault, worker } => {
                             live = live.saturating_sub(1);
                             senders[worker] = None;
+                            self.probe.record_worker_retirement();
                             if slots[fault].is_some() {
                                 continue;
                             }
                             let used = retries_used.entry(fault).or_insert(0);
                             if !cancelled && *used < cfg.max_fault_retries && live > 0 {
                                 *used += 1;
+                                self.probe.record_requeue();
                                 batch.requeue(fault);
                             } else {
                                 slots[fault] = Some(FaultClass::ExecutionFailure);
@@ -643,11 +684,27 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
 }
 
 /// How many prediction mismatches make a fault critical under `cfg`.
+///
+/// [`Criterion::MismatchRate`] means "critical iff the mismatch *fraction
+/// strictly exceeds* the threshold", i.e. the cutoff is
+/// `floor(threshold * images) + 1` mismatches (capped at `images`). The
+/// product must not be evaluated in floating point: thresholds are decimal
+/// user inputs whose nearest `f64` can sit on either side of the exact
+/// value (`0.29_f64 * 100.0 == 28.999999999999996`, which floors to 28
+/// instead of 29). The threshold is therefore re-quantised to its decimal
+/// intent at 9 fractional digits and the cutoff computed in exact integer
+/// arithmetic.
 pub(crate) fn needed_for_critical(cfg: &CampaignConfig, total_images: usize) -> usize {
     match cfg.criterion {
         Criterion::AnyMismatch => 1usize,
         Criterion::MismatchRate { threshold } => {
-            ((threshold * total_images as f64).floor() as usize + 1).min(total_images)
+            // 10^9 fractional digits cover any threshold a CLI or config
+            // can express while keeping the product within u128.
+            const DEN: u128 = 1_000_000_000;
+            let t = if threshold.is_finite() { threshold.clamp(0.0, 1.0) } else { 1.0 };
+            let scaled = (t * DEN as f64).round() as u128;
+            let cutoff = scaled * total_images as u128 / DEN;
+            (cutoff as usize + 1).min(total_images)
         }
     }
 }
@@ -676,6 +733,7 @@ pub(crate) fn classify_one<C: Corruption>(
     cfg: &CampaignConfig,
     corruption: &C,
     arena: &mut ScratchArena,
+    wprobe: WorkerProbe<'_>,
 ) -> Result<(FaultClass, u64), FaultSimError> {
     let injection = inject_with(model, fault, |f, original| corruption.corrupt(f, original))?;
     if !injection.is_effective() {
@@ -689,6 +747,7 @@ pub(crate) fn classify_one<C: Corruption>(
     let mut failed = false;
     let mut outcome: Result<(), FaultSimError> = Ok(());
     for idx in 0..data.len() {
+        let timer = wprobe.inference_start();
         let logits = match (cfg.incremental, fast) {
             (true, true) => {
                 let lowered =
@@ -718,6 +777,7 @@ pub(crate) fn classify_one<C: Corruption>(
                 break;
             }
         };
+        wprobe.inference_end(timer);
         inferences += 1;
         let Some(pred) = logits.argmax() else {
             failed = true;
@@ -758,8 +818,11 @@ fn worker_loop<C: Corruption>(
     corruption: &C,
     tasks: Receiver<Task>,
     stats: Arc<SessionStats>,
+    probe: &Probe,
 ) {
     let mut arena = ScratchArena::new();
+    let wprobe = probe.worker(worker_id);
+    let mut arena_seen = arena.stats();
     while let Ok(task) = tasks.recv() {
         while let Some(idx) = task.batch.claim() {
             let fault = &task.batch.faults[idx];
@@ -773,6 +836,7 @@ fn worker_loop<C: Corruption>(
                     cfg,
                     corruption,
                     &mut arena,
+                    wprobe,
                 )
             }));
             stats.arena_peak.fetch_max(arena.peak_bytes() as u64, Ordering::Relaxed);
@@ -784,6 +848,11 @@ fn worker_loop<C: Corruption>(
                     }
                 }
                 Err(_) => {
+                    let arena_now = arena.stats();
+                    wprobe.record_arena(
+                        arena_now.takes - arena_seen.takes,
+                        arena_now.reuses - arena_seen.reuses,
+                    );
                     let _ =
                         task.results.send(WorkerReport::Panicked { fault: idx, worker: worker_id });
                     // The model clone is suspect; retire this worker.
@@ -791,6 +860,10 @@ fn worker_loop<C: Corruption>(
                 }
             }
         }
+        let arena_now = arena.stats();
+        wprobe
+            .record_arena(arena_now.takes - arena_seen.takes, arena_now.reuses - arena_seen.reuses);
+        arena_seen = arena_now;
     }
 }
 
@@ -1117,6 +1190,71 @@ mod tests {
                 Err(other) => panic!("unexpected error {other:?}"),
             }
         }
+    }
+
+    fn cutoff(threshold: f64, images: usize) -> usize {
+        let cfg = CampaignConfig {
+            criterion: Criterion::MismatchRate { threshold },
+            ..CampaignConfig::default()
+        };
+        needed_for_critical(&cfg, images)
+    }
+
+    #[test]
+    fn critical_cutoff_is_exact_at_decimal_boundaries() {
+        // threshold 0.0: any mismatch exceeds it.
+        for images in 1..=12 {
+            assert_eq!(cutoff(0.0, images), 1, "threshold 0.0, {images} images");
+        }
+        // threshold 0.3: strictly more than 30% of predictions must flip.
+        // 0.3 * 10 = 3 exactly, so 4 mismatches are needed — even though
+        // 0.3_f64 * 10.0 lands just above 3.0 in floating point.
+        assert_eq!(cutoff(0.3, 10), 4);
+        assert_eq!(cutoff(0.3, 3), 1); // floor(0.9) = 0
+        assert_eq!(cutoff(0.3, 4), 2); // floor(1.2) = 1
+        assert_eq!(cutoff(0.3, 20), 7);
+        // threshold 0.5: strict majority.
+        assert_eq!(cutoff(0.5, 1), 1);
+        assert_eq!(cutoff(0.5, 2), 2);
+        assert_eq!(cutoff(0.5, 4), 3);
+        assert_eq!(cutoff(0.5, 10), 6);
+        // threshold 1.0: no fault can exceed a 100% mismatch rate; the
+        // cutoff caps at the image count (a fully-mismatching fault still
+        // counts as critical by the >= comparison in classify_one).
+        for images in 1..=12 {
+            assert_eq!(cutoff(1.0, images), images, "threshold 1.0, {images} images");
+        }
+    }
+
+    #[test]
+    fn critical_cutoff_is_robust_to_float_representation() {
+        // 0.29 is not exactly representable: 0.29_f64 * 100.0 is
+        // 28.999999999999996, which the old floating-point floor turned
+        // into a cutoff of 29. The decimal intent is floor(29) + 1 = 30.
+        assert_eq!(cutoff(0.29, 100), 30);
+        // The float product can also land just *above* the exact value
+        // (0.07 * 100 = 7.000000000000001); re-quantising must not
+        // overshoot there either.
+        assert_eq!(cutoff(0.07, 100), 8);
+        // Sweep every 2-decimal threshold against exact integer math.
+        for pct in 0..=100u32 {
+            for images in 1..=25usize {
+                let expected = ((pct as usize * images) / 100 + 1).min(images);
+                assert_eq!(
+                    cutoff(pct as f64 / 100.0, images),
+                    expected,
+                    "threshold {pct}%, {images} images"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn critical_cutoff_clamps_degenerate_thresholds() {
+        assert_eq!(cutoff(-0.5, 10), 1, "negative thresholds behave like 0.0");
+        assert_eq!(cutoff(1.5, 10), 10, "thresholds above 1.0 behave like 1.0");
+        assert_eq!(cutoff(f64::INFINITY, 10), 10);
+        assert_eq!(cutoff(f64::NAN, 10), 10, "NaN falls back to the strictest cutoff");
     }
 
     #[test]

@@ -142,6 +142,10 @@ pub struct JournalWriter {
     sync_every: u64,
     sealed: Vec<(String, u64)>,
     fingerprint: u64,
+    /// `fsync` calls issued by [`flush`](Self::flush) so far.
+    fsyncs: u64,
+    /// Total nanoseconds spent in those `fsync` calls.
+    fsync_ns: u64,
 }
 
 fn journal_err(context: &str, e: std::io::Error) -> FaultSimError {
@@ -275,6 +279,8 @@ impl JournalWriter {
             sync_every: sync_every.max(1),
             sealed,
             fingerprint,
+            fsyncs: 0,
+            fsync_ns: 0,
         })
     }
 
@@ -309,7 +315,10 @@ impl JournalWriter {
     /// Propagates fsync failures as [`FaultSimError::Journal`].
     pub fn flush(&mut self) -> Result<(), FaultSimError> {
         if self.unsynced > 0 {
+            let start = std::time::Instant::now();
             self.file.sync_all().map_err(|e| journal_err("syncing journal segment", e))?;
+            self.fsyncs += 1;
+            self.fsync_ns += start.elapsed().as_nanos() as u64;
             self.unsynced = 0;
         }
         Ok(())
@@ -345,6 +354,12 @@ impl JournalWriter {
     /// Records appended to the active segment so far.
     pub fn appended(&self) -> u64 {
         self.active_records
+    }
+
+    /// `(count, total_ns)` of the segment `fsync` calls this writer has
+    /// issued — the raw material for journal-latency observability.
+    pub fn fsync_stats(&self) -> (u64, u64) {
+        (self.fsyncs, self.fsync_ns)
     }
 
     /// The journal directory.
@@ -483,15 +498,16 @@ pub fn recover(dir: &Path) -> Result<JournalRecovery, FaultSimError> {
                 reason: format!("segment {name} fingerprint mismatch within one journal"),
             });
         }
-        dropped += seg_dropped;
-        if let Some(&want) = expected.get(name) {
-            // A sealed segment that comes up short lost durable records;
-            // the count is already part of `seg_dropped` when the loss is a
-            // torn tail, but a silent truncation below the sealed count
-            // must be surfaced too.
-            let have = segment_records.len() as u64;
-            dropped += want.saturating_sub(have).saturating_sub(seg_dropped.min(want));
-        }
+        // Per-segment loss, derived directly: a sealed segment owes the
+        // manifest `want` records, so its loss is `want - have` (covering
+        // both torn tails and silent truncation below the sealed count);
+        // an unsealed segment has no expectation, so its loss is the torn
+        // bytes `read_segment` measured. Taking the larger of the two — not
+        // chaining subtractions across them — keeps the count exact when
+        // several segments are corrupted at once.
+        let have = segment_records.len() as u64;
+        let missing_sealed = expected.get(name).map_or(0, |&want| want.saturating_sub(have));
+        dropped += seg_dropped.max(missing_sealed);
         records.extend(segment_records);
     }
     Ok(JournalRecovery {
@@ -662,6 +678,56 @@ mod tests {
         let rec = recover(&dir).unwrap();
         assert_eq!(rec.records, recs[..2], "prefix before the flipped record survives");
         assert_eq!(rec.dropped, 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn two_corrupt_segments_report_exact_per_segment_losses() {
+        let dir = tmp_dir("two-segments");
+        let all = sample_records(14);
+        let (first, rest) = all.split_at(6);
+        let (second, extra) = rest.split_at(6);
+        // Session 1: six records, sealed.
+        let mut w = JournalWriter::create(&dir, 7, 1).unwrap();
+        for r in first {
+            w.append(r.id, r.class, r.inferences).unwrap();
+        }
+        w.seal().unwrap();
+        drop(w);
+        // Session 2: six more sealed into segment 2, then two appended
+        // past the last seal (fsync'd but not in the manifest) — the state
+        // a crash leaves behind.
+        let (mut w2, recovery) = resume(&dir, 7, 1).unwrap();
+        assert_eq!(recovery.records, first);
+        for r in second {
+            w2.append(r.id, r.class, r.inferences).unwrap();
+        }
+        w2.seal().unwrap();
+        for r in extra {
+            w2.append(r.id, r.class, r.inferences).unwrap();
+        }
+        drop(w2);
+        // Corrupt BOTH segments. Segment 1: a bit flip in record 4 kills
+        // the tail of a sealed segment — the manifest says 6, recovery
+        // yields 4, so exactly 2 are lost there.
+        let seg1 = dir.join(segment_name(1));
+        let mut bytes = fs::read(&seg1).unwrap();
+        bytes[SEGMENT_HEADER_LEN + 4 * RECORD_LEN + 2] ^= 0x04;
+        fs::write(&seg1, &bytes).unwrap();
+        // Segment 2: tear the final (unsealed) record mid-way — 8 records
+        // on disk, 6 sealed, valid prefix 7, so exactly 1 is lost; the
+        // sealed expectation (6 <= 7) must not double-count it.
+        let seg2 = dir.join(segment_name(2));
+        let len = fs::metadata(&seg2).unwrap().len();
+        OpenOptions::new().write(true).open(&seg2).unwrap().set_len(len - 5).unwrap();
+
+        let rec = recover(&dir).unwrap();
+        let mut expected = first[..4].to_vec();
+        expected.extend_from_slice(second);
+        expected.push(extra[0]);
+        assert_eq!(rec.records, expected);
+        assert_eq!(rec.dropped, 3, "2 lost in segment 1 + 1 lost in segment 2, exactly");
+        assert!(!rec.missing_manifest);
         fs::remove_dir_all(&dir).unwrap();
     }
 

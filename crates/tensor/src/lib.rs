@@ -45,6 +45,6 @@ mod tensor;
 pub mod ops;
 
 pub use error::TensorError;
-pub use scratch::ScratchArena;
+pub use scratch::{ArenaStats, ScratchArena};
 pub use shape::{Shape, MAX_RANK};
 pub use tensor::Tensor;

@@ -33,6 +33,21 @@ pub struct ScratchArena {
     free_bytes: usize,
     /// High-water mark of `loaned_bytes + free_bytes`.
     peak_bytes: usize,
+    /// Non-empty `take` requests served over the arena's lifetime.
+    takes: u64,
+    /// `take` requests served from a recycled buffer (no allocation).
+    reuses: u64,
+}
+
+/// Cumulative usage counters of one [`ScratchArena`], for observability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArenaStats {
+    /// Non-empty buffer requests served.
+    pub takes: u64,
+    /// Requests served from a recycled buffer (no allocation).
+    pub reuses: u64,
+    /// High-water mark of bytes owned by or loaned from the arena.
+    pub peak_bytes: u64,
 }
 
 /// Maximum number of parked buffers; beyond this, [`ScratchArena::recycle`]
@@ -70,8 +85,10 @@ impl ScratchArena {
                 best = Some(i);
             }
         }
+        self.takes += 1;
         let mut v = match best {
             Some(i) => {
+                self.reuses += 1;
                 let v = self.free.swap_remove(i);
                 self.free_bytes = self.free_bytes.saturating_sub(bytes_of(v.capacity()));
                 v
@@ -133,6 +150,11 @@ impl ScratchArena {
     /// Number of buffers currently parked on the free list.
     pub fn free_buffers(&self) -> usize {
         self.free.len()
+    }
+
+    /// Cumulative usage counters (monotone over the arena's lifetime).
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats { takes: self.takes, reuses: self.reuses, peak_bytes: self.peak_bytes as u64 }
     }
 }
 
@@ -215,6 +237,19 @@ mod tests {
         assert_eq!(arena.free_buffers(), 1, "take(0) must not steal a parked buffer");
         arena.recycle(empty);
         assert_eq!(arena.free_buffers(), 1, "capacity-0 buffers are not parked");
+    }
+
+    #[test]
+    fn stats_count_takes_and_reuses() {
+        let mut arena = ScratchArena::new();
+        let a = arena.take(64);
+        arena.recycle(a);
+        let _ = arena.take(32); // served from the recycled buffer
+        let _ = arena.take(0); // zero-length: not counted
+        let stats = arena.stats();
+        assert_eq!(stats.takes, 2);
+        assert_eq!(stats.reuses, 1);
+        assert_eq!(stats.peak_bytes, arena.peak_bytes() as u64);
     }
 
     #[test]

@@ -7,22 +7,28 @@
 //! ```text
 //! sfi plan    --model resnet20 --scheme data-aware [--error 0.01] [--seed 1]
 //! sfi run     --model resnet20-micro --scheme layer-wise [--images 4] [--error 0.05]
+//! sfi run     --model resnet20-micro --trace-out trace.jsonl [--trace-level events]
 //! sfi analyze --model mobilenetv2 [--seed 1]
 //! sfi bits    --model resnet20-micro [--images 4] [--error 0.1]
 //! sfi harden  --model resnet20-micro [--budget-frac 0.5] [--images 4]
+//! sfi trace report trace.jsonl
 //! ```
 
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use sfi_core::bits::bit_ranking;
-use sfi_core::checkpoint::{execute_plan_checkpointed, CampaignRun, CheckpointConfig};
-use sfi_core::execute::{execute_plan, execute_plan_observed, PlanProgress};
+use sfi_core::checkpoint::{execute_plan_checkpointed_traced, CampaignRun, CheckpointConfig};
+use sfi_core::execute::{execute_plan, execute_plan_traced, PlanProgress};
 use sfi_core::hardening::{plan_protection, HardeningConfig};
 use sfi_core::plan::{
     plan_data_aware, plan_data_unaware, plan_layer_wise, plan_network_wise, SfiPlan,
 };
-use sfi_core::report::{group_digits, telemetry_report, telemetry_report_resumed, TextTable};
+use sfi_core::report::{
+    group_digits, percent, phase_report, telemetry_report, telemetry_report_resumed, PhaseLine,
+    TextTable,
+};
 use sfi_dataset::SynthCifarConfig;
 use sfi_faultsim::campaign::{CampaignConfig, Ieee754Corruption};
 use sfi_faultsim::golden::GoldenReference;
@@ -30,6 +36,7 @@ use sfi_faultsim::population::FaultSpace;
 use sfi_nn::mobilenet::MobileNetV2Config;
 use sfi_nn::resnet::ResNetConfig;
 use sfi_nn::Model;
+use sfi_obs::{summary, Event, Probe, TraceLevel};
 use sfi_stats::bit_analysis::{data_aware_p, DataAwareConfig, WeightBitAnalysis};
 use sfi_stats::confidence::Confidence;
 use sfi_stats::sample_size::SampleSpec;
@@ -66,6 +73,9 @@ pub enum Command {
     Bits,
     /// Run a layer-wise campaign and print a selective-hardening plan.
     Harden,
+    /// Summarize a JSONL trace written by `run --trace-out` (the trace
+    /// path travels in [`CliOptions::trace_out`]).
+    TraceReport,
     /// Print usage.
     Help,
 }
@@ -184,6 +194,12 @@ pub struct CliOptions {
     /// (`run`). On by default; `--no-lowering-cache` disables it to trade
     /// speed for memory. Classifications are identical either way.
     pub lowering_cache: bool,
+    /// JSONL trace destination for `run` (enables tracing), or the trace
+    /// to summarize for `trace report`.
+    pub trace_out: Option<String>,
+    /// Trace verbosity for `run`; defaults to `events` when `--trace-out`
+    /// is given, `off` otherwise.
+    pub trace_level: Option<TraceLevel>,
 }
 
 impl Default for CliOptions {
@@ -202,6 +218,8 @@ impl Default for CliOptions {
             resume: false,
             checkpoint_every: 64,
             lowering_cache: true,
+            trace_out: None,
+            trace_level: None,
         }
     }
 }
@@ -219,6 +237,7 @@ COMMANDS:
     analyze   golden weight bit analysis: f0/f1 and data-aware p(i)
     bits      bit-criticality ranking from a data-unaware campaign
     harden    selective SEC-DED protection plan from per-layer estimates
+    trace     `trace report <file>`: summarize a JSONL trace from --trace-out
     help      print this message
 
 OPTIONS:
@@ -236,6 +255,11 @@ OPTIONS:
     --checkpoint-every <n>    fsync the journal every n classifications (default 64)
     --no-lowering-cache       skip precomputing im2col lowerings of golden conv
                               inputs (run); slower but lighter on memory
+    --trace-out <file>        write a JSONL event trace of the campaign (run);
+                              summarize it later with `sfi trace report <file>`
+    --trace-level <off|spans|events>
+                              trace verbosity (default: events when --trace-out
+                              is given); spans skips per-fault events
 ";
 
 /// Parses the argument list (without the program name).
@@ -255,6 +279,22 @@ pub fn parse(args: &[String]) -> Result<CliOptions, ParseCliError> {
         "analyze" => Command::Analyze,
         "bits" => Command::Bits,
         "harden" => Command::Harden,
+        "trace" => {
+            match iter.next().map(String::as_str) {
+                Some("report") => {}
+                Some(other) => {
+                    return Err(err(format!(
+                        "unknown trace subcommand `{other}` (expected report)"
+                    )))
+                }
+                None => return Err(err("`trace` expects a subcommand (report)")),
+            }
+            let Some(path) = iter.next() else {
+                return Err(err("`trace report` expects a trace file path"));
+            };
+            opts.trace_out = Some(path.clone());
+            Command::TraceReport
+        }
         "help" | "--help" | "-h" => Command::Help,
         other => return Err(err(format!("unknown command `{other}`"))),
     };
@@ -314,6 +354,19 @@ pub fn parse(args: &[String]) -> Result<CliOptions, ParseCliError> {
             }
             "--resume" => opts.resume = true,
             "--no-lowering-cache" => opts.lowering_cache = false,
+            "--trace-out" => {
+                let v = value()?;
+                if v.is_empty() {
+                    return Err(err("`--trace-out` must not be empty"));
+                }
+                opts.trace_out = Some(v);
+            }
+            "--trace-level" => {
+                let v = value()?;
+                opts.trace_level = Some(TraceLevel::parse(&v).ok_or_else(|| {
+                    err(format!("`--trace-level {v}` is not one of off, spans, events"))
+                })?);
+            }
             "--checkpoint-every" => {
                 let v = value()?;
                 opts.checkpoint_every = v
@@ -328,6 +381,9 @@ pub fn parse(args: &[String]) -> Result<CliOptions, ParseCliError> {
     }
     if opts.resume && opts.checkpoint_dir.is_none() {
         return Err(err("`--resume` requires `--checkpoint-dir`"));
+    }
+    if opts.trace_level.is_some_and(|l| l > TraceLevel::Off) && opts.trace_out.is_none() {
+        return Err(err("`--trace-level` requires `--trace-out`"));
     }
     Ok(opts)
 }
@@ -392,16 +448,53 @@ pub fn run(
             )?;
         }
         Command::Run => {
+            // parse() already rejects these, but CliOptions can also be
+            // built programmatically; fail with a typed error instead of
+            // hanging a zero-worker pool or dividing by an empty eval set.
+            if opts.workers == 0 {
+                return Err(Box::new(err("`--workers` must be at least 1")));
+            }
+            if opts.images == 0 {
+                return Err(Box::new(err(
+                    "`--images` must be at least 1: an empty evaluation set cannot classify \
+                     faults",
+                )));
+            }
+            let trace_level = match (&opts.trace_out, opts.trace_level) {
+                (Some(_), Some(level)) => level,
+                (Some(_), None) => TraceLevel::Events,
+                (None, _) => TraceLevel::Off,
+            };
+            let owned_probe;
+            let probe: &Probe = if trace_level == TraceLevel::Off {
+                Probe::disabled()
+            } else {
+                owned_probe = Probe::new(trace_level, opts.trace_out.as_deref().map(Path::new))?;
+                &owned_probe
+            };
+            let mut phases: Vec<PhaseLine> = Vec::new();
+            let mut mark = Instant::now();
+            let phase_end = |name: &str, phases: &mut Vec<PhaseLine>, mark: &mut Instant| {
+                phases.push(PhaseLine {
+                    name: name.to_string(),
+                    wall_ms: mark.elapsed().as_secs_f64() * 1e3,
+                    busy_ms: None,
+                });
+                *mark = Instant::now();
+            };
             let model = opts.model.build(opts.seed)?;
             let data = SynthCifarConfig::new()
                 .with_size(opts.model.input_size())
                 .with_samples(opts.images)
                 .with_seed(opts.seed)
                 .generate();
+            phase_end("model", &mut phases, &mut mark);
             let golden = GoldenReference::build(&model, &data)?;
             let golden = if opts.lowering_cache { golden.with_lowering(&model)? } else { golden };
+            phase_end("golden", &mut phases, &mut mark);
             let space = FaultSpace::stuck_at(&model);
             let plan = build_plan(opts, &model, &space)?;
+            phase_end("plan", &mut phases, &mut mark);
             writeln!(
                 out,
                 "executing {} campaign: {} faults on {} images ({} worker{})...",
@@ -442,7 +535,7 @@ pub fn run(
                     resume: opts.resume,
                     checkpoint_every: opts.checkpoint_every,
                 };
-                let run = execute_plan_checkpointed(
+                let run = execute_plan_checkpointed_traced(
                     &model,
                     &data,
                     &golden,
@@ -453,6 +546,7 @@ pub fn run(
                     &Ieee754Corruption,
                     &checkpoint,
                     None,
+                    probe,
                     &mut progress,
                 )?;
                 if report_progress {
@@ -479,6 +573,16 @@ pub fn run(
                             group_digits(stats.resumed + stats.completed),
                             group_digits(stats.total)
                         )?;
+                        // Seal the trace so the partial campaign is still
+                        // inspectable with `sfi trace report`.
+                        if let Some(trace) = probe.finish()? {
+                            writeln!(
+                                out,
+                                "trace written: {} ({} events)",
+                                trace.path.display(),
+                                trace.events
+                            )?;
+                        }
                         return Err(format!(
                             "campaign interrupted; continue it with `--checkpoint-dir {dir} \
                              --resume`"
@@ -486,8 +590,8 @@ pub fn run(
                         .into());
                     }
                 }
-            } else if report_progress {
-                let outcome = execute_plan_observed(
+            } else {
+                let outcome = execute_plan_traced(
                     &model,
                     &data,
                     &golden,
@@ -496,13 +600,23 @@ pub fn run(
                     opts.seed,
                     &cfg,
                     &Ieee754Corruption,
+                    probe,
                     &mut progress,
                 )?;
-                eprintln!();
+                if report_progress {
+                    eprintln!();
+                }
                 (outcome, None)
-            } else {
-                (execute_plan(&model, &data, &golden, &plan, opts.seed, &cfg)?, None)
             };
+            {
+                let busy_ms = probe.enabled().then(|| probe.snapshot().inference_ns as f64 / 1e6);
+                phases.push(PhaseLine {
+                    name: "campaign".to_string(),
+                    wall_ms: mark.elapsed().as_secs_f64() * 1e3,
+                    busy_ms,
+                });
+                mark = Instant::now();
+            }
             if opts.progress {
                 writeln!(out, "\nper-stratum telemetry:")?;
                 let table = match &resume_stats {
@@ -537,6 +651,21 @@ pub fn run(
                 group_digits(outcome.inferences()),
                 outcome.elapsed()
             )?;
+            if probe.enabled() {
+                phase_end("report", &mut phases, &mut mark);
+                for phase in &phases {
+                    probe.emit(&Event::Phase {
+                        name: &phase.name,
+                        wall_ms: phase.wall_ms,
+                        busy_ms: phase.busy_ms,
+                    });
+                }
+                writeln!(out, "\nphase breakdown:")?;
+                write!(out, "{}", phase_report(&phases))?;
+            }
+            if let Some(trace) = probe.finish()? {
+                writeln!(out, "trace written: {} ({} events)", trace.path.display(), trace.events)?;
+            }
             let failures: u64 = outcome.stratum_telemetry().iter().map(|t| t.exec_failures).sum();
             if failures > 0 {
                 return Err(format!(
@@ -545,6 +674,123 @@ pub fn run(
                     group_digits(failures)
                 )
                 .into());
+            }
+        }
+        Command::TraceReport => {
+            let path = opts
+                .trace_out
+                .as_deref()
+                .ok_or_else(|| err("`trace report` expects a trace file path"))?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading trace `{path}`: {e}"))?;
+            let trace = summary::summarize(&text).map_err(|e| format!("trace `{path}`: {e}"))?;
+            writeln!(out, "trace of {} event(s): {path}", group_digits(trace.events))?;
+            if let (Some(strata), Some(faults), Some(workers)) =
+                (trace.planned_strata, trace.planned_faults, trace.workers)
+            {
+                writeln!(
+                    out,
+                    "campaign: {} strata, {} faults, {} worker(s)",
+                    group_digits(strata),
+                    group_digits(faults),
+                    group_digits(workers)
+                )?;
+            }
+            if let Some((resumed, dropped)) = trace.resumed {
+                writeln!(
+                    out,
+                    "resumed: {} classifications from a checkpoint journal ({} corrupt \
+                     record(s) dropped)",
+                    group_digits(resumed),
+                    dropped
+                )?;
+            }
+            if !trace.strata.is_empty() {
+                writeln!(out, "\nper-stratum spans:")?;
+                let mut table = TextTable::new(vec![
+                    "stratum".into(),
+                    "faults".into(),
+                    "masked".into(),
+                    "critical".into(),
+                    "non-crit".into(),
+                    "failures".into(),
+                    "wall [ms]".into(),
+                ]);
+                for s in &trace.strata {
+                    let label = if s.label.is_empty() {
+                        format!("#{}", s.stratum)
+                    } else {
+                        s.label.clone()
+                    };
+                    table.add_row(vec![
+                        label,
+                        group_digits(s.injections.max(s.fault_events)),
+                        group_digits(s.masked),
+                        group_digits(s.critical),
+                        group_digits(s.non_critical),
+                        group_digits(s.failures),
+                        format!("{:.1}", s.wall_ms),
+                    ]);
+                }
+                write!(out, "{}", table.render())?;
+            }
+            if trace.fault_events > 0 {
+                let classes: Vec<String> = trace
+                    .class_counts
+                    .iter()
+                    .map(|(name, n)| format!("{name}={}", group_digits(*n)))
+                    .collect();
+                writeln!(
+                    out,
+                    "fault events: {} ({})",
+                    group_digits(trace.fault_events),
+                    classes.join(", ")
+                )?;
+            }
+            if let Some(rate) = trace.lowering_hit_rate() {
+                writeln!(out, "lowering-cache hit rate: {}", percent(rate, 1))?;
+            }
+            if !trace.phases.is_empty() {
+                let phases: Vec<PhaseLine> = trace
+                    .phases
+                    .iter()
+                    .map(|p| PhaseLine {
+                        name: p.name.clone(),
+                        wall_ms: p.wall_ms,
+                        busy_ms: p.busy_ms,
+                    })
+                    .collect();
+                writeln!(out, "\nphase breakdown:")?;
+                write!(out, "{}", phase_report(&phases))?;
+            }
+            if let Some(m) = &trace.metrics {
+                writeln!(
+                    out,
+                    "metrics: {} inferences (mean {:.1} us, p99 {:.1} us), {} requeue(s), \
+                     {} worker retirement(s), {} fsync(s) (mean {:.1} us), arena {}/{} \
+                     reuse/take",
+                    group_digits(m.inferences),
+                    m.mean_inference_us,
+                    m.p99_inference_us,
+                    m.requeues,
+                    m.worker_retirements,
+                    m.fsyncs,
+                    m.mean_fsync_us,
+                    group_digits(m.arena_reuses),
+                    group_digits(m.arena_takes),
+                )?;
+            }
+            if let Some(completed) = trace.interrupted {
+                writeln!(out, "interrupted after {} classification(s)", group_digits(completed))?;
+            }
+            if let Some(c) = &trace.campaign {
+                writeln!(
+                    out,
+                    "total: {} injections, {} inferences, {:.1} ms",
+                    group_digits(c.injections),
+                    group_digits(c.inferences),
+                    c.wall_ms
+                )?;
             }
         }
         Command::Analyze => {
@@ -867,6 +1113,117 @@ mod tests {
         assert!(text.contains("lowering-cache bytes"));
         let text = String::from_utf8(uncached).unwrap();
         assert!(text.contains("+ 0 lowering-cache bytes"), "{text}");
+    }
+
+    #[test]
+    fn parse_trace_flags() {
+        let o = parse(&args("run --trace-out /tmp/t.jsonl")).unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some("/tmp/t.jsonl"));
+        assert_eq!(o.trace_level, None, "level defaults to events at run time");
+        let o = parse(&args("run --trace-out /tmp/t.jsonl --trace-level spans")).unwrap();
+        assert_eq!(o.trace_level, Some(TraceLevel::Spans));
+        assert!(parse(&args("run --trace-level events")).is_err(), "level needs an output file");
+        assert!(parse(&args("run --trace-level verbose --trace-out /tmp/t.jsonl")).is_err());
+        assert!(parse(&args("run --trace-out")).is_err());
+        // `--trace-level off` alone is a no-op, not an error.
+        assert!(parse(&args("run --trace-level off")).is_ok());
+    }
+
+    #[test]
+    fn parse_trace_report_command() {
+        let o = parse(&args("trace report /tmp/t.jsonl")).unwrap();
+        assert_eq!(o.command, Command::TraceReport);
+        assert_eq!(o.trace_out.as_deref(), Some("/tmp/t.jsonl"));
+        assert!(parse(&args("trace")).is_err());
+        assert!(parse(&args("trace report")).is_err());
+        assert!(parse(&args("trace explain /tmp/t.jsonl")).is_err());
+    }
+
+    #[test]
+    fn run_rejects_degenerate_options_with_typed_errors() {
+        let zero_workers = CliOptions { command: Command::Run, workers: 0, ..Default::default() };
+        let e = run(&zero_workers, &mut Vec::new()).unwrap_err();
+        assert!(e.to_string().contains("--workers"), "{e}");
+        let no_images = CliOptions { command: Command::Run, images: 0, ..Default::default() };
+        let e = run(&no_images, &mut Vec::new()).unwrap_err();
+        assert!(e.to_string().contains("empty evaluation set"), "{e}");
+    }
+
+    #[test]
+    fn traced_run_writes_a_summarizable_jsonl_trace() {
+        let trace_path = std::env::temp_dir()
+            .join(format!("sfi-cli-trace-{}.jsonl", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let base =
+            parse(&args("run --model resnet20-micro --scheme network-wise --error 0.2 --images 2"))
+                .unwrap();
+        let traced = CliOptions { trace_out: Some(trace_path.clone()), ..base.clone() };
+        let mut traced_out = Vec::new();
+        run(&traced, &mut traced_out).unwrap();
+        let text = String::from_utf8(traced_out).unwrap();
+        assert!(text.contains("phase breakdown:"), "{text}");
+        assert!(text.contains("trace written:"), "{text}");
+
+        // The stream is valid JSONL that the summarizer accepts, with the
+        // campaign's planned spans and per-fault events all present.
+        let raw = std::fs::read_to_string(&trace_path).unwrap();
+        let trace = summary::summarize(&raw).unwrap();
+        assert!(trace.planned_faults.unwrap() > 0);
+        assert_eq!(trace.fault_events, trace.planned_faults.unwrap());
+        assert!(trace.campaign.is_some(), "campaign_end must be present");
+        assert!(trace.metrics.is_some(), "the final metrics event must be present");
+        assert!(!trace.phases.is_empty());
+
+        // `sfi trace report` renders the same stream.
+        let report_opts =
+            parse(&["trace".to_string(), "report".to_string(), trace_path.clone()]).unwrap();
+        let mut report_out = Vec::new();
+        run(&report_opts, &mut report_out).unwrap();
+        let report = String::from_utf8(report_out).unwrap();
+        assert!(report.contains("per-stratum spans:"), "{report}");
+        assert!(report.contains("fault events:"), "{report}");
+        assert!(report.contains("phase breakdown:"), "{report}");
+        assert!(report.contains("metrics:"), "{report}");
+
+        // Tracing never changes what the user sees of the campaign: the
+        // estimate lines match an untraced run exactly.
+        let mut plain_out = Vec::new();
+        run(&base, &mut plain_out).unwrap();
+        let plain = String::from_utf8(plain_out).unwrap();
+        let estimates = |s: &str| {
+            s.lines()
+                .filter(|l| l.starts_with('L') || l.starts_with("network:"))
+                .map(|l| {
+                    if l.starts_with("network:") {
+                        l.rsplit_once(", ").map(|(a, _)| a.to_string()).unwrap_or_default()
+                    } else {
+                        l.to_string()
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(estimates(&plain), estimates(&text));
+        std::fs::remove_file(&trace_path).ok();
+    }
+
+    #[test]
+    fn trace_report_rejects_missing_or_malformed_files() {
+        let missing = parse(&args("trace report /nonexistent/sfi-trace.jsonl")).unwrap();
+        let e = run(&missing, &mut Vec::new()).unwrap_err();
+        assert!(e.to_string().contains("reading trace"), "{e}");
+        let bad_path =
+            std::env::temp_dir().join(format!("sfi-cli-badtrace-{}.jsonl", std::process::id()));
+        std::fs::write(&bad_path, "not json\n").unwrap();
+        let bad = parse(&[
+            "trace".to_string(),
+            "report".to_string(),
+            bad_path.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        let e = run(&bad, &mut Vec::new()).unwrap_err();
+        assert!(e.to_string().contains("line 1"), "{e}");
+        std::fs::remove_file(&bad_path).ok();
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub use sfi_core as core;
 pub use sfi_dataset as dataset;
 pub use sfi_faultsim as faultsim;
 pub use sfi_nn as nn;
+pub use sfi_obs as obs;
 pub use sfi_repr as repr;
 pub use sfi_stats as stats;
 pub use sfi_tensor as tensor;
