@@ -27,9 +27,17 @@ use sfi_tensor::ops::{gemm, gemm_blocked};
 /// ResNet-20 convolution GEMM shapes at CIFAR resolution: `m` = output
 /// channels, `k` = `c_in * k_h * k_w`, `n` = output pixels per image. One
 /// per stage, plus a tall-`n` stress shape that crosses both the
-/// `BLOCK_N` and `BLOCK_K` tile boundaries.
-const SHAPES: [(usize, usize, usize); 4] =
-    [(16, 144, 1024), (32, 288, 256), (64, 576, 64), (64, 576, 1024)];
+/// `BLOCK_N` and `BLOCK_K` tile boundaries, plus two mid-width L2-resident
+/// shapes covering the class where a row-blocked kernel once regressed to
+/// 0.74x and the dispatch must stay on the naive loop.
+const SHAPES: [(usize, usize, usize); 6] = [
+    (16, 144, 1024),
+    (16, 144, 256),
+    (32, 288, 256),
+    (32, 288, 512),
+    (64, 576, 64),
+    (64, 576, 1024),
+];
 
 /// Deterministic operand fill; no special values — throughput only, the
 /// bit-identity suite covers NaN/Inf.
@@ -205,13 +213,12 @@ fn emit_bench_json() {
 }
 
 /// CI regression guard: a few iterations of each kernel at every shape,
-/// failing the process if the blocked GEMM is slower than the naive one at
-/// the largest shape (10% tolerance for machine noise).
+/// failing the process if the dispatched GEMM is slower than the naive one
+/// at *any* shape (10% tolerance for machine noise) — the dispatch
+/// heuristic must never pick a losing kernel.
 fn smoke() -> i32 {
     const ITERS: usize = 5;
     let mut status = 0;
-    let (largest_m, largest_k, largest_n) =
-        *SHAPES.iter().max_by_key(|(m, k, n)| m * k * n).unwrap();
     for &(m, k, n) in &SHAPES {
         let a = filled(m * k, 1);
         let b_mat = filled(k * n, 2);
@@ -235,10 +242,10 @@ fn smoke() -> i32 {
             blocked * 1e6,
             naive / blocked
         );
-        if (m, k, n) == (largest_m, largest_k, largest_n) && blocked > naive * 1.10 {
+        if blocked > naive * 1.10 {
             eprintln!(
-                "FAIL: blocked GEMM slower than naive at the largest shape \
-                 ({m}x{k}x{n}): {blocked:.6}s vs {naive:.6}s"
+                "FAIL: dispatched GEMM slower than naive at {m}x{k}x{n}: \
+                 {blocked:.6}s vs {naive:.6}s"
             );
             status = 1;
         }

@@ -126,10 +126,12 @@ impl CampaignRun {
 /// classifications: scheme, seed, evaluation-set size, classification
 /// criterion, execution strategy, and every sampled fault.
 ///
-/// Worker count, retry budget and kernel policy are deliberately
-/// excluded — they change scheduling or speed, never classifications — so
-/// a campaign checkpointed at 8 workers resumes cleanly at 1, and a
-/// journal written on the naive kernel path resumes on the fast path. The fingerprint does not hash model
+/// Worker count, retry budget, kernel policy and the golden-convergence
+/// early exit are deliberately excluded — they change scheduling or speed,
+/// never classifications — so a campaign checkpointed at 8 workers resumes
+/// cleanly at 1, a journal written on the naive kernel path resumes on the
+/// fast path, and a run interrupted with convergence on resumes with it
+/// off (and vice versa). The fingerprint does not hash model
 /// weights or image pixels; it relies on the sampled fault list (a
 /// deterministic function of plan and seed) plus the caller using the
 /// same artifacts, which the CLI derives from the same seeds.
@@ -386,6 +388,8 @@ pub fn execute_plan_checkpointed_traced<C: Corruption>(
                                 failures: tel.exec_failures,
                                 lowering_hits: tel.lowering_hits,
                                 lowering_misses: tel.lowering_misses,
+                                converged: tel.converged,
+                                nodes_skipped: tel.nodes_skipped,
                                 wall_ms: tel.wall.as_secs_f64() * 1e3,
                             });
                         }
@@ -444,11 +448,20 @@ pub fn execute_plan_checkpointed_traced<C: Corruption>(
             .unwrap_or((0, std::time::Duration::ZERO));
         inferences += fresh_inferences;
         // Fast-path counters describe only the fresh session's work;
-        // journal-resumed faults carry no cache or arena telemetry.
-        let (lowering_hits, lowering_misses, arena_peak_bytes) = fresh
+        // journal-resumed faults carry no cache, arena, or convergence
+        // telemetry — the journal stores classifications, not exit depths.
+        let (lowering_hits, lowering_misses, arena_peak_bytes, converged, nodes_skipped) = fresh
             .as_ref()
-            .map(|r| (r.lowering_hits, r.lowering_misses, r.arena_peak_bytes))
-            .unwrap_or((0, 0, 0));
+            .map(|r| {
+                (
+                    r.lowering_hits,
+                    r.lowering_misses,
+                    r.arena_peak_bytes,
+                    r.converged,
+                    r.nodes_skipped,
+                )
+            })
+            .unwrap_or((0, 0, 0, 0, 0));
         results.push(CampaignResult {
             injections: faults.len() as u64,
             classes,
@@ -457,6 +470,8 @@ pub fn execute_plan_checkpointed_traced<C: Corruption>(
             lowering_hits,
             lowering_misses,
             arena_peak_bytes,
+            converged,
+            nodes_skipped,
         });
     }
     let outcome = assemble_outcome(plan, space, &sampled, &results, start.elapsed());
@@ -682,12 +697,76 @@ mod tests {
             CampaignConfig { kernel: sfi_nn::KernelPolicy::Naive, ..CampaignConfig::default() };
         let k = plan_fingerprint(&plan, 3, data.len(), &naive, &sampled);
         assert_eq!(a, k, "kernel policy must not invalidate a checkpoint");
+        let no_conv = CampaignConfig { convergence: false, ..CampaignConfig::default() };
+        let v = plan_fingerprint(&plan, 3, data.len(), &no_conv, &sampled);
+        assert_eq!(a, v, "the convergence early exit must not invalidate a checkpoint");
         let strict = CampaignConfig {
             criterion: Criterion::MismatchRate { threshold: 0.5 },
             ..CampaignConfig::default()
         };
         let c = plan_fingerprint(&plan, 3, data.len(), &strict, &sampled);
         assert_ne!(a, c, "the classification criterion is part of the plan identity");
+    }
+
+    #[test]
+    fn interrupt_with_convergence_resumes_without_it_and_vice_versa() {
+        // The journal stores classifications, not exit depths, so a run
+        // interrupted with the golden-convergence early exit on must
+        // resume byte-identically with it off — and the other way round.
+        let (model, data, golden, space) = setup();
+        let plan = plan_layer_wise(&space, &loose_spec());
+        let base = CampaignConfig::default();
+        let plain = crate::execute::execute_plan(&model, &data, &golden, &plan, 13, &base).unwrap();
+        for (first_conv, second_conv) in [(true, false), (false, true)] {
+            let dir = tmp_dir(if first_conv { "conv-on-off" } else { "conv-off-on" });
+            let first_cfg = CampaignConfig { convergence: first_conv, ..base };
+            let token = CancelToken::new();
+            let stop_at = plain.injections() / 2;
+            let run = execute_plan_checkpointed(
+                &model,
+                &data,
+                &golden,
+                &plan,
+                &space,
+                13,
+                &first_cfg,
+                &Ieee754Corruption,
+                &CheckpointConfig::new(&dir),
+                Some(&token),
+                &mut |p| {
+                    if p.plan_completed >= stop_at {
+                        token.cancel();
+                    }
+                },
+            )
+            .unwrap();
+            assert!(matches!(run, CampaignRun::Interrupted { .. }));
+            let second_cfg = CampaignConfig { convergence: second_conv, ..base };
+            let checkpoint =
+                CheckpointConfig { dir: dir.clone(), resume: true, checkpoint_every: 64 };
+            let run = execute_plan_checkpointed(
+                &model,
+                &data,
+                &golden,
+                &plan,
+                &space,
+                13,
+                &second_cfg,
+                &Ieee754Corruption,
+                &checkpoint,
+                None,
+                &mut |_| {},
+            )
+            .unwrap();
+            let CampaignRun::Complete { outcome, stats } = run else { panic!("expected Complete") };
+            assert!(stats.resumed > 0, "the journal must have carried work over");
+            assert_eq!(
+                strip_wall(&outcome),
+                strip_wall(&plain),
+                "convergence {first_conv}->{second_conv} resume must match the clean run"
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 
     #[test]

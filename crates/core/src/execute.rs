@@ -380,6 +380,8 @@ pub fn execute_plan_traced<C: Corruption>(
                         failures: tel.exec_failures,
                         lowering_hits: tel.lowering_hits,
                         lowering_misses: tel.lowering_misses,
+                        converged: tel.converged,
+                        nodes_skipped: tel.nodes_skipped,
                         wall_ms: tel.wall.as_secs_f64() * 1e3,
                     });
                 }

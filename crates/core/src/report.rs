@@ -227,7 +227,8 @@ pub fn outcome_to_csv(
 
 /// Renders an executed outcome's per-stratum telemetry as a text table:
 /// one row per stratum (layer/bit labels, injections, inferences, class
-/// tallies, execution failures, lowering-cache hits/misses, scratch-arena
+/// tallies, execution failures, lowering-cache hits/misses,
+/// golden-convergence early-exit rate and skipped-node count, scratch-arena
 /// high-water mark, wall time, throughput) plus a totals row.
 pub fn telemetry_report(outcome: &crate::execute::SfiOutcome) -> String {
     telemetry_report_resumed(outcome, None)
@@ -250,6 +251,8 @@ pub fn telemetry_report_resumed(
         "inferences".into(),
         "low-hits".into(),
         "low-miss".into(),
+        "exit%".into(),
+        "nodes-skipped".into(),
         "arena [KiB]".into(),
         "wall [ms]".into(),
         "inf/s".into(),
@@ -273,6 +276,8 @@ pub fn telemetry_report_resumed(
             group_digits(tel.inferences),
             group_digits(tel.lowering_hits),
             group_digits(tel.lowering_misses),
+            percent(tel.converged as f64 / tel.injections as f64, 1),
+            group_digits(tel.nodes_skipped),
             group_digits(tel.arena_peak_bytes / 1024),
             format!("{:.1}", tel.wall.as_secs_f64() * 1e3),
             format!("{:.0}", tel.inferences_per_second()),
@@ -296,6 +301,12 @@ pub fn telemetry_report_resumed(
         group_digits(outcome.inferences()),
         group_digits(outcome.stratum_telemetry().iter().map(|t| t.lowering_hits).sum()),
         group_digits(outcome.stratum_telemetry().iter().map(|t| t.lowering_misses).sum()),
+        percent(
+            outcome.stratum_telemetry().iter().map(|t| t.converged).sum::<u64>() as f64
+                / outcome.injections() as f64,
+            1,
+        ),
+        group_digits(outcome.stratum_telemetry().iter().map(|t| t.nodes_skipped).sum()),
         group_digits(arena_peak.unwrap_or(0) / 1024),
         format!("{:.1}", total_wall * 1e3),
         format!("{rate:.0}"),
@@ -472,6 +483,8 @@ mod tests {
         assert_eq!(lines.len(), 2 + space.layers() + 1);
         assert!(lines[0].contains("failures"));
         assert!(lines[0].contains("low-hits"));
+        assert!(lines[0].contains("exit%"));
+        assert!(lines[0].contains("nodes-skipped"));
         assert!(lines[0].contains("arena [KiB]"));
         assert!(!lines[0].contains("resumed"));
         assert!(lines[2].starts_with("L0"));

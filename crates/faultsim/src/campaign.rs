@@ -112,6 +112,23 @@ pub struct CampaignConfig {
     /// `workers`.
     #[serde(default)]
     pub kernel: KernelPolicy,
+    /// Golden-convergence early exit: during incremental fast-path
+    /// re-execution, stop the forward pass the moment a recomputed
+    /// activation is **bit-identical** to the cached golden one — the
+    /// skipped suffix could only have reproduced the golden activations,
+    /// so the image's prediction is known without computing it.
+    /// Classifications and inference counts are identical either way; only
+    /// the per-inference cost (and the within-stratum fault order, which is
+    /// depth-sorted when enabled) changes. Excluded from plan fingerprints,
+    /// like `workers` and `kernel`.
+    #[serde(default = "default_convergence")]
+    pub convergence: bool,
+}
+
+/// Serde default for [`CampaignConfig::convergence`]: configs written
+/// before the early-exit engine existed load with it enabled.
+fn default_convergence() -> bool {
+    true
 }
 
 impl Default for CampaignConfig {
@@ -123,6 +140,7 @@ impl Default for CampaignConfig {
             early_exit: true,
             max_fault_retries: 1,
             kernel: KernelPolicy::Fast,
+            convergence: default_convergence(),
         }
     }
 }
@@ -150,6 +168,15 @@ pub struct CampaignResult {
     /// (0 under [`KernelPolicy::Naive`], which allocates afresh).
     #[serde(default)]
     pub arena_peak_bytes: u64,
+    /// Faults for which at least one image's forward pass converged onto
+    /// the golden activations early (0 with
+    /// [`CampaignConfig::convergence`] disabled).
+    #[serde(default)]
+    pub converged: u64,
+    /// Graph nodes skipped by golden-convergence early exits, summed over
+    /// every converged image of every fault.
+    #[serde(default)]
+    pub nodes_skipped: u64,
 }
 
 impl CampaignResult {
@@ -275,7 +302,7 @@ pub fn run_campaign_static<C: Corruption>(
     let hits0 = golden.lowering_hits();
     let misses0 = golden.lowering_misses();
     let workers = cfg.workers.max(1).min(faults.len().max(1));
-    let (classes, inferences, arena_peak) = if workers <= 1 {
+    let shard_out = if workers <= 1 {
         let mut worker_model = model.clone();
         run_shard(&mut worker_model, data, golden, faults, cfg, corruption)?
     } else {
@@ -296,31 +323,44 @@ pub fn run_campaign_static<C: Corruption>(
                 .map(|h| h.join().expect("campaign worker must not panic"))
                 .collect::<Vec<_>>()
         });
-        let mut classes = Vec::with_capacity(faults.len());
-        let mut inferences = 0u64;
-        let mut arena_peak = 0u64;
+        let mut merged = ShardOutcome::default();
         for r in results {
-            let (c, i, peak) = r?;
-            classes.extend(c);
-            inferences += i;
-            arena_peak = arena_peak.max(peak);
+            let shard = r?;
+            merged.classes.extend(shard.classes);
+            merged.inferences += shard.inferences;
+            merged.arena_peak = merged.arena_peak.max(shard.arena_peak);
+            merged.converged += shard.converged;
+            merged.nodes_skipped += shard.nodes_skipped;
         }
-        (classes, inferences, arena_peak)
+        merged
     };
     Ok(CampaignResult {
-        injections: classes.len() as u64,
-        classes,
-        inferences,
+        injections: shard_out.classes.len() as u64,
+        classes: shard_out.classes,
+        inferences: shard_out.inferences,
         elapsed: start.elapsed(),
         lowering_hits: golden.lowering_hits().saturating_sub(hits0),
         lowering_misses: golden.lowering_misses().saturating_sub(misses0),
-        arena_peak_bytes: arena_peak,
+        arena_peak_bytes: shard_out.arena_peak,
+        converged: shard_out.converged,
+        nodes_skipped: shard_out.nodes_skipped,
     })
+}
+
+/// Tallies of one static shard.
+#[derive(Default)]
+struct ShardOutcome {
+    classes: Vec<FaultClass>,
+    inferences: u64,
+    arena_peak: u64,
+    converged: u64,
+    nodes_skipped: u64,
 }
 
 /// Processes a contiguous shard of faults on one worker-local model,
 /// returning classifications, inference count, and the shard arena's
-/// high-water mark.
+/// high-water mark. The static scheduler runs faults in shard order (no
+/// depth sorting), which cannot affect results — only the schedule.
 fn run_shard<C: Corruption>(
     model: &mut Model,
     data: &Dataset,
@@ -328,13 +368,12 @@ fn run_shard<C: Corruption>(
     faults: &[Fault],
     cfg: &CampaignConfig,
     corruption: &C,
-) -> Result<(Vec<FaultClass>, u64, u64), FaultSimError> {
+) -> Result<ShardOutcome, FaultSimError> {
     let needed = needed_for_critical(cfg, data.len());
-    let mut classes = Vec::with_capacity(faults.len());
-    let mut inferences = 0u64;
+    let mut out = ShardOutcome { classes: Vec::with_capacity(faults.len()), ..Default::default() };
     let mut arena = ScratchArena::new();
     for fault in faults {
-        let (class, cost) = classify_one(
+        let item = classify_one(
             model,
             data,
             golden,
@@ -345,10 +384,13 @@ fn run_shard<C: Corruption>(
             &mut arena,
             sfi_obs::WorkerProbe::off(),
         )?;
-        classes.push(class);
-        inferences += cost;
+        out.classes.push(item.class);
+        out.inferences += item.inferences;
+        out.converged += u64::from(item.converged_images > 0);
+        out.nodes_skipped += item.nodes_skipped;
     }
-    Ok((classes, inferences, arena.peak_bytes() as u64))
+    out.arena_peak = arena.peak_bytes() as u64;
+    Ok(out)
 }
 
 #[cfg(test)]

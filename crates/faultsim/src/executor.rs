@@ -81,7 +81,7 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use sfi_dataset::Dataset;
-use sfi_nn::{ForwardOptions, KernelPolicy, Model};
+use sfi_nn::{ForwardOptions, ForwardOutcome, KernelPolicy, Model};
 use sfi_obs::{Probe, WorkerProbe};
 use sfi_tensor::ScratchArena;
 
@@ -160,6 +160,12 @@ pub struct CampaignTelemetry {
     /// High-water mark of per-worker scratch-arena bytes.
     #[serde(default)]
     pub arena_peak_bytes: u64,
+    /// Faults with at least one golden-convergence early exit.
+    #[serde(default)]
+    pub converged: u64,
+    /// Graph nodes skipped by golden-convergence early exits.
+    #[serde(default)]
+    pub nodes_skipped: u64,
 }
 
 impl CampaignTelemetry {
@@ -177,6 +183,8 @@ impl CampaignTelemetry {
             lowering_hits: result.lowering_hits,
             lowering_misses: result.lowering_misses,
             arena_peak_bytes: result.arena_peak_bytes,
+            converged: result.converged,
+            nodes_skipped: result.nodes_skipped,
         }
     }
 
@@ -268,9 +276,9 @@ impl Batch {
 
 /// Per-fault worker message back to the collector.
 enum WorkerReport {
-    /// The fault's slot, its classification (or the first error hit while
-    /// classifying it), and the inferences it cost.
-    Classified(usize, Result<(FaultClass, u64), FaultSimError>),
+    /// The fault's batch slot and its outcome (or the first error hit
+    /// while classifying it).
+    Classified(usize, Result<FaultOutcome, FaultSimError>),
     /// Classifying `fault` panicked; `worker` retires (its model clone may
     /// hold an unreverted fault). The panic payload itself is reported by
     /// the standard panic hook on the worker's thread.
@@ -488,23 +496,29 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
         let needed = needed_for_critical(&self.cfg, self.data.len());
         let total = faults.len() as u64;
         let mut inferences = 0u64;
+        let mut converged = 0u64;
+        let mut nodes_skipped = 0u64;
         let data = self.data;
         let golden = self.golden;
         let cfg = self.cfg;
         let corruption = self.corruption;
         let lowering_hits0 = golden.lowering_hits();
         let lowering_misses0 = golden.lowering_misses();
+        // Execution order; classes, on_classified indices, and error
+        // precedence always use the caller's fault order.
+        let order = self.execution_order(faults);
         let classes = match &mut self.mode {
             Mode::Inline { model, arena } => {
                 let wprobe = self.probe.worker(0);
                 let arena_before = arena.stats();
-                let mut classes = Vec::with_capacity(faults.len());
-                for (done, fault) in faults.iter().enumerate() {
+                let mut slots: Vec<Option<FaultClass>> = vec![None; faults.len()];
+                for (done, &fi) in order.iter().enumerate() {
+                    let fault = &faults[fi];
                     if cancel.is_some_and(|t| t.is_cancelled()) {
                         return Err(FaultSimError::Cancelled { completed: done as u64 });
                     }
                     let mut attempts = 0usize;
-                    let (class, cost) = loop {
+                    let item = loop {
                         let outcome = catch_unwind(AssertUnwindSafe(|| {
                             classify_one(
                                 model, data, golden, fault, needed, &cfg, corruption, arena, wprobe,
@@ -517,16 +531,23 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
                                 // rebuild it from the pristine model.
                                 **model = self.model.clone();
                                 if attempts >= cfg.max_fault_retries {
-                                    break (FaultClass::ExecutionFailure, 0);
+                                    break FaultOutcome {
+                                        class: FaultClass::ExecutionFailure,
+                                        inferences: 0,
+                                        converged_images: 0,
+                                        nodes_skipped: 0,
+                                    };
                                 }
                                 attempts += 1;
                                 self.probe.record_requeue();
                             }
                         }
                     };
-                    inferences += cost;
-                    classes.push(class);
-                    on_classified(done, class, cost);
+                    inferences += item.inferences;
+                    converged += u64::from(item.converged_images > 0);
+                    nodes_skipped += item.nodes_skipped;
+                    slots[fi] = Some(item.class);
+                    on_classified(fi, item.class, item.inferences);
                     progress(CampaignProgress { completed: done as u64 + 1, total, inferences });
                 }
                 let arena_after = arena.stats();
@@ -535,10 +556,14 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
                     arena_after.reuses - arena_before.reuses,
                 );
                 self.stats.arena_peak.fetch_max(arena.peak_bytes() as u64, Ordering::Relaxed);
+                let mut classes = Vec::with_capacity(faults.len());
+                for (index, slot) in slots.into_iter().enumerate() {
+                    classes.push(slot.ok_or(FaultSimError::MissingResult { index })?);
+                }
                 classes
             }
             Mode::Pool(senders) => {
-                let batch = Arc::new(Batch::new(faults.to_vec()));
+                let batch = Arc::new(Batch::new(order.iter().map(|&i| faults[i]).collect()));
                 let (tx, rx) = channel::<WorkerReport>();
                 let mut live = 0usize;
                 for slot in senders.iter_mut() {
@@ -576,25 +601,30 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
                     // workers died without unwinding.
                     let Ok(report) = rx.recv() else { break };
                     match report {
+                        // Reports carry *batch* indices; `order` maps them
+                        // back to the caller's fault indices.
                         WorkerReport::Classified(idx, item) => {
-                            if slots[idx].is_some() {
+                            let fi = order[idx];
+                            if slots[fi].is_some() {
                                 continue;
                             }
                             match item {
-                                Ok((class, cost)) => {
-                                    inferences += cost;
-                                    slots[idx] = Some(class);
+                                Ok(item) => {
+                                    inferences += item.inferences;
+                                    converged += u64::from(item.converged_images > 0);
+                                    nodes_skipped += item.nodes_skipped;
+                                    slots[fi] = Some(item.class);
                                     filled += 1;
                                     classified += 1;
-                                    on_classified(idx, class, cost);
+                                    on_classified(fi, item.class, item.inferences);
                                 }
                                 Err(e) => {
-                                    if first_error.as_ref().is_none_or(|(i, _)| idx < *i) {
-                                        first_error = Some((idx, e));
+                                    if first_error.as_ref().is_none_or(|(i, _)| fi < *i) {
+                                        first_error = Some((fi, e));
                                     }
                                     // Fill the slot so the campaign drains
                                     // fully before the error is returned.
-                                    slots[idx] = Some(FaultClass::ExecutionFailure);
+                                    slots[fi] = Some(FaultClass::ExecutionFailure);
                                     filled += 1;
                                 }
                             }
@@ -608,7 +638,8 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
                             live = live.saturating_sub(1);
                             senders[worker] = None;
                             self.probe.record_worker_retirement();
-                            if slots[fault].is_some() {
+                            let fi = order[fault];
+                            if slots[fi].is_some() {
                                 continue;
                             }
                             let used = retries_used.entry(fault).or_insert(0);
@@ -617,10 +648,10 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
                                 self.probe.record_requeue();
                                 batch.requeue(fault);
                             } else {
-                                slots[fault] = Some(FaultClass::ExecutionFailure);
+                                slots[fi] = Some(FaultClass::ExecutionFailure);
                                 filled += 1;
                                 classified += 1;
-                                on_classified(fault, FaultClass::ExecutionFailure, 0);
+                                on_classified(fi, FaultClass::ExecutionFailure, 0);
                                 progress(CampaignProgress {
                                     completed: filled as u64,
                                     total,
@@ -662,7 +693,33 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
             lowering_hits: golden.lowering_hits().saturating_sub(lowering_hits0),
             lowering_misses: golden.lowering_misses().saturating_sub(lowering_misses0),
             arena_peak_bytes: self.stats.arena_peak.load(Ordering::Relaxed),
+            converged,
+            nodes_skipped,
         })
+    }
+
+    /// The order faults are *executed* in (indices into the caller's
+    /// slice). Identity unless convergence is enabled: with the early exit
+    /// active, faults in deeper layers have shorter suffixes, so draining
+    /// them first shrinks the straggler tail of a work-stealing batch. The
+    /// sort is stable, and results/errors always surface in the caller's
+    /// fault order regardless of this permutation.
+    fn execution_order(&self, faults: &[Fault]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..faults.len()).collect();
+        if !self.cfg.convergence {
+            return order;
+        }
+        let layers = self.model.weight_layers();
+        let depth = |f: &Fault| -> usize {
+            layers
+                .get(f.site.layer)
+                .and_then(|l| self.model.node_of_param(l.param))
+                // Unknown layers sort last (depth 0 under Reverse), keeping
+                // invalid-fault errors ordered by original index.
+                .unwrap_or(0)
+        };
+        order.sort_by_key(|&i| std::cmp::Reverse(depth(&faults[i])));
+        order
     }
 
     /// The session's campaign configuration.
@@ -709,6 +766,26 @@ pub(crate) fn needed_for_critical(cfg: &CampaignConfig, total_images: usize) -> 
     }
 }
 
+/// Per-fault classification outcome with early-exit accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct FaultOutcome {
+    /// The fault's classification.
+    pub class: FaultClass,
+    /// Single-image inferences spent (a converged image still counts as
+    /// one inference — convergence changes cost, never counts).
+    pub inferences: u64,
+    /// Images whose forward pass converged onto the golden activations.
+    pub converged_images: u64,
+    /// Graph nodes skipped by convergence early exits, over all images.
+    pub nodes_skipped: u64,
+}
+
+impl FaultOutcome {
+    fn masked() -> Self {
+        Self { class: FaultClass::Masked, inferences: 0, converged_images: 0, nodes_skipped: 0 }
+    }
+}
+
 /// Injects one fault, classifies it against the golden reference, and
 /// reverts, returning the class and the number of inferences spent.
 ///
@@ -719,6 +796,14 @@ pub(crate) fn needed_for_critical(cfg: &CampaignConfig, total_images: usize) -> 
 /// the cached column matrix is valid for every fault in the stratum.
 /// [`KernelPolicy::Naive`] bypasses both and reproduces the historical
 /// per-fault cost; classifications are bit-identical either way.
+///
+/// With [`CampaignConfig::convergence`] enabled (and the incremental fast
+/// path active) each image's suffix stops at the first node whose
+/// recomputed activation is bit-identical to the golden one: the image's
+/// prediction then provably equals the golden prediction, so no mismatch is
+/// counted and the remaining nodes are skipped. The classification is
+/// unchanged — an effective-but-harmless fault stays
+/// [`FaultClass::NonCritical`] — only the suffix cost drops.
 ///
 /// Degenerate (empty) logits classify the fault as
 /// [`FaultClass::ExecutionFailure`] rather than panicking, so campaigns
@@ -734,15 +819,27 @@ pub(crate) fn classify_one<C: Corruption>(
     corruption: &C,
     arena: &mut ScratchArena,
     wprobe: WorkerProbe<'_>,
-) -> Result<(FaultClass, u64), FaultSimError> {
+) -> Result<FaultOutcome, FaultSimError> {
     let injection = inject_with(model, fault, |f, original| corruption.corrupt(f, original))?;
     if !injection.is_effective() {
         // Nothing changed; revert anyway to keep the invariant simple.
         revert(model, &injection);
-        return Ok((FaultClass::Masked, 0));
+        return Ok(FaultOutcome::masked());
     }
     let fast = cfg.kernel == KernelPolicy::Fast;
+    // The one output unit (conv out-channel / fc out-feature) the fault
+    // can reach: arms the single-unit convergence probe, which decides
+    // whole-node convergence from one GEMM row instead of re-running the
+    // faulted layer in full.
+    let dirty_unit = if cfg.convergence && cfg.incremental && fast {
+        model.param_output_unit(injection.param, injection.index)
+    } else {
+        None
+    };
+    let total_nodes = model.nodes().len();
     let mut inferences = 0u64;
+    let mut converged_images = 0u64;
+    let mut nodes_skipped = 0u64;
     let mut mismatches = 0usize;
     let mut failed = false;
     let mut outcome: Result<(), FaultSimError> = Ok(());
@@ -752,9 +849,36 @@ pub(crate) fn classify_one<C: Corruption>(
             (true, true) => {
                 let lowered =
                     golden.lowering(injection.dirty_node, idx).map(|l| (injection.dirty_node, l));
-                let mut opts =
-                    ForwardOptions { arena: Some(&mut *arena), lowered, ..Default::default() };
-                model.forward_from_with(injection.dirty_node, golden.cache(idx), &mut opts)
+                let mut opts = ForwardOptions {
+                    arena: Some(&mut *arena),
+                    lowered,
+                    dirty_unit,
+                    ..Default::default()
+                };
+                if cfg.convergence {
+                    match model.forward_from_converging(
+                        injection.dirty_node,
+                        golden.cache(idx),
+                        &mut opts,
+                    ) {
+                        Ok(ForwardOutcome::Logits(l)) => Ok(l),
+                        Ok(ForwardOutcome::Converged { at_node }) => {
+                            // The image's prediction provably equals the
+                            // golden one: count the inference, never the
+                            // mismatch, and move to the next image.
+                            wprobe.inference_end(timer);
+                            inferences += 1;
+                            converged_images += 1;
+                            let skipped = (total_nodes - 1 - at_node) as u64;
+                            nodes_skipped += skipped;
+                            wprobe.record_convergence(at_node + 1 - injection.dirty_node, skipped);
+                            continue;
+                        }
+                        Err(e) => Err(e),
+                    }
+                } else {
+                    model.forward_from_with(injection.dirty_node, golden.cache(idx), &mut opts)
+                }
             }
             (true, false) => model.forward_from_with(
                 injection.dirty_node,
@@ -799,7 +923,7 @@ pub(crate) fn classify_one<C: Corruption>(
     } else {
         FaultClass::NonCritical
     };
-    Ok((class, inferences))
+    Ok(FaultOutcome { class, inferences, converged_images, nodes_skipped })
 }
 
 /// Pool worker: drain tasks until the session's senders are dropped, steal

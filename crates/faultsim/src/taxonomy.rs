@@ -24,7 +24,8 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use sfi_dataset::Dataset;
-use sfi_nn::Model;
+use sfi_nn::{ForwardOptions, Model};
+use sfi_tensor::ScratchArena;
 
 use crate::campaign::{Corruption, Ieee754Corruption};
 use crate::fault::Fault;
@@ -158,6 +159,10 @@ pub fn run_campaign_detailed_with<C: Corruption>(
     let mut worker = model.clone();
     let mut classes = Vec::with_capacity(faults.len());
     let mut inferences = 0u64;
+    // One scratch arena for the whole campaign: every inference recycles
+    // its intermediate tensors, so allocation traffic amortizes to zero
+    // after the first image (mirrors the binary campaign's fast path).
+    let mut arena = ScratchArena::new();
     for fault in faults {
         let injection =
             inject_with(&mut worker, fault, |f, original| corruption.corrupt(f, original))?;
@@ -170,9 +175,16 @@ pub fn run_campaign_detailed_with<C: Corruption>(
         let mut any_nonfinite = false;
         for idx in 0..data.len() {
             let logits = if incremental {
-                worker.forward_from(injection.dirty_node, golden.cache(idx))?
+                // Feed the first dirty conv its precomputed golden im2col
+                // panels when the golden reference carries them.
+                let lowered =
+                    golden.lowering(injection.dirty_node, idx).map(|l| (injection.dirty_node, l));
+                let mut opts =
+                    ForwardOptions { arena: Some(&mut arena), lowered, ..Default::default() };
+                worker.forward_from_with(injection.dirty_node, golden.cache(idx), &mut opts)?
             } else {
-                worker.forward(data.image(idx))?
+                let mut opts = ForwardOptions { arena: Some(&mut arena), ..Default::default() };
+                worker.forward_with(data.image(idx), &mut opts)?
             };
             inferences += 1;
             if logits.iter().any(|v| !v.is_finite()) {

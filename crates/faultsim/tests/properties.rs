@@ -99,6 +99,52 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The golden-convergence early exit is invisible in the results: for
+    /// random fault plans — salted with exponent-MSB stuck-at-1 faults
+    /// that drive activations to NaN/Inf — classifications and inference
+    /// counts match the no-exit run at every worker count.
+    #[test]
+    fn convergence_exit_is_invisible_in_results(
+        picks in proptest::collection::vec((0usize..8, 0usize..1_000, 0u8..32, 0usize..3), 1..10),
+        seed in 0u64..5,
+    ) {
+        let model = tiny_model(seed);
+        let data = SynthCifarConfig::new().with_size(8).with_samples(2).generate();
+        let golden = GoldenReference::build(&model, &data).unwrap()
+            .with_lowering(&model).unwrap();
+        let layers = model.weight_layers();
+        let mut faults: Vec<Fault> = picks
+            .iter()
+            .map(|&(layer, weight_seed, bit, model_pick)| Fault {
+                site: FaultSite { layer, weight: weight_seed % layers[layer].len, bit },
+                model: [FaultModel::StuckAt0, FaultModel::StuckAt1, FaultModel::BitFlip]
+                    [model_pick],
+            })
+            .collect();
+        // Guarantee non-finite activations in every plan: stuck-at-1 on the
+        // exponent MSB multiplies a small weight by ~2^128 and overflows.
+        faults.push(Fault {
+            site: FaultSite { layer: 0, weight: 0, bit: 30 },
+            model: FaultModel::StuckAt1,
+        });
+        faults.push(Fault {
+            site: FaultSite { layer: layers.len() - 1, weight: 1, bit: 30 },
+            model: FaultModel::StuckAt1,
+        });
+        for workers in [1usize, 4, 8] {
+            let plain_cfg = CampaignConfig { workers, convergence: false, ..Default::default() };
+            let exit_cfg = CampaignConfig { workers, convergence: true, ..Default::default() };
+            let plain = run_campaign(&model, &data, &golden, &faults, &plain_cfg).unwrap();
+            let exit = run_campaign(&model, &data, &golden, &faults, &exit_cfg).unwrap();
+            prop_assert_eq!(&plain.classes, &exit.classes, "workers = {}", workers);
+            prop_assert_eq!(plain.inferences, exit.inferences, "workers = {}", workers);
+        }
+    }
+}
+
 /// Campaign determinism across worker counts, on a random fault subset.
 #[test]
 fn campaign_worker_count_invariance() {

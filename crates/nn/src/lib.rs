@@ -53,6 +53,6 @@ pub mod train;
 pub mod vgg;
 
 pub use error::NnError;
-pub use model::{ActivationCache, ForwardOptions, KernelPolicy, LayerStats, Model};
+pub use model::{ActivationCache, ForwardOptions, ForwardOutcome, KernelPolicy, LayerStats, Model};
 pub use node::{Node, NodeId, NodeOp};
 pub use param::{ParamId, ParamKind, Parameter, ParameterStore, WeightLayer};

@@ -38,6 +38,48 @@ pub struct ForwardOptions<'a> {
     /// caller asserts the panels were lowered from the value the node's
     /// input holds during this pass.
     pub lowered: Option<(NodeId, &'a LoweredConv)>,
+    /// Output unit (conv out-channel / linear out-feature) through which
+    /// the active weight fault reaches the *first dirty* node, when the
+    /// caller knows it (see [`Model::param_output_unit`]).
+    /// [`Model::forward_from_converging`] then evaluates only that unit of
+    /// the first dirty node — every other unit is a deterministic
+    /// recomputation from golden inputs and unfaulted weight rows, hence
+    /// bit-golden — deciding convergence (or materializing the node's full
+    /// activation) at a fraction of the node cost. Ignored by the
+    /// non-converging passes and by unsupported node kinds.
+    pub dirty_unit: Option<usize>,
+}
+
+/// Outcome of a convergence-checking incremental forward pass
+/// ([`Model::forward_from_converging`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForwardOutcome {
+    /// The suffix diverged from the golden activations all the way to the
+    /// output; these are the recomputed logits.
+    Logits(Tensor),
+    /// Node `at_node`'s recomputed activation was **bit-identical** to the
+    /// cached golden one, so every downstream tensor — logits included —
+    /// is provably identical to the golden run and was not computed.
+    Converged {
+        /// The first recomputed node whose activation matched the cache
+        /// bit-for-bit; nodes `at_node + 1 ..` were skipped.
+        at_node: NodeId,
+    },
+}
+
+/// Result of the single-unit convergence probe
+/// ([`Model::forward_from_converging`] with
+/// [`ForwardOptions::dirty_unit`] set).
+enum ProbeOutcome {
+    /// The node/op/options combination has no single-unit kernel; fall
+    /// back to full evaluation.
+    Unsupported,
+    /// The probed unit recomputed to golden bits — the whole node is
+    /// provably golden.
+    Clean,
+    /// The probed unit diverged; this is the node's full activation
+    /// (golden clone with the unit overwritten).
+    Dirty(Tensor),
 }
 
 /// Resolves node-output references during a forward pass: a clean prefix
@@ -214,6 +256,24 @@ impl Model {
     /// The node that consumes parameter `param`, when any does.
     pub fn node_of_param(&self, param: ParamId) -> Option<NodeId> {
         self.param_node.get(param).copied().flatten()
+    }
+
+    /// The output unit of the node consuming `param` that a fault at flat
+    /// `index` within the parameter can reach — the leading-dimension slot
+    /// in every parameter layout this graph uses: conv weights are
+    /// `[c_out, c_in/g, k_h, k_w]`, linear weights `[out, in]`, and
+    /// vector parameters (biases, batch-norm terms) are indexed by unit
+    /// directly. Feed the result to [`ForwardOptions::dirty_unit`] to arm
+    /// the single-unit convergence probe. `None` when the parameter is
+    /// unknown or the index is out of range.
+    pub fn param_output_unit(&self, param: ParamId, index: usize) -> Option<usize> {
+        let tensor = &self.store.get(param)?.tensor;
+        if index >= tensor.len() {
+            return None;
+        }
+        let shape = tensor.shape();
+        let per_unit: usize = shape.dims()[1..].iter().product();
+        Some(index / per_unit)
     }
 
     fn check_input(&self, input: &Tensor) -> Result<(), NnError> {
@@ -517,6 +577,229 @@ impl Model {
             }
         }
         Ok(out)
+    }
+
+    /// [`Model::forward_from_with`] with a golden-convergence early exit:
+    /// after each recomputed node its activation is compared against the
+    /// cached golden one with a bitwise (`u32`-reinterpreted) slice compare,
+    /// and the pass stops with [`ForwardOutcome::Converged`] the moment they
+    /// match.
+    ///
+    /// Soundness: every operator is deterministic and bit-exact in its
+    /// inputs, so the skipped suffix is provably golden once **every
+    /// activation it can still read** is bitwise-golden. That is stronger
+    /// than "node `k` matches": with skip connections (ResNet's residual
+    /// `Add`) a node after `k` may read a recomputed activation *before*
+    /// `k` that still differs (a diverged conv whose following ReLU clamped
+    /// back to golden). The pass therefore tracks the set of *live dirty*
+    /// nodes — recomputed nodes that differ from golden and are read by at
+    /// least one node past the current one — and declares convergence only
+    /// when the current node matches and that set is empty. NaN payloads
+    /// and signed zeros compare by bits, so no approximation is involved.
+    ///
+    /// The comparison short-circuits on the first differing element, which
+    /// keeps the per-node overhead negligible for genuinely diverged
+    /// activations; a converged pass recycles every intermediate tensor
+    /// into `opts.arena`, so the next image's convergence checks reuse the
+    /// same scratch.
+    ///
+    /// When [`ForwardOptions::dirty_unit`] names the one output unit the
+    /// fault can reach, the first dirty node is decided by a *single-unit
+    /// probe* — one GEMM row instead of the full layer — and on divergence
+    /// its activation is materialized as a golden clone with that unit
+    /// overwritten, which is bit-identical to full re-evaluation because
+    /// no other unit of a conv/linear output depends on the faulted
+    /// weight row.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Model::forward_from`].
+    pub fn forward_from_converging(
+        &self,
+        first_dirty: NodeId,
+        cache: &ActivationCache,
+        opts: &mut ForwardOptions<'_>,
+    ) -> Result<ForwardOutcome, NnError> {
+        if cache.activations.len() != self.nodes.len() {
+            return Err(NnError::CacheMismatch {
+                reason: format!(
+                    "cache holds {} activations, model has {} nodes",
+                    cache.activations.len(),
+                    self.nodes.len()
+                ),
+            });
+        }
+        let first_dirty = first_dirty.max(1);
+        if first_dirty >= self.nodes.len() {
+            return Ok(ForwardOutcome::Logits(cache.activations.last().expect("nonempty").clone()));
+        }
+        // For each node, the last node that reads its activation. A dirty
+        // (differs-from-golden) recomputed node stays "live" — and blocks
+        // convergence — until its last reader has been evaluated.
+        let mut last_reader: Vec<NodeId> = (0..self.nodes.len()).collect();
+        for (id, node) in self.nodes.iter().enumerate().skip(first_dirty) {
+            for &inp in &node.inputs {
+                last_reader[inp] = id;
+            }
+        }
+        // expiring[id] = how many live dirty nodes die once node `id` has
+        // consumed them for the last time.
+        let mut expiring: Vec<u32> = vec![0; self.nodes.len()];
+        let mut live_dirty: u32 = 0;
+        let mut fresh: Vec<Tensor> = Vec::with_capacity(self.nodes.len() - first_dirty);
+        let mut start = first_dirty;
+        // Single-unit probe of the first dirty node: when the caller names
+        // the one output unit the fault can reach, evaluating just that
+        // unit decides the whole node — the rest of its activation is a
+        // deterministic recomputation from golden inputs and unfaulted
+        // weight rows, hence bit-golden.
+        if let Some(unit) = opts.dirty_unit {
+            match self.probe_dirty_unit(first_dirty, cache, unit, opts)? {
+                ProbeOutcome::Unsupported => {}
+                ProbeOutcome::Clean => {
+                    return Ok(ForwardOutcome::Converged { at_node: first_dirty });
+                }
+                ProbeOutcome::Dirty(t) => {
+                    if last_reader[first_dirty] > first_dirty {
+                        expiring[last_reader[first_dirty]] += 1;
+                        live_dirty += 1;
+                    }
+                    fresh.push(t);
+                    start = first_dirty + 1;
+                }
+            }
+        }
+        for id in start..self.nodes.len() {
+            let v = self.eval_node_with(
+                id,
+                &NodeValues {
+                    prefix: &cache.activations,
+                    over: None,
+                    suffix_base: first_dirty,
+                    suffix: &fresh,
+                },
+                opts,
+            )?;
+            // Node `id` has now read its inputs; dirty nodes last read here
+            // can no longer influence the suffix.
+            live_dirty -= expiring[id];
+            if v.bits_equal(&cache.activations[id]) {
+                if live_dirty == 0 {
+                    if let Some(arena) = opts.arena.as_deref_mut() {
+                        arena.recycle(v.into_vec());
+                        for t in fresh {
+                            arena.recycle(t.into_vec());
+                        }
+                    }
+                    return Ok(ForwardOutcome::Converged { at_node: id });
+                }
+            } else if last_reader[id] > id {
+                expiring[last_reader[id]] += 1;
+                live_dirty += 1;
+            }
+            fresh.push(v);
+        }
+        let out = fresh.pop().expect("suffix is nonempty");
+        if let Some(arena) = opts.arena.as_deref_mut() {
+            for t in fresh {
+                arena.recycle(t.into_vec());
+            }
+        }
+        Ok(ForwardOutcome::Logits(out))
+    }
+
+    /// Evaluates only output unit `unit` of node `id` and compares it
+    /// against the golden activation: `Clean` means the unit — and hence
+    /// the whole node, since the fault reaches no other unit — recomputed
+    /// to golden bits; `Dirty` carries the node's full activation (a golden
+    /// clone with the probed unit overwritten, bit-identical to a full
+    /// re-evaluation). `Unsupported` asks the caller to fall back to full
+    /// evaluation: the op has no single-unit kernel, the conv has no
+    /// cached lowering, or the naive cost-model policy is active.
+    fn probe_dirty_unit(
+        &self,
+        id: NodeId,
+        cache: &ActivationCache,
+        unit: usize,
+        opts: &mut ForwardOptions<'_>,
+    ) -> Result<ProbeOutcome, NnError> {
+        use crate::NodeOp;
+        if opts.policy == KernelPolicy::Naive {
+            return Ok(ProbeOutcome::Unsupported);
+        }
+        let node = &self.nodes[id];
+        let param = |p: ParamId| &self.store.get(p).expect("validated at construction").tensor;
+        let wrap = |source| NnError::Op { node: id, source };
+        let golden = &cache.activations[id];
+        let vals: Vec<f32> = match &node.op {
+            NodeOp::Conv { weight, bias, .. } => {
+                let Some((ln, low)) = opts.lowered else { return Ok(ProbeOutcome::Unsupported) };
+                let w = param(*weight);
+                if ln != id || unit >= w.shape().n() {
+                    return Ok(ProbeOutcome::Unsupported);
+                }
+                ops::conv2d_channel_from_lowered(
+                    low,
+                    w,
+                    bias.map(&param),
+                    unit,
+                    opts.arena.as_deref_mut(),
+                )
+                .map_err(wrap)?
+            }
+            NodeOp::Linear { weight, bias } => {
+                let xv = &cache.activations[node.inputs[0]];
+                let reshaped;
+                let x2 = if xv.shape().rank() == 2 {
+                    xv
+                } else {
+                    let n = xv.shape().dims()[0];
+                    let rest = xv.len() / n;
+                    reshaped = xv.reshape([n, rest]).map_err(wrap)?;
+                    &reshaped
+                };
+                let w = param(*weight);
+                if unit >= w.shape().dims()[0] {
+                    return Ok(ProbeOutcome::Unsupported);
+                }
+                ops::linear_row(x2, w, bias.map(&param), unit).map_err(wrap)?
+            }
+            _ => return Ok(ProbeOutcome::Unsupported),
+        };
+        // Unit `unit` occupies `chunk` contiguous elements per image in the
+        // golden layout ([batch, units, ...]); `vals` holds the same
+        // elements back to back, one image after another.
+        let shape = golden.shape();
+        let dims = shape.dims();
+        let (batch, units) = (dims[0], dims[1]);
+        let chunk: usize = dims[2..].iter().product();
+        let g = golden.as_slice();
+        let clean = (0..batch).all(|n| {
+            let gs = &g[(n * units + unit) * chunk..][..chunk];
+            let vs = &vals[n * chunk..][..chunk];
+            gs.iter().zip(vs).all(|(a, b)| a.to_bits() == b.to_bits())
+        });
+        if clean {
+            if let Some(a) = opts.arena.as_deref_mut() {
+                a.recycle(vals);
+            }
+            return Ok(ProbeOutcome::Clean);
+        }
+        let mut data = match opts.arena.as_deref_mut() {
+            Some(a) => a.take(g.len()),
+            None => vec![0.0f32; g.len()],
+        };
+        data.copy_from_slice(g);
+        for n in 0..batch {
+            data[(n * units + unit) * chunk..][..chunk]
+                .copy_from_slice(&vals[n * chunk..][..chunk]);
+        }
+        if let Some(a) = opts.arena.as_deref_mut() {
+            a.recycle(vals);
+        }
+        let t = Tensor::from_vec(shape, data)
+            .expect("materialized activation matches the golden shape");
+        Ok(ProbeOutcome::Dirty(t))
     }
 
     /// Re-runs inference with node `node`'s cached activation replaced by
@@ -1006,6 +1289,256 @@ mod tests {
         };
         let fast = m.forward_from_with(1, &cache, opts).unwrap();
         assert_bits_equal(&plain, &fast, "lowered forward_from");
+    }
+
+    #[test]
+    fn converging_forward_detects_an_unchanged_model() {
+        // With no fault injected, the very first recomputed node matches
+        // the cache and the pass stops immediately.
+        let m = tiny_model();
+        let cache = m.forward_cached(&tiny_input()).unwrap();
+        let mut arena = ScratchArena::new();
+        let opts = &mut ForwardOptions { arena: Some(&mut arena), ..Default::default() };
+        let out = m.forward_from_converging(1, &cache, opts).unwrap();
+        assert_eq!(out, ForwardOutcome::Converged { at_node: 1 });
+    }
+
+    #[test]
+    fn converging_forward_matches_plain_on_a_diverging_model() {
+        let mut m = tiny_model();
+        let input = tiny_input();
+        let cache = m.forward_cached(&input).unwrap();
+        // A large conv-weight change diverges all the way to the logits.
+        m.store_mut().get_mut(0).unwrap().tensor.as_mut_slice()[0] += 100.0;
+        let plain = m.forward_from(1, &cache).unwrap();
+        let out = m.forward_from_converging(1, &cache, &mut ForwardOptions::default()).unwrap();
+        match out {
+            ForwardOutcome::Logits(l) => assert_bits_equal(&plain, &l, "diverged logits"),
+            ForwardOutcome::Converged { at_node } => panic!("spurious convergence at {at_node}"),
+        }
+    }
+
+    #[test]
+    fn converging_forward_detects_relu_annihilation() {
+        // tiny_model's conv output channel 1 has non-negative weights
+        // ((9..18) - 9) * 0.1; on an all-negative input every channel-1
+        // pre-activation is <= 0, so the ReLU clamps the whole channel to
+        // zero. Scaling a channel-1 weight keeps the pre-activations
+        // non-positive: the conv output *diverges* from the cache, but the
+        // ReLU output is bit-identical — the fault is provably masked at
+        // node 2 and the rest of the network is never computed.
+        let m = tiny_model();
+        let input = Tensor::full([1, 1, 4, 4], -1.0);
+        let cache = m.forward_cached(&input).unwrap();
+        let mut faulty = m.clone();
+        // Weight 13 belongs to output channel 1 and is 0.4; keep it positive.
+        faulty.store_mut().get_mut(0).unwrap().tensor.as_mut_slice()[13] *= 1.5;
+        let out =
+            faulty.forward_from_converging(1, &cache, &mut ForwardOptions::default()).unwrap();
+        assert_eq!(out, ForwardOutcome::Converged { at_node: 2 });
+    }
+
+    #[test]
+    fn converging_forward_respects_skip_connections() {
+        // Same ReLU-annihilation fault as above, but a residual Add reads
+        // the *conv* output directly. The ReLU activation matches golden
+        // bit-for-bit, yet the still-dirty conv output flows around it —
+        // stopping there would misclassify. Live-dirty tracking must keep
+        // the pass going and reproduce forward_from exactly.
+        let mut store = ParameterStore::new();
+        let w0 = store.push(
+            "conv.weight",
+            ParamKind::Weight { layer: 0 },
+            Tensor::from_fn([2, 1, 3, 3], |i| (i as f32 - 9.0) * 0.1),
+        );
+        let w1 = store.push(
+            "fc.weight",
+            ParamKind::Weight { layer: 1 },
+            Tensor::from_fn([3, 2], |i| (i as f32 - 3.0) * 0.5),
+        );
+        let nodes = vec![
+            Node { op: NodeOp::Input, inputs: vec![] },
+            Node::unary(NodeOp::Conv { weight: w0, bias: None, cfg: Conv2dCfg::same(1) }, 0),
+            Node::unary(NodeOp::Relu, 1),
+            Node::binary(NodeOp::Add, 2, 1),
+            Node::unary(NodeOp::GlobalAvgPool, 3),
+            Node::unary(NodeOp::Linear { weight: w1, bias: None }, 4),
+        ];
+        let m = Model::new("skip", nodes, store, vec![1, 4, 4]).unwrap();
+        let input = Tensor::full([1, 1, 4, 4], -1.0);
+        let cache = m.forward_cached(&input).unwrap();
+        let mut faulty = m.clone();
+        faulty.store_mut().get_mut(0).unwrap().tensor.as_mut_slice()[13] *= 1.5;
+        // The ReLU output really is golden — a chain-only rule would stop
+        // at node 2 — while the conv output it shadows is dirty.
+        let refreshed = faulty.forward_cached(&input).unwrap();
+        assert!(refreshed.get(2).unwrap().bits_equal(cache.get(2).unwrap()));
+        assert!(!refreshed.get(1).unwrap().bits_equal(cache.get(1).unwrap()));
+        let plain = faulty.forward_from(1, &cache).unwrap();
+        let out =
+            faulty.forward_from_converging(1, &cache, &mut ForwardOptions::default()).unwrap();
+        match out {
+            ForwardOutcome::Logits(l) => assert_bits_equal(&plain, &l, "skip logits"),
+            ForwardOutcome::Converged { at_node } => {
+                panic!("unsound convergence at node {at_node} past a live dirty skip input")
+            }
+        }
+    }
+
+    /// Runs `forward_from_converging` with and without the single-unit
+    /// probe armed and asserts the outcomes are indistinguishable.
+    fn assert_probe_invisible(
+        faulty: &Model,
+        first_dirty: NodeId,
+        cache: &ActivationCache,
+        dirty_unit: usize,
+        ctx: &str,
+    ) -> ForwardOutcome {
+        let input = cache.get(0).unwrap();
+        let lowered = match &faulty.nodes()[first_dirty].op {
+            NodeOp::Conv { weight, cfg, .. } => Some(
+                sfi_tensor::ops::im2col_lower(
+                    input,
+                    &faulty.store().get(*weight).unwrap().tensor,
+                    *cfg,
+                )
+                .unwrap(),
+            ),
+            _ => None,
+        };
+        let mut arena = ScratchArena::new();
+        let probed = faulty
+            .forward_from_converging(
+                first_dirty,
+                cache,
+                &mut ForwardOptions {
+                    arena: Some(&mut arena),
+                    lowered: lowered.as_ref().map(|l| (first_dirty, l)),
+                    dirty_unit: Some(dirty_unit),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let full = faulty
+            .forward_from_converging(
+                first_dirty,
+                cache,
+                &mut ForwardOptions {
+                    lowered: lowered.as_ref().map(|l| (first_dirty, l)),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        match (&probed, &full) {
+            (ForwardOutcome::Logits(a), ForwardOutcome::Logits(b)) => assert_bits_equal(a, b, ctx),
+            (a, b) => assert_eq!(a, b, "{ctx}: probe changed the outcome"),
+        }
+        probed
+    }
+
+    #[test]
+    fn single_unit_probe_is_invisible_on_diverging_faults() {
+        // Conv fault reaching channel 0: diverges to the logits. The probe
+        // must materialize the conv activation bit-identically (golden
+        // clone + one recomputed channel) so the downstream suffix — and
+        // the returned logits — match the unprobed pass exactly.
+        let input = tiny_input();
+        let m = tiny_model();
+        let cache = m.forward_cached(&input).unwrap();
+        let mut faulty = m.clone();
+        faulty.store_mut().get_mut(0).unwrap().tensor.as_mut_slice()[0] += 100.0;
+        let out = assert_probe_invisible(&faulty, 1, &cache, 0, "conv channel 0");
+        assert!(matches!(out, ForwardOutcome::Logits(_)));
+
+        // Non-finite faulted weight: NaN bits must flow through the probed
+        // row exactly as through the full kernel.
+        let mut nan_faulty = m.clone();
+        nan_faulty.store_mut().get_mut(0).unwrap().tensor.as_mut_slice()[3] = f32::NAN;
+        assert_probe_invisible(&nan_faulty, 1, &cache, 0, "conv channel 0 NaN");
+
+        // Linear fault (last node): the probe's materialized activation IS
+        // the returned logits.
+        let fc = m.node_of_param(1).unwrap();
+        let mut fc_faulty = m.clone();
+        fc_faulty.store_mut().get_mut(1).unwrap().tensor.as_mut_slice()[5] += 7.0;
+        let unit = fc_faulty.param_output_unit(1, 5).unwrap();
+        let out = assert_probe_invisible(&fc_faulty, fc, &cache, unit, "fc row");
+        assert!(matches!(out, ForwardOutcome::Logits(_)));
+    }
+
+    #[test]
+    fn single_unit_probe_converges_on_a_masked_channel() {
+        // All-zero input: every conv product is 0.0 * w, so any *finite*
+        // weight change leaves the output channel bit-identical — the
+        // probe alone proves convergence at the conv node without
+        // computing the other channel.
+        let m = tiny_model();
+        let input = Tensor::zeros([1, 1, 4, 4]);
+        let cache = m.forward_cached(&input).unwrap();
+        let mut faulty = m.clone();
+        faulty.store_mut().get_mut(0).unwrap().tensor.as_mut_slice()[13] *= 1.5;
+        let out = assert_probe_invisible(&faulty, 1, &cache, 1, "masked conv channel");
+        assert_eq!(out, ForwardOutcome::Converged { at_node: 1 });
+    }
+
+    #[test]
+    fn single_unit_probe_respects_skip_connections() {
+        // The skip-connection trap from converging_forward_respects_skip_
+        // connections, probed: the faulted channel diverges at the conv,
+        // the following ReLU matches golden, and the residual Add still
+        // reads the dirty conv — the probed pass must keep going exactly
+        // like the full one.
+        let mut store = ParameterStore::new();
+        let w0 = store.push(
+            "conv.weight",
+            ParamKind::Weight { layer: 0 },
+            Tensor::from_fn([2, 1, 3, 3], |i| (i as f32 - 9.0) * 0.1),
+        );
+        let w1 = store.push(
+            "fc.weight",
+            ParamKind::Weight { layer: 1 },
+            Tensor::from_fn([3, 2], |i| (i as f32 - 3.0) * 0.5),
+        );
+        let nodes = vec![
+            Node { op: NodeOp::Input, inputs: vec![] },
+            Node::unary(NodeOp::Conv { weight: w0, bias: None, cfg: Conv2dCfg::same(1) }, 0),
+            Node::unary(NodeOp::Relu, 1),
+            Node::binary(NodeOp::Add, 2, 1),
+            Node::unary(NodeOp::GlobalAvgPool, 3),
+            Node::unary(NodeOp::Linear { weight: w1, bias: None }, 4),
+        ];
+        let m = Model::new("skip", nodes, store, vec![1, 4, 4]).unwrap();
+        let input = Tensor::full([1, 1, 4, 4], -1.0);
+        let cache = m.forward_cached(&input).unwrap();
+        let mut faulty = m.clone();
+        faulty.store_mut().get_mut(0).unwrap().tensor.as_mut_slice()[13] *= 1.5;
+        let out = assert_probe_invisible(&faulty, 1, &cache, 1, "skip with probe");
+        assert!(matches!(out, ForwardOutcome::Logits(_)));
+    }
+
+    #[test]
+    fn param_output_unit_reads_the_leading_dimension() {
+        let m = tiny_model();
+        // conv weight [2, 1, 3, 3]: 9 elements per out-channel.
+        assert_eq!(m.param_output_unit(0, 8), Some(0));
+        assert_eq!(m.param_output_unit(0, 13), Some(1));
+        // fc weight [3, 2]: 2 elements per row.
+        assert_eq!(m.param_output_unit(1, 5), Some(2));
+        // fc bias [3]: unit == index.
+        assert_eq!(m.param_output_unit(2, 1), Some(1));
+        // Out of range.
+        assert_eq!(m.param_output_unit(0, 18), None);
+        assert_eq!(m.param_output_unit(99, 0), None);
+    }
+
+    #[test]
+    fn converging_forward_rejects_foreign_cache() {
+        let m = tiny_model();
+        let cache = ActivationCache { activations: vec![Tensor::zeros([1])] };
+        assert!(matches!(
+            m.forward_from_converging(1, &cache, &mut ForwardOptions::default()),
+            Err(NnError::CacheMismatch { .. })
+        ));
     }
 
     #[test]

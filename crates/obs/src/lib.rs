@@ -93,6 +93,12 @@ const SHARDS: usize = 16;
 /// last bucket absorbs everything from ~9 minutes up.
 pub const LATENCY_BUCKETS: usize = 40;
 
+/// Number of log₂ buckets in the convergence-depth histogram. Bucket `b`
+/// counts early exits whose re-executed suffix spanned `[2^(b-1), 2^b)`
+/// graph nodes before converging onto the golden activations; the last
+/// bucket absorbs any deeper suffix.
+pub const CONVERGENCE_BUCKETS: usize = 16;
+
 const C_INFERENCES: usize = 0;
 const C_INFERENCE_NS: usize = 1;
 const C_REQUEUES: usize = 2;
@@ -101,13 +107,16 @@ const C_FSYNCS: usize = 4;
 const C_FSYNC_NS: usize = 5;
 const C_ARENA_TAKES: usize = 6;
 const C_ARENA_REUSES: usize = 7;
-const COUNTERS: usize = 8;
+const C_CONVERGED: usize = 8;
+const C_NODES_SKIPPED: usize = 9;
+const COUNTERS: usize = 10;
 
 /// One worker's slice of the session metrics. All operations are relaxed
 /// atomics; totals are merged by [`Probe::snapshot`].
 struct MetricShard {
     counters: [AtomicU64; COUNTERS],
     latency: [AtomicU64; LATENCY_BUCKETS],
+    convergence: [AtomicU64; CONVERGENCE_BUCKETS],
 }
 
 impl MetricShard {
@@ -115,6 +124,7 @@ impl MetricShard {
         Self {
             counters: [const { AtomicU64::new(0) }; COUNTERS],
             latency: [const { AtomicU64::new(0) }; LATENCY_BUCKETS],
+            convergence: [const { AtomicU64::new(0) }; CONVERGENCE_BUCKETS],
         }
     }
 
@@ -129,6 +139,15 @@ fn latency_bucket(ns: u64) -> usize {
         0
     } else {
         (64 - ns.leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
+    }
+}
+
+/// Histogram bucket for a convergence depth of `nodes` graph nodes.
+fn convergence_bucket(nodes: u64) -> usize {
+    if nodes == 0 {
+        0
+    } else {
+        (64 - nodes.leading_zeros() as usize).min(CONVERGENCE_BUCKETS - 1)
     }
 }
 
@@ -152,8 +171,15 @@ pub struct MetricsSnapshot {
     pub arena_takes: u64,
     /// Arena requests served from a recycled buffer (no allocation).
     pub arena_reuses: u64,
+    /// Inferences that golden-converged before reaching the logits.
+    pub converged: u64,
+    /// Graph nodes skipped by golden-convergence early exits.
+    pub nodes_skipped: u64,
     /// log₂(ns) inference-latency histogram; see [`LATENCY_BUCKETS`].
     pub latency_buckets: [u64; LATENCY_BUCKETS],
+    /// log₂(nodes) convergence-depth histogram; see
+    /// [`CONVERGENCE_BUCKETS`].
+    pub convergence_buckets: [u64; CONVERGENCE_BUCKETS],
 }
 
 impl MetricsSnapshot {
@@ -248,6 +274,10 @@ pub enum Event<'a> {
         lowering_hits: u64,
         /// Lowering-cache misses during this stratum.
         lowering_misses: u64,
+        /// Faults with at least one golden-convergence early exit.
+        converged: u64,
+        /// Graph nodes skipped by golden-convergence early exits.
+        nodes_skipped: u64,
         /// Stratum wall-clock time in milliseconds.
         wall_ms: f64,
     },
@@ -341,12 +371,15 @@ impl Event<'_> {
                 failures,
                 lowering_hits,
                 lowering_misses,
+                converged,
+                nodes_skipped,
                 wall_ms,
             } => format!(
                 "\"stratum_end\",\"stratum\":{stratum},\"injections\":{injections},\
                  \"masked\":{masked},\"critical\":{critical},\"non_critical\":{non_critical},\
                  \"failures\":{failures},\"lowering_hits\":{lowering_hits},\
-                 \"lowering_misses\":{lowering_misses},\"wall_ms\":{wall_ms:.3}"
+                 \"lowering_misses\":{lowering_misses},\"converged\":{converged},\
+                 \"nodes_skipped\":{nodes_skipped},\"wall_ms\":{wall_ms:.3}"
             ),
             Event::Resume { resumed, dropped } => {
                 format!("\"resume\",\"resumed\":{resumed},\"dropped\":{dropped}")
@@ -371,7 +404,8 @@ impl Event<'_> {
             Event::Metrics { snapshot } => format!(
                 "\"metrics\",\"inferences\":{},\"mean_inference_us\":{:.3},\
                  \"p99_inference_us\":{:.3},\"requeues\":{},\"worker_retirements\":{},\
-                 \"fsyncs\":{},\"mean_fsync_us\":{:.3},\"arena_takes\":{},\"arena_reuses\":{}",
+                 \"fsyncs\":{},\"mean_fsync_us\":{:.3},\"arena_takes\":{},\"arena_reuses\":{},\
+                 \"converged\":{},\"nodes_skipped\":{}",
                 snapshot.inferences,
                 snapshot.mean_inference_us(),
                 snapshot.latency_quantile_us(0.99),
@@ -380,7 +414,9 @@ impl Event<'_> {
                 snapshot.fsyncs,
                 snapshot.mean_fsync_us(),
                 snapshot.arena_takes,
-                snapshot.arena_reuses
+                snapshot.arena_reuses,
+                snapshot.converged,
+                snapshot.nodes_skipped
             ),
         };
         format!("{head}{body}}}")
@@ -573,11 +609,15 @@ impl Probe {
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut totals = [0u64; COUNTERS];
         let mut latency = [0u64; LATENCY_BUCKETS];
+        let mut convergence = [0u64; CONVERGENCE_BUCKETS];
         for shard in &self.shards {
             for (total, counter) in totals.iter_mut().zip(&shard.counters) {
                 *total += counter.load(Ordering::Relaxed);
             }
             for (total, bucket) in latency.iter_mut().zip(&shard.latency) {
+                *total += bucket.load(Ordering::Relaxed);
+            }
+            for (total, bucket) in convergence.iter_mut().zip(&shard.convergence) {
                 *total += bucket.load(Ordering::Relaxed);
             }
         }
@@ -590,7 +630,10 @@ impl Probe {
             fsync_ns: totals[C_FSYNC_NS],
             arena_takes: totals[C_ARENA_TAKES],
             arena_reuses: totals[C_ARENA_REUSES],
+            converged: totals[C_CONVERGED],
+            nodes_skipped: totals[C_NODES_SKIPPED],
             latency_buckets: latency,
+            convergence_buckets: convergence,
         }
     }
 
@@ -656,6 +699,16 @@ impl WorkerProbe<'_> {
         shard.add(C_ARENA_TAKES, takes);
         shard.add(C_ARENA_REUSES, reuses);
     }
+
+    /// Records one golden-convergence early exit whose re-executed suffix
+    /// spanned `depth` graph nodes before converging, skipping `skipped`
+    /// downstream nodes.
+    pub fn record_convergence(&self, depth: usize, skipped: u64) {
+        let Some(shard) = self.shard else { return };
+        shard.add(C_CONVERGED, 1);
+        shard.add(C_NODES_SKIPPED, skipped);
+        shard.convergence[convergence_bucket(depth as u64)].fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -671,6 +724,7 @@ mod tests {
         assert_eq!(w.inference_start(), None, "no clock read when disabled");
         w.inference_end(None);
         w.record_arena(10, 5);
+        w.record_convergence(3, 7);
         probe.record_requeue();
         probe.record_fsync(1, 100);
         probe.emit(&Event::CampaignStart { strata: 1, faults: 1, workers: 1 });
@@ -678,6 +732,7 @@ mod tests {
         assert_eq!(snap.inferences, 0);
         assert_eq!(snap.arena_takes, 0);
         assert_eq!(snap.requeues, 0);
+        assert_eq!(snap.converged, 0);
         assert_eq!(probe.finish().unwrap(), None);
     }
 
@@ -700,6 +755,7 @@ mod tests {
             assert!(t0.is_some());
             w.inference_end(t0);
             w.record_arena(2, 1);
+            w.record_convergence(4, 10);
         }
         probe.record_requeue();
         probe.record_worker_retirement();
@@ -714,6 +770,11 @@ mod tests {
         assert_eq!(snap.mean_fsync_us(), 1.0);
         assert_eq!(snap.latency_buckets.iter().sum::<u64>(), 4);
         assert!(snap.latency_quantile_us(0.99) > 0.0);
+        assert_eq!(snap.converged, 4);
+        assert_eq!(snap.nodes_skipped, 40);
+        // Depth 4 lands in log2 bucket 3 ([4, 8)).
+        assert_eq!(snap.convergence_buckets[3], 4);
+        assert_eq!(snap.convergence_buckets.iter().sum::<u64>(), 4);
     }
 
     #[test]

@@ -218,6 +218,12 @@ pub struct StratumTrace {
     pub lowering_hits: u64,
     /// Lowering-cache misses reported by `stratum_end`.
     pub lowering_misses: u64,
+    /// Faults with a golden-convergence early exit (0 for streams written
+    /// before the field existed).
+    pub converged: u64,
+    /// Graph nodes skipped by golden-convergence early exits (0 for older
+    /// streams).
+    pub nodes_skipped: u64,
     /// Stratum wall time in milliseconds.
     pub wall_ms: f64,
 }
@@ -255,6 +261,10 @@ pub struct MetricsLine {
     pub arena_takes: u64,
     /// Arena requests served without allocating.
     pub arena_reuses: u64,
+    /// Inferences that golden-converged early (0 for older streams).
+    pub converged: u64,
+    /// Graph nodes skipped by early exits (0 for older streams).
+    pub nodes_skipped: u64,
 }
 
 /// Campaign-level totals from `campaign_end`.
@@ -384,6 +394,11 @@ pub fn summarize(text: &str) -> Result<TraceSummary, String> {
                 entry.failures = need_u64(&fields, "failures").map_err(at)?;
                 entry.lowering_hits = need_u64(&fields, "lowering_hits").map_err(at)?;
                 entry.lowering_misses = need_u64(&fields, "lowering_misses").map_err(at)?;
+                // Convergence fields are optional: streams written before
+                // the early-exit engine existed lack them.
+                entry.converged = field(&fields, "converged").and_then(Value::as_u64).unwrap_or(0);
+                entry.nodes_skipped =
+                    field(&fields, "nodes_skipped").and_then(Value::as_u64).unwrap_or(0);
                 entry.wall_ms = need_f64(&fields, "wall_ms").map_err(at)?;
             }
             "resume" => {
@@ -420,6 +435,10 @@ pub fn summarize(text: &str) -> Result<TraceSummary, String> {
                     mean_fsync_us: need_f64(&fields, "mean_fsync_us").map_err(at)?,
                     arena_takes: need_u64(&fields, "arena_takes").map_err(at)?,
                     arena_reuses: need_u64(&fields, "arena_reuses").map_err(at)?,
+                    converged: field(&fields, "converged").and_then(Value::as_u64).unwrap_or(0),
+                    nodes_skipped: field(&fields, "nodes_skipped")
+                        .and_then(Value::as_u64)
+                        .unwrap_or(0),
                 });
             }
             other => return Err(at(format!("unknown event kind `{other}`"))),
@@ -482,6 +501,9 @@ mod tests {
         assert_eq!(s.strata[0].label, "L0");
         assert_eq!(s.strata[0].fault_events, 2);
         assert_eq!(s.strata[0].injections, 3);
+        // Old-format stratum_end lines (no convergence fields) parse as 0.
+        assert_eq!(s.strata[0].converged, 0);
+        assert_eq!(s.strata[0].nodes_skipped, 0);
         assert_eq!(s.lowering_hit_rate(), Some(0.8));
         assert_eq!(s.phases.len(), 1);
         assert_eq!(s.phases[0].busy_ms, Some(1.5));

@@ -439,32 +439,7 @@ pub fn conv2d_from_lowered(
     mut arena: Option<&mut ScratchArena>,
 ) -> Result<Tensor, TensorError> {
     const OP: &str = "conv2d_from_lowered";
-    let ws = weight.shape();
-    if ws.rank() != 4 {
-        return Err(TensorError::RankMismatch { op: OP, expected: 4, actual: ws.rank() });
-    }
-    if ws.n() != lowered.c_out
-        || ws.c() != lowered.c_in_per_group
-        || ws.h() != lowered.k_h
-        || ws.w() != lowered.k_w
-    {
-        return Err(TensorError::InvalidConfig {
-            op: OP,
-            reason: format!(
-                "weight {ws} does not match panels lowered for [{}, {}, {}, {}]",
-                lowered.c_out, lowered.c_in_per_group, lowered.k_h, lowered.k_w
-            ),
-        });
-    }
-    if let Some(b) = bias {
-        if b.shape() != Shape::new(&[lowered.c_out]) {
-            return Err(TensorError::ShapeMismatch {
-                op: OP,
-                lhs: b.shape(),
-                rhs: Shape::new(&[lowered.c_out]),
-            });
-        }
-    }
+    validate_lowered(OP, lowered, weight, bias)?;
     let (k_len, spatial) = (lowered.k_len, lowered.spatial);
     let c_out_per_group = lowered.c_out / lowered.groups;
     let out_len = lowered.batch * lowered.c_out * spatial;
@@ -501,6 +476,98 @@ pub fn conv2d_from_lowered(
     }
     Ok(Tensor::from_vec([lowered.batch, lowered.c_out, lowered.h_out, lowered.w_out], out_data)
         .expect("output length follows from lowered dims"))
+}
+
+/// Weight/bias validation shared by the from-lowered entry points.
+fn validate_lowered(
+    op: &'static str,
+    lowered: &LoweredConv,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+) -> Result<(), TensorError> {
+    let ws = weight.shape();
+    if ws.rank() != 4 {
+        return Err(TensorError::RankMismatch { op, expected: 4, actual: ws.rank() });
+    }
+    if ws.n() != lowered.c_out
+        || ws.c() != lowered.c_in_per_group
+        || ws.h() != lowered.k_h
+        || ws.w() != lowered.k_w
+    {
+        return Err(TensorError::InvalidConfig {
+            op,
+            reason: format!(
+                "weight {ws} does not match panels lowered for [{}, {}, {}, {}]",
+                lowered.c_out, lowered.c_in_per_group, lowered.k_h, lowered.k_w
+            ),
+        });
+    }
+    if let Some(b) = bias {
+        if b.shape() != Shape::new(&[lowered.c_out]) {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: b.shape(),
+                rhs: Shape::new(&[lowered.c_out]),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// One output channel of [`conv2d_from_lowered`], bit-identically: the
+/// single GEMM row `channel` over each image's panel plus that channel's
+/// bias term. Returns `batch * spatial` values laid out `[batch][spatial]`
+/// (drawn from `arena` when one is supplied — recycle the buffer when
+/// done).
+///
+/// This is the kernel behind the campaign's *single-channel convergence
+/// probe*: a weight fault in a conv layer can only reach output channel
+/// `weight_index / (c_in_per_group * k_h * k_w)`; every other channel is a
+/// deterministic recomputation from golden inputs and golden weight rows,
+/// so probing the one reachable channel decides whole-node convergence at
+/// `~1/c_out` of the node's GEMM cost. Bit identity with the full kernel
+/// holds because every GEMM kernel accumulates each output element one
+/// partial product at a time in increasing-`k` order (see
+/// [`gemm_blocked`](super::gemm_blocked)), so a lone row carries exactly
+/// the bits the full multiply would give it.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_from_lowered`], plus
+/// [`TensorError::InvalidConfig`] when `channel` is out of range.
+pub fn conv2d_channel_from_lowered(
+    lowered: &LoweredConv,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    channel: usize,
+    arena: Option<&mut ScratchArena>,
+) -> Result<Vec<f32>, TensorError> {
+    const OP: &str = "conv2d_channel_from_lowered";
+    validate_lowered(OP, lowered, weight, bias)?;
+    if channel >= lowered.c_out {
+        return Err(TensorError::InvalidConfig {
+            op: OP,
+            reason: format!("channel {channel} out of range for {} output channels", lowered.c_out),
+        });
+    }
+    let (k_len, spatial) = (lowered.k_len, lowered.spatial);
+    let c_out_per_group = lowered.c_out / lowered.groups;
+    let g = channel / c_out_per_group;
+    let w_row = &weight.as_slice()[channel * k_len..][..k_len];
+    let mut out = match arena {
+        Some(a) => a.take_zeroed(lowered.batch * spatial),
+        None => vec![0.0f32; lowered.batch * spatial],
+    };
+    for n in 0..lowered.batch {
+        gemm(1, k_len, spatial, w_row, lowered.panel(n, g), &mut out[n * spatial..][..spatial]);
+    }
+    if let Some(b) = bias {
+        let bv = b.as_slice()[channel];
+        for v in out.iter_mut() {
+            *v += bv;
+        }
+    }
+    Ok(out)
 }
 
 /// Lowers image `n`, group `g` of `in_data` into `cols` (`k_len x spatial`,
@@ -841,6 +908,48 @@ mod tests {
         let with_arena =
             conv2d_from_lowered(&lowered, &weight, Some(&bias), Some(&mut arena)).unwrap();
         assert_bits_equal(&plain, &with_arena, "lowered, arena");
+    }
+
+    #[test]
+    fn channel_from_lowered_matches_full_kernel() {
+        // Every channel of the single-row kernel must carry exactly the
+        // bits the full from-lowered conv gives it — grouped geometry,
+        // bias, and a NaN/Inf-corrupted weight row included.
+        let input = seq_tensor([2, 4, 7, 7]);
+        let mut weight = seq_tensor([6, 2, 3, 3]); // groups = 2
+        weight.as_mut_slice()[3] = f32::NAN;
+        weight.as_mut_slice()[20] = f32::INFINITY;
+        let bias = Tensor::from_fn([6], |i| i as f32 * 0.1);
+        let cfg = Conv2dCfg::same(2).with_groups(2);
+        let lowered = im2col_lower(&input, &weight, cfg).unwrap();
+        let full = conv2d_from_lowered(&lowered, &weight, Some(&bias), None).unwrap();
+        let shape = full.shape();
+        let dims = shape.dims();
+        let (batch, c_out) = (dims[0], dims[1]);
+        let spatial = dims[2] * dims[3];
+        let mut arena = ScratchArena::new();
+        for channel in 0..c_out {
+            let row = conv2d_channel_from_lowered(
+                &lowered,
+                &weight,
+                Some(&bias),
+                channel,
+                Some(&mut arena),
+            )
+            .unwrap();
+            assert_eq!(row.len(), batch * spatial);
+            for n in 0..batch {
+                let got = &row[n * spatial..][..spatial];
+                let want = &full.as_slice()[(n * c_out + channel) * spatial..][..spatial];
+                let same = got.iter().zip(want).all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "channel {channel}, image {n} diverges from the full kernel");
+            }
+            arena.recycle(row);
+        }
+        assert!(
+            conv2d_channel_from_lowered(&lowered, &weight, None, c_out, None).is_err(),
+            "out-of-range channel must be rejected"
+        );
     }
 
     #[test]

@@ -19,12 +19,6 @@ const PACK_THRESHOLD_BYTES: usize = 1 << 20;
 /// inside L1 while B's L1 miss count drops by `MR`x.
 const MR: usize = 4;
 
-/// Minimum `n` for [`gemm_rows`]: below this the inner loop is too short
-/// to amortise the per-row slice setup and the blocked interleaving beats
-/// nothing (measured 0.5x at `n = 64`), so narrow problems stay on the
-/// naive loop.
-const ROWS_MIN_N: usize = 256;
-
 /// Row-major matrix multiply: `c[m][n] += a[m][k] * b[k][n]`.
 ///
 /// `c` must be zero-initialised (or hold a partial accumulation the caller
@@ -100,15 +94,11 @@ pub fn gemm_blocked_with(
     packed: &mut Vec<f32>,
 ) {
     if k * n * std::mem::size_of::<f32>() <= PACK_THRESHOLD_BYTES {
-        // B fits in L2: packing would only add copies, but row-blocking
-        // still pays (each B row is reused across `MR` output rows while
-        // L1-hot).
-        assert_eq!(a.len(), m * k, "gemm: lhs length");
-        assert_eq!(b.len(), k * n, "gemm: rhs length");
-        assert_eq!(c.len(), m * n, "gemm: out length");
-        if n >= ROWS_MIN_N {
-            return gemm_rows(m, k, n, a, b, c);
-        }
+        // B fits in L2: the naive loop already streams it at cache speed,
+        // and both blocked variants lose to it here — packing adds copies,
+        // and the row-blocked interleaving measured 0.74-0.87x across the
+        // ResNet-20 im2col shapes with an L2-resident B (see the `kernels`
+        // bench). Small-B problems go straight to the naive kernel.
         return gemm(m, k, n, a, b, c);
     }
     gemm_packed(m, k, n, a, b, c, packed);
@@ -124,7 +114,20 @@ pub fn gemm_blocked_with(
 /// textual copy of [`gemm`]'s so the compiler emits the same per-element
 /// arithmetic (the `kernel_bitident` proptests pin this down, NaN/Inf
 /// payloads included).
-fn gemm_rows(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+///
+/// Not currently selected by [`gemm_blocked`]'s dispatch: with B resident
+/// in L2 it measured consistently *slower* than the naive loop on the
+/// ResNet-20 im2col shapes (0.74-0.87x), so the heuristic routes small-B
+/// problems to [`gemm`] instead. The kernel stays public so the trade-off
+/// remains measurable if cache geometries shift.
+///
+/// # Panics
+///
+/// Same length checks as [`gemm`].
+pub fn gemm_rows(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm: lhs length");
+    assert_eq!(b.len(), k * n, "gemm: rhs length");
+    assert_eq!(c.len(), m * n, "gemm: out length");
     for mi0 in (0..m).step_by(MR) {
         let m_hi = (mi0 + MR).min(m);
         for ki in 0..k {
@@ -296,9 +299,9 @@ mod tests {
 
     #[test]
     fn rows_matches_naive_bitwise_including_nan_inf() {
-        // Wide enough that gemm_blocked would route here (n >= ROWS_MIN_N),
-        // but called directly so the coverage does not depend on the
-        // dispatch heuristic. Row counts straddle the MR boundary.
+        // Called directly — the dispatch heuristic never selects this
+        // kernel — so the bit-identity guarantee holds if it ever returns
+        // to the hot path. Row counts straddle the MR boundary.
         for &(m, k, n) in &[(1usize, 7usize, 300usize), (MR, 33, 256), (MR * 2 + 3, 40, 300)] {
             let a = fill(m * k, 11);
             let mut b = fill(k * n, 12);

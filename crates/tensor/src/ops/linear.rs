@@ -82,6 +82,77 @@ pub fn linear(
     Ok(out)
 }
 
+/// One output feature of [`linear`], bit-identically: the single
+/// dot-product row `row` per batch image plus that row's bias term.
+/// Returns `batch` values.
+///
+/// The fully-connected counterpart of the single-channel convergence probe
+/// (see `conv2d_channel_from_lowered`): a fault in `weight[row, :]` or
+/// `bias[row]` can only reach this output feature, and the per-element
+/// accumulation order of the lone GEMM row matches the full kernel's, so
+/// the values carry exactly the bits [`linear`] would produce for them.
+///
+/// # Errors
+///
+/// Same conditions as [`linear`], plus [`TensorError::InvalidConfig`] when
+/// `row` is out of range.
+pub fn linear_row(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    row: usize,
+) -> Result<Vec<f32>, TensorError> {
+    const OP: &str = "linear_row";
+    if input.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: OP,
+            expected: 2,
+            actual: input.shape().rank(),
+        });
+    }
+    if weight.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: OP,
+            expected: 2,
+            actual: weight.shape().rank(),
+        });
+    }
+    let batch = input.shape().dims()[0];
+    let in_features = input.shape().dims()[1];
+    let out_features = weight.shape().dims()[0];
+    if weight.shape().dims()[1] != in_features {
+        return Err(TensorError::ShapeMismatch { op: OP, lhs: input.shape(), rhs: weight.shape() });
+    }
+    if let Some(b) = bias {
+        if b.shape() != Shape::new(&[out_features]) {
+            return Err(TensorError::ShapeMismatch {
+                op: OP,
+                lhs: b.shape(),
+                rhs: Shape::new(&[out_features]),
+            });
+        }
+    }
+    if row >= out_features {
+        return Err(TensorError::InvalidConfig {
+            op: OP,
+            reason: format!("row {row} out of range for {out_features} output features"),
+        });
+    }
+    let w_row = &weight.as_slice()[row * in_features..(row + 1) * in_features];
+    let mut out = vec![0.0f32; batch];
+    for b in 0..batch {
+        let x_row = &input.as_slice()[b * in_features..(b + 1) * in_features];
+        gemm(1, in_features, 1, w_row, x_row, &mut out[b..b + 1]);
+    }
+    if let Some(bias) = bias {
+        let bv = bias.as_slice()[row];
+        for v in out.iter_mut() {
+            *v += bv;
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,6 +166,25 @@ mod tests {
         // row 0: [1*1+2*3, 1*4+2*6] + bias = [7.5, 15.5]
         // row 1: [2, 5] + bias = [2.5, 4.5]
         assert_eq!(y.as_slice(), &[7.5, 15.5, 2.5, 4.5]);
+    }
+
+    #[test]
+    fn row_matches_full_kernel() {
+        let x = Tensor::from_fn([3, 5], |i| (i as f32).sin());
+        let mut w = Tensor::from_fn([4, 5], |i| (i as f32 * 0.7).cos());
+        w.as_mut_slice()[7] = f32::NAN;
+        w.as_mut_slice()[11] = f32::NEG_INFINITY;
+        let b = Tensor::from_fn([4], |i| i as f32 * 0.3 - 0.5);
+        let full = linear(&x, &w, Some(&b)).unwrap();
+        for row in 0..4 {
+            let vals = linear_row(&x, &w, Some(&b), row).unwrap();
+            assert_eq!(vals.len(), 3);
+            for (batch, v) in vals.iter().enumerate() {
+                let want = full.as_slice()[batch * 4 + row];
+                assert_eq!(v.to_bits(), want.to_bits(), "row {row}, image {batch}");
+            }
+        }
+        assert!(linear_row(&x, &w, Some(&b), 4).is_err(), "out-of-range row must be rejected");
     }
 
     #[test]

@@ -179,6 +179,20 @@ impl Tensor {
         Some(best)
     }
 
+    /// Whether `other` holds the exact same shape and bit pattern.
+    ///
+    /// Elements are compared as raw `u32` bit images ([`f32::to_bits`]),
+    /// short-circuiting on the first mismatch. This is *stricter* than
+    /// `==` on floats: NaNs compare equal only when their payloads match,
+    /// and `0.0` differs from `-0.0`. Bitwise equality of an activation
+    /// therefore guarantees that any deterministic computation downstream
+    /// of it produces bit-identical results — the soundness basis of the
+    /// golden-convergence early exit.
+    pub fn bits_equal(&self, other: &Tensor) -> bool {
+        self.shape == other.shape
+            && self.data.iter().zip(&other.data).all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
     /// Maximum absolute difference against another tensor of the same shape.
     ///
     /// # Errors
@@ -292,6 +306,24 @@ mod tests {
         assert_eq!(a.max_abs_diff(&b).unwrap(), 2.0);
         let c = Tensor::zeros([2]);
         assert!(a.max_abs_diff(&c).is_err());
+    }
+
+    #[test]
+    fn bits_equal_is_exact() {
+        let a = Tensor::from_vec([3], vec![1.0, -0.0, 2.5]).unwrap();
+        assert!(a.bits_equal(&a.clone()));
+        // Plain float equality would accept 0.0 == -0.0; bits do not.
+        let signed_zero = Tensor::from_vec([3], vec![1.0, 0.0, 2.5]).unwrap();
+        assert!(!a.bits_equal(&signed_zero));
+        // NaNs with the same payload are bit-equal even though NaN != NaN.
+        let nan = Tensor::from_vec([2], vec![f32::NAN, 1.0]).unwrap();
+        assert!(nan.bits_equal(&nan.clone()));
+        let other_nan =
+            Tensor::from_vec([2], vec![f32::from_bits(f32::NAN.to_bits() ^ 1), 1.0]).unwrap();
+        assert!(!nan.bits_equal(&other_nan));
+        // Shape participates in equality.
+        let flat = Tensor::from_vec([3, 1], vec![1.0, -0.0, 2.5]).unwrap();
+        assert!(!a.bits_equal(&flat));
     }
 
     #[test]

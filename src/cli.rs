@@ -194,6 +194,11 @@ pub struct CliOptions {
     /// (`run`). On by default; `--no-lowering-cache` disables it to trade
     /// speed for memory. Classifications are identical either way.
     pub lowering_cache: bool,
+    /// Stop each faulty forward pass as soon as the activation wavefront
+    /// is provably back to golden (`run`). On by default;
+    /// `--no-early-exit` disables it. Classifications and inference counts
+    /// are identical either way.
+    pub early_exit: bool,
     /// JSONL trace destination for `run` (enables tracing), or the trace
     /// to summarize for `trace report`.
     pub trace_out: Option<String>,
@@ -218,6 +223,7 @@ impl Default for CliOptions {
             resume: false,
             checkpoint_every: 64,
             lowering_cache: true,
+            early_exit: true,
             trace_out: None,
             trace_level: None,
         }
@@ -255,6 +261,9 @@ OPTIONS:
     --checkpoint-every <n>    fsync the journal every n classifications (default 64)
     --no-lowering-cache       skip precomputing im2col lowerings of golden conv
                               inputs (run); slower but lighter on memory
+    --no-early-exit           always run faulty forward passes to the logits
+                              instead of stopping once the activations are
+                              provably golden again (run); slower, same results
     --trace-out <file>        write a JSONL event trace of the campaign (run);
                               summarize it later with `sfi trace report <file>`
     --trace-level <off|spans|events>
@@ -354,6 +363,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, ParseCliError> {
             }
             "--resume" => opts.resume = true,
             "--no-lowering-cache" => opts.lowering_cache = false,
+            "--no-early-exit" => opts.early_exit = false,
             "--trace-out" => {
                 let v = value()?;
                 if v.is_empty() {
@@ -510,7 +520,11 @@ pub fn run(
                 group_digits((golden.memory_bytes() - golden.lowering_bytes()) as u64),
                 group_digits(golden.lowering_bytes() as u64),
             )?;
-            let cfg = CampaignConfig { workers: opts.workers, ..CampaignConfig::default() };
+            let cfg = CampaignConfig {
+                workers: opts.workers,
+                convergence: opts.early_exit,
+                ..CampaignConfig::default()
+            };
             // Throttle stderr updates to ~100 over the whole plan.
             let report_progress = opts.progress;
             let mut progress = |p: PlanProgress| {
@@ -1113,6 +1127,41 @@ mod tests {
         assert!(text.contains("lowering-cache bytes"));
         let text = String::from_utf8(uncached).unwrap();
         assert!(text.contains("+ 0 lowering-cache bytes"), "{text}");
+    }
+
+    #[test]
+    fn parse_no_early_exit() {
+        let o = parse(&args("run --no-early-exit")).unwrap();
+        assert!(!o.early_exit);
+        assert!(parse(&args("run")).unwrap().early_exit, "early exit is on by default");
+    }
+
+    #[test]
+    fn early_exit_does_not_change_estimates() {
+        let base =
+            parse(&args("run --model resnet20-micro --scheme network-wise --error 0.2 --images 2"))
+                .unwrap();
+        let mut fast = Vec::new();
+        run(&base, &mut fast).unwrap();
+        let mut plain = Vec::new();
+        run(&CliOptions { early_exit: false, ..base }, &mut plain).unwrap();
+        // Only wall-clock lines may differ; every estimate matches exactly.
+        let strip = |b: &[u8]| {
+            String::from_utf8(b.to_vec())
+                .unwrap()
+                .lines()
+                .filter(|l| !l.contains("..."))
+                .map(|l| {
+                    if l.starts_with("network:") {
+                        l.rsplit_once(", ").map(|(a, _)| a.to_string()).unwrap_or_default()
+                    } else {
+                        l.to_string()
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&fast), strip(&plain));
     }
 
     #[test]
