@@ -390,6 +390,9 @@ pub fn execute_plan_checkpointed_traced<C: Corruption>(
                                 lowering_misses: tel.lowering_misses,
                                 converged: tel.converged,
                                 nodes_skipped: tel.nodes_skipped,
+                                delta_sparse: tel.delta_sparse_nodes,
+                                delta_fallbacks: tel.delta_fallbacks,
+                                delta_dirty_blocks: tel.delta_dirty_blocks,
                                 wall_ms: tel.wall.as_secs_f64() * 1e3,
                             });
                         }
@@ -450,18 +453,28 @@ pub fn execute_plan_checkpointed_traced<C: Corruption>(
         // Fast-path counters describe only the fresh session's work;
         // journal-resumed faults carry no cache, arena, or convergence
         // telemetry — the journal stores classifications, not exit depths.
-        let (lowering_hits, lowering_misses, arena_peak_bytes, converged, nodes_skipped) = fresh
-            .as_ref()
-            .map(|r| {
-                (
-                    r.lowering_hits,
-                    r.lowering_misses,
-                    r.arena_peak_bytes,
-                    r.converged,
-                    r.nodes_skipped,
-                )
-            })
-            .unwrap_or((0, 0, 0, 0, 0));
+        let session_counters = fresh.as_ref().map(|r| {
+            (
+                r.lowering_hits,
+                r.lowering_misses,
+                r.arena_peak_bytes,
+                r.converged,
+                r.nodes_skipped,
+                r.delta_sparse_nodes,
+                r.delta_fallbacks,
+                r.delta_dirty_blocks,
+            )
+        });
+        let (
+            lowering_hits,
+            lowering_misses,
+            arena_peak_bytes,
+            converged,
+            nodes_skipped,
+            delta_sparse_nodes,
+            delta_fallbacks,
+            delta_dirty_blocks,
+        ) = session_counters.unwrap_or((0, 0, 0, 0, 0, 0, 0, 0));
         results.push(CampaignResult {
             injections: faults.len() as u64,
             classes,
@@ -472,6 +485,9 @@ pub fn execute_plan_checkpointed_traced<C: Corruption>(
             arena_peak_bytes,
             converged,
             nodes_skipped,
+            delta_sparse_nodes,
+            delta_fallbacks,
+            delta_dirty_blocks,
         });
     }
     let outcome = assemble_outcome(plan, space, &sampled, &results, start.elapsed());

@@ -253,6 +253,8 @@ pub fn telemetry_report_resumed(
         "low-miss".into(),
         "exit%".into(),
         "nodes-skipped".into(),
+        "delta-blocks".into(),
+        "fallbacks".into(),
         "arena [KiB]".into(),
         "wall [ms]".into(),
         "inf/s".into(),
@@ -278,6 +280,8 @@ pub fn telemetry_report_resumed(
             group_digits(tel.lowering_misses),
             percent(tel.converged as f64 / tel.injections as f64, 1),
             group_digits(tel.nodes_skipped),
+            group_digits(tel.delta_dirty_blocks),
+            group_digits(tel.delta_fallbacks),
             group_digits(tel.arena_peak_bytes / 1024),
             format!("{:.1}", tel.wall.as_secs_f64() * 1e3),
             format!("{:.0}", tel.inferences_per_second()),
@@ -307,6 +311,8 @@ pub fn telemetry_report_resumed(
             1,
         ),
         group_digits(outcome.stratum_telemetry().iter().map(|t| t.nodes_skipped).sum()),
+        group_digits(outcome.stratum_telemetry().iter().map(|t| t.delta_dirty_blocks).sum()),
+        group_digits(outcome.stratum_telemetry().iter().map(|t| t.delta_fallbacks).sum()),
         group_digits(arena_peak.unwrap_or(0) / 1024),
         format!("{:.1}", total_wall * 1e3),
         format!("{rate:.0}"),

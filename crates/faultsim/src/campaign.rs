@@ -123,11 +123,29 @@ pub struct CampaignConfig {
     /// like `workers` and `kernel`.
     #[serde(default = "default_convergence")]
     pub convergence: bool,
+    /// Sparse delta-propagation faulty inference: during incremental
+    /// fast-path re-execution, represent the faulty activation as golden +
+    /// delta and recompute only the dirty cone with order-exact sparse
+    /// kernels ([`sfi_nn::Model::forward_delta`]), falling back to the
+    /// dense kernel per node when the dirty region saturates. Takes
+    /// precedence over `convergence` when both are enabled (the delta pass
+    /// subsumes the convergence probe: an empty delta ⇔ converged).
+    /// Classifications and inference counts are bit-identical either way;
+    /// only the per-inference cost changes. Excluded from plan
+    /// fingerprints, like `workers`, `kernel` and `convergence`.
+    #[serde(default = "default_delta")]
+    pub delta: bool,
 }
 
 /// Serde default for [`CampaignConfig::convergence`]: configs written
 /// before the early-exit engine existed load with it enabled.
 fn default_convergence() -> bool {
+    true
+}
+
+/// Serde default for [`CampaignConfig::delta`]: configs written before the
+/// delta-propagation engine existed load with it enabled.
+fn default_delta() -> bool {
     true
 }
 
@@ -141,6 +159,7 @@ impl Default for CampaignConfig {
             max_fault_retries: 1,
             kernel: KernelPolicy::Fast,
             convergence: default_convergence(),
+            delta: default_delta(),
         }
     }
 }
@@ -177,6 +196,18 @@ pub struct CampaignResult {
     /// every converged image of every fault.
     #[serde(default)]
     pub nodes_skipped: u64,
+    /// Nodes recomputed through sparse delta (dirty-cone) kernels (0 with
+    /// [`CampaignConfig::delta`] disabled).
+    #[serde(default)]
+    pub delta_sparse_nodes: u64,
+    /// Delta nodes whose candidate dirty region saturated past the
+    /// threshold and fell back to the dense kernel.
+    #[serde(default)]
+    pub delta_fallbacks: u64,
+    /// Dirty spatial blocks summed over every delta pass's surviving node
+    /// masks — the total dirty-cone volume of the campaign.
+    #[serde(default)]
+    pub delta_dirty_blocks: u64,
 }
 
 impl CampaignResult {
@@ -331,6 +362,9 @@ pub fn run_campaign_static<C: Corruption>(
             merged.arena_peak = merged.arena_peak.max(shard.arena_peak);
             merged.converged += shard.converged;
             merged.nodes_skipped += shard.nodes_skipped;
+            merged.delta_sparse_nodes += shard.delta_sparse_nodes;
+            merged.delta_fallbacks += shard.delta_fallbacks;
+            merged.delta_dirty_blocks += shard.delta_dirty_blocks;
         }
         merged
     };
@@ -344,6 +378,9 @@ pub fn run_campaign_static<C: Corruption>(
         arena_peak_bytes: shard_out.arena_peak,
         converged: shard_out.converged,
         nodes_skipped: shard_out.nodes_skipped,
+        delta_sparse_nodes: shard_out.delta_sparse_nodes,
+        delta_fallbacks: shard_out.delta_fallbacks,
+        delta_dirty_blocks: shard_out.delta_dirty_blocks,
     })
 }
 
@@ -355,6 +392,9 @@ struct ShardOutcome {
     arena_peak: u64,
     converged: u64,
     nodes_skipped: u64,
+    delta_sparse_nodes: u64,
+    delta_fallbacks: u64,
+    delta_dirty_blocks: u64,
 }
 
 /// Processes a contiguous shard of faults on one worker-local model,
@@ -388,6 +428,9 @@ fn run_shard<C: Corruption>(
         out.inferences += item.inferences;
         out.converged += u64::from(item.converged_images > 0);
         out.nodes_skipped += item.nodes_skipped;
+        out.delta_sparse_nodes += item.delta_sparse_nodes;
+        out.delta_fallbacks += item.delta_fallbacks;
+        out.delta_dirty_blocks += item.delta_dirty_blocks;
     }
     out.arena_peak = arena.peak_bytes() as u64;
     Ok(out)

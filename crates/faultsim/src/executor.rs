@@ -81,7 +81,7 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use sfi_dataset::Dataset;
-use sfi_nn::{ForwardOptions, ForwardOutcome, KernelPolicy, Model};
+use sfi_nn::{DeltaOptions, ForwardOptions, ForwardOutcome, KernelPolicy, Model};
 use sfi_obs::{Probe, WorkerProbe};
 use sfi_tensor::ScratchArena;
 
@@ -166,6 +166,15 @@ pub struct CampaignTelemetry {
     /// Graph nodes skipped by golden-convergence early exits.
     #[serde(default)]
     pub nodes_skipped: u64,
+    /// Nodes recomputed through sparse delta (dirty-cone) kernels.
+    #[serde(default)]
+    pub delta_sparse_nodes: u64,
+    /// Delta nodes that saturated and fell back to the dense kernel.
+    #[serde(default)]
+    pub delta_fallbacks: u64,
+    /// Dirty spatial blocks summed over every delta pass's node masks.
+    #[serde(default)]
+    pub delta_dirty_blocks: u64,
 }
 
 impl CampaignTelemetry {
@@ -185,6 +194,9 @@ impl CampaignTelemetry {
             arena_peak_bytes: result.arena_peak_bytes,
             converged: result.converged,
             nodes_skipped: result.nodes_skipped,
+            delta_sparse_nodes: result.delta_sparse_nodes,
+            delta_fallbacks: result.delta_fallbacks,
+            delta_dirty_blocks: result.delta_dirty_blocks,
         }
     }
 
@@ -498,6 +510,9 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
         let mut inferences = 0u64;
         let mut converged = 0u64;
         let mut nodes_skipped = 0u64;
+        let mut delta_sparse_nodes = 0u64;
+        let mut delta_fallbacks = 0u64;
+        let mut delta_dirty_blocks = 0u64;
         let data = self.data;
         let golden = self.golden;
         let cfg = self.cfg;
@@ -533,9 +548,7 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
                                 if attempts >= cfg.max_fault_retries {
                                     break FaultOutcome {
                                         class: FaultClass::ExecutionFailure,
-                                        inferences: 0,
-                                        converged_images: 0,
-                                        nodes_skipped: 0,
+                                        ..FaultOutcome::masked()
                                     };
                                 }
                                 attempts += 1;
@@ -546,6 +559,9 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
                     inferences += item.inferences;
                     converged += u64::from(item.converged_images > 0);
                     nodes_skipped += item.nodes_skipped;
+                    delta_sparse_nodes += item.delta_sparse_nodes;
+                    delta_fallbacks += item.delta_fallbacks;
+                    delta_dirty_blocks += item.delta_dirty_blocks;
                     slots[fi] = Some(item.class);
                     on_classified(fi, item.class, item.inferences);
                     progress(CampaignProgress { completed: done as u64 + 1, total, inferences });
@@ -613,6 +629,9 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
                                     inferences += item.inferences;
                                     converged += u64::from(item.converged_images > 0);
                                     nodes_skipped += item.nodes_skipped;
+                                    delta_sparse_nodes += item.delta_sparse_nodes;
+                                    delta_fallbacks += item.delta_fallbacks;
+                                    delta_dirty_blocks += item.delta_dirty_blocks;
                                     slots[fi] = Some(item.class);
                                     filled += 1;
                                     classified += 1;
@@ -695,18 +714,22 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
             arena_peak_bytes: self.stats.arena_peak.load(Ordering::Relaxed),
             converged,
             nodes_skipped,
+            delta_sparse_nodes,
+            delta_fallbacks,
+            delta_dirty_blocks,
         })
     }
 
     /// The order faults are *executed* in (indices into the caller's
-    /// slice). Identity unless convergence is enabled: with the early exit
-    /// active, faults in deeper layers have shorter suffixes, so draining
-    /// them first shrinks the straggler tail of a work-stealing batch. The
-    /// sort is stable, and results/errors always surface in the caller's
-    /// fault order regardless of this permutation.
+    /// slice). Identity unless convergence or delta propagation is
+    /// enabled: with either early exit active, faults in deeper layers
+    /// have shorter suffixes, so draining them first shrinks the straggler
+    /// tail of a work-stealing batch. The sort is stable, and
+    /// results/errors always surface in the caller's fault order
+    /// regardless of this permutation.
     fn execution_order(&self, faults: &[Fault]) -> Vec<usize> {
         let mut order: Vec<usize> = (0..faults.len()).collect();
-        if !self.cfg.convergence {
+        if !(self.cfg.convergence || self.cfg.delta) {
             return order;
         }
         let layers = self.model.weight_layers();
@@ -778,11 +801,25 @@ pub(crate) struct FaultOutcome {
     pub converged_images: u64,
     /// Graph nodes skipped by convergence early exits, over all images.
     pub nodes_skipped: u64,
+    /// Nodes recomputed through sparse delta kernels, over all images.
+    pub delta_sparse_nodes: u64,
+    /// Delta nodes that saturated and fell back to the dense kernel.
+    pub delta_fallbacks: u64,
+    /// Dirty blocks summed over every image's surviving node masks.
+    pub delta_dirty_blocks: u64,
 }
 
 impl FaultOutcome {
     fn masked() -> Self {
-        Self { class: FaultClass::Masked, inferences: 0, converged_images: 0, nodes_skipped: 0 }
+        Self {
+            class: FaultClass::Masked,
+            inferences: 0,
+            converged_images: 0,
+            nodes_skipped: 0,
+            delta_sparse_nodes: 0,
+            delta_fallbacks: 0,
+            delta_dirty_blocks: 0,
+        }
     }
 }
 
@@ -828,10 +865,11 @@ pub(crate) fn classify_one<C: Corruption>(
     }
     let fast = cfg.kernel == KernelPolicy::Fast;
     // The one output unit (conv out-channel / fc out-feature) the fault
-    // can reach: arms the single-unit convergence probe, which decides
-    // whole-node convergence from one GEMM row instead of re-running the
-    // faulted layer in full.
-    let dirty_unit = if cfg.convergence && cfg.incremental && fast {
+    // can reach: arms the single-unit convergence/delta seed probe, which
+    // decides whole-node convergence (or seeds the delta mask) from one
+    // GEMM row instead of re-running the faulted layer in full.
+    let use_delta = cfg.delta && cfg.incremental && fast;
+    let dirty_unit = if (cfg.convergence || cfg.delta) && cfg.incremental && fast {
         model.param_output_unit(injection.param, injection.index)
     } else {
         None
@@ -840,6 +878,9 @@ pub(crate) fn classify_one<C: Corruption>(
     let mut inferences = 0u64;
     let mut converged_images = 0u64;
     let mut nodes_skipped = 0u64;
+    let mut delta_sparse_nodes = 0u64;
+    let mut delta_fallbacks = 0u64;
+    let mut delta_dirty_blocks = 0u64;
     let mut mismatches = 0usize;
     let mut failed = false;
     let mut outcome: Result<(), FaultSimError> = Ok(());
@@ -849,35 +890,80 @@ pub(crate) fn classify_one<C: Corruption>(
             (true, true) => {
                 let lowered =
                     golden.lowering(injection.dirty_node, idx).map(|l| (injection.dirty_node, l));
-                let mut opts = ForwardOptions {
-                    arena: Some(&mut *arena),
-                    lowered,
-                    dirty_unit,
-                    ..Default::default()
-                };
-                if cfg.convergence {
-                    match model.forward_from_converging(
-                        injection.dirty_node,
-                        golden.cache(idx),
-                        &mut opts,
-                    ) {
-                        Ok(ForwardOutcome::Logits(l)) => Ok(l),
-                        Ok(ForwardOutcome::Converged { at_node }) => {
-                            // The image's prediction provably equals the
-                            // golden one: count the inference, never the
-                            // mismatch, and move to the next image.
-                            wprobe.inference_end(timer);
-                            inferences += 1;
-                            converged_images += 1;
-                            let skipped = (total_nodes - 1 - at_node) as u64;
-                            nodes_skipped += skipped;
-                            wprobe.record_convergence(at_node + 1 - injection.dirty_node, skipped);
-                            continue;
+                if use_delta {
+                    // Delta propagation subsumes the convergence probe: the
+                    // delta pass converges exactly when every surviving
+                    // mask has been consumed empty.
+                    let mut dopts = DeltaOptions {
+                        arena: Some(&mut *arena),
+                        lowered,
+                        dirty_unit,
+                        ..Default::default()
+                    };
+                    match model.forward_delta(injection.dirty_node, golden.cache(idx), &mut dopts) {
+                        Ok((out, stats)) => {
+                            delta_sparse_nodes += stats.sparse_nodes;
+                            delta_fallbacks += stats.dense_nodes;
+                            delta_dirty_blocks += stats.dirty_blocks;
+                            wprobe.record_delta(
+                                stats.sparse_nodes,
+                                stats.dense_nodes,
+                                stats.dirty_blocks,
+                            );
+                            match out {
+                                ForwardOutcome::Logits(l) => Ok(l),
+                                ForwardOutcome::Converged { at_node } => {
+                                    // The image's prediction provably
+                                    // equals the golden one.
+                                    wprobe.inference_end(timer);
+                                    inferences += 1;
+                                    converged_images += 1;
+                                    let skipped = (total_nodes - 1 - at_node) as u64;
+                                    nodes_skipped += skipped;
+                                    wprobe.record_convergence(
+                                        at_node + 1 - injection.dirty_node,
+                                        skipped,
+                                    );
+                                    continue;
+                                }
+                            }
                         }
                         Err(e) => Err(e),
                     }
                 } else {
-                    model.forward_from_with(injection.dirty_node, golden.cache(idx), &mut opts)
+                    let mut opts = ForwardOptions {
+                        arena: Some(&mut *arena),
+                        lowered,
+                        dirty_unit,
+                        ..Default::default()
+                    };
+                    if cfg.convergence {
+                        match model.forward_from_converging(
+                            injection.dirty_node,
+                            golden.cache(idx),
+                            &mut opts,
+                        ) {
+                            Ok(ForwardOutcome::Logits(l)) => Ok(l),
+                            Ok(ForwardOutcome::Converged { at_node }) => {
+                                // The image's prediction provably equals the
+                                // golden one: count the inference, never the
+                                // mismatch, and move to the next image.
+                                wprobe.inference_end(timer);
+                                inferences += 1;
+                                converged_images += 1;
+                                let skipped = (total_nodes - 1 - at_node) as u64;
+                                nodes_skipped += skipped;
+                                wprobe.record_convergence(
+                                    at_node + 1 - injection.dirty_node,
+                                    skipped,
+                                );
+                                continue;
+                            }
+                            Err(e) => Err(e),
+                        }
+                    } else {
+                        model.forward_from_with(injection.dirty_node, golden.cache(idx), &mut opts)
+                    }
                 }
             }
             (true, false) => model.forward_from_with(
@@ -923,7 +1009,15 @@ pub(crate) fn classify_one<C: Corruption>(
     } else {
         FaultClass::NonCritical
     };
-    Ok(FaultOutcome { class, inferences, converged_images, nodes_skipped })
+    Ok(FaultOutcome {
+        class,
+        inferences,
+        converged_images,
+        nodes_skipped,
+        delta_sparse_nodes,
+        delta_fallbacks,
+        delta_dirty_blocks,
+    })
 }
 
 /// Pool worker: drain tasks until the session's senders are dropped, steal

@@ -3,41 +3,20 @@
 //! criterion) — never of the schedule. Any worker count, scheduler, and
 //! re-execution strategy must produce identical `classes`.
 
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+#[path = "../../../tests/common/fixtures.rs"]
+mod fixtures;
 
+use fixtures::{campaign_world, micro_resnet, random_faults, unique_tmp_dir};
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-use sfi_dataset::SynthCifarConfig;
 use sfi_faultsim::campaign::{
     run_campaign, run_campaign_static, CampaignConfig, Ieee754Corruption,
 };
 use sfi_faultsim::executor::{with_executor, CancelToken};
 use sfi_faultsim::fault::Fault;
-use sfi_faultsim::golden::GoldenReference;
 use sfi_faultsim::journal::{recover, FaultId, JournalWriter};
 use sfi_faultsim::population::FaultSpace;
 use sfi_faultsim::FaultSimError;
-
-fn journal_dir() -> PathBuf {
-    static NEXT: AtomicUsize = AtomicUsize::new(0);
-    let n = NEXT.fetch_add(1, Ordering::Relaxed);
-    let dir =
-        std::env::temp_dir().join(format!("sfi-executor-determinism-{}-{n}", std::process::id()));
-    std::fs::remove_dir_all(&dir).ok();
-    dir
-}
-
-/// Draws `n` (possibly repeated) faults from the model's full stuck-at
-/// population — repeats are legal campaign inputs and must classify
-/// identically at each occurrence.
-fn random_faults(space: &FaultSpace, seed: u64, n: usize) -> Vec<Fault> {
-    let sub = space.network_subpopulation();
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| sub.fault_at(rng.gen_range(0..sub.size())).unwrap()).collect()
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
@@ -52,9 +31,8 @@ proptest! {
         incremental in any::<bool>(),
         early_exit in any::<bool>(),
     ) {
-        let model = sfi_nn::resnet::ResNetConfig::resnet20_micro().build_seeded(3).unwrap();
-        let data = SynthCifarConfig::new().with_size(16).with_samples(3).generate();
-        let golden = GoldenReference::build(&model, &data).unwrap();
+        let model = micro_resnet(3);
+        let (data, golden) = campaign_world(&model, 16, 3);
         let space = FaultSpace::stuck_at(&model);
         let faults = random_faults(&space, fault_seed, 16);
 
@@ -94,9 +72,8 @@ proptest! {
         fault_seed in 0u64..1_000_000,
         incremental in any::<bool>(),
     ) {
-        let model = sfi_nn::resnet::ResNetConfig::resnet20_micro().build_seeded(3).unwrap();
-        let data = SynthCifarConfig::new().with_size(16).with_samples(3).generate();
-        let golden_plain = GoldenReference::build(&model, &data).unwrap();
+        let model = micro_resnet(3);
+        let (data, golden_plain) = campaign_world(&model, 16, 3);
         let golden_lowered = golden_plain.clone().with_lowering(&model).unwrap();
         let space = FaultSpace::stuck_at(&model);
         let faults = random_faults(&space, fault_seed, 16);
@@ -142,9 +119,8 @@ proptest! {
         split in 1usize..23,
         workers in 1usize..5,
     ) {
-        let model = sfi_nn::resnet::ResNetConfig::resnet20_micro().build_seeded(3).unwrap();
-        let data = SynthCifarConfig::new().with_size(16).with_samples(2).generate();
-        let golden = GoldenReference::build(&model, &data).unwrap();
+        let model = micro_resnet(3);
+        let (data, golden) = campaign_world(&model, 16, 2);
         let space = FaultSpace::stuck_at(&model);
         let faults = random_faults(&space, fault_seed, 24);
         let cfg = CampaignConfig { workers, ..Default::default() };
@@ -170,9 +146,8 @@ proptest! {
         resume_idx in 0usize..4,
     ) {
         const WORKERS: [usize; 4] = [1, 2, 4, 8];
-        let model = sfi_nn::resnet::ResNetConfig::resnet20_micro().build_seeded(3).unwrap();
-        let data = SynthCifarConfig::new().with_size(16).with_samples(2).generate();
-        let golden = GoldenReference::build(&model, &data).unwrap();
+        let model = micro_resnet(3);
+        let (data, golden) = campaign_world(&model, 16, 2);
         let space = FaultSpace::stuck_at(&model);
         let faults = random_faults(&space, fault_seed, 16);
         let reference =
@@ -181,7 +156,7 @@ proptest! {
         // Session one: journal every classification, fire the token after
         // `stop_at` of them. Cancellation is cooperative, so a fast pool may
         // still complete every fault — both outcomes are legal.
-        let dir = journal_dir();
+        let dir = unique_tmp_dir("executor-determinism");
         let fingerprint = 0x5f1_u64 ^ fault_seed;
         let mut writer = JournalWriter::create(&dir, fingerprint, 8).unwrap();
         let token = CancelToken::new();

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod delta;
 mod error;
 mod model;
 mod node;
@@ -52,6 +53,7 @@ pub mod resnet;
 pub mod train;
 pub mod vgg;
 
+pub use delta::{DeltaOptions, DeltaStats, DELTA_SATURATION_DEFAULT};
 pub use error::NnError;
 pub use model::{ActivationCache, ForwardOptions, ForwardOutcome, KernelPolicy, LayerStats, Model};
 pub use node::{Node, NodeId, NodeOp};

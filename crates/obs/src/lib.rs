@@ -99,6 +99,12 @@ pub const LATENCY_BUCKETS: usize = 40;
 /// bucket absorbs any deeper suffix.
 pub const CONVERGENCE_BUCKETS: usize = 16;
 
+/// Number of log₂ buckets in the dirty-region histogram. Bucket `b` counts
+/// delta-propagation passes whose dirty cone spanned `[2^(b-1), 2^b)` dirty
+/// spatial blocks summed over every node mask; bucket 0 counts empty cones
+/// (masked faults) and the last bucket absorbs any larger cone.
+pub const DELTA_BUCKETS: usize = 32;
+
 const C_INFERENCES: usize = 0;
 const C_INFERENCE_NS: usize = 1;
 const C_REQUEUES: usize = 2;
@@ -109,7 +115,10 @@ const C_ARENA_TAKES: usize = 6;
 const C_ARENA_REUSES: usize = 7;
 const C_CONVERGED: usize = 8;
 const C_NODES_SKIPPED: usize = 9;
-const COUNTERS: usize = 10;
+const C_DELTA_SPARSE: usize = 10;
+const C_DELTA_FALLBACKS: usize = 11;
+const C_DELTA_DIRTY_BLOCKS: usize = 12;
+const COUNTERS: usize = 13;
 
 /// One worker's slice of the session metrics. All operations are relaxed
 /// atomics; totals are merged by [`Probe::snapshot`].
@@ -117,6 +126,7 @@ struct MetricShard {
     counters: [AtomicU64; COUNTERS],
     latency: [AtomicU64; LATENCY_BUCKETS],
     convergence: [AtomicU64; CONVERGENCE_BUCKETS],
+    delta: [AtomicU64; DELTA_BUCKETS],
 }
 
 impl MetricShard {
@@ -125,6 +135,7 @@ impl MetricShard {
             counters: [const { AtomicU64::new(0) }; COUNTERS],
             latency: [const { AtomicU64::new(0) }; LATENCY_BUCKETS],
             convergence: [const { AtomicU64::new(0) }; CONVERGENCE_BUCKETS],
+            delta: [const { AtomicU64::new(0) }; DELTA_BUCKETS],
         }
     }
 
@@ -148,6 +159,15 @@ fn convergence_bucket(nodes: u64) -> usize {
         0
     } else {
         (64 - nodes.leading_zeros() as usize).min(CONVERGENCE_BUCKETS - 1)
+    }
+}
+
+/// Histogram bucket for a dirty cone of `blocks` dirty spatial blocks.
+fn delta_bucket(blocks: u64) -> usize {
+    if blocks == 0 {
+        0
+    } else {
+        (64 - blocks.leading_zeros() as usize).min(DELTA_BUCKETS - 1)
     }
 }
 
@@ -175,11 +195,22 @@ pub struct MetricsSnapshot {
     pub converged: u64,
     /// Graph nodes skipped by golden-convergence early exits.
     pub nodes_skipped: u64,
+    /// Nodes recomputed through sparse delta (dirty-cone) kernels.
+    pub delta_sparse_nodes: u64,
+    /// Delta nodes that saturated past the threshold and fell back to the
+    /// dense kernel.
+    pub delta_fallbacks: u64,
+    /// Dirty spatial blocks summed over every delta pass's node masks (the
+    /// total dirty-cone volume).
+    pub delta_dirty_blocks: u64,
     /// log₂(ns) inference-latency histogram; see [`LATENCY_BUCKETS`].
     pub latency_buckets: [u64; LATENCY_BUCKETS],
     /// log₂(nodes) convergence-depth histogram; see
     /// [`CONVERGENCE_BUCKETS`].
     pub convergence_buckets: [u64; CONVERGENCE_BUCKETS],
+    /// log₂(blocks) dirty-cone-volume histogram, one entry per delta
+    /// inference; see [`DELTA_BUCKETS`].
+    pub delta_buckets: [u64; DELTA_BUCKETS],
 }
 
 impl MetricsSnapshot {
@@ -278,6 +309,12 @@ pub enum Event<'a> {
         converged: u64,
         /// Graph nodes skipped by golden-convergence early exits.
         nodes_skipped: u64,
+        /// Nodes recomputed through sparse delta kernels.
+        delta_sparse: u64,
+        /// Delta nodes that saturated and fell back to the dense kernel.
+        delta_fallbacks: u64,
+        /// Dirty spatial blocks summed over every delta pass's node masks.
+        delta_dirty_blocks: u64,
         /// Stratum wall-clock time in milliseconds.
         wall_ms: f64,
     },
@@ -373,13 +410,18 @@ impl Event<'_> {
                 lowering_misses,
                 converged,
                 nodes_skipped,
+                delta_sparse,
+                delta_fallbacks,
+                delta_dirty_blocks,
                 wall_ms,
             } => format!(
                 "\"stratum_end\",\"stratum\":{stratum},\"injections\":{injections},\
                  \"masked\":{masked},\"critical\":{critical},\"non_critical\":{non_critical},\
                  \"failures\":{failures},\"lowering_hits\":{lowering_hits},\
                  \"lowering_misses\":{lowering_misses},\"converged\":{converged},\
-                 \"nodes_skipped\":{nodes_skipped},\"wall_ms\":{wall_ms:.3}"
+                 \"nodes_skipped\":{nodes_skipped},\"delta_sparse\":{delta_sparse},\
+                 \"delta_fallbacks\":{delta_fallbacks},\
+                 \"delta_dirty_blocks\":{delta_dirty_blocks},\"wall_ms\":{wall_ms:.3}"
             ),
             Event::Resume { resumed, dropped } => {
                 format!("\"resume\",\"resumed\":{resumed},\"dropped\":{dropped}")
@@ -405,7 +447,8 @@ impl Event<'_> {
                 "\"metrics\",\"inferences\":{},\"mean_inference_us\":{:.3},\
                  \"p99_inference_us\":{:.3},\"requeues\":{},\"worker_retirements\":{},\
                  \"fsyncs\":{},\"mean_fsync_us\":{:.3},\"arena_takes\":{},\"arena_reuses\":{},\
-                 \"converged\":{},\"nodes_skipped\":{}",
+                 \"converged\":{},\"nodes_skipped\":{},\"delta_sparse_nodes\":{},\
+                 \"delta_fallbacks\":{},\"delta_dirty_blocks\":{}",
                 snapshot.inferences,
                 snapshot.mean_inference_us(),
                 snapshot.latency_quantile_us(0.99),
@@ -416,7 +459,10 @@ impl Event<'_> {
                 snapshot.arena_takes,
                 snapshot.arena_reuses,
                 snapshot.converged,
-                snapshot.nodes_skipped
+                snapshot.nodes_skipped,
+                snapshot.delta_sparse_nodes,
+                snapshot.delta_fallbacks,
+                snapshot.delta_dirty_blocks
             ),
         };
         format!("{head}{body}}}")
@@ -610,6 +656,7 @@ impl Probe {
         let mut totals = [0u64; COUNTERS];
         let mut latency = [0u64; LATENCY_BUCKETS];
         let mut convergence = [0u64; CONVERGENCE_BUCKETS];
+        let mut delta = [0u64; DELTA_BUCKETS];
         for shard in &self.shards {
             for (total, counter) in totals.iter_mut().zip(&shard.counters) {
                 *total += counter.load(Ordering::Relaxed);
@@ -618,6 +665,9 @@ impl Probe {
                 *total += bucket.load(Ordering::Relaxed);
             }
             for (total, bucket) in convergence.iter_mut().zip(&shard.convergence) {
+                *total += bucket.load(Ordering::Relaxed);
+            }
+            for (total, bucket) in delta.iter_mut().zip(&shard.delta) {
                 *total += bucket.load(Ordering::Relaxed);
             }
         }
@@ -632,8 +682,12 @@ impl Probe {
             arena_reuses: totals[C_ARENA_REUSES],
             converged: totals[C_CONVERGED],
             nodes_skipped: totals[C_NODES_SKIPPED],
+            delta_sparse_nodes: totals[C_DELTA_SPARSE],
+            delta_fallbacks: totals[C_DELTA_FALLBACKS],
+            delta_dirty_blocks: totals[C_DELTA_DIRTY_BLOCKS],
             latency_buckets: latency,
             convergence_buckets: convergence,
+            delta_buckets: delta,
         }
     }
 
@@ -709,6 +763,18 @@ impl WorkerProbe<'_> {
         shard.add(C_NODES_SKIPPED, skipped);
         shard.convergence[convergence_bucket(depth as u64)].fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Records one delta-propagation pass: `sparse` nodes recomputed
+    /// through the dirty-cone kernels, `fallbacks` saturated nodes
+    /// evaluated densely, and a cone of `dirty_blocks` total dirty blocks
+    /// (one dirty-region histogram entry per pass).
+    pub fn record_delta(&self, sparse: u64, fallbacks: u64, dirty_blocks: u64) {
+        let Some(shard) = self.shard else { return };
+        shard.add(C_DELTA_SPARSE, sparse);
+        shard.add(C_DELTA_FALLBACKS, fallbacks);
+        shard.add(C_DELTA_DIRTY_BLOCKS, dirty_blocks);
+        shard.delta[delta_bucket(dirty_blocks)].fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -725,6 +791,7 @@ mod tests {
         w.inference_end(None);
         w.record_arena(10, 5);
         w.record_convergence(3, 7);
+        w.record_delta(2, 1, 9);
         probe.record_requeue();
         probe.record_fsync(1, 100);
         probe.emit(&Event::CampaignStart { strata: 1, faults: 1, workers: 1 });
@@ -756,6 +823,7 @@ mod tests {
             w.inference_end(t0);
             w.record_arena(2, 1);
             w.record_convergence(4, 10);
+            w.record_delta(5, 1, 12);
         }
         probe.record_requeue();
         probe.record_worker_retirement();
@@ -775,6 +843,21 @@ mod tests {
         // Depth 4 lands in log2 bucket 3 ([4, 8)).
         assert_eq!(snap.convergence_buckets[3], 4);
         assert_eq!(snap.convergence_buckets.iter().sum::<u64>(), 4);
+        assert_eq!(snap.delta_sparse_nodes, 20);
+        assert_eq!(snap.delta_fallbacks, 4);
+        assert_eq!(snap.delta_dirty_blocks, 48);
+        // A 12-block cone lands in log2 bucket 4 ([8, 16)).
+        assert_eq!(snap.delta_buckets[4], 4);
+        assert_eq!(snap.delta_buckets.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn delta_buckets_are_log2() {
+        assert_eq!(delta_bucket(0), 0);
+        assert_eq!(delta_bucket(1), 1);
+        assert_eq!(delta_bucket(7), 3);
+        assert_eq!(delta_bucket(8), 4);
+        assert_eq!(delta_bucket(u64::MAX), DELTA_BUCKETS - 1);
     }
 
     #[test]

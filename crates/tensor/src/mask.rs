@@ -1,0 +1,403 @@
+//! Dirty-region masks for sparse delta propagation.
+//!
+//! A fault campaign represents a faulty activation as *golden + delta*: the
+//! full tensor is materialized, but a [`DirtyMask`] records which parts may
+//! differ bitwise from the golden activation. Delta-specialized kernels then
+//! recompute only the dirty cone and leave every clean element as a plain
+//! copy of golden — which is exact, because every clean element's dense
+//! recomputation would read only bit-golden inputs and therefore reproduce
+//! the golden bits.
+//!
+//! The mask is hierarchical in the sense the delta engine consumes it:
+//! per *plane* (one `(image, channel)` feature map), then per spatial block
+//! of [`DIRTY_BLOCK`] × [`DIRTY_BLOCK`] pixels. Rank-2 tensors (`[N, C]`
+//! after global pooling, logits) degrade to one 1×1 block per plane.
+
+use crate::{Shape, Tensor, TensorError};
+
+/// Edge length, in pixels, of one spatial dirty block.
+///
+/// Four is a compromise between mask resolution (a single faulted pixel
+/// dirties at most 4 neighbouring blocks after one 3×3 conv) and mask
+/// overhead (a 32×32 feature map costs 64 bits per plane).
+pub const DIRTY_BLOCK: usize = 4;
+
+/// A per-plane, per-spatial-block dirty-region mask over one activation
+/// tensor.
+///
+/// "Dirty" means *may differ bitwise from the golden activation*; clean
+/// blocks are guaranteed bit-golden. The mask is deliberately conservative:
+/// marking a clean block dirty costs only recomputation, while the reverse
+/// would be unsound.
+///
+/// # Example
+///
+/// ```
+/// use sfi_tensor::{DirtyMask, Shape};
+///
+/// let mut mask = DirtyMask::for_shape(Shape::new(&[1, 2, 8, 8])).unwrap();
+/// assert!(mask.is_empty());
+/// mask.mark_pixel(1, 3, 7);
+/// assert!(mask.block_is_dirty(1, 0, 1));
+/// assert_eq!(mask.dirty_blocks(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirtyMask {
+    /// Number of `(image, channel)` planes (`N * C`).
+    planes: usize,
+    /// Spatial height in pixels (1 for rank-2 tensors).
+    h: usize,
+    /// Spatial width in pixels (1 for rank-2 tensors).
+    w: usize,
+    /// Blocks per column (`ceil(h / DIRTY_BLOCK)`).
+    bh: usize,
+    /// Blocks per row (`ceil(w / DIRTY_BLOCK)`).
+    bw: usize,
+    /// One bit per `(plane, block_y, block_x)`, packed little-endian.
+    words: Vec<u64>,
+    /// Cached population count of `words`.
+    dirty: usize,
+}
+
+impl DirtyMask {
+    /// An all-clean mask over `planes` feature maps of `h × w` pixels.
+    pub fn clean(planes: usize, h: usize, w: usize) -> Self {
+        let bh = h.div_ceil(DIRTY_BLOCK).max(1);
+        let bw = w.div_ceil(DIRTY_BLOCK).max(1);
+        let bits = planes * bh * bw;
+        Self { planes, h, w, bh, bw, words: vec![0; bits.div_ceil(64)], dirty: 0 }
+    }
+
+    /// An all-clean mask matching `shape`: rank-4 `[N, C, H, W]` tensors get
+    /// `N * C` planes of `H × W`; rank-2 `[N, C]` tensors get `N * C` planes
+    /// of 1 × 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for other ranks.
+    pub fn for_shape(shape: Shape) -> Result<Self, TensorError> {
+        match shape.rank() {
+            4 => Ok(Self::clean(shape.n() * shape.c(), shape.h(), shape.w())),
+            2 => Ok(Self::clean(shape.dims()[0] * shape.dims()[1], 1, 1)),
+            r => Err(TensorError::RankMismatch { op: "dirty_mask", expected: 4, actual: r }),
+        }
+    }
+
+    /// An all-dirty mask matching `shape` — the saturated-cone
+    /// representation: every block is conservatively dirty without any
+    /// per-element scan.
+    ///
+    /// # Errors
+    ///
+    /// Same rank conditions as [`DirtyMask::for_shape`].
+    pub fn full(shape: Shape) -> Result<Self, TensorError> {
+        let mut mask = Self::for_shape(shape)?;
+        let bits = mask.total_blocks();
+        for (i, word) in mask.words.iter_mut().enumerate() {
+            let remaining = bits - (i * 64).min(bits);
+            *word = if remaining >= 64 { u64::MAX } else { (1u64 << remaining) - 1 };
+        }
+        mask.dirty = bits;
+        Ok(mask)
+    }
+
+    /// The mask of bitwise differences between `golden` and `value`: a block
+    /// is dirty iff at least one of its elements differs in bits (NaN
+    /// payloads and signed zeros included).
+    ///
+    /// # Errors
+    ///
+    /// Same rank conditions as [`DirtyMask::for_shape`]; the tensors must
+    /// share `shape`'s length (guaranteed for tensors of that shape).
+    pub fn from_bitdiff(shape: Shape, golden: &[f32], value: &[f32]) -> Result<Self, TensorError> {
+        let mut mask = Self::for_shape(shape)?;
+        mask.mark_bitdiff(golden, value);
+        Ok(mask)
+    }
+
+    /// Number of `(image, channel)` planes.
+    pub fn planes(&self) -> usize {
+        self.planes
+    }
+
+    /// Spatial height in pixels.
+    pub fn height(&self) -> usize {
+        self.h
+    }
+
+    /// Spatial width in pixels.
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// Blocks per column.
+    pub fn blocks_h(&self) -> usize {
+        self.bh
+    }
+
+    /// Blocks per row.
+    pub fn blocks_w(&self) -> usize {
+        self.bw
+    }
+
+    /// Whether no block is dirty — the delta is empty and the tensor is
+    /// provably bit-golden.
+    pub fn is_empty(&self) -> bool {
+        self.dirty == 0
+    }
+
+    /// Number of dirty blocks.
+    pub fn dirty_blocks(&self) -> usize {
+        self.dirty
+    }
+
+    /// Total number of blocks (`planes * blocks_h * blocks_w`).
+    pub fn total_blocks(&self) -> usize {
+        self.planes * self.bh * self.bw
+    }
+
+    /// Dirty fraction in `[0, 1]`; 0 for an empty (zero-plane) mask.
+    pub fn dirty_fraction(&self) -> f64 {
+        let total = self.total_blocks();
+        if total == 0 {
+            0.0
+        } else {
+            self.dirty as f64 / total as f64
+        }
+    }
+
+    fn bit(&self, plane: usize, by: usize, bx: usize) -> usize {
+        debug_assert!(plane < self.planes && by < self.bh && bx < self.bw);
+        (plane * self.bh + by) * self.bw + bx
+    }
+
+    /// Whether block `(by, bx)` of `plane` is dirty.
+    pub fn block_is_dirty(&self, plane: usize, by: usize, bx: usize) -> bool {
+        let bit = self.bit(plane, by, bx);
+        self.words[bit / 64] >> (bit % 64) & 1 == 1
+    }
+
+    /// Marks block `(by, bx)` of `plane` dirty; idempotent.
+    pub fn mark_block(&mut self, plane: usize, by: usize, bx: usize) {
+        let bit = self.bit(plane, by, bx);
+        let word = &mut self.words[bit / 64];
+        let m = 1u64 << (bit % 64);
+        if *word & m == 0 {
+            *word |= m;
+            self.dirty += 1;
+        }
+    }
+
+    /// Marks the block containing pixel `(y, x)` of `plane` dirty.
+    pub fn mark_pixel(&mut self, plane: usize, y: usize, x: usize) {
+        self.mark_block(plane, y / DIRTY_BLOCK, x / DIRTY_BLOCK);
+    }
+
+    /// Marks every block of `plane` dirty.
+    pub fn mark_plane(&mut self, plane: usize) {
+        for by in 0..self.bh {
+            for bx in 0..self.bw {
+                self.mark_block(plane, by, bx);
+            }
+        }
+    }
+
+    /// Whether any block of `plane` is dirty.
+    pub fn plane_is_dirty(&self, plane: usize) -> bool {
+        (0..self.bh).any(|by| (0..self.bw).any(|bx| self.block_is_dirty(plane, by, bx)))
+    }
+
+    /// Whether any block in the (clipped) rectangle
+    /// `[by0, by1) × [bx0, bx1)` of `plane` is dirty.
+    pub fn any_in(&self, plane: usize, by0: usize, by1: usize, bx0: usize, bx1: usize) -> bool {
+        let by1 = by1.min(self.bh);
+        let bx1 = bx1.min(self.bw);
+        (by0..by1).any(|by| (bx0..bx1).any(|bx| self.block_is_dirty(plane, by, bx)))
+    }
+
+    /// Pixel bounds `(y0, y1, x0, x1)` of block `(by, bx)`, clipped to the
+    /// plane.
+    pub fn block_pixels(&self, by: usize, bx: usize) -> (usize, usize, usize, usize) {
+        let y0 = by * DIRTY_BLOCK;
+        let x0 = bx * DIRTY_BLOCK;
+        (y0, (y0 + DIRTY_BLOCK).min(self.h), x0, (x0 + DIRTY_BLOCK).min(self.w))
+    }
+
+    /// Unions `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the geometries differ — callers union masks of the same
+    /// activation shape only (residual joins).
+    pub fn union_with(&mut self, other: &DirtyMask) {
+        assert_eq!(
+            (self.planes, self.bh, self.bw),
+            (other.planes, other.bh, other.bw),
+            "dirty-mask union over mismatched geometries"
+        );
+        self.dirty = 0;
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+            self.dirty += w.count_ones() as usize;
+        }
+    }
+
+    /// Marks every block where `golden` and `value` differ bitwise.
+    ///
+    /// Both slices must have the tensor layout this mask was built for
+    /// (`planes * h * w` contiguous elements); trailing elements beyond that
+    /// length are ignored.
+    pub fn mark_bitdiff(&mut self, golden: &[f32], value: &[f32]) {
+        let plane_len = self.h * self.w;
+        for p in 0..self.planes {
+            let g = &golden[p * plane_len..][..plane_len];
+            let v = &value[p * plane_len..][..plane_len];
+            self.mark_plane_bitdiff(p, g, v);
+        }
+    }
+
+    /// Marks every block of `plane` where the feature-map slices `golden`
+    /// and `value` (both `h * w` elements) differ bitwise.
+    pub fn mark_plane_bitdiff(&mut self, plane: usize, golden: &[f32], value: &[f32]) {
+        for by in 0..self.bh {
+            for bx in 0..self.bw {
+                if self.block_is_dirty(plane, by, bx) {
+                    continue;
+                }
+                let (y0, y1, x0, x1) = self.block_pixels(by, bx);
+                let differs = (y0..y1).any(|y| {
+                    let row = y * self.w;
+                    golden[row + x0..row + x1]
+                        .iter()
+                        .zip(&value[row + x0..row + x1])
+                        .any(|(a, b)| a.to_bits() != b.to_bits())
+                });
+                if differs {
+                    self.mark_block(plane, by, bx);
+                }
+            }
+        }
+    }
+
+    /// Whether this mask's geometry matches `tensor`'s shape under the
+    /// [`DirtyMask::for_shape`] convention.
+    pub fn matches(&self, tensor: &Tensor) -> bool {
+        let shape = tensor.shape();
+        match shape.rank() {
+            4 => self.planes == shape.n() * shape.c() && self.h == shape.h() && self.w == shape.w(),
+            2 => self.planes == shape.dims()[0] * shape.dims()[1] && self.h == 1 && self.w == 1,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_mask_is_empty() {
+        let m = DirtyMask::clean(4, 8, 8);
+        assert!(m.is_empty());
+        assert_eq!(m.dirty_blocks(), 0);
+        assert_eq!(m.total_blocks(), 4 * 2 * 2);
+        assert_eq!(m.dirty_fraction(), 0.0);
+    }
+
+    #[test]
+    fn for_shape_rank4_and_rank2() {
+        let m4 = DirtyMask::for_shape(Shape::new(&[2, 3, 9, 5])).unwrap();
+        assert_eq!(m4.planes(), 6);
+        assert_eq!((m4.blocks_h(), m4.blocks_w()), (3, 2));
+        let m2 = DirtyMask::for_shape(Shape::new(&[2, 10])).unwrap();
+        assert_eq!(m2.planes(), 20);
+        assert_eq!((m2.blocks_h(), m2.blocks_w()), (1, 1));
+        assert!(DirtyMask::for_shape(Shape::new(&[3])).is_err());
+    }
+
+    #[test]
+    fn mark_and_query_blocks() {
+        let mut m = DirtyMask::clean(2, 8, 8);
+        m.mark_pixel(1, 7, 0);
+        assert!(m.block_is_dirty(1, 1, 0));
+        assert!(!m.block_is_dirty(0, 1, 0));
+        assert!(m.plane_is_dirty(1));
+        assert!(!m.plane_is_dirty(0));
+        m.mark_pixel(1, 7, 1); // same block: idempotent
+        assert_eq!(m.dirty_blocks(), 1);
+        m.mark_plane(0);
+        assert_eq!(m.dirty_blocks(), 1 + 4);
+    }
+
+    #[test]
+    fn any_in_clips_ranges() {
+        let mut m = DirtyMask::clean(1, 8, 8);
+        m.mark_block(0, 1, 1);
+        assert!(m.any_in(0, 0, 99, 0, 99));
+        assert!(m.any_in(0, 1, 2, 1, 2));
+        assert!(!m.any_in(0, 0, 1, 0, 2));
+        assert!(!m.any_in(0, 2, 1, 0, 2), "empty range is clean");
+    }
+
+    #[test]
+    fn block_pixels_clip_to_plane() {
+        let m = DirtyMask::clean(1, 6, 9);
+        assert_eq!(m.block_pixels(0, 0), (0, 4, 0, 4));
+        assert_eq!(m.block_pixels(1, 2), (4, 6, 8, 9));
+    }
+
+    #[test]
+    fn union_accumulates() {
+        let mut a = DirtyMask::clean(1, 8, 8);
+        let mut b = DirtyMask::clean(1, 8, 8);
+        a.mark_block(0, 0, 0);
+        b.mark_block(0, 0, 0);
+        b.mark_block(0, 1, 1);
+        a.union_with(&b);
+        assert_eq!(a.dirty_blocks(), 2);
+        assert!(a.block_is_dirty(0, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched geometries")]
+    fn union_rejects_mismatched_geometry() {
+        let mut a = DirtyMask::clean(1, 8, 8);
+        a.union_with(&DirtyMask::clean(2, 8, 8));
+    }
+
+    #[test]
+    fn bitdiff_marks_only_differing_blocks() {
+        let shape = Shape::new(&[1, 1, 8, 8]);
+        let golden = vec![1.0f32; 64];
+        let mut value = golden.clone();
+        value[7] = 2.0 - 1.0; // same value, same bits: still clean
+        let clean = DirtyMask::from_bitdiff(shape, &golden, &value).unwrap();
+        assert!(clean.is_empty(), "value-equal bits stay clean");
+        value[4 * 8 + 5] = f32::NAN;
+        let m = DirtyMask::from_bitdiff(shape, &golden, &value).unwrap();
+        assert_eq!(m.dirty_blocks(), 1);
+        assert!(m.block_is_dirty(0, 1, 1));
+    }
+
+    #[test]
+    fn bitdiff_distinguishes_nan_payloads_and_zero_signs() {
+        let shape = Shape::new(&[1, 2]);
+        let golden = [0.0f32, f32::from_bits(0x7fc0_0001)];
+        let negz = [-0.0f32, f32::from_bits(0x7fc0_0001)];
+        let m = DirtyMask::from_bitdiff(shape, &golden, &negz).unwrap();
+        assert_eq!(m.dirty_blocks(), 1, "-0.0 differs from 0.0 in bits");
+        let payload = [0.0f32, f32::from_bits(0x7fc0_0002)];
+        let m2 = DirtyMask::from_bitdiff(shape, &golden, &payload).unwrap();
+        assert_eq!(m2.dirty_blocks(), 1, "NaN payloads compare by bits");
+    }
+
+    #[test]
+    fn matches_follows_for_shape_convention() {
+        let t4 = Tensor::zeros([2, 3, 8, 8]);
+        let m = DirtyMask::for_shape(t4.shape()).unwrap();
+        assert!(m.matches(&t4));
+        assert!(!m.matches(&Tensor::zeros([2, 3, 8, 4])));
+        let t2 = Tensor::zeros([4, 10]);
+        assert!(DirtyMask::for_shape(t2.shape()).unwrap().matches(&t2));
+    }
+}

@@ -13,6 +13,10 @@
 //! borders. The im2col family is the campaign path and must agree with
 //! itself exactly.)
 
+#[path = "../../../tests/common/fixtures.rs"]
+mod fixtures;
+
+use fixtures::{assert_bits_equal, cycled, fault_like_f32};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -21,26 +25,6 @@ use sfi_tensor::ops::{
     im2col_lower, Conv2dCfg, GemmKernel, Padding,
 };
 use sfi_tensor::{ScratchArena, Tensor};
-
-/// Mostly ordinary magnitudes with a sprinkling of the IEEE-754 specials a
-/// bit-level fault injection produces (NaN, ±Inf, huge, subnormal-ish).
-fn fault_like_f32() -> impl Strategy<Value = f32> {
-    (0u32..16, -2.0f32..2.0f32).prop_map(|(kind, v)| match kind {
-        0 => f32::NAN,
-        1 => f32::INFINITY,
-        2 => f32::NEG_INFINITY,
-        3 => 3.4e38,
-        4 => -1.2e-38,
-        _ => v,
-    })
-}
-
-fn assert_bits_equal(a: &[f32], b: &[f32]) {
-    assert_eq!(a.len(), b.len());
-    for (i, (x, y)) in a.iter().zip(b).enumerate() {
-        assert_eq!(x.to_bits(), y.to_bits(), "element {i} diverges: {x} vs {y}");
-    }
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -58,10 +42,9 @@ proptest! {
     ) {
         // Cycle the drawn values through the full operands; keeps the
         // strategy small while every position can host a special value.
-        let a: Vec<f32> = (0..m * k).map(|i| seed_a[i % seed_a.len()] * 0.5).collect();
-        let b: Vec<f32> = (0..k * n)
-            .map(|i| seed_a[(i * 7 + 3) % seed_a.len()] * 0.25 + 0.01)
-            .collect();
+        let a: Vec<f32> = cycled(&seed_a, m * k, 1, 0).iter().map(|v| v * 0.5).collect();
+        let b: Vec<f32> =
+            cycled(&seed_a, k * n, 7, 3).iter().map(|v| v * 0.25 + 0.01).collect();
         let mut c_naive = vec![seed_c; m * n];
         let mut c_blocked = c_naive.clone();
         let mut c_packed = c_naive.clone();
@@ -94,18 +77,12 @@ proptest! {
     ) {
         let input_len = batch * c_in * size * size;
         let weight_len = c_out * c_in * kernel * kernel;
-        let input = Tensor::from_vec(
-            [batch, c_in, size, size],
-            (0..input_len).map(|i| values[i % values.len()]).collect(),
-        ).unwrap();
-        let weight = Tensor::from_vec(
-            [c_out, c_in, kernel, kernel],
-            (0..weight_len).map(|i| values[(i * 5 + 1) % values.len()]).collect(),
-        ).unwrap();
-        let bias_t = Tensor::from_vec(
-            [c_out],
-            (0..c_out).map(|i| values[(i * 3 + 2) % values.len()]).collect(),
-        ).unwrap();
+        let input =
+            Tensor::from_vec([batch, c_in, size, size], cycled(&values, input_len, 1, 0)).unwrap();
+        let weight =
+            Tensor::from_vec([c_out, c_in, kernel, kernel], cycled(&values, weight_len, 5, 1))
+                .unwrap();
+        let bias_t = Tensor::from_vec([c_out], cycled(&values, c_out, 3, 2)).unwrap();
         let bias = with_bias.then_some(&bias_t);
         let cfg = Conv2dCfg {
             stride,

@@ -199,6 +199,12 @@ pub struct CliOptions {
     /// `--no-early-exit` disables it. Classifications and inference counts
     /// are identical either way.
     pub early_exit: bool,
+    /// Propagate faults as sparse deltas over the golden activations,
+    /// recomputing only the dirty cone of each fault (`run`). On by
+    /// default; `--no-delta` falls back to dense (or early-exit)
+    /// re-execution. Classifications and inference counts are identical
+    /// either way.
+    pub delta: bool,
     /// JSONL trace destination for `run` (enables tracing), or the trace
     /// to summarize for `trace report`.
     pub trace_out: Option<String>,
@@ -224,6 +230,7 @@ impl Default for CliOptions {
             checkpoint_every: 64,
             lowering_cache: true,
             early_exit: true,
+            delta: true,
             trace_out: None,
             trace_level: None,
         }
@@ -264,6 +271,9 @@ OPTIONS:
     --no-early-exit           always run faulty forward passes to the logits
                               instead of stopping once the activations are
                               provably golden again (run); slower, same results
+    --no-delta                disable sparse delta propagation and re-execute
+                              faulty suffixes densely (run); slower, same
+                              results
     --trace-out <file>        write a JSONL event trace of the campaign (run);
                               summarize it later with `sfi trace report <file>`
     --trace-level <off|spans|events>
@@ -364,6 +374,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, ParseCliError> {
             "--resume" => opts.resume = true,
             "--no-lowering-cache" => opts.lowering_cache = false,
             "--no-early-exit" => opts.early_exit = false,
+            "--no-delta" => opts.delta = false,
             "--trace-out" => {
                 let v = value()?;
                 if v.is_empty() {
@@ -523,6 +534,7 @@ pub fn run(
             let cfg = CampaignConfig {
                 workers: opts.workers,
                 convergence: opts.early_exit,
+                delta: opts.delta,
                 ..CampaignConfig::default()
             };
             // Throttle stderr updates to ~100 over the whole plan.

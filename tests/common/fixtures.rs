@@ -1,0 +1,338 @@
+//! Shared, seeded test fixtures for the workspace's differential suites.
+//!
+//! Included via `#[path]` from the tensor kernel bit-identity tests, the
+//! faultsim executor-determinism tests, and the workspace-level
+//! crash-tolerance / delta-equivalence tests, so every suite draws models,
+//! datasets, faults, and IEEE-754 special values from the same seeded,
+//! shape-parameterized generators. The crates that include this file must
+//! have `sfi-tensor`, `sfi-nn`, `sfi-dataset`, `sfi-faultsim`, `proptest`,
+//! and `rand` visible (as dependencies or dev-dependencies).
+
+#![allow(dead_code)]
+#![allow(unused_imports)]
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sfi_dataset::{Dataset, SynthCifarConfig};
+use sfi_faultsim::fault::Fault;
+use sfi_faultsim::golden::GoldenReference;
+use sfi_faultsim::population::FaultSpace;
+use sfi_nn::resnet::ResNetConfig;
+use sfi_nn::{
+    ActivationCache, DeltaOptions, DeltaStats, ForwardOptions, ForwardOutcome, Model, Node, NodeOp,
+    ParamKind, ParameterStore,
+};
+use sfi_tensor::ops::{self, Conv2dCfg};
+use sfi_tensor::{ScratchArena, Tensor};
+
+/// Mostly ordinary magnitudes with a sprinkling of the IEEE-754 specials a
+/// bit-level fault injection produces (NaN, ±Inf, huge, subnormal-ish).
+pub fn fault_like_f32() -> impl Strategy<Value = f32> {
+    (0u32..16, -2.0f32..2.0f32).prop_map(|(kind, v)| match kind {
+        0 => f32::NAN,
+        1 => f32::INFINITY,
+        2 => f32::NEG_INFINITY,
+        3 => 3.4e38,
+        4 => -1.2e-38,
+        _ => v,
+    })
+}
+
+/// Asserts two f32 slices are **bit**-identical (NaN payloads included).
+pub fn assert_bits_equal(a: &[f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "element {i} diverges: {x} vs {y}");
+    }
+}
+
+/// Fills a buffer of `len` elements by cycling `values` with the given
+/// stride and offset — the shared pattern for deriving full operands from a
+/// small proptest-drawn value pool while letting every position host a
+/// special value.
+pub fn cycled(values: &[f32], len: usize, stride: usize, offset: usize) -> Vec<f32> {
+    (0..len).map(|i| values[(i * stride + offset) % values.len()]).collect()
+}
+
+/// A unique, empty temp directory for journals and checkpoints; callers
+/// remove it on success.
+pub fn unique_tmp_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("sfi-{tag}-{}-{n}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The reduced-width ResNet-20 used by the determinism suites.
+pub fn micro_resnet(seed: u64) -> Model {
+    ResNetConfig::resnet20_micro().build_seeded(seed).unwrap()
+}
+
+/// An even smaller ResNet (base width 2, one block per stage) for plan-level
+/// crash-tolerance tests, shape-parameterized by input size.
+pub fn tiny_resnet(seed: u64, input_size: usize) -> Model {
+    ResNetConfig { base_width: 2, blocks_per_stage: 1, classes: 10, input_size }
+        .build_seeded(seed)
+        .unwrap()
+}
+
+/// A deterministic synthetic evaluation set of `samples` images at
+/// `size`×`size`.
+pub fn synth_images(size: usize, samples: usize) -> Dataset {
+    SynthCifarConfig::new().with_size(size).with_samples(samples).generate()
+}
+
+/// Dataset + golden reference for `model`, the common campaign setup.
+pub fn campaign_world(model: &Model, size: usize, samples: usize) -> (Dataset, GoldenReference) {
+    let data = synth_images(size, samples);
+    let golden = GoldenReference::build(model, &data).unwrap();
+    (data, golden)
+}
+
+/// Draws `n` (possibly repeated) faults from the model's full stuck-at
+/// population — repeats are legal campaign inputs and must classify
+/// identically at each occurrence.
+pub fn random_faults(space: &FaultSpace, seed: u64, n: usize) -> Vec<Fault> {
+    let sub = space.network_subpopulation();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| sub.fault_at(rng.gen_range(0..sub.size())).unwrap()).collect()
+}
+
+/// Bernoulli draw: the vendored `rand` shim has no `gen_bool`.
+fn chance(rng: &mut StdRng, p: f64) -> bool {
+    rng.gen_range(0.0f64..1.0) < p
+}
+
+/// A seeded random small conv/bn/relu/add/pool graph for differential
+/// proptests: conv (randomly strided/grouped/biased) → optional batch norm
+/// → ReLU/ReLU6 → optional second conv (optionally rejoined with a skip
+/// `Add`) → optional avg pool → global average pool → linear. Weight layer
+/// 0 is always the first conv, so single-bit faults on layer 0 exercise the
+/// deepest dirty cone the graph offers.
+pub fn random_small_model(seed: u64) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = ParameterStore::new();
+    let c_in = rng.gen_range(1..3usize);
+    let size = rng.gen_range(6..9usize);
+    let groups = if c_in == 2 && chance(&mut rng, 0.3) { 2 } else { 1 };
+    let c0 = groups * rng.gen_range(1..3usize);
+    // Odd kernels only: `Same` padding then preserves `ceil(size / stride)`
+    // spatial dims, keeping skip-`Add` shapes and pool gating sound.
+    let k0 = 1 + 2 * rng.gen_range(0..2usize);
+    let stride0 = rng.gen_range(1..3usize);
+    let mut wv = |n: usize, scale: f32| -> Vec<f32> {
+        (0..n).map(|_| (rng.gen_range(-10i32..11) as f32) * scale).collect()
+    };
+    let w0 = store.push(
+        "conv0.weight",
+        ParamKind::Weight { layer: 0 },
+        Tensor::from_vec([c0, c_in / groups, k0, k0], wv(c0 * (c_in / groups) * k0 * k0, 0.13))
+            .unwrap(),
+    );
+    let mut rng2 = StdRng::seed_from_u64(seed ^ 0x9e37);
+    let b0 = if chance(&mut rng2, 0.5) {
+        Some(store.push(
+            "conv0.bias",
+            ParamKind::Bias,
+            Tensor::from_vec([c0], wv(c0, 0.2)).unwrap(),
+        ))
+    } else {
+        None
+    };
+    let mut nodes = vec![Node { op: NodeOp::Input, inputs: vec![] }];
+    nodes.push(Node::unary(
+        NodeOp::Conv {
+            weight: w0,
+            bias: b0,
+            cfg: Conv2dCfg { stride: stride0, padding: ops::Padding::Same, groups },
+        },
+        0,
+    ));
+    let mut cur = 1usize;
+    if chance(&mut rng2, 0.5) {
+        let gamma = store.push(
+            "bn.gamma",
+            ParamKind::BnGamma,
+            Tensor::from_vec([c0], wv(c0, 0.1)).unwrap(),
+        );
+        let beta =
+            store.push("bn.beta", ParamKind::BnBeta, Tensor::from_vec([c0], wv(c0, 0.1)).unwrap());
+        let mean =
+            store.push("bn.mean", ParamKind::BnMean, Tensor::from_vec([c0], wv(c0, 0.05)).unwrap());
+        let var = store.push(
+            "bn.var",
+            ParamKind::BnVar,
+            Tensor::from_vec([c0], (0..c0).map(|i| 0.5 + 0.1 * i as f32).collect()).unwrap(),
+        );
+        nodes.push(Node::unary(NodeOp::BatchNorm { gamma, beta, mean, var, eps: 1e-5 }, cur));
+        cur += 1;
+    }
+    nodes.push(Node::unary(if chance(&mut rng2, 0.8) { NodeOp::Relu } else { NodeOp::Relu6 }, cur));
+    cur += 1;
+    let relu_out = cur;
+    let mut channels = c0;
+    if chance(&mut rng2, 0.6) {
+        let k1 = 1 + 2 * rng2.gen_range(0..2usize);
+        let c1 = if chance(&mut rng2, 0.5) { c0 } else { rng2.gen_range(1..4usize) };
+        let w1 = store.push(
+            "conv1.weight",
+            ParamKind::Weight { layer: 1 },
+            Tensor::from_vec([c1, c0, k1, k1], wv(c1 * c0 * k1 * k1, 0.11)).unwrap(),
+        );
+        nodes.push(Node::unary(
+            NodeOp::Conv {
+                weight: w1,
+                bias: None,
+                cfg: Conv2dCfg { stride: 1, padding: ops::Padding::Same, groups: 1 },
+            },
+            cur,
+        ));
+        cur += 1;
+        channels = c1;
+        // Skip-connection re-merge: the (possibly clean) ReLU branch joins
+        // the conv branch, exactly the dirty/clean Add case delta
+        // propagation must keep alive.
+        if c1 == c0 && chance(&mut rng2, 0.6) {
+            nodes.push(Node::binary(NodeOp::Add, cur, relu_out));
+            cur += 1;
+        }
+    }
+    let spatial = size.div_ceil(stride0);
+    if spatial % 2 == 0 && chance(&mut rng2, 0.4) {
+        nodes.push(Node::unary(NodeOp::AvgPool { kernel: 2 }, cur));
+        cur += 1;
+    }
+    nodes.push(Node::unary(NodeOp::GlobalAvgPool, cur));
+    cur += 1;
+    let classes = rng2.gen_range(2..5usize);
+    let wl = store.push(
+        "fc.weight",
+        ParamKind::Weight { layer: 9 },
+        Tensor::from_vec([classes, channels], wv(classes * channels, 0.3)).unwrap(),
+    );
+    let bl = store.push(
+        "fc.bias",
+        ParamKind::Bias,
+        Tensor::from_vec([classes], wv(classes, 0.1)).unwrap(),
+    );
+    nodes.push(Node::unary(NodeOp::Linear { weight: wl, bias: Some(bl) }, cur));
+    Model::new("random-small", nodes, store, vec![c_in, size, size]).unwrap()
+}
+
+/// A deterministic input batch for [`random_small_model`]`(seed)`.
+pub fn random_small_input(seed: u64, model: &Model) -> Tensor {
+    let dims = model.input_dims();
+    let batch = 1 + (seed % 2) as usize;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5f1);
+    let shape = [batch, dims[0], dims[1], dims[2]];
+    let len = batch * dims[0] * dims[1] * dims[2];
+    Tensor::from_vec(shape, (0..len).map(|_| rng.gen_range(-1.5f32..1.5)).collect()).unwrap()
+}
+
+/// The differential forward oracle: asserts that dense incremental
+/// re-execution (`forward_from`), the golden-convergence pass
+/// (`forward_from_converging`), and sparse delta propagation
+/// (`forward_delta`, with and without a scratch arena) all observe the same
+/// faulty inference — bit-identical logits on divergence, a provably
+/// bit-golden suffix on convergence. Returns the dense logits plus the
+/// delta pass's outcome and work counters.
+pub fn assert_forward_equiv(
+    faulty: &Model,
+    first_dirty: usize,
+    cache: &ActivationCache,
+    dirty_unit: Option<usize>,
+    saturation: f64,
+    ctx: &str,
+) -> (Tensor, ForwardOutcome, DeltaStats) {
+    let tensor_bits = |a: &Tensor, b: &Tensor| -> bool {
+        a.shape() == b.shape()
+            && a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits())
+    };
+    // Pre-lowered panels for the first dirty conv, exactly as the campaign
+    // executor would feed them from the golden reference (lowered from the
+    // node's *golden* input, which incremental re-execution hands it).
+    let seed_node = &faulty.nodes()[first_dirty.max(1).min(faulty.nodes().len() - 1)];
+    let lowered = match &seed_node.op {
+        NodeOp::Conv { weight, cfg, .. } => {
+            let input = cache.get(seed_node.inputs[0]).expect("prefix cached");
+            let w = &faulty.store().get(*weight).unwrap().tensor;
+            if ops::conv2d_uses_lowering(input, w, *cfg) {
+                Some(ops::im2col_lower(input, w, *cfg).unwrap())
+            } else {
+                None
+            }
+        }
+        _ => None,
+    };
+    let dense = faulty.forward_from(first_dirty, cache).unwrap();
+    let lowered_pair = lowered.as_ref().map(|l| (first_dirty, l));
+
+    let mut conv_opts = ForwardOptions { lowered: lowered_pair, dirty_unit, ..Default::default() };
+    let converging = faulty.forward_from_converging(first_dirty, cache, &mut conv_opts).unwrap();
+    match &converging {
+        ForwardOutcome::Logits(l) => {
+            assert!(tensor_bits(l, &dense), "{ctx}: converging pass diverges from dense bits");
+        }
+        ForwardOutcome::Converged { at_node } => {
+            let golden = cache.get(cache.len() - 1).unwrap();
+            assert!(
+                tensor_bits(&dense, golden),
+                "{ctx}: converging pass spuriously converged at node {at_node}"
+            );
+        }
+    }
+
+    let mut arena = ScratchArena::new();
+    let (delta_out, stats) = faulty
+        .forward_delta(
+            first_dirty,
+            cache,
+            &mut DeltaOptions {
+                arena: Some(&mut arena),
+                lowered: lowered_pair,
+                dirty_unit,
+                saturation,
+            },
+        )
+        .unwrap();
+    match &delta_out {
+        ForwardOutcome::Logits(l) => {
+            assert!(tensor_bits(l, &dense), "{ctx}: delta logits diverge from dense bits");
+        }
+        ForwardOutcome::Converged { at_node } => {
+            let golden = cache.get(cache.len() - 1).unwrap();
+            assert!(
+                tensor_bits(&dense, golden),
+                "{ctx}: delta pass spuriously converged at node {at_node}"
+            );
+        }
+    }
+    // The pass must be arena-invariant: recycled dirty buffers cannot leak
+    // into results.
+    let (delta_plain, _) = faulty
+        .forward_delta(
+            first_dirty,
+            cache,
+            &mut DeltaOptions {
+                lowered: lowered_pair,
+                dirty_unit,
+                saturation,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    match (&delta_out, &delta_plain) {
+        (ForwardOutcome::Logits(a), ForwardOutcome::Logits(b)) => {
+            assert!(tensor_bits(a, b), "{ctx}: scratch arena changed the delta bits");
+        }
+        (a, b) => assert_eq!(a, b, "{ctx}: scratch arena changed the delta outcome"),
+    }
+    (dense, delta_out, stats)
+}

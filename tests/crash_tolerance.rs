@@ -7,9 +7,10 @@
 //! the campaign: surviving workers finish, and the poisoned fault is
 //! recorded as [`FaultClass::ExecutionFailure`] in the telemetry.
 
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+#[path = "common/fixtures.rs"]
+mod fixtures;
 
+use fixtures::{campaign_world, tiny_resnet, unique_tmp_dir};
 use proptest::prelude::*;
 use sfi::core::checkpoint::{
     execute_plan_checkpointed, CampaignRun, CheckpointConfig, ResumeStats,
@@ -22,22 +23,9 @@ use sfi::stats::sampling::sample_without_replacement;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn tmp_dir(tag: &str) -> PathBuf {
-    static NEXT: AtomicUsize = AtomicUsize::new(0);
-    let n = NEXT.fetch_add(1, Ordering::Relaxed);
-    let dir =
-        std::env::temp_dir().join(format!("sfi-crash-tolerance-{tag}-{}-{n}", std::process::id()));
-    std::fs::remove_dir_all(&dir).ok();
-    std::fs::create_dir_all(&dir).unwrap();
-    dir
-}
-
 fn setup() -> (Model, Dataset, GoldenReference, FaultSpace, SfiPlan) {
-    let model = ResNetConfig { base_width: 2, blocks_per_stage: 1, classes: 10, input_size: 8 }
-        .build_seeded(5)
-        .unwrap();
-    let data = SynthCifarConfig::new().with_size(8).with_samples(2).generate();
-    let golden = GoldenReference::build(&model, &data).unwrap();
+    let model = tiny_resnet(5, 8);
+    let (data, golden) = campaign_world(&model, 8, 2);
     let space = FaultSpace::stuck_at(&model);
     let spec = SampleSpec { error_margin: 0.2, ..SampleSpec::paper_default() };
     let plan = plan_layer_wise(&space, &spec);
@@ -80,7 +68,7 @@ proptest! {
         let clean = execute_plan(&model, &data, &golden, &plan, seed, &clean_cfg).unwrap();
         let reference = fingerprint(&clean);
 
-        let dir = tmp_dir("prop");
+        let dir = unique_tmp_dir("crash-tolerance-prop");
         let first_cfg = CampaignConfig { workers: WORKERS[first_idx], ..clean_cfg };
         let stop_at = ((clean.injections() as f64 * stop_frac) as u64).max(1);
         let token = CancelToken::new();
