@@ -31,18 +31,21 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use sfi_dataset::Dataset;
+use sfi_faultsim::activation::ActivationFault;
 use sfi_faultsim::campaign::{CampaignConfig, CampaignResult, Corruption, Criterion, FaultClass};
 use sfi_faultsim::executor::{with_executor_probed, CampaignTelemetry, CancelToken};
 use sfi_faultsim::fault::{Fault, FaultModel};
 use sfi_faultsim::golden::GoldenReference;
 use sfi_faultsim::journal::{self, FaultId, JournalWriter};
+use sfi_faultsim::multi::{CampaignFault, FaultTarget};
 use sfi_faultsim::population::FaultSpace;
 use sfi_faultsim::FaultSimError;
 use sfi_nn::Model;
 use sfi_obs::{Event, Probe};
 
 use crate::execute::{
-    assemble_outcome, class_name, sample_strata, stratum_label, PlanProgress, SfiOutcome,
+    assemble_outcome_any, class_name, fault_model_label, sample_strata_any, stratum_label_any,
+    CampaignSpace, PlanProgress, SfiOutcome,
 };
 use crate::plan::{SchemeKind, SfiPlan};
 use crate::SfiError;
@@ -142,6 +145,25 @@ pub fn plan_fingerprint(
     cfg: &CampaignConfig,
     sampled: &[Vec<Fault>],
 ) -> u64 {
+    let generic: Vec<Vec<CampaignFault>> = sampled
+        .iter()
+        .map(|faults| faults.iter().map(|&f| CampaignFault::Weight(f)).collect())
+        .collect();
+    plan_fingerprint_any(plan, seed, eval_images, cfg, &generic)
+}
+
+/// [`plan_fingerprint`] over a fault-model-generic sample: additionally
+/// hashes the plan's fault target and accumulation order plus a per-fault
+/// variant tag, so a journal written by a weight campaign can never be
+/// resumed by a transient or accumulated one (and vice versa) even when
+/// their site coordinates collide.
+pub fn plan_fingerprint_any(
+    plan: &SfiPlan,
+    seed: u64,
+    eval_images: usize,
+    cfg: &CampaignConfig,
+    sampled: &[Vec<CampaignFault>],
+) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = OFFSET;
@@ -159,6 +181,13 @@ pub fn plan_fingerprint(
         SchemeKind::Neyman => 4,
     };
     eat(&[scheme_tag]);
+    let target_tag: u8 = match plan.target() {
+        FaultTarget::Weight => 0,
+        FaultTarget::Activation => 1,
+        FaultTarget::Input => 2,
+    };
+    eat(&[target_tag]);
+    eat(&plan.accumulate().to_le_bytes());
     eat(&seed.to_le_bytes());
     eat(&(eval_images as u64).to_le_bytes());
     match cfg.criterion {
@@ -169,19 +198,48 @@ pub fn plan_fingerprint(
         }
     }
     eat(&[u8::from(cfg.incremental), u8::from(cfg.early_exit)]);
+    fn model_tag(model: FaultModel) -> u8 {
+        match model {
+            FaultModel::StuckAt0 => 0,
+            FaultModel::StuckAt1 => 1,
+            FaultModel::BitFlip => 2,
+            FaultModel::AdjacentFlip => 3,
+        }
+    }
+    fn eat_weight(eat: &mut impl FnMut(&[u8]), fault: &Fault) {
+        eat(&(fault.site.layer as u64).to_le_bytes());
+        eat(&(fault.site.weight as u64).to_le_bytes());
+        eat(&[fault.site.bit]);
+        eat(&[model_tag(fault.model)]);
+    }
+    fn eat_activation(eat: &mut impl FnMut(&[u8]), fault: &ActivationFault) {
+        eat(&(fault.site.node as u64).to_le_bytes());
+        eat(&(fault.site.element as u64).to_le_bytes());
+        eat(&[fault.site.bit]);
+        eat(&(fault.site.image as u64).to_le_bytes());
+        eat(&[model_tag(fault.model)]);
+    }
     for faults in sampled {
         eat(&(faults.len() as u64).to_le_bytes());
         for fault in faults {
-            eat(&(fault.site.layer as u64).to_le_bytes());
-            eat(&(fault.site.weight as u64).to_le_bytes());
-            eat(&[fault.site.bit]);
-            let model_tag: u8 = match fault.model {
-                FaultModel::StuckAt0 => 0,
-                FaultModel::StuckAt1 => 1,
-                FaultModel::BitFlip => 2,
-                FaultModel::AdjacentFlip => 3,
-            };
-            eat(&[model_tag]);
+            match fault {
+                CampaignFault::Weight(f) => eat_weight(&mut eat, f),
+                CampaignFault::Activation(f) => {
+                    eat(&[1u8]);
+                    eat_activation(&mut eat, f);
+                }
+                CampaignFault::Accumulated(acc) => {
+                    eat(&[2u8]);
+                    eat(&(acc.weights.len() as u64).to_le_bytes());
+                    eat(&(acc.activations.len() as u64).to_le_bytes());
+                    for f in &acc.weights {
+                        eat_weight(&mut eat, f);
+                    }
+                    for f in &acc.activations {
+                        eat_activation(&mut eat, f);
+                    }
+                }
+            }
         }
     }
     h
@@ -275,14 +333,90 @@ pub fn execute_plan_checkpointed_traced<C: Corruption>(
     probe: &Probe,
     progress: &mut dyn FnMut(PlanProgress),
 ) -> Result<CampaignRun, SfiError> {
+    execute_plan_checkpointed_traced_any(
+        model,
+        data,
+        golden,
+        plan,
+        CampaignSpace::Weight(space),
+        seed,
+        campaign_cfg,
+        corruption,
+        checkpoint,
+        cancel,
+        probe,
+        progress,
+    )
+}
+
+/// [`execute_plan_checkpointed_traced`] over any fault model: the
+/// [`CampaignSpace`] selects weight, transient-activation/input, or
+/// accumulated multi-fault sampling, and the journal fingerprint binds the
+/// fault target and accumulation order so mixed-model journals never
+/// cross-resume. Weight-only campaigns routed through here journal and
+/// classify exactly the same faults as the legacy entry point.
+///
+/// # Errors
+///
+/// Same conditions as [`execute_plan_checkpointed`].
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan_checkpointed_any<C: Corruption>(
+    model: &Model,
+    data: &Dataset,
+    golden: &GoldenReference,
+    plan: &SfiPlan,
+    space: CampaignSpace<'_>,
+    seed: u64,
+    campaign_cfg: &CampaignConfig,
+    corruption: &C,
+    checkpoint: &CheckpointConfig,
+    cancel: Option<&CancelToken>,
+    progress: &mut dyn FnMut(PlanProgress),
+) -> Result<CampaignRun, SfiError> {
+    execute_plan_checkpointed_traced_any(
+        model,
+        data,
+        golden,
+        plan,
+        space,
+        seed,
+        campaign_cfg,
+        corruption,
+        checkpoint,
+        cancel,
+        Probe::disabled(),
+        progress,
+    )
+}
+
+/// [`execute_plan_checkpointed_any`] with an observability [`Probe`].
+///
+/// # Errors
+///
+/// Same conditions as [`execute_plan_checkpointed`].
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan_checkpointed_traced_any<C: Corruption>(
+    model: &Model,
+    data: &Dataset,
+    golden: &GoldenReference,
+    plan: &SfiPlan,
+    space: CampaignSpace<'_>,
+    seed: u64,
+    campaign_cfg: &CampaignConfig,
+    corruption: &C,
+    checkpoint: &CheckpointConfig,
+    cancel: Option<&CancelToken>,
+    probe: &Probe,
+    progress: &mut dyn FnMut(PlanProgress),
+) -> Result<CampaignRun, SfiError> {
     if checkpoint.checkpoint_every == 0 {
         return Err(SfiError::InvalidExperiment {
             reason: "checkpoint_every must be at least 1".into(),
         });
     }
     let start = Instant::now();
-    let sampled = sample_strata(plan, space, seed)?;
-    let fingerprint = plan_fingerprint(plan, seed, data.len(), campaign_cfg, &sampled);
+    let sampled = sample_strata_any(plan, space, seed)?;
+    let fingerprint = plan_fingerprint_any(plan, seed, data.len(), campaign_cfg, &sampled);
     let (mut writer, done, dropped) =
         open_journal(&checkpoint.dir, checkpoint.resume, fingerprint, checkpoint.checkpoint_every)?;
 
@@ -309,6 +443,7 @@ pub fn execute_plan_checkpointed_traced<C: Corruption>(
         strata: n_strata,
         faults: plan_total,
         workers: campaign_cfg.workers.max(1),
+        fault_model: fault_model_label(plan),
     });
     if checkpoint.resume {
         probe.emit(&Event::Resume { resumed, dropped });
@@ -335,17 +470,18 @@ pub fn execute_plan_checkpointed_traced<C: Corruption>(
                     continue;
                 }
                 if probe.spans() {
-                    let label = stratum_label(&plan.strata()[s]);
+                    let label = stratum_label_any(plan.target(), &plan.strata()[s]);
                     probe.emit(&Event::StratumStart {
                         stratum: s,
                         label: &label,
                         faults: indices.len() as u64,
                     });
                 }
-                let subset: Vec<Fault> = indices.iter().map(|&i| sampled[s][i]).collect();
+                let subset: Vec<CampaignFault> =
+                    indices.iter().map(|&i| sampled[s][i].clone()).collect();
                 let stratum_total = sampled[s].len() as u64;
                 let stratum_resumed = per_stratum_resumed[s];
-                let out = exec.run_with(
+                let out = exec.run_any_with(
                     &subset,
                     &mut |p| {
                         progress(PlanProgress {
@@ -490,7 +626,7 @@ pub fn execute_plan_checkpointed_traced<C: Corruption>(
             delta_dirty_blocks,
         });
     }
-    let outcome = assemble_outcome(plan, space, &sampled, &results, start.elapsed());
+    let outcome = assemble_outcome_any(plan, space, &sampled, &results, start.elapsed());
     probe.emit(&Event::CampaignEnd {
         injections: outcome.injections(),
         inferences: outcome.inferences(),
@@ -523,7 +659,8 @@ fn open_journal(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plan::plan_layer_wise;
+    use crate::execute::sample_strata;
+    use crate::plan::{plan_layer_wise, SchemeKind};
     use sfi_dataset::SynthCifarConfig;
     use sfi_faultsim::campaign::Ieee754Corruption;
     use sfi_nn::resnet::ResNetConfig;
@@ -550,6 +687,226 @@ mod tests {
 
     fn loose_spec() -> SampleSpec {
         SampleSpec { error_margin: 0.15, ..SampleSpec::paper_default() }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn checkpointed_any(
+        world: &(Model, Dataset, GoldenReference, FaultSpace),
+        acts: &sfi_faultsim::activation::ActivationSpace,
+        plan: &SfiPlan,
+        space_kind: &str,
+        seed: u64,
+        cfg: &CampaignConfig,
+        dir: &Path,
+        resume: bool,
+        cancel: Option<&CancelToken>,
+        progress: &mut dyn FnMut(PlanProgress),
+    ) -> CampaignRun {
+        let (model, data, golden, weights) = world;
+        let space = match space_kind {
+            "transient" => CampaignSpace::Transient(acts),
+            "accumulated" => CampaignSpace::Accumulated { weights, activations: acts },
+            _ => CampaignSpace::Weight(weights),
+        };
+        let checkpoint = CheckpointConfig { dir: dir.to_path_buf(), resume, checkpoint_every: 64 };
+        execute_plan_checkpointed_any(
+            model,
+            data,
+            golden,
+            plan,
+            space,
+            seed,
+            cfg,
+            &Ieee754Corruption,
+            &checkpoint,
+            cancel,
+            progress,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn transient_interrupt_and_resume_is_identical_to_uninterrupted() {
+        let world = setup();
+        let acts = sfi_faultsim::activation::ActivationSpace::build_for(
+            &world.0,
+            &world.1,
+            FaultTarget::Activation,
+        )
+        .unwrap();
+        let plan = crate::plan::plan_transient(
+            &acts,
+            FaultTarget::Activation,
+            SchemeKind::LayerWise,
+            None,
+            &loose_spec(),
+        )
+        .unwrap();
+        let cfg = CampaignConfig::default();
+        let plain = crate::execute::execute_plan_any(
+            &world.0,
+            &world.1,
+            &world.2,
+            &plan,
+            CampaignSpace::Transient(&acts),
+            7,
+            &cfg,
+            &Ieee754Corruption,
+        )
+        .unwrap();
+        let dir = tmp_dir("transient");
+        let token = CancelToken::new();
+        let stop_at = plain.injections() / 2;
+        let run = checkpointed_any(
+            &world,
+            &acts,
+            &plan,
+            "transient",
+            7,
+            &cfg,
+            &dir,
+            false,
+            Some(&token),
+            &mut |p| {
+                if p.plan_completed >= stop_at {
+                    token.cancel();
+                }
+            },
+        );
+        let CampaignRun::Interrupted { stats } = run else { panic!("expected interrupted") };
+        assert!(stats.completed < plain.injections());
+        for workers in [1usize, 4, 8] {
+            let resume_cfg = CampaignConfig { workers, ..cfg };
+            // Re-resume from the same journal at several worker counts;
+            // every one must reconstruct the identical outcome.
+            let run = checkpointed_any(
+                &world,
+                &acts,
+                &plan,
+                "transient",
+                7,
+                &resume_cfg,
+                &dir,
+                true,
+                None,
+                &mut |_| {},
+            );
+            let CampaignRun::Complete { outcome, stats } = run else { panic!("expected complete") };
+            assert!(stats.resumed > 0, "workers={workers}");
+            assert_eq!(outcome.strata(), plain.strata(), "workers={workers}");
+            assert_eq!(outcome.injections(), plain.injections());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn accumulated_interrupt_and_resume_is_identical_to_uninterrupted() {
+        let world = setup();
+        let acts = sfi_faultsim::activation::ActivationSpace::build_for(
+            &world.0,
+            &world.1,
+            FaultTarget::Activation,
+        )
+        .unwrap();
+        let union = world.3.total() + acts.total();
+        let plan = crate::plan::plan_accumulated(union, 2, &loose_spec()).unwrap();
+        let cfg = CampaignConfig::default();
+        let plain = crate::execute::execute_plan_any(
+            &world.0,
+            &world.1,
+            &world.2,
+            &plan,
+            CampaignSpace::Accumulated { weights: &world.3, activations: &acts },
+            7,
+            &cfg,
+            &Ieee754Corruption,
+        )
+        .unwrap();
+        let dir = tmp_dir("accumulated");
+        let token = CancelToken::new();
+        let stop_at = plain.injections() / 2;
+        let run = checkpointed_any(
+            &world,
+            &acts,
+            &plan,
+            "accumulated",
+            7,
+            &cfg,
+            &dir,
+            false,
+            Some(&token),
+            &mut |p| {
+                if p.plan_completed >= stop_at {
+                    token.cancel();
+                }
+            },
+        );
+        let CampaignRun::Interrupted { .. } = run else { panic!("expected interrupted") };
+        let run = checkpointed_any(
+            &world,
+            &acts,
+            &plan,
+            "accumulated",
+            7,
+            &CampaignConfig { workers: 4, ..cfg },
+            &dir,
+            true,
+            None,
+            &mut |_| {},
+        );
+        let CampaignRun::Complete { outcome, stats } = run else { panic!("expected complete") };
+        assert!(stats.resumed > 0);
+        assert_eq!(outcome.strata(), plain.strata());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_binds_fault_model_and_accumulation() {
+        let (model, data, _, space) = setup();
+        let acts = sfi_faultsim::activation::ActivationSpace::build_for(
+            &model,
+            &data,
+            FaultTarget::Activation,
+        )
+        .unwrap();
+        let cfg = CampaignConfig::default();
+        let wplan = plan_layer_wise(&space, &loose_spec());
+        let wsampled = sample_strata_any(&wplan, CampaignSpace::Weight(&space), 3).unwrap();
+        let wfp = plan_fingerprint_any(&wplan, 3, data.len(), &cfg, &wsampled);
+        let tplan = crate::plan::plan_transient(
+            &acts,
+            FaultTarget::Activation,
+            SchemeKind::LayerWise,
+            None,
+            &loose_spec(),
+        )
+        .unwrap();
+        let tsampled = sample_strata_any(&tplan, CampaignSpace::Transient(&acts), 3).unwrap();
+        let tfp = plan_fingerprint_any(&tplan, 3, data.len(), &cfg, &tsampled);
+        assert_ne!(wfp, tfp, "weight and transient journals must not cross-resume");
+        let union = space.total() + acts.total();
+        let a2 = crate::plan::plan_accumulated(union, 2, &loose_spec()).unwrap();
+        let a4 = crate::plan::plan_accumulated(union, 4, &loose_spec()).unwrap();
+        let s2 = sample_strata_any(
+            &a2,
+            CampaignSpace::Accumulated { weights: &space, activations: &acts },
+            3,
+        )
+        .unwrap();
+        let s4 = sample_strata_any(
+            &a4,
+            CampaignSpace::Accumulated { weights: &space, activations: &acts },
+            3,
+        )
+        .unwrap();
+        assert_ne!(
+            plan_fingerprint_any(&a2, 3, data.len(), &cfg, &s2),
+            plan_fingerprint_any(&a4, 3, data.len(), &cfg, &s4),
+            "different accumulation orders must not cross-resume"
+        );
+        // The legacy weight-only fingerprint is the generic one in disguise.
+        let legacy = sample_strata(&wplan, &space, 3).unwrap();
+        assert_eq!(wfp, plan_fingerprint(&wplan, 3, data.len(), &cfg, &legacy));
     }
 
     fn strip_wall(outcome: &SfiOutcome) -> impl PartialEq + std::fmt::Debug {

@@ -7,19 +7,42 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use sfi_dataset::Dataset;
+use sfi_faultsim::activation::ActivationSpace;
 use sfi_faultsim::campaign::{CampaignConfig, Corruption, FaultClass, Ieee754Corruption};
 use sfi_faultsim::executor::{with_executor_probed, CampaignTelemetry};
 use sfi_faultsim::fault::Fault;
 use sfi_faultsim::golden::GoldenReference;
+use sfi_faultsim::multi::{AccumulatedFault, CampaignFault, FaultTarget};
 use sfi_faultsim::population::{FaultSpace, Subpopulation};
 use sfi_nn::Model;
 use sfi_obs::{Event, Probe};
 use sfi_stats::confidence::Confidence;
 use sfi_stats::estimate::{stratified_estimate, StratifiedEstimate, StratumResult};
+use sfi_stats::sample_size::accumulated_population;
 use sfi_stats::sampling::sample_without_replacement;
 
 use crate::plan::{SchemeKind, SfiPlan, Stratum};
 use crate::SfiError;
+
+/// The fault population a plan executes against — the union of the
+/// supported fault models. Weight plans resolve strata in a
+/// [`FaultSpace`]; transient plans in an [`ActivationSpace`]; accumulated
+/// plans draw `k`-subsets of the *composed* population (weight sites
+/// first, then activation sites).
+#[derive(Clone, Copy)]
+pub enum CampaignSpace<'a> {
+    /// Permanent weight faults (the paper's setting).
+    Weight(&'a FaultSpace),
+    /// Transient activation/input faults.
+    Transient(&'a ActivationSpace),
+    /// Accumulated multi-fault instances over the union of both spaces.
+    Accumulated {
+        /// The permanent weight-fault population.
+        weights: &'a FaultSpace,
+        /// The transient activation-fault population.
+        activations: &'a ActivationSpace,
+    },
+}
 
 /// Per-stratum outcome: the plan entry plus the observed tallies.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -242,6 +265,37 @@ pub fn execute_plan_in_space<C: Corruption>(
     )
 }
 
+/// Executes `plan` against any [`CampaignSpace`] without tracing — the
+/// fault-model-generic sibling of [`execute_plan_in_space`].
+///
+/// # Errors
+///
+/// Same conditions as [`execute_plan_traced_any`].
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan_any<C: Corruption>(
+    model: &Model,
+    data: &Dataset,
+    golden: &GoldenReference,
+    plan: &SfiPlan,
+    space: CampaignSpace<'_>,
+    seed: u64,
+    campaign_cfg: &CampaignConfig,
+    corruption: &C,
+) -> Result<SfiOutcome, SfiError> {
+    execute_plan_traced_any(
+        model,
+        data,
+        golden,
+        plan,
+        space,
+        seed,
+        campaign_cfg,
+        corruption,
+        Probe::disabled(),
+        &mut |_| {},
+    )
+}
+
 /// [`execute_plan_in_space`] with a progress observer, called after every
 /// classified fault with plan-wide completion and inference counts.
 ///
@@ -278,12 +332,29 @@ pub fn execute_plan_observed<C: Corruption>(
     )
 }
 
-/// The display label of a stratum (matches the telemetry report).
-pub(crate) fn stratum_label(stratum: &Stratum) -> String {
+/// The display label of a stratum (matches the telemetry report). Weight
+/// strata index layers (`L3/b17`); transient strata index node groups
+/// (`N3/b17`).
+pub(crate) fn stratum_label_any(target: FaultTarget, stratum: &Stratum) -> String {
+    let tag = if target == FaultTarget::Weight { 'L' } else { 'N' };
     match (stratum.layer, stratum.bit) {
         (None, _) => "network".to_string(),
-        (Some(l), None) => format!("L{l}"),
-        (Some(l), Some(b)) => format!("L{l}/b{b}"),
+        (Some(l), None) => format!("{tag}{l}"),
+        (Some(l), Some(b)) => format!("{tag}{l}/b{b}"),
+    }
+}
+
+/// The trace-attribute spelling of a plan's fault model: the target name,
+/// or `accumulated` when instances compose `k > 1` faults.
+pub fn fault_model_label(plan: &SfiPlan) -> &'static str {
+    if plan.accumulate() > 1 {
+        "accumulated"
+    } else {
+        match plan.target() {
+            FaultTarget::Weight => "weight",
+            FaultTarget::Activation => "activation",
+            FaultTarget::Input => "input",
+        }
     }
 }
 
@@ -320,10 +391,46 @@ pub fn execute_plan_traced<C: Corruption>(
     probe: &Probe,
     progress: &mut dyn FnMut(PlanProgress),
 ) -> Result<SfiOutcome, SfiError> {
+    execute_plan_traced_any(
+        model,
+        data,
+        golden,
+        plan,
+        CampaignSpace::Weight(space),
+        seed,
+        campaign_cfg,
+        corruption,
+        probe,
+        progress,
+    )
+}
+
+/// [`execute_plan_traced`] over any [`CampaignSpace`]: the fault-model-
+/// generic plan executor behind weight, transient-activation/input, and
+/// accumulated campaigns. Classifications and estimates are byte-identical
+/// across worker counts and trace levels, exactly as for weight plans.
+///
+/// # Errors
+///
+/// Same conditions as [`execute_plan`], plus [`SfiError::PlanMismatch`]
+/// when the plan's fault model does not match the space variant.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan_traced_any<C: Corruption>(
+    model: &Model,
+    data: &Dataset,
+    golden: &GoldenReference,
+    plan: &SfiPlan,
+    space: CampaignSpace<'_>,
+    seed: u64,
+    campaign_cfg: &CampaignConfig,
+    corruption: &C,
+    probe: &Probe,
+    progress: &mut dyn FnMut(PlanProgress),
+) -> Result<SfiOutcome, SfiError> {
     let start = Instant::now();
     // Phase 1 — resolve and sample every stratum (plan/sampling errors
     // surface before any worker is spawned).
-    let sampled = sample_strata(plan, space, seed)?;
+    let sampled = sample_strata_any(plan, space, seed)?;
     // Phase 2 — one executor session across all strata.
     let n_strata = sampled.len();
     let plan_total: u64 = sampled.iter().map(|f| f.len() as u64).sum();
@@ -331,6 +438,7 @@ pub fn execute_plan_traced<C: Corruption>(
         strata: n_strata,
         faults: plan_total,
         workers: campaign_cfg.workers.max(1),
+        fault_model: fault_model_label(plan),
     });
     let results =
         with_executor_probed(model, data, golden, campaign_cfg, corruption, probe, |exec| {
@@ -339,14 +447,14 @@ pub fn execute_plan_traced<C: Corruption>(
             let mut inferences_before = 0u64;
             for (idx, faults) in sampled.iter().enumerate() {
                 if probe.spans() {
-                    let label = stratum_label(&plan.strata()[idx]);
+                    let label = stratum_label_any(plan.target(), &plan.strata()[idx]);
                     probe.emit(&Event::StratumStart {
                         stratum: idx,
                         label: &label,
                         faults: faults.len() as u64,
                     });
                 }
-                let result = exec.run_with(
+                let result = exec.run_any_with(
                     faults,
                     &mut |p| {
                         progress(PlanProgress {
@@ -395,7 +503,7 @@ pub fn execute_plan_traced<C: Corruption>(
             Ok(results)
         })?;
     // Phase 3 — assemble outcomes, tallies, and telemetry.
-    let outcome = assemble_outcome(plan, space, &sampled, &results, start.elapsed());
+    let outcome = assemble_outcome_any(plan, space, &sampled, &results, start.elapsed());
     probe.emit(&Event::CampaignEnd {
         injections: outcome.injections,
         inferences: outcome.inferences,
@@ -426,12 +534,141 @@ pub(crate) fn sample_strata(
                 ),
             });
         }
-        let mut rng =
-            StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-        let indices = sample_without_replacement(subpop.size(), stratum.sample, &mut rng)?;
+        let indices = sample_stratum_indices(seed, idx, subpop.size(), stratum.sample)?;
         sampled.push(subpop.faults_at(&indices)?);
     }
     Ok(sampled)
+}
+
+/// Draws a stratum's sample indices from its independent sub-seeded RNG —
+/// the one sampling primitive every fault model shares, so weight,
+/// transient, and accumulated campaigns inherit identical determinism.
+fn sample_stratum_indices(
+    seed: u64,
+    stratum_idx: usize,
+    population: u64,
+    sample: u64,
+) -> Result<Vec<u64>, SfiError> {
+    let mut rng =
+        StdRng::seed_from_u64(seed ^ (stratum_idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    Ok(sample_without_replacement(population, sample, &mut rng)?)
+}
+
+/// Resolves and samples every stratum of `plan` against any
+/// [`CampaignSpace`] (phase 1 of fault-model-generic execution).
+///
+/// - Weight plans delegate to [`sample_strata`], so generic execution of a
+///   weight plan injects **exactly** the faults the weight-only path does.
+/// - Transient plans resolve strata as node groups (all-bits or per-bit)
+///   of the activation space.
+/// - Accumulated plans draw `stratum.sample` instances, each a `k`-subset
+///   of the composed site population (weight sites `0..W`, activation
+///   sites `W..W+A`), from the same per-stratum RNG stream.
+///
+/// # Errors
+///
+/// Returns [`SfiError::PlanMismatch`] when the plan's fault model does not
+/// match the space variant or a planned population disagrees with the
+/// model's.
+pub(crate) fn sample_strata_any(
+    plan: &SfiPlan,
+    space: CampaignSpace<'_>,
+    seed: u64,
+) -> Result<Vec<Vec<CampaignFault>>, SfiError> {
+    match space {
+        CampaignSpace::Weight(ws) => {
+            if plan.target() != FaultTarget::Weight || plan.accumulate() != 1 {
+                return Err(SfiError::PlanMismatch {
+                    reason: format!(
+                        "a weight space cannot execute a {} plan",
+                        fault_model_label(plan)
+                    ),
+                });
+            }
+            Ok(sample_strata(plan, ws, seed)?
+                .into_iter()
+                .map(|faults| faults.into_iter().map(CampaignFault::Weight).collect())
+                .collect())
+        }
+        CampaignSpace::Transient(acts) => {
+            if plan.target() == FaultTarget::Weight || plan.accumulate() != 1 {
+                return Err(SfiError::PlanMismatch {
+                    reason: format!(
+                        "a transient space cannot execute a {} plan",
+                        fault_model_label(plan)
+                    ),
+                });
+            }
+            let mut sampled = Vec::with_capacity(plan.strata().len());
+            for (idx, stratum) in plan.strata().iter().enumerate() {
+                let population = match (stratum.layer, stratum.bit) {
+                    (None, _) => acts.total(),
+                    (Some(g), None) => acts.group_population(g).map_err(SfiError::FaultSim)?,
+                    (Some(g), Some(_)) => {
+                        acts.group_bit_population(g).map_err(SfiError::FaultSim)?
+                    }
+                };
+                if population != stratum.population {
+                    return Err(SfiError::PlanMismatch {
+                        reason: format!(
+                            "stratum {idx} plans population {} but the model provides {population}",
+                            stratum.population,
+                        ),
+                    });
+                }
+                let indices = sample_stratum_indices(seed, idx, population, stratum.sample)?;
+                let faults = indices
+                    .iter()
+                    .map(|&i| match (stratum.layer, stratum.bit) {
+                        (None, _) => acts.fault_at(i),
+                        (Some(g), None) => acts.group_fault_at(g, i),
+                        (Some(g), Some(b)) => acts.group_bit_fault_at(g, b, i),
+                    })
+                    .map(|r| r.map(CampaignFault::Activation).map_err(SfiError::FaultSim))
+                    .collect::<Result<Vec<_>, _>>()?;
+                sampled.push(faults);
+            }
+            Ok(sampled)
+        }
+        CampaignSpace::Accumulated { weights, activations } => {
+            let k = plan.accumulate();
+            let w_total = weights.total();
+            let union = w_total + activations.total();
+            let mut sampled = Vec::with_capacity(plan.strata().len());
+            for (idx, stratum) in plan.strata().iter().enumerate() {
+                let subsets = accumulated_population(union, k);
+                if subsets != stratum.population {
+                    return Err(SfiError::PlanMismatch {
+                        reason: format!(
+                            "stratum {idx} plans {} k-subsets but the composed population of \
+                             {union} sites yields {subsets}",
+                            stratum.population,
+                        ),
+                    });
+                }
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                let wsub = weights.network_subpopulation();
+                let mut faults = Vec::with_capacity(stratum.sample as usize);
+                for _ in 0..stratum.sample {
+                    let sites = sample_without_replacement(union, k, &mut rng)?;
+                    let mut acc = AccumulatedFault { weights: Vec::new(), activations: Vec::new() };
+                    for site in sites {
+                        if site < w_total {
+                            acc.weights.push(wsub.fault_at(site).map_err(SfiError::FaultSim)?);
+                        } else {
+                            acc.activations.push(
+                                activations.fault_at(site - w_total).map_err(SfiError::FaultSim)?,
+                            );
+                        }
+                    }
+                    faults.push(CampaignFault::Accumulated(acc));
+                }
+                sampled.push(faults);
+            }
+            Ok(sampled)
+        }
+    }
 }
 
 /// Builds the [`SfiOutcome`] from per-stratum campaign results (phase 3 of
@@ -440,16 +677,28 @@ pub(crate) fn sample_strata(
 /// Faults recorded as [`FaultClass::ExecutionFailure`] are excluded from
 /// each stratum's statistical sample — they produced no classification, so
 /// counting them would silently bias the estimate downwards.
-pub(crate) fn assemble_outcome(
+pub(crate) fn assemble_outcome_any(
     plan: &SfiPlan,
-    space: &FaultSpace,
-    sampled: &[Vec<Fault>],
+    space: CampaignSpace<'_>,
+    sampled: &[Vec<CampaignFault>],
     results: &[sfi_faultsim::campaign::CampaignResult],
     elapsed: Duration,
 ) -> SfiOutcome {
     let mut strata = Vec::with_capacity(results.len());
     let mut stratum_telemetry = Vec::with_capacity(results.len());
-    let mut layer_counts: Vec<(u64, u64)> = vec![(0, 0); space.layers()];
+    // Per-"layer" tallies: weight layers for weight plans, node groups for
+    // transient plans. Accumulated instances span several sites at once,
+    // so no single layer can own them — their tallies stay empty.
+    let groups = match space {
+        CampaignSpace::Weight(ws) => ws.layers(),
+        CampaignSpace::Transient(acts) => acts.nodes(),
+        CampaignSpace::Accumulated { .. } => 0,
+    };
+    let mut layer_counts: Vec<(u64, u64)> = vec![(0, 0); groups];
+    let group_of_node = |node: usize| match space {
+        CampaignSpace::Transient(acts) => acts.node_sizes().iter().position(|&(id, _)| id == node),
+        _ => None,
+    };
     let mut injections = 0u64;
     let mut inferences = 0u64;
     for ((stratum, faults), result) in plan.strata().iter().zip(sampled).zip(results) {
@@ -459,10 +708,16 @@ pub(crate) fn assemble_outcome(
             if matches!(class, FaultClass::ExecutionFailure) {
                 continue;
             }
-            let entry = &mut layer_counts[fault.site.layer];
-            entry.0 += 1;
-            if class.is_critical() {
-                entry.1 += 1;
+            let group = match fault {
+                CampaignFault::Weight(f) => Some(f.site.layer),
+                CampaignFault::Activation(f) => group_of_node(f.site.node),
+                CampaignFault::Accumulated(_) => None,
+            };
+            if let Some(entry) = group.and_then(|g| layer_counts.get_mut(g)) {
+                entry.0 += 1;
+                if class.is_critical() {
+                    entry.1 += 1;
+                }
             }
         }
         stratum_telemetry.push(CampaignTelemetry::from_result(result));
@@ -481,9 +736,15 @@ pub(crate) fn assemble_outcome(
         .filter(|(_, (n, _))| *n > 0)
         .map(|(layer, &(sample, successes))| LayerTally { layer, sample, successes })
         .collect();
-    let layer_populations = (0..space.layers())
-        .map(|l| space.layer_subpopulation(l).expect("index in range").size())
-        .collect();
+    let layer_populations = match space {
+        CampaignSpace::Weight(ws) => (0..ws.layers())
+            .map(|l| ws.layer_subpopulation(l).expect("index in range").size())
+            .collect(),
+        CampaignSpace::Transient(acts) => {
+            (0..acts.nodes()).map(|g| acts.group_population(g).expect("index in range")).collect()
+        }
+        CampaignSpace::Accumulated { .. } => Vec::new(),
+    };
     SfiOutcome {
         scheme: plan.scheme(),
         strata,
@@ -512,8 +773,12 @@ pub fn is_success(class: FaultClass) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plan::{plan_data_unaware, plan_layer_wise, plan_network_wise};
+    use crate::plan::{
+        activation_bit_analysis, plan_accumulated, plan_data_unaware, plan_layer_wise,
+        plan_network_wise, plan_transient,
+    };
     use sfi_dataset::SynthCifarConfig;
+    use sfi_faultsim::activation::ActivationSpace;
     use sfi_nn::resnet::ResNetConfig;
     use sfi_stats::sample_size::SampleSpec;
 
@@ -527,6 +792,166 @@ mod tests {
 
     fn loose_spec() -> SampleSpec {
         SampleSpec { error_margin: 0.15, ..SampleSpec::paper_default() }
+    }
+
+    fn run_transient(
+        target: FaultTarget,
+        scheme: SchemeKind,
+        workers: usize,
+        seed: u64,
+    ) -> SfiOutcome {
+        let (model, data, golden, _) = setup();
+        let space = ActivationSpace::build_for(&model, &data, target).unwrap();
+        let plan = plan_transient(&space, target, scheme, None, &loose_spec()).unwrap();
+        let cfg = CampaignConfig { workers, ..CampaignConfig::default() };
+        execute_plan_any(
+            &model,
+            &data,
+            &golden,
+            &plan,
+            CampaignSpace::Transient(&space),
+            seed,
+            &cfg,
+            &sfi_faultsim::campaign::Ieee754Corruption,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn transient_activation_campaign_runs_and_tallies() {
+        let outcome = run_transient(FaultTarget::Activation, SchemeKind::LayerWise, 1, 11);
+        assert!(outcome.injections() > 0);
+        let total: u64 = outcome.strata().iter().map(|t| t.result.sample).sum();
+        assert_eq!(total, outcome.injections());
+    }
+
+    #[test]
+    fn transient_input_campaign_runs() {
+        let outcome = run_transient(FaultTarget::Input, SchemeKind::NetworkWise, 2, 11);
+        assert!(outcome.injections() > 0);
+    }
+
+    #[test]
+    fn transient_outcome_is_byte_identical_across_worker_counts() {
+        let one = run_transient(FaultTarget::Activation, SchemeKind::LayerWise, 1, 9);
+        for workers in [2, 4, 8] {
+            let many = run_transient(FaultTarget::Activation, SchemeKind::LayerWise, workers, 9);
+            assert_eq!(one.strata(), many.strata(), "workers={workers}");
+            assert_eq!(one.injections(), many.injections());
+        }
+    }
+
+    #[test]
+    fn transient_data_aware_uses_observed_activation_bits() {
+        let (model, data, golden, _) = setup();
+        let space = ActivationSpace::build_for(&model, &data, FaultTarget::Activation).unwrap();
+        let analysis = activation_bit_analysis(&golden, &space).unwrap();
+        let p = sfi_stats::bit_analysis::data_aware_p(
+            &analysis,
+            &sfi_stats::bit_analysis::DataAwareConfig::paper_default(),
+        )
+        .unwrap();
+        let plan = plan_transient(
+            &space,
+            FaultTarget::Activation,
+            SchemeKind::DataAware,
+            Some(&p),
+            &loose_spec(),
+        )
+        .unwrap();
+        // Data-aware transient plans sample fewer faults than data-unaware
+        // ones because post-ReLU activations pin the sign bit near p=0.
+        let unaware = plan_transient(
+            &space,
+            FaultTarget::Activation,
+            SchemeKind::DataUnaware,
+            None,
+            &loose_spec(),
+        )
+        .unwrap();
+        assert!(plan.total_sample() <= unaware.total_sample());
+        let outcome = execute_plan_any(
+            &model,
+            &data,
+            &golden,
+            &plan,
+            CampaignSpace::Transient(&space),
+            3,
+            &CampaignConfig::default(),
+            &sfi_faultsim::campaign::Ieee754Corruption,
+        )
+        .unwrap();
+        assert_eq!(outcome.injections(), plan.total_sample());
+    }
+
+    #[test]
+    fn accumulated_campaign_runs_and_is_deterministic() {
+        let (model, data, golden, space) = setup();
+        let acts = ActivationSpace::build_for(&model, &data, FaultTarget::Activation).unwrap();
+        let union = space.total() + acts.total();
+        for k in [2u64, 4] {
+            let plan = plan_accumulated(union, k, &loose_spec()).unwrap();
+            assert_eq!(plan.accumulate(), k);
+            let run = |workers: usize| {
+                execute_plan_any(
+                    &model,
+                    &data,
+                    &golden,
+                    &plan,
+                    CampaignSpace::Accumulated { weights: &space, activations: &acts },
+                    7,
+                    &CampaignConfig { workers, ..CampaignConfig::default() },
+                    &sfi_faultsim::campaign::Ieee754Corruption,
+                )
+                .unwrap()
+            };
+            let one = run(1);
+            let four = run(4);
+            assert_eq!(one.strata(), four.strata(), "k={k}");
+            assert!(one.injections() > 0);
+        }
+    }
+
+    #[test]
+    fn accumulated_sampling_draws_distinct_sites() {
+        let (model, data, _, space) = setup();
+        let acts = ActivationSpace::build_for(&model, &data, FaultTarget::Activation).unwrap();
+        let union = space.total() + acts.total();
+        let plan = plan_accumulated(union, 3, &loose_spec()).unwrap();
+        let sampled = sample_strata_any(
+            &plan,
+            CampaignSpace::Accumulated { weights: &space, activations: &acts },
+            13,
+        )
+        .unwrap();
+        for fault in &sampled[0] {
+            let CampaignFault::Accumulated(acc) = fault else {
+                panic!("expected accumulated fault")
+            };
+            assert_eq!(acc.k(), 3);
+        }
+    }
+
+    #[test]
+    fn weight_campaign_through_generic_path_matches_legacy() {
+        let (model, data, golden, space) = setup();
+        let plan = plan_layer_wise(&space, &loose_spec());
+        let legacy =
+            execute_plan(&model, &data, &golden, &plan, 5, &CampaignConfig::default()).unwrap();
+        let generic = execute_plan_any(
+            &model,
+            &data,
+            &golden,
+            &plan,
+            CampaignSpace::Weight(&space),
+            5,
+            &CampaignConfig::default(),
+            &sfi_faultsim::campaign::Ieee754Corruption,
+        )
+        .unwrap();
+        assert_eq!(legacy.strata(), generic.strata());
+        assert_eq!(legacy.injections(), generic.injections());
+        assert_eq!(legacy.layer_tallies(), generic.layer_tallies());
     }
 
     #[test]

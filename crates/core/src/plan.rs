@@ -2,9 +2,12 @@
 
 use serde::{Deserialize, Serialize};
 
+use sfi_faultsim::activation::{ActivationSpace, ACT_BITS};
+use sfi_faultsim::golden::GoldenReference;
+use sfi_faultsim::multi::FaultTarget;
 use sfi_faultsim::population::FaultSpace;
 use sfi_stats::bit_analysis::{data_aware_p, DataAwareConfig, WeightBitAnalysis};
-use sfi_stats::sample_size::{sample_size, SampleSpec};
+use sfi_stats::sample_size::{accumulated_population, sample_size, SampleSpec};
 
 use crate::SfiError;
 
@@ -61,12 +64,33 @@ pub struct SfiPlan {
     scheme: SchemeKind,
     spec: SampleSpec,
     strata: Vec<Stratum>,
+    target: FaultTarget,
+    accumulate: u64,
+}
+
+fn weight_plan(scheme: SchemeKind, spec: SampleSpec, strata: Vec<Stratum>) -> SfiPlan {
+    SfiPlan { scheme, spec, strata, target: FaultTarget::Weight, accumulate: 1 }
 }
 
 impl SfiPlan {
     /// The scheme that produced this plan.
     pub fn scheme(&self) -> SchemeKind {
         self.scheme
+    }
+
+    /// The fault population the plan samples from. For
+    /// [`FaultTarget::Weight`] strata index weight layers; for
+    /// [`FaultTarget::Activation`] / [`FaultTarget::Input`] they index node
+    /// groups of an [`ActivationSpace`].
+    pub fn target(&self) -> FaultTarget {
+        self.target
+    }
+
+    /// Simultaneous faults per injected instance (`1` for the paper's
+    /// single-fault model; `k > 1` for accumulated campaigns, where each
+    /// drawn sample is a `k`-subset of the composed population).
+    pub fn accumulate(&self) -> u64 {
+        self.accumulate
     }
 
     /// The base sampling specification (error margin, confidence).
@@ -133,12 +157,16 @@ impl SfiPlan {
                         p: global.p,
                         sample: share.min(layer_pop),
                     }],
+                    target: self.target,
+                    accumulate: self.accumulate,
                 }
             }
             _ => SfiPlan {
                 scheme: self.scheme,
                 spec: self.spec,
                 strata: self.strata.iter().copied().filter(|s| s.layer == Some(layer)).collect(),
+                target: self.target,
+                accumulate: self.accumulate,
             },
         }
     }
@@ -170,7 +198,7 @@ pub fn plan_network_wise(space: &FaultSpace, spec: &SampleSpec) -> SfiPlan {
         p: spec.p,
         sample: sample_size(population, spec),
     };
-    SfiPlan { scheme: SchemeKind::NetworkWise, spec: *spec, strata: vec![stratum] }
+    weight_plan(SchemeKind::NetworkWise, *spec, vec![stratum])
 }
 
 /// Plans a layer-wise SFI: one stratum per weight layer.
@@ -190,7 +218,7 @@ pub fn plan_layer_wise(space: &FaultSpace, spec: &SampleSpec) -> SfiPlan {
             }
         })
         .collect();
-    SfiPlan { scheme: SchemeKind::LayerWise, spec: *spec, strata }
+    weight_plan(SchemeKind::LayerWise, *spec, strata)
 }
 
 /// Plans a data-unaware SFI (paper §III-A): one stratum per `(layer, bit)`
@@ -200,7 +228,7 @@ pub fn plan_layer_wise(space: &FaultSpace, spec: &SampleSpec) -> SfiPlan {
 /// spaces (`FaultSpace::with_bits`) plan fewer subpopulations per layer.
 pub fn plan_data_unaware(space: &FaultSpace, spec: &SampleSpec) -> SfiPlan {
     let strata = bit_strata(space, |_| spec.p, spec);
-    SfiPlan { scheme: SchemeKind::DataUnaware, spec: *spec, strata }
+    weight_plan(SchemeKind::DataUnaware, *spec, strata)
 }
 
 /// Plans a data-aware SFI (paper §III-B): per-bit `p(i)` is derived from
@@ -249,7 +277,7 @@ pub fn plan_data_aware_with_p(
         return Err(SfiError::PlanMismatch { reason: "p entries must lie in [0, 1]".into() });
     }
     let strata = bit_strata(space, |bit| p[bit as usize], spec);
-    Ok(SfiPlan { scheme: SchemeKind::DataAware, spec: *spec, strata })
+    Ok(weight_plan(SchemeKind::DataAware, *spec, strata))
 }
 
 /// Plans a Neyman-allocated SFI: the smallest single budget whose optimal
@@ -301,7 +329,172 @@ pub fn plan_neyman(space: &FaultSpace, p: &[f64], spec: &SampleSpec) -> Result<S
             sample,
         })
         .collect();
-    Ok(SfiPlan { scheme: SchemeKind::Neyman, spec: *spec, strata })
+    Ok(weight_plan(SchemeKind::Neyman, *spec, strata))
+}
+
+/// Plans a transient SFI over an activation (or input) population: the
+/// paper's stratification schemes re-derived for the per-inference fault
+/// space of \[Li et al., SC'17\]-style upsets.
+///
+/// Strata index *node groups* of `space` (`Stratum::layer == Some(g)` is
+/// the g-th entry of [`ActivationSpace::node_sizes`]), mirroring how
+/// weight plans index layers:
+///
+/// - [`SchemeKind::NetworkWise`] — one stratum over the whole space;
+/// - [`SchemeKind::LayerWise`] — one stratum per node group;
+/// - [`SchemeKind::DataUnaware`] — one stratum per `(group, bit)` at the
+///   worst-case `p` of `spec`;
+/// - [`SchemeKind::DataAware`] — one stratum per `(group, bit)` at the
+///   observed per-bit `p(i)` (derive it from the golden activation values
+///   via [`activation_bit_analysis`] + `data_aware_p`).
+///
+/// # Errors
+///
+/// Returns [`SfiError::PlanMismatch`] for [`FaultTarget::Weight`] (use the
+/// weight planners), for [`SchemeKind::Neyman`] (not defined for transient
+/// spaces), for a data-aware scheme without a `p` vector, or for a `p`
+/// vector that is short or out of `[0, 1]`.
+pub fn plan_transient(
+    space: &ActivationSpace,
+    target: FaultTarget,
+    scheme: SchemeKind,
+    p: Option<&[f64]>,
+    spec: &SampleSpec,
+) -> Result<SfiPlan, SfiError> {
+    if target == FaultTarget::Weight {
+        return Err(SfiError::PlanMismatch {
+            reason: "weight campaigns plan over a FaultSpace, not an ActivationSpace".into(),
+        });
+    }
+    let bits = ACT_BITS as usize;
+    let strata = match scheme {
+        SchemeKind::NetworkWise => {
+            let population = space.total();
+            vec![Stratum {
+                layer: None,
+                bit: None,
+                population,
+                p: spec.p,
+                sample: sample_size(population, spec),
+            }]
+        }
+        SchemeKind::LayerWise => (0..space.nodes())
+            .map(|g| {
+                let population =
+                    space.group_population(g).expect("group index comes from the space itself");
+                Stratum {
+                    layer: Some(g),
+                    bit: None,
+                    population,
+                    p: spec.p,
+                    sample: sample_size(population, spec),
+                }
+            })
+            .collect(),
+        SchemeKind::DataUnaware | SchemeKind::DataAware => {
+            let p = match scheme {
+                SchemeKind::DataAware => {
+                    let p = p.ok_or_else(|| SfiError::PlanMismatch {
+                        reason: "data-aware transient plans need a per-bit p vector".into(),
+                    })?;
+                    if p.len() < bits {
+                        return Err(SfiError::PlanMismatch {
+                            reason: format!("p vector has {} entries, space needs {bits}", p.len()),
+                        });
+                    }
+                    if p[..bits].iter().any(|v| !v.is_finite() || !(0.0..=1.0).contains(v)) {
+                        return Err(SfiError::PlanMismatch {
+                            reason: "p entries must lie in [0, 1]".into(),
+                        });
+                    }
+                    Some(p)
+                }
+                _ => None,
+            };
+            let mut strata = Vec::with_capacity(space.nodes() * bits);
+            for g in 0..space.nodes() {
+                let population =
+                    space.group_bit_population(g).expect("group index comes from the space itself");
+                for bit in 0..bits as u8 {
+                    let p = p.map_or(spec.p, |p| p[bit as usize]);
+                    strata.push(Stratum {
+                        layer: Some(g),
+                        bit: Some(bit),
+                        population,
+                        p,
+                        sample: sample_size(population, &spec.with_p(p)),
+                    });
+                }
+            }
+            strata
+        }
+        SchemeKind::Neyman => {
+            return Err(SfiError::PlanMismatch {
+                reason: "neyman allocation is not defined for transient spaces".into(),
+            })
+        }
+    };
+    Ok(SfiPlan { scheme, spec: *spec, strata, target, accumulate: 1 })
+}
+
+/// Plans an accumulated-fault SFI: every injected instance is a `k`-subset
+/// of a composed population of `population` single-fault sites, so the
+/// sampled universe is `C(population, k)` and the Eq. 1 finite-population
+/// correction applies to *that* count.
+///
+/// The single stratum carries the untractably large subset population
+/// (saturating at `u64::MAX`, where Eq. 1 is already at its infinite-
+/// population limit); sampling draws `k` distinct sites per instance.
+///
+/// # Errors
+///
+/// Returns [`SfiError::PlanMismatch`] when `k` is zero or exceeds
+/// `population`.
+pub fn plan_accumulated(population: u64, k: u64, spec: &SampleSpec) -> Result<SfiPlan, SfiError> {
+    if k == 0 || k > population {
+        return Err(SfiError::PlanMismatch {
+            reason: format!("accumulation order {k} outside 1..={population}"),
+        });
+    }
+    let subsets = accumulated_population(population, k);
+    let stratum = Stratum {
+        layer: None,
+        bit: None,
+        population: subsets,
+        p: spec.p,
+        sample: sample_size(subsets, spec),
+    };
+    Ok(SfiPlan {
+        scheme: SchemeKind::NetworkWise,
+        spec: *spec,
+        strata: vec![stratum],
+        target: FaultTarget::Weight,
+        accumulate: k,
+    })
+}
+
+/// Derives the per-bit value statistics of the *observed golden
+/// activations* — the transient analogue of running
+/// [`WeightBitAnalysis::from_weights`] over the stored weights, feeding
+/// `data_aware_p` so a transient data-aware plan reflects each model's own
+/// activation-value distribution (post-ReLU sign bias, exponent ranges)
+/// rather than the weight distribution.
+///
+/// # Errors
+///
+/// Returns [`SfiError::Stats`] when the space covers no activation values.
+pub fn activation_bit_analysis(
+    golden: &GoldenReference,
+    space: &ActivationSpace,
+) -> Result<WeightBitAnalysis, SfiError> {
+    let values = (0..golden.len().min(space.images())).flat_map(|img| {
+        let cache = golden.cache(img);
+        space.node_sizes().iter().flat_map(move |&(node, len)| {
+            let data = cache.get(node).map(|t| t.as_slice()).unwrap_or(&[]);
+            data[..len.min(data.len())].iter().copied()
+        })
+    });
+    Ok(WeightBitAnalysis::from_weights(values)?)
 }
 
 fn bit_strata(space: &FaultSpace, p_of_bit: impl Fn(u8) -> f64, spec: &SampleSpec) -> Vec<Stratum> {
@@ -509,6 +702,107 @@ mod tests {
             bit30,
             neyman.total_sample()
         );
+    }
+
+    fn transient_world() -> (ActivationSpace, ActivationSpace, GoldenReference) {
+        use sfi_dataset::SynthCifarConfig;
+        let model = ResNetConfig { base_width: 2, blocks_per_stage: 1, classes: 10, input_size: 8 }
+            .build_seeded(3)
+            .unwrap();
+        let data = SynthCifarConfig::new().with_size(8).with_samples(2).generate();
+        let golden = GoldenReference::build(&model, &data).unwrap();
+        let acts = ActivationSpace::build(&model, &data).unwrap();
+        let input = ActivationSpace::build_for(&model, &data, FaultTarget::Input).unwrap();
+        (acts, input, golden)
+    }
+
+    #[test]
+    fn transient_plans_cover_the_activation_population() {
+        let (acts, input, _) = transient_world();
+        let spec = SampleSpec::paper_default();
+        for (space, target) in [(&acts, FaultTarget::Activation), (&input, FaultTarget::Input)] {
+            for scheme in [SchemeKind::NetworkWise, SchemeKind::LayerWise, SchemeKind::DataUnaware]
+            {
+                let plan = plan_transient(space, target, scheme, None, &spec).unwrap();
+                assert_eq!(plan.target(), target);
+                assert_eq!(plan.accumulate(), 1);
+                assert_eq!(plan.scheme(), scheme);
+                assert_eq!(plan.total_population(), space.total(), "{scheme}");
+                assert!(plan.total_sample() > 0);
+            }
+        }
+        // Layer-wise strata index node groups, one per non-input node.
+        let lw = plan_transient(&acts, FaultTarget::Activation, SchemeKind::LayerWise, None, &spec)
+            .unwrap();
+        assert_eq!(lw.strata().len(), acts.nodes());
+        let du =
+            plan_transient(&acts, FaultTarget::Activation, SchemeKind::DataUnaware, None, &spec)
+                .unwrap();
+        assert_eq!(du.strata().len(), acts.nodes() * 32);
+    }
+
+    #[test]
+    fn transient_data_aware_uses_observed_activation_stats() {
+        let (acts, _, golden) = transient_world();
+        let spec = SampleSpec::paper_default();
+        let analysis = activation_bit_analysis(&golden, &acts).unwrap();
+        let p = data_aware_p(&analysis, &DataAwareConfig::paper_default()).unwrap();
+        // Post-ReLU feature maps are overwhelmingly non-negative: a
+        // stuck-at-style analysis must see a strongly biased sign bit.
+        let aware =
+            plan_transient(&acts, FaultTarget::Activation, SchemeKind::DataAware, Some(&p), &spec)
+                .unwrap();
+        let unaware =
+            plan_transient(&acts, FaultTarget::Activation, SchemeKind::DataUnaware, None, &spec)
+                .unwrap();
+        assert_eq!(aware.strata().len(), unaware.strata().len());
+        assert!(
+            aware.total_sample() < unaware.total_sample(),
+            "data-aware {} must undercut data-unaware {}",
+            aware.total_sample(),
+            unaware.total_sample()
+        );
+        for (a, u) in aware.strata().iter().zip(unaware.strata()) {
+            assert!(a.sample <= u.sample, "group {:?} bit {:?}", a.layer, a.bit);
+        }
+    }
+
+    #[test]
+    fn transient_plan_rejects_misuse() {
+        let (acts, _, _) = transient_world();
+        let spec = SampleSpec::paper_default();
+        assert!(
+            plan_transient(&acts, FaultTarget::Weight, SchemeKind::LayerWise, None, &spec).is_err()
+        );
+        assert!(plan_transient(&acts, FaultTarget::Activation, SchemeKind::Neyman, None, &spec)
+            .is_err());
+        assert!(plan_transient(&acts, FaultTarget::Activation, SchemeKind::DataAware, None, &spec)
+            .is_err());
+        assert!(plan_transient(
+            &acts,
+            FaultTarget::Activation,
+            SchemeKind::DataAware,
+            Some(&[0.5; 8]),
+            &spec
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn accumulated_plan_samples_the_subset_population() {
+        let spec = SampleSpec::paper_default();
+        let plan = plan_accumulated(1000, 2, &spec).unwrap();
+        assert_eq!(plan.accumulate(), 2);
+        assert_eq!(plan.strata().len(), 1);
+        assert_eq!(plan.total_population(), 1000 * 999 / 2);
+        assert!(plan.total_sample() > 0);
+        // Huge populations saturate; the sample hits the infinite-
+        // population limit instead of overflowing.
+        let huge = plan_accumulated(u64::MAX / 2, 4, &spec).unwrap();
+        assert_eq!(huge.total_population(), u64::MAX);
+        assert!(huge.total_sample() >= plan.total_sample());
+        assert!(plan_accumulated(10, 0, &spec).is_err());
+        assert!(plan_accumulated(3, 4, &spec).is_err());
     }
 
     #[test]

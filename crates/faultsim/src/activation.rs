@@ -25,6 +25,7 @@ use sfi_nn::{Model, NodeId};
 
 use crate::fault::FaultModel;
 use crate::golden::GoldenReference;
+use crate::multi::FaultTarget;
 use crate::FaultSimError;
 
 /// Location of a transient activation fault within one inference.
@@ -87,13 +88,43 @@ impl ActivationSpace {
     /// Returns [`FaultSimError::EmptyEvalSet`] for an empty dataset, or an
     /// inference failure.
     pub fn build(model: &Model, data: &Dataset) -> Result<Self, FaultSimError> {
+        Self::build_for(model, data, FaultTarget::Activation)
+    }
+
+    /// Enumerates the transient fault space of `target`:
+    /// [`FaultTarget::Activation`] covers every non-input node's output,
+    /// [`FaultTarget::Input`] covers the input tensor itself (node 0) — the
+    /// Beyer-style image-corruption model on the same machinery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultSimError::EmptyEvalSet`] for an empty dataset,
+    /// [`FaultSimError::InvalidFault`] for [`FaultTarget::Weight`] (weight
+    /// populations are enumerated by
+    /// [`FaultSpace`](crate::population::FaultSpace)), or an inference
+    /// failure.
+    pub fn build_for(
+        model: &Model,
+        data: &Dataset,
+        target: FaultTarget,
+    ) -> Result<Self, FaultSimError> {
         if data.is_empty() {
             return Err(FaultSimError::EmptyEvalSet);
         }
-        let cache = model.forward_cached(data.image(0))?;
-        let node_sizes = (1..cache.len())
-            .map(|id| (id, cache.get(id).expect("cache covers node").len()))
-            .collect();
+        let node_sizes = match target {
+            FaultTarget::Weight => {
+                return Err(FaultSimError::InvalidFault {
+                    reason: "weight faults have no activation space; use FaultSpace".into(),
+                })
+            }
+            FaultTarget::Activation => {
+                let cache = model.forward_cached(data.image(0))?;
+                (1..cache.len())
+                    .map(|id| (id, cache.get(id).expect("cache covers node").len()))
+                    .collect()
+            }
+            FaultTarget::Input => vec![(0, data.image(0).len())],
+        };
         Ok(Self { node_sizes, images: data.len() })
     }
 
@@ -130,6 +161,100 @@ impl ActivationSpace {
             FaultSimError::InvalidFault { reason: format!("node {node} has no activations") }
         })?;
         Ok(*len as u64 * ACT_BITS * self.images as u64)
+    }
+
+    /// Population of node group `group` (an index into [`node_sizes`])
+    /// across all images and bits — the transient analogue of a per-layer
+    /// subpopulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultSimError::IndexOutOfRange`] for an unknown group.
+    ///
+    /// [`node_sizes`]: ActivationSpace::node_sizes
+    pub fn group_population(&self, group: usize) -> Result<u64, FaultSimError> {
+        let (_, len) = self.group(group)?;
+        Ok(len as u64 * ACT_BITS * self.images as u64)
+    }
+
+    /// Population of node group `group` restricted to a single bit
+    /// position: `elements × images`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultSimError::IndexOutOfRange`] for an unknown group.
+    pub fn group_bit_population(&self, group: usize) -> Result<u64, FaultSimError> {
+        let (_, len) = self.group(group)?;
+        Ok(len as u64 * self.images as u64)
+    }
+
+    /// Decodes an index within group `group` (layout identical to the
+    /// group's slice of the global index space) into its bit-flip fault.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultSimError::IndexOutOfRange`] for an unknown group or an
+    /// index at or past [`group_population`](ActivationSpace::group_population).
+    pub fn group_fault_at(
+        &self,
+        group: usize,
+        index: u64,
+    ) -> Result<ActivationFault, FaultSimError> {
+        let (node, len) = self.group(group)?;
+        let size = len as u64 * ACT_BITS * self.images as u64;
+        if index >= size {
+            return Err(FaultSimError::IndexOutOfRange { index, size });
+        }
+        let per_image = len as u64 * ACT_BITS;
+        let image = (index / per_image) as usize;
+        let in_image = index % per_image;
+        let element = (in_image / ACT_BITS) as usize;
+        let bit = (in_image % ACT_BITS) as u8;
+        Ok(ActivationFault {
+            site: ActivationSite { node, element, bit, image },
+            model: FaultModel::BitFlip,
+        })
+    }
+
+    /// Decodes an index within the `(group, bit)` subpopulation — the
+    /// transient analogue of the paper's per-layer-per-bit strata. Layout:
+    /// `element = index % elements`, `image = index / elements`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultSimError::IndexOutOfRange`] for an unknown group or an
+    /// index at or past
+    /// [`group_bit_population`](ActivationSpace::group_bit_population), and
+    /// [`FaultSimError::InvalidFault`] for `bit >= 32`.
+    pub fn group_bit_fault_at(
+        &self,
+        group: usize,
+        bit: u8,
+        index: u64,
+    ) -> Result<ActivationFault, FaultSimError> {
+        if u64::from(bit) >= ACT_BITS {
+            return Err(FaultSimError::InvalidFault {
+                reason: format!("bit {bit} outside f32 activation word"),
+            });
+        }
+        let (node, len) = self.group(group)?;
+        let size = len as u64 * self.images as u64;
+        if index >= size {
+            return Err(FaultSimError::IndexOutOfRange { index, size });
+        }
+        let element = (index % len as u64) as usize;
+        let image = (index / len as u64) as usize;
+        Ok(ActivationFault {
+            site: ActivationSite { node, element, bit, image },
+            model: FaultModel::BitFlip,
+        })
+    }
+
+    fn group(&self, group: usize) -> Result<(NodeId, usize), FaultSimError> {
+        self.node_sizes.get(group).copied().ok_or(FaultSimError::IndexOutOfRange {
+            index: group as u64,
+            size: self.node_sizes.len() as u64,
+        })
     }
 
     /// Decodes a global index into its bit-flip fault.
@@ -363,6 +488,60 @@ mod tests {
             run_activation_campaign(&model, &data, &golden, &[fault]),
             Err(FaultSimError::InvalidFault { .. })
         ));
+    }
+
+    #[test]
+    fn input_space_covers_exactly_the_input_tensor() {
+        let (model, data, _, _) = setup();
+        let space = ActivationSpace::build_for(&model, &data, FaultTarget::Input).unwrap();
+        assert_eq!(space.node_sizes(), &[(0, data.image(0).len())]);
+        assert_eq!(space.total(), data.image(0).len() as u64 * 32 * 2);
+        let f = space.fault_at(17).unwrap();
+        assert_eq!(f.site.node, 0);
+        assert!(
+            ActivationSpace::build_for(&model, &data, FaultTarget::Weight).is_err(),
+            "weight target has no activation space"
+        );
+    }
+
+    #[test]
+    fn group_decoding_matches_global_layout() {
+        let (_, _, _, space) = setup();
+        // The global index space is the concatenation of the groups, so
+        // group-local decoding must agree with the global decoder.
+        let mut offset = 0u64;
+        for g in 0..space.nodes() {
+            let pop = space.group_population(g).unwrap();
+            for local in [0, pop / 3, pop - 1] {
+                assert_eq!(
+                    space.group_fault_at(g, local).unwrap(),
+                    space.fault_at(offset + local).unwrap()
+                );
+            }
+            assert!(space.group_fault_at(g, pop).is_err());
+            offset += pop;
+        }
+        assert_eq!(offset, space.total());
+        assert!(space.group_population(space.nodes()).is_err());
+    }
+
+    #[test]
+    fn group_bit_decoding_is_bijective_and_pinned_to_the_bit() {
+        let (_, _, _, space) = setup();
+        let g = 1;
+        let pop = space.group_bit_population(g).unwrap();
+        let (node, len) = space.node_sizes()[g];
+        assert_eq!(pop, len as u64 * 2);
+        let mut seen = HashSet::new();
+        for idx in 0..pop {
+            let f = space.group_bit_fault_at(g, 30, idx).unwrap();
+            assert_eq!(f.site.node, node);
+            assert_eq!(f.site.bit, 30);
+            assert!(f.site.element < len && f.site.image < 2);
+            assert!(seen.insert((f.site.element, f.site.image)));
+        }
+        assert!(space.group_bit_fault_at(g, 30, pop).is_err());
+        assert!(space.group_bit_fault_at(g, 32, 0).is_err());
     }
 
     #[test]

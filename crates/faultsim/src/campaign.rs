@@ -305,6 +305,25 @@ pub fn run_campaign_with<C: Corruption>(
     with_executor(model, data, golden, &cfg, corruption, |exec| exec.run(faults))
 }
 
+/// Runs a fault-model-generic campaign: weight faults, transient
+/// activation/input faults, and accumulated multi-fault instances, freely
+/// mixed in one list. Classifications are in fault order and identical
+/// across worker counts.
+///
+/// # Errors
+///
+/// Same conditions as [`run_campaign`].
+pub fn run_any_campaign(
+    model: &Model,
+    data: &Dataset,
+    golden: &GoldenReference,
+    faults: &[crate::multi::CampaignFault],
+    cfg: &CampaignConfig,
+) -> Result<CampaignResult, FaultSimError> {
+    let cfg = CampaignConfig { workers: cfg.workers.max(1).min(faults.len().max(1)), ..*cfg };
+    with_executor(model, data, golden, &cfg, &Ieee754Corruption, |exec| exec.run_any(faults))
+}
+
 /// Runs a campaign with the historical static-shard scheduler: the fault
 /// list is split into `workers` contiguous chunks up front, one scoped
 /// thread per chunk.

@@ -81,14 +81,16 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use sfi_dataset::Dataset;
-use sfi_nn::{DeltaOptions, ForwardOptions, ForwardOutcome, KernelPolicy, Model};
+use sfi_nn::{ActPatch, DeltaOptions, ForwardOptions, ForwardOutcome, KernelPolicy, Model};
 use sfi_obs::{Probe, WorkerProbe};
 use sfi_tensor::ScratchArena;
 
+use crate::activation::ActivationFault;
 use crate::campaign::{CampaignConfig, CampaignResult, Corruption, Criterion, FaultClass};
 use crate::fault::Fault;
 use crate::golden::GoldenReference;
-use crate::injector::{inject_with, revert};
+use crate::injector::{inject_with, revert, Injection};
+use crate::multi::{AccumulatedFault, CampaignFault};
 use crate::FaultSimError;
 
 /// A cooperative stop signal for long-running campaigns.
@@ -222,7 +224,7 @@ struct BatchState {
 
 /// One unit of pool work: a shared fault list plus the steal cursor.
 struct Batch {
-    faults: Vec<Fault>,
+    faults: Vec<CampaignFault>,
     next: AtomicUsize,
     /// Fast-path stop flag mirroring `BatchState::closed`.
     stop: AtomicBool,
@@ -231,7 +233,7 @@ struct Batch {
 }
 
 impl Batch {
-    fn new(faults: Vec<Fault>) -> Self {
+    fn new(faults: Vec<CampaignFault>) -> Self {
         Self {
             faults,
             next: AtomicUsize::new(0),
@@ -501,6 +503,36 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
         on_classified: &mut dyn FnMut(usize, FaultClass, u64),
         cancel: Option<&CancelToken>,
     ) -> Result<CampaignResult, FaultSimError> {
+        let faults: Vec<CampaignFault> = faults.iter().map(|&f| CampaignFault::Weight(f)).collect();
+        self.run_any_with(&faults, progress, on_classified, cancel)
+    }
+
+    /// Runs one campaign over a fault-model-generic fault list (weight,
+    /// activation/input, or accumulated multi-fault instances, freely
+    /// mixed).
+    ///
+    /// Results are in fault order and identical across worker counts.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run`](Self::run).
+    pub fn run_any(&mut self, faults: &[CampaignFault]) -> Result<CampaignResult, FaultSimError> {
+        self.run_any_with(faults, &mut |_| {}, &mut |_, _, _| {}, None)
+    }
+
+    /// [`run_with`](Self::run_with) over a fault-model-generic fault list —
+    /// the primitive every other `run*` entry point reduces to.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run_with`](Self::run_with).
+    pub fn run_any_with(
+        &mut self,
+        faults: &[CampaignFault],
+        progress: &mut dyn FnMut(CampaignProgress),
+        on_classified: &mut dyn FnMut(usize, FaultClass, u64),
+        cancel: Option<&CancelToken>,
+    ) -> Result<CampaignResult, FaultSimError> {
         if cancel.is_some_and(|t| t.is_cancelled()) {
             return Err(FaultSimError::Cancelled { completed: 0 });
         }
@@ -535,7 +567,7 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
                     let mut attempts = 0usize;
                     let item = loop {
                         let outcome = catch_unwind(AssertUnwindSafe(|| {
-                            classify_one(
+                            classify_any(
                                 model, data, golden, fault, needed, &cfg, corruption, arena, wprobe,
                             )
                         }));
@@ -579,7 +611,8 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
                 classes
             }
             Mode::Pool(senders) => {
-                let batch = Arc::new(Batch::new(order.iter().map(|&i| faults[i]).collect()));
+                let batch =
+                    Arc::new(Batch::new(order.iter().map(|&i| faults[i].clone()).collect()));
                 let (tx, rx) = channel::<WorkerReport>();
                 let mut live = 0usize;
                 for slot in senders.iter_mut() {
@@ -722,24 +755,39 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
 
     /// The order faults are *executed* in (indices into the caller's
     /// slice). Identity unless convergence or delta propagation is
-    /// enabled: with either early exit active, faults in deeper layers
-    /// have shorter suffixes, so draining them first shrinks the straggler
-    /// tail of a work-stealing batch. The sort is stable, and
+    /// enabled: with either early exit active, faults striking deeper
+    /// nodes have shorter suffixes, so draining them first shrinks the
+    /// straggler tail of a work-stealing batch. The sort is stable, and
     /// results/errors always surface in the caller's fault order
     /// regardless of this permutation.
-    fn execution_order(&self, faults: &[Fault]) -> Vec<usize> {
+    fn execution_order(&self, faults: &[CampaignFault]) -> Vec<usize> {
         let mut order: Vec<usize> = (0..faults.len()).collect();
         if !(self.cfg.convergence || self.cfg.delta) {
             return order;
         }
         let layers = self.model.weight_layers();
-        let depth = |f: &Fault| -> usize {
+        let weight_depth = |f: &Fault| -> usize {
             layers
                 .get(f.site.layer)
                 .and_then(|l| self.model.node_of_param(l.param))
                 // Unknown layers sort last (depth 0 under Reverse), keeping
                 // invalid-fault errors ordered by original index.
                 .unwrap_or(0)
+        };
+        let depth = |f: &CampaignFault| -> usize {
+            match f {
+                CampaignFault::Weight(w) => weight_depth(w),
+                CampaignFault::Activation(a) => a.site.node,
+                // An accumulated instance re-executes from its shallowest
+                // component.
+                CampaignFault::Accumulated(acc) => acc
+                    .weights
+                    .iter()
+                    .map(weight_depth)
+                    .chain(acc.activations.iter().map(|a| a.site.node))
+                    .min()
+                    .unwrap_or(0),
+            }
         };
         order.sort_by_key(|&i| std::cmp::Reverse(depth(&faults[i])));
         order
@@ -788,6 +836,14 @@ pub(crate) fn needed_for_critical(cfg: &CampaignConfig, total_images: usize) -> 
         }
     }
 }
+
+/// Minimum per-image element count of a *weight* fault's dirty node for
+/// the sparse delta path to be selected: weight faults dirty a whole
+/// output channel, so below this size the mask bookkeeping loses to the
+/// dense early-exit path (BENCH_delta: 0.83x at smoke scale, 0.88x at
+/// default scale, ≥1.01x at full scale). Single-site activation faults
+/// keep delta at any size — their cone starts one element wide.
+pub(crate) const DELTA_MIN_SEED_ELEMENTS: usize = 2048;
 
 /// Per-fault classification outcome with early-exit accounting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -868,7 +924,15 @@ pub(crate) fn classify_one<C: Corruption>(
     // can reach: arms the single-unit convergence/delta seed probe, which
     // decides whole-node convergence (or seeds the delta mask) from one
     // GEMM row instead of re-running the faulted layer in full.
-    let use_delta = cfg.delta && cfg.incremental && fast;
+    //
+    // A weight fault dirties an entire output channel, so its delta cone is
+    // wide from the first node; on small feature maps the mask bookkeeping
+    // costs more than it saves. Dispatch on the faulted node's activation
+    // size: below the threshold the dense early-exit path wins or ties, so
+    // delta is only selected where it pays. Classifications and inference
+    // counts are identical either way.
+    let seed_len = golden.cache(0).get(injection.dirty_node).map_or(0, |t| t.len());
+    let use_delta = cfg.delta && cfg.incremental && fast && seed_len >= DELTA_MIN_SEED_ELEMENTS;
     let dirty_unit = if (cfg.convergence || cfg.delta) && cfg.incremental && fast {
         model.param_output_unit(injection.param, injection.index)
     } else {
@@ -1020,6 +1084,284 @@ pub(crate) fn classify_one<C: Corruption>(
     })
 }
 
+/// Classifies any [`CampaignFault`] variant: the executor's per-fault
+/// dispatch point.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn classify_any<C: Corruption>(
+    model: &mut Model,
+    data: &Dataset,
+    golden: &GoldenReference,
+    fault: &CampaignFault,
+    needed_for_critical: usize,
+    cfg: &CampaignConfig,
+    corruption: &C,
+    arena: &mut ScratchArena,
+    wprobe: WorkerProbe<'_>,
+) -> Result<FaultOutcome, FaultSimError> {
+    wprobe.record_fault_kind(fault.kind());
+    match fault {
+        CampaignFault::Weight(f) => classify_one(
+            model,
+            data,
+            golden,
+            f,
+            needed_for_critical,
+            cfg,
+            corruption,
+            arena,
+            wprobe,
+        ),
+        CampaignFault::Activation(f) => {
+            classify_activation(model, golden, f, needed_for_critical, cfg, arena, wprobe)
+        }
+        CampaignFault::Accumulated(f) => classify_accumulated(
+            model,
+            data,
+            golden,
+            f,
+            needed_for_critical,
+            cfg,
+            corruption,
+            arena,
+            wprobe,
+        ),
+    }
+}
+
+/// Checks that an activation fault's coordinates exist in the golden
+/// reference, without touching the model.
+fn validate_activation_site(
+    golden: &GoldenReference,
+    fault: &ActivationFault,
+) -> Result<(), FaultSimError> {
+    let site = fault.site;
+    if site.image >= golden.len() {
+        return Err(FaultSimError::InvalidFault {
+            reason: format!("image {} outside evaluation set of {}", site.image, golden.len()),
+        });
+    }
+    let cache = golden.cache(site.image);
+    let Some(value) = cache.get(site.node) else {
+        return Err(FaultSimError::InvalidFault {
+            reason: format!("node {} outside graph of {} nodes", site.node, cache.len()),
+        });
+    };
+    if site.element >= value.len() {
+        return Err(FaultSimError::InvalidFault {
+            reason: format!(
+                "element {} out of range for node {} ({} elements)",
+                site.element,
+                site.node,
+                value.len()
+            ),
+        });
+    }
+    if site.bit >= 32 {
+        return Err(FaultSimError::InvalidFault {
+            reason: format!("bit {} outside 0..32", site.bit),
+        });
+    }
+    Ok(())
+}
+
+/// Classifies one transient activation/input fault.
+///
+/// The upset strikes exactly one image's inference, so only that image is
+/// evaluated — every other image provably reproduces its golden prediction
+/// — while the mismatch count is still compared against the criterion
+/// cutoff for the full evaluation set. A fault whose bit operation leaves
+/// the golden activation bits unchanged is [`FaultClass::Masked`] with zero
+/// inferences, mirroring the weight path's effectiveness check.
+///
+/// With the delta engine active the single dirty site seeds a sparse cone
+/// via [`Model::forward_delta_site`] (this is the workload the per-image
+/// dirty-site machinery was built for); otherwise the dense
+/// [`Model::forward_patched_with`] path re-executes the suffix. The model
+/// is never mutated.
+fn classify_activation(
+    model: &Model,
+    golden: &GoldenReference,
+    fault: &ActivationFault,
+    needed_for_critical: usize,
+    cfg: &CampaignConfig,
+    arena: &mut ScratchArena,
+    wprobe: WorkerProbe<'_>,
+) -> Result<FaultOutcome, FaultSimError> {
+    validate_activation_site(golden, fault)?;
+    let site = fault.site;
+    let cache = golden.cache(site.image);
+    let golden_v = cache.get(site.node).expect("validated site").as_slice()[site.element];
+    let faulty_bits = fault.model.apply(golden_v, site.bit).to_bits();
+    if faulty_bits == golden_v.to_bits() {
+        return Ok(FaultOutcome::masked());
+    }
+    let fast = cfg.kernel == KernelPolicy::Fast;
+    let use_delta = cfg.delta && cfg.incremental && fast;
+    let total_nodes = model.nodes().len();
+    let mut outcome = FaultOutcome { class: FaultClass::NonCritical, ..FaultOutcome::masked() };
+    let timer = wprobe.inference_start();
+    let logits = if use_delta {
+        let mut dopts = DeltaOptions { arena: Some(&mut *arena), ..Default::default() };
+        let (out, stats) =
+            model.forward_delta_site(site.node, site.element, faulty_bits, cache, &mut dopts)?;
+        outcome.delta_sparse_nodes = stats.sparse_nodes;
+        outcome.delta_fallbacks = stats.dense_nodes;
+        outcome.delta_dirty_blocks = stats.dirty_blocks;
+        wprobe.record_delta(stats.sparse_nodes, stats.dense_nodes, stats.dirty_blocks);
+        match out {
+            ForwardOutcome::Logits(l) => l,
+            ForwardOutcome::Converged { at_node } => {
+                // The struck image's prediction provably equals the golden
+                // one: the upset was effective at its site but absorbed.
+                wprobe.inference_end(timer);
+                outcome.inferences = 1;
+                outcome.converged_images = 1;
+                outcome.nodes_skipped = (total_nodes - 1 - at_node) as u64;
+                wprobe.record_convergence(at_node + 1 - site.node, outcome.nodes_skipped);
+                return Ok(outcome);
+            }
+        }
+    } else {
+        let mut opts = if fast {
+            ForwardOptions { arena: Some(&mut *arena), ..Default::default() }
+        } else {
+            ForwardOptions { policy: KernelPolicy::Naive, ..Default::default() }
+        };
+        model.forward_patched_with(
+            site.node,
+            cache,
+            move |t| t.as_mut_slice()[site.element] = f32::from_bits(faulty_bits),
+            &mut opts,
+        )?
+    };
+    wprobe.inference_end(timer);
+    outcome.inferences = 1;
+    let Some(pred) = logits.argmax() else {
+        outcome.class = FaultClass::ExecutionFailure;
+        return Ok(outcome);
+    };
+    let mismatches = usize::from(pred != golden.prediction(site.image));
+    if mismatches >= needed_for_critical {
+        outcome.class = FaultClass::Critical;
+    }
+    Ok(outcome)
+}
+
+/// Classifies one accumulated multi-fault instance: every weight component
+/// is injected for the whole evaluation, and each image's forward pass
+/// additionally applies the activation patches tied to that image.
+///
+/// The instance is [`FaultClass::Masked`] only when *no* component has any
+/// effect: every weight injection is ineffective and every activation patch
+/// is a no-op on the value it would strike. Images touched by neither a
+/// weight fault nor an activation patch are provably golden and skipped.
+/// Re-execution always runs the dense [`Model::forward_from_patched`] path
+/// (patches on multiple sites make the sparse cone immediately wide), which
+/// starts from the shallowest effective component.
+#[allow(clippy::too_many_arguments)]
+fn classify_accumulated<C: Corruption>(
+    model: &mut Model,
+    data: &Dataset,
+    golden: &GoldenReference,
+    fault: &AccumulatedFault,
+    needed_for_critical: usize,
+    cfg: &CampaignConfig,
+    corruption: &C,
+    arena: &mut ScratchArena,
+    wprobe: WorkerProbe<'_>,
+) -> Result<FaultOutcome, FaultSimError> {
+    // Validate every transient component before mutating the model, so
+    // error paths never leave a half-injected store behind.
+    for af in &fault.activations {
+        validate_activation_site(golden, af)?;
+    }
+    let mut injections: Vec<Injection> = Vec::with_capacity(fault.weights.len());
+    for wf in &fault.weights {
+        match inject_with(model, wf, |f, original| corruption.corrupt(f, original)) {
+            Ok(inj) => injections.push(inj),
+            Err(e) => {
+                for inj in injections.iter().rev() {
+                    revert(model, inj);
+                }
+                return Err(e);
+            }
+        }
+    }
+    // First node any effective weight component can change; `None` when all
+    // weight components are masked.
+    let weight_dirty = injections.iter().filter(|i| i.is_effective()).map(|i| i.dirty_node).min();
+    let strikes = |af: &ActivationFault| {
+        let v = golden.cache(af.site.image).get(af.site.node).expect("validated site").as_slice()
+            [af.site.element];
+        !af.patch().is_noop_on(v)
+    };
+    if weight_dirty.is_none() && !fault.activations.iter().any(strikes) {
+        for inj in injections.iter().rev() {
+            revert(model, inj);
+        }
+        return Ok(FaultOutcome::masked());
+    }
+    let fast = cfg.kernel == KernelPolicy::Fast;
+    let mut inferences = 0u64;
+    let mut mismatches = 0usize;
+    let mut failed = false;
+    let mut outcome: Result<(), FaultSimError> = Ok(());
+    for idx in 0..data.len() {
+        let patches: Vec<ActPatch> = fault
+            .activations
+            .iter()
+            .filter(|af| af.site.image == idx)
+            .map(ActivationFault::patch)
+            .collect();
+        if weight_dirty.is_none() && patches.is_empty() {
+            // No component touches this image's inference.
+            continue;
+        }
+        let timer = wprobe.inference_start();
+        let mut opts = if fast {
+            ForwardOptions { arena: Some(&mut *arena), ..Default::default() }
+        } else {
+            ForwardOptions { policy: KernelPolicy::Naive, ..Default::default() }
+        };
+        let logits = match model.forward_from_patched(
+            weight_dirty,
+            golden.cache(idx),
+            &patches,
+            &mut opts,
+        ) {
+            Ok(l) => l,
+            Err(e) => {
+                outcome = Err(e.into());
+                break;
+            }
+        };
+        wprobe.inference_end(timer);
+        inferences += 1;
+        let Some(pred) = logits.argmax() else {
+            failed = true;
+            break;
+        };
+        if pred != golden.prediction(idx) {
+            mismatches += 1;
+            if cfg.early_exit && mismatches >= needed_for_critical {
+                break;
+            }
+        }
+    }
+    for inj in injections.iter().rev() {
+        revert(model, inj);
+    }
+    outcome?;
+    let class = if failed {
+        FaultClass::ExecutionFailure
+    } else if mismatches >= needed_for_critical {
+        FaultClass::Critical
+    } else {
+        FaultClass::NonCritical
+    };
+    Ok(FaultOutcome { class, inferences, ..FaultOutcome::masked() })
+}
+
 /// Pool worker: drain tasks until the session's senders are dropped, steal
 /// faults within each task until its cursor runs out. A panic while
 /// classifying retires the worker — its model clone may hold an unreverted
@@ -1045,7 +1387,7 @@ fn worker_loop<C: Corruption>(
         while let Some(idx) = task.batch.claim() {
             let fault = &task.batch.faults[idx];
             let outcome = catch_unwind(AssertUnwindSafe(|| {
-                classify_one(
+                classify_any(
                     &mut model,
                     data,
                     golden,
@@ -1473,6 +1815,254 @@ mod tests {
         assert_eq!(cutoff(1.5, 10), 10, "thresholds above 1.0 behave like 1.0");
         assert_eq!(cutoff(f64::INFINITY, 10), 10);
         assert_eq!(cutoff(f64::NAN, 10), 10, "NaN falls back to the strictest cutoff");
+    }
+
+    #[test]
+    fn activation_faults_agree_across_paths_workers_and_the_legacy_runner() {
+        let (model, data, golden) = setup();
+        let space = crate::activation::ActivationSpace::build(&model, &data).unwrap();
+        let indices: Vec<u64> =
+            (0..space.total()).step_by((space.total() / 60).max(1) as usize).collect();
+        let acts = space.faults_at(&indices).unwrap();
+        let faults: Vec<CampaignFault> =
+            acts.iter().map(|&f| CampaignFault::Activation(f)).collect();
+        let mut reference: Option<CampaignResult> = None;
+        for (workers, delta, convergence) in [
+            (1usize, true, true),
+            (4, true, true),
+            (1, false, true),
+            (1, false, false),
+            (4, false, false),
+        ] {
+            let cfg = CampaignConfig { workers, delta, convergence, ..CampaignConfig::default() };
+            let res = with_executor(&model, &data, &golden, &cfg, &Ieee754Corruption, |exec| {
+                exec.run_any(&faults)
+            })
+            .unwrap();
+            assert_eq!(res.injections, faults.len() as u64);
+            if let Some(r) = &reference {
+                assert_eq!(
+                    res.classes, r.classes,
+                    "workers={workers} delta={delta} convergence={convergence}"
+                );
+                assert_eq!(res.inferences, r.inferences);
+            } else {
+                reference = Some(res);
+            }
+        }
+        // The sequential legacy runner agrees on criticality (its critical
+        // flag ⇔ class Critical under AnyMismatch).
+        let legacy =
+            crate::activation::run_activation_campaign(&model, &data, &golden, &acts).unwrap();
+        let classes = &reference.unwrap().classes;
+        for (i, crit) in legacy.critical.iter().enumerate() {
+            assert_eq!(*crit, classes[i] == FaultClass::Critical, "fault {i}");
+        }
+    }
+
+    #[test]
+    fn input_faults_run_through_the_executor() {
+        let (model, data, golden) = setup();
+        let space = crate::activation::ActivationSpace::build_for(
+            &model,
+            &data,
+            crate::multi::FaultTarget::Input,
+        )
+        .unwrap();
+        let faults: Vec<CampaignFault> = space
+            .faults_at(&(0..space.total()).step_by(997).collect::<Vec<_>>())
+            .unwrap()
+            .into_iter()
+            .map(CampaignFault::Activation)
+            .collect();
+        let mut results = Vec::new();
+        for workers in [1usize, 4] {
+            let cfg = CampaignConfig { workers, ..CampaignConfig::default() };
+            results.push(
+                with_executor(&model, &data, &golden, &cfg, &Ieee754Corruption, |exec| {
+                    exec.run_any(&faults)
+                })
+                .unwrap(),
+            );
+        }
+        assert_eq!(results[0].classes, results[1].classes);
+        assert!(
+            results[0].classes.iter().any(|c| !matches!(c, FaultClass::Masked)),
+            "some input upsets must be effective"
+        );
+    }
+
+    #[test]
+    fn accumulated_masked_only_when_every_component_is_masked() {
+        let (model, data, golden) = setup();
+        // He-init weights have bit 30 clear, so stuck-at-0 there is masked.
+        let masked_w =
+            Fault { site: FaultSite { layer: 0, weight: 0, bit: 30 }, model: FaultModel::StuckAt0 };
+        // A ReLU output is non-negative, so sign-bit stuck-at-0 is a no-op
+        // wherever the activation is already positive — use a BitFlip for a
+        // guaranteed-effective transient instead, and the masked weight for
+        // the masked case.
+        let space = crate::activation::ActivationSpace::build(&model, &data).unwrap();
+        let (node, _) = space.node_sizes()[0];
+        let eff_act = ActivationFault {
+            site: crate::activation::ActivationSite { node, element: 0, bit: 30, image: 0 },
+            model: FaultModel::BitFlip,
+        };
+        let golden_v = golden.cache(0).get(node).unwrap().as_slice()[0];
+        let masked_act = ActivationFault {
+            site: crate::activation::ActivationSite { node, element: 0, bit: 30, image: 0 },
+            model: if golden_v.to_bits() & (1 << 30) == 0 {
+                FaultModel::StuckAt0
+            } else {
+                FaultModel::StuckAt1
+            },
+        };
+        let faults = vec![
+            CampaignFault::Accumulated(AccumulatedFault {
+                weights: vec![masked_w],
+                activations: vec![masked_act],
+            }),
+            CampaignFault::Accumulated(AccumulatedFault {
+                weights: vec![masked_w],
+                activations: vec![eff_act],
+            }),
+        ];
+        let cfg = CampaignConfig::default();
+        let res = with_executor(&model, &data, &golden, &cfg, &Ieee754Corruption, |exec| {
+            exec.run_any(&faults)
+        })
+        .unwrap();
+        assert_eq!(res.classes[0], FaultClass::Masked, "all components masked");
+        assert_ne!(res.classes[1], FaultClass::Masked, "effective transient component");
+        // Masked instance costs nothing; the effective one evaluates only
+        // its struck image.
+        assert_eq!(res.inferences, 1);
+    }
+
+    #[test]
+    fn accumulated_weight_component_matches_single_weight_campaign() {
+        let (model, data, golden) = setup();
+        let weights: Vec<Fault> = (0..12)
+            .map(|w| Fault {
+                site: FaultSite { layer: 0, weight: w, bit: 30 },
+                model: FaultModel::StuckAt1,
+            })
+            .collect();
+        let singles = run_campaign(
+            &model,
+            &data,
+            &golden,
+            &weights,
+            &CampaignConfig { early_exit: false, ..CampaignConfig::default() },
+        )
+        .unwrap();
+        let acc: Vec<CampaignFault> = weights
+            .iter()
+            .map(|&w| {
+                CampaignFault::Accumulated(AccumulatedFault {
+                    weights: vec![w],
+                    activations: vec![],
+                })
+            })
+            .collect();
+        let cfg = CampaignConfig { early_exit: false, ..CampaignConfig::default() };
+        let res = with_executor(&model, &data, &golden, &cfg, &Ieee754Corruption, |exec| {
+            exec.run_any(&acc)
+        })
+        .unwrap();
+        assert_eq!(res.classes, singles.classes, "k=1 accumulation ≡ plain weight fault");
+        assert_eq!(res.inferences, singles.inferences);
+    }
+
+    #[test]
+    fn accumulated_multi_fault_is_deterministic_across_workers() {
+        let (model, data, golden) = setup();
+        let space = crate::activation::ActivationSpace::build(&model, &data).unwrap();
+        let acts = space
+            .faults_at(&(0..200).map(|i| i * 431 % space.total()).collect::<Vec<_>>())
+            .unwrap();
+        let faults: Vec<CampaignFault> = (0..24)
+            .map(|i| {
+                CampaignFault::Accumulated(AccumulatedFault {
+                    weights: vec![Fault {
+                        site: FaultSite {
+                            layer: i % 3,
+                            weight: i * 5 % 36,
+                            bit: (20 + i % 12) as u8,
+                        },
+                        model: if i % 2 == 0 { FaultModel::StuckAt1 } else { FaultModel::BitFlip },
+                    }],
+                    activations: vec![acts[i * 3], acts[i * 3 + 1], acts[i * 3 + 2]],
+                })
+            })
+            .collect();
+        let mut results = Vec::new();
+        for workers in [1usize, 2, 4, 8] {
+            let cfg = CampaignConfig { workers, ..CampaignConfig::default() };
+            results.push(
+                with_executor(&model, &data, &golden, &cfg, &Ieee754Corruption, |exec| {
+                    exec.run_any(&faults)
+                })
+                .unwrap(),
+            );
+        }
+        for r in &results[1..] {
+            assert_eq!(r.classes, results[0].classes);
+            assert_eq!(r.inferences, results[0].inferences);
+        }
+    }
+
+    #[test]
+    fn model_is_pristine_after_mixed_campaign() {
+        let (model, data, golden) = setup();
+        let store_before = model.store().clone();
+        let space = crate::activation::ActivationSpace::build(&model, &data).unwrap();
+        let acts = space.faults_at(&[3, 333]).unwrap();
+        let faults = vec![
+            CampaignFault::Weight(Fault {
+                site: FaultSite { layer: 1, weight: 4, bit: 29 },
+                model: FaultModel::StuckAt1,
+            }),
+            CampaignFault::Activation(acts[0]),
+            CampaignFault::Accumulated(AccumulatedFault {
+                weights: vec![Fault {
+                    site: FaultSite { layer: 2, weight: 1, bit: 28 },
+                    model: FaultModel::BitFlip,
+                }],
+                activations: vec![acts[1]],
+            }),
+        ];
+        let cfg = CampaignConfig::default();
+        let _ = with_executor(&model, &data, &golden, &cfg, &Ieee754Corruption, |exec| {
+            exec.run_any(&faults)
+        })
+        .unwrap();
+        assert_eq!(*model.store(), store_before, "every fault model must revert cleanly");
+    }
+
+    #[test]
+    fn invalid_activation_sites_surface_as_invalid_fault() {
+        let (model, data, golden) = setup();
+        let bad = |site: crate::activation::ActivationSite| {
+            CampaignFault::Activation(ActivationFault { site, model: FaultModel::BitFlip })
+        };
+        for fault in [
+            bad(crate::activation::ActivationSite { node: 1, element: 0, bit: 0, image: 99 }),
+            bad(crate::activation::ActivationSite { node: 9999, element: 0, bit: 0, image: 0 }),
+            bad(crate::activation::ActivationSite {
+                node: 1,
+                element: usize::MAX,
+                bit: 0,
+                image: 0,
+            }),
+        ] {
+            let cfg = CampaignConfig::default();
+            let err = with_executor(&model, &data, &golden, &cfg, &Ieee754Corruption, |exec| {
+                exec.run_any(std::slice::from_ref(&fault))
+            })
+            .unwrap_err();
+            assert!(matches!(err, FaultSimError::InvalidFault { .. }), "{fault}: {err:?}");
+        }
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod fault;
 pub mod golden;
 pub mod injector;
 pub mod journal;
+pub mod multi;
 pub mod population;
 pub mod taxonomy;
 

@@ -1,0 +1,268 @@
+//! Fault-model-generic campaign fault types.
+//!
+//! The original campaign pipeline hardcoded "a fault is one weight bit".
+//! This module lifts that assumption into a closed sum type so every layer
+//! above it — stratified planning, the work-stealing executor, checkpoint
+//! fingerprints, the CLI — can carry any of the three fault models the
+//! reproduction supports through one code path:
+//!
+//! - [`CampaignFault::Weight`] — the paper's permanent stuck-at weight
+//!   fault (unchanged semantics, still the default);
+//! - [`CampaignFault::Activation`] — a transient upset striking one
+//!   activation (or input) element during one image's inference;
+//! - [`CampaignFault::Accumulated`] — `k` simultaneous faults composing
+//!   weight and activation components, the multi-fault exposure model of
+//!   SPINE-style accumulation studies.
+//!
+//! [`FaultTarget`] names the *population* a campaign samples from; it is
+//! what `--fault-model` selects on the CLI and what checkpoint fingerprints
+//! record so mixed-model campaigns never resume against the wrong space.
+
+use serde::{Deserialize, Serialize};
+
+use sfi_nn::ActPatch;
+
+use crate::activation::ActivationFault;
+use crate::fault::Fault;
+
+/// Which fault population a campaign samples from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum FaultTarget {
+    /// Permanent faults in stored weights (the paper's setting).
+    #[default]
+    Weight,
+    /// Transient faults in activation tensors (feature maps).
+    Activation,
+    /// Transient faults in the input tensor itself (node 0).
+    Input,
+}
+
+impl std::fmt::Display for FaultTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultTarget::Weight => write!(f, "weight"),
+            FaultTarget::Activation => write!(f, "activation"),
+            FaultTarget::Input => write!(f, "input"),
+        }
+    }
+}
+
+impl std::str::FromStr for FaultTarget {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "weight" => Ok(FaultTarget::Weight),
+            "activation" => Ok(FaultTarget::Activation),
+            "input" => Ok(FaultTarget::Input),
+            other => Err(format!("unknown fault target '{other}' (weight|activation|input)")),
+        }
+    }
+}
+
+/// `k` simultaneous faults evaluated as one campaign instance: the model
+/// carries every weight fault for the whole evaluation set while each
+/// activation fault additionally strikes its own image's inference.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AccumulatedFault {
+    /// Permanent weight components, applied for every evaluated image.
+    pub weights: Vec<Fault>,
+    /// Transient activation components, each tied to one image.
+    pub activations: Vec<ActivationFault>,
+}
+
+impl AccumulatedFault {
+    /// The accumulation order `k`: total simultaneous faults.
+    pub fn k(&self) -> usize {
+        self.weights.len() + self.activations.len()
+    }
+}
+
+impl std::fmt::Display for AccumulatedFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "acc{}[", self.k())?;
+        let mut first = true;
+        for w in &self.weights {
+            if !first {
+                write!(f, "+")?;
+            }
+            write!(f, "{w}")?;
+            first = false;
+        }
+        for a in &self.activations {
+            if !first {
+                write!(f, "+")?;
+            }
+            write!(
+                f,
+                "{}@N{}.e{}.b{}.i{}",
+                a.model, a.site.node, a.site.element, a.site.bit, a.site.image
+            )?;
+            first = false;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Any fault a campaign executor can classify — the closed union over the
+/// supported fault models.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CampaignFault {
+    /// One permanent weight-bit fault.
+    Weight(Fault),
+    /// One transient activation/input fault.
+    Activation(ActivationFault),
+    /// `k` simultaneous faults.
+    Accumulated(AccumulatedFault),
+}
+
+impl CampaignFault {
+    /// Short tag naming the variant (stable; used in span attributes and
+    /// checkpoint fingerprints).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CampaignFault::Weight(_) => "weight",
+            CampaignFault::Activation(_) => "activation",
+            CampaignFault::Accumulated(_) => "accumulated",
+        }
+    }
+}
+
+impl From<Fault> for CampaignFault {
+    fn from(f: Fault) -> Self {
+        CampaignFault::Weight(f)
+    }
+}
+
+impl From<ActivationFault> for CampaignFault {
+    fn from(f: ActivationFault) -> Self {
+        CampaignFault::Activation(f)
+    }
+}
+
+impl From<AccumulatedFault> for CampaignFault {
+    fn from(f: AccumulatedFault) -> Self {
+        CampaignFault::Accumulated(f)
+    }
+}
+
+impl std::fmt::Display for CampaignFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignFault::Weight(w) => write!(f, "{w}"),
+            CampaignFault::Activation(a) => {
+                write!(
+                    f,
+                    "{}@N{}.e{}.b{}.i{}",
+                    a.model, a.site.node, a.site.element, a.site.bit, a.site.image
+                )
+            }
+            CampaignFault::Accumulated(acc) => write!(f, "{acc}"),
+        }
+    }
+}
+
+impl ActivationFault {
+    /// The bit-mask patch this fault applies to its activation element:
+    /// stuck-ats become AND/OR masks, flips become XOR masks, so one
+    /// branch-free [`ActPatch::apply_bits`] covers every model.
+    pub fn patch(&self) -> ActPatch {
+        let mut patch = ActPatch::identity(self.site.node, self.site.element);
+        let mask = 1u32 << self.site.bit;
+        match self.model {
+            crate::fault::FaultModel::StuckAt0 => patch.and_mask = !mask,
+            crate::fault::FaultModel::StuckAt1 => patch.or_mask = mask,
+            crate::fault::FaultModel::BitFlip => patch.xor_mask = mask,
+            crate::fault::FaultModel::AdjacentFlip => {
+                patch.xor_mask = if self.site.bit < 31 { mask | (mask << 1) } else { mask };
+            }
+        }
+        patch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::ActivationSite;
+    use crate::fault::{FaultModel, FaultSite};
+
+    fn wf() -> Fault {
+        Fault { site: FaultSite { layer: 1, weight: 2, bit: 30 }, model: FaultModel::StuckAt1 }
+    }
+
+    fn af(bit: u8, model: FaultModel) -> ActivationFault {
+        ActivationFault { site: ActivationSite { node: 3, element: 7, bit, image: 1 }, model }
+    }
+
+    #[test]
+    fn patch_matches_fault_model_semantics() {
+        for bit in [0u8, 10, 22, 30, 31] {
+            for model in [
+                FaultModel::StuckAt0,
+                FaultModel::StuckAt1,
+                FaultModel::BitFlip,
+                FaultModel::AdjacentFlip,
+            ] {
+                let fault = af(bit, model);
+                for v in [0.0f32, 1.5, -0.75, 1e-20, f32::MAX] {
+                    assert_eq!(
+                        fault.patch().apply(v).to_bits(),
+                        model.apply(v, bit).to_bits(),
+                        "{model} bit {bit} on {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn patch_noop_detects_masked_stuck_ats() {
+        let f = af(31, FaultModel::StuckAt0);
+        assert!(f.patch().is_noop_on(1.0), "sign already 0");
+        assert!(!f.patch().is_noop_on(-1.0));
+    }
+
+    #[test]
+    fn target_round_trips_through_display() {
+        for t in [FaultTarget::Weight, FaultTarget::Activation, FaultTarget::Input] {
+            assert_eq!(t.to_string().parse::<FaultTarget>().unwrap(), t);
+        }
+        assert!("bogus".parse::<FaultTarget>().is_err());
+    }
+
+    #[test]
+    fn accumulated_counts_components() {
+        let acc = AccumulatedFault {
+            weights: vec![wf()],
+            activations: vec![af(5, FaultModel::BitFlip), af(6, FaultModel::BitFlip)],
+        };
+        assert_eq!(acc.k(), 3);
+        let display = acc.to_string();
+        assert!(display.starts_with("acc3["), "{display}");
+        assert!(display.contains("sa1@L1.w2.b30"), "{display}");
+    }
+
+    #[test]
+    fn campaign_fault_kinds_and_conversions() {
+        let faults: Vec<CampaignFault> = vec![
+            wf().into(),
+            af(12, FaultModel::BitFlip).into(),
+            AccumulatedFault {
+                weights: vec![wf()],
+                activations: vec![af(3, FaultModel::StuckAt1)],
+            }
+            .into(),
+        ];
+        assert_eq!(faults[0].kind(), "weight");
+        assert_eq!(faults[1].kind(), "activation");
+        assert_eq!(faults[2].kind(), "accumulated");
+        // Distinct variants never compare equal; clones do.
+        for (i, a) in faults.iter().enumerate() {
+            for (j, b) in faults.iter().enumerate() {
+                assert_eq!(a == b, i == j);
+            }
+            assert_eq!(a, &a.clone());
+        }
+    }
+}

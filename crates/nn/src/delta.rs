@@ -134,6 +134,95 @@ impl Model {
             let logits = cache.get(n_nodes - 1).expect("nonempty").clone();
             return Ok((ForwardOutcome::Logits(logits), stats));
         }
+        match self.delta_seed(first_dirty, cache, opts, &mut stats)? {
+            None => {
+                stats.clean_nodes += 1;
+                Ok((ForwardOutcome::Converged { at_node: first_dirty }, stats))
+            }
+            Some(state) => self.delta_run(first_dirty, cache, state, opts, stats),
+        }
+    }
+
+    /// Incremental faulty inference from a single corrupted activation
+    /// element — the transient-fault injection hook.
+    ///
+    /// The seed is not recomputed at all: the golden activation of `node` is
+    /// cloned, its flat `element` is replaced by `faulty_bits`, and the
+    /// delta cone starts from [`DirtyMask::single_site`]. `node` may be `0`,
+    /// which corrupts the *input* tensor and propagates through the whole
+    /// network. When the corrupted bits equal the golden bits the fault is
+    /// provably masked and [`ForwardOutcome::Converged`] at `node` is
+    /// returned without any downstream work.
+    ///
+    /// With `saturation == 0.0` every downstream node takes the dense
+    /// bit-compare fast path, which makes this hook behave exactly like the
+    /// dense golden-convergence pass — same classifications, same bits.
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::CacheMismatch`] when the cache does not cover the model or
+    /// the site names a node/element out of range.
+    pub fn forward_delta_site(
+        &self,
+        node: NodeId,
+        element: usize,
+        faulty_bits: u32,
+        cache: &ActivationCache,
+        opts: &mut DeltaOptions<'_>,
+    ) -> Result<(ForwardOutcome, DeltaStats), NnError> {
+        let n_nodes = self.nodes().len();
+        if cache.len() != n_nodes {
+            return Err(NnError::CacheMismatch {
+                reason: format!(
+                    "cache holds {} activations, model has {n_nodes} nodes",
+                    cache.len()
+                ),
+            });
+        }
+        if node >= n_nodes {
+            return Err(NnError::CacheMismatch {
+                reason: format!("activation site names node {node}, model has {n_nodes} nodes"),
+            });
+        }
+        let golden = cache.get(node).expect("cache covers model");
+        let g = golden.as_slice();
+        if element >= g.len() {
+            return Err(NnError::CacheMismatch {
+                reason: format!(
+                    "activation site element {element} out of range for node {node} ({} elements)",
+                    g.len()
+                ),
+            });
+        }
+        let mut stats = DeltaStats::default();
+        if g[element].to_bits() == faulty_bits {
+            stats.clean_nodes += 1;
+            return Ok((ForwardOutcome::Converged { at_node: node }, stats));
+        }
+        let wrap = |source| NnError::Op { node, source };
+        let mut data = golden_copy(golden, opts.arena.as_deref_mut());
+        data[element] = f32::from_bits(faulty_bits);
+        let mask = DirtyMask::single_site(golden.shape(), element).map_err(wrap)?;
+        let saturated = mask.dirty_fraction() >= opts.saturation;
+        let value = Tensor::from_vec(golden.shape(), data).expect("golden-shaped buffer");
+        stats.sparse_nodes += 1;
+        self.delta_run(node, cache, DeltaState { value, mask, saturated }, opts, stats)
+    }
+
+    /// Propagates an already-seeded delta state through the suffix after
+    /// `first_dirty`. Shared by the weight-fault ([`Model::forward_delta`])
+    /// and activation-site ([`Model::forward_delta_site`]) entry points;
+    /// `first_dirty` may be `0` here (input faults), in which case node 0's
+    /// state is the patched input itself.
+    fn delta_run(
+        &self,
+        first_dirty: NodeId,
+        cache: &ActivationCache,
+        seed: DeltaState,
+        opts: &mut DeltaOptions<'_>,
+        mut stats: DeltaStats,
+    ) -> Result<(ForwardOutcome, DeltaStats), NnError> {
+        let n_nodes = self.nodes().len();
         // Same live-dirty bookkeeping as forward_from_converging: a node
         // with a nonempty mask blocks convergence until its last reader
         // has consumed it.
@@ -146,21 +235,12 @@ impl Model {
         let mut expiring: Vec<u32> = vec![0; n_nodes];
         let mut live_dirty: u32 = 0;
         let mut states: Vec<Option<DeltaState>> = Vec::with_capacity(n_nodes - first_dirty);
-
-        match self.delta_seed(first_dirty, cache, opts, &mut stats)? {
-            None => {
-                stats.clean_nodes += 1;
-                return Ok((ForwardOutcome::Converged { at_node: first_dirty }, stats));
-            }
-            Some(state) => {
-                stats.dirty_blocks += state.mask.dirty_blocks() as u64;
-                if last_reader[first_dirty] > first_dirty {
-                    expiring[last_reader[first_dirty]] += 1;
-                    live_dirty += 1;
-                }
-                states.push(Some(state));
-            }
+        stats.dirty_blocks += seed.mask.dirty_blocks() as u64;
+        if last_reader[first_dirty] > first_dirty {
+            expiring[last_reader[first_dirty]] += 1;
+            live_dirty += 1;
         }
+        states.push(Some(seed));
         for id in first_dirty + 1..n_nodes {
             let state = self.delta_node(id, first_dirty, cache, &states, opts, &mut stats)?;
             live_dirty -= expiring[id];
@@ -1319,6 +1399,109 @@ mod tests {
         let unit = faulty.param_output_unit(1, 5);
         let (out, _) = assert_delta_exact(&faulty, fc, &cache, unit, 0.95, "fc row");
         assert!(matches!(out, ForwardOutcome::Logits(_)));
+    }
+
+    #[test]
+    fn delta_site_matches_dense_patched_forward() {
+        let m = tiny_model();
+        let input = Tensor::from_fn([1, 1, 4, 4], |i| (i as f32).sin());
+        let cache = m.forward_cached(&input).unwrap();
+        // Strike every node (input included) at a fixed element with a
+        // sign-bit flip; delta must match the dense patched forward bitwise.
+        for node in 0..cache.len() {
+            let golden = cache.get(node).unwrap();
+            let element = golden.len() / 2;
+            let faulty_bits = golden.as_slice()[element].to_bits() ^ (1 << 31);
+            let dense = m
+                .forward_patched(node, &cache, |t| {
+                    let s = t.as_mut_slice();
+                    s[element] = f32::from_bits(s[element].to_bits() ^ (1 << 31));
+                })
+                .unwrap();
+            for saturation in [0.0, DELTA_SATURATION_DEFAULT, 1.1] {
+                let mut arena = ScratchArena::new();
+                let (out, _) = m
+                    .forward_delta_site(
+                        node,
+                        element,
+                        faulty_bits,
+                        &cache,
+                        &mut DeltaOptions {
+                            arena: Some(&mut arena),
+                            saturation,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap();
+                match out {
+                    ForwardOutcome::Logits(l) => assert!(
+                        bits_eq(&l, &dense),
+                        "node {node} sat {saturation}: delta-site logits diverge"
+                    ),
+                    ForwardOutcome::Converged { at_node } => {
+                        let g = cache.get(cache.len() - 1).unwrap();
+                        assert!(
+                            bits_eq(&dense, g),
+                            "node {node} sat {saturation}: spurious convergence at {at_node}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_site_masks_identical_bits_without_work() {
+        let m = tiny_model();
+        let input = Tensor::from_fn([1, 1, 4, 4], |i| i as f32 * 0.1);
+        let cache = m.forward_cached(&input).unwrap();
+        let golden_bits = cache.get(2).unwrap().as_slice()[3].to_bits();
+        let (out, stats) =
+            m.forward_delta_site(2, 3, golden_bits, &cache, &mut DeltaOptions::default()).unwrap();
+        assert_eq!(out, ForwardOutcome::Converged { at_node: 2 });
+        assert_eq!(
+            stats,
+            DeltaStats { sparse_nodes: 0, dense_nodes: 0, clean_nodes: 1, dirty_blocks: 0 }
+        );
+    }
+
+    #[test]
+    fn delta_site_input_fault_propagates_from_node_zero() {
+        let m = tiny_model();
+        let input = Tensor::from_fn([1, 1, 4, 4], |i| (i as f32 * 0.3).cos());
+        let cache = m.forward_cached(&input).unwrap();
+        let faulty_bits = input.as_slice()[7].to_bits() ^ (0x5 << 20);
+        let dense = m
+            .forward_patched(0, &cache, |t| {
+                let s = t.as_mut_slice();
+                s[7] = f32::from_bits(s[7].to_bits() ^ (0x5 << 20));
+            })
+            .unwrap();
+        let (out, stats) =
+            m.forward_delta_site(0, 7, faulty_bits, &cache, &mut DeltaOptions::default()).unwrap();
+        match out {
+            ForwardOutcome::Logits(l) => assert!(bits_eq(&l, &dense)),
+            ForwardOutcome::Converged { at_node } => {
+                let g = cache.get(cache.len() - 1).unwrap();
+                assert!(bits_eq(&dense, g), "spurious convergence at {at_node}");
+            }
+        }
+        assert!(stats.sparse_nodes > 0 || stats.dense_nodes > 0);
+    }
+
+    #[test]
+    fn delta_site_rejects_out_of_range_sites() {
+        let m = tiny_model();
+        let input = Tensor::zeros([1, 1, 4, 4]);
+        let cache = m.forward_cached(&input).unwrap();
+        assert!(matches!(
+            m.forward_delta_site(99, 0, 0, &cache, &mut DeltaOptions::default()),
+            Err(NnError::CacheMismatch { .. })
+        ));
+        assert!(matches!(
+            m.forward_delta_site(1, usize::MAX, 0, &cache, &mut DeltaOptions::default()),
+            Err(NnError::CacheMismatch { .. })
+        ));
     }
 
     #[test]

@@ -55,6 +55,8 @@ pub mod vgg;
 
 pub use delta::{DeltaOptions, DeltaStats, DELTA_SATURATION_DEFAULT};
 pub use error::NnError;
-pub use model::{ActivationCache, ForwardOptions, ForwardOutcome, KernelPolicy, LayerStats, Model};
+pub use model::{
+    ActPatch, ActivationCache, ForwardOptions, ForwardOutcome, KernelPolicy, LayerStats, Model,
+};
 pub use node::{Node, NodeId, NodeOp};
 pub use param::{ParamId, ParamKind, Parameter, ParameterStore, WeightLayer};

@@ -83,11 +83,16 @@ enum ProbeOutcome {
 }
 
 /// Resolves node-output references during a forward pass: a clean prefix
-/// (cached activations), at most one overridden node, and the recomputed
-/// suffix.
+/// (cached activations), at most one overridden node, a (usually empty)
+/// list of additionally overridden nodes, and the recomputed suffix.
 struct NodeValues<'a> {
     prefix: &'a [Tensor],
     over: Option<(NodeId, &'a Tensor)>,
+    /// Patched activations for nodes that are *not* recomputed — the
+    /// accumulated-fault path ([`Model::forward_from_patched`]) corrupts
+    /// several prefix activations at once. Scanned linearly; campaigns
+    /// carry at most a handful of entries.
+    multi: &'a [(NodeId, Tensor)],
     suffix_base: usize,
     suffix: &'a [Tensor],
 }
@@ -99,11 +104,68 @@ impl NodeValues<'_> {
                 return t;
             }
         }
+        if let Some((_, t)) = self.multi.iter().find(|(n, _)| *n == id) {
+            return t;
+        }
         if id >= self.suffix_base {
             &self.suffix[id - self.suffix_base]
         } else {
             &self.prefix[id]
         }
+    }
+}
+
+/// One transient activation corruption, expressed as IEEE-754 bit masks
+/// over a single flat element of one node's activation tensor.
+///
+/// The masks compose every supported single-bit fault model:
+/// stuck-at-0 clears via `and_mask`, stuck-at-1 sets via `or_mask`,
+/// bit-flips toggle via `xor_mask`. The application order is
+/// `(bits & and_mask | or_mask) ^ xor_mask`.
+///
+/// # Example
+///
+/// ```
+/// use sfi_nn::ActPatch;
+///
+/// // Flip bit 31 (the sign) of element 5 of node 2's activation.
+/// let patch = ActPatch { xor_mask: 1 << 31, ..ActPatch::identity(2, 5) };
+/// assert_eq!(patch.apply(1.0), -1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActPatch {
+    /// The struck node (0 = the input tensor itself).
+    pub node: NodeId,
+    /// Flat element index into the node's activation tensor.
+    pub element: usize,
+    /// Bits to keep (stuck-at-0 clears its target bit here).
+    pub and_mask: u32,
+    /// Bits to force on (stuck-at-1).
+    pub or_mask: u32,
+    /// Bits to toggle (bit-flips).
+    pub xor_mask: u32,
+}
+
+impl ActPatch {
+    /// A no-op patch at `(node, element)`; combine with mask overrides.
+    pub fn identity(node: NodeId, element: usize) -> Self {
+        Self { node, element, and_mask: !0, or_mask: 0, xor_mask: 0 }
+    }
+
+    /// Applies the masks to a raw IEEE-754 bit pattern.
+    pub fn apply_bits(&self, bits: u32) -> u32 {
+        (bits & self.and_mask | self.or_mask) ^ self.xor_mask
+    }
+
+    /// Applies the masks to a value, bit-exactly (NaN payloads preserved).
+    pub fn apply(&self, v: f32) -> f32 {
+        f32::from_bits(self.apply_bits(v.to_bits()))
+    }
+
+    /// Whether applying this patch to `v` leaves its bits unchanged — the
+    /// fault is provably masked at its own site.
+    pub fn is_noop_on(&self, v: f32) -> bool {
+        self.apply_bits(v.to_bits()) == v.to_bits()
     }
 }
 
@@ -462,6 +524,7 @@ impl Model {
                 &NodeValues {
                     prefix: &[],
                     over: Some((0, input)),
+                    multi: &[],
                     suffix_base: 1,
                     suffix: &suffix,
                 },
@@ -494,7 +557,13 @@ impl Model {
         for id in 1..self.nodes.len() {
             let v = self.eval_node_with(
                 id,
-                &NodeValues { prefix: &values, over: None, suffix_base: usize::MAX, suffix: &[] },
+                &NodeValues {
+                    prefix: &values,
+                    over: None,
+                    multi: &[],
+                    suffix_base: usize::MAX,
+                    suffix: &[],
+                },
                 &mut ForwardOptions::default(),
             )?;
             values.push(v);
@@ -563,6 +632,7 @@ impl Model {
                 &NodeValues {
                     prefix: &cache.activations,
                     over: None,
+                    multi: &[],
                     suffix_base: first_dirty,
                     suffix: &fresh,
                 },
@@ -675,6 +745,7 @@ impl Model {
                 &NodeValues {
                     prefix: &cache.activations,
                     over: None,
+                    multi: &[],
                     suffix_base: first_dirty,
                     suffix: &fresh,
                 },
@@ -868,6 +939,7 @@ impl Model {
                 &NodeValues {
                     prefix: &cache.activations,
                     over: Some((node, &patched)),
+                    multi: &[],
                     suffix_base: node + 1,
                     suffix: &fresh,
                 },
@@ -876,6 +948,124 @@ impl Model {
             fresh.push(v);
         }
         opts.lowered = lowered;
+        let out = fresh.pop().expect("suffix is nonempty");
+        if let Some(arena) = opts.arena.as_deref_mut() {
+            for t in fresh {
+                arena.recycle(t.into_vec());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Accumulated-fault inference: re-runs from the earliest corrupted
+    /// value with any number of transient activation patches applied on top
+    /// of an (optional) weight fault already injected into the parameters.
+    ///
+    /// `weight_dirty` names the first node whose *recomputation* differs
+    /// (the faulted weight's node), exactly as in [`Model::forward_from`];
+    /// `None` means the parameters are golden. Each [`ActPatch`] corrupts
+    /// one element of one node's activation *as produced during this faulty
+    /// inference*: a patch on a node upstream of the recomputation start
+    /// applies to the cached golden activation, a patch on a recomputed
+    /// node applies to the freshly computed (possibly already faulty)
+    /// value. Patches never feed pre-lowered conv panels
+    /// (`opts.lowered` is ignored whenever `patches` is nonempty).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::CacheMismatch`] when the cache does not cover
+    /// this model's nodes or a patch site is out of range, or the first
+    /// operator failure.
+    pub fn forward_from_patched(
+        &self,
+        weight_dirty: Option<NodeId>,
+        cache: &ActivationCache,
+        patches: &[ActPatch],
+        opts: &mut ForwardOptions<'_>,
+    ) -> Result<Tensor, NnError> {
+        let n_nodes = self.nodes.len();
+        if cache.activations.len() != n_nodes {
+            return Err(NnError::CacheMismatch {
+                reason: format!(
+                    "cache holds {} activations, model has {n_nodes} nodes",
+                    cache.activations.len()
+                ),
+            });
+        }
+        for p in patches {
+            if p.node >= n_nodes {
+                return Err(NnError::CacheMismatch {
+                    reason: format!("patch names node {}, model has {n_nodes} nodes", p.node),
+                });
+            }
+            let len = cache.activations[p.node].len();
+            if p.element >= len {
+                return Err(NnError::CacheMismatch {
+                    reason: format!(
+                        "patch element {} out of range for node {} ({len} elements)",
+                        p.element, p.node
+                    ),
+                });
+            }
+        }
+        // Recomputation starts at the earliest node whose value can change:
+        // the weight fault's node, or the node right after the earliest
+        // patched activation (the patched node itself is not recomputed —
+        // the corruption strikes its produced value).
+        let min_patch = patches.iter().map(|p| p.node).min();
+        let start = match (weight_dirty, min_patch) {
+            (None, None) => return Ok(cache.activations.last().expect("nonempty").clone()),
+            (Some(w), None) => w.max(1),
+            (None, Some(p)) => p + 1,
+            (Some(w), Some(p)) => w.max(1).min(p + 1),
+        }
+        .min(n_nodes);
+        // Patched golden activations for nodes before the recomputation
+        // start; patches at or past it apply to recomputed values below.
+        let mut overrides: Vec<(NodeId, Tensor)> = Vec::new();
+        for p in patches.iter().filter(|p| p.node < start) {
+            let t = match overrides.iter_mut().find(|(n, _)| *n == p.node) {
+                Some((_, t)) => t,
+                None => {
+                    overrides.push((p.node, cache.activations[p.node].clone()));
+                    &mut overrides.last_mut().expect("just pushed").1
+                }
+            };
+            let s = t.as_mut_slice();
+            s[p.element] = p.apply(s[p.element]);
+        }
+        if start >= n_nodes {
+            // Only the final node was struck; its patched value is the output.
+            return Ok(match overrides.into_iter().find(|(n, _)| *n == n_nodes - 1) {
+                Some((_, t)) => t,
+                None => cache.activations.last().expect("nonempty").clone(),
+            });
+        }
+        // A corrupted activation upstream of a lowered conv makes the
+        // cached panels unsound; keep them only for pure weight faults.
+        let lowered = if patches.is_empty() { None } else { opts.lowered.take() };
+        let mut fresh: Vec<Tensor> = Vec::with_capacity(n_nodes - start);
+        for id in start..n_nodes {
+            let mut v = self.eval_node_with(
+                id,
+                &NodeValues {
+                    prefix: &cache.activations,
+                    over: None,
+                    multi: &overrides,
+                    suffix_base: start,
+                    suffix: &fresh,
+                },
+                opts,
+            )?;
+            for p in patches.iter().filter(|p| p.node == id) {
+                let s = v.as_mut_slice();
+                s[p.element] = p.apply(s[p.element]);
+            }
+            fresh.push(v);
+        }
+        if lowered.is_some() {
+            opts.lowered = lowered;
+        }
         let out = fresh.pop().expect("suffix is nonempty");
         if let Some(arena) = opts.arena.as_deref_mut() {
             for t in fresh {
@@ -1207,6 +1397,79 @@ mod tests {
         assert!(m.forward_patched(99, &cache, |_| {}).is_err());
         let foreign = ActivationCache { activations: vec![Tensor::zeros([1])] };
         assert!(m.forward_patched(1, &foreign, |_| {}).is_err());
+    }
+
+    #[test]
+    fn forward_from_patched_matches_sequential_patches() {
+        let m = tiny_model();
+        let input = tiny_input();
+        let cache = m.forward_cached(&input).unwrap();
+        // Two activation strikes on different nodes: the accumulated path
+        // must match patching the input and node-2 value by hand.
+        let p0 = ActPatch { xor_mask: 1 << 30, ..ActPatch::identity(0, 3) };
+        let p2 = ActPatch { or_mask: 1 << 31, ..ActPatch::identity(2, 5) };
+        let out = m
+            .forward_from_patched(None, &cache, &[p0, p2], &mut ForwardOptions::default())
+            .unwrap();
+        // Reference: recompute by hand with a patched input cache, patching
+        // node 2's produced value mid-flight via forward_cached on the
+        // patched input then forward_patched at node 2.
+        let mut modified = input.clone();
+        let s = modified.as_mut_slice();
+        s[3] = p0.apply(s[3]);
+        let faulty_cache = m.forward_cached(&modified).unwrap();
+        let direct = m
+            .forward_patched(2, &faulty_cache, |t| {
+                let s = t.as_mut_slice();
+                s[5] = p2.apply(s[5]);
+            })
+            .unwrap();
+        assert!(
+            out.as_slice().iter().zip(direct.as_slice()).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "accumulated patches diverge from sequential application"
+        );
+    }
+
+    #[test]
+    fn forward_from_patched_without_faults_returns_golden() {
+        let m = tiny_model();
+        let cache = m.forward_cached(&tiny_input()).unwrap();
+        let out =
+            m.forward_from_patched(None, &cache, &[], &mut ForwardOptions::default()).unwrap();
+        assert!(out.bits_equal(cache.get(cache.len() - 1).unwrap()));
+    }
+
+    #[test]
+    fn forward_from_patched_single_patch_matches_forward_patched() {
+        let m = tiny_model();
+        let cache = m.forward_cached(&tiny_input()).unwrap();
+        for node in 0..cache.len() {
+            let patch = ActPatch { xor_mask: 1 << 22, ..ActPatch::identity(node, 1) };
+            let acc = m
+                .forward_from_patched(None, &cache, &[patch], &mut ForwardOptions::default())
+                .unwrap();
+            let single = m
+                .forward_patched(node, &cache, |t| {
+                    let s = t.as_mut_slice();
+                    s[1] = patch.apply(s[1]);
+                })
+                .unwrap();
+            assert!(acc.bits_equal(&single), "node {node}: single-patch paths disagree");
+        }
+    }
+
+    #[test]
+    fn forward_from_patched_rejects_bad_sites() {
+        let m = tiny_model();
+        let cache = m.forward_cached(&tiny_input()).unwrap();
+        let bad_node = ActPatch::identity(99, 0);
+        assert!(m
+            .forward_from_patched(None, &cache, &[bad_node], &mut ForwardOptions::default())
+            .is_err());
+        let bad_elem = ActPatch::identity(1, usize::MAX);
+        assert!(m
+            .forward_from_patched(None, &cache, &[bad_elem], &mut ForwardOptions::default())
+            .is_err());
     }
 
     #[test]

@@ -118,7 +118,10 @@ const C_NODES_SKIPPED: usize = 9;
 const C_DELTA_SPARSE: usize = 10;
 const C_DELTA_FALLBACKS: usize = 11;
 const C_DELTA_DIRTY_BLOCKS: usize = 12;
-const COUNTERS: usize = 13;
+const C_WEIGHT_FAULTS: usize = 13;
+const C_TRANSIENT_FAULTS: usize = 14;
+const C_ACCUMULATED_FAULTS: usize = 15;
+const COUNTERS: usize = 16;
 
 /// One worker's slice of the session metrics. All operations are relaxed
 /// atomics; totals are merged by [`Probe::snapshot`].
@@ -203,6 +206,12 @@ pub struct MetricsSnapshot {
     /// Dirty spatial blocks summed over every delta pass's node masks (the
     /// total dirty-cone volume).
     pub delta_dirty_blocks: u64,
+    /// Permanent weight faults classified.
+    pub weight_faults: u64,
+    /// Transient activation/input faults classified.
+    pub transient_faults: u64,
+    /// Accumulated (multi-fault) instances classified.
+    pub accumulated_faults: u64,
     /// log₂(ns) inference-latency histogram; see [`LATENCY_BUCKETS`].
     pub latency_buckets: [u64; LATENCY_BUCKETS],
     /// log₂(nodes) convergence-depth histogram; see
@@ -263,6 +272,9 @@ pub enum Event<'a> {
         faults: u64,
         /// Configured worker count.
         workers: usize,
+        /// The campaign's fault model (`weight`, `activation`, `input`, or
+        /// `accumulated`).
+        fault_model: &'a str,
     },
     /// A stratum's fault batch started executing.
     StratumStart {
@@ -387,8 +399,10 @@ impl Event<'_> {
     fn to_json(self, seq: u64, t_ns: u64) -> String {
         let head = format!("{{\"seq\":{seq},\"t_ns\":{t_ns},\"ev\":");
         let body = match self {
-            Event::CampaignStart { strata, faults, workers } => format!(
-                "\"campaign_start\",\"strata\":{strata},\"faults\":{faults},\"workers\":{workers}"
+            Event::CampaignStart { strata, faults, workers, fault_model } => format!(
+                "\"campaign_start\",\"strata\":{strata},\"faults\":{faults},\
+                 \"workers\":{workers},\"fault_model\":\"{}\"",
+                json_escape(fault_model)
             ),
             Event::StratumStart { stratum, label, faults } => format!(
                 "\"stratum_start\",\"stratum\":{stratum},\"label\":\"{}\",\"faults\":{faults}",
@@ -448,7 +462,8 @@ impl Event<'_> {
                  \"p99_inference_us\":{:.3},\"requeues\":{},\"worker_retirements\":{},\
                  \"fsyncs\":{},\"mean_fsync_us\":{:.3},\"arena_takes\":{},\"arena_reuses\":{},\
                  \"converged\":{},\"nodes_skipped\":{},\"delta_sparse_nodes\":{},\
-                 \"delta_fallbacks\":{},\"delta_dirty_blocks\":{}",
+                 \"delta_fallbacks\":{},\"delta_dirty_blocks\":{},\"weight_faults\":{},\
+                 \"transient_faults\":{},\"accumulated_faults\":{}",
                 snapshot.inferences,
                 snapshot.mean_inference_us(),
                 snapshot.latency_quantile_us(0.99),
@@ -462,7 +477,10 @@ impl Event<'_> {
                 snapshot.nodes_skipped,
                 snapshot.delta_sparse_nodes,
                 snapshot.delta_fallbacks,
-                snapshot.delta_dirty_blocks
+                snapshot.delta_dirty_blocks,
+                snapshot.weight_faults,
+                snapshot.transient_faults,
+                snapshot.accumulated_faults
             ),
         };
         format!("{head}{body}}}")
@@ -685,6 +703,9 @@ impl Probe {
             delta_sparse_nodes: totals[C_DELTA_SPARSE],
             delta_fallbacks: totals[C_DELTA_FALLBACKS],
             delta_dirty_blocks: totals[C_DELTA_DIRTY_BLOCKS],
+            weight_faults: totals[C_WEIGHT_FAULTS],
+            transient_faults: totals[C_TRANSIENT_FAULTS],
+            accumulated_faults: totals[C_ACCUMULATED_FAULTS],
             latency_buckets: latency,
             convergence_buckets: convergence,
             delta_buckets: delta,
@@ -775,6 +796,21 @@ impl WorkerProbe<'_> {
         shard.add(C_DELTA_DIRTY_BLOCKS, dirty_blocks);
         shard.delta[delta_bucket(dirty_blocks)].fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Records one classified campaign fault by its
+    /// [`CampaignFault::kind`]-style tag (`weight`, `activation`, or
+    /// `accumulated`); unknown tags are dropped rather than miscounted.
+    ///
+    /// [`CampaignFault::kind`]: https://docs.rs/sfi-faultsim
+    pub fn record_fault_kind(&self, kind: &str) {
+        let Some(shard) = self.shard else { return };
+        match kind {
+            "weight" => shard.add(C_WEIGHT_FAULTS, 1),
+            "activation" => shard.add(C_TRANSIENT_FAULTS, 1),
+            "accumulated" => shard.add(C_ACCUMULATED_FAULTS, 1),
+            _ => {}
+        }
+    }
 }
 
 #[cfg(test)]
@@ -794,7 +830,12 @@ mod tests {
         w.record_delta(2, 1, 9);
         probe.record_requeue();
         probe.record_fsync(1, 100);
-        probe.emit(&Event::CampaignStart { strata: 1, faults: 1, workers: 1 });
+        probe.emit(&Event::CampaignStart {
+            strata: 1,
+            faults: 1,
+            workers: 1,
+            fault_model: "weight",
+        });
         let snap = probe.snapshot();
         assert_eq!(snap.inferences, 0);
         assert_eq!(snap.arena_takes, 0);
@@ -824,6 +865,10 @@ mod tests {
             w.record_arena(2, 1);
             w.record_convergence(4, 10);
             w.record_delta(5, 1, 12);
+            w.record_fault_kind("weight");
+            w.record_fault_kind("activation");
+            w.record_fault_kind("accumulated");
+            w.record_fault_kind("bogus");
         }
         probe.record_requeue();
         probe.record_worker_retirement();
@@ -849,6 +894,9 @@ mod tests {
         // A 12-block cone lands in log2 bucket 4 ([8, 16)).
         assert_eq!(snap.delta_buckets[4], 4);
         assert_eq!(snap.delta_buckets.iter().sum::<u64>(), 4);
+        assert_eq!(snap.weight_faults, 4);
+        assert_eq!(snap.transient_faults, 4);
+        assert_eq!(snap.accumulated_faults, 4);
     }
 
     #[test]
@@ -888,7 +936,12 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("spans-only.jsonl");
         let probe = Probe::new(TraceLevel::Spans, Some(&path)).unwrap();
-        probe.emit(&Event::CampaignStart { strata: 1, faults: 1, workers: 1 });
+        probe.emit(&Event::CampaignStart {
+            strata: 1,
+            faults: 1,
+            workers: 1,
+            fault_model: "weight",
+        });
         probe.emit(&Event::Fault { stratum: 0, index: 0, class: "masked", inferences: 0 });
         let out = probe.finish().unwrap().unwrap();
         // campaign_start + the automatic metrics event; the fault event is

@@ -265,6 +265,12 @@ pub struct MetricsLine {
     pub converged: u64,
     /// Graph nodes skipped by early exits (0 for older streams).
     pub nodes_skipped: u64,
+    /// Weight faults classified (0 for older streams).
+    pub weight_faults: u64,
+    /// Transient activation/input faults classified (0 for older streams).
+    pub transient_faults: u64,
+    /// Accumulated multi-fault instances classified (0 for older streams).
+    pub accumulated_faults: u64,
 }
 
 /// Campaign-level totals from `campaign_end`.
@@ -289,6 +295,9 @@ pub struct TraceSummary {
     pub planned_strata: Option<u64>,
     /// Faults announced by `campaign_start`.
     pub planned_faults: Option<u64>,
+    /// Fault model announced by `campaign_start` (`None` for streams
+    /// written before the field existed).
+    pub fault_model: Option<String>,
     /// Total `fault` events.
     pub fault_events: u64,
     /// `fault` events per class, sorted by class name.
@@ -364,6 +373,8 @@ pub fn summarize(text: &str) -> Result<TraceSummary, String> {
                 summary.planned_strata = Some(need_u64(&fields, "strata").map_err(at)?);
                 summary.planned_faults = Some(need_u64(&fields, "faults").map_err(at)?);
                 summary.workers = Some(need_u64(&fields, "workers").map_err(at)?);
+                summary.fault_model =
+                    field(&fields, "fault_model").and_then(Value::as_str).map(str::to_string);
             }
             "stratum_start" => {
                 let id = need_u64(&fields, "stratum").map_err(at)?;
@@ -439,6 +450,15 @@ pub fn summarize(text: &str) -> Result<TraceSummary, String> {
                     nodes_skipped: field(&fields, "nodes_skipped")
                         .and_then(Value::as_u64)
                         .unwrap_or(0),
+                    weight_faults: field(&fields, "weight_faults")
+                        .and_then(Value::as_u64)
+                        .unwrap_or(0),
+                    transient_faults: field(&fields, "transient_faults")
+                        .and_then(Value::as_u64)
+                        .unwrap_or(0),
+                    accumulated_faults: field(&fields, "accumulated_faults")
+                        .and_then(Value::as_u64)
+                        .unwrap_or(0),
                 });
             }
             other => return Err(at(format!("unknown event kind `{other}`"))),
@@ -495,6 +515,7 @@ mod tests {
         let s = summarize(text).unwrap();
         assert_eq!(s.events, 7);
         assert_eq!(s.workers, Some(4));
+        assert_eq!(s.fault_model, None, "pre-fault-model stream still parses");
         assert_eq!(s.fault_events, 2);
         assert_eq!(s.class_counts, vec![("critical".to_string(), 1), ("masked".to_string(), 1)]);
         assert_eq!(s.strata.len(), 1);
@@ -508,5 +529,18 @@ mod tests {
         assert_eq!(s.phases.len(), 1);
         assert_eq!(s.phases[0].busy_ms, Some(1.5));
         assert_eq!(s.campaign.unwrap().inferences, 9);
+    }
+
+    #[test]
+    fn summarize_reads_fault_model_and_kind_counters() {
+        let text = "\
+{\"seq\":0,\"t_ns\":10,\"ev\":\"campaign_start\",\"strata\":1,\"faults\":2,\"workers\":1,\"fault_model\":\"activation\"}\n\
+{\"seq\":1,\"t_ns\":20,\"ev\":\"metrics\",\"inferences\":2,\"mean_inference_us\":1.0,\"p99_inference_us\":1.0,\"requeues\":0,\"worker_retirements\":0,\"fsyncs\":0,\"mean_fsync_us\":0.0,\"arena_takes\":0,\"arena_reuses\":0,\"converged\":0,\"nodes_skipped\":0,\"weight_faults\":0,\"transient_faults\":2,\"accumulated_faults\":0}\n";
+        let s = summarize(text).unwrap();
+        assert_eq!(s.fault_model.as_deref(), Some("activation"));
+        let m = s.metrics.unwrap();
+        assert_eq!(m.transient_faults, 2);
+        assert_eq!(m.weight_faults, 0);
+        assert_eq!(m.accumulated_faults, 0);
     }
 }

@@ -1,10 +1,14 @@
 //! End-to-end SFI campaigns over reduced-precision weight memories.
 
-use sfi_core::execute::execute_plan_in_space;
-use sfi_core::plan::{plan_data_aware_with_p, plan_data_unaware, plan_layer_wise};
+use sfi_core::execute::{execute_plan_any, execute_plan_in_space, CampaignSpace};
+use sfi_core::plan::{
+    plan_accumulated, plan_data_aware_with_p, plan_data_unaware, plan_layer_wise,
+};
 use sfi_dataset::SynthCifarConfig;
+use sfi_faultsim::activation::ActivationSpace;
 use sfi_faultsim::campaign::{run_campaign_with, CampaignConfig};
 use sfi_faultsim::golden::GoldenReference;
+use sfi_faultsim::multi::FaultTarget;
 use sfi_faultsim::population::FaultSpace;
 use sfi_nn::resnet::ResNetConfig;
 use sfi_repr::{
@@ -97,6 +101,42 @@ fn plan_with_short_p_vector_rejected() {
     assert!(plan_data_aware_with_p(&space, &[0.5; 8], &spec).is_err());
     assert!(plan_data_aware_with_p(&space, &[2.0; 16], &spec).is_err());
     assert!(plan_data_aware_with_p(&space, &[0.25; 16], &spec).is_ok());
+}
+
+#[test]
+fn accumulated_faults_over_quantized_weights_are_deterministic() {
+    // k simultaneous faults composed over a reduced-precision weight
+    // memory (int8 stuck-at weight components through the format's
+    // corruption) plus transient f32 activation components: the campaign
+    // must classify and tally identically at any worker count.
+    let format = Format::fixed(8, 6).unwrap();
+    let (model, data, golden) = quantized_setup(format);
+    let space = FaultSpace::stuck_at(&model).with_bits(8);
+    let acts = ActivationSpace::build_for(&model, &data, FaultTarget::Activation).unwrap();
+    let spec = SampleSpec { error_margin: 0.2, ..SampleSpec::paper_default() };
+    let corruption = FormatCorruption::new(format);
+    for k in [2u64, 4] {
+        let plan = plan_accumulated(space.total() + acts.total(), k, &spec).unwrap();
+        assert_eq!(plan.accumulate(), k);
+        let run = |workers: usize| {
+            execute_plan_any(
+                &model,
+                &data,
+                &golden,
+                &plan,
+                CampaignSpace::Accumulated { weights: &space, activations: &acts },
+                9,
+                &CampaignConfig { workers, ..CampaignConfig::default() },
+                &corruption,
+            )
+            .unwrap()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one.strata(), four.strata(), "k={k}");
+        assert_eq!(one.injections(), four.injections());
+        assert!(one.injections() > 0);
+    }
 }
 
 #[test]

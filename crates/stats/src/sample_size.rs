@@ -135,9 +135,87 @@ pub fn sample_size_infinite(spec: &SampleSpec) -> f64 {
     z * z * variance_term(spec.p) / (spec.error_margin * spec.error_margin)
 }
 
+/// Population size of an *accumulated* fault model: the number of distinct
+/// `k`-subsets of a base population of `n` single faults, `C(n, k)`.
+///
+/// This is the `N` that parameterizes Eq. 1 when each campaign instance
+/// carries `k` simultaneous faults instead of one. The product is evaluated
+/// in `u128` and saturates to [`u64::MAX`] — at validation-scale populations
+/// `C(n, k)` overflows any integer type for `k ≥ 2`, and Eq. 1's
+/// finite-population correction is already negligible far below that, so
+/// saturation never changes a sample size by even one unit.
+///
+/// `k == 0` yields 1 (the empty instance), `k > n` yields 0.
+///
+/// # Example
+///
+/// ```
+/// use sfi_stats::sample_size::accumulated_population;
+///
+/// assert_eq!(accumulated_population(5, 2), 10);
+/// assert_eq!(accumulated_population(5, 1), 5);
+/// // Astronomically large populations saturate instead of overflowing.
+/// assert_eq!(accumulated_population(17_174_144, 4), u64::MAX);
+/// ```
+pub fn accumulated_population(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        // C(n, i+1) = C(n, i) * (n - i) / (i + 1); the division is exact at
+        // every step because any i+1 consecutive integers contain a
+        // multiple of i+1.
+        acc = match acc.checked_mul((n - i) as u128) {
+            Some(v) => v / (i as u128 + 1),
+            None => return u64::MAX,
+        };
+        if acc > u64::MAX as u128 {
+            return u64::MAX;
+        }
+    }
+    acc.min(u64::MAX as u128) as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn accumulated_population_matches_binomials() {
+        assert_eq!(accumulated_population(10, 0), 1);
+        assert_eq!(accumulated_population(10, 1), 10);
+        assert_eq!(accumulated_population(10, 2), 45);
+        assert_eq!(accumulated_population(10, 4), 210);
+        assert_eq!(accumulated_population(10, 10), 1);
+        assert_eq!(accumulated_population(3, 5), 0, "k > n has no instances");
+        assert_eq!(accumulated_population(52, 5), 2_598_960, "poker hands");
+        // Symmetric in k ↔ n−k.
+        assert_eq!(accumulated_population(30, 7), accumulated_population(30, 23));
+    }
+
+    #[test]
+    fn accumulated_population_saturates_instead_of_overflowing() {
+        assert_eq!(accumulated_population(u64::MAX, 2), u64::MAX);
+        assert_eq!(accumulated_population(17_174_144, 4), u64::MAX);
+        // Just below and above the 64-bit boundary: C(2^32, 2) fits.
+        let n = 1u64 << 32;
+        assert_eq!(accumulated_population(n, 2), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn accumulated_sample_sizes_follow_eq1() {
+        // Eq. 1 over the k-subset population: the sample grows with k but
+        // saturates at the infinite-population limit.
+        let spec = SampleSpec::paper_default();
+        let base = 432 * 64u64;
+        let n1 = sample_size(accumulated_population(base, 1), &spec);
+        let n2 = sample_size(accumulated_population(base, 2), &spec);
+        let n4 = sample_size(accumulated_population(base, 4), &spec);
+        assert!(n1 < n2 && n2 <= n4);
+        assert!((n4 as f64) <= sample_size_infinite(&spec).ceil());
+    }
 
     /// Every layer-wise and data-unaware entry of paper Table I.
     #[test]

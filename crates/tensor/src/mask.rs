@@ -101,6 +101,31 @@ impl DirtyMask {
         Ok(mask)
     }
 
+    /// A mask with exactly one dirty block: the block containing the flat
+    /// `element` index of a tensor of `shape` — the seed of a transient
+    /// activation fault's sparse cone.
+    ///
+    /// For rank-4 `[N, C, H, W]` tensors the element decomposes as
+    /// `((n * C + c) * H + y) * W + x`; rank-2 tensors mark the element's
+    /// own 1×1 plane.
+    ///
+    /// # Errors
+    ///
+    /// Same rank conditions as [`DirtyMask::for_shape`];
+    /// [`TensorError::LengthMismatch`] when `element` is out of range.
+    pub fn single_site(shape: Shape, element: usize) -> Result<Self, TensorError> {
+        let mut mask = Self::for_shape(shape)?;
+        let plane_len = mask.h * mask.w;
+        let total = mask.planes * plane_len;
+        if element >= total {
+            return Err(TensorError::LengthMismatch { shape, len: element });
+        }
+        let plane = element / plane_len;
+        let within = element % plane_len;
+        mask.mark_pixel(plane, within / mask.w, within % mask.w);
+        Ok(mask)
+    }
+
     /// The mask of bitwise differences between `golden` and `value`: a block
     /// is dirty iff at least one of its elements differs in bits (NaN
     /// payloads and signed zeros included).
@@ -363,6 +388,28 @@ mod tests {
     fn union_rejects_mismatched_geometry() {
         let mut a = DirtyMask::clean(1, 8, 8);
         a.union_with(&DirtyMask::clean(2, 8, 8));
+    }
+
+    #[test]
+    fn single_site_marks_one_block_rank4() {
+        // Element ((0*2 + 1)*8 + 5)*8 + 6 → plane 1, pixel (5, 6) → block (1, 1).
+        let m = DirtyMask::single_site(Shape::new(&[1, 2, 8, 8]), (8 + 5) * 8 + 6).unwrap();
+        assert_eq!(m.dirty_blocks(), 1);
+        assert!(m.block_is_dirty(1, 1, 1));
+        assert!(!m.plane_is_dirty(0));
+    }
+
+    #[test]
+    fn single_site_marks_one_plane_rank2() {
+        let m = DirtyMask::single_site(Shape::new(&[2, 10]), 13).unwrap();
+        assert_eq!(m.dirty_blocks(), 1);
+        assert!(m.block_is_dirty(13, 0, 0));
+    }
+
+    #[test]
+    fn single_site_rejects_out_of_range() {
+        assert!(DirtyMask::single_site(Shape::new(&[1, 1, 4, 4]), 16).is_err());
+        assert!(DirtyMask::single_site(Shape::new(&[1, 1, 4, 4]), 15).is_ok());
     }
 
     #[test]

@@ -19,19 +19,24 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use sfi_core::bits::bit_ranking;
-use sfi_core::checkpoint::{execute_plan_checkpointed_traced, CampaignRun, CheckpointConfig};
-use sfi_core::execute::{execute_plan, execute_plan_traced, PlanProgress};
+use sfi_core::checkpoint::{execute_plan_checkpointed_traced_any, CampaignRun, CheckpointConfig};
+use sfi_core::execute::{
+    execute_plan, execute_plan_traced_any, fault_model_label, CampaignSpace, PlanProgress,
+};
 use sfi_core::hardening::{plan_protection, HardeningConfig};
 use sfi_core::plan::{
-    plan_data_aware, plan_data_unaware, plan_layer_wise, plan_network_wise, SfiPlan,
+    activation_bit_analysis, plan_accumulated, plan_data_aware, plan_data_unaware, plan_layer_wise,
+    plan_network_wise, plan_transient, SchemeKind, SfiPlan,
 };
 use sfi_core::report::{
     group_digits, percent, phase_report, telemetry_report, telemetry_report_resumed, PhaseLine,
     TextTable,
 };
 use sfi_dataset::SynthCifarConfig;
+use sfi_faultsim::activation::ActivationSpace;
 use sfi_faultsim::campaign::{CampaignConfig, Ieee754Corruption};
 use sfi_faultsim::golden::GoldenReference;
+use sfi_faultsim::multi::FaultTarget;
 use sfi_faultsim::population::FaultSpace;
 use sfi_nn::mobilenet::MobileNetV2Config;
 use sfi_nn::resnet::ResNetConfig;
@@ -171,6 +176,13 @@ pub struct CliOptions {
     pub model: ModelChoice,
     /// Scheme (plan/run).
     pub scheme: SchemeChoice,
+    /// Which tensors faults strike: permanent weight faults (the paper's
+    /// baseline) or transient activation/input faults (plan/run).
+    pub fault_model: FaultTarget,
+    /// Number of simultaneous faults per injection (`run`). 1 replicates
+    /// the paper's single-fault campaigns; k > 1 composes k distinct sites
+    /// drawn from the union of the weight and activation populations.
+    pub accumulate: u64,
     /// Error margin `e`.
     pub error_margin: f64,
     /// Evaluation images for simulation-backed commands.
@@ -219,6 +231,8 @@ impl Default for CliOptions {
             command: Command::Help,
             model: ModelChoice::Resnet20Micro,
             scheme: SchemeChoice::LayerWise,
+            fault_model: FaultTarget::Weight,
+            accumulate: 1,
             error_margin: 0.05,
             images: 4,
             seed: 42,
@@ -256,6 +270,13 @@ COMMANDS:
 OPTIONS:
     --model <resnet20|resnet20-micro|mobilenetv2|mobilenetv2-micro|vgg11|vgg-micro>
     --scheme <network-wise|layer-wise|data-unaware|data-aware>
+    --fault-model <weight|activation|input>
+                              what faults strike (default weight): permanent
+                              weight faults, or transient faults in activation
+                              tensors / the input image (plan/run)
+    --accumulate <k>          inject k simultaneous faults per trial (run),
+                              drawn without replacement from the union of the
+                              weight and activation populations (default 1)
     --error <fraction>        planned error margin e (default 0.05; paper: 0.01)
     --images <n>              evaluation images for run/bits/harden (default 4)
     --seed <n>                master seed (default 42)
@@ -323,6 +344,21 @@ pub fn parse(args: &[String]) -> Result<CliOptions, ParseCliError> {
         match flag.as_str() {
             "--model" => opts.model = ModelChoice::parse(&value()?)?,
             "--scheme" => opts.scheme = SchemeChoice::parse(&value()?)?,
+            "--fault-model" => {
+                let v = value()?;
+                opts.fault_model = v.parse::<FaultTarget>().map_err(|_| {
+                    err(format!("unknown fault model `{v}` (expected weight, activation, input)"))
+                })?;
+            }
+            "--accumulate" => {
+                let v = value()?;
+                opts.accumulate = v
+                    .parse::<u64>()
+                    .map_err(|_| err(format!("`--accumulate {v}` is not an integer")))?;
+                if opts.accumulate == 0 {
+                    return Err(err("`--accumulate` must be at least 1"));
+                }
+            }
             "--error" => {
                 let v = value()?;
                 opts.error_margin =
@@ -426,6 +462,43 @@ fn build_plan(
     })
 }
 
+/// Builds a transient-fault sampling plan over `acts`. Data-aware plans
+/// re-derive the per-bit p(i) from the model's own golden activation
+/// distribution (not its weights), so the statistics match what transient
+/// faults actually strike.
+fn build_transient_plan(
+    opts: &CliOptions,
+    model: &Model,
+    data: &sfi_dataset::Dataset,
+    golden: Option<&GoldenReference>,
+    acts: &ActivationSpace,
+) -> Result<SfiPlan, Box<dyn std::error::Error>> {
+    let spec = SampleSpec { error_margin: opts.error_margin, ..SampleSpec::paper_default() };
+    let scheme = match opts.scheme {
+        SchemeChoice::NetworkWise => SchemeKind::NetworkWise,
+        SchemeChoice::LayerWise => SchemeKind::LayerWise,
+        SchemeChoice::DataUnaware => SchemeKind::DataUnaware,
+        SchemeChoice::DataAware => SchemeKind::DataAware,
+    };
+    let p_storage;
+    let p: Option<&[f64]> = if scheme == SchemeKind::DataAware {
+        let golden_owned;
+        let golden = match golden {
+            Some(g) => g,
+            None => {
+                golden_owned = GoldenReference::build(model, data)?;
+                &golden_owned
+            }
+        };
+        let analysis = activation_bit_analysis(golden, acts)?;
+        p_storage = data_aware_p(&analysis, &DataAwareConfig::paper_default())?;
+        Some(&p_storage)
+    } else {
+        None
+    };
+    Ok(plan_transient(acts, opts.fault_model, scheme, p, &spec)?)
+}
+
 /// Executes a parsed command line, writing the report to `out`.
 ///
 /// # Errors
@@ -442,20 +515,63 @@ pub fn run(
         }
         Command::Plan => {
             let model = opts.model.build(opts.seed)?;
-            let space = FaultSpace::stuck_at(&model);
-            let plan = build_plan(opts, &model, &space)?;
-            let mut table = TextTable::new(vec!["layer".into(), "population".into(), "n".into()]);
-            for layer in 0..space.layers() {
+            let mut table = TextTable::new(vec!["group".into(), "population".into(), "n".into()]);
+            let plan = if opts.accumulate > 1 {
+                let data = SynthCifarConfig::new()
+                    .with_size(opts.model.input_size())
+                    .with_samples(opts.images)
+                    .with_seed(opts.seed)
+                    .generate();
+                let space = FaultSpace::stuck_at(&model);
+                let acts = ActivationSpace::build_for(&model, &data, FaultTarget::Activation)?;
+                let spec =
+                    SampleSpec { error_margin: opts.error_margin, ..SampleSpec::paper_default() };
+                let plan = plan_accumulated(space.total() + acts.total(), opts.accumulate, &spec)?;
                 table.add_row(vec![
-                    format!("L{layer}"),
-                    group_digits(space.layer_subpopulation(layer)?.size()),
-                    group_digits(plan.restricted_to_layer(layer, &space).total_sample()),
+                    "network".into(),
+                    group_digits(plan.total_population()),
+                    group_digits(plan.total_sample()),
                 ]);
-            }
+                plan
+            } else if opts.fault_model != FaultTarget::Weight {
+                let data = SynthCifarConfig::new()
+                    .with_size(opts.model.input_size())
+                    .with_samples(opts.images)
+                    .with_seed(opts.seed)
+                    .generate();
+                let acts = ActivationSpace::build_for(&model, &data, opts.fault_model)?;
+                let plan = build_transient_plan(opts, &model, &data, None, &acts)?;
+                for group in 0..acts.nodes() {
+                    let n: u64 = plan
+                        .strata()
+                        .iter()
+                        .filter(|st| st.layer == Some(group))
+                        .map(|st| st.sample)
+                        .sum();
+                    table.add_row(vec![
+                        format!("N{group}"),
+                        group_digits(acts.group_population(group)?),
+                        group_digits(n),
+                    ]);
+                }
+                plan
+            } else {
+                let space = FaultSpace::stuck_at(&model);
+                let plan = build_plan(opts, &model, &space)?;
+                for layer in 0..space.layers() {
+                    table.add_row(vec![
+                        format!("L{layer}"),
+                        group_digits(space.layer_subpopulation(layer)?.size()),
+                        group_digits(plan.restricted_to_layer(layer, &space).total_sample()),
+                    ]);
+                }
+                plan
+            };
             writeln!(
                 out,
-                "{} plan for {} (e = {}%, 99% confidence)\n",
+                "{} {} plan for {} (e = {}%, 99% confidence)\n",
                 plan.scheme(),
+                fault_model_label(&plan),
                 model.name(),
                 opts.error_margin * 100.0
             )?;
@@ -514,12 +630,43 @@ pub fn run(
             let golden = if opts.lowering_cache { golden.with_lowering(&model)? } else { golden };
             phase_end("golden", &mut phases, &mut mark);
             let space = FaultSpace::stuck_at(&model);
-            let plan = build_plan(opts, &model, &space)?;
+            let acts: Option<ActivationSpace> = if opts.accumulate > 1 {
+                // Accumulated campaigns compose the weight population with
+                // the chosen transient population (activations by default).
+                let target = match opts.fault_model {
+                    FaultTarget::Input => FaultTarget::Input,
+                    _ => FaultTarget::Activation,
+                };
+                Some(ActivationSpace::build_for(&model, &data, target)?)
+            } else if opts.fault_model != FaultTarget::Weight {
+                Some(ActivationSpace::build_for(&model, &data, opts.fault_model)?)
+            } else {
+                None
+            };
+            let plan = match &acts {
+                Some(acts) if opts.accumulate > 1 => {
+                    let spec = SampleSpec {
+                        error_margin: opts.error_margin,
+                        ..SampleSpec::paper_default()
+                    };
+                    plan_accumulated(space.total() + acts.total(), opts.accumulate, &spec)?
+                }
+                Some(acts) => build_transient_plan(opts, &model, &data, Some(&golden), acts)?,
+                None => build_plan(opts, &model, &space)?,
+            };
+            let cspace = match &acts {
+                Some(acts) if opts.accumulate > 1 => {
+                    CampaignSpace::Accumulated { weights: &space, activations: acts }
+                }
+                Some(acts) => CampaignSpace::Transient(acts),
+                None => CampaignSpace::Weight(&space),
+            };
             phase_end("plan", &mut phases, &mut mark);
             writeln!(
                 out,
-                "executing {} campaign: {} faults on {} images ({} worker{})...",
+                "executing {} {} campaign: {} faults on {} images ({} worker{})...",
                 plan.scheme(),
+                fault_model_label(&plan),
                 group_digits(plan.total_sample()),
                 opts.images,
                 opts.workers,
@@ -561,12 +708,12 @@ pub fn run(
                     resume: opts.resume,
                     checkpoint_every: opts.checkpoint_every,
                 };
-                let run = execute_plan_checkpointed_traced(
+                let run = execute_plan_checkpointed_traced_any(
                     &model,
                     &data,
                     &golden,
                     &plan,
-                    &space,
+                    cspace,
                     opts.seed,
                     &cfg,
                     &Ieee754Corruption,
@@ -617,12 +764,12 @@ pub fn run(
                     }
                 }
             } else {
-                let outcome = execute_plan_traced(
+                let outcome = execute_plan_traced_any(
                     &model,
                     &data,
                     &golden,
                     &plan,
-                    &space,
+                    cspace,
                     opts.seed,
                     &cfg,
                     &Ieee754Corruption,
@@ -655,11 +802,18 @@ pub fn run(
                 writeln!(out)?;
             }
             let mut table =
-                TextTable::new(vec!["layer".into(), "critical %".into(), "± %".into(), "n".into()]);
-            for layer in 0..space.layers() {
-                if let Some(est) = outcome.layer_estimate(layer, Confidence::C99) {
+                TextTable::new(vec!["group".into(), "critical %".into(), "± %".into(), "n".into()]);
+            let (groups, prefix) = match &cspace {
+                CampaignSpace::Weight(_) => (space.layers(), "L"),
+                CampaignSpace::Transient(acts) => (acts.nodes(), "N"),
+                // Accumulated faults span sites in several groups at once;
+                // only the network-level estimate is meaningful.
+                CampaignSpace::Accumulated { .. } => (0, "L"),
+            };
+            for group in 0..groups {
+                if let Some(est) = outcome.layer_estimate(group, Confidence::C99) {
                     table.add_row(vec![
-                        format!("L{layer}"),
+                        format!("{prefix}{group}"),
                         format!("{:.3}", est.proportion * 100.0),
                         format!("{:.3}", est.error_margin * 100.0),
                         group_digits(est.sample),
@@ -983,6 +1137,73 @@ mod tests {
         assert!(parse(&args("run --images")).is_err());
         assert!(parse(&args("run --bogus 1")).is_err());
         assert!(parse(&args("harden --budget-frac 2")).is_err());
+    }
+
+    #[test]
+    fn parse_fault_model_and_accumulate() {
+        let o = parse(&args("run --fault-model activation --accumulate 4")).unwrap();
+        assert_eq!(o.fault_model, FaultTarget::Activation);
+        assert_eq!(o.accumulate, 4);
+        let o = parse(&args("run --fault-model input")).unwrap();
+        assert_eq!(o.fault_model, FaultTarget::Input);
+        let d = parse(&args("run")).unwrap();
+        assert_eq!(d.fault_model, FaultTarget::Weight);
+        assert_eq!(d.accumulate, 1);
+        assert!(parse(&args("run --fault-model neutron")).is_err());
+        assert!(parse(&args("run --accumulate 0")).is_err());
+        assert!(parse(&args("run --accumulate two")).is_err());
+    }
+
+    #[test]
+    fn run_transient_activation_campaign_end_to_end() {
+        let opts = parse(&args(
+            "run --model resnet20-micro --fault-model activation --scheme layer-wise              --error 0.2 --images 2 --workers 2",
+        ))
+        .unwrap();
+        let mut buf = Vec::new();
+        run(&opts, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("layer-wise activation campaign"), "{text}");
+        assert!(text.contains("N0"), "expected node-group rows: {text}");
+        assert!(text.contains("network:"), "{text}");
+    }
+
+    #[test]
+    fn run_accumulated_campaign_end_to_end() {
+        let opts = parse(&args(
+            "run --model resnet20-micro --accumulate 2 --error 0.2 --images 2 --workers 2",
+        ))
+        .unwrap();
+        let mut buf = Vec::new();
+        run(&opts, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("accumulated campaign"), "{text}");
+        assert!(text.contains("network:"), "{text}");
+    }
+
+    #[test]
+    fn plan_transient_prints_node_groups() {
+        let opts = parse(&args(
+            "plan --model resnet20-micro --fault-model activation --scheme layer-wise              --error 0.1 --images 2",
+        ))
+        .unwrap();
+        let mut buf = Vec::new();
+        run(&opts, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("layer-wise activation plan"), "{text}");
+        assert!(text.contains("N0"), "{text}");
+    }
+
+    #[test]
+    fn run_transient_data_aware_uses_activation_statistics() {
+        let opts = parse(&args(
+            "run --model resnet20-micro --fault-model activation --scheme data-aware              --error 0.2 --images 2",
+        ))
+        .unwrap();
+        let mut buf = Vec::new();
+        run(&opts, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("data-aware activation campaign"), "{text}");
     }
 
     #[test]

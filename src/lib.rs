@@ -58,22 +58,28 @@ pub mod prelude {
     pub use sfi_core::adaptive::{run_adaptive, AdaptiveConfig, AdaptiveOutcome};
     pub use sfi_core::bits::{bit_ranking, layer_bit_matrix, BitVulnerability};
     pub use sfi_core::checkpoint::{
-        execute_plan_checkpointed, plan_fingerprint, CampaignRun, CheckpointConfig, ResumeStats,
+        execute_plan_checkpointed, execute_plan_checkpointed_any, plan_fingerprint,
+        plan_fingerprint_any, CampaignRun, CheckpointConfig, ResumeStats,
     };
-    pub use sfi_core::execute::{execute_plan, execute_plan_in_space, SfiOutcome};
+    pub use sfi_core::execute::{
+        execute_plan, execute_plan_any, execute_plan_in_space, CampaignSpace, SfiOutcome,
+    };
     pub use sfi_core::exhaustive::ExhaustiveTruth;
     pub use sfi_core::plan::{
-        plan_data_aware, plan_data_aware_with_p, plan_data_unaware, plan_layer_wise,
-        plan_network_wise, plan_neyman, SchemeKind, SfiPlan,
+        activation_bit_analysis, plan_accumulated, plan_data_aware, plan_data_aware_with_p,
+        plan_data_unaware, plan_layer_wise, plan_network_wise, plan_neyman, plan_transient,
+        SchemeKind, SfiPlan,
     };
     pub use sfi_core::validation::validate_against_exhaustive;
     pub use sfi_core::SfiError;
     pub use sfi_dataset::{evaluate, Dataset, SynthCifarConfig};
+    pub use sfi_faultsim::activation::{ActivationFault, ActivationSpace};
     pub use sfi_faultsim::campaign::{run_campaign, CampaignConfig, Criterion, FaultClass};
     pub use sfi_faultsim::executor::CancelToken;
     pub use sfi_faultsim::fault::{Fault, FaultModel, FaultSite};
     pub use sfi_faultsim::golden::GoldenReference;
     pub use sfi_faultsim::journal::{FaultId, JournalRecord, JournalRecovery, JournalWriter};
+    pub use sfi_faultsim::multi::{AccumulatedFault, CampaignFault, FaultTarget};
     pub use sfi_faultsim::population::FaultSpace;
     pub use sfi_nn::mobilenet::MobileNetV2Config;
     pub use sfi_nn::resnet::ResNetConfig;

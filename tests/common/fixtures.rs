@@ -19,8 +19,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use sfi_dataset::{Dataset, SynthCifarConfig};
+use sfi_faultsim::activation::{ActivationFault, ActivationSpace};
 use sfi_faultsim::fault::Fault;
 use sfi_faultsim::golden::GoldenReference;
+use sfi_faultsim::multi::{AccumulatedFault, FaultTarget};
 use sfi_faultsim::population::FaultSpace;
 use sfi_nn::resnet::ResNetConfig;
 use sfi_nn::{
@@ -103,6 +105,121 @@ pub fn random_faults(space: &FaultSpace, seed: u64, n: usize) -> Vec<Fault> {
     let sub = space.network_subpopulation();
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n).map(|_| sub.fault_at(rng.gen_range(0..sub.size())).unwrap()).collect()
+}
+
+/// The transient-activation population of `model` over `data` (every
+/// element of every post-input activation tensor, per image, times 32 bits).
+pub fn activation_space(model: &Model, data: &Dataset) -> ActivationSpace {
+    ActivationSpace::build_for(model, data, FaultTarget::Activation).unwrap()
+}
+
+/// The transient-input population of `model` over `data` (the input image
+/// tensor only).
+pub fn input_space(model: &Model, data: &Dataset) -> ActivationSpace {
+    ActivationSpace::build_for(model, data, FaultTarget::Input).unwrap()
+}
+
+/// Draws `n` (possibly repeated) transient faults from an activation or
+/// input population — the activation-side analogue of [`random_faults`].
+pub fn random_transient_faults(
+    space: &ActivationSpace,
+    seed: u64,
+    n: usize,
+) -> Vec<ActivationFault> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| space.fault_at(rng.gen_range(0..space.total())).unwrap()).collect()
+}
+
+/// Draws `n` accumulated instances of `k` simultaneous faults each, every
+/// instance composed of distinct sites from the union of the weight and
+/// activation populations (weight sites first, as in campaign sampling).
+pub fn random_accumulated_faults(
+    weights: &FaultSpace,
+    acts: &ActivationSpace,
+    seed: u64,
+    k: usize,
+    n: usize,
+) -> Vec<AccumulatedFault> {
+    let sub = weights.network_subpopulation();
+    let union = sub.size() + acts.total();
+    assert!(k as u64 <= union, "k exceeds the composed population");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut sites: Vec<u64> = Vec::with_capacity(k);
+            while sites.len() < k {
+                let site = rng.gen_range(0..union);
+                if !sites.contains(&site) {
+                    sites.push(site);
+                }
+            }
+            let mut ws = Vec::new();
+            let mut avs = Vec::new();
+            for site in sites {
+                if site < sub.size() {
+                    ws.push(sub.fault_at(site).unwrap());
+                } else {
+                    avs.push(acts.fault_at(site - sub.size()).unwrap());
+                }
+            }
+            AccumulatedFault { weights: ws, activations: avs }
+        })
+        .collect()
+}
+
+/// The transient-site differential oracle: asserts that the dense patched
+/// suffix re-execution (`forward_patched_with`), the early-exit-equivalent
+/// delta pass (`forward_delta_site` at saturation 0, where every node takes
+/// the dense bit-compare path), and full sparse delta propagation all
+/// classify the injected site identically — the same predicted class, with
+/// any `Converged` outcome backed by bit-golden dense logits. Returns the
+/// predicted class of the faulty inference.
+pub fn assert_site_forward_equiv(
+    model: &Model,
+    cache: &ActivationCache,
+    golden_prediction: usize,
+    fault: &ActivationFault,
+    ctx: &str,
+) -> usize {
+    let site = fault.site;
+    let golden_v = cache.get(site.node).unwrap().as_slice()[site.element];
+    let faulty_bits = fault.model.apply(golden_v, site.bit).to_bits();
+    let dense = model
+        .forward_patched_with(
+            site.node,
+            cache,
+            |t| t.as_mut_slice()[site.element] = f32::from_bits(faulty_bits),
+            &mut ForwardOptions::default(),
+        )
+        .unwrap();
+    let dense_pred = dense.argmax().unwrap_or(usize::MAX);
+    let golden_logits = cache.get(cache.len() - 1).unwrap();
+    for (name, saturation) in [("early-exit", 0.0f64), ("delta", 0.25)] {
+        let mut arena = ScratchArena::new();
+        let mut opts = DeltaOptions { arena: Some(&mut arena), saturation, ..Default::default() };
+        let (out, _stats) = model
+            .forward_delta_site(site.node, site.element, faulty_bits, cache, &mut opts)
+            .unwrap();
+        match out {
+            ForwardOutcome::Logits(l) => {
+                assert_eq!(
+                    l.argmax().unwrap_or(usize::MAX),
+                    dense_pred,
+                    "{ctx}: {name} path classifies the injected site differently"
+                );
+                assert_bits_equal(l.as_slice(), dense.as_slice());
+            }
+            ForwardOutcome::Converged { at_node } => {
+                assert_bits_equal(dense.as_slice(), golden_logits.as_slice());
+                assert_eq!(
+                    dense_pred, golden_prediction,
+                    "{ctx}: {name} path converged at node {at_node} but dense prediction \
+                     differs from golden"
+                );
+            }
+        }
+    }
+    dense_pred
 }
 
 /// Bernoulli draw: the vendored `rand` shim has no `gen_bool`.

@@ -10,12 +10,14 @@
 #[path = "common/fixtures.rs"]
 mod fixtures;
 
-use fixtures::{campaign_world, tiny_resnet, unique_tmp_dir};
+use fixtures::{activation_space, campaign_world, tiny_resnet, unique_tmp_dir};
 use proptest::prelude::*;
 use sfi::core::checkpoint::{
-    execute_plan_checkpointed, CampaignRun, CheckpointConfig, ResumeStats,
+    execute_plan_checkpointed, execute_plan_checkpointed_any, CampaignRun, CheckpointConfig,
+    ResumeStats,
 };
-use sfi::core::execute::execute_plan_in_space;
+use sfi::core::execute::{execute_plan_any, execute_plan_in_space};
+use sfi::core::plan::{plan_accumulated, plan_transient};
 use sfi::faultsim::campaign::{Corruption, Ieee754Corruption};
 use sfi::prelude::*;
 use sfi::stats::sampling::sample_without_replacement;
@@ -105,6 +107,74 @@ proptest! {
             }
         };
         prop_assert_eq!(fingerprint(&outcome), reference);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The same interrupt-anywhere invariant for transient-activation and
+    /// accumulated (k simultaneous weight + activation faults) campaigns:
+    /// interrupt mid-stratum, resume at workers 1, 4, or 8, and the merged
+    /// outcome is identical to the uninterrupted run of the same plan.
+    #[test]
+    fn mixed_model_interrupt_and_resume_matches_uninterrupted(
+        stop_frac in 0.1f64..0.9,
+        resume_idx in 0usize..3,
+        accumulated in any::<bool>(),
+    ) {
+        const WORKERS: [usize; 3] = [1, 4, 8];
+        let model = tiny_resnet(5, 8);
+        let (data, golden) = campaign_world(&model, 8, 2);
+        let weights = FaultSpace::stuck_at(&model);
+        let acts = activation_space(&model, &data);
+        let spec = SampleSpec { error_margin: 0.2, ..SampleSpec::paper_default() };
+        let (plan, cspace) = if accumulated {
+            let union = weights.total() + acts.total();
+            (plan_accumulated(union, 2, &spec).unwrap(),
+             CampaignSpace::Accumulated { weights: &weights, activations: &acts })
+        } else {
+            (plan_transient(&acts, FaultTarget::Activation, SchemeKind::LayerWise, None, &spec)
+                 .unwrap(),
+             CampaignSpace::Transient(&acts))
+        };
+        let seed = 11u64;
+        let cfg = CampaignConfig::default();
+        let clean = execute_plan_any(
+            &model, &data, &golden, &plan, cspace, seed, &cfg, &Ieee754Corruption,
+        ).unwrap();
+        let reference = fingerprint(&clean);
+
+        let dir = unique_tmp_dir("crash-tolerance-mixed");
+        let stop_at = ((clean.injections() as f64 * stop_frac) as u64).max(1);
+        let token = CancelToken::new();
+        let first = execute_plan_checkpointed_any(
+            &model, &data, &golden, &plan, cspace, seed, &cfg, &Ieee754Corruption,
+            &CheckpointConfig::new(&dir), Some(&token),
+            &mut |p| { if p.plan_completed >= stop_at { token.cancel(); } },
+        ).unwrap();
+        let outcome = match first {
+            CampaignRun::Complete { outcome, .. } => outcome,
+            CampaignRun::Interrupted { stats } => {
+                prop_assert!(stats.completed < clean.injections());
+                let resume_cfg = CampaignConfig { workers: WORKERS[resume_idx], ..cfg };
+                let checkpoint = CheckpointConfig {
+                    dir: dir.clone(), resume: true, checkpoint_every: 16,
+                };
+                let resumed = execute_plan_checkpointed_any(
+                    &model, &data, &golden, &plan, cspace, seed, &resume_cfg,
+                    &Ieee754Corruption, &checkpoint, None, &mut |_| {},
+                ).unwrap();
+                let (outcome, stats) = match resumed {
+                    CampaignRun::Complete { outcome, stats } => (outcome, stats),
+                    CampaignRun::Interrupted { .. } => {
+                        prop_assert!(false, "resume did not complete");
+                        unreachable!()
+                    }
+                };
+                prop_assert!(stats.resumed > 0, "the journal must carry work across sessions");
+                outcome
+            }
+        };
+        prop_assert_eq!(fingerprint(&outcome), reference,
+            "accumulated={} resume workers={}", accumulated, WORKERS[resume_idx]);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -11,12 +11,13 @@
 mod fixtures;
 
 use fixtures::{
-    assert_forward_equiv, campaign_world, micro_resnet, random_faults, random_small_input,
-    random_small_model, tiny_resnet, unique_tmp_dir,
+    activation_space, assert_forward_equiv, assert_site_forward_equiv, campaign_world, input_space,
+    micro_resnet, random_accumulated_faults, random_faults, random_small_input, random_small_model,
+    random_transient_faults, tiny_resnet, unique_tmp_dir,
 };
 use proptest::prelude::*;
 use sfi::core::checkpoint::{execute_plan_checkpointed, CampaignRun, CheckpointConfig};
-use sfi::faultsim::campaign::Ieee754Corruption;
+use sfi::faultsim::campaign::{run_any_campaign, Ieee754Corruption};
 use sfi::prelude::*;
 use sfi_nn::{ParamKind, DELTA_SATURATION_DEFAULT};
 
@@ -126,6 +127,82 @@ proptest! {
                 prop_assert_eq!(
                     res.inferences, reference.inferences,
                     "{} workers={}", label, workers
+                );
+            }
+        }
+    }
+
+    /// Transient activation and input faults classify identically on the
+    /// dense patched path, the early-exit-equivalent delta pass
+    /// (saturation 0), and full sparse delta propagation — per injected
+    /// site and for whole campaigns at any worker count, with and without
+    /// convergence/delta enabled.
+    #[test]
+    fn transient_site_paths_agree(fault_seed in 0u64..1_000_000) {
+        let model = micro_resnet(3);
+        let (data, golden) = campaign_world(&model, 16, 2);
+        for (name, space) in
+            [("activation", activation_space(&model, &data)), ("input", input_space(&model, &data))]
+        {
+            let faults = random_transient_faults(&space, fault_seed, 8);
+            for fault in &faults {
+                let img = fault.site.image;
+                assert_site_forward_equiv(
+                    &model,
+                    golden.cache(img),
+                    golden.prediction(img),
+                    fault,
+                    &format!("{name} seed {fault_seed}"),
+                );
+            }
+            let generic: Vec<CampaignFault> =
+                faults.iter().map(|&f| CampaignFault::Activation(f)).collect();
+            let base = CampaignConfig {
+                workers: 1,
+                convergence: false,
+                delta: false,
+                ..Default::default()
+            };
+            let reference = run_any_campaign(&model, &data, &golden, &generic, &base).unwrap();
+            for workers in [1usize, 4, 8] {
+                for (convergence, delta) in [(true, false), (false, true), (true, true)] {
+                    let cfg =
+                        CampaignConfig { workers, convergence, delta, ..Default::default() };
+                    let res = run_any_campaign(&model, &data, &golden, &generic, &cfg).unwrap();
+                    prop_assert_eq!(
+                        &res.classes, &reference.classes,
+                        "{} workers={} convergence={} delta={}", name, workers, convergence, delta
+                    );
+                }
+            }
+        }
+    }
+
+    /// Accumulated multi-fault instances (k simultaneous weight +
+    /// activation faults) classify identically across worker counts and
+    /// fast-path configurations.
+    #[test]
+    fn accumulated_instances_classify_identically_across_paths(
+        fault_seed in 0u64..1_000_000,
+        k in 2usize..5,
+    ) {
+        let model = micro_resnet(3);
+        let (data, golden) = campaign_world(&model, 16, 2);
+        let space = FaultSpace::stuck_at(&model);
+        let acts = activation_space(&model, &data);
+        let instances = random_accumulated_faults(&space, &acts, fault_seed, k, 6);
+        let generic: Vec<CampaignFault> =
+            instances.into_iter().map(CampaignFault::Accumulated).collect();
+        let base =
+            CampaignConfig { workers: 1, convergence: false, delta: false, ..Default::default() };
+        let reference = run_any_campaign(&model, &data, &golden, &generic, &base).unwrap();
+        for workers in [1usize, 4, 8] {
+            for (convergence, delta) in [(true, false), (true, true)] {
+                let cfg = CampaignConfig { workers, convergence, delta, ..Default::default() };
+                let res = run_any_campaign(&model, &data, &golden, &generic, &cfg).unwrap();
+                prop_assert_eq!(
+                    &res.classes, &reference.classes,
+                    "k={} workers={} convergence={} delta={}", k, workers, convergence, delta
                 );
             }
         }
