@@ -440,6 +440,13 @@ pub fn execute_plan_traced_any<C: Corruption>(
         workers: campaign_cfg.workers.max(1),
         fault_model: fault_model_label(plan),
     });
+    let exec_plan = golden.plan();
+    probe.emit(&Event::PlanCompiled {
+        nodes: exec_plan.len(),
+        fused_groups: exec_plan.fused_groups(),
+        lowerable_convs: (0..exec_plan.len()).filter(|&i| exec_plan.is_lowerable_conv(i)).count(),
+        batched: campaign_cfg.batched,
+    });
     let results =
         with_executor_probed(model, data, golden, campaign_cfg, corruption, probe, |exec| {
             let mut results = Vec::with_capacity(n_strata);

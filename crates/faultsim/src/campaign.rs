@@ -135,6 +135,18 @@ pub struct CampaignConfig {
     /// fingerprints, like `workers`, `kernel` and `convergence`.
     #[serde(default = "default_delta")]
     pub delta: bool,
+    /// Batched eval-image forward: during incremental fast-path weight
+    /// campaigns, run the dirty suffix of **all** E eval images as one
+    /// batched pass over the compiled execution plan — one fused GEMM per
+    /// conv step for the whole batch instead of one per image. Per-image
+    /// logits rows are bit-identical to E per-image passes, and the
+    /// executor replays the per-image early-exit loop over them, so
+    /// classifications and inference counts are identical at any worker
+    /// count. Skipped for faults routed to the sparse delta engine.
+    /// Excluded from plan fingerprints, like `workers`, `kernel`,
+    /// `convergence` and `delta`.
+    #[serde(default = "default_batched")]
+    pub batched: bool,
 }
 
 /// Serde default for [`CampaignConfig::convergence`]: configs written
@@ -149,6 +161,12 @@ fn default_delta() -> bool {
     true
 }
 
+/// Serde default for [`CampaignConfig::batched`]: configs written before
+/// the batched eval-image engine existed load with it enabled.
+fn default_batched() -> bool {
+    true
+}
+
 impl Default for CampaignConfig {
     fn default() -> Self {
         Self {
@@ -160,6 +178,7 @@ impl Default for CampaignConfig {
             kernel: KernelPolicy::Fast,
             convergence: default_convergence(),
             delta: default_delta(),
+            batched: default_batched(),
         }
     }
 }

@@ -81,7 +81,11 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use sfi_dataset::Dataset;
-use sfi_nn::{ActPatch, DeltaOptions, ForwardOptions, ForwardOutcome, KernelPolicy, Model};
+use sfi_nn::plan::row_argmax;
+use sfi_nn::{
+    ActPatch, BatchedOutcome, DeltaOptions, ForwardOptions, ForwardOutcome, KernelPolicy, Model,
+    NodeId, SessionState,
+};
 use sfi_obs::{Probe, WorkerProbe};
 use sfi_tensor::ScratchArena;
 
@@ -333,9 +337,9 @@ pub struct CampaignExecutor<'a, C: Corruption> {
 }
 
 enum Mode {
-    /// Single persistent model clone (plus scratch arena), processed on the
-    /// calling thread.
-    Inline { model: Box<Model>, arena: ScratchArena },
+    /// Single persistent model clone (plus session state: scratch arena and
+    /// shared arena-peak publishing), processed on the calling thread.
+    Inline { model: Box<Model>, session: SessionState },
     /// Worker pool; one task sender per surviving worker thread (`None`
     /// marks a worker that died and was pruned from the pool).
     Pool(Vec<Option<Sender<Task>>>),
@@ -344,9 +348,12 @@ enum Mode {
 /// Telemetry shared between the collector and every worker of a session.
 #[derive(Debug, Default)]
 struct SessionStats {
-    /// Largest scratch-arena footprint any worker has reached, in bytes.
-    /// Monotone over the session; arenas persist across campaigns.
-    arena_peak: AtomicU64,
+    /// Largest scratch-arena footprint any worker has reached, in bytes —
+    /// the **session high-water mark**, maintained via
+    /// [`SessionState::publish_peak`] (monotone `max`, never a sum, so
+    /// per-worker arenas are never double-counted). Arenas persist across
+    /// campaigns; the mark is monotone over the session.
+    arena_peak: Arc<AtomicU64>,
 }
 
 /// Runs `f` with a campaign executor whose worker pool (and per-worker
@@ -407,7 +414,10 @@ where
             golden,
             cfg: *cfg,
             corruption,
-            mode: Mode::Inline { model: Box::new(model.clone()), arena: ScratchArena::new() },
+            mode: Mode::Inline {
+                model: Box::new(model.clone()),
+                session: SessionState::with_shared_peak(Arc::clone(&stats.arena_peak)),
+            },
             stats,
             probe,
         };
@@ -555,7 +565,8 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
         // precedence always use the caller's fault order.
         let order = self.execution_order(faults);
         let classes = match &mut self.mode {
-            Mode::Inline { model, arena } => {
+            Mode::Inline { model, session } => {
+                let arena = &mut session.arena;
                 let wprobe = self.probe.worker(0);
                 let arena_before = arena.stats();
                 let mut slots: Vec<Option<FaultClass>> = vec![None; faults.len()];
@@ -603,7 +614,7 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
                     arena_after.takes - arena_before.takes,
                     arena_after.reuses - arena_before.reuses,
                 );
-                self.stats.arena_peak.fetch_max(arena.peak_bytes() as u64, Ordering::Relaxed);
+                session.publish_peak();
                 let mut classes = Vec::with_capacity(faults.len());
                 for (index, slot) in slots.into_iter().enumerate() {
                     classes.push(slot.ok_or(FaultSimError::MissingResult { index })?);
@@ -837,13 +848,9 @@ pub(crate) fn needed_for_critical(cfg: &CampaignConfig, total_images: usize) -> 
     }
 }
 
-/// Minimum per-image element count of a *weight* fault's dirty node for
-/// the sparse delta path to be selected: weight faults dirty a whole
-/// output channel, so below this size the mask bookkeeping loses to the
-/// dense early-exit path (BENCH_delta: 0.83x at smoke scale, 0.88x at
-/// default scale, ≥1.01x at full scale). Single-site activation faults
-/// keep delta at any size — their cone starts one element wide.
-pub(crate) const DELTA_MIN_SEED_ELEMENTS: usize = 2048;
+// The former `DELTA_MIN_SEED_ELEMENTS` runtime floor for the delta-vs-dense
+// choice now lives in the compiled execution plan as a per-node cost-model
+// decision: see [`sfi_nn::CompiledPlan::delta_profitable`].
 
 /// Per-fault classification outcome with early-exit accounting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -927,17 +934,43 @@ pub(crate) fn classify_one<C: Corruption>(
     //
     // A weight fault dirties an entire output channel, so its delta cone is
     // wide from the first node; on small feature maps the mask bookkeeping
-    // costs more than it saves. Dispatch on the faulted node's activation
-    // size: below the threshold the dense early-exit path wins or ties, so
-    // delta is only selected where it pays. Classifications and inference
-    // counts are identical either way.
-    let seed_len = golden.cache(0).get(injection.dirty_node).map_or(0, |t| t.len());
-    let use_delta = cfg.delta && cfg.incremental && fast && seed_len >= DELTA_MIN_SEED_ELEMENTS;
-    let dirty_unit = if (cfg.convergence || cfg.delta) && cfg.incremental && fast {
+    // costs more than it saves. The compiled plan's per-node cost model
+    // decides where delta pays (seed width and remaining suffix cost);
+    // classifications and inference counts are identical either way.
+    let use_delta = cfg.delta
+        && cfg.incremental
+        && fast
+        && golden.plan().delta_profitable(injection.dirty_node);
+    let dirty_unit = if (cfg.convergence || cfg.delta || cfg.batched) && cfg.incremental && fast {
         model.param_output_unit(injection.param, injection.index)
     } else {
         None
     };
+    // Batched eval-image fast path: run the dirty suffix of all images as
+    // one pass over the compiled plan, then replay the per-image
+    // classification loop over the bit-identical per-image rows. The plan's
+    // cost model declines batching for expensive suffixes, where the
+    // per-image loop's convergence and early-exit breaks skip real compute.
+    if cfg.batched
+        && cfg.incremental
+        && fast
+        && !use_delta
+        && golden.has_batched()
+        && golden.plan().batched_profitable(injection.dirty_node)
+    {
+        let res = classify_weight_batched(
+            model,
+            golden,
+            injection.dirty_node,
+            dirty_unit,
+            needed_for_critical,
+            cfg,
+            arena,
+            wprobe,
+        );
+        revert(model, &injection);
+        return res;
+    }
     let total_nodes = model.nodes().len();
     let mut inferences = 0u64;
     let mut converged_images = 0u64;
@@ -1082,6 +1115,112 @@ pub(crate) fn classify_one<C: Corruption>(
         delta_fallbacks,
         delta_dirty_blocks,
     })
+}
+
+/// Classifies one injected weight fault through the batched eval-image
+/// engine: the dirty suffix of **all** E images runs as a single pass over
+/// the compiled plan (one fused GEMM per conv step for the whole batch),
+/// then the legacy per-image classification loop is replayed over the
+/// resulting per-image logits rows — which are bit-identical to E
+/// per-image passes — so classifications, early-exit behaviour and
+/// inference counts match the per-image path exactly, at any worker count.
+///
+/// The caller injects before and reverts after; this function only
+/// evaluates. Convergence telemetry (converged images, skipped nodes) is
+/// batch-global here: when the whole batch converges at node `k`, every
+/// image is counted as converged at `k`.
+#[allow(clippy::too_many_arguments)]
+fn classify_weight_batched(
+    model: &Model,
+    golden: &GoldenReference,
+    dirty_node: NodeId,
+    dirty_unit: Option<usize>,
+    needed_for_critical: usize,
+    cfg: &CampaignConfig,
+    arena: &mut ScratchArena,
+    wprobe: WorkerProbe<'_>,
+) -> Result<FaultOutcome, FaultSimError> {
+    let plan = golden.plan();
+    let bcache = golden.batched_cache().expect("caller checked has_batched");
+    let lowered = golden.batched_lowering(dirty_node);
+    let images = golden.len();
+    let total_nodes = model.nodes().len();
+    let timer = wprobe.inference_start();
+    let outcome = plan.forward_batched_from(
+        model,
+        dirty_node,
+        bcache,
+        lowered,
+        if cfg.convergence { dirty_unit } else { None },
+        cfg.convergence,
+        arena,
+    )?;
+    wprobe.inference_end(timer);
+    let out = match outcome {
+        BatchedOutcome::Converged { at_node } => {
+            // Bit-identical golden recompute for the whole batch: every
+            // image's prediction provably equals the golden one.
+            let skipped_per_image = (total_nodes - 1 - at_node) as u64;
+            for _ in 0..images {
+                wprobe.record_convergence(at_node + 1 - dirty_node.max(1), skipped_per_image);
+            }
+            FaultOutcome {
+                class: FaultClass::NonCritical,
+                inferences: images as u64,
+                converged_images: images as u64,
+                nodes_skipped: skipped_per_image * images as u64,
+                delta_sparse_nodes: 0,
+                delta_fallbacks: 0,
+                delta_dirty_blocks: 0,
+            }
+        }
+        BatchedOutcome::Logits(logits) => {
+            // Replay the per-image loop over the batched rows: identical
+            // mismatch accounting and early-exit break point.
+            let classes = logits.len() / images;
+            let rows = logits.as_slice();
+            let mut inferences = 0u64;
+            let mut mismatches = 0usize;
+            let mut failed = false;
+            for idx in 0..images {
+                inferences += 1;
+                let Some(pred) = row_argmax(&rows[idx * classes..][..classes]) else {
+                    failed = true;
+                    break;
+                };
+                if pred != golden.prediction(idx) {
+                    mismatches += 1;
+                    if cfg.early_exit && mismatches >= needed_for_critical {
+                        break;
+                    }
+                }
+            }
+            let class = if failed {
+                FaultClass::ExecutionFailure
+            } else if mismatches >= needed_for_critical {
+                FaultClass::Critical
+            } else {
+                FaultClass::NonCritical
+            };
+            arena.recycle(logits.into_vec());
+            FaultOutcome {
+                class,
+                inferences,
+                converged_images: 0,
+                nodes_skipped: 0,
+                delta_sparse_nodes: 0,
+                delta_fallbacks: 0,
+                delta_dirty_blocks: 0,
+            }
+        }
+    };
+    // The probe's inference counter mirrors the logical per-image count
+    // (one batched pass evaluated `out.inferences` images); the first
+    // entry above carried the whole pass's latency.
+    for _ in 1..out.inferences {
+        wprobe.inference_end(wprobe.inference_start());
+    }
+    Ok(out)
 }
 
 /// Classifies any [`CampaignFault`] variant: the executor's per-fault
@@ -1380,9 +1519,9 @@ fn worker_loop<C: Corruption>(
     stats: Arc<SessionStats>,
     probe: &Probe,
 ) {
-    let mut arena = ScratchArena::new();
+    let mut session = SessionState::with_shared_peak(Arc::clone(&stats.arena_peak));
     let wprobe = probe.worker(worker_id);
-    let mut arena_seen = arena.stats();
+    let mut arena_seen = session.arena.stats();
     while let Ok(task) = tasks.recv() {
         while let Some(idx) = task.batch.claim() {
             let fault = &task.batch.faults[idx];
@@ -1395,11 +1534,11 @@ fn worker_loop<C: Corruption>(
                     task.needed_for_critical,
                     cfg,
                     corruption,
-                    &mut arena,
+                    &mut session.arena,
                     wprobe,
                 )
             }));
-            stats.arena_peak.fetch_max(arena.peak_bytes() as u64, Ordering::Relaxed);
+            session.publish_peak();
             match outcome {
                 Ok(item) => {
                     if task.results.send(WorkerReport::Classified(idx, item)).is_err() {
@@ -1408,7 +1547,7 @@ fn worker_loop<C: Corruption>(
                     }
                 }
                 Err(_) => {
-                    let arena_now = arena.stats();
+                    let arena_now = session.arena.stats();
                     wprobe.record_arena(
                         arena_now.takes - arena_seen.takes,
                         arena_now.reuses - arena_seen.reuses,
@@ -1420,7 +1559,7 @@ fn worker_loop<C: Corruption>(
                 }
             }
         }
-        let arena_now = arena.stats();
+        let arena_now = session.arena.stats();
         wprobe
             .record_arena(arena_now.takes - arena_seen.takes, arena_now.reuses - arena_seen.reuses);
         arena_seen = arena_now;

@@ -5,8 +5,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use sfi_dataset::Dataset;
-use sfi_nn::{ActivationCache, Model, NnError, NodeId, NodeOp};
-use sfi_tensor::ops::{self, LoweredConv};
+use sfi_nn::{ActivationCache, CompiledPlan, Model, NnError, NodeId, NodeOp};
+use sfi_tensor::ops::{self, BatchedLowered, LoweredConv};
+use sfi_tensor::Tensor;
 
 use crate::FaultSimError;
 
@@ -26,6 +27,18 @@ struct LoweringCache {
     bytes: usize,
     hits: Arc<AtomicU64>,
     misses: Arc<AtomicU64>,
+}
+
+/// Golden state of the **batched** eval-image forward: the activation cache
+/// of all E images stacked into one input, plus the image-interleaved
+/// im2col panels of every lowerable conv's batched golden input. Shared
+/// read-only across workers (the executor clones the whole
+/// [`GoldenReference`] behind an `Arc`).
+#[derive(Debug, Clone)]
+struct BatchedGolden {
+    cache: ActivationCache,
+    lowered: HashMap<NodeId, BatchedLowered>,
+    bytes: usize,
 }
 
 /// Golden top-1 predictions plus per-image activation caches.
@@ -54,6 +67,8 @@ pub struct GoldenReference {
     predictions: Vec<usize>,
     caches: Vec<ActivationCache>,
     lowering: Option<LoweringCache>,
+    plan: Arc<CompiledPlan>,
+    batched: Option<BatchedGolden>,
 }
 
 impl GoldenReference {
@@ -76,7 +91,8 @@ impl GoldenReference {
             predictions.push(logits.argmax().expect("logits are nonempty"));
             caches.push(cache);
         }
-        Ok(Self { predictions, caches, lowering: None })
+        let plan = Arc::new(CompiledPlan::compile(model, &caches[0])?);
+        Ok(Self { predictions, caches, lowering: None, plan, batched: None })
     }
 
     /// Precomputes the im2col lowering of every lowerable conv node's golden
@@ -125,7 +141,51 @@ impl GoldenReference {
             hits: Arc::new(AtomicU64::new(0)),
             misses: Arc::new(AtomicU64::new(0)),
         });
+        self.build_batched(model)?;
         Ok(self)
+    }
+
+    /// Builds the batched golden state: stacks the E eval images into one
+    /// input, runs the fault-free model once over the stack, recompiles the
+    /// plan against the batched shapes, and pre-lowers every lowerable
+    /// conv's batched golden input. The batched activations are
+    /// bit-identical, image by image, to the per-image caches (every
+    /// operator treats the batch dimension independently), so the batched
+    /// suffix engine classifies against the same golden bits.
+    fn build_batched(&mut self, model: &Model) -> Result<(), FaultSimError> {
+        let first = self.caches[0].get(0).expect("cache covers all nodes");
+        let per_image = first.len();
+        let mut dims = first.shape().dims().to_vec();
+        dims[0] = self.caches.len();
+        let mut stacked = Vec::with_capacity(per_image * self.caches.len());
+        for cache in &self.caches {
+            stacked.extend_from_slice(cache.get(0).expect("cache covers all nodes").as_slice());
+        }
+        let input = Tensor::from_vec(sfi_tensor::Shape::new(&dims), stacked)
+            .expect("stacked images match the input shape");
+        let cache = model.forward_cached(&input)?;
+        let mut lowered = HashMap::new();
+        let mut bytes = 0usize;
+        for (id, node) in model.nodes().iter().enumerate() {
+            if !self.plan.is_lowerable_conv(id) {
+                continue;
+            }
+            let NodeOp::Conv { weight, cfg, .. } = node.op else { continue };
+            let weight = &model
+                .store()
+                .get(weight)
+                .ok_or_else(|| NnError::InvalidParameter {
+                    reason: format!("conv node {id} references missing weight {weight}"),
+                })?
+                .tensor;
+            let input = cache.get(node.inputs[0]).expect("cache covers all nodes");
+            let panels = ops::im2col_lower_batched(input, weight, cfg, None)
+                .map_err(|source| NnError::Op { node: id, source })?;
+            bytes += panels.memory_bytes();
+            lowered.insert(id, panels);
+        }
+        self.batched = Some(BatchedGolden { cache, lowered, bytes });
+        Ok(())
     }
 
     /// Cached lowering of conv node `node`'s golden input for image `image`,
@@ -151,6 +211,43 @@ impl GoldenReference {
     /// Whether the lowering cache was built.
     pub fn has_lowering(&self) -> bool {
         self.lowering.is_some()
+    }
+
+    /// The compiled execution plan of the reference model (topological
+    /// order, tensor lifetime, cost estimates, fusion groups).
+    pub fn plan(&self) -> &CompiledPlan {
+        &self.plan
+    }
+
+    /// Whether the batched golden state (stacked-image cache + batched
+    /// lowerings) was built; implies [`has_lowering`](Self::has_lowering).
+    pub fn has_batched(&self) -> bool {
+        self.batched.is_some()
+    }
+
+    /// The activation cache of the stacked eval images, when built.
+    pub fn batched_cache(&self) -> Option<&ActivationCache> {
+        self.batched.as_ref().map(|b| &b.cache)
+    }
+
+    /// Batched im2col panels of conv `node`'s golden input, when built and
+    /// lowerable. Counts one hit or miss in the lowering-cache tallies (a
+    /// batched pass performs one lookup per fault, not one per image).
+    pub fn batched_lowering(&self, node: NodeId) -> Option<&BatchedLowered> {
+        let batched = self.batched.as_ref()?;
+        let found = batched.lowered.get(&node);
+        if let Some(cache) = &self.lowering {
+            match found {
+                Some(_) => cache.hits.fetch_add(1, Ordering::Relaxed),
+                None => cache.misses.fetch_add(1, Ordering::Relaxed),
+            };
+        }
+        found
+    }
+
+    /// Heap bytes held by the batched golden state (0 when disabled).
+    pub fn batched_bytes(&self) -> usize {
+        self.batched.as_ref().map_or(0, |b| b.cache.memory_bytes() + b.bytes)
     }
 
     /// Heap bytes held by the cached column matrices (0 when disabled).
@@ -198,9 +295,11 @@ impl GoldenReference {
     }
 
     /// Total heap footprint of the activation caches plus any lowering
-    /// cache, in bytes.
+    /// cache and batched golden state, in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.caches.iter().map(ActivationCache::memory_bytes).sum::<usize>() + self.lowering_bytes()
+        self.caches.iter().map(ActivationCache::memory_bytes).sum::<usize>()
+            + self.lowering_bytes()
+            + self.batched_bytes()
     }
 }
 
@@ -251,7 +350,12 @@ mod tests {
         let golden = plain.with_lowering(&model).unwrap();
         assert!(golden.has_lowering());
         assert!(golden.lowering_bytes() > 0);
-        assert_eq!(golden.memory_bytes(), base_bytes + golden.lowering_bytes());
+        assert!(golden.has_batched());
+        assert!(golden.batched_bytes() > 0);
+        assert_eq!(
+            golden.memory_bytes(),
+            base_bytes + golden.lowering_bytes() + golden.batched_bytes()
+        );
 
         let conv_nodes: Vec<usize> = model
             .nodes()
@@ -274,6 +378,28 @@ mod tests {
         // A non-conv node is an honest miss once the cache is enabled.
         assert!(golden.lowering(0, 0).is_none());
         assert_eq!(golden.lowering_misses(), 1);
+    }
+
+    #[test]
+    fn batched_cache_rows_match_per_image_bits() {
+        let model = ResNetConfig::resnet20_micro().build_seeded(8).unwrap();
+        let data = SynthCifarConfig::new().with_size(16).with_samples(3).generate();
+        let golden = GoldenReference::build(&model, &data).unwrap().with_lowering(&model).unwrap();
+        let batched = golden.batched_cache().expect("built by with_lowering");
+        assert_eq!(batched.len(), model.nodes().len());
+        assert_eq!(golden.plan().len(), model.nodes().len());
+        for id in 0..batched.len() {
+            let bt = batched.get(id).unwrap();
+            let per_image = bt.len() / golden.len();
+            for i in 0..golden.len() {
+                let row = &bt.as_slice()[i * per_image..][..per_image];
+                let gold = golden.cache(i).get(id).unwrap().as_slice();
+                assert_eq!(row.len(), gold.len());
+                for (a, b) in row.iter().zip(gold) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "node {id}, image {i}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -49,6 +49,7 @@ mod param;
 
 pub mod init;
 pub mod mobilenet;
+pub mod plan;
 pub mod resnet;
 pub mod train;
 pub mod vgg;
@@ -60,3 +61,4 @@ pub use model::{
 };
 pub use node::{Node, NodeId, NodeOp};
 pub use param::{ParamId, ParamKind, Parameter, ParameterStore, WeightLayer};
+pub use plan::{BatchedOutcome, CompiledPlan, SessionState, StepCost};

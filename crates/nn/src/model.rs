@@ -48,6 +48,13 @@ pub struct ForwardOptions<'a> {
     /// activation) at a fraction of the node cost. Ignored by the
     /// non-converging passes and by unsupported node kinds.
     pub dirty_unit: Option<usize>,
+    /// Compiled execution plan for this model, when the caller holds one.
+    /// [`Model::forward_from_converging`] reads tensor lifetime
+    /// ([`CompiledPlan::last_reader`]) from it instead of recomputing the
+    /// last-reader table per pass; the plan's global table agrees with the
+    /// per-pass one on every suffix node (all readers of a suffix node are
+    /// themselves suffix nodes).
+    pub plan: Option<&'a crate::plan::CompiledPlan>,
 }
 
 /// Outcome of a convergence-checking incremental forward pass
@@ -85,16 +92,16 @@ enum ProbeOutcome {
 /// Resolves node-output references during a forward pass: a clean prefix
 /// (cached activations), at most one overridden node, a (usually empty)
 /// list of additionally overridden nodes, and the recomputed suffix.
-struct NodeValues<'a> {
-    prefix: &'a [Tensor],
-    over: Option<(NodeId, &'a Tensor)>,
+pub(crate) struct NodeValues<'a> {
+    pub(crate) prefix: &'a [Tensor],
+    pub(crate) over: Option<(NodeId, &'a Tensor)>,
     /// Patched activations for nodes that are *not* recomputed — the
     /// accumulated-fault path ([`Model::forward_from_patched`]) corrupts
     /// several prefix activations at once. Scanned linearly; campaigns
     /// carry at most a handful of entries.
-    multi: &'a [(NodeId, Tensor)],
-    suffix_base: usize,
-    suffix: &'a [Tensor],
+    pub(crate) multi: &'a [(NodeId, Tensor)],
+    pub(crate) suffix_base: usize,
+    pub(crate) suffix: &'a [Tensor],
 }
 
 impl NodeValues<'_> {
@@ -195,6 +202,12 @@ impl ActivationCache {
     /// Approximate heap size of the cache in bytes.
     pub fn memory_bytes(&self) -> usize {
         self.activations.iter().map(|t| t.len() * std::mem::size_of::<f32>()).sum()
+    }
+
+    /// All cached activations in node order (the compiled-plan engine
+    /// resolves prefix reads against this slice directly).
+    pub(crate) fn activations(&self) -> &[Tensor] {
+        &self.activations
     }
 }
 
@@ -352,7 +365,7 @@ impl Model {
         }
     }
 
-    fn eval_node_with(
+    pub(crate) fn eval_node_with(
         &self,
         id: NodeId,
         vals: &NodeValues<'_>,
@@ -705,13 +718,25 @@ impl Model {
         }
         // For each node, the last node that reads its activation. A dirty
         // (differs-from-golden) recomputed node stays "live" — and blocks
-        // convergence — until its last reader has been evaluated.
-        let mut last_reader: Vec<NodeId> = (0..self.nodes.len()).collect();
-        for (id, node) in self.nodes.iter().enumerate().skip(first_dirty) {
-            for &inp in &node.inputs {
-                last_reader[inp] = id;
+        // convergence — until its last reader has been evaluated. A
+        // compiled plan supplies the table precomputed; it agrees with the
+        // per-pass computation on every index this pass consults (the
+        // first dirty node and later — all their readers are themselves at
+        // or after `first_dirty`).
+        let computed_last_reader;
+        let last_reader: &[NodeId] = match opts.plan {
+            Some(plan) if plan.len() == self.nodes.len() => plan.last_reader(),
+            _ => {
+                let mut lr: Vec<NodeId> = (0..self.nodes.len()).collect();
+                for (id, node) in self.nodes.iter().enumerate().skip(first_dirty) {
+                    for &inp in &node.inputs {
+                        lr[inp] = id;
+                    }
+                }
+                computed_last_reader = lr;
+                &computed_last_reader
             }
-        }
+        };
         // expiring[id] = how many live dirty nodes die once node `id` has
         // consumed them for the last time.
         let mut expiring: Vec<u32> = vec![0; self.nodes.len()];

@@ -1,0 +1,882 @@
+//! Compiled execution plans: the explicit, analyzable form of a forward
+//! pass.
+//!
+//! [`Model`]'s forward variants historically re-derived scheduling facts on
+//! every call — topological order is implicit in node ids, tensor lifetime
+//! (who reads an activation last) was recomputed per pass, and the
+//! dense/sparse kernel choice hid behind runtime flags. [`CompiledPlan`]
+//! hoists all of that to compile time, once per `(model, eval set)`:
+//!
+//! - **step list with input/flush lists** — per node, who reads it last
+//!   ([`CompiledPlan::last_reader`]) and which activations die after each
+//!   step ([flush lists](CompiledPlan::flush_after)), driving arena
+//!   recycling at the earliest sound point;
+//! - **per-step cost estimates** ([`StepCost`]) — flop and element counts
+//!   that turn the delta-vs-dense choice into a compile-time decision
+//!   ([`CompiledPlan::delta_profitable`]) instead of a runtime floor;
+//! - **conv+bn(+relu) fusion groups** — batch-norm folds to a per-channel
+//!   `mul`+`add` whose coefficients come from the *same*
+//!   [`bn_channel_scale_shift`](sfi_tensor::ops::bn_channel_scale_shift)
+//!   helper the unfused kernel uses, so the fused epilogue is bit-identical
+//!   by construction. BN parameters are not fault-injectable (only weights
+//!   are), so folding at compile time is always sound;
+//! - the **batched eval-image engine**
+//!   ([`CompiledPlan::forward_batched_from`]) — all E eval images stacked
+//!   into one im2col panel so each suffix node costs one GEMM per fault
+//!   instead of E, with golden-convergence checks and single-unit probing
+//!   expressed as plan transforms (a dirty suffix start, an early-exit
+//!   rewrite) rather than forward-pass flags.
+//!
+//! # Bit-identity of the batched pass
+//!
+//! Every operator in the graph treats the batch dimension as fully
+//! independent: image `i`'s output elements depend only on image `i`'s
+//! inputs, and each output element accumulates its `k` products in the same
+//! increasing-`ki` order on the per-image and batched paths (the batched
+//! im2col panel concatenates images along the *column* axis, which never
+//! reorders any single element's accumulation chain). The batched suffix is
+//! therefore bit-identical, image by image, to E per-image suffixes — the
+//! invariant the differential proptests in `tests/plan_equivalence.rs` pin.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sfi_tensor::ops::{self, BatchNormParams, BatchedLowered, ConvEpilogue, FusedActivation};
+use sfi_tensor::{ScratchArena, Tensor};
+
+use crate::model::NodeValues;
+use crate::{ActivationCache, ForwardOptions, Model, NnError, NodeId, NodeOp, ParamId};
+
+/// Compile-time cost estimate of one plan step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StepCost {
+    /// Estimated floating-point operations per evaluation image.
+    pub flops: u64,
+    /// Output elements per evaluation image (batch dimension excluded).
+    pub out_elems: usize,
+}
+
+/// One conv+bn(+relu) fusion group: the conv head, the folded batch-norm
+/// coefficients, and the optional activation, emitted as a single fused
+/// kernel by the batched engine.
+#[derive(Debug, Clone)]
+struct FusedGroup {
+    /// The conv node heading the group.
+    conv: NodeId,
+    /// The batch-norm node folded into the epilogue.
+    bn: NodeId,
+    /// The activation node closing the group, when present.
+    act: Option<NodeId>,
+    /// Epilogue activation (`None` when the group is conv+bn only).
+    activation: FusedActivation,
+    /// Folded per-channel scale, from `bn_channel_scale_shift`.
+    scale: Vec<f32>,
+    /// Folded per-channel shift, from `bn_channel_scale_shift`.
+    shift: Vec<f32>,
+}
+
+impl FusedGroup {
+    /// The node whose activation the fused kernel produces.
+    fn output(&self) -> NodeId {
+        self.act.unwrap_or(self.bn)
+    }
+}
+
+/// Per-image element count below which a *weight* fault's seed node makes
+/// sparse delta propagation unprofitable: weight faults dirty a whole
+/// output channel, so on small feature maps the 4x4 block-mask bookkeeping
+/// loses to the dense early-exit path (measured in BENCH_delta.json).
+const DELTA_SEED_BREAK_EVEN_ELEMS: usize = 2048;
+
+/// Minimum estimated dense-suffix flops (per image) for the delta engine to
+/// amortize its mask bookkeeping. Reduced-scale campaigns (smoke/default)
+/// sit one to two orders of magnitude below this and measured 0.83x/0.88x
+/// under delta in BENCH_delta.json; the full-scale ResNet-20 suffixes that
+/// profit sit well above.
+const DELTA_MIN_SUFFIX_FLOPS: u64 = 8_000_000;
+
+/// Maximum estimated dense-suffix flops (per image) for the batched
+/// eval-image engine to be the better dispatch. Small suffixes are
+/// per-call-overhead-dominated and batching the images into one GEMM per
+/// node wins (1.2-1.4x at reduced scales in BENCH_kernels.json); large
+/// suffixes are compute-bound — the per-image GEMMs already run at full
+/// arithmetic throughput, and batching *forfeits* the per-image early
+/// exits (a critical fault stops the per-image loop after
+/// `needed_for_critical` mismatches, while a batched pass always evaluates
+/// every image), measuring 0.17x on full-scale critical faults.
+const BATCHED_MAX_SUFFIX_FLOPS: u64 = 2_000_000;
+
+/// A compiled execution plan for one [`Model`]: explicit topological step
+/// order, tensor lifetime, per-step costs, and fusion groups. Built once
+/// per `(model, eval set)` (shapes come from a golden activation cache) and
+/// shared read-only across campaign workers.
+#[derive(Debug, Clone)]
+pub struct CompiledPlan {
+    n_nodes: usize,
+    /// `last_reader[i]` — the last node that reads node `i`'s activation
+    /// (`i` itself when nothing does).
+    last_reader: Vec<NodeId>,
+    /// `flush[id]` — nodes whose activation dies once step `id` has run.
+    flush: Vec<Vec<NodeId>>,
+    /// Per-node cost estimates (`cost[0]` is the input node: zero).
+    cost: Vec<StepCost>,
+    /// `suffix_flops[id]` — estimated dense flops of nodes `id..` per image.
+    suffix_flops: Vec<u64>,
+    /// Fusion group index a conv node heads, if any.
+    head: Vec<Option<usize>>,
+    /// Fusion group index a node is a *non-head* member of, if any.
+    member: Vec<Option<usize>>,
+    groups: Vec<FusedGroup>,
+    /// Conv nodes whose golden input lowers to im2col panels (depthwise
+    /// convs dispatch to a direct kernel and never lower).
+    lowerable: Vec<bool>,
+}
+
+/// Result of a single-unit probe of the first dirty node on the batched
+/// path (mirrors the per-image probe in [`Model::forward_from_converging`]).
+enum BatchedProbe {
+    /// No single-unit kernel for this node/op; fall back to full eval.
+    Unsupported,
+    /// The probed unit recomputed to golden bits in **every** image — the
+    /// whole node is provably golden for the whole batch.
+    Clean,
+    /// The unit diverged somewhere; this is the node's full batched
+    /// activation (golden clone with the unit overwritten per image).
+    Dirty(Tensor),
+}
+
+/// Outcome of a batched suffix execution
+/// ([`CompiledPlan::forward_batched_from`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchedOutcome {
+    /// Every image's recomputed activation became bit-identical to the
+    /// batched golden cache at `at_node` with no live dirty values —
+    /// all E predictions provably equal the golden ones.
+    Converged {
+        /// First step at which the whole batch matched the golden cache.
+        at_node: NodeId,
+    },
+    /// Batched logits, `[images, classes]`; per-image rows are
+    /// bit-identical to the per-image forward passes.
+    Logits(Tensor),
+}
+
+impl CompiledPlan {
+    /// Compiles `model` against the activation shapes recorded in `cache`
+    /// (any golden cache of the model — shapes, not values, are read; the
+    /// batch dimension of the cache does not matter).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::CacheMismatch`] when `cache` does not cover the
+    /// model's nodes.
+    pub fn compile(model: &Model, cache: &ActivationCache) -> Result<Self, NnError> {
+        let nodes = model.nodes();
+        let n = nodes.len();
+        if cache.len() != n {
+            return Err(NnError::CacheMismatch {
+                reason: format!(
+                    "plan compile: cache holds {} activations, model has {n} nodes",
+                    cache.len()
+                ),
+            });
+        }
+        let mut last_reader: Vec<NodeId> = (0..n).collect();
+        let mut readers: Vec<u32> = vec![0; n];
+        for (id, node) in nodes.iter().enumerate().skip(1) {
+            for &inp in &node.inputs {
+                last_reader[inp] = id;
+                readers[inp] += 1;
+            }
+        }
+        let mut flush: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for i in 1..n.saturating_sub(1) {
+            flush[last_reader[i]].push(i);
+        }
+        let param = |p: ParamId| &model.store().get(p).expect("validated at construction").tensor;
+        let mut cost = vec![StepCost::default(); n];
+        let mut lowerable = vec![false; n];
+        for (id, node) in nodes.iter().enumerate().skip(1) {
+            let out = cache.get(id).expect("cache covers all nodes");
+            let out_shape = out.shape();
+            let out_elems: usize = out_shape.dims()[1..].iter().product();
+            let flops = match &node.op {
+                NodeOp::Conv { weight, cfg, .. } => {
+                    let w = param(*weight);
+                    let k_len: usize = w.shape().dims()[1..].iter().product();
+                    let input = cache.get(node.inputs[0]).expect("cache covers all nodes");
+                    lowerable[id] = ops::conv2d_uses_lowering(input, w, *cfg);
+                    2 * k_len as u64 * out_elems as u64
+                }
+                NodeOp::Linear { weight, .. } => {
+                    let w = param(*weight);
+                    2 * w.shape().dims().iter().product::<usize>() as u64
+                }
+                NodeOp::BatchNorm { .. } => 2 * out_elems as u64,
+                NodeOp::AvgPool { kernel } | NodeOp::MaxPool { kernel } => {
+                    (kernel * kernel) as u64 * out_elems as u64
+                }
+                NodeOp::GlobalAvgPool => {
+                    let input = cache.get(node.inputs[0]).expect("cache covers all nodes");
+                    input.shape().dims()[1..].iter().product::<usize>() as u64
+                }
+                _ => out_elems as u64,
+            };
+            cost[id] = StepCost { flops, out_elems };
+        }
+        let mut suffix_flops = vec![0u64; n + 1];
+        for id in (0..n).rev() {
+            suffix_flops[id] = suffix_flops[id + 1] + cost[id].flops;
+        }
+        suffix_flops.pop();
+
+        // Fusion grouping: conv -> bn (-> relu/relu6) chains whose
+        // intermediates have exactly one reader, in consecutive id order
+        // (how every builder emits them). Single-reader is what makes it
+        // sound to never materialize the intermediate activations.
+        let mut head = vec![None; n];
+        let mut member = vec![None; n];
+        let mut groups = Vec::new();
+        for id in 1..n {
+            if !lowerable[id] {
+                continue;
+            }
+            if !matches!(nodes[id].op, NodeOp::Conv { .. }) {
+                continue;
+            }
+            let Some(bn_node) = nodes.get(id + 1) else { continue };
+            let NodeOp::BatchNorm { gamma, beta, mean, var, eps } = &bn_node.op else { continue };
+            if bn_node.inputs != [id] || readers[id] != 1 {
+                continue;
+            }
+            let bn = id + 1;
+            let channels = cache.get(bn).expect("cache covers all nodes").shape().dims()[1];
+            let params = BatchNormParams {
+                gamma: param(*gamma),
+                beta: param(*beta),
+                mean: param(*mean),
+                var: param(*var),
+                eps: *eps,
+            };
+            let mut scale = Vec::with_capacity(channels);
+            let mut shift = Vec::with_capacity(channels);
+            for c in 0..channels {
+                let (s, t) = ops::bn_channel_scale_shift(&params, c);
+                scale.push(s);
+                shift.push(t);
+            }
+            let act = nodes.get(bn + 1).and_then(|cand| {
+                if cand.inputs != [bn] || readers[bn] != 1 {
+                    return None;
+                }
+                match cand.op {
+                    NodeOp::Relu => Some((bn + 1, FusedActivation::Relu)),
+                    NodeOp::Relu6 => Some((bn + 1, FusedActivation::Relu6)),
+                    _ => None,
+                }
+            });
+            let (act_node, activation) = match act {
+                Some((a, f)) => (Some(a), f),
+                None => (None, FusedActivation::None),
+            };
+            let gi = groups.len();
+            groups.push(FusedGroup { conv: id, bn, act: act_node, activation, scale, shift });
+            head[id] = Some(gi);
+            member[bn] = Some(gi);
+            if let Some(a) = act_node {
+                member[a] = Some(gi);
+            }
+        }
+        Ok(Self {
+            n_nodes: n,
+            last_reader,
+            flush,
+            cost,
+            suffix_flops,
+            head,
+            member,
+            groups,
+            lowerable,
+        })
+    }
+
+    /// Number of nodes the plan covers.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Per-node last readers (tensor lifetime); `last_reader[i] == i` means
+    /// nothing reads node `i`.
+    pub fn last_reader(&self) -> &[NodeId] {
+        &self.last_reader
+    }
+
+    /// Nodes whose activations die once step `id` has executed.
+    pub fn flush_after(&self, id: NodeId) -> &[NodeId] {
+        &self.flush[id]
+    }
+
+    /// Compile-time cost estimate of step `id`.
+    pub fn step_cost(&self, id: NodeId) -> StepCost {
+        self.cost[id]
+    }
+
+    /// Estimated dense flops (per image) of re-executing nodes `id..`.
+    pub fn suffix_flops(&self, id: NodeId) -> u64 {
+        self.suffix_flops.get(id).copied().unwrap_or(0)
+    }
+
+    /// Whether node `id` is a conv whose input lowers to im2col panels.
+    pub fn is_lowerable_conv(&self, id: NodeId) -> bool {
+        self.lowerable.get(id).copied().unwrap_or(false)
+    }
+
+    /// Number of conv+bn(+relu) fusion groups in the plan.
+    pub fn fused_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The fusion group node `id` belongs to, as `(head conv, group
+    /// output)`, when the plan fused it into one.
+    pub fn fusion_of(&self, id: NodeId) -> Option<(NodeId, NodeId)> {
+        let gi = self
+            .head
+            .get(id)
+            .copied()
+            .flatten()
+            .or_else(|| self.member.get(id).copied().flatten())?;
+        let g = &self.groups[gi];
+        Some((g.conv, g.output()))
+    }
+
+    /// The compile-time delta-vs-dense decision for a *weight* fault whose
+    /// first dirty node is `first_dirty`: sparse delta propagation is
+    /// selected only when the dirty channel is wide enough to amortize the
+    /// block-mask bookkeeping **and** the remaining dense suffix is
+    /// expensive enough that skipping clean blocks can pay. This replaces
+    /// the former `DELTA_MIN_SEED_ELEMENTS` runtime floor — the same
+    /// break-even expressed as a per-node cost-model decision; reduced-scale
+    /// campaigns (whose suffixes cost almost nothing) now always take the
+    /// dense early-exit path they measure faster on.
+    pub fn delta_profitable(&self, first_dirty: NodeId) -> bool {
+        let Some(cost) = self.cost.get(first_dirty) else { return false };
+        cost.out_elems >= DELTA_SEED_BREAK_EVEN_ELEMS
+            && self.suffix_flops(first_dirty) >= DELTA_MIN_SUFFIX_FLOPS
+    }
+
+    /// The compile-time batched-vs-per-image decision for a fault whose
+    /// first dirty node is `first_dirty`: the batched eval-image engine is
+    /// selected only while the remaining suffix is cheap enough to be
+    /// call-overhead-dominated. Expensive suffixes keep the per-image loop,
+    /// whose convergence and `needed_for_critical` early exits skip real
+    /// compute that a batched pass would always pay for (see
+    /// `BATCHED_MAX_SUFFIX_FLOPS`). Classifications and inference counts
+    /// are identical on both sides of the decision.
+    pub fn batched_profitable(&self, first_dirty: NodeId) -> bool {
+        first_dirty < self.n_nodes && self.suffix_flops(first_dirty) <= BATCHED_MAX_SUFFIX_FLOPS
+    }
+
+    /// Runs the batched suffix from `first_dirty` over the stacked
+    /// evaluation images: one fused GEMM per conv step for the whole batch
+    /// instead of one per image. `cache` is the **batched** golden cache
+    /// (built by running [`Model::forward_cached`] on the stacked images),
+    /// `lowered` the batched im2col panels of the first dirty conv's golden
+    /// input, and `dirty_unit` the one output unit the weight fault can
+    /// reach (arming the batched single-unit probe).
+    ///
+    /// With `check_convergence` the pass stops as soon as the whole batched
+    /// activation is bit-identical to the golden cache with no live dirty
+    /// values — every image's prediction then provably equals the golden
+    /// one. Per-image rows of the returned logits are bit-identical to E
+    /// per-image passes (see the module docs for the argument).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::CacheMismatch`] when the plan or cache does not
+    /// match the model, or the first operator failure.
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+    pub fn forward_batched_from(
+        &self,
+        model: &Model,
+        first_dirty: NodeId,
+        cache: &ActivationCache,
+        lowered: Option<&BatchedLowered>,
+        dirty_unit: Option<usize>,
+        check_convergence: bool,
+        arena: &mut ScratchArena,
+    ) -> Result<BatchedOutcome, NnError> {
+        let n = self.n_nodes;
+        if model.nodes().len() != n || cache.len() != n {
+            return Err(NnError::CacheMismatch {
+                reason: format!(
+                    "batched forward: plan covers {n} nodes, model has {}, cache {}",
+                    model.nodes().len(),
+                    cache.len()
+                ),
+            });
+        }
+        let first_dirty = first_dirty.max(1);
+        if first_dirty >= n {
+            return Ok(BatchedOutcome::Logits(cache.get(n - 1).expect("nonempty").clone()));
+        }
+        let mut expiring: Vec<u32> = vec![0; n];
+        let mut live_dirty: u32 = 0;
+        let mut fresh: Vec<Tensor> = Vec::with_capacity(n - first_dirty);
+        let mut start = first_dirty;
+        if check_convergence {
+            if let Some(unit) = dirty_unit {
+                match self.probe_batched(model, first_dirty, cache, lowered, unit, arena)? {
+                    BatchedProbe::Unsupported => {}
+                    BatchedProbe::Clean => {
+                        return Ok(BatchedOutcome::Converged { at_node: first_dirty });
+                    }
+                    BatchedProbe::Dirty(t) => {
+                        if self.last_reader[first_dirty] > first_dirty {
+                            expiring[self.last_reader[first_dirty]] += 1;
+                            live_dirty += 1;
+                        }
+                        fresh.push(t);
+                        start = first_dirty + 1;
+                    }
+                }
+            }
+        }
+        let placeholder = || Tensor::zeros([1]);
+        let mut id = start;
+        while id < n {
+            // A fused group executes whole only when the suffix enters at
+            // (or before) its head; a mid-group suffix start runs the
+            // remaining members unfused (the suffix-start transform splits
+            // the group).
+            let group = self.head[id].map(|gi| &self.groups[gi]);
+            let (out_node, value) = match group {
+                Some(g) if g.output() < n => {
+                    let v =
+                        self.eval_fused(model, g, first_dirty, cache, &fresh, lowered, arena)?;
+                    (g.output(), v)
+                }
+                _ => {
+                    let v =
+                        self.eval_step(model, id, first_dirty, cache, &fresh, lowered, arena)?;
+                    (id, v)
+                }
+            };
+            // The steps id..=out_node have now read their inputs: dirty
+            // values last read inside the group can no longer spread.
+            for expired in &expiring[id..=out_node] {
+                live_dirty -= expired;
+            }
+            let golden = cache.get(out_node).expect("cache covers all nodes");
+            let clean = value.bits_equal(golden);
+            if check_convergence && clean && live_dirty == 0 {
+                arena.recycle(value.into_vec());
+                for t in fresh {
+                    if t.len() > 1 {
+                        arena.recycle(t.into_vec());
+                    }
+                }
+                return Ok(BatchedOutcome::Converged { at_node: out_node });
+            }
+            if !clean && self.last_reader[out_node] > out_node {
+                expiring[self.last_reader[out_node]] += 1;
+                live_dirty += 1;
+            }
+            // Fused-away intermediates occupy their suffix slots with
+            // placeholders; the single-reader fusion condition guarantees
+            // nothing outside the group reads them.
+            for _ in id..out_node {
+                fresh.push(placeholder());
+            }
+            fresh.push(value);
+            // Flush activations whose last reader has now run.
+            for step in id..=out_node {
+                for &dead in &self.flush[step] {
+                    if dead >= first_dirty && dead < out_node {
+                        let slot = dead - first_dirty;
+                        if slot < fresh.len() && fresh[slot].len() > 1 {
+                            let t = std::mem::replace(&mut fresh[slot], placeholder());
+                            arena.recycle(t.into_vec());
+                        }
+                    }
+                }
+            }
+            id = out_node + 1;
+        }
+        let out = fresh.pop().expect("suffix is nonempty");
+        for t in fresh {
+            if t.len() > 1 {
+                arena.recycle(t.into_vec());
+            }
+        }
+        Ok(BatchedOutcome::Logits(out))
+    }
+
+    /// Evaluates one fused conv+bn(+relu) group over the batched values:
+    /// one packed GEMM per conv group, bias + folded BN + activation
+    /// applied in the scatter epilogue (bit-identical to the unfused
+    /// three-pass sequence — see the module docs).
+    #[allow(clippy::too_many_arguments)]
+    fn eval_fused(
+        &self,
+        model: &Model,
+        g: &FusedGroup,
+        first_dirty: NodeId,
+        cache: &ActivationCache,
+        fresh: &[Tensor],
+        lowered: Option<&BatchedLowered>,
+        arena: &mut ScratchArena,
+    ) -> Result<Tensor, NnError> {
+        let node = &model.nodes()[g.conv];
+        let NodeOp::Conv { weight, bias, cfg } = &node.op else {
+            unreachable!("fusion heads are conv nodes");
+        };
+        let param = |p: ParamId| &model.store().get(p).expect("validated at construction").tensor;
+        let w = param(*weight);
+        let b = bias.map(&param);
+        let wrap = |source| NnError::Op { node: g.conv, source };
+        let input = value_of(node.inputs[0], first_dirty, cache, fresh);
+        let ep = ConvEpilogue { bn: Some((&g.scale, &g.shift)), act: g.activation };
+        let out = match lowered {
+            // The first dirty conv's golden-input panels were pre-lowered
+            // once per campaign; reuse them for every fault at this node.
+            Some(low) if g.conv == first_dirty => {
+                ops::conv2d_batched_from_lowered(low, w, b, Some(&ep), Some(arena)).map_err(wrap)?
+            }
+            _ => {
+                let owned = ops::im2col_lower_batched(input, w, *cfg, Some(arena)).map_err(wrap)?;
+                let out = ops::conv2d_batched_from_lowered(&owned, w, b, Some(&ep), Some(arena))
+                    .map_err(wrap)?;
+                arena.recycle(owned.into_cols());
+                out
+            }
+        };
+        Ok(out)
+    }
+
+    /// Evaluates one unfused plan step over the batched values. Lowerable
+    /// convs still take the batched single-GEMM path (without an epilogue);
+    /// everything else dispatches through the model's fast per-op kernels,
+    /// which treat the batch dimension natively.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_step(
+        &self,
+        model: &Model,
+        id: NodeId,
+        first_dirty: NodeId,
+        cache: &ActivationCache,
+        fresh: &[Tensor],
+        lowered: Option<&BatchedLowered>,
+        arena: &mut ScratchArena,
+    ) -> Result<Tensor, NnError> {
+        let node = &model.nodes()[id];
+        if self.lowerable[id] {
+            if let NodeOp::Conv { weight, bias, cfg } = &node.op {
+                let param =
+                    |p: ParamId| &model.store().get(p).expect("validated at construction").tensor;
+                let w = param(*weight);
+                let b = bias.map(&param);
+                let wrap = |source| NnError::Op { node: id, source };
+                let input = value_of(node.inputs[0], first_dirty, cache, fresh);
+                let out = match lowered {
+                    Some(low) if id == first_dirty => {
+                        ops::conv2d_batched_from_lowered(low, w, b, None, Some(arena))
+                            .map_err(wrap)?
+                    }
+                    _ => {
+                        let owned =
+                            ops::im2col_lower_batched(input, w, *cfg, Some(arena)).map_err(wrap)?;
+                        let out = ops::conv2d_batched_from_lowered(&owned, w, b, None, Some(arena))
+                            .map_err(wrap)?;
+                        arena.recycle(owned.into_cols());
+                        out
+                    }
+                };
+                return Ok(out);
+            }
+        }
+        let vals = NodeValues {
+            prefix: cache.activations(),
+            over: None,
+            multi: &[],
+            suffix_base: first_dirty,
+            suffix: fresh,
+        };
+        let mut opts = ForwardOptions { arena: Some(arena), ..ForwardOptions::default() };
+        model.eval_node_with(id, &vals, &mut opts)
+    }
+
+    /// Batched single-unit probe of the first dirty node: evaluates only
+    /// the faulted output unit for **all** images with one GEMM row over
+    /// the batched panel, and compares it against the batched golden
+    /// activation bit-for-bit.
+    fn probe_batched(
+        &self,
+        model: &Model,
+        id: NodeId,
+        cache: &ActivationCache,
+        lowered: Option<&BatchedLowered>,
+        unit: usize,
+        arena: &mut ScratchArena,
+    ) -> Result<BatchedProbe, NnError> {
+        let node = &model.nodes()[id];
+        let param = |p: ParamId| &model.store().get(p).expect("validated at construction").tensor;
+        let wrap = |source| NnError::Op { node: id, source };
+        let golden = cache.get(id).expect("cache covers all nodes");
+        let vals: Vec<f32> = match &node.op {
+            NodeOp::Conv { weight, bias, .. } => {
+                let Some(low) = lowered else { return Ok(BatchedProbe::Unsupported) };
+                let w = param(*weight);
+                if unit >= w.shape().n() {
+                    return Ok(BatchedProbe::Unsupported);
+                }
+                ops::conv2d_channel_batched(low, w, bias.map(&param), unit, Some(arena))
+                    .map_err(wrap)?
+            }
+            NodeOp::Linear { weight, bias } => {
+                let xv = cache.get(node.inputs[0]).expect("cache covers all nodes");
+                let reshaped;
+                let x2 = if xv.shape().rank() == 2 {
+                    xv
+                } else {
+                    let b = xv.shape().dims()[0];
+                    let rest = xv.len() / b;
+                    reshaped = xv.reshape([b, rest]).map_err(wrap)?;
+                    &reshaped
+                };
+                let w = param(*weight);
+                if unit >= w.shape().dims()[0] {
+                    return Ok(BatchedProbe::Unsupported);
+                }
+                ops::linear_row(x2, w, bias.map(&param), unit).map_err(wrap)?
+            }
+            _ => return Ok(BatchedProbe::Unsupported),
+        };
+        let shape = golden.shape();
+        let dims = shape.dims();
+        let (batch, units) = (dims[0], dims[1]);
+        let chunk: usize = dims[2..].iter().product();
+        let g = golden.as_slice();
+        let clean = (0..batch).all(|n| {
+            let gs = &g[(n * units + unit) * chunk..][..chunk];
+            let vs = &vals[n * chunk..][..chunk];
+            gs.iter().zip(vs).all(|(a, b)| a.to_bits() == b.to_bits())
+        });
+        if clean {
+            arena.recycle(vals);
+            return Ok(BatchedProbe::Clean);
+        }
+        let mut data = arena.take(g.len());
+        data.copy_from_slice(g);
+        for n in 0..batch {
+            data[(n * units + unit) * chunk..][..chunk]
+                .copy_from_slice(&vals[n * chunk..][..chunk]);
+        }
+        arena.recycle(vals);
+        let t = Tensor::from_vec(shape, data).expect("materialized activation matches golden");
+        Ok(BatchedProbe::Dirty(t))
+    }
+}
+
+/// Resolves a node reference during a batched suffix: cached golden values
+/// for the prefix, freshly computed values for the suffix.
+fn value_of<'a>(
+    id: NodeId,
+    first_dirty: NodeId,
+    cache: &'a ActivationCache,
+    fresh: &'a [Tensor],
+) -> &'a Tensor {
+    if id >= first_dirty {
+        &fresh[id - first_dirty]
+    } else {
+        cache.get(id).expect("cache covers all nodes")
+    }
+}
+
+/// NaN-aware argmax over one logits row, identical to
+/// [`Tensor::argmax`](sfi_tensor::Tensor::argmax) on a single-image tensor:
+/// NaNs are skipped unless the whole row is NaN (then index 0 wins), ties
+/// keep the first maximum.
+pub fn row_argmax(row: &[f32]) -> Option<usize> {
+    if row.is_empty() {
+        return None;
+    }
+    Some(crate::model::argmax_slice(row))
+}
+
+/// Reusable per-worker session state: the scratch arena plus a high-water
+/// mark shared across every worker of a campaign session, so telemetry
+/// reports one session-wide arena peak instead of summing (and
+/// double-counting) per-worker figures.
+#[derive(Debug, Default)]
+pub struct SessionState {
+    /// The worker's scratch arena; persists across faults and campaigns.
+    pub arena: ScratchArena,
+    shared_peak: Option<Arc<AtomicU64>>,
+}
+
+impl SessionState {
+    /// A fresh state with a private arena and no shared peak.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fresh state publishing its arena peak into `peak` (shared by
+    /// every worker of one session).
+    pub fn with_shared_peak(peak: Arc<AtomicU64>) -> Self {
+        Self { arena: ScratchArena::new(), shared_peak: Some(peak) }
+    }
+
+    /// Publishes the arena's current high-water mark into the shared
+    /// session peak (monotone `max`), returning the session-wide value.
+    pub fn publish_peak(&self) -> u64 {
+        let mine = self.arena.peak_bytes() as u64;
+        match &self.shared_peak {
+            Some(shared) => {
+                shared.fetch_max(mine, Ordering::Relaxed);
+                shared.load(Ordering::Relaxed)
+            }
+            None => mine,
+        }
+    }
+
+    /// The session-wide arena high-water mark (this worker's own peak when
+    /// no shared counter was attached).
+    pub fn high_water(&self) -> u64 {
+        match &self.shared_peak {
+            Some(shared) => shared.load(Ordering::Relaxed).max(self.arena.peak_bytes() as u64),
+            None => self.arena.peak_bytes() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resnet::ResNetConfig;
+
+    fn setup() -> (Model, ActivationCache, CompiledPlan) {
+        let model = ResNetConfig::resnet20_micro().build_seeded(7).unwrap();
+        let input = Tensor::from_fn([1, 3, 16, 16], |i| (i as f32 * 0.37).sin());
+        let cache = model.forward_cached(&input).unwrap();
+        let plan = CompiledPlan::compile(&model, &cache).unwrap();
+        (model, cache, plan)
+    }
+
+    #[test]
+    fn compile_covers_every_node_and_orders_lifetimes() {
+        let (model, _, plan) = setup();
+        assert_eq!(plan.len(), model.nodes().len());
+        for (i, &lr) in plan.last_reader().iter().enumerate() {
+            assert!(lr >= i, "a reader never precedes its producer");
+        }
+        // Every non-final node dies exactly once across the flush lists.
+        let mut flushed = vec![0usize; plan.len()];
+        for id in 0..plan.len() {
+            for &dead in plan.flush_after(id) {
+                flushed[dead] += 1;
+            }
+        }
+        for (i, &count) in flushed.iter().enumerate().skip(1) {
+            if i < plan.len() - 1 {
+                assert_eq!(count, 1, "node {i} must be flushed exactly once");
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_groups_cover_conv_bn_relu_chains() {
+        let (model, _, plan) = setup();
+        assert!(plan.fused_groups() > 0, "resnet emits conv+bn+relu chains");
+        // Group heads are lowerable convs.
+        for (id, node) in model.nodes().iter().enumerate() {
+            if plan.head.get(id).copied().flatten().is_some() {
+                assert!(matches!(node.op, NodeOp::Conv { .. }));
+                assert!(plan.is_lowerable_conv(id));
+            }
+        }
+    }
+
+    #[test]
+    fn suffix_flops_monotone_decreasing() {
+        let (_, _, plan) = setup();
+        for id in 1..plan.len() {
+            assert!(plan.suffix_flops(id - 1) >= plan.suffix_flops(id));
+        }
+        assert!(plan.suffix_flops(1) > 0);
+    }
+
+    #[test]
+    fn delta_unprofitable_at_micro_scale() {
+        let (_, _, plan) = setup();
+        // The micro model's widest activation is far below the break-even
+        // channel width; the cost model must keep every node dense.
+        for id in 1..plan.len() {
+            assert!(!plan.delta_profitable(id));
+        }
+    }
+
+    #[test]
+    fn batched_forward_matches_per_image_bitwise() {
+        let (model, _, _) = setup();
+        let images: Vec<Tensor> = (0..3)
+            .map(|s| Tensor::from_fn([1, 3, 16, 16], |i| ((i + s * 31) as f32 * 0.21).cos()))
+            .collect();
+        let mut stacked = Vec::new();
+        for img in &images {
+            stacked.extend_from_slice(img.as_slice());
+        }
+        let batched_input = Tensor::from_vec([3, 3, 16, 16], stacked).unwrap();
+        let bcache = model.forward_cached(&batched_input).unwrap();
+        let plan = CompiledPlan::compile(&model, &bcache).unwrap();
+        let mut arena = ScratchArena::new();
+        // Re-run the whole graph batched (suffix start = 1, no probe, no
+        // convergence) and compare per-image rows to per-image passes.
+        let out =
+            plan.forward_batched_from(&model, 1, &bcache, None, None, false, &mut arena).unwrap();
+        let BatchedOutcome::Logits(logits) = out else { panic!("no convergence requested") };
+        let classes = logits.len() / 3;
+        for (i, img) in images.iter().enumerate() {
+            let per_image = model.forward(img).unwrap();
+            let row = &logits.as_slice()[i * classes..][..classes];
+            for (a, b) in row.iter().zip(per_image.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "image {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_convergence_detects_golden_recompute() {
+        let (model, _, _) = setup();
+        let input = Tensor::from_fn([2, 3, 16, 16], |i| (i as f32 * 0.11).sin());
+        let bcache = model.forward_cached(&input).unwrap();
+        let plan = CompiledPlan::compile(&model, &bcache).unwrap();
+        let mut arena = ScratchArena::new();
+        // Nothing is dirty: recomputing from node 1 must converge quickly.
+        let out =
+            plan.forward_batched_from(&model, 1, &bcache, None, None, true, &mut arena).unwrap();
+        assert!(matches!(out, BatchedOutcome::Converged { .. }));
+    }
+
+    #[test]
+    fn session_state_publishes_shared_peak() {
+        let shared = Arc::new(AtomicU64::new(0));
+        let mut a = SessionState::with_shared_peak(Arc::clone(&shared));
+        let mut b = SessionState::with_shared_peak(Arc::clone(&shared));
+        let buf = a.arena.take(1000);
+        a.arena.recycle(buf);
+        let buf = b.arena.take(10);
+        b.arena.recycle(buf);
+        a.publish_peak();
+        b.publish_peak();
+        assert_eq!(shared.load(Ordering::Relaxed), 4000);
+        assert_eq!(b.high_water(), 4000, "peers see the session-wide peak");
+    }
+
+    #[test]
+    fn row_argmax_matches_tensor_argmax() {
+        let t = Tensor::from_vec([1, 4], vec![0.5, f32::NAN, 2.0, 2.0]).unwrap();
+        assert_eq!(row_argmax(t.as_slice()), t.argmax());
+        assert_eq!(row_argmax(&[]), None);
+    }
+}

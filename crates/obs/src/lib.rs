@@ -276,6 +276,19 @@ pub enum Event<'a> {
         /// `accumulated`).
         fault_model: &'a str,
     },
+    /// The model's compiled execution plan, emitted once per campaign so a
+    /// trace records which plan transforms (fusion, batching, lowering)
+    /// were in effect.
+    PlanCompiled {
+        /// Graph nodes covered by the plan.
+        nodes: usize,
+        /// Conv+BN(+ReLU) chains fused into single epilogue GEMMs.
+        fused_groups: usize,
+        /// Convolutions eligible for im2col lowering.
+        lowerable_convs: usize,
+        /// Whether the batched eval-image engine was enabled.
+        batched: bool,
+    },
     /// A stratum's fault batch started executing.
     StratumStart {
         /// Stratum index within the plan.
@@ -403,6 +416,10 @@ impl Event<'_> {
                 "\"campaign_start\",\"strata\":{strata},\"faults\":{faults},\
                  \"workers\":{workers},\"fault_model\":\"{}\"",
                 json_escape(fault_model)
+            ),
+            Event::PlanCompiled { nodes, fused_groups, lowerable_convs, batched } => format!(
+                "\"plan_compiled\",\"nodes\":{nodes},\"fused_groups\":{fused_groups},\
+                 \"lowerable_convs\":{lowerable_convs},\"batched\":{batched}"
             ),
             Event::StratumStart { stratum, label, faults } => format!(
                 "\"stratum_start\",\"stratum\":{stratum},\"label\":\"{}\",\"faults\":{faults}",

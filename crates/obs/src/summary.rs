@@ -50,6 +50,14 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 /// Parses one flat JSON object (`{"key": scalar, ...}`) into its fields,
@@ -273,6 +281,19 @@ pub struct MetricsLine {
     pub accumulated_faults: u64,
 }
 
+/// The `plan_compiled` event: the compiled execution plan in effect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanTrace {
+    /// Graph nodes covered by the plan.
+    pub nodes: u64,
+    /// Conv+BN(+ReLU) chains fused into single epilogue GEMMs.
+    pub fused_groups: u64,
+    /// Convolutions eligible for im2col lowering.
+    pub lowerable_convs: u64,
+    /// Whether the batched eval-image engine was enabled.
+    pub batched: bool,
+}
+
 /// Campaign-level totals from `campaign_end`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CampaignTotals {
@@ -298,6 +319,9 @@ pub struct TraceSummary {
     /// Fault model announced by `campaign_start` (`None` for streams
     /// written before the field existed).
     pub fault_model: Option<String>,
+    /// Compiled-plan summary from `plan_compiled` (`None` for streams
+    /// written before the plan compiler existed).
+    pub plan: Option<PlanTrace>,
     /// Total `fault` events.
     pub fault_events: u64,
     /// `fault` events per class, sorted by class name.
@@ -375,6 +399,14 @@ pub fn summarize(text: &str) -> Result<TraceSummary, String> {
                 summary.workers = Some(need_u64(&fields, "workers").map_err(at)?);
                 summary.fault_model =
                     field(&fields, "fault_model").and_then(Value::as_str).map(str::to_string);
+            }
+            "plan_compiled" => {
+                summary.plan = Some(PlanTrace {
+                    nodes: need_u64(&fields, "nodes").map_err(at)?,
+                    fused_groups: need_u64(&fields, "fused_groups").map_err(at)?,
+                    lowerable_convs: need_u64(&fields, "lowerable_convs").map_err(at)?,
+                    batched: field(&fields, "batched").and_then(Value::as_bool).unwrap_or(false),
+                });
             }
             "stratum_start" => {
                 let id = need_u64(&fields, "stratum").map_err(at)?;

@@ -570,6 +570,332 @@ pub fn conv2d_channel_from_lowered(
     Ok(out)
 }
 
+/// The activation applied by a fused conv epilogue, after the optional
+/// folded batch norm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FusedActivation {
+    /// No activation.
+    #[default]
+    None,
+    /// `max(x, 0)` with the exact compare-and-select of [`super::relu`].
+    Relu,
+    /// `clamp(x, 0, 6)` with the exact semantics of [`super::relu6`].
+    Relu6,
+}
+
+/// Element-wise tail fused into the batched conv scatter: an optional
+/// folded batch norm (per-output-channel `scale`/`shift` from
+/// [`super::bn_channel_scale_shift`]) followed by an optional activation.
+///
+/// Applying the epilogue during the GEMM-output scatter produces exactly
+/// the bits of running the unfused `conv → batch_norm → relu` chain: the
+/// per-element operation sequence (`+ bias`, `* scale + shift`,
+/// compare-and-select) is identical — only the intermediate buffers
+/// disappear.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConvEpilogue<'a> {
+    /// Folded batch-norm coefficients, per output channel.
+    pub bn: Option<(&'a [f32], &'a [f32])>,
+    /// Fused activation, applied last.
+    pub act: FusedActivation,
+}
+
+impl ConvEpilogue<'_> {
+    #[inline]
+    fn apply(&self, channel: usize, v: f32) -> f32 {
+        let mut v = v;
+        if let Some((scale, shift)) = self.bn {
+            v = v * scale[channel] + shift[channel];
+        }
+        match self.act {
+            FusedActivation::None => v,
+            FusedActivation::Relu => {
+                if v < 0.0 {
+                    0.0
+                } else {
+                    v
+                }
+            }
+            FusedActivation::Relu6 => v.clamp(0.0, 6.0),
+        }
+    }
+}
+
+/// The image-interleaved im2col panels of one convolution input batch,
+/// shaped for the batched eval-image forward: per group, one
+/// `k_len x (batch * spatial)` panel whose columns are image-major
+/// (`column = image * spatial + pixel`), so the whole batch costs **one
+/// GEMM per group** instead of one per image.
+///
+/// Per output element the GEMM accumulation is indistinguishable from the
+/// per-image [`LoweredConv`] path — batching concatenates independent
+/// columns, never touching any element's `k`-order accumulation chain — so
+/// batched and per-image convolution are bit-identical.
+#[derive(Debug, Clone)]
+pub struct BatchedLowered {
+    /// `[group]` panels of `k_len * batch * spatial` elements each.
+    cols: Vec<f32>,
+    batch: usize,
+    groups: usize,
+    c_out: usize,
+    c_in_per_group: usize,
+    k_h: usize,
+    k_w: usize,
+    k_len: usize,
+    spatial: usize,
+    h_out: usize,
+    w_out: usize,
+}
+
+impl BatchedLowered {
+    /// Heap footprint of the panels, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.cols.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Number of images interleaved in each panel.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    fn panel(&self, g: usize) -> &[f32] {
+        let len = self.k_len * self.batch * self.spatial;
+        &self.cols[g * len..][..len]
+    }
+
+    /// Consumes the panels, returning the backing buffer for arena
+    /// recycling.
+    pub fn into_cols(self) -> Vec<f32> {
+        self.cols
+    }
+}
+
+/// Lowers a (multi-image) input batch directly into the image-interleaved
+/// panels of [`BatchedLowered`], drawing the buffer from `arena` when one
+/// is supplied. The per-(row, image) bytes written are exactly those of
+/// [`im2col_lower`] — only their placement differs.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d`].
+pub fn im2col_lower_batched(
+    input: &Tensor,
+    weight: &Tensor,
+    cfg: Conv2dCfg,
+    arena: Option<&mut ScratchArena>,
+) -> Result<BatchedLowered, TensorError> {
+    let d = validate(input, weight, None, cfg)?;
+    let spatial = d.h_out * d.w_out;
+    let k_len = d.c_in_per_group * d.k_h * d.k_w;
+    let row_stride = d.batch * spatial;
+    let panel = k_len * row_stride;
+    let mut cols = match arena {
+        Some(a) => a.take(cfg.groups * panel),
+        None => vec![0.0f32; cfg.groups * panel],
+    };
+    let in_data = input.as_slice();
+    for g in 0..cfg.groups {
+        let dst = &mut cols[g * panel..][..panel];
+        for n in 0..d.batch {
+            lower_group_fast_strided(in_data, cfg, &d, n, g, dst, row_stride, n * spatial);
+        }
+    }
+    Ok(BatchedLowered {
+        cols,
+        batch: d.batch,
+        groups: cfg.groups,
+        c_out: d.c_out,
+        c_in_per_group: d.c_in_per_group,
+        k_h: d.k_h,
+        k_w: d.k_w,
+        k_len,
+        spatial,
+        h_out: d.h_out,
+        w_out: d.w_out,
+    })
+}
+
+/// Weight/bias validation for the batched panels (mirrors
+/// [`validate_lowered`]).
+fn validate_batched(
+    op: &'static str,
+    lowered: &BatchedLowered,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+) -> Result<(), TensorError> {
+    let ws = weight.shape();
+    if ws.rank() != 4 {
+        return Err(TensorError::RankMismatch { op, expected: 4, actual: ws.rank() });
+    }
+    if ws.n() != lowered.c_out
+        || ws.c() != lowered.c_in_per_group
+        || ws.h() != lowered.k_h
+        || ws.w() != lowered.k_w
+    {
+        return Err(TensorError::InvalidConfig {
+            op,
+            reason: format!(
+                "weight {ws} does not match panels lowered for [{}, {}, {}, {}]",
+                lowered.c_out, lowered.c_in_per_group, lowered.k_h, lowered.k_w
+            ),
+        });
+    }
+    if let Some(b) = bias {
+        if b.shape() != Shape::new(&[lowered.c_out]) {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: b.shape(),
+                rhs: Shape::new(&[lowered.c_out]),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Batched convolution over image-interleaved panels: one GEMM per group
+/// covers every image, and the GEMM-output scatter back to NCHW applies
+/// the bias and an optional fused epilogue (folded batch norm, ReLU) in
+/// the same pass.
+///
+/// Bit-identical to running [`conv2d_from_lowered`] per image followed by
+/// the unfused `batch_norm`/`relu` ops: each output element's `k`
+/// accumulation order, bias add, affine fold, and clamp are the exact
+/// per-element operation sequence of the unfused chain (see
+/// [`ConvEpilogue`]).
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_from_lowered`].
+pub fn conv2d_batched_from_lowered(
+    lowered: &BatchedLowered,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    epilogue: Option<&ConvEpilogue<'_>>,
+    mut arena: Option<&mut ScratchArena>,
+) -> Result<Tensor, TensorError> {
+    const OP: &str = "conv2d_batched_from_lowered";
+    validate_batched(OP, lowered, weight, bias)?;
+    if let Some(ep) = epilogue {
+        if let Some((scale, shift)) = ep.bn {
+            if scale.len() != lowered.c_out || shift.len() != lowered.c_out {
+                return Err(TensorError::InvalidConfig {
+                    op: OP,
+                    reason: format!(
+                        "epilogue coefficients ({}, {}) do not cover {} output channels",
+                        scale.len(),
+                        shift.len(),
+                        lowered.c_out
+                    ),
+                });
+            }
+        }
+    }
+    let (k_len, spatial, batch) = (lowered.k_len, lowered.spatial, lowered.batch);
+    let bspatial = batch * spatial;
+    let c_out_per_group = lowered.c_out / lowered.groups;
+    let mut gemm_out = match arena.as_deref_mut() {
+        Some(a) => a.take_zeroed(c_out_per_group * bspatial),
+        None => vec![0.0f32; c_out_per_group * bspatial],
+    };
+    let mut packed = match arena.as_deref_mut() {
+        Some(a) => a.take(0),
+        None => Vec::new(),
+    };
+    let mut out_data = match arena.as_deref_mut() {
+        Some(a) => a.take(batch * lowered.c_out * spatial),
+        None => vec![0.0f32; batch * lowered.c_out * spatial],
+    };
+    let w_data = weight.as_slice();
+    let b_data = bias.map(Tensor::as_slice);
+    let identity = ConvEpilogue::default();
+    let ep = epilogue.unwrap_or(&identity);
+    for g in 0..lowered.groups {
+        let w_group = &w_data[g * c_out_per_group * k_len..][..c_out_per_group * k_len];
+        if g > 0 {
+            gemm_out.fill(0.0);
+        }
+        gemm_blocked_with(
+            c_out_per_group,
+            k_len,
+            bspatial,
+            w_group,
+            lowered.panel(g),
+            &mut gemm_out,
+            &mut packed,
+        );
+        // Scatter [c][image * spatial] rows into NCHW, fusing bias + tail.
+        for cg in 0..c_out_per_group {
+            let co = g * c_out_per_group + cg;
+            let src_row = &gemm_out[cg * bspatial..][..bspatial];
+            for n in 0..batch {
+                let src = &src_row[n * spatial..][..spatial];
+                let dst = &mut out_data[(n * lowered.c_out + co) * spatial..][..spatial];
+                match b_data {
+                    Some(b) => {
+                        let bv = b[co];
+                        for (d, &s) in dst.iter_mut().zip(src) {
+                            *d = ep.apply(co, s + bv);
+                        }
+                    }
+                    None => {
+                        for (d, &s) in dst.iter_mut().zip(src) {
+                            *d = ep.apply(co, s);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if let Some(a) = arena {
+        a.recycle(packed);
+        a.recycle(gemm_out);
+    }
+    Ok(Tensor::from_vec([batch, lowered.c_out, lowered.h_out, lowered.w_out], out_data)
+        .expect("output length follows from lowered dims"))
+}
+
+/// One output channel of the batched convolution, bit-identically: a
+/// single GEMM row over the image-interleaved panel plus the channel's
+/// bias term. Returns `batch * spatial` values laid out `[image][spatial]`
+/// — the same layout as [`conv2d_channel_from_lowered`], so the two probe
+/// kernels are interchangeable bit-for-bit.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_channel_from_lowered`].
+pub fn conv2d_channel_batched(
+    lowered: &BatchedLowered,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    channel: usize,
+    arena: Option<&mut ScratchArena>,
+) -> Result<Vec<f32>, TensorError> {
+    const OP: &str = "conv2d_channel_batched";
+    validate_batched(OP, lowered, weight, bias)?;
+    if channel >= lowered.c_out {
+        return Err(TensorError::InvalidConfig {
+            op: OP,
+            reason: format!("channel {channel} out of range for {} output channels", lowered.c_out),
+        });
+    }
+    let (k_len, bspatial) = (lowered.k_len, lowered.batch * lowered.spatial);
+    let c_out_per_group = lowered.c_out / lowered.groups;
+    let g = channel / c_out_per_group;
+    let w_row = &weight.as_slice()[channel * k_len..][..k_len];
+    let mut out = match arena {
+        Some(a) => a.take_zeroed(bspatial),
+        None => vec![0.0f32; bspatial],
+    };
+    gemm(1, k_len, bspatial, w_row, lowered.panel(g), &mut out);
+    if let Some(b) = bias {
+        let bv = b.as_slice()[channel];
+        for v in out.iter_mut() {
+            *v += bv;
+        }
+    }
+    Ok(out)
+}
+
 /// Lowers image `n`, group `g` of `in_data` into `cols` (`k_len x spatial`,
 /// row-major). Writes **every** element — padding positions become explicit
 /// zeros — so dirty (recycled) buffers are safe destinations.
@@ -592,8 +918,30 @@ fn lower_group_fast(
     g: usize,
     cols: &mut [f32],
 ) {
+    let spatial = d.h_out * d.w_out;
+    lower_group_fast_strided(in_data, cfg, d, n, g, cols, spatial, 0);
+}
+
+/// [`lower_group_fast`] writing each column-matrix row at
+/// `row * row_stride + row_offset` instead of densely at `row * spatial` —
+/// the addressing hook that lets one lowering kernel serve both the
+/// per-image panels (`row_stride == spatial`) and the image-interleaved
+/// batched panels of [`im2col_lower_batched`] (`row_stride ==
+/// batch * spatial`, `row_offset == n * spatial`). Pure data movement
+/// either way: the bytes written per (row, image) are identical.
+#[allow(clippy::too_many_arguments)]
+fn lower_group_fast_strided(
+    in_data: &[f32],
+    cfg: Conv2dCfg,
+    d: &ConvDims,
+    n: usize,
+    g: usize,
+    cols: &mut [f32],
+    row_stride: usize,
+    row_offset: usize,
+) {
     if cfg.stride != 1 {
-        return lower_group(in_data, cfg, d, n, g, cols);
+        return lower_group_strided(in_data, cfg, d, n, g, cols, row_stride, row_offset);
     }
     let spatial = d.h_out * d.w_out;
     for ci_g in 0..d.c_in_per_group {
@@ -602,7 +950,7 @@ fn lower_group_fast(
         for kh in 0..d.k_h {
             for kw in 0..d.k_w {
                 let row = (ci_g * d.k_h + kh) * d.k_w + kw;
-                let dst = &mut cols[row * spatial..(row + 1) * spatial];
+                let dst = &mut cols[row * row_stride + row_offset..][..spatial];
                 // iw = ow + w_shift; valid input columns are a contiguous
                 // run of ow, bounded below by iw >= 0 and above by
                 // iw < w_in.
@@ -638,13 +986,31 @@ fn lower_group(
     cols: &mut [f32],
 ) {
     let spatial = d.h_out * d.w_out;
+    lower_group_strided(in_data, cfg, d, n, g, cols, spatial, 0);
+}
+
+/// [`lower_group`] with the strided row addressing of
+/// [`lower_group_fast_strided`] — the scalar-gather fallback for strides
+/// other than 1.
+#[allow(clippy::too_many_arguments)]
+fn lower_group_strided(
+    in_data: &[f32],
+    cfg: Conv2dCfg,
+    d: &ConvDims,
+    n: usize,
+    g: usize,
+    cols: &mut [f32],
+    row_stride: usize,
+    row_offset: usize,
+) {
+    let spatial = d.h_out * d.w_out;
     for ci_g in 0..d.c_in_per_group {
         let ci = g * d.c_in_per_group + ci_g;
         let in_chan = &in_data[(n * d.c_in + ci) * d.h_in * d.w_in..][..d.h_in * d.w_in];
         for kh in 0..d.k_h {
             for kw in 0..d.k_w {
                 let row = (ci_g * d.k_h + kh) * d.k_w + kw;
-                let dst = &mut cols[row * spatial..(row + 1) * spatial];
+                let dst = &mut cols[row * row_stride + row_offset..][..spatial];
                 let mut idx = 0usize;
                 for oh in 0..d.h_out {
                     let ih = (oh * cfg.stride + kh) as isize - d.pad as isize;

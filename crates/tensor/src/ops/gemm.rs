@@ -33,6 +33,33 @@ const MR: usize = 4;
 /// Panics when the slice lengths do not match `m*k` / `k*n` / `m*n` —
 /// in release builds too, since a silent mis-multiply would corrupt fault
 /// classifications.
+///
+/// `#[inline(never)]` is load-bearing for bit identity, not a perf tweak
+/// (the loops dwarf one call). When an f32 add meets **two NaN operands
+/// with different payloads**, x86 returns the *first* operand's payload —
+/// and LLVM freely commutes `fadd` operands, so separately inlined copies
+/// of this loop can disagree on which NaN survives an
+/// accumulator-meets-term collision. One shared compiled copy pins one
+/// operand order per code path; the same attribute guards the kernels
+/// below.
+///
+/// One asymmetry survives even inside the single copy: the autovectorised
+/// loop body and its scalar tail may commute the add differently, and
+/// which columns land in the tail depends on `n`. This only matters when
+/// a single accumulation chain holds **two distinct NaN payloads**
+/// (observed: a `0.0 * -Inf` indefinite `0xFFC00000` meeting a propagated
+/// `0x7FC00000` input NaN, flipping between the per-image `n = spatial`
+/// and batched `n = images * spatial` calls at opt-level 2). Single-fault
+/// campaigns cannot produce that state — one fault value yields one
+/// payload family (a NaN fault propagates its own quietened payload and
+/// creates no infinities; an Inf or overflow fault produces NaNs only via
+/// `0 * Inf` / `Inf - Inf`, which are uniformly the `0xFFC00000`
+/// indefinite) — so batched and per-image execution agree bit-for-bit
+/// there, which is what the `kernel_bitident` and `plan_equivalence`
+/// suites pin. Chains mixing two payload families (only reachable with
+/// faults in *both* operands of one GEMM) keep value semantics but may
+/// legitimately differ in which NaN payload survives.
+#[inline(never)]
 pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     assert_eq!(a.len(), m * k, "gemm: lhs length");
     assert_eq!(b.len(), k * n, "gemm: rhs length");
@@ -101,7 +128,7 @@ pub fn gemm_blocked_with(
         // bench). Small-B problems go straight to the naive kernel.
         return gemm(m, k, n, a, b, c);
     }
-    gemm_packed(m, k, n, a, b, c, packed);
+    gemm_packed_rows(m, k, n, a, b, c, packed);
 }
 
 /// Row-blocked [`gemm`]: `MR` output rows consume each B row while it is
@@ -124,6 +151,7 @@ pub fn gemm_blocked_with(
 /// # Panics
 ///
 /// Same length checks as [`gemm`].
+#[inline(never)]
 pub fn gemm_rows(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     assert_eq!(a.len(), m * k, "gemm: lhs length");
     assert_eq!(b.len(), k * n, "gemm: rhs length");
@@ -154,6 +182,7 @@ pub fn gemm_rows(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f3
 /// # Panics
 ///
 /// Same length checks as [`gemm`].
+#[inline(never)]
 pub fn gemm_packed(
     m: usize,
     k: usize,
@@ -186,6 +215,69 @@ pub fn gemm_packed(
                     let b_row = &packed[ki * nw..(ki + 1) * nw];
                     for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
                         *c_v += a_v * b_v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The packed *and* row-blocked tile kernel: B panels are packed exactly as
+/// in [`gemm_packed`], and within each panel `MR` output rows consume every
+/// packed B row while it is L1-hot (the [`gemm_rows`] interleaving). This
+/// is the kernel [`gemm_blocked`] dispatches to above the L2 threshold —
+/// the batched eval-image panels of the compiled-plan forward are the first
+/// workload in the tree whose B matrices reliably spill L2, which is where
+/// the `MR`-fold cut in packed-panel re-reads starts to pay.
+///
+/// Bit-identity: for a fixed output element `c[mi][ni]`, the `ki` partial
+/// products still arrive one at a time in increasing `ki` order — panel
+/// tiling picks *which* `(k0, n0)` rectangle is active and row blocking
+/// picks *which independent rows* interleave, but neither reorders any
+/// single element's accumulation chain. The innermost loop is a textual
+/// copy of [`gemm`]'s, so the compiler emits the same per-element
+/// arithmetic (pinned by the `kernel_bitident` proptests, NaN/±Inf
+/// payloads included).
+///
+/// `packed` is resized as needed and holds unspecified contents on return.
+///
+/// # Panics
+///
+/// Same length checks as [`gemm`].
+#[inline(never)]
+pub fn gemm_packed_rows(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    packed: &mut Vec<f32>,
+) {
+    assert_eq!(a.len(), m * k, "gemm: lhs length");
+    assert_eq!(b.len(), k * n, "gemm: rhs length");
+    assert_eq!(c.len(), m * n, "gemm: out length");
+    if packed.len() < BLOCK_K * BLOCK_N {
+        packed.resize(BLOCK_K * BLOCK_N, 0.0);
+    }
+    for n0 in (0..n).step_by(BLOCK_N) {
+        let nw = BLOCK_N.min(n - n0);
+        for k0 in (0..k).step_by(BLOCK_K) {
+            let kw = BLOCK_K.min(k - k0);
+            for ki in 0..kw {
+                packed[ki * nw..(ki + 1) * nw]
+                    .copy_from_slice(&b[(k0 + ki) * n + n0..(k0 + ki) * n + n0 + nw]);
+            }
+            for mi0 in (0..m).step_by(MR) {
+                let m_hi = (mi0 + MR).min(m);
+                for ki in 0..kw {
+                    let b_row = &packed[ki * nw..(ki + 1) * nw];
+                    for mi in mi0..m_hi {
+                        let a_v = a[mi * k + k0 + ki];
+                        let c_row = &mut c[mi * n + n0..mi * n + n0 + nw];
+                        for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                            *c_v += a_v * b_v;
+                        }
                     }
                 }
             }

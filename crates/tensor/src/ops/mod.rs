@@ -31,12 +31,13 @@ pub mod grad;
 
 pub use activation::{relu, relu6, relu6_with, relu_with, softmax};
 pub use conv::{
-    conv2d, conv2d_channel_from_lowered, conv2d_direct, conv2d_from_lowered, conv2d_im2col,
-    conv2d_kernel, conv2d_uses_lowering, conv2d_with, im2col_lower, Conv2dCfg, GemmKernel,
-    LoweredConv, Padding,
+    conv2d, conv2d_batched_from_lowered, conv2d_channel_batched, conv2d_channel_from_lowered,
+    conv2d_direct, conv2d_from_lowered, conv2d_im2col, conv2d_kernel, conv2d_uses_lowering,
+    conv2d_with, im2col_lower, im2col_lower_batched, BatchedLowered, Conv2dCfg, ConvEpilogue,
+    FusedActivation, GemmKernel, LoweredConv, Padding,
 };
 pub use elementwise::{add, add_with, downsample_pad_channels};
-pub use gemm::{gemm, gemm_blocked, gemm_blocked_with, gemm_packed, gemm_rows};
+pub use gemm::{gemm, gemm_blocked, gemm_blocked_with, gemm_packed, gemm_packed_rows, gemm_rows};
 pub use linear::{linear, linear_row};
-pub use norm::{batch_norm, batch_norm_with, BatchNormParams};
+pub use norm::{batch_norm, batch_norm_with, bn_channel_scale_shift, BatchNormParams};
 pub use pool::{avg_pool2d, global_avg_pool, max_pool2d};

@@ -95,9 +95,7 @@ fn bn_apply(data: &mut [f32], shape: Shape, params: &BatchNormParams<'_>) {
     let (n, c, h, w) = (shape.n(), shape.c(), shape.h(), shape.w());
     let spatial = h * w;
     for ci in 0..c {
-        let inv_std = 1.0 / (params.var.as_slice()[ci] + params.eps).sqrt();
-        let scale = params.gamma.as_slice()[ci] * inv_std;
-        let shift = params.beta.as_slice()[ci] - params.mean.as_slice()[ci] * scale;
+        let (scale, shift) = bn_channel_scale_shift(params, ci);
         for ni in 0..n {
             let chan = &mut data[(ni * c + ci) * spatial..][..spatial];
             for v in chan {
@@ -105,6 +103,22 @@ fn bn_apply(data: &mut [f32], shape: Shape, params: &BatchNormParams<'_>) {
             }
         }
     }
+}
+
+/// The per-channel affine coefficients batch normalisation folds to:
+/// `y = x * scale + shift` with `scale = γ / sqrt(σ² + ε)` and
+/// `shift = β - μ * scale`.
+///
+/// This is the **only** place those expressions are written — [`bn_apply`]
+/// and the compiled-plan conv+bn(+ReLU) fused epilogue both call it — so
+/// the folded and unfused paths stay bit-identical by construction: the
+/// same f32 operation sequence produces the coefficients, and both apply
+/// them as one `mul` followed by one `add` per element.
+pub fn bn_channel_scale_shift(params: &BatchNormParams<'_>, channel: usize) -> (f32, f32) {
+    let inv_std = 1.0 / (params.var.as_slice()[channel] + params.eps).sqrt();
+    let scale = params.gamma.as_slice()[channel] * inv_std;
+    let shift = params.beta.as_slice()[channel] - params.mean.as_slice()[channel] * scale;
+    (scale, shift)
 }
 
 #[cfg(test)]

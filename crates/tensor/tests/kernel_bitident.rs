@@ -21,8 +21,11 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 use sfi_tensor::ops::{
-    conv2d, conv2d_from_lowered, conv2d_kernel, conv2d_with, gemm, gemm_blocked, gemm_packed,
-    im2col_lower, Conv2dCfg, GemmKernel, Padding,
+    batch_norm, bn_channel_scale_shift, conv2d, conv2d_batched_from_lowered,
+    conv2d_channel_batched, conv2d_channel_from_lowered, conv2d_from_lowered, conv2d_kernel,
+    conv2d_with, gemm, gemm_blocked, gemm_packed, gemm_packed_rows, im2col_lower,
+    im2col_lower_batched, relu, relu6, BatchNormParams, Conv2dCfg, ConvEpilogue, FusedActivation,
+    GemmKernel, Padding,
 };
 use sfi_tensor::{ScratchArena, Tensor};
 
@@ -39,7 +42,21 @@ proptest! {
         n in 1usize..300,
         seed_a in vec(fault_like_f32(), 1..8),
         seed_c in -1.0f32..1.0f32,
+        nan_mode in any::<bool>(),
     ) {
+        // One NaN payload family per case (literal NaNs or infinities,
+        // never both): tiling at `nw != n` widths shifts which columns sit
+        // in the autovectorised loop's scalar tail, and a chain holding
+        // two distinct payloads resolves the survivor by x86 operand
+        // order there (see the bit-identity notes on `gemm`).
+        let seed_a: Vec<f32> = seed_a
+            .iter()
+            .map(|&v| match (nan_mode, v.is_nan(), v.is_infinite()) {
+                (true, _, true) => f32::NAN,
+                (false, true, _) => f32::INFINITY,
+                _ => v,
+            })
+            .collect();
         // Cycle the drawn values through the full operands; keeps the
         // strategy small while every position can host a special value.
         let a: Vec<f32> = cycled(&seed_a, m * k, 1, 0).iter().map(|v| v * 0.5).collect();
@@ -57,6 +74,12 @@ proptest! {
         let mut panel = vec![f32::NAN; 7];
         gemm_packed(m, k, n, &a, &b, &mut c_packed, &mut panel);
         assert_bits_equal(&c_naive, &c_packed);
+        // The row-tiled packing variant (the batched-forward workhorse)
+        // must agree too, again through a dirty recycled panel.
+        let mut c_packed_rows = vec![seed_c; m * n];
+        let mut rows_panel = vec![f32::NAN; 13];
+        gemm_packed_rows(m, k, n, &a, &b, &mut c_packed_rows, &mut rows_panel);
+        assert_bits_equal(&c_naive, &c_packed_rows);
     }
 
     /// All im2col-family convolution paths — naive GEMM, blocked GEMM,
@@ -107,5 +130,149 @@ proptest! {
         let from_lowered_arena =
             conv2d_from_lowered(&lowered, &weight, bias, Some(&mut arena)).unwrap();
         assert_bits_equal(naive.as_slice(), from_lowered_arena.as_slice());
+    }
+
+    /// The batched (image-interleaved) convolution — plain, fused with the
+    /// folded conv+bn(+ReLU/ReLU6) epilogue, and the single-channel probe
+    /// row — is bit-identical to the per-image lowered path followed by the
+    /// unfused `batch_norm`/`relu` chain, with fault-like specials in both
+    /// operands and through dirty arena buffers.
+    #[test]
+    fn batched_conv_paths_are_bit_identical(
+        batch in 1usize..4,
+        c_in in 1usize..4,
+        c_out in 1usize..5,
+        size in 3usize..8,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        values in vec(fault_like_f32(), 4..12),
+        with_bias in any::<bool>(),
+        act_pick in 0u8..3,
+        channel_pick in 0usize..8,
+        nan_mode in any::<bool>(),
+    ) {
+        // One NaN payload family per case, as in a real single-fault
+        // campaign: either literal NaNs (propagating `f32::NAN`'s payload)
+        // or infinities (whose `0 * Inf` / `Inf - Inf` collisions are
+        // uniformly the `0xFFC00000` indefinite) — never both. Mixing the
+        // two in one accumulation chain leaves the surviving payload to
+        // x86 operand order, which the per-image (`n = spatial`) and
+        // batched (`n = images * spatial`) calls of the *same* kernel can
+        // resolve differently at the autovectorised loop's tail (see the
+        // bit-identity notes on `gemm`).
+        let values: Vec<f32> = values
+            .iter()
+            .map(|&v| match (nan_mode, v.is_nan(), v.is_infinite()) {
+                (true, _, true) => f32::NAN,
+                (false, true, _) => f32::INFINITY,
+                _ => v,
+            })
+            .collect();
+        let input_len = batch * c_in * size * size;
+        let weight_len = c_out * c_in * kernel * kernel;
+        let input =
+            Tensor::from_vec([batch, c_in, size, size], cycled(&values, input_len, 1, 0)).unwrap();
+        let weight =
+            Tensor::from_vec([c_out, c_in, kernel, kernel], cycled(&values, weight_len, 5, 1))
+                .unwrap();
+        // Bias and batch-norm coefficients stay finite: a NaN coefficient
+        // meeting an already-NaN conv sum is a two-distinct-NaN-payload
+        // collision, whose surviving payload is operand-order-dependent on
+        // x86 — and the bias/affine adds compile separately per path, so
+        // no shared-kernel trick (see `gemm`'s `#[inline(never)]` note)
+        // can pin them. With finite coefficients every elementwise op
+        // propagates the sum's payload deterministically. NaN/±Inf stay
+        // fully exercised through the input and weight operands.
+        let finite = |t: f32| if t.is_finite() { t } else { 0.75 };
+        let fin_cycled =
+            |len: usize, stride: usize, off: usize| -> Vec<f32> {
+                cycled(&values, len, stride, off).into_iter().map(finite).collect()
+            };
+        let bias_t = Tensor::from_vec([c_out], fin_cycled(c_out, 3, 2)).unwrap();
+        let bias = with_bias.then_some(&bias_t);
+        let cfg = Conv2dCfg {
+            stride,
+            padding: Padding::Explicit(pad),
+            groups: 1,
+        };
+        let gamma = Tensor::from_vec([c_out], fin_cycled(c_out, 2, 1)).unwrap();
+        let beta = Tensor::from_vec([c_out], fin_cycled(c_out, 4, 2)).unwrap();
+        let mean = Tensor::from_vec([c_out], fin_cycled(c_out, 6, 0)).unwrap();
+        let var =
+            Tensor::from_fn([c_out], |i| (i as f32).mul_add(0.13, 0.5));
+        let params = BatchNormParams {
+            gamma: &gamma,
+            beta: &beta,
+            mean: &mean,
+            var: &var,
+            eps: 1e-5,
+        };
+        let act = match act_pick {
+            0 => FusedActivation::None,
+            1 => FusedActivation::Relu,
+            _ => FusedActivation::Relu6,
+        };
+
+        // Per-image unfused reference: lowered conv, then batch_norm, then
+        // the activation — the exact legacy forward chain. (The reference
+        // must stay in the im2col family: 1x1-channel draws would send
+        // `conv2d_kernel` down the direct depthwise loop, which skips
+        // padded taps and is only value-identical under NaN/Inf weights.)
+        let in_data = input.as_slice();
+        let img_len = c_in * size * size;
+        let mut unfused_rows = Vec::new();
+        let mut plain_rows = Vec::new();
+        let mut per_image_channel = Vec::new();
+        let (scale, shift) = (0..c_out).map(|c| bn_channel_scale_shift(&params, c)).unzip::<f32, f32, Vec<_>, Vec<_>>();
+        let channel = channel_pick % c_out;
+        for n in 0..batch {
+            let img = Tensor::from_vec(
+                [1, c_in, size, size],
+                in_data[n * img_len..][..img_len].to_vec(),
+            )
+            .unwrap();
+            let lowered_img = im2col_lower(&img, &weight, cfg).unwrap();
+            let plain = conv2d_from_lowered(&lowered_img, &weight, bias, None).unwrap();
+            let bn = batch_norm(&plain, &params).unwrap();
+            let activated = match act {
+                FusedActivation::None => bn,
+                FusedActivation::Relu => relu(&bn),
+                FusedActivation::Relu6 => relu6(&bn),
+            };
+            unfused_rows.extend_from_slice(activated.as_slice());
+            plain_rows.extend_from_slice(plain.as_slice());
+            per_image_channel.extend(
+                conv2d_channel_from_lowered(&lowered_img, &weight, bias, channel, None).unwrap(),
+            );
+        }
+
+        let mut arena = ScratchArena::new();
+        // Two rounds so the second consumes recycled (dirty) buffers; also
+        // alternate the arena-less path.
+        for round in 0..2 {
+            let arena_opt = (round == 1).then_some(&mut arena);
+            let blowered = match arena_opt {
+                Some(a) => im2col_lower_batched(&input, &weight, cfg, Some(a)).unwrap(),
+                None => im2col_lower_batched(&input, &weight, cfg, None).unwrap(),
+            };
+            let plain =
+                conv2d_batched_from_lowered(&blowered, &weight, bias, None, None).unwrap();
+            assert_bits_equal(&plain_rows, plain.as_slice());
+            let ep = ConvEpilogue { bn: Some((&scale, &shift)), act };
+            let fused = conv2d_batched_from_lowered(
+                &blowered,
+                &weight,
+                bias,
+                Some(&ep),
+                Some(&mut arena),
+            )
+            .unwrap();
+            assert_bits_equal(&unfused_rows, fused.as_slice());
+            let probe =
+                conv2d_channel_batched(&blowered, &weight, bias, channel, Some(&mut arena))
+                    .unwrap();
+            assert_bits_equal(&per_image_channel, &probe);
+        }
     }
 }

@@ -217,6 +217,11 @@ pub struct CliOptions {
     /// re-execution. Classifications and inference counts are identical
     /// either way.
     pub delta: bool,
+    /// Evaluate all eval images of a faulty suffix in one batched forward
+    /// pass per node (`run`). On by default; `--no-batched` falls back to
+    /// the per-image loop. Classifications and inference counts are
+    /// identical either way.
+    pub batched: bool,
     /// JSONL trace destination for `run` (enables tracing), or the trace
     /// to summarize for `trace report`.
     pub trace_out: Option<String>,
@@ -245,6 +250,7 @@ impl Default for CliOptions {
             lowering_cache: true,
             early_exit: true,
             delta: true,
+            batched: true,
             trace_out: None,
             trace_level: None,
         }
@@ -295,6 +301,9 @@ OPTIONS:
     --no-delta                disable sparse delta propagation and re-execute
                               faulty suffixes densely (run); slower, same
                               results
+    --no-batched              evaluate eval images one at a time instead of in
+                              a single batched GEMM per node (run); slower,
+                              same results
     --trace-out <file>        write a JSONL event trace of the campaign (run);
                               summarize it later with `sfi trace report <file>`
     --trace-level <off|spans|events>
@@ -411,6 +420,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, ParseCliError> {
             "--no-lowering-cache" => opts.lowering_cache = false,
             "--no-early-exit" => opts.early_exit = false,
             "--no-delta" => opts.delta = false,
+            "--no-batched" => opts.batched = false,
             "--trace-out" => {
                 let v = value()?;
                 if v.is_empty() {
@@ -682,6 +692,7 @@ pub fn run(
                 workers: opts.workers,
                 convergence: opts.early_exit,
                 delta: opts.delta,
+                batched: opts.batched,
                 ..CampaignConfig::default()
             };
             // Throttle stderr updates to ~100 over the whole plan.
@@ -874,6 +885,17 @@ pub fn run(
                     group_digits(strata),
                     group_digits(faults),
                     group_digits(workers)
+                )?;
+            }
+            if let Some(plan) = &trace.plan {
+                writeln!(
+                    out,
+                    "plan: {} nodes, {} fused conv+bn group(s), {} lowerable conv(s), \
+                     batched eval {}",
+                    group_digits(plan.nodes),
+                    group_digits(plan.fused_groups),
+                    group_digits(plan.lowerable_convs),
+                    if plan.batched { "on" } else { "off" }
                 )?;
             }
             if let Some((resumed, dropped)) = trace.resumed {
@@ -1370,6 +1392,13 @@ mod tests {
     }
 
     #[test]
+    fn parse_no_batched() {
+        let o = parse(&args("run --no-batched")).unwrap();
+        assert!(!o.batched);
+        assert!(parse(&args("run")).unwrap().batched, "batched eval is on by default");
+    }
+
+    #[test]
     fn early_exit_does_not_change_estimates() {
         let base =
             parse(&args("run --model resnet20-micro --scheme network-wise --error 0.2 --images 2"))
@@ -1395,6 +1424,33 @@ mod tests {
                 .join("\n")
         };
         assert_eq!(strip(&fast), strip(&plain));
+    }
+
+    #[test]
+    fn batched_does_not_change_estimates() {
+        let base =
+            parse(&args("run --model resnet20-micro --scheme network-wise --error 0.2 --images 2"))
+                .unwrap();
+        let mut batched = Vec::new();
+        run(&base, &mut batched).unwrap();
+        let mut per_image = Vec::new();
+        run(&CliOptions { batched: false, ..base }, &mut per_image).unwrap();
+        let strip = |b: &[u8]| {
+            String::from_utf8(b.to_vec())
+                .unwrap()
+                .lines()
+                .filter(|l| !l.contains("..."))
+                .map(|l| {
+                    if l.starts_with("network:") {
+                        l.rsplit_once(", ").map(|(a, _)| a.to_string()).unwrap_or_default()
+                    } else {
+                        l.to_string()
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&batched), strip(&per_image));
     }
 
     #[test]
