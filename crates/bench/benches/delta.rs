@@ -22,9 +22,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use sfi_bench::{resnet20_setup, Scale};
-use sfi_faultsim::campaign::{run_campaign, CampaignConfig, CampaignResult};
+use sfi_faultsim::activation::ActivationSpace;
+use sfi_faultsim::campaign::{run_any_campaign, run_campaign, CampaignConfig, CampaignResult};
 use sfi_faultsim::fault::Fault;
 use sfi_faultsim::golden::GoldenReference;
+use sfi_faultsim::multi::{CampaignFault, FaultTarget};
 use sfi_faultsim::population::FaultSpace;
 use sfi_stats::sampling::sample_without_replacement;
 
@@ -80,6 +82,19 @@ struct BitLine {
     fallbacks: u64,
     dirty_blocks: u64,
     sparse_share: f64,
+}
+
+/// A seeded network-wise sample of `n` transient activation faults — the
+/// one-element-cone tier the delta engine owns.
+fn transient_sample(space: &ActivationSpace, seed: u64, n: u64) -> Vec<CampaignFault> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let indices = sample_without_replacement(space.total(), n, &mut rng).unwrap();
+    space
+        .faults_at(&indices)
+        .unwrap()
+        .into_iter()
+        .map(CampaignFault::Activation)
+        .collect()
 }
 
 fn bit_line(bit: u8, result: &CampaignResult) -> BitLine {
@@ -211,6 +226,28 @@ fn emit_bench_json() {
     ]
     .join(",\n");
 
+    // The tier the delta engine owns: transient one-element activation
+    // cones at the same full scale, routed sparse unconditionally by the
+    // default config. Weight faults dirty a whole output channel and
+    // measurably never profit from sparse propagation (the per-bit rows
+    // below honestly record `sparse_nodes: 0` for them); this section
+    // shows the nonzero sparse routing on delta's own stratum inside the
+    // same artifact.
+    let acts = ActivationSpace::build_for(model, data, FaultTarget::Activation).unwrap();
+    let tfaults = transient_sample(&acts, 2100, 256);
+    let tbase = run_any_campaign(model, data, &golden, &tfaults, &baseline_cfg()).unwrap();
+    let tfast = run_any_campaign(model, data, &golden, &tfaults, &delta_cfg()).unwrap();
+    let tidentical = tbase.classes == tfast.classes && tbase.inferences == tfast.inferences;
+    let (tbase_s, tfast_s) = mean_secs_pair(
+        || {
+            run_any_campaign(model, data, &golden, &tfaults, &baseline_cfg()).unwrap();
+        },
+        || {
+            run_any_campaign(model, data, &golden, &tfaults, &delta_cfg()).unwrap();
+        },
+        ITERS,
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"delta\",\n  \"workload\": \"ResNet-20 (CIFAR scale), bit-level plan \
          over all 32 bit strata x {} layers, {} faults, {} eval images\",\n  \"baseline\": \
@@ -218,7 +255,12 @@ fn emit_bench_json() {
          {ITERS},\n  \"campaign\": {{\n    \"early_exit_mean_s\": {base_s:.6},\n    \
          \"delta_mean_s\": {fast_s:.6},\n    \"speedup\": {speedup:.3},\n    \
          \"classes_identical\": {identical},\n    \"meets_3x_target\": {},\n    \
-         \"sparse_nodes\": {},\n    \"dense_fallbacks\": {},\n    \"dirty_blocks\": {}\n  }},\n  \
+         \"sparse_nodes\": {},\n    \"dense_fallbacks\": {},\n    \"dirty_blocks\": {},\n    \
+         \"engine_dense\": {},\n    \"engine_delta\": {},\n    \"engine_batched\": {}\n  }},\n  \
+         \"transient_tier\": {{\n    \"faults\": {},\n    \"early_exit_mean_s\": {tbase_s:.6},\n    \
+         \"delta_mean_s\": {tfast_s:.6},\n    \"speedup\": {:.3},\n    \"classes_identical\": \
+         {tidentical},\n    \"sparse_nodes\": {},\n    \"dense_fallbacks\": {},\n    \
+         \"engine_delta\": {}\n  }},\n  \
          \"by_scale\": [\n{scales}\n  ],\n  \"per_bit\": [\n{per_bit}\n  ]\n}}\n",
         space.layers(),
         faults.len(),
@@ -227,6 +269,14 @@ fn emit_bench_json() {
         fast.delta_sparse_nodes,
         fast.delta_fallbacks,
         fast.delta_dirty_blocks,
+        fast.engine_dense,
+        fast.engine_delta,
+        fast.engine_batched,
+        tfaults.len(),
+        tbase_s / tfast_s,
+        tfast.delta_sparse_nodes,
+        tfast.delta_fallbacks,
+        tfast.engine_delta,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_delta.json");
     std::fs::write(path, &json).expect("write BENCH_delta.json");
@@ -279,6 +329,43 @@ fn smoke() -> i32 {
     // regressions, not the honest <1x readings at reduced scales.
     if fast_s > base_s * 1.5 {
         eprintln!("FAIL: delta path regressed far below baseline: {fast_s:.6}s vs {base_s:.6}s");
+        return 1;
+    }
+    // Dispatch-coverage gate: the engine_delta counter must agree with the
+    // calibrated plan's own ownership claim. The 32-strata workload holds a
+    // mantissa-bit fault on every layer, so if any layer's suffix measures
+    // delta-profitable, some fault must have routed through the delta
+    // engine — a counter stuck at zero while the plan claims ownership is
+    // the recorded `sparse_nodes: 0` failure mode. Conversely, when the
+    // plan owns nothing at this scale (cheap suffixes below the measured
+    // floor), no weight fault may sneak past the gate.
+    let weight_layers = model.weight_layers();
+    let owned = (0..weight_layers.len())
+        .filter(|&l| {
+            model
+                .node_of_param(weight_layers[l].param)
+                .is_some_and(|n| golden.plan().delta_profitable(n))
+        })
+        .count();
+    println!(
+        "smoke dispatch: {owned} of {} layers delta-owned; engines dense {} delta {} batched {}",
+        weight_layers.len(),
+        fast.engine_dense,
+        fast.engine_delta,
+        fast.engine_batched
+    );
+    if owned > 0 && fast.engine_delta == 0 {
+        eprintln!(
+            "FAIL: the plan owns {owned} layers for the delta engine but no fault routed \
+             through it (the sparse_nodes: 0 failure mode)"
+        );
+        return 1;
+    }
+    if owned == 0 && fast.engine_delta != 0 {
+        eprintln!(
+            "FAIL: the plan owns no layer for the delta engine yet {} faults routed through it",
+            fast.engine_delta
+        );
         return 1;
     }
     0

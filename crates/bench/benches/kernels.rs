@@ -23,7 +23,7 @@ use sfi_faultsim::campaign::{run_campaign, CampaignConfig};
 use sfi_faultsim::fault::Fault;
 use sfi_faultsim::golden::GoldenReference;
 use sfi_faultsim::population::FaultSpace;
-use sfi_nn::KernelPolicy;
+use sfi_nn::{KernelPolicy, BATCHED_HEDGE_CONVERGENT};
 use sfi_stats::sampling::sample_without_replacement;
 use sfi_tensor::ops::{gemm, gemm_blocked, gemm_packed_rows};
 
@@ -279,12 +279,13 @@ fn emit_bench_json() {
          \"fast_cached_mean_s\": {fast_s:.6},\n    \"batched_plan_mean_s\": {batched_s:.6},\n    \
          \"speedup\": {speedup:.3},\n    \"batched_vs_fast_speedup\": {batched_vs_fast:.3},\n    \
          \"batched_total_speedup\": {batched_total:.3},\n    \"classes_identical\": \
-         {identical},\n    \"meets_1_5x_target\": {},\n    \"batched_meets_2_5x_target\": \
-         {}\n  }}\n}}\n",
+         {identical},\n    \"meets_1_5x_target\": {},\n    \"batched_meets_2_0x_target\": \
+         {},\n    \"batched_meets_2_5x_target\": {}\n  }}\n}}\n",
         faults.len(),
         data.len(),
         gemm_entries.join(",\n"),
         speedup >= 1.5,
+        batched_total >= 2.0,
         batched_vs_fast >= 2.5
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
@@ -375,6 +376,51 @@ fn smoke() -> i32 {
     if fast.inferences != batched.inferences {
         eprintln!("FAIL: batched campaign inference counts diverged from the per-image fast path");
         status = 1;
+    }
+
+    // Dispatch-coverage gate: the calibrated cost model must leave the
+    // batched engine reachable (some layer's suffix measures
+    // batched-profitable under the convergent-fault hedge), and mantissa-bit
+    // faults on the deepest such layer must actually route batched. A
+    // counter stuck at zero here is the `sparse_nodes: 0` failure mode —
+    // an engine silently disabled by a cost-model constant — in its
+    // batched edition.
+    let weight_layers = model.weight_layers();
+    let owned: Vec<usize> = (0..weight_layers.len())
+        .filter(|&l| {
+            model
+                .node_of_param(weight_layers[l].param)
+                .is_some_and(|n| golden.plan().batched_profitable(n, BATCHED_HEDGE_CONVERGENT))
+        })
+        .collect();
+    match owned.last() {
+        None => {
+            eprintln!(
+                "FAIL: the calibrated cost model owns no layer for the batched engine \
+                 (batched dispatch is dead at this scale)"
+            );
+            status = 1;
+        }
+        Some(&layer) => {
+            let probe = bit_level_faults(&space, layer, 2);
+            let r = run_campaign(model, data, &golden, &probe, &batched_cfg()).unwrap();
+            println!(
+                "smoke dispatch: {} of {} layers batched-owned; layer {layer} probe engines \
+                 dense {} delta {} batched {}",
+                owned.len(),
+                weight_layers.len(),
+                r.engine_dense,
+                r.engine_delta,
+                r.engine_batched
+            );
+            if r.engine_batched == 0 {
+                eprintln!(
+                    "FAIL: layer {layer} is batched-owned but no fault routed through the \
+                     batched engine"
+                );
+                status = 1;
+            }
+        }
     }
     status
 }

@@ -611,6 +611,10 @@ pub fn execute_plan_checkpointed_traced_any<C: Corruption>(
             delta_fallbacks,
             delta_dirty_blocks,
         ) = session_counters.unwrap_or((0, 0, 0, 0, 0, 0, 0, 0));
+        let (engine_dense, engine_delta, engine_batched) = fresh
+            .as_ref()
+            .map(|r| (r.engine_dense, r.engine_delta, r.engine_batched))
+            .unwrap_or((0, 0, 0));
         results.push(CampaignResult {
             injections: faults.len() as u64,
             classes,
@@ -624,6 +628,9 @@ pub fn execute_plan_checkpointed_traced_any<C: Corruption>(
             delta_sparse_nodes,
             delta_fallbacks,
             delta_dirty_blocks,
+            engine_dense,
+            engine_delta,
+            engine_batched,
         });
     }
     let outcome = assemble_outcome_any(plan, space, &sampled, &results, start.elapsed());

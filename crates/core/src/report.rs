@@ -255,6 +255,7 @@ pub fn telemetry_report_resumed(
         "nodes-skipped".into(),
         "delta-blocks".into(),
         "fallbacks".into(),
+        "engines d/s/b".into(),
         "arena [KiB]".into(),
         "wall [ms]".into(),
         "inf/s".into(),
@@ -282,6 +283,7 @@ pub fn telemetry_report_resumed(
             group_digits(tel.nodes_skipped),
             group_digits(tel.delta_dirty_blocks),
             group_digits(tel.delta_fallbacks),
+            format!("{}/{}/{}", tel.engine_dense, tel.engine_delta, tel.engine_batched),
             group_digits(tel.arena_peak_bytes / 1024),
             format!("{:.1}", tel.wall.as_secs_f64() * 1e3),
             format!("{:.0}", tel.inferences_per_second()),
@@ -313,6 +315,12 @@ pub fn telemetry_report_resumed(
         group_digits(outcome.stratum_telemetry().iter().map(|t| t.nodes_skipped).sum()),
         group_digits(outcome.stratum_telemetry().iter().map(|t| t.delta_dirty_blocks).sum()),
         group_digits(outcome.stratum_telemetry().iter().map(|t| t.delta_fallbacks).sum()),
+        format!(
+            "{}/{}/{}",
+            outcome.stratum_telemetry().iter().map(|t| t.engine_dense).sum::<u64>(),
+            outcome.stratum_telemetry().iter().map(|t| t.engine_delta).sum::<u64>(),
+            outcome.stratum_telemetry().iter().map(|t| t.engine_batched).sum::<u64>(),
+        ),
         group_digits(arena_peak.unwrap_or(0) / 1024),
         format!("{:.1}", total_wall * 1e3),
         format!("{rate:.0}"),

@@ -11,8 +11,7 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use sfi_dataset::Dataset;
-use sfi_nn::{KernelPolicy, Model};
-use sfi_tensor::ScratchArena;
+use sfi_nn::{KernelPolicy, Model, SessionState};
 
 use crate::executor::{classify_one, needed_for_critical, with_executor};
 use crate::fault::Fault;
@@ -227,6 +226,17 @@ pub struct CampaignResult {
     /// masks — the total dirty-cone volume of the campaign.
     #[serde(default)]
     pub delta_dirty_blocks: u64,
+    /// Faults evaluated by the dense (early-exit) engine. Masked faults
+    /// (and faults that panicked past the retry budget) count toward no
+    /// engine; every evaluated fault counts toward exactly one.
+    #[serde(default)]
+    pub engine_dense: u64,
+    /// Faults evaluated by the sparse-delta engine.
+    #[serde(default)]
+    pub engine_delta: u64,
+    /// Faults evaluated by the batched eval-image engine.
+    #[serde(default)]
+    pub engine_batched: u64,
 }
 
 impl CampaignResult {
@@ -403,6 +413,9 @@ pub fn run_campaign_static<C: Corruption>(
             merged.delta_sparse_nodes += shard.delta_sparse_nodes;
             merged.delta_fallbacks += shard.delta_fallbacks;
             merged.delta_dirty_blocks += shard.delta_dirty_blocks;
+            merged.engine_dense += shard.engine_dense;
+            merged.engine_delta += shard.engine_delta;
+            merged.engine_batched += shard.engine_batched;
         }
         merged
     };
@@ -419,6 +432,9 @@ pub fn run_campaign_static<C: Corruption>(
         delta_sparse_nodes: shard_out.delta_sparse_nodes,
         delta_fallbacks: shard_out.delta_fallbacks,
         delta_dirty_blocks: shard_out.delta_dirty_blocks,
+        engine_dense: shard_out.engine_dense,
+        engine_delta: shard_out.engine_delta,
+        engine_batched: shard_out.engine_batched,
     })
 }
 
@@ -433,6 +449,9 @@ struct ShardOutcome {
     delta_sparse_nodes: u64,
     delta_fallbacks: u64,
     delta_dirty_blocks: u64,
+    engine_dense: u64,
+    engine_delta: u64,
+    engine_batched: u64,
 }
 
 /// Processes a contiguous shard of faults on one worker-local model,
@@ -449,7 +468,7 @@ fn run_shard<C: Corruption>(
 ) -> Result<ShardOutcome, FaultSimError> {
     let needed = needed_for_critical(cfg, data.len());
     let mut out = ShardOutcome { classes: Vec::with_capacity(faults.len()), ..Default::default() };
-    let mut arena = ScratchArena::new();
+    let mut session = SessionState::new();
     for fault in faults {
         let item = classify_one(
             model,
@@ -459,7 +478,7 @@ fn run_shard<C: Corruption>(
             needed,
             cfg,
             corruption,
-            &mut arena,
+            &mut session,
             sfi_obs::WorkerProbe::off(),
         )?;
         out.classes.push(item.class);
@@ -469,8 +488,11 @@ fn run_shard<C: Corruption>(
         out.delta_sparse_nodes += item.delta_sparse_nodes;
         out.delta_fallbacks += item.delta_fallbacks;
         out.delta_dirty_blocks += item.delta_dirty_blocks;
+        out.engine_dense += item.engine_dense;
+        out.engine_delta += item.engine_delta;
+        out.engine_batched += item.engine_batched;
     }
-    out.arena_peak = arena.peak_bytes() as u64;
+    out.arena_peak = session.arena.peak_bytes() as u64;
     Ok(out)
 }
 

@@ -84,7 +84,7 @@ use sfi_dataset::Dataset;
 use sfi_nn::plan::row_argmax;
 use sfi_nn::{
     ActPatch, BatchedOutcome, DeltaOptions, ForwardOptions, ForwardOutcome, KernelPolicy, Model,
-    NodeId, SessionState,
+    NodeId, SessionState, BATCHED_HEDGE_CONVERGENT, BATCHED_HEDGE_MISMATCH,
 };
 use sfi_obs::{Probe, WorkerProbe};
 use sfi_tensor::ScratchArena;
@@ -181,6 +181,15 @@ pub struct CampaignTelemetry {
     /// Dirty spatial blocks summed over every delta pass's node masks.
     #[serde(default)]
     pub delta_dirty_blocks: u64,
+    /// Faults evaluated by the dense (early-exit) engine.
+    #[serde(default)]
+    pub engine_dense: u64,
+    /// Faults evaluated by the sparse-delta engine.
+    #[serde(default)]
+    pub engine_delta: u64,
+    /// Faults evaluated by the batched eval-image engine.
+    #[serde(default)]
+    pub engine_batched: u64,
 }
 
 impl CampaignTelemetry {
@@ -203,6 +212,9 @@ impl CampaignTelemetry {
             delta_sparse_nodes: result.delta_sparse_nodes,
             delta_fallbacks: result.delta_fallbacks,
             delta_dirty_blocks: result.delta_dirty_blocks,
+            engine_dense: result.engine_dense,
+            engine_delta: result.engine_delta,
+            engine_batched: result.engine_batched,
         }
     }
 
@@ -555,6 +567,9 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
         let mut delta_sparse_nodes = 0u64;
         let mut delta_fallbacks = 0u64;
         let mut delta_dirty_blocks = 0u64;
+        let mut engine_dense = 0u64;
+        let mut engine_delta = 0u64;
+        let mut engine_batched = 0u64;
         let data = self.data;
         let golden = self.golden;
         let cfg = self.cfg;
@@ -566,9 +581,8 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
         let order = self.execution_order(faults);
         let classes = match &mut self.mode {
             Mode::Inline { model, session } => {
-                let arena = &mut session.arena;
                 let wprobe = self.probe.worker(0);
-                let arena_before = arena.stats();
+                let arena_before = session.arena.stats();
                 let mut slots: Vec<Option<FaultClass>> = vec![None; faults.len()];
                 for (done, &fi) in order.iter().enumerate() {
                     let fault = &faults[fi];
@@ -579,7 +593,8 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
                     let item = loop {
                         let outcome = catch_unwind(AssertUnwindSafe(|| {
                             classify_any(
-                                model, data, golden, fault, needed, &cfg, corruption, arena, wprobe,
+                                model, data, golden, fault, needed, &cfg, corruption, session,
+                                wprobe,
                             )
                         }));
                         match outcome {
@@ -605,11 +620,14 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
                     delta_sparse_nodes += item.delta_sparse_nodes;
                     delta_fallbacks += item.delta_fallbacks;
                     delta_dirty_blocks += item.delta_dirty_blocks;
+                    engine_dense += item.engine_dense;
+                    engine_delta += item.engine_delta;
+                    engine_batched += item.engine_batched;
                     slots[fi] = Some(item.class);
                     on_classified(fi, item.class, item.inferences);
                     progress(CampaignProgress { completed: done as u64 + 1, total, inferences });
                 }
-                let arena_after = arena.stats();
+                let arena_after = session.arena.stats();
                 wprobe.record_arena(
                     arena_after.takes - arena_before.takes,
                     arena_after.reuses - arena_before.reuses,
@@ -676,6 +694,9 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
                                     delta_sparse_nodes += item.delta_sparse_nodes;
                                     delta_fallbacks += item.delta_fallbacks;
                                     delta_dirty_blocks += item.delta_dirty_blocks;
+                                    engine_dense += item.engine_dense;
+                                    engine_delta += item.engine_delta;
+                                    engine_batched += item.engine_batched;
                                     slots[fi] = Some(item.class);
                                     filled += 1;
                                     classified += 1;
@@ -761,19 +782,24 @@ impl<C: Corruption> CampaignExecutor<'_, C> {
             delta_sparse_nodes,
             delta_fallbacks,
             delta_dirty_blocks,
+            engine_dense,
+            engine_delta,
+            engine_batched,
         })
     }
 
     /// The order faults are *executed* in (indices into the caller's
-    /// slice). Identity unless convergence or delta propagation is
-    /// enabled: with either early exit active, faults striking deeper
-    /// nodes have shorter suffixes, so draining them first shrinks the
-    /// straggler tail of a work-stealing batch. The sort is stable, and
-    /// results/errors always surface in the caller's fault order
-    /// regardless of this permutation.
+    /// slice). Identity unless convergence, delta propagation, or the
+    /// batched engine is enabled: with either early exit active, faults
+    /// striking deeper nodes have shorter suffixes, so draining them first
+    /// shrinks the straggler tail of a work-stealing batch — and the sort
+    /// makes same-node faults adjacent, so a worker's single-slot im2col
+    /// panel is built once per node and shared by every batched fault that
+    /// strikes it. The sort is stable, and results/errors always surface
+    /// in the caller's fault order regardless of this permutation.
     fn execution_order(&self, faults: &[CampaignFault]) -> Vec<usize> {
         let mut order: Vec<usize> = (0..faults.len()).collect();
-        if !(self.cfg.convergence || self.cfg.delta) {
+        if !(self.cfg.convergence || self.cfg.delta || self.cfg.batched) {
             return order;
         }
         let layers = self.model.weight_layers();
@@ -870,6 +896,12 @@ pub(crate) struct FaultOutcome {
     pub delta_fallbacks: u64,
     /// Dirty blocks summed over every image's surviving node masks.
     pub delta_dirty_blocks: u64,
+    /// 1 when the dense (early-exit) engine evaluated this fault.
+    pub engine_dense: u64,
+    /// 1 when the sparse-delta engine evaluated this fault.
+    pub engine_delta: u64,
+    /// 1 when the batched eval-image engine evaluated this fault.
+    pub engine_batched: u64,
 }
 
 impl FaultOutcome {
@@ -882,6 +914,9 @@ impl FaultOutcome {
             delta_sparse_nodes: 0,
             delta_fallbacks: 0,
             delta_dirty_blocks: 0,
+            engine_dense: 0,
+            engine_delta: 0,
+            engine_batched: 0,
         }
     }
 }
@@ -917,7 +952,7 @@ pub(crate) fn classify_one<C: Corruption>(
     needed_for_critical: usize,
     cfg: &CampaignConfig,
     corruption: &C,
-    arena: &mut ScratchArena,
+    session: &mut SessionState,
     wprobe: WorkerProbe<'_>,
 ) -> Result<FaultOutcome, FaultSimError> {
     let injection = inject_with(model, fault, |f, original| corruption.corrupt(f, original))?;
@@ -937,9 +972,18 @@ pub(crate) fn classify_one<C: Corruption>(
     // costs more than it saves. The compiled plan's per-node cost model
     // decides where delta pays (seed width and remaining suffix cost);
     // classifications and inference counts are identical either way.
+    //
+    // The bit gate keeps delta on the strata where the cone can stay
+    // narrow: mantissa flips perturb the stored weight by at most one part
+    // in 2^(23-bit), so downstream differences trim against the golden
+    // activations and the dirty mask shrinks. Exponent and sign flips
+    // rescale the whole channel — the cone saturates at the first
+    // downstream conv and the pass degrades to dense-at-extra-bookkeeping,
+    // which is exactly the recorded BENCH_delta regression.
     let use_delta = cfg.delta
         && cfg.incremental
         && fast
+        && fault.site.bit < DELTA_NARROW_BIT_MAX
         && golden.plan().delta_profitable(injection.dirty_node);
     let dirty_unit = if (cfg.convergence || cfg.delta || cfg.batched) && cfg.incremental && fast {
         model.param_output_unit(injection.param, injection.index)
@@ -948,15 +992,23 @@ pub(crate) fn classify_one<C: Corruption>(
     };
     // Batched eval-image fast path: run the dirty suffix of all images as
     // one pass over the compiled plan, then replay the per-image
-    // classification loop over the bit-identical per-image rows. The plan's
-    // cost model declines batching for expensive suffixes, where the
-    // per-image loop's convergence and early-exit breaks skip real compute.
+    // classification loop over the bit-identical per-image rows. The hedge
+    // is picked by bit class: sign/exponent flips are likely critical, so
+    // the per-image loop's one-mismatch early exit makes it cheap and
+    // batching must clear a high bar; mantissa flips rarely mismatch, the
+    // loop pays the full per-image bill, and batching only needs to beat
+    // it with a small margin.
+    let hedge = if fault.site.bit < DELTA_NARROW_BIT_MAX {
+        BATCHED_HEDGE_CONVERGENT
+    } else {
+        BATCHED_HEDGE_MISMATCH
+    };
     if cfg.batched
         && cfg.incremental
         && fast
         && !use_delta
         && golden.has_batched()
-        && golden.plan().batched_profitable(injection.dirty_node)
+        && golden.plan().batched_profitable(injection.dirty_node, hedge)
     {
         let res = classify_weight_batched(
             model,
@@ -965,12 +1017,13 @@ pub(crate) fn classify_one<C: Corruption>(
             dirty_unit,
             needed_for_critical,
             cfg,
-            arena,
+            session,
             wprobe,
         );
         revert(model, &injection);
         return res;
     }
+    let arena = &mut session.arena;
     let total_nodes = model.nodes().len();
     let mut inferences = 0u64;
     let mut converged_images = 0u64;
@@ -1114,8 +1167,17 @@ pub(crate) fn classify_one<C: Corruption>(
         delta_sparse_nodes,
         delta_fallbacks,
         delta_dirty_blocks,
+        engine_dense: u64::from(!use_delta),
+        engine_delta: u64::from(use_delta),
+        engine_batched: 0,
     })
 }
+
+/// Highest weight-fault bit (exclusive) the delta engine accepts: the 23
+/// IEEE-754 single-precision mantissa bits. See the dispatch comment in
+/// [`classify_one`]; transient activation faults bypass this gate — their
+/// one-element cones stay sparse at any bit.
+const DELTA_NARROW_BIT_MAX: u8 = 23;
 
 /// Classifies one injected weight fault through the batched eval-image
 /// engine: the dirty suffix of **all** E images runs as a single pass over
@@ -1126,9 +1188,12 @@ pub(crate) fn classify_one<C: Corruption>(
 /// inference counts match the per-image path exactly, at any worker count.
 ///
 /// The caller injects before and reverts after; this function only
-/// evaluates. Convergence telemetry (converged images, skipped nodes) is
-/// batch-global here: when the whole batch converges at node `k`, every
-/// image is counted as converged at `k`.
+/// evaluates. The im2col panel of the dirty conv is built lazily in the
+/// worker's [`SessionState`] single-slot cache and shared by every
+/// same-node fault the depth-sorted stratum queue hands this worker —
+/// sound because the panel lowers the *golden* input activation (weight
+/// values never enter it), which is identical for every fault in the
+/// stratum.
 #[allow(clippy::too_many_arguments)]
 fn classify_weight_batched(
     model: &Model,
@@ -1137,15 +1202,20 @@ fn classify_weight_batched(
     dirty_unit: Option<usize>,
     needed_for_critical: usize,
     cfg: &CampaignConfig,
-    arena: &mut ScratchArena,
+    session: &mut SessionState,
     wprobe: WorkerProbe<'_>,
 ) -> Result<FaultOutcome, FaultSimError> {
     let plan = golden.plan();
     let bcache = golden.batched_cache().expect("caller checked has_batched");
-    let lowered = golden.batched_lowering(dirty_node);
     let images = golden.len();
     let total_nodes = model.nodes().len();
     let timer = wprobe.inference_start();
+    if session.ensure_panel(model, plan, bcache, dirty_node)? {
+        golden.record_panel_hit();
+    } else {
+        golden.record_panel_miss();
+    }
+    let (arena, lowered) = session.arena_and_panel(dirty_node);
     let outcome = plan.forward_batched_from(
         model,
         dirty_node,
@@ -1157,21 +1227,59 @@ fn classify_weight_batched(
     )?;
     wprobe.inference_end(timer);
     let out = match outcome {
-        BatchedOutcome::Converged { at_node } => {
-            // Bit-identical golden recompute for the whole batch: every
-            // image's prediction provably equals the golden one.
-            let skipped_per_image = (total_nodes - 1 - at_node) as u64;
-            for _ in 0..images {
-                wprobe.record_convergence(at_node + 1 - dirty_node.max(1), skipped_per_image);
+        BatchedOutcome::Converging { converged_at, logits, classes } => {
+            // Replay the per-image loop over the converging outcome in
+            // ascending image order: a converged image counts an inference
+            // and never a mismatch (exactly the per-image `Converged` arm),
+            // a survivor's logits row feeds the identical mismatch
+            // accounting and early-exit break point.
+            let mut inferences = 0u64;
+            let mut converged_images = 0u64;
+            let mut nodes_skipped = 0u64;
+            let mut mismatches = 0usize;
+            let mut failed = false;
+            let mut cursor = 0usize;
+            for idx in 0..images {
+                inferences += 1;
+                if let Some(at_node) = converged_at[idx] {
+                    converged_images += 1;
+                    let skipped = (total_nodes - 1 - at_node) as u64;
+                    nodes_skipped += skipped;
+                    wprobe.record_convergence(at_node + 1 - dirty_node.max(1), skipped);
+                    continue;
+                }
+                let row = &logits[cursor * classes..][..classes];
+                cursor += 1;
+                let Some(pred) = row_argmax(row) else {
+                    failed = true;
+                    break;
+                };
+                if pred != golden.prediction(idx) {
+                    mismatches += 1;
+                    if cfg.early_exit && mismatches >= needed_for_critical {
+                        break;
+                    }
+                }
             }
+            let class = if failed {
+                FaultClass::ExecutionFailure
+            } else if mismatches >= needed_for_critical {
+                FaultClass::Critical
+            } else {
+                FaultClass::NonCritical
+            };
+            arena.recycle(logits);
             FaultOutcome {
-                class: FaultClass::NonCritical,
-                inferences: images as u64,
-                converged_images: images as u64,
-                nodes_skipped: skipped_per_image * images as u64,
+                class,
+                inferences,
+                converged_images,
+                nodes_skipped,
                 delta_sparse_nodes: 0,
                 delta_fallbacks: 0,
                 delta_dirty_blocks: 0,
+                engine_dense: 0,
+                engine_delta: 0,
+                engine_batched: 1,
             }
         }
         BatchedOutcome::Logits(logits) => {
@@ -1211,6 +1319,9 @@ fn classify_weight_batched(
                 delta_sparse_nodes: 0,
                 delta_fallbacks: 0,
                 delta_dirty_blocks: 0,
+                engine_dense: 0,
+                engine_delta: 0,
+                engine_batched: 1,
             }
         }
     };
@@ -1234,7 +1345,7 @@ pub(crate) fn classify_any<C: Corruption>(
     needed_for_critical: usize,
     cfg: &CampaignConfig,
     corruption: &C,
-    arena: &mut ScratchArena,
+    session: &mut SessionState,
     wprobe: WorkerProbe<'_>,
 ) -> Result<FaultOutcome, FaultSimError> {
     wprobe.record_fault_kind(fault.kind());
@@ -1247,12 +1358,18 @@ pub(crate) fn classify_any<C: Corruption>(
             needed_for_critical,
             cfg,
             corruption,
-            arena,
+            session,
             wprobe,
         ),
-        CampaignFault::Activation(f) => {
-            classify_activation(model, golden, f, needed_for_critical, cfg, arena, wprobe)
-        }
+        CampaignFault::Activation(f) => classify_activation(
+            model,
+            golden,
+            f,
+            needed_for_critical,
+            cfg,
+            &mut session.arena,
+            wprobe,
+        ),
         CampaignFault::Accumulated(f) => classify_accumulated(
             model,
             data,
@@ -1261,7 +1378,7 @@ pub(crate) fn classify_any<C: Corruption>(
             needed_for_critical,
             cfg,
             corruption,
-            arena,
+            &mut session.arena,
             wprobe,
         ),
     }
@@ -1335,9 +1452,13 @@ fn classify_activation(
         return Ok(FaultOutcome::masked());
     }
     let fast = cfg.kernel == KernelPolicy::Fast;
+    // A transient's one-element cone stays sparse at any bit — delta owns
+    // this tier unconditionally; no bit gate, no cost-model floor.
     let use_delta = cfg.delta && cfg.incremental && fast;
-    let total_nodes = model.nodes().len();
     let mut outcome = FaultOutcome { class: FaultClass::NonCritical, ..FaultOutcome::masked() };
+    outcome.engine_delta = u64::from(use_delta);
+    outcome.engine_dense = u64::from(!use_delta);
+    let total_nodes = model.nodes().len();
     let timer = wprobe.inference_start();
     let logits = if use_delta {
         let mut dopts = DeltaOptions { arena: Some(&mut *arena), ..Default::default() };
@@ -1498,7 +1619,7 @@ fn classify_accumulated<C: Corruption>(
     } else {
         FaultClass::NonCritical
     };
-    Ok(FaultOutcome { class, inferences, ..FaultOutcome::masked() })
+    Ok(FaultOutcome { class, inferences, engine_dense: 1, ..FaultOutcome::masked() })
 }
 
 /// Pool worker: drain tasks until the session's senders are dropped, steal
@@ -1534,7 +1655,7 @@ fn worker_loop<C: Corruption>(
                     task.needed_for_critical,
                     cfg,
                     corruption,
-                    &mut session.arena,
+                    &mut session,
                     wprobe,
                 )
             }));

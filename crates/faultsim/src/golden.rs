@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use sfi_dataset::Dataset;
 use sfi_nn::{ActivationCache, CompiledPlan, Model, NnError, NodeId, NodeOp};
-use sfi_tensor::ops::{self, BatchedLowered, LoweredConv};
+use sfi_tensor::ops::{self, LoweredConv};
 use sfi_tensor::Tensor;
 
 use crate::FaultSimError;
@@ -30,15 +30,17 @@ struct LoweringCache {
 }
 
 /// Golden state of the **batched** eval-image forward: the activation cache
-/// of all E images stacked into one input, plus the image-interleaved
-/// im2col panels of every lowerable conv's batched golden input. Shared
-/// read-only across workers (the executor clones the whole
-/// [`GoldenReference`] behind an `Arc`).
+/// of all E images stacked into one input. Shared read-only across workers
+/// (the executor clones the whole [`GoldenReference`] behind an `Arc`).
+/// Batched im2col panels are *not* prebuilt here — each worker lazily
+/// builds the panel of the conv it is currently faulting into its
+/// [`SessionState`](sfi_nn::plan::SessionState) single-slot cache, sharing
+/// it across the adjacent same-node faults of the depth-sorted stratum
+/// queue. That bounds panel memory to one panel per worker instead of
+/// every conv's panel for the whole campaign.
 #[derive(Debug, Clone)]
 struct BatchedGolden {
     cache: ActivationCache,
-    lowered: HashMap<NodeId, BatchedLowered>,
-    bytes: usize,
 }
 
 /// Golden top-1 predictions plus per-image activation caches.
@@ -146,9 +148,11 @@ impl GoldenReference {
     }
 
     /// Builds the batched golden state: stacks the E eval images into one
-    /// input, runs the fault-free model once over the stack, recompiles the
-    /// plan against the batched shapes, and pre-lowers every lowerable
-    /// conv's batched golden input. The batched activations are
+    /// input, runs the fault-free model once over the stack, and measures
+    /// the plan's per-node engine calibration against the fresh caches
+    /// (switching `delta_profitable`/`batched_profitable` from static flop
+    /// thresholds to measured costs — see
+    /// [`CompiledPlan::calibrate`]). The batched activations are
     /// bit-identical, image by image, to the per-image caches (every
     /// operator treats the batch dimension independently), so the batched
     /// suffix engine classifies against the same golden bits.
@@ -164,27 +168,8 @@ impl GoldenReference {
         let input = Tensor::from_vec(sfi_tensor::Shape::new(&dims), stacked)
             .expect("stacked images match the input shape");
         let cache = model.forward_cached(&input)?;
-        let mut lowered = HashMap::new();
-        let mut bytes = 0usize;
-        for (id, node) in model.nodes().iter().enumerate() {
-            if !self.plan.is_lowerable_conv(id) {
-                continue;
-            }
-            let NodeOp::Conv { weight, cfg, .. } = node.op else { continue };
-            let weight = &model
-                .store()
-                .get(weight)
-                .ok_or_else(|| NnError::InvalidParameter {
-                    reason: format!("conv node {id} references missing weight {weight}"),
-                })?
-                .tensor;
-            let input = cache.get(node.inputs[0]).expect("cache covers all nodes");
-            let panels = ops::im2col_lower_batched(input, weight, cfg, None)
-                .map_err(|source| NnError::Op { node: id, source })?;
-            bytes += panels.memory_bytes();
-            lowered.insert(id, panels);
-        }
-        self.batched = Some(BatchedGolden { cache, lowered, bytes });
+        Arc::make_mut(&mut self.plan).calibrate(model, &self.caches[0], &cache)?;
+        self.batched = Some(BatchedGolden { cache });
         Ok(())
     }
 
@@ -230,24 +215,28 @@ impl GoldenReference {
         self.batched.as_ref().map(|b| &b.cache)
     }
 
-    /// Batched im2col panels of conv `node`'s golden input, when built and
-    /// lowerable. Counts one hit or miss in the lowering-cache tallies (a
-    /// batched pass performs one lookup per fault, not one per image).
-    pub fn batched_lowering(&self, node: NodeId) -> Option<&BatchedLowered> {
-        let batched = self.batched.as_ref()?;
-        let found = batched.lowered.get(&node);
+    /// Records one shared-panel reuse in the lowering-cache tallies: a
+    /// batched pass performs one panel lookup per fault (against the
+    /// worker's `SessionState` single-slot cache), not one per image.
+    pub fn record_panel_hit(&self) {
         if let Some(cache) = &self.lowering {
-            match found {
-                Some(_) => cache.hits.fetch_add(1, Ordering::Relaxed),
-                None => cache.misses.fetch_add(1, Ordering::Relaxed),
-            };
+            cache.hits.fetch_add(1, Ordering::Relaxed);
         }
-        found
+    }
+
+    /// Records one shared-panel build (or non-lowerable lookup) in the
+    /// lowering-cache tallies.
+    pub fn record_panel_miss(&self) {
+        if let Some(cache) = &self.lowering {
+            cache.misses.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Heap bytes held by the batched golden state (0 when disabled).
+    /// Per-worker lazy panels are not included — they live in each
+    /// worker's arena-backed session slot, not in the shared reference.
     pub fn batched_bytes(&self) -> usize {
-        self.batched.as_ref().map_or(0, |b| b.cache.memory_bytes() + b.bytes)
+        self.batched.as_ref().map_or(0, |b| b.cache.memory_bytes())
     }
 
     /// Heap bytes held by the cached column matrices (0 when disabled).

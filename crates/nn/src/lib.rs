@@ -61,4 +61,7 @@ pub use model::{
 };
 pub use node::{Node, NodeId, NodeOp};
 pub use param::{ParamId, ParamKind, Parameter, ParameterStore, WeightLayer};
-pub use plan::{BatchedOutcome, CompiledPlan, SessionState, StepCost};
+pub use plan::{
+    BatchedOutcome, CompiledPlan, SessionState, StepCost, BATCHED_HEDGE_CONVERGENT,
+    BATCHED_HEDGE_MISMATCH,
+};

@@ -40,9 +40,10 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use sfi_tensor::ops::{self, BatchNormParams, BatchedLowered, ConvEpilogue, FusedActivation};
-use sfi_tensor::{ScratchArena, Tensor};
+use sfi_tensor::{ScratchArena, Shape, Tensor};
 
 use crate::model::NodeValues;
 use crate::{ActivationCache, ForwardOptions, Model, NnError, NodeId, NodeOp, ParamId};
@@ -96,15 +97,52 @@ const DELTA_SEED_BREAK_EVEN_ELEMS: usize = 2048;
 const DELTA_MIN_SUFFIX_FLOPS: u64 = 8_000_000;
 
 /// Maximum estimated dense-suffix flops (per image) for the batched
-/// eval-image engine to be the better dispatch. Small suffixes are
-/// per-call-overhead-dominated and batching the images into one GEMM per
-/// node wins (1.2-1.4x at reduced scales in BENCH_kernels.json); large
-/// suffixes are compute-bound — the per-image GEMMs already run at full
-/// arithmetic throughput, and batching *forfeits* the per-image early
-/// exits (a critical fault stops the per-image loop after
-/// `needed_for_critical` mismatches, while a batched pass always evaluates
-/// every image), measuring 0.17x on full-scale critical faults.
+/// eval-image engine to be the better dispatch **when no calibration is
+/// attached**. Small suffixes are per-call-overhead-dominated and batching
+/// the images into one GEMM per node wins (1.2-1.4x at reduced scales in
+/// BENCH_kernels.json); large suffixes are compute-bound — the per-image
+/// GEMMs already run at full arithmetic throughput. A calibrated plan
+/// replaces this constant with measured suffix costs (see
+/// [`CompiledPlan::batched_profitable`]).
 const BATCHED_MAX_SUFFIX_FLOPS: u64 = 2_000_000;
+
+/// Measured dense-suffix seconds (per image) below which the delta engine's
+/// block-mask bookkeeping cannot pay for itself even on a wide seed
+/// channel. This floor deliberately sits comfortably above the *largest*
+/// measured full-scale ResNet-20 suffix (471-526us at the first conv
+/// across runs, CIFAR scale):
+/// probing it at 150us routed 13 of 20 layers through delta and read 0.99x
+/// with 55097 dense fallbacks against 1851 sparse nodes — a weight fault
+/// dirties a whole output channel, so even a mantissa-gated cone saturates
+/// at the first downstream conv and the pass degrades to
+/// dense-plus-bookkeeping. Weight-fault delta therefore owns nothing at any
+/// scale measured so far; the floor re-arms the engine only if a larger
+/// model's measured suffix crosses it. Transient one-element cones bypass
+/// this gate entirely and keep their 1.67x (BENCH_transient.json).
+const DELTA_MIN_SUFFIX_SECS: f64 = 1e-3;
+
+/// Batched-engine hedge for faults that are *likely to mismatch* (sign and
+/// exponent bit flips): a critical fault under `AnyMismatch` stops the
+/// per-image loop after one mismatching image, while the batched pass
+/// computes every surviving row to the output — so the batched suffix must
+/// beat half the per-image bill before a calibrated plan selects it. The
+/// converging pass recovers convergence drop-outs on both sides; the hedge
+/// prices only the per-image loop's critical-fault breaks.
+pub const BATCHED_HEDGE_MISMATCH: f64 = 0.5;
+
+/// Batched-engine hedge for faults that *rarely mismatch* (mantissa bit
+/// flips, whose perturbation usually converges back to golden within a few
+/// nodes): the per-image loop almost never early-exits on these, so it pays
+/// close to the full `images * dense_suffix` bill and the batched pass only
+/// needs a small safety margin. Measured batched-vs-dense suffix ratios sit
+/// at 0.67-0.90 on the reduced scales and lower at full CIFAR scale, so
+/// 0.95 routes mantissa strata batched nearly everywhere the panel GEMM
+/// measurably wins.
+pub const BATCHED_HEDGE_CONVERGENT: f64 = 0.95;
+
+/// Repetitions per step when measuring calibration timings (min-of, after
+/// one warmup) — the same discipline the benches use.
+const CALIBRATION_REPS: usize = 3;
 
 /// A compiled execution plan for one [`Model`]: explicit topological step
 /// order, tensor lifetime, per-step costs, and fusion groups. Built once
@@ -130,6 +168,60 @@ pub struct CompiledPlan {
     /// Conv nodes whose golden input lowers to im2col panels (depthwise
     /// convs dispatch to a direct kernel and never lower).
     lowerable: Vec<bool>,
+    /// Measured per-node engine costs, when [`CompiledPlan::calibrate`] ran.
+    calibration: Option<Calibration>,
+}
+
+/// Measured per-node engine costs attached to a plan by
+/// [`CompiledPlan::calibrate`]: wall-clock suffix costs of the dense
+/// per-image path and the batched eval-image path against the campaign's
+/// own golden caches. When present, the engine-dispatch predicates
+/// ([`CompiledPlan::delta_profitable`],
+/// [`CompiledPlan::batched_profitable`]) use these instead of the
+/// hand-tuned flop constants, so each engine owns the tiers it measurably
+/// wins on *this* model at *this* scale. Dispatch is result-invariant
+/// (every engine produces byte-identical classifications and inference
+/// counts), so timing noise in the measurement can only shift performance
+/// and telemetry, never results.
+#[derive(Debug, Clone, Default)]
+pub struct Calibration {
+    /// `dense_suffix_s[id]` — measured seconds to re-execute nodes `id..`
+    /// densely for **one** image (min-of-reps per step, summed).
+    dense_suffix_s: Vec<f64>,
+    /// `batched_suffix_s[id]` — measured seconds to re-execute nodes `id..`
+    /// batched over **all** images, including per-step im2col panel builds
+    /// (the lazy-panel cost a real fault pays at non-seed nodes).
+    batched_suffix_s: Vec<f64>,
+    /// `panel_s[id]` — measured seconds to build node `id`'s batched
+    /// im2col panel from its golden input (zero for non-lowerable nodes).
+    /// The executor shares one panel across every same-stratum fault on a
+    /// worker, so the *marginal* batched cost of a fault excludes it.
+    panel_s: Vec<f64>,
+    /// Batch size the batched timings were taken at.
+    images: usize,
+}
+
+impl Calibration {
+    /// Measured seconds of the dense per-image suffix from `id` (one image).
+    pub fn dense_suffix_secs(&self, id: NodeId) -> f64 {
+        self.dense_suffix_s.get(id).copied().unwrap_or(0.0)
+    }
+
+    /// Measured seconds of the batched suffix from `id` (all images).
+    pub fn batched_suffix_secs(&self, id: NodeId) -> f64 {
+        self.batched_suffix_s.get(id).copied().unwrap_or(0.0)
+    }
+
+    /// Measured seconds to build node `id`'s batched golden-input panel
+    /// (zero when the node does not lower).
+    pub fn panel_secs(&self, id: NodeId) -> f64 {
+        self.panel_s.get(id).copied().unwrap_or(0.0)
+    }
+
+    /// Batch size the batched timings were measured at.
+    pub fn images(&self) -> usize {
+        self.images
+    }
 }
 
 /// Result of a single-unit probe of the first dirty node on the batched
@@ -137,24 +229,33 @@ pub struct CompiledPlan {
 enum BatchedProbe {
     /// No single-unit kernel for this node/op; fall back to full eval.
     Unsupported,
-    /// The probed unit recomputed to golden bits in **every** image — the
-    /// whole node is provably golden for the whole batch.
-    Clean,
-    /// The unit diverged somewhere; this is the node's full batched
-    /// activation (golden clone with the unit overwritten per image).
-    Dirty(Tensor),
+    /// Per-image probe verdicts: `clean[i]` — image `i`'s probed unit
+    /// recomputed to golden bits (that image is provably golden from here
+    /// on). `dirty` is the node's materialized batched activation
+    /// restricted to the non-clean images (rows in ascending image order,
+    /// golden clone with the probed unit overwritten per image), `None`
+    /// when every image probed clean.
+    Probed { clean: Vec<bool>, dirty: Option<Tensor> },
 }
 
 /// Outcome of a batched suffix execution
 /// ([`CompiledPlan::forward_batched_from`]).
 #[derive(Debug, Clone, PartialEq)]
 pub enum BatchedOutcome {
-    /// Every image's recomputed activation became bit-identical to the
-    /// batched golden cache at `at_node` with no live dirty values —
-    /// all E predictions provably equal the golden ones.
-    Converged {
-        /// First step at which the whole batch matched the golden cache.
-        at_node: NodeId,
+    /// Per-image converging outcome (`check_convergence` was set): each
+    /// image either went bitwise-golden at `converged_at[i]` (its
+    /// prediction provably equals the golden one, exactly as the per-image
+    /// loop would conclude) or survived to the output — `logits` holds the
+    /// survivors' rows in **ascending image order**, bit-identical to
+    /// their per-image forward passes.
+    Converging {
+        /// Per image: the step its rows went golden with no live dirty
+        /// values, `None` when it reached the output.
+        converged_at: Vec<Option<NodeId>>,
+        /// `[survivors, classes]` logits rows, ascending image order.
+        logits: Vec<f32>,
+        /// Row width of `logits`.
+        classes: usize,
     },
     /// Batched logits, `[images, classes]`; per-image rows are
     /// bit-identical to the per-image forward passes.
@@ -297,7 +398,136 @@ impl CompiledPlan {
             member,
             groups,
             lowerable,
+            calibration: None,
         })
+    }
+
+    /// Measures per-node dense and batched execution costs against the
+    /// campaign's own golden caches and attaches them to the plan,
+    /// switching [`delta_profitable`](Self::delta_profitable) and
+    /// [`batched_profitable`](Self::batched_profitable) from the static
+    /// flop thresholds to measured wall-clock costs. `single` must be a
+    /// one-image golden cache, `batched` the stacked eval-image cache.
+    /// Every step takes the min of [`CALIBRATION_REPS`] repetitions after
+    /// one warmup; fused groups are timed as the one fused kernel the
+    /// batched engine actually runs, attributed to the head conv.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::CacheMismatch`] when either cache does not cover
+    /// the model, or the first operator failure.
+    pub fn calibrate(
+        &mut self,
+        model: &Model,
+        single: &ActivationCache,
+        batched: &ActivationCache,
+    ) -> Result<(), NnError> {
+        let n = self.n_nodes;
+        if single.len() != n || batched.len() != n || model.nodes().len() != n {
+            return Err(NnError::CacheMismatch {
+                reason: format!(
+                    "calibrate: plan covers {n} nodes, caches hold {}/{}",
+                    single.len(),
+                    batched.len()
+                ),
+            });
+        }
+        let images = batched.get(0).expect("cache covers all nodes").shape().dims()[0];
+        let mut arena = ScratchArena::new();
+        let empty: Vec<Tensor> = Vec::new();
+        let mut dense_step = vec![0f64; n];
+        for (id, step) in dense_step.iter_mut().enumerate().skip(1) {
+            let mut best = f64::INFINITY;
+            for rep in 0..=CALIBRATION_REPS {
+                let vals = NodeValues {
+                    prefix: single.activations(),
+                    over: None,
+                    multi: &[],
+                    suffix_base: n,
+                    suffix: &empty,
+                };
+                let mut opts =
+                    ForwardOptions { arena: Some(&mut arena), ..ForwardOptions::default() };
+                let t0 = Instant::now();
+                let out = model.eval_node_with(id, &vals, &mut opts)?;
+                let dt = t0.elapsed().as_secs_f64();
+                arena.recycle(out.into_vec());
+                if rep > 0 {
+                    best = best.min(dt);
+                }
+            }
+            *step = best;
+        }
+        let mut batched_step = vec![0f64; n];
+        let rows: Vec<usize> = (0..images).collect();
+        let mut id = 1;
+        while id < n {
+            let group = self.head[id].and_then(|gi| {
+                let g = &self.groups[gi];
+                (g.output() < n).then_some(g)
+            });
+            let out_node = group.map_or(id, FusedGroup::output);
+            let mut best = f64::INFINITY;
+            for rep in 0..=CALIBRATION_REPS {
+                let t0 = Instant::now();
+                let out = match group {
+                    Some(g) => self
+                        .eval_fused(model, g, n, batched, &empty, None, images, &rows, &mut arena)?,
+                    None => self
+                        .eval_step(model, id, n, batched, &empty, None, images, &rows, &mut arena)?,
+                };
+                let dt = t0.elapsed().as_secs_f64();
+                arena.recycle(out.into_vec());
+                if rep > 0 {
+                    best = best.min(dt);
+                }
+            }
+            batched_step[id] = best;
+            id = out_node + 1;
+        }
+        // Per-node panel-build cost: the executor's session shares one
+        // first-dirty panel across every same-stratum fault on a worker,
+        // so dispatch prices the batched suffix *net* of this build.
+        let mut panel_s = vec![0f64; n];
+        for id in 1..n {
+            if !self.is_lowerable_conv(id) {
+                continue;
+            }
+            let NodeOp::Conv { weight, cfg, .. } = &model.nodes()[id].op else { continue };
+            let w = &model.store().get(*weight).expect("validated at construction").tensor;
+            let input_id = model.nodes()[id].inputs[0];
+            let input = batched.get(input_id).ok_or_else(|| NnError::CacheMismatch {
+                reason: format!("calibrate: batched cache misses node {input_id}"),
+            })?;
+            let mut best = f64::INFINITY;
+            for rep in 0..=CALIBRATION_REPS {
+                let t0 = Instant::now();
+                let built = ops::im2col_lower_batched(input, w, *cfg, Some(&mut arena))
+                    .map_err(|source| NnError::Op { node: id, source })?;
+                let dt = t0.elapsed().as_secs_f64();
+                arena.recycle(built.into_cols());
+                if rep > 0 {
+                    best = best.min(dt);
+                }
+            }
+            panel_s[id] = best;
+        }
+        let mut dense_suffix_s = vec![0f64; n + 1];
+        let mut batched_suffix_s = vec![0f64; n + 1];
+        for id in (0..n).rev() {
+            dense_suffix_s[id] = dense_suffix_s[id + 1] + dense_step[id];
+            batched_suffix_s[id] = batched_suffix_s[id + 1] + batched_step[id];
+        }
+        dense_suffix_s.pop();
+        batched_suffix_s.pop();
+        self.calibration = Some(Calibration { dense_suffix_s, batched_suffix_s, panel_s, images });
+        Ok(())
+    }
+
+    /// The measured calibration attached by [`calibrate`](Self::calibrate),
+    /// when one ran.
+    pub fn calibration(&self) -> Option<&Calibration> {
+        self.calibration.as_ref()
     }
 
     /// Number of nodes the plan covers.
@@ -354,27 +584,56 @@ impl CompiledPlan {
     /// first dirty node is `first_dirty`: sparse delta propagation is
     /// selected only when the dirty channel is wide enough to amortize the
     /// block-mask bookkeeping **and** the remaining dense suffix is
-    /// expensive enough that skipping clean blocks can pay. This replaces
-    /// the former `DELTA_MIN_SEED_ELEMENTS` runtime floor — the same
-    /// break-even expressed as a per-node cost-model decision; reduced-scale
-    /// campaigns (whose suffixes cost almost nothing) now always take the
-    /// dense early-exit path they measure faster on.
+    /// expensive enough that skipping clean blocks can pay. On a calibrated
+    /// plan the suffix floor is the *measured* dense-suffix wall-clock
+    /// ([`DELTA_MIN_SUFFIX_SECS`]) — the `DELTA_MIN_SUFFIX_FLOPS` flop
+    /// estimate excluded the entire full-scale ResNet-20 workload (every
+    /// stratum of BENCH_delta.json recorded `sparse_nodes: 0`) because the
+    /// whole-network suffix estimate sits just below the flop constant
+    /// while its measured cost sits far above the real break-even.
+    /// Uncalibrated plans keep the static thresholds.
     pub fn delta_profitable(&self, first_dirty: NodeId) -> bool {
         let Some(cost) = self.cost.get(first_dirty) else { return false };
-        cost.out_elems >= DELTA_SEED_BREAK_EVEN_ELEMS
-            && self.suffix_flops(first_dirty) >= DELTA_MIN_SUFFIX_FLOPS
+        if cost.out_elems < DELTA_SEED_BREAK_EVEN_ELEMS {
+            return false;
+        }
+        match &self.calibration {
+            Some(cal) => cal.dense_suffix_secs(first_dirty) >= DELTA_MIN_SUFFIX_SECS,
+            None => self.suffix_flops(first_dirty) >= DELTA_MIN_SUFFIX_FLOPS,
+        }
     }
 
     /// The compile-time batched-vs-per-image decision for a fault whose
-    /// first dirty node is `first_dirty`: the batched eval-image engine is
-    /// selected only while the remaining suffix is cheap enough to be
-    /// call-overhead-dominated. Expensive suffixes keep the per-image loop,
-    /// whose convergence and `needed_for_critical` early exits skip real
-    /// compute that a batched pass would always pay for (see
-    /// `BATCHED_MAX_SUFFIX_FLOPS`). Classifications and inference counts
-    /// are identical on both sides of the decision.
-    pub fn batched_profitable(&self, first_dirty: NodeId) -> bool {
-        first_dirty < self.n_nodes && self.suffix_flops(first_dirty) <= BATCHED_MAX_SUFFIX_FLOPS
+    /// first dirty node is `first_dirty`. On a calibrated plan the batched
+    /// engine is selected when one measured batched suffix costs less than
+    /// the dense per-image suffixes the per-image loop is expected to pay
+    /// (`hedge * images`). The caller picks the hedge by how likely the
+    /// fault is to mismatch: [`BATCHED_HEDGE_MISMATCH`] for sign/exponent
+    /// flips (the per-image loop early-exits after one critical mismatch),
+    /// [`BATCHED_HEDGE_CONVERGENT`] for mantissa flips (the loop pays
+    /// nearly the full per-image bill). Because both sides are measured —
+    /// including the batched pass's own panel-build and scatter overhead —
+    /// a last-node fault whose suffix is one cheap classifier GEMM is no
+    /// longer trivially batched: it is selected only if the batched row
+    /// really beats the per-image rows, fixing the `suffix_flops <=
+    /// BATCHED_MAX_SUFFIX_FLOPS` floor that was vacuously true near the
+    /// output. Uncalibrated plans keep the static threshold.
+    /// Classifications and inference counts are identical on both sides of
+    /// the decision.
+    pub fn batched_profitable(&self, first_dirty: NodeId, hedge: f64) -> bool {
+        if first_dirty >= self.n_nodes {
+            return false;
+        }
+        match &self.calibration {
+            Some(cal) => {
+                // Marginal cost: the session shares the first-dirty panel
+                // across a stratum, so all but one fault skip its build.
+                let marginal =
+                    (cal.batched_suffix_secs(first_dirty) - cal.panel_secs(first_dirty)).max(0.0);
+                marginal < hedge * cal.images as f64 * cal.dense_suffix_secs(first_dirty)
+            }
+            None => self.suffix_flops(first_dirty) <= BATCHED_MAX_SUFFIX_FLOPS,
+        }
     }
 
     /// Runs the batched suffix from `first_dirty` over the stacked
@@ -385,11 +644,18 @@ impl CompiledPlan {
     /// input, and `dirty_unit` the one output unit the weight fault can
     /// reach (arming the batched single-unit probe).
     ///
-    /// With `check_convergence` the pass stops as soon as the whole batched
-    /// activation is bit-identical to the golden cache with no live dirty
-    /// values — every image's prediction then provably equals the golden
-    /// one. Per-image rows of the returned logits are bit-identical to E
-    /// per-image passes (see the module docs for the argument).
+    /// With `check_convergence` this is a **converging** pass: every step
+    /// compares each surviving image's rows against the golden cache, and
+    /// an image whose rows went bitwise-golden with no live dirty values is
+    /// dropped out of the panel — all live suffix tensors are compacted to
+    /// the surviving rows (`rows` keeps the row→image map), so later steps
+    /// shrink as images converge, recovering per image exactly the early
+    /// exit the per-image loop takes. Each image's convergence verdict and
+    /// surviving logits row are bit-identical to its own per-image pass
+    /// (see the module docs and DESIGN.md §5h for the argument); only the
+    /// *step* at which convergence is detected may differ by up to one
+    /// fusion group (the batched pass checks at group outputs), which
+    /// affects the `nodes_skipped` telemetry and nothing else.
     ///
     /// # Errors
     ///
@@ -420,21 +686,42 @@ impl CompiledPlan {
         if first_dirty >= n {
             return Ok(BatchedOutcome::Logits(cache.get(n - 1).expect("nonempty").clone()));
         }
-        let mut expiring: Vec<u32> = vec![0; n];
-        let mut live_dirty: u32 = 0;
+        let batch = cache.get(0).expect("cache covers all nodes").shape().dims()[0];
+        let classes = cache.get(n - 1).expect("nonempty").len() / batch;
+        // Per-image converging bookkeeping, indexed by ORIGINAL image id:
+        // `rows[r]` maps the panel's surviving row `r` back to its image
+        // (always ascending), `expiring[step * batch + img]` counts image
+        // `img`'s dirty tensors whose last reader is `step`.
+        let mut converged_at: Vec<Option<NodeId>> = vec![None; batch];
+        let mut rows: Vec<usize> = (0..batch).collect();
+        let mut expiring: Vec<u32> = vec![0; if check_convergence { n * batch } else { 0 }];
+        let mut live_dirty: Vec<u32> = vec![0; batch];
         let mut fresh: Vec<Tensor> = Vec::with_capacity(n - first_dirty);
         let mut start = first_dirty;
         if check_convergence {
             if let Some(unit) = dirty_unit {
                 match self.probe_batched(model, first_dirty, cache, lowered, unit, arena)? {
                     BatchedProbe::Unsupported => {}
-                    BatchedProbe::Clean => {
-                        return Ok(BatchedOutcome::Converged { at_node: first_dirty });
-                    }
-                    BatchedProbe::Dirty(t) => {
-                        if self.last_reader[first_dirty] > first_dirty {
-                            expiring[self.last_reader[first_dirty]] += 1;
-                            live_dirty += 1;
+                    BatchedProbe::Probed { clean, dirty } => {
+                        for (img, c) in clean.iter().enumerate() {
+                            if *c {
+                                converged_at[img] = Some(first_dirty);
+                            }
+                        }
+                        rows.retain(|&img| !clean[img]);
+                        let Some(t) = dirty else {
+                            return Ok(BatchedOutcome::Converging {
+                                converged_at,
+                                logits: Vec::new(),
+                                classes,
+                            });
+                        };
+                        let lr = self.last_reader[first_dirty];
+                        if lr > first_dirty {
+                            for &img in &rows {
+                                expiring[lr * batch + img] += 1;
+                                live_dirty[img] += 1;
+                            }
                         }
                         fresh.push(t);
                         start = first_dirty + 1;
@@ -450,37 +737,75 @@ impl CompiledPlan {
             // remaining members unfused (the suffix-start transform splits
             // the group).
             let group = self.head[id].map(|gi| &self.groups[gi]);
-            let (out_node, value) = match group {
+            let (out_node, mut value) = match group {
                 Some(g) if g.output() < n => {
-                    let v =
-                        self.eval_fused(model, g, first_dirty, cache, &fresh, lowered, arena)?;
+                    let v = self
+                        .eval_fused(model, g, first_dirty, cache, &fresh, lowered, batch, &rows, arena)?;
                     (g.output(), v)
                 }
                 _ => {
-                    let v =
-                        self.eval_step(model, id, first_dirty, cache, &fresh, lowered, arena)?;
+                    let v = self
+                        .eval_step(model, id, first_dirty, cache, &fresh, lowered, batch, &rows, arena)?;
                     (id, v)
                 }
             };
-            // The steps id..=out_node have now read their inputs: dirty
-            // values last read inside the group can no longer spread.
-            for expired in &expiring[id..=out_node] {
-                live_dirty -= expired;
-            }
-            let golden = cache.get(out_node).expect("cache covers all nodes");
-            let clean = value.bits_equal(golden);
-            if check_convergence && clean && live_dirty == 0 {
-                arena.recycle(value.into_vec());
-                for t in fresh {
-                    if t.len() > 1 {
-                        arena.recycle(t.into_vec());
+            if check_convergence {
+                let golden = cache.get(out_node).expect("cache covers all nodes");
+                let chunk = golden.len() / batch;
+                let gbits = golden.as_slice();
+                let vbits = value.as_slice();
+                let lr = self.last_reader[out_node];
+                // Surviving row indices into the current panel width.
+                let mut keep: Vec<usize> = Vec::with_capacity(rows.len());
+                for (r, &img) in rows.iter().enumerate() {
+                    // The steps id..=out_node have now read their inputs:
+                    // this image's dirty values last read inside the group
+                    // can no longer spread.
+                    for step in id..=out_node {
+                        live_dirty[img] -= expiring[step * batch + img];
                     }
+                    let clean = bits_eq(&vbits[r * chunk..][..chunk], &gbits[img * chunk..][..chunk]);
+                    if clean && live_dirty[img] == 0 {
+                        converged_at[img] = Some(out_node);
+                        continue;
+                    }
+                    if !clean && lr > out_node {
+                        expiring[lr * batch + img] += 1;
+                        live_dirty[img] += 1;
+                    }
+                    keep.push(r);
                 }
-                return Ok(BatchedOutcome::Converged { at_node: out_node });
-            }
-            if !clean && self.last_reader[out_node] > out_node {
-                expiring[self.last_reader[out_node]] += 1;
-                live_dirty += 1;
+                if keep.len() < rows.len() {
+                    if keep.is_empty() {
+                        arena.recycle(value.into_vec());
+                        for t in fresh {
+                            if t.len() > 1 {
+                                arena.recycle(t.into_vec());
+                            }
+                        }
+                        return Ok(BatchedOutcome::Converging {
+                            converged_at,
+                            logits: Vec::new(),
+                            classes,
+                        });
+                    }
+                    // Compact the new value AND every live suffix tensor to
+                    // the surviving rows, so all live tensors always agree
+                    // on the panel width (skip connections may read tensors
+                    // produced many compactions apart).
+                    let kept = take_rows(&value, &keep, arena);
+                    arena.recycle(value.into_vec());
+                    value = kept;
+                    for slot in fresh.iter_mut() {
+                        if slot.len() > 1 {
+                            let old = std::mem::replace(slot, placeholder());
+                            let kept = take_rows(&old, &keep, arena);
+                            arena.recycle(old.into_vec());
+                            *slot = kept;
+                        }
+                    }
+                    rows = keep.iter().map(|&r| rows[r]).collect();
+                }
             }
             // Fused-away intermediates occupy their suffix slots with
             // placeholders; the single-reader fusion condition guarantees
@@ -509,13 +834,19 @@ impl CompiledPlan {
                 arena.recycle(t.into_vec());
             }
         }
-        Ok(BatchedOutcome::Logits(out))
+        if check_convergence {
+            Ok(BatchedOutcome::Converging { converged_at, logits: out.into_vec(), classes })
+        } else {
+            Ok(BatchedOutcome::Logits(out))
+        }
     }
 
     /// Evaluates one fused conv+bn(+relu) group over the batched values:
     /// one packed GEMM per conv group, bias + folded BN + activation
     /// applied in the scatter epilogue (bit-identical to the unfused
-    /// three-pass sequence — see the module docs).
+    /// three-pass sequence — see the module docs). When the converging
+    /// pass has dropped images (`rows.len() < batch`), golden prefix
+    /// inputs are compacted to the surviving rows before lowering.
     #[allow(clippy::too_many_arguments)]
     fn eval_fused(
         &self,
@@ -525,6 +856,8 @@ impl CompiledPlan {
         cache: &ActivationCache,
         fresh: &[Tensor],
         lowered: Option<&BatchedLowered>,
+        batch: usize,
+        rows: &[usize],
         arena: &mut ScratchArena,
     ) -> Result<Tensor, NnError> {
         let node = &model.nodes()[g.conv];
@@ -535,19 +868,27 @@ impl CompiledPlan {
         let w = param(*weight);
         let b = bias.map(&param);
         let wrap = |source| NnError::Op { node: g.conv, source };
-        let input = value_of(node.inputs[0], first_dirty, cache, fresh);
         let ep = ConvEpilogue { bn: Some((&g.scale, &g.shift)), act: g.activation };
         let out = match lowered {
-            // The first dirty conv's golden-input panels were pre-lowered
-            // once per campaign; reuse them for every fault at this node.
-            Some(low) if g.conv == first_dirty => {
+            // The first dirty conv's golden-input panel is shared across
+            // every fault at this node; the converging pass only evaluates
+            // the seed node while all rows are still live, so the panel
+            // never needs compaction.
+            Some(low) if g.conv == first_dirty && rows.len() == batch => {
                 ops::conv2d_batched_from_lowered(low, w, b, Some(&ep), Some(arena)).map_err(wrap)?
             }
             _ => {
+                let raw = value_of(node.inputs[0], first_dirty, cache, fresh);
+                let compacted = (node.inputs[0] < first_dirty && rows.len() < batch)
+                    .then(|| take_rows(raw, rows, arena));
+                let input = compacted.as_ref().unwrap_or(raw);
                 let owned = ops::im2col_lower_batched(input, w, *cfg, Some(arena)).map_err(wrap)?;
                 let out = ops::conv2d_batched_from_lowered(&owned, w, b, Some(&ep), Some(arena))
                     .map_err(wrap)?;
                 arena.recycle(owned.into_cols());
+                if let Some(c) = compacted {
+                    arena.recycle(c.into_vec());
+                }
                 out
             }
         };
@@ -557,7 +898,9 @@ impl CompiledPlan {
     /// Evaluates one unfused plan step over the batched values. Lowerable
     /// convs still take the batched single-GEMM path (without an epilogue);
     /// everything else dispatches through the model's fast per-op kernels,
-    /// which treat the batch dimension natively.
+    /// which treat the batch dimension natively. Golden prefix inputs are
+    /// compacted to the surviving rows when the converging pass has
+    /// dropped images.
     #[allow(clippy::too_many_arguments)]
     fn eval_step(
         &self,
@@ -567,6 +910,8 @@ impl CompiledPlan {
         cache: &ActivationCache,
         fresh: &[Tensor],
         lowered: Option<&BatchedLowered>,
+        batch: usize,
+        rows: &[usize],
         arena: &mut ScratchArena,
     ) -> Result<Tensor, NnError> {
         let node = &model.nodes()[id];
@@ -577,33 +922,55 @@ impl CompiledPlan {
                 let w = param(*weight);
                 let b = bias.map(&param);
                 let wrap = |source| NnError::Op { node: id, source };
-                let input = value_of(node.inputs[0], first_dirty, cache, fresh);
                 let out = match lowered {
-                    Some(low) if id == first_dirty => {
+                    Some(low) if id == first_dirty && rows.len() == batch => {
                         ops::conv2d_batched_from_lowered(low, w, b, None, Some(arena))
                             .map_err(wrap)?
                     }
                     _ => {
+                        let raw = value_of(node.inputs[0], first_dirty, cache, fresh);
+                        let compacted = (node.inputs[0] < first_dirty && rows.len() < batch)
+                            .then(|| take_rows(raw, rows, arena));
+                        let input = compacted.as_ref().unwrap_or(raw);
                         let owned =
                             ops::im2col_lower_batched(input, w, *cfg, Some(arena)).map_err(wrap)?;
                         let out = ops::conv2d_batched_from_lowered(&owned, w, b, None, Some(arena))
                             .map_err(wrap)?;
                         arena.recycle(owned.into_cols());
+                        if let Some(c) = compacted {
+                            arena.recycle(c.into_vec());
+                        }
                         out
                     }
                 };
                 return Ok(out);
             }
         }
+        // Generic path: golden prefix inputs this node reads are shadowed
+        // with row-compacted copies via the `multi` override, so every
+        // operand agrees on the surviving panel width.
+        let mut over_rows: Vec<(NodeId, Tensor)> = Vec::new();
+        if rows.len() < batch {
+            for &inp in &node.inputs {
+                if inp < first_dirty && !over_rows.iter().any(|(held, _)| *held == inp) {
+                    let golden = cache.get(inp).expect("cache covers all nodes");
+                    over_rows.push((inp, take_rows(golden, rows, arena)));
+                }
+            }
+        }
         let vals = NodeValues {
             prefix: cache.activations(),
             over: None,
-            multi: &[],
+            multi: &over_rows,
             suffix_base: first_dirty,
             suffix: fresh,
         };
         let mut opts = ForwardOptions { arena: Some(arena), ..ForwardOptions::default() };
-        model.eval_node_with(id, &vals, &mut opts)
+        let out = model.eval_node_with(id, &vals, &mut opts);
+        for (_, t) in over_rows {
+            arena.recycle(t.into_vec());
+        }
+        out
     }
 
     /// Batched single-unit probe of the first dirty node: evaluates only
@@ -657,25 +1024,60 @@ impl CompiledPlan {
         let (batch, units) = (dims[0], dims[1]);
         let chunk: usize = dims[2..].iter().product();
         let g = golden.as_slice();
-        let clean = (0..batch).all(|n| {
-            let gs = &g[(n * units + unit) * chunk..][..chunk];
-            let vs = &vals[n * chunk..][..chunk];
-            gs.iter().zip(vs).all(|(a, b)| a.to_bits() == b.to_bits())
-        });
-        if clean {
+        let clean: Vec<bool> = (0..batch)
+            .map(|n| {
+                let gs = &g[(n * units + unit) * chunk..][..chunk];
+                let vs = &vals[n * chunk..][..chunk];
+                bits_eq(gs, vs)
+            })
+            .collect();
+        let survivors: Vec<usize> = (0..batch).filter(|&n| !clean[n]).collect();
+        if survivors.is_empty() {
             arena.recycle(vals);
-            return Ok(BatchedProbe::Clean);
+            return Ok(BatchedProbe::Probed { clean, dirty: None });
         }
-        let mut data = arena.take(g.len());
-        data.copy_from_slice(g);
-        for n in 0..batch {
-            data[(n * units + unit) * chunk..][..chunk]
-                .copy_from_slice(&vals[n * chunk..][..chunk]);
+        // Materialize the node's activation for the dirty images only:
+        // their golden rows with the probed unit overwritten, already
+        // compacted to the surviving panel width.
+        let row = units * chunk;
+        let mut data = arena.take(survivors.len() * row);
+        for (r, &img) in survivors.iter().enumerate() {
+            let dst = &mut data[r * row..][..row];
+            dst.copy_from_slice(&g[img * row..][..row]);
+            dst[unit * chunk..][..chunk].copy_from_slice(&vals[img * chunk..][..chunk]);
         }
         arena.recycle(vals);
-        let t = Tensor::from_vec(shape, data).expect("materialized activation matches golden");
-        Ok(BatchedProbe::Dirty(t))
+        let mut nd = dims.to_vec();
+        nd[0] = survivors.len();
+        let t = Tensor::from_vec(Shape::new(&nd), data)
+            .expect("materialized activation matches golden row shape");
+        Ok(BatchedProbe::Probed { clean, dirty: Some(t) })
     }
+}
+
+/// Bitwise f32 slice equality (NaN payloads included), the element-level
+/// form of [`Tensor::bits_equal`].
+fn bits_eq(a: &[f32], b: &[f32]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Copies the given leading-axis rows of `t` into a new arena-backed
+/// tensor, preserving the per-row layout. The converging batched pass uses
+/// this both to drop converged images out of live suffix tensors (`keep` =
+/// surviving row indices) and to shrink full-batch golden prefix inputs to
+/// the surviving images (`keep` = image ids).
+fn take_rows(t: &Tensor, keep: &[usize], arena: &mut ScratchArena) -> Tensor {
+    let shape = t.shape();
+    let dims = shape.dims();
+    let chunk: usize = dims[1..].iter().product();
+    let src = t.as_slice();
+    let mut data = arena.take(keep.len() * chunk);
+    for (r, &row) in keep.iter().enumerate() {
+        data[r * chunk..][..chunk].copy_from_slice(&src[row * chunk..][..chunk]);
+    }
+    let mut nd = dims.to_vec();
+    nd[0] = keep.len();
+    Tensor::from_vec(Shape::new(&nd), data).expect("row subset preserves the element count")
 }
 
 /// Resolves a node reference during a batched suffix: cached golden values
@@ -704,15 +1106,23 @@ pub fn row_argmax(row: &[f32]) -> Option<usize> {
     Some(crate::model::argmax_slice(row))
 }
 
-/// Reusable per-worker session state: the scratch arena plus a high-water
-/// mark shared across every worker of a campaign session, so telemetry
-/// reports one session-wide arena peak instead of summing (and
-/// double-counting) per-worker figures.
+/// Reusable per-worker session state: the scratch arena, a high-water
+/// mark shared across every worker of a campaign session (so telemetry
+/// reports one session-wide arena peak instead of summing — and
+/// double-counting — per-worker figures), and a single-slot cache of the
+/// batched im2col panel of one conv node's golden input. Faults are
+/// dispatched deepest-first within a stratum, so every fault sharing a
+/// first dirty conv lands adjacent on one worker and the single slot
+/// captures nearly all panel reuse while bounding memory to one panel per
+/// worker (the former campaign-wide prebuilt panel map held every conv's
+/// panel for the whole run).
 #[derive(Debug, Default)]
 pub struct SessionState {
     /// The worker's scratch arena; persists across faults and campaigns.
     pub arena: ScratchArena,
     shared_peak: Option<Arc<AtomicU64>>,
+    /// The one batched golden-input panel this worker currently holds.
+    panel: Option<(NodeId, BatchedLowered)>,
 }
 
 impl SessionState {
@@ -724,7 +1134,59 @@ impl SessionState {
     /// A fresh state publishing its arena peak into `peak` (shared by
     /// every worker of one session).
     pub fn with_shared_peak(peak: Arc<AtomicU64>) -> Self {
-        Self { arena: ScratchArena::new(), shared_peak: Some(peak) }
+        Self { arena: ScratchArena::new(), shared_peak: Some(peak), panel: None }
+    }
+
+    /// Ensures the panel slot holds the batched im2col panel of `node`'s
+    /// golden input (from the batched golden `cache`), building it into
+    /// this worker's arena when absent. Returns `true` when the held panel
+    /// was reused (a sharing hit), `false` when it was (re)built or the
+    /// node does not lower. The faulty weight values never enter the
+    /// panel — lowering reads only the node's *input* activation and the
+    /// kernel geometry — so one panel serves every fault at the node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::CacheMismatch`] when the cache misses the node's
+    /// input, or the lowering kernel's first failure.
+    pub fn ensure_panel(
+        &mut self,
+        model: &Model,
+        plan: &CompiledPlan,
+        cache: &ActivationCache,
+        node: NodeId,
+    ) -> Result<bool, NnError> {
+        if !plan.is_lowerable_conv(node) {
+            return Ok(false);
+        }
+        if self.panel.as_ref().is_some_and(|(held, _)| *held == node) {
+            return Ok(true);
+        }
+        let NodeOp::Conv { weight, cfg, .. } = &model.nodes()[node].op else {
+            return Ok(false);
+        };
+        let w = &model.store().get(*weight).expect("validated at construction").tensor;
+        let input_id = model.nodes()[node].inputs[0];
+        let input = cache.get(input_id).ok_or_else(|| NnError::CacheMismatch {
+            reason: format!("panel build: batched cache misses node {input_id}"),
+        })?;
+        if let Some((_, old)) = self.panel.take() {
+            self.arena.recycle(old.into_cols());
+        }
+        let built = ops::im2col_lower_batched(input, w, *cfg, Some(&mut self.arena))
+            .map_err(|source| NnError::Op { node, source })?;
+        self.panel = Some((node, built));
+        Ok(false)
+    }
+
+    /// Splits the state into the arena and the panel held for `node` (if
+    /// any), so a batched forward can borrow both at once.
+    pub fn arena_and_panel(&mut self, node: NodeId) -> (&mut ScratchArena, Option<&BatchedLowered>) {
+        let panel = match &self.panel {
+            Some((held, p)) if *held == node => Some(p),
+            _ => None,
+        };
+        (&mut self.arena, panel)
     }
 
     /// Publishes the arena's current high-water mark into the shared
@@ -852,10 +1314,59 @@ mod tests {
         let bcache = model.forward_cached(&input).unwrap();
         let plan = CompiledPlan::compile(&model, &bcache).unwrap();
         let mut arena = ScratchArena::new();
-        // Nothing is dirty: recomputing from node 1 must converge quickly.
+        // Nothing is dirty: recomputing from node 1 must converge every
+        // image with no surviving logits rows.
         let out =
             plan.forward_batched_from(&model, 1, &bcache, None, None, true, &mut arena).unwrap();
-        assert!(matches!(out, BatchedOutcome::Converged { .. }));
+        let BatchedOutcome::Converging { converged_at, logits, .. } = out else {
+            panic!("convergence was requested");
+        };
+        assert_eq!(converged_at.len(), 2);
+        assert!(converged_at.iter().all(Option::is_some), "golden recompute converges everywhere");
+        assert!(logits.is_empty(), "no image survives to the output");
+    }
+
+    #[test]
+    fn calibration_switches_dispatch_to_measured_costs() {
+        let (model, cache, mut plan) = setup();
+        assert!(plan.calibration().is_none());
+        let input = Tensor::from_fn([2, 3, 16, 16], |i| (i as f32 * 0.11).sin());
+        let bcache = model.forward_cached(&input).unwrap();
+        plan.calibrate(&model, &cache, &bcache).unwrap();
+        let cal = plan.calibration().expect("calibration attached");
+        assert_eq!(cal.images(), 2);
+        // Suffix costs are monotone decreasing, like the flop estimates.
+        for id in 2..plan.len() {
+            assert!(cal.dense_suffix_secs(id - 1) >= cal.dense_suffix_secs(id));
+            assert!(cal.batched_suffix_secs(id - 1) >= cal.batched_suffix_secs(id));
+        }
+        assert!(cal.dense_suffix_secs(1) > 0.0, "a real suffix takes nonzero time");
+        // The micro model still keeps every node dense on the delta side:
+        // its widest activation is far below the seed break-even, which the
+        // measured floor does not relax.
+        for id in 1..plan.len() {
+            assert!(!plan.delta_profitable(id));
+        }
+    }
+
+    #[test]
+    fn session_state_panel_slot_hits_on_repeat_node() {
+        let (model, _, _) = setup();
+        let input = Tensor::from_fn([2, 3, 16, 16], |i| (i as f32 * 0.13).cos());
+        let bcache = model.forward_cached(&input).unwrap();
+        let plan = CompiledPlan::compile(&model, &bcache).unwrap();
+        let conv = (1..plan.len()).find(|&id| plan.is_lowerable_conv(id)).expect("has convs");
+        let other = (conv + 1..plan.len()).find(|&id| plan.is_lowerable_conv(id)).unwrap();
+        let mut session = SessionState::new();
+        assert!(!session.ensure_panel(&model, &plan, &bcache, conv).unwrap(), "first build");
+        assert!(session.ensure_panel(&model, &plan, &bcache, conv).unwrap(), "repeat hits");
+        let (_, panel) = session.arena_and_panel(conv);
+        assert!(panel.is_some());
+        let (_, wrong) = session.arena_and_panel(other);
+        assert!(wrong.is_none(), "slot is keyed by node");
+        assert!(!session.ensure_panel(&model, &plan, &bcache, other).unwrap(), "rebuild on switch");
+        let (_, panel) = session.arena_and_panel(other);
+        assert!(panel.is_some());
     }
 
     #[test]

@@ -147,17 +147,38 @@ proptest! {
                                 }
                             }
                         }
-                        BatchedOutcome::Converged { at_node } => {
-                            // Convergence is only sound if every image's
-                            // dense inference is bit-golden.
-                            for (i, (d, c)) in dense.iter().zip(&caches).enumerate() {
-                                let golden = c.get(c.len() - 1).unwrap();
-                                for (a, b) in d.as_slice().iter().zip(golden.as_slice()) {
-                                    prop_assert_eq!(
-                                        a.to_bits(), b.to_bits(),
-                                        "{} image {} spuriously converged at {}",
-                                        &ctx, i, at_node
-                                    );
+                        BatchedOutcome::Converging { converged_at, logits, classes } => {
+                            // Per image: a converged image is only sound if
+                            // its dense inference is bit-golden; a survivor's
+                            // logits row must bit-equal its dense inference.
+                            prop_assert_eq!(converged_at.len(), images.len(), "{}", &ctx);
+                            let survivors = converged_at.iter().filter(|c| c.is_none()).count();
+                            prop_assert_eq!(logits.len(), survivors * classes, "{}", &ctx);
+                            let mut cursor = 0usize;
+                            for (i, d) in dense.iter().enumerate() {
+                                match converged_at[i] {
+                                    Some(at_node) => {
+                                        let c = &caches[i];
+                                        let golden = c.get(c.len() - 1).unwrap();
+                                        for (a, b) in d.as_slice().iter().zip(golden.as_slice()) {
+                                            prop_assert_eq!(
+                                                a.to_bits(), b.to_bits(),
+                                                "{} image {} spuriously converged at {}",
+                                                &ctx, i, at_node
+                                            );
+                                        }
+                                    }
+                                    None => {
+                                        let row = &logits[cursor * classes..][..classes];
+                                        cursor += 1;
+                                        prop_assert_eq!(row.len(), d.len(), "{} image {}", &ctx, i);
+                                        for (a, b) in row.iter().zip(d.as_slice()) {
+                                            prop_assert_eq!(
+                                                a.to_bits(), b.to_bits(),
+                                                "{} survivor image {} diverges", &ctx, i
+                                            );
+                                        }
+                                    }
                                 }
                             }
                         }
