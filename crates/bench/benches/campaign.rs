@@ -10,7 +10,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sfi_bench::{resnet20_setup, Scale};
+use sfi_bench::{host_fingerprint, resnet20_setup, Scale};
 use sfi_core::execute::execute_plan;
 use sfi_core::plan::plan_layer_wise;
 use sfi_dataset::Dataset;
@@ -140,9 +140,10 @@ fn emit_bench_json(model: &Model, data: &Dataset, golden: &GoldenReference, faul
         ));
     }
     let json = format!(
-        "{{\n  \"bench\": \"executor_vs_static\",\n  \"workload\": \
+        "{{\n  \"bench\": \"executor_vs_static\",\n  \"host\": {},\n  \"workload\": \
          \"bit-level plan, {} faults, layer 7, {} eval images\",\n  \"iters_per_point\": {},\n  \
          \"results\": [\n{}\n  ]\n}}\n",
+        host_fingerprint(),
         faults.len(),
         data.len(),
         ITERS,

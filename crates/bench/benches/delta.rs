@@ -21,7 +21,7 @@ use criterion::Criterion;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sfi_bench::{resnet20_setup, Scale};
+use sfi_bench::{host_fingerprint, resnet20_setup, Scale};
 use sfi_faultsim::activation::ActivationSpace;
 use sfi_faultsim::campaign::{run_any_campaign, run_campaign, CampaignConfig, CampaignResult};
 use sfi_faultsim::fault::Fault;
@@ -89,12 +89,7 @@ struct BitLine {
 fn transient_sample(space: &ActivationSpace, seed: u64, n: u64) -> Vec<CampaignFault> {
     let mut rng = StdRng::seed_from_u64(seed);
     let indices = sample_without_replacement(space.total(), n, &mut rng).unwrap();
-    space
-        .faults_at(&indices)
-        .unwrap()
-        .into_iter()
-        .map(CampaignFault::Activation)
-        .collect()
+    space.faults_at(&indices).unwrap().into_iter().map(CampaignFault::Activation).collect()
 }
 
 fn bit_line(bit: u8, result: &CampaignResult) -> BitLine {
@@ -205,8 +200,18 @@ fn emit_bench_json() {
         lines.push(bit_line(*bit, &r));
     }
     lines.sort_by_key(|l| l.bit);
+    // Emit only strata with nonzero delta telemetry. Since the honest
+    // delta re-kill, weight faults dirty whole output channels and never
+    // route sparse, so all 32 weight-tier rows would read zeros — dead
+    // table weight with no information. The count of pruned rows is
+    // recorded so the artifact still states what was measured; the
+    // nonzero sparse routing lives in `transient_tier` below.
+    let zero_rows =
+        lines.iter().filter(|l| l.sparse_nodes == 0 && l.fallbacks == 0 && l.dirty_blocks == 0);
+    let pruned_zero_strata = zero_rows.count();
     let per_bit = lines
         .iter()
+        .filter(|l| l.sparse_nodes != 0 || l.fallbacks != 0 || l.dirty_blocks != 0)
         .map(|l| {
             format!(
                 "    {{\"bit\": {}, \"injections\": {}, \"sparse_nodes\": {}, \"fallbacks\": {}, \
@@ -249,9 +254,10 @@ fn emit_bench_json() {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"delta\",\n  \"workload\": \"ResNet-20 (CIFAR scale), bit-level plan \
-         over all 32 bit strata x {} layers, {} faults, {} eval images\",\n  \"baseline\": \
-         \"early-exit dense re-execution (convergence on, delta off)\",\n  \"iters_per_point\": \
+        "{{\n  \"bench\": \"delta\",\n  \"host\": {},\n  \"workload\": \"ResNet-20 (CIFAR scale), \
+         bit-level plan over all 32 bit strata x {} layers, {} faults, {} eval images\",\n  \
+         \"baseline\": \"early-exit dense re-execution (convergence on, delta off)\",\n  \
+         \"iters_per_point\": \
          {ITERS},\n  \"campaign\": {{\n    \"early_exit_mean_s\": {base_s:.6},\n    \
          \"delta_mean_s\": {fast_s:.6},\n    \"speedup\": {speedup:.3},\n    \
          \"classes_identical\": {identical},\n    \"meets_3x_target\": {},\n    \
@@ -261,7 +267,9 @@ fn emit_bench_json() {
          \"delta_mean_s\": {tfast_s:.6},\n    \"speedup\": {:.3},\n    \"classes_identical\": \
          {tidentical},\n    \"sparse_nodes\": {},\n    \"dense_fallbacks\": {},\n    \
          \"engine_delta\": {}\n  }},\n  \
-         \"by_scale\": [\n{scales}\n  ],\n  \"per_bit\": [\n{per_bit}\n  ]\n}}\n",
+         \"by_scale\": [\n{scales}\n  ],\n  \"per_bit_pruned_zero_strata\": \
+         {pruned_zero_strata},\n  \"per_bit\": [\n{per_bit}\n  ]\n}}\n",
+        host_fingerprint(),
         space.layers(),
         faults.len(),
         data.len(),

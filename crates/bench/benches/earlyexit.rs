@@ -19,7 +19,7 @@ use criterion::Criterion;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sfi_bench::{resnet20_setup, Scale};
+use sfi_bench::{host_fingerprint, resnet20_setup, Scale};
 use sfi_faultsim::campaign::{run_campaign, CampaignConfig, CampaignResult};
 use sfi_faultsim::fault::Fault;
 use sfi_faultsim::golden::GoldenReference;
@@ -203,13 +203,15 @@ fn emit_bench_json() {
     .join(",\n");
 
     let json = format!(
-        "{{\n  \"bench\": \"earlyexit\",\n  \"workload\": \"ResNet-20 (CIFAR scale), bit-level \
+        "{{\n  \"bench\": \"earlyexit\",\n  \"host\": {},\n  \"workload\": \"ResNet-20 (CIFAR \
+         scale), bit-level \
          plan over all 32 bit strata x {} layers, {} faults, {} eval images\",\n  \
          \"iters_per_point\": {ITERS},\n  \"campaign\": {{\n    \"no_early_exit_mean_s\": \
          {base_s:.6},\n    \"early_exit_mean_s\": {fast_s:.6},\n    \"speedup\": {speedup:.3},\n    \
          \"classes_identical\": {identical},\n    \"meets_1_5x_target\": {},\n    \
          \"low_bits_meet_70pct\": {low_bits_meet_70pct}\n  }},\n  \"by_scale\": [\n{scales}\n  ],\n  \
          \"per_bit\": [\n{per_bit}\n  ]\n}}\n",
+        host_fingerprint(),
         space.layers(),
         faults.len(),
         data.len(),

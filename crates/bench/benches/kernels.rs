@@ -1,16 +1,20 @@
 //! `kernels`: the inference fast-path benches. `gemm_kernels` compares the
-//! naive triple loop, the cache-blocked dispatch, and the always-packing
-//! row-blocked kernel on ResNet-20- and MobileNetV2-shaped im2col
-//! matrices; `campaign_fast_path` measures the end-to-end bit-level
-//! campaign with the pre-optimisation path (naive kernels, no lowering
-//! cache) against the per-image fast path (blocked GEMM, cached
-//! lowerings, scratch arenas) and the compiled-plan batched path (all
-//! eval images in one GEMM per node), asserting the classifications stay
-//! byte-identical. Under `cargo bench` the comparison is written to
-//! `BENCH_kernels.json` at the workspace root. With `--smoke` the binary
-//! runs a seconds-scale regression guard instead and exits non-zero if
-//! the blocked GEMM is slower than the naive one at the largest shape or
-//! the batched campaign diverges from the per-image one (used by CI).
+//! naive triple loop, the self-dispatching kernel, the register-tiled
+//! microkernel, and the retired packed row-blocked kernel on ResNet-20-
+//! and MobileNetV2-shaped im2col matrices; `campaign_fast_path` measures
+//! the end-to-end bit-level campaign with the pre-optimisation path
+//! (naive kernels, no lowering cache) against the per-image fast path
+//! (dispatched GEMM, cached lowerings, scratch arenas) and the
+//! compiled-plan batched path (all eval images in one GEMM per node),
+//! asserting the classifications stay byte-identical. Under `cargo bench`
+//! the comparison is written to `BENCH_kernels.json` at the workspace
+//! root, including the microkernel speedup per shape, the end-to-end
+//! trajectory against the recorded PR 9 baseline, and a host fingerprint.
+//! With `--smoke` the binary runs a seconds-scale regression guard
+//! instead and exits non-zero if the dispatched GEMM is slower than the
+//! naive one at any shape, the microkernel is not the selected tier on
+//! the shapes it owns, or the batched campaign diverges from the
+//! per-image one (used by CI).
 
 use std::time::{Duration, Instant};
 
@@ -18,14 +22,23 @@ use criterion::{BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sfi_bench::{resnet20_setup, Scale};
+use sfi_bench::{host_fingerprint, resnet20_setup, Scale};
 use sfi_faultsim::campaign::{run_campaign, CampaignConfig};
 use sfi_faultsim::fault::Fault;
 use sfi_faultsim::golden::GoldenReference;
 use sfi_faultsim::population::FaultSpace;
 use sfi_nn::{KernelPolicy, BATCHED_HEDGE_CONVERGENT};
 use sfi_stats::sampling::sample_without_replacement;
-use sfi_tensor::ops::{gemm, gemm_blocked, gemm_packed_rows};
+use sfi_tensor::ops::{
+    gemm, gemm_blocked_with, gemm_micro, gemm_packed_rows, gemm_selected_kernel,
+};
+
+/// PR 9's recorded end-to-end per-image fast path on the full-scale
+/// bit-level campaign (`fast_cached_mean_s` in that PR's
+/// BENCH_kernels.json) — the baseline the microkernel layer is measured
+/// against. Absolute seconds, same workload and (per the recorded host
+/// fingerprint) same machine class.
+const PR9_FAST_CACHED_MEAN_S: f64 = 0.595611;
 
 /// Convolution GEMM shapes at CIFAR resolution: `m` = output channels,
 /// `k` = `c_in * k_h * k_w`, `n` = output pixels per image.
@@ -101,10 +114,19 @@ fn bench_gemm(c: &mut Criterion) {
                 out
             })
         });
-        g.bench_function(BenchmarkId::new("blocked", &shape), |b| {
+        g.bench_function(BenchmarkId::new("dispatch", &shape), |b| {
+            let mut scratch = Vec::new();
             b.iter(|| {
                 let mut out = vec![0.0f32; m * n];
-                gemm_blocked(m, k, n, &a, &b_mat, &mut out);
+                gemm_blocked_with(m, k, n, &a, &b_mat, &mut out, &mut scratch);
+                out
+            })
+        });
+        g.bench_function(BenchmarkId::new("micro", &shape), |b| {
+            let mut scratch = Vec::new();
+            b.iter(|| {
+                let mut out = vec![0.0f32; m * n];
+                gemm_micro(m, k, n, &a, &b_mat, &mut out, &mut scratch);
                 out
             })
         });
@@ -211,44 +233,89 @@ fn emit_bench_json() {
 
     let mut gemm_entries = Vec::new();
     let mut packed_buf = Vec::new();
+    // The acceptance shapes: the two largest ResNet-20 im2col GEMMs, where
+    // the microkernel must deliver >= 1.4x over naive.
+    let mut largest_micro_speedups = Vec::new();
+    // Kernel rows use minima, the same discipline as the smoke gate: on a
+    // single-core host a scheduler preemption inflates a mean arbitrarily
+    // (one contaminated run read micro at 0.95x where the dispatch — the
+    // same kernel — read 1.81x), while the minimum of twenty runs is a
+    // stable estimate of the kernel's actual cost. The four kernels are
+    // measured in *interleaved rounds* (min across rounds) rather than
+    // one block each: the host's clock drifts in multi-second epochs, and
+    // back-to-back blocks let an epoch land on a single kernel — one run
+    // read naive 26% faster than the two runs around it, flipping a
+    // speedup row. The dispatch is measured the way the conv hot path
+    // calls it — `gemm_blocked_with` and a reused scratch buffer
+    // (arena-backed in production); the allocating `gemm_blocked` wrapper
+    // charges a fresh ~150 KiB packing allocation to every call, a
+    // measurable tax at the smallest shapes that no real caller pays.
+    const GEMM_ROUNDS: usize = 3;
     for &(family, m, k, n) in &SHAPES {
         let a = filled(m * k, 1);
         let b_mat = filled(k * n, 2);
-        let naive = mean_secs(
-            || {
-                let mut out = vec![0.0f32; m * n];
-                gemm(m, k, n, &a, &b_mat, &mut out);
-            },
-            GEMM_ITERS,
-        );
-        let blocked = mean_secs(
-            || {
-                let mut out = vec![0.0f32; m * n];
-                gemm_blocked(m, k, n, &a, &b_mat, &mut out);
-            },
-            GEMM_ITERS,
-        );
-        let packed = mean_secs(
-            || {
-                let mut out = vec![0.0f32; m * n];
-                gemm_packed_rows(m, k, n, &a, &b_mat, &mut out, &mut packed_buf);
-            },
-            GEMM_ITERS,
-        );
+        let (mut naive, mut blocked, mut micro, mut packed) =
+            (f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for _ in 0..GEMM_ROUNDS {
+            naive = naive.min(min_secs(
+                || {
+                    let mut out = vec![0.0f32; m * n];
+                    gemm(m, k, n, &a, &b_mat, &mut out);
+                },
+                GEMM_ITERS,
+            ));
+            blocked = blocked.min(min_secs(
+                || {
+                    let mut out = vec![0.0f32; m * n];
+                    gemm_blocked_with(m, k, n, &a, &b_mat, &mut out, &mut packed_buf);
+                },
+                GEMM_ITERS,
+            ));
+            micro = micro.min(min_secs(
+                || {
+                    let mut out = vec![0.0f32; m * n];
+                    gemm_micro(m, k, n, &a, &b_mat, &mut out, &mut packed_buf);
+                },
+                GEMM_ITERS,
+            ));
+            packed = packed.min(min_secs(
+                || {
+                    let mut out = vec![0.0f32; m * n];
+                    gemm_packed_rows(m, k, n, &a, &b_mat, &mut out, &mut packed_buf);
+                },
+                GEMM_ITERS,
+            ));
+        }
+        let micro_speedup = naive / micro;
+        if family == "resnet20" && ((m, k, n) == (64, 576, 1024) || (m, k, n) == (32, 288, 512)) {
+            largest_micro_speedups.push(micro_speedup);
+        }
         gemm_entries.push(format!(
             "    {{\"family\": \"{family}\", \"shape\": \"{m}x{k}x{n}\", \
-             \"naive_mean_s\": {naive:.9}, \"blocked_mean_s\": {blocked:.9}, \
-             \"packed_mean_s\": {packed:.9}, \"blocked_speedup\": {:.3}, \
-             \"packed_speedup\": {:.3}}}",
+             \"selected\": \"{}\", \"naive_min_s\": {naive:.9}, \
+             \"dispatch_min_s\": {blocked:.9}, \"micro_min_s\": {micro:.9}, \
+             \"packed_min_s\": {packed:.9}, \"dispatch_speedup\": {:.3}, \
+             \"micro_speedup\": {micro_speedup:.3}, \"packed_speedup\": {:.3}}}",
+            gemm_selected_kernel(m, k, n),
             naive / blocked,
             naive / packed
         ));
     }
+    let micro_meets_1_4x =
+        largest_micro_speedups.len() == 2 && largest_micro_speedups.iter().all(|&s| s >= 1.4);
 
     let baseline = run_campaign(model, data, &golden_plain, &faults, &naive_cfg()).unwrap();
     let fast = run_campaign(model, data, &golden_cached, &faults, &fast_cfg()).unwrap();
     let batched = run_campaign(model, data, &golden_cached, &faults, &batched_cfg()).unwrap();
     let identical = baseline.classes == fast.classes && baseline.classes == batched.classes;
+    // Worker-count invisibility at full scale: the acceptance contract is
+    // byte-identical classifications at 1, 4, and 8 workers on the default
+    // (batched) configuration.
+    let identical_across_workers = [1usize, 4, 8].iter().all(|&workers| {
+        let cfg = CampaignConfig { workers, ..batched_cfg() };
+        run_campaign(model, data, &golden_cached, &faults, &cfg).unwrap().classes
+            == baseline.classes
+    });
     let naive_s = mean_secs(
         || {
             run_campaign(model, data, &golden_plain, &faults, &naive_cfg()).unwrap();
@@ -270,20 +337,31 @@ fn emit_bench_json() {
     let speedup = naive_s / fast_s;
     let batched_vs_fast = fast_s / batched_s;
     let batched_total = naive_s / batched_s;
+    // End-to-end trajectory vs the PR 9 recorded baseline: the default
+    // path (batched plan) and the per-image fast path, each against the
+    // fast_cached number PR 9 shipped.
+    let e2e_vs_pr9 = PR9_FAST_CACHED_MEAN_S / batched_s;
+    let fast_vs_pr9 = PR9_FAST_CACHED_MEAN_S / fast_s;
 
     let json = format!(
-        "{{\n  \"bench\": \"kernels\",\n  \"workload\": \"ResNet-20 (CIFAR scale), bit-level plan \
-         over all 20 layers x 32 bits, {} faults, {} eval images\",\n  \"gemm_iters_per_point\": \
-         {GEMM_ITERS},\n  \"campaign_iters_per_point\": {CAMPAIGN_ITERS},\n  \"gemm\": \
-         [\n{}\n  ],\n  \"campaign\": {{\n    \"naive_uncached_mean_s\": {naive_s:.6},\n    \
+        "{{\n  \"bench\": \"kernels\",\n  \"host\": {},\n  \"workload\": \"ResNet-20 (CIFAR \
+         scale), bit-level plan over all 20 layers x 32 bits, {} faults, {} eval images\",\n  \
+         \"gemm_iters_per_point\": {GEMM_ITERS},\n  \"campaign_iters_per_point\": \
+         {CAMPAIGN_ITERS},\n  \"gemm\": [\n{}\n  ],\n  \"micro_meets_1_4x_on_two_largest\": \
+         {micro_meets_1_4x},\n  \"campaign\": {{\n    \"naive_uncached_mean_s\": {naive_s:.6},\n    \
          \"fast_cached_mean_s\": {fast_s:.6},\n    \"batched_plan_mean_s\": {batched_s:.6},\n    \
          \"speedup\": {speedup:.3},\n    \"batched_vs_fast_speedup\": {batched_vs_fast:.3},\n    \
-         \"batched_total_speedup\": {batched_total:.3},\n    \"classes_identical\": \
-         {identical},\n    \"meets_1_5x_target\": {},\n    \"batched_meets_2_0x_target\": \
-         {},\n    \"batched_meets_2_5x_target\": {}\n  }}\n}}\n",
+         \"batched_total_speedup\": {batched_total:.3},\n    \"pr9_fast_cached_mean_s\": \
+         {PR9_FAST_CACHED_MEAN_S:.6},\n    \"e2e_vs_pr9_speedup\": {e2e_vs_pr9:.3},\n    \
+         \"fast_vs_pr9_speedup\": {fast_vs_pr9:.3},\n    \"meets_1_3x_vs_pr9\": {},\n    \
+         \"classes_identical\": {identical},\n    \"classes_identical_workers_1_4_8\": \
+         {identical_across_workers},\n    \"meets_1_5x_target\": {},\n    \
+         \"batched_meets_2_0x_target\": {},\n    \"batched_meets_2_5x_target\": {}\n  }}\n}}\n",
+        host_fingerprint(),
         faults.len(),
         data.len(),
         gemm_entries.join(",\n"),
+        e2e_vs_pr9 >= 1.3,
         speedup >= 1.5,
         batched_total >= 2.0,
         batched_vs_fast >= 2.5
@@ -304,30 +382,43 @@ fn smoke() -> i32 {
     // guard under a second while averaging out the page-fault noise a
     // freshly compiled binary shows on its first few calls.
     const ITERS: usize = 15;
-    type GemmFn = fn(usize, usize, usize, &[f32], &[f32], &mut [f32]);
     let mut status = 0;
+    let mut scratch = Vec::new();
     for &(family, m, k, n) in &SHAPES {
         let a = filled(m * k, 1);
         let b_mat = filled(k * n, 2);
-        let measure = |kernel: GemmFn| {
+        let measure_naive = || {
             min_secs(
                 || {
                     let mut out = vec![0.0f32; m * n];
-                    kernel(m, k, n, &a, &b_mat, &mut out);
+                    gemm(m, k, n, &a, &b_mat, &mut out);
                 },
                 ITERS,
             )
         };
-        let mut naive = measure(gemm);
-        let mut blocked = measure(gemm_blocked);
+        // Dispatch measured as the conv hot path calls it: reused scratch,
+        // not the allocating `gemm_blocked` wrapper.
+        let measure_dispatch = |scratch: &mut Vec<f32>| {
+            min_secs(
+                || {
+                    let mut out = vec![0.0f32; m * n];
+                    gemm_blocked_with(m, k, n, &a, &b_mat, &mut out, scratch);
+                },
+                ITERS,
+            )
+        };
+        let mut naive = measure_naive();
+        let mut blocked = measure_dispatch(&mut scratch);
         // One re-measure before failing: minima are stable, but a CI host
         // can still hand an entire 15-iteration window to another process.
         if blocked > naive * 1.10 {
-            naive = measure(gemm);
-            blocked = measure(gemm_blocked);
+            naive = measure_naive();
+            blocked = measure_dispatch(&mut scratch);
         }
+        let selected = gemm_selected_kernel(m, k, n);
         println!(
-            "smoke gemm {family}/{m}x{k}x{n}: naive {:.1}us blocked {:.1}us (speedup {:.2}x)",
+            "smoke gemm {family}/{m}x{k}x{n} [{selected}]: naive {:.1}us dispatched {:.1}us \
+             (speedup {:.2}x)",
             naive * 1e6,
             blocked * 1e6,
             naive / blocked
@@ -336,6 +427,17 @@ fn smoke() -> i32 {
             eprintln!(
                 "FAIL: dispatched GEMM slower than naive at {family}/{m}x{k}x{n}: \
                  {blocked:.6}s vs {naive:.6}s"
+            );
+            status = 1;
+        }
+        // Selection gate: the register-tiled microkernel owns every
+        // multi-row im2col shape in the bench set (all are far above the
+        // packing amortization floor) — a threshold regression that
+        // silently drops them back to the naive tier must fail CI, not
+        // just lose throughput.
+        if m >= 2 && selected != "micro" {
+            eprintln!(
+                "FAIL: microkernel not selected at {family}/{m}x{k}x{n} (got \"{selected}\")"
             );
             status = 1;
         }

@@ -16,7 +16,7 @@ use criterion::Criterion;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sfi_bench::{resnet20_setup, Scale};
+use sfi_bench::{host_fingerprint, resnet20_setup, Scale};
 use sfi_faultsim::campaign::{
     run_campaign, CampaignConfig, Corruption, FaultClass, Ieee754Corruption,
 };
@@ -245,13 +245,15 @@ fn emit_bench_json() {
     const ITERS: usize = 12;
     let m = measure(2, ITERS);
     let json = format!(
-        "{{\n  \"bench\": \"obs_overhead\",\n  \"workload\": \"ResNet-20 (reduced scale), \
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"host\": {},\n  \"workload\": \"ResNet-20 \
+         (reduced scale), \
          network-wide bit-level plan, {} faults\",\n  \"iters_per_point\": {ITERS},\n  \
          \"timing\": \"min over iters\",\n  \"probe_free_baseline_s\": {:.6},\n  \
          \"tracing_off_s\": {:.6},\n  \"spans_s\": {:.6},\n  \"events_s\": {:.6},\n  \
          \"tracing_off_overhead\": {:.4},\n  \"spans_overhead\": {:.4},\n  \
          \"events_overhead\": {:.4},\n  \"classes_identical\": {},\n  \
          \"meets_2pct_gate\": {}\n}}\n",
+        host_fingerprint(),
         m.faults,
         m.baseline_s,
         m.off_s,

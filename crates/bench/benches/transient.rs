@@ -26,7 +26,7 @@ use criterion::Criterion;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use sfi_bench::{resnet20_setup, Scale};
+use sfi_bench::{host_fingerprint, resnet20_setup, Scale};
 use sfi_faultsim::activation::ActivationSpace;
 use sfi_faultsim::campaign::{run_any_campaign, CampaignConfig, CampaignResult};
 use sfi_faultsim::golden::GoldenReference;
@@ -204,7 +204,8 @@ fn emit_bench_json() {
     .join(",\n");
 
     let json = format!(
-        "{{\n  \"bench\": \"transient\",\n  \"workload\": \"ResNet-20 (CIFAR scale), \
+        "{{\n  \"bench\": \"transient\",\n  \"host\": {},\n  \"workload\": \"ResNet-20 (CIFAR \
+         scale), \
          network-wise transient-activation sample, {} faults over a population of {}, {} eval \
          images\",\n  \"baseline\": \"dense suffix re-execution from the struck node (delta \
          off)\",\n  \"iters_per_point\": {ITERS},\n  \"campaign\": {{\n    \"dense_mean_s\": \
@@ -212,6 +213,7 @@ fn emit_bench_json() {
          \"classes_identical\": {identical},\n    \"sparse_nodes\": {},\n    \
          \"dense_fallbacks\": {},\n    \"dirty_blocks\": {}\n  }},\n  \"by_scale\": \
          [\n{scales}\n  ],\n  \"by_depth\": [\n{by_depth}\n  ]\n}}\n",
+        host_fingerprint(),
         faults.len(),
         space.total(),
         data.len(),

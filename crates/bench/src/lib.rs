@@ -46,6 +46,28 @@ impl Scale {
     }
 }
 
+/// Host fingerprint as a JSON object fragment (`{"cpu": ..., "cores": N}`)
+/// for the `BENCH_*.json` headers.
+///
+/// Every bench JSON records absolute wall times, and the kernel dispatch
+/// thresholds are calibrated against measured cache/port behaviour — a
+/// cross-PR trajectory is only meaningful when consecutive numbers come
+/// from comparable hosts, so each artifact names the machine that
+/// produced it.
+pub fn host_fingerprint() -> String {
+    let cpu = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1).map(|v| v.trim().to_string()))
+        })
+        .unwrap_or_else(|| "unknown".to_string())
+        .replace(['"', '\\'], "'");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0);
+    format!("{{\"cpu\": \"{cpu}\", \"cores\": {cores}}}")
+}
+
 /// A simulation-backed experiment setup: model, evaluation data, spec.
 pub struct Setup {
     /// The network under test.

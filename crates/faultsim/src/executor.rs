@@ -1239,9 +1239,9 @@ fn classify_weight_batched(
             let mut mismatches = 0usize;
             let mut failed = false;
             let mut cursor = 0usize;
-            for idx in 0..images {
+            for (idx, conv) in converged_at.iter().enumerate().take(images) {
                 inferences += 1;
-                if let Some(at_node) = converged_at[idx] {
+                if let Some(at_node) = *conv {
                     converged_images += 1;
                     let skipped = (total_nodes - 1 - at_node) as u64;
                     nodes_skipped += skipped;

@@ -7,13 +7,15 @@ use crate::{NnError, Node, NodeId, ParamId, ParameterStore, WeightLayer};
 
 /// Kernel and allocation policy of a forward pass.
 ///
-/// The two policies are **bit-identical** — the blocked GEMM preserves the
-/// naive kernel's per-output-element accumulation order — so fault
-/// classifications never depend on the choice; only speed does.
+/// The two policies are **bit-identical** — the register-tiled microkernel
+/// dispatch preserves the naive kernel's per-output-element accumulation
+/// order (see `sfi_tensor::ops::gemm_micro`) — so fault classifications
+/// never depend on the choice; only speed does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum KernelPolicy {
-    /// Blocked GEMM, by-reference input reads, and (when an arena is
-    /// provided) recycled buffers.
+    /// Self-dispatching GEMM (register-tiled microkernels above the naive
+    /// floor), by-reference input reads, and (when an arena is provided)
+    /// recycled buffers.
     #[default]
     Fast,
     /// The historical reference path: naive GEMM, fresh allocations, and a

@@ -471,10 +471,12 @@ impl CompiledPlan {
             for rep in 0..=CALIBRATION_REPS {
                 let t0 = Instant::now();
                 let out = match group {
-                    Some(g) => self
-                        .eval_fused(model, g, n, batched, &empty, None, images, &rows, &mut arena)?,
-                    None => self
-                        .eval_step(model, id, n, batched, &empty, None, images, &rows, &mut arena)?,
+                    Some(g) => self.eval_fused(
+                        model, g, n, batched, &empty, None, images, &rows, &mut arena,
+                    )?,
+                    None => self.eval_step(
+                        model, id, n, batched, &empty, None, images, &rows, &mut arena,
+                    )?,
                 };
                 let dt = t0.elapsed().as_secs_f64();
                 arena.recycle(out.into_vec());
@@ -489,7 +491,7 @@ impl CompiledPlan {
         // first-dirty panel across every same-stratum fault on a worker,
         // so dispatch prices the batched suffix *net* of this build.
         let mut panel_s = vec![0f64; n];
-        for id in 1..n {
+        for (id, slot) in panel_s.iter_mut().enumerate().skip(1) {
             if !self.is_lowerable_conv(id) {
                 continue;
             }
@@ -510,7 +512,7 @@ impl CompiledPlan {
                     best = best.min(dt);
                 }
             }
-            panel_s[id] = best;
+            *slot = best;
         }
         let mut dense_suffix_s = vec![0f64; n + 1];
         let mut batched_suffix_s = vec![0f64; n + 1];
@@ -739,13 +741,31 @@ impl CompiledPlan {
             let group = self.head[id].map(|gi| &self.groups[gi]);
             let (out_node, mut value) = match group {
                 Some(g) if g.output() < n => {
-                    let v = self
-                        .eval_fused(model, g, first_dirty, cache, &fresh, lowered, batch, &rows, arena)?;
+                    let v = self.eval_fused(
+                        model,
+                        g,
+                        first_dirty,
+                        cache,
+                        &fresh,
+                        lowered,
+                        batch,
+                        &rows,
+                        arena,
+                    )?;
                     (g.output(), v)
                 }
                 _ => {
-                    let v = self
-                        .eval_step(model, id, first_dirty, cache, &fresh, lowered, batch, &rows, arena)?;
+                    let v = self.eval_step(
+                        model,
+                        id,
+                        first_dirty,
+                        cache,
+                        &fresh,
+                        lowered,
+                        batch,
+                        &rows,
+                        arena,
+                    )?;
                     (id, v)
                 }
             };
@@ -764,7 +784,8 @@ impl CompiledPlan {
                     for step in id..=out_node {
                         live_dirty[img] -= expiring[step * batch + img];
                     }
-                    let clean = bits_eq(&vbits[r * chunk..][..chunk], &gbits[img * chunk..][..chunk]);
+                    let clean =
+                        bits_eq(&vbits[r * chunk..][..chunk], &gbits[img * chunk..][..chunk]);
                     if clean && live_dirty[img] == 0 {
                         converged_at[img] = Some(out_node);
                         continue;
@@ -842,7 +863,9 @@ impl CompiledPlan {
     }
 
     /// Evaluates one fused conv+bn(+relu) group over the batched values:
-    /// one packed GEMM per conv group, bias + folded BN + activation
+    /// one register-tiled GEMM per conv group (the interleaved
+    /// `images * spatial` panels are exactly the wide-`n` shapes the
+    /// `micro` dispatch tier owns), bias + folded BN + activation
     /// applied in the scatter epilogue (bit-identical to the unfused
     /// three-pass sequence — see the module docs). When the converging
     /// pass has dropped images (`rows.len() < batch`), golden prefix
@@ -1181,7 +1204,10 @@ impl SessionState {
 
     /// Splits the state into the arena and the panel held for `node` (if
     /// any), so a batched forward can borrow both at once.
-    pub fn arena_and_panel(&mut self, node: NodeId) -> (&mut ScratchArena, Option<&BatchedLowered>) {
+    pub fn arena_and_panel(
+        &mut self,
+        node: NodeId,
+    ) -> (&mut ScratchArena, Option<&BatchedLowered>) {
         let panel = match &self.panel {
             Some((held, p)) if *held == node => Some(p),
             _ => None,

@@ -1,6 +1,7 @@
 use crate::{ScratchArena, Shape, Tensor, TensorError};
 
 use super::gemm::{gemm, gemm_blocked_with};
+use super::microkernel::gemm_row;
 
 /// Spatial padding policy for [`conv2d`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -559,7 +560,10 @@ pub fn conv2d_channel_from_lowered(
         None => vec![0.0f32; lowered.batch * spatial],
     };
     for n in 0..lowered.batch {
-        gemm(1, k_len, spatial, w_row, lowered.panel(n, g), &mut out[n * spatial..][..spatial]);
+        // gemm_row self-selects between the lane-tiled row microkernel and
+        // the naive loop by panel footprint; both are bit-identical to
+        // `gemm(1, ..)`.
+        gemm_row(k_len, spatial, w_row, lowered.panel(n, g), &mut out[n * spatial..][..spatial]);
     }
     if let Some(b) = bias {
         let bv = b.as_slice()[channel];
@@ -886,7 +890,7 @@ pub fn conv2d_channel_batched(
         Some(a) => a.take_zeroed(bspatial),
         None => vec![0.0f32; bspatial],
     };
-    gemm(1, k_len, bspatial, w_row, lowered.panel(g), &mut out);
+    gemm_row(k_len, bspatial, w_row, lowered.panel(g), &mut out);
     if let Some(b) = bias {
         let bv = b.as_slice()[channel];
         for v in out.iter_mut() {

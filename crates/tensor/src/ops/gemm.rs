@@ -7,11 +7,12 @@ const BLOCK_N: usize = 256;
 /// panel.
 const BLOCK_K: usize = 128;
 
-/// B-matrix footprint below which [`gemm_blocked`] delegates to the naive
-/// kernel. When `B` fits in L2 the naive loop already streams it at cache
-/// speed on every `m` pass, so packing is pure overhead; blocking only
-/// pays once `B` spills to L3/memory and panel reuse starts saving real
-/// traffic (measured crossover is well under this on common parts).
+/// B-matrix footprint that used to gate the packed-row path when it was
+/// the dispatch tier above the naive kernel. The dispatch now lives in
+/// [`gemm_selected_kernel`](super::gemm_selected_kernel) (multiply-count
+/// floor, not B footprint); this constant survives only for the direct
+/// `gemm_packed` tests that straddle it.
+#[cfg(test)]
 const PACK_THRESHOLD_BYTES: usize = 1 << 20;
 
 /// Row-block height of [`gemm_rows`]: how many output rows share one
@@ -79,21 +80,18 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     }
 }
 
-/// Cache-blocked [`gemm`], bit-identical to the naive kernel.
+/// Self-dispatching [`gemm`], bit-identical to the naive kernel.
 ///
-/// Tiles the iteration space over `n` (output columns) and `k` (reduction
-/// depth) and packs each `B` panel into a contiguous scratch buffer, so one
-/// panel is streamed from L2 across all `m` rows instead of re-fetching the
-/// full-width `B` rows from memory per output row. Problems whose `B` fits
-/// in L2 (`PACK_THRESHOLD_BYTES`, 1 MiB) delegate to the naive kernel,
-/// which is faster there — the choice is invisible in the results either
-/// way.
-///
-/// Every output element still receives its `k` partial products **one at a
-/// time, in increasing `ki` order** — tiling only changes *which independent
-/// output elements are interleaved*, never the per-element accumulation
-/// order — so the result is bit-identical to [`gemm`] for every input,
-/// including NaN and ±Inf (see the `kernel_bitident` proptests).
+/// Routes through the register-tiled microkernel layer
+/// ([`gemm_micro`](super::gemm_micro) for `m >= 2`,
+/// [`gemm_row_lanes`](super::gemm_row_lanes) for single-row problems) with
+/// the naive loop retained for problems too small to amortize packing —
+/// see [`gemm_selected_kernel`](super::gemm_selected_kernel) for the
+/// policy and the `kernels` bench smoke gate for the
+/// no-tier-slower-than-naive guarantee. Every tier accumulates each output
+/// element's `k` partial products one at a time in increasing-`ki` order,
+/// so the choice is invisible in the result bits (NaN/±Inf payloads
+/// included; see the `kernel_bitident` proptests).
 ///
 /// # Panics
 ///
@@ -120,15 +118,7 @@ pub fn gemm_blocked_with(
     c: &mut [f32],
     packed: &mut Vec<f32>,
 ) {
-    if k * n * std::mem::size_of::<f32>() <= PACK_THRESHOLD_BYTES {
-        // B fits in L2: the naive loop already streams it at cache speed,
-        // and both blocked variants lose to it here — packing adds copies,
-        // and the row-blocked interleaving measured 0.74-0.87x across the
-        // ResNet-20 im2col shapes with an L2-resident B (see the `kernels`
-        // bench). Small-B problems go straight to the naive kernel.
-        return gemm(m, k, n, a, b, c);
-    }
-    gemm_packed_rows(m, k, n, a, b, c, packed);
+    super::microkernel::gemm_dispatch(m, k, n, a, b, c, packed);
 }
 
 /// Row-blocked [`gemm`]: `MR` output rows consume each B row while it is
@@ -224,11 +214,16 @@ pub fn gemm_packed(
 
 /// The packed *and* row-blocked tile kernel: B panels are packed exactly as
 /// in [`gemm_packed`], and within each panel `MR` output rows consume every
-/// packed B row while it is L1-hot (the [`gemm_rows`] interleaving). This
-/// is the kernel [`gemm_blocked`] dispatches to above the L2 threshold —
-/// the batched eval-image panels of the compiled-plan forward are the first
-/// workload in the tree whose B matrices reliably spill L2, which is where
-/// the `MR`-fold cut in packed-panel re-reads starts to pay.
+/// packed B row while it is L1-hot (the [`gemm_rows`] interleaving).
+///
+/// **Retired from dispatch.** This was [`gemm_blocked`]'s above-L2 tier
+/// until the register-tiled microkernel superseded it: the row-blocked
+/// interleave still streams C from memory `k / BLOCK_K` times per panel
+/// column and measured *slower than naive* on `32x288x512` (0.81x, see
+/// BENCH_kernels.json history) — dispatch must never select a
+/// measured-slower tier, so [`gemm_micro`](super::gemm_micro) (which holds
+/// C in registers across each `k` block) replaced it. The kernel stays
+/// public so the trade-off remains measurable.
 ///
 /// Bit-identity: for a fixed output element `c[mi][ni]`, the `ki` partial
 /// products still arrive one at a time in increasing `ki` order — panel
@@ -376,7 +371,9 @@ mod tests {
 
     #[test]
     fn blocked_takes_packed_path_above_threshold_bitwise() {
-        // k * n * 4 > PACK_THRESHOLD_BYTES, so gemm_blocked must tile.
+        // Large enough that the dispatch leaves the naive tier (historically
+        // the PACK_THRESHOLD_BYTES boundary; today the microkernel's
+        // multiply floor) — gemm_blocked must tile and still match bitwise.
         let (m, k, n) = (3usize, 520usize, 520usize);
         assert!(k * n * std::mem::size_of::<f32>() > PACK_THRESHOLD_BYTES);
         let a = fill(m * k, 4);

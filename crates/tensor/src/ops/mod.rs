@@ -16,14 +16,19 @@
 //! - [`avg_pool2d`], [`max_pool2d`], [`global_avg_pool`],
 //! - [`add`] residual addition and [`downsample_pad_channels`]
 //!   (ResNet "option A" shortcut),
-//! - [`gemm`] and its bit-identical cache-blocked sibling [`gemm_blocked`],
-//!   the matrix multiplies underneath `im2col` convolution.
+//! - [`gemm`] and its bit-identical self-dispatching sibling
+//!   [`gemm_blocked`], the matrix multiplies underneath `im2col`
+//!   convolution, backed by the register-tiled microkernels [`gemm_micro`]
+//!   and [`gemm_row_lanes`] (lane-per-output tiling — see the
+//!   `microkernel` module docs for why that SIMD shape is the bit-exact
+//!   one).
 
 mod activation;
 mod conv;
 mod elementwise;
 mod gemm;
 mod linear;
+mod microkernel;
 mod norm;
 mod pool;
 
@@ -39,5 +44,9 @@ pub use conv::{
 pub use elementwise::{add, add_with, downsample_pad_channels};
 pub use gemm::{gemm, gemm_blocked, gemm_blocked_with, gemm_packed, gemm_packed_rows, gemm_rows};
 pub use linear::{linear, linear_row};
+pub use microkernel::{
+    gemm_micro, gemm_row, gemm_row_lanes, gemm_selected_kernel, MR as MICRO_MR, NR as MICRO_NR,
+    NR1 as MICRO_NR1,
+};
 pub use norm::{batch_norm, batch_norm_with, bn_channel_scale_shift, BatchNormParams};
 pub use pool::{avg_pool2d, global_avg_pool, max_pool2d};

@@ -23,9 +23,9 @@ use proptest::prelude::*;
 use sfi_tensor::ops::{
     batch_norm, bn_channel_scale_shift, conv2d, conv2d_batched_from_lowered,
     conv2d_channel_batched, conv2d_channel_from_lowered, conv2d_from_lowered, conv2d_kernel,
-    conv2d_with, gemm, gemm_blocked, gemm_packed, gemm_packed_rows, im2col_lower,
-    im2col_lower_batched, relu, relu6, BatchNormParams, Conv2dCfg, ConvEpilogue, FusedActivation,
-    GemmKernel, Padding,
+    conv2d_with, gemm, gemm_blocked, gemm_micro, gemm_packed, gemm_packed_rows, gemm_row,
+    gemm_row_lanes, im2col_lower, im2col_lower_batched, relu, relu6, BatchNormParams, Conv2dCfg,
+    ConvEpilogue, FusedActivation, GemmKernel, Padding, MICRO_MR, MICRO_NR, MICRO_NR1,
 };
 use sfi_tensor::{ScratchArena, Tensor};
 
@@ -80,6 +80,65 @@ proptest! {
         let mut rows_panel = vec![f32::NAN; 13];
         gemm_packed_rows(m, k, n, &a, &b, &mut c_packed_rows, &mut rows_panel);
         assert_bits_equal(&c_naive, &c_packed_rows);
+    }
+
+    /// The register-tiled microkernels — the full `MR x NR` tile kernel
+    /// behind the dispatched GEMM and the single-row lane kernel behind
+    /// the early-exit probes — are bit-identical to the naive triple loop
+    /// on shapes straddling every tile boundary (ragged `m % MR`,
+    /// `n % NR`, `n % NR1` tails and the `KC`/`NC` block edges via the
+    /// offset below), including empty/degenerate dims and fault-like
+    /// NaN/±Inf payloads, accumulating on top of a nonzero C through a
+    /// dirty reused scratch buffer.
+    #[test]
+    fn micro_kernels_are_bit_identical(
+        m in 0usize..3 * MICRO_MR + 3,
+        k_off in 0usize..40,
+        n_off in 0usize..40,
+        big_k in any::<bool>(),
+        big_n in any::<bool>(),
+        seed_a in vec(fault_like_f32(), 1..8),
+        seed_c in -1.0f32..1.0f32,
+        nan_mode in any::<bool>(),
+    ) {
+        // One NaN payload family per case, as in the blocked test above.
+        let seed_a: Vec<f32> = seed_a
+            .iter()
+            .map(|&v| match (nan_mode, v.is_nan(), v.is_infinite()) {
+                (true, _, true) => f32::NAN,
+                (false, true, _) => f32::INFINITY,
+                _ => v,
+            })
+            .collect();
+        // `big_*` pushes k past the KC=256 block depth and n past the
+        // NC=256 panel width so multi-block accumulation is exercised;
+        // the offsets walk the ragged remainders.
+        let k = if big_k { 240 + k_off } else { k_off };
+        let n = if big_n { 240 + n_off } else { n_off };
+        let a: Vec<f32> = cycled(&seed_a, m * k, 1, 0).iter().map(|v| v * 0.5).collect();
+        let b: Vec<f32> =
+            cycled(&seed_a, k * n, 7, 3).iter().map(|v| v * 0.25 + 0.01).collect();
+        let mut c_naive = vec![seed_c; m * n];
+        let mut c_micro = c_naive.clone();
+        gemm(m, k, n, &a, &b, &mut c_naive);
+        let mut scratch = vec![f32::NAN; 11]; // dirty, undersized scratch
+        gemm_micro(m, k, n, &a, &b, &mut c_micro, &mut scratch);
+        assert_bits_equal(&c_naive, &c_micro);
+        // Single-row kernels against the same operands' first A row.
+        if m >= 1 {
+            let a_row = &a[..k];
+            let mut r_naive = vec![seed_c; n];
+            let mut r_lanes = r_naive.clone();
+            let mut r_row = r_naive.clone();
+            gemm(1, k, n, a_row, &b, &mut r_naive);
+            gemm_row_lanes(k, n, a_row, &b, &mut r_lanes);
+            assert_bits_equal(&r_naive, &r_lanes);
+            gemm_row(k, n, a_row, &b, &mut r_row);
+            assert_bits_equal(&r_naive, &r_row);
+        }
+        // Boundary sanity on the exported tile constants: the draws above
+        // must actually straddle full tiles and ragged remainders.
+        prop_assert!(3 * MICRO_MR + 2 > MICRO_MR && 40 > MICRO_NR && 280 > MICRO_NR1);
     }
 
     /// All im2col-family convolution paths — naive GEMM, blocked GEMM,

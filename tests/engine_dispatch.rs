@@ -42,7 +42,9 @@ fn weight_faults(layer: usize, bit: u8, n: usize) -> Vec<Fault> {
 /// injection count.
 fn assert_engine_accounting(res: &CampaignResult, ctx: &str) {
     assert_eq!(
-        res.engine_dense + res.engine_delta + res.engine_batched
+        res.engine_dense
+            + res.engine_delta
+            + res.engine_batched
             + res.masked()
             + res.exec_failures(),
         res.injections,
@@ -94,8 +96,7 @@ fn every_engine_fires_on_the_tier_it_owns() {
     }
     // Mantissa-bit faults on every batched-profitable layer: each must
     // route through the batched eval-image engine.
-    let mantissa: u64 =
-        batched_layers.iter().map(|&l| weight_faults(l, 12, 2).len() as u64).sum();
+    let mantissa: u64 = batched_layers.iter().map(|&l| weight_faults(l, 12, 2).len() as u64).sum();
     for &layer in &batched_layers {
         faults.extend(weight_faults(layer, 12, 2).into_iter().map(CampaignFault::Weight));
     }
@@ -118,10 +119,8 @@ fn every_engine_fires_on_the_tier_it_owns() {
     // Transient activation tier: the one-element cone is delta's home
     // ground and routes there unconditionally.
     let acts = activation_space(&model, &data);
-    let transient: Vec<CampaignFault> = random_transient_faults(&acts, 11, 8)
-        .into_iter()
-        .map(CampaignFault::Activation)
-        .collect();
+    let transient: Vec<CampaignFault> =
+        random_transient_faults(&acts, 11, 8).into_iter().map(CampaignFault::Activation).collect();
     let transients = run_any_campaign(&model, &data, &golden, &transient, &cfg).unwrap();
     assert_engine_accounting(&transients, "transient tier");
     assert!(

@@ -250,6 +250,15 @@ proptest! {
         let space = FaultSpace::stuck_at(&model);
         let faults = random_faults(&space, fault_seed, 12);
 
+        // The flag matrix below must demonstrably run on the register-tiled
+        // microkernel layer, not on a naive-only dispatch: the batched
+        // engine's interleaved panels (n = images * spatial) are exactly
+        // the shapes the `micro` tier owns. Pin the dispatch decision for a
+        // representative batched conv GEMM of this setup (c_out=4 x
+        // k_len=36 x 2 images * 256 spatial) so a future threshold change
+        // that silently drops the hot path back to naive fails here.
+        prop_assert_eq!(ops::gemm_selected_kernel(4, 36, 2 * 256), "micro");
+
         let base = CampaignConfig {
             workers: 1,
             convergence: false,
